@@ -1,0 +1,73 @@
+// Reproduces Fig. 6: model verification with step inputs.
+//
+// An uncontrolled run measures the real per-period delays y(k) (grouped by
+// arrival period, the paper's definition) and records the virtual queue
+// q(k). The model delays from Eq. (2), y = (q(k-1) + 1) c / H, are computed
+// for H in {0.95, 0.97, 1.00} and compared: panel A the absolute curves,
+// panel B the modeling errors. The fit metric shows which H explains the
+// data best (the paper finds 0.97).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "sysid/identification.h"
+#include "sysid/integrator_model.h"
+
+using namespace ctrlshed;
+
+int main() {
+  bench::Banner("Fig. 6", "model verification with step inputs");
+
+  const double kCapacity = 190.0;
+  const double kTrueHeadroom = 0.97;
+  const double c = kTrueHeadroom / kCapacity;
+
+  StepResponse r = RunStepResponse(/*rate=*/300.0, /*duration=*/80.0,
+                                   /*step_at=*/10.0, kCapacity, kTrueHeadroom,
+                                   /*seed=*/6);
+
+  // Only periods whose arrivals departed before the run end carry valid
+  // measurements; with ~110 extra tuples/s the tail lags ~q c seconds.
+  const size_t usable = 55;
+  std::vector<double> y, q;
+  for (size_t i = 0; i < usable && i < r.delay.size(); ++i) {
+    y.push_back(r.delay[i].value);
+    q.push_back(r.queue[i].value);
+  }
+
+  const std::vector<double> hs = {0.95, 0.97, 1.00};
+  std::vector<std::vector<double>> models;
+  for (double h : hs) models.push_back(ModelDelayFromQueue(q, c, h));
+
+  std::printf("\nPanel A/B: real vs model delays (s) and errors (s)\n");
+  TablePrinter table(std::cout, {"t", "real", "H=0.95", "H=0.97", "H=1.00",
+                                 "err95", "err97", "err100"});
+  table.PrintHeader();
+  for (size_t k = 0; k < y.size(); ++k) {
+    table.PrintRow({static_cast<double>(k + 1), y[k], models[0][k],
+                    models[1][k], models[2][k], y[k] - models[0][k],
+                    y[k] - models[1][k], y[k] - models[2][k]});
+  }
+
+  std::printf("\nSum of squared modeling errors per H (Eq. 2, start-of-"
+              "period queue):\n");
+  for (double h : hs) {
+    std::printf("  H = %.2f : SSE = %10.3f\n", h, HeadroomFitError(y, q, c, h));
+  }
+  std::printf("\nSame fit with the half-period sampling bias removed "
+              "(mid-period queue):\n");
+  for (double h : hs) {
+    std::printf("  H = %.2f : SSE = %10.3f\n", h,
+                HeadroomFitErrorMidpoint(y, q, c, h));
+  }
+  std::printf(
+      "(engine's true headroom is %.2f; tuples arriving across a period see "
+      "the queue grow, so the raw Eq. 2 fit sits a percent or two low — the "
+      "same magnitude of modeling error the paper's Fig. 6B reports — while "
+      "the midpoint fit recovers the truth)\n",
+      kTrueHeadroom);
+  return 0;
+}

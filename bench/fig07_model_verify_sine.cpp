@@ -1,0 +1,77 @@
+// Reproduces Fig. 7: model verification with sinusoidal inputs.
+//
+// The input rate swings sinusoidally in [0, 400] tuples/s for 200 s; the
+// model delays of Eq. (2) are compared against the measured delays. The
+// paper observes small periodic modeling errors — unmodeled dynamics that
+// the closed loop later suppresses.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "runner/experiment.h"
+#include "sysid/identification.h"
+#include "sysid/integrator_model.h"
+
+using namespace ctrlshed;
+
+int main() {
+  bench::Banner("Fig. 7", "model verification with sinusoidal inputs");
+
+  const double kCapacity = 190.0;
+  const double kTrueHeadroom = 0.97;
+  const double c = kTrueHeadroom / kCapacity;
+
+  ArrivalGroupedDelays grouper(1.0);
+  ExperimentConfig cfg;
+  cfg.method = Method::kNone;
+  cfg.workload = WorkloadKind::kSine;
+  cfg.duration = 200.0;
+  cfg.sine_lo = 0.0;
+  cfg.sine_hi = 400.0;
+  cfg.sine_period = 100.0;
+  cfg.capacity_rate = kCapacity;
+  cfg.headroom_true = kTrueHeadroom;
+  cfg.headroom_est = kTrueHeadroom;
+  cfg.spacing = ArrivalSource::Spacing::kDeterministic;
+  cfg.departure_observer = [&grouper](const Departure& d) {
+    grouper.OnDeparture(d);
+  };
+  ExperimentResult r = RunExperiment(cfg);
+
+  TimeSeries delay = grouper.Series(cfg.duration);
+  std::vector<double> y, q;
+  const size_t usable = 185;  // tail arrivals depart after the run ends
+  for (size_t i = 0; i < usable && i < delay.size(); ++i) {
+    y.push_back(delay[i].value);
+    q.push_back(r.recorder.rows()[i].m.queue);
+  }
+
+  const std::vector<double> hs = {0.95, 0.97, 1.00};
+  std::vector<std::vector<double>> models;
+  for (double h : hs) models.push_back(ModelDelayFromQueue(q, c, h));
+
+  std::printf("\nPanel A/B: real vs model delays (s) and errors (s)\n");
+  TablePrinter table(std::cout, {"t", "fin", "real", "H=0.97", "err97"});
+  table.PrintHeader();
+  for (size_t k = 0; k < y.size(); ++k) {
+    table.PrintRow({static_cast<double>(k + 1),
+                    r.arrival_trace.At(static_cast<double>(k)), y[k],
+                    models[1][k], y[k] - models[1][k]});
+  }
+
+  std::printf("\nSum of squared modeling errors per H (Eq. 2 / midpoint-"
+              "corrected):\n");
+  for (size_t i = 0; i < hs.size(); ++i) {
+    std::printf("  H = %.2f : SSE = %10.3f / %10.3f\n", hs[i],
+                HeadroomFitError(y, q, c, hs[i]),
+                HeadroomFitErrorMidpoint(y, q, c, hs[i]));
+  }
+  std::printf(
+      "(small periodic residuals are expected — the paper sees them too and "
+      "attributes them to unmodeled dynamics the feedback loop absorbs)\n");
+  return 0;
+}

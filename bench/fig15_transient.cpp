@@ -1,0 +1,51 @@
+// Reproduces Fig. 15: transient performance — the per-period average delay
+// y(k) of CTRL, BASELINE, and AURORA over one 400 s run, for the Web
+// (panel A) and Pareto (panel B) workloads.
+//
+// Expected shape: CTRL hugs the 2 s target with brief excursions at the
+// cost-trace events (t ~ 50 s and ~ 125 s); BASELINE shows wider peaks;
+// AURORA accumulates backlog and climbs far above the target.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace ctrlshed;
+using namespace ctrlshed::bench;
+
+int main() {
+  Banner("Fig. 15", "transient delay y(k) per method (yd = 2 s)");
+
+  for (WorkloadKind w : {WorkloadKind::kWeb, WorkloadKind::kPareto}) {
+    std::vector<ExperimentResult> results;
+    for (Method m : {Method::kCtrl, Method::kBaseline, Method::kAurora}) {
+      results.push_back(RunExperiment(PaperConfig(m, w, 11)));
+    }
+
+    std::printf("\nPanel %s: measured mean delay per period (s)\n",
+                WorkloadName(w));
+    TablePrinter table(std::cout, {"t", "CTRL", "BASELINE", "AURORA"});
+    table.PrintHeader();
+    const size_t n = results[0].recorder.rows().size();
+    auto value = [&](size_t which, size_t k) {
+      const PeriodRecord& row = results[which].recorder.rows()[k];
+      return row.m.has_y_measured ? row.m.y_measured : 0.0;
+    };
+    for (size_t k = 0; k < n; ++k) {
+      table.PrintRow({results[0].recorder.rows()[k].m.t, value(0, k),
+                      value(1, k), value(2, k)});
+    }
+
+    for (size_t i = 0; i < 3; ++i) {
+      const char* names[] = {"CTRL", "BASELINE", "AURORA"};
+      const QosSummary& s = results[i].summary;
+      std::printf("%-9s mean delay %6.3f s, max overshoot %7.3f s, "
+                  "loss %.3f\n",
+                  names[i], s.mean_delay, s.max_overshoot, s.loss_ratio);
+    }
+  }
+  return 0;
+}

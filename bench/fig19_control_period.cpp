@@ -1,0 +1,61 @@
+// Reproduces Fig. 19: performance of CTRL under nine control periods from
+// 31.25 ms to 8000 ms (Web input). Each metric is reported relative to the
+// smallest value observed for that metric across the sweep.
+//
+// Expected shape (Section 4.5.3): violations blow up once T exceeds a few
+// seconds — the sampling theorem says the loop can no longer track bursts
+// that last 4-5 s — while very small T suffers from noisy per-period
+// estimates. The sweet spot sits around [250, 1000] ms.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace ctrlshed;
+using namespace ctrlshed::bench;
+
+int main() {
+  Banner("Fig. 19", "performance vs control period T (CTRL, Web input)");
+
+  const std::vector<double> periods_ms = {31.25, 62.5, 125.0, 250.0, 500.0,
+                                          1000.0, 2000.0, 4000.0, 8000.0};
+  std::vector<MeanMetrics> metrics;
+  for (double t_ms : periods_ms) {
+    ExperimentConfig cfg = PaperConfig(Method::kCtrl, WorkloadKind::kWeb, 0);
+    cfg.period = t_ms / 1000.0;
+    metrics.push_back(RunSeeds(cfg));
+  }
+
+  MeanMetrics best;
+  best.accumulated_violation = 1e300;
+  best.delayed_tuples = 1e300;
+  best.max_overshoot = 1e300;
+  best.loss_ratio = 1e300;
+  for (const MeanMetrics& m : metrics) {
+    best.accumulated_violation =
+        std::min(best.accumulated_violation, m.accumulated_violation);
+    best.delayed_tuples = std::min(best.delayed_tuples, m.delayed_tuples);
+    best.max_overshoot = std::min(best.max_overshoot, m.max_overshoot);
+    best.loss_ratio = std::min(best.loss_ratio, m.loss_ratio);
+  }
+
+  TablePrinter table(std::cout, {"T_ms", "accum_viol", "delayed", "max_over",
+                                 "loss"});
+  table.PrintHeader();
+  for (size_t i = 0; i < periods_ms.size(); ++i) {
+    table.PrintRow({periods_ms[i],
+                    metrics[i].accumulated_violation /
+                        best.accumulated_violation,
+                    metrics[i].delayed_tuples / best.delayed_tuples,
+                    metrics[i].max_overshoot / best.max_overshoot,
+                    metrics[i].loss_ratio / best.loss_ratio});
+  }
+  std::printf("\n(values are ratios to the best value across the sweep; the "
+              "paper's best region is T in [250, 1000] ms, with violations "
+              "exploding beyond 4000 ms)\n");
+  return 0;
+}

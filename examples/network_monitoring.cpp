@@ -1,0 +1,137 @@
+// Network-monitoring example: the kind of soft-deadline workload the
+// paper's introduction motivates (intrusion detection over packet
+// streams). Three packet sources feed a branched query network — shared
+// filters, a union, a windowed aggregate computing per-window traffic
+// statistics, and a sliding join correlating two streams. A flash crowd
+// (web-like self-similar bursts) overloads the engine; results older than
+// 1.5 s are useless to the analyst.
+//
+// The example runs the same scenario twice — once with the paper's
+// feedback controller (CTRL), once with the open-loop Aurora policy — and
+// prints both outcomes side by side.
+
+#include <cstdio>
+#include <memory>
+
+#include "control/aurora_controller.h"
+#include "control/ctrl_controller.h"
+#include "core/feedback_loop.h"
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "runner/networks.h"
+#include "shedding/aurora_shedder.h"
+#include "shedding/entry_shedder.h"
+#include "sim/simulation.h"
+#include "workload/arrival_source.h"
+#include "workload/traces.h"
+
+using namespace ctrlshed;
+
+namespace {
+
+struct Outcome {
+  QosSummary summary;
+  uint64_t packets_analyzed = 0;   // source packets that fully traversed
+  double worst_minute_mean = 0.0;  // worst 60 s mean delay
+};
+
+Outcome RunScenario(bool use_feedback) {
+  constexpr double kDuration = 300.0;
+  constexpr double kHeadroom = 0.97;
+  constexpr double kTargetDelay = 1.5;
+
+  Simulation sim;
+
+  // The paper's Fig. 2-shaped multi-query network: per-source filters,
+  // a shared union, a windowed aggregate, and a sliding join. One packet
+  // costs ~6 ms of CPU on average => the engine sustains ~160 packets/s.
+  QueryNetwork net;
+  BuildBranchedNetwork(&net, /*target_entry_cost=*/0.006);
+  Engine engine(&net, kHeadroom);
+  sim.AttachProcess(&engine);
+
+  std::unique_ptr<LoadController> controller;
+  std::unique_ptr<Shedder> shedder;
+  if (use_feedback) {
+    CtrlOptions opts;
+    opts.headroom = kHeadroom;
+    controller = std::make_unique<CtrlController>(opts);
+    shedder = std::make_unique<EntryShedder>(21);
+  } else {
+    controller = std::make_unique<AuroraController>(kHeadroom);
+    shedder = std::make_unique<AuroraQuotaShedder>();
+  }
+
+  FeedbackLoopOptions loop_opts;
+  loop_opts.period = 0.5;  // tight monitoring for a tight deadline
+  loop_opts.target_delay = kTargetDelay;
+  loop_opts.headroom = kHeadroom;
+  FeedbackLoop loop(&sim, &engine, controller.get(), shedder.get(), loop_opts);
+  uint64_t analyzed = 0;
+  loop.SetDepartureObserver([&analyzed](const Departure& d) {
+    if (!d.derived) ++analyzed;
+  });
+  loop.Start();
+
+  // Three packet streams; together they average ~180 packets/s against a
+  // ~160 packets/s capacity, with flash crowds far past it.
+  WebTraceParams crowd;
+  crowd.mean_rate = 60.0;
+  crowd.num_sources = 6;
+  std::unique_ptr<ArrivalSource> sources[3];
+  for (int s = 0; s < 3; ++s) {
+    sources[s] = std::make_unique<ArrivalSource>(
+        s, MakeWebTrace(kDuration, crowd, 31 + s),
+        ArrivalSource::Spacing::kPoisson, 41 + s);
+    sources[s]->Start(&sim, [&loop](const Tuple& t) { loop.OnArrival(t); });
+  }
+
+  sim.Run(kDuration);
+
+  Outcome out;
+  out.summary = loop.Summary();
+  out.packets_analyzed = analyzed;
+  // Worst sliding minute of mean delay, from the per-period records.
+  const auto& rows = loop.recorder().rows();
+  const size_t window = 120;  // 120 half-second periods
+  for (size_t i = 0; i + window <= rows.size(); i += 20) {
+    double sum = 0.0;
+    int n = 0;
+    for (size_t j = i; j < i + window; ++j) {
+      if (rows[j].m.has_y_measured) {
+        sum += rows[j].m.y_measured;
+        ++n;
+      }
+    }
+    if (n > 0) out.worst_minute_mean = std::max(out.worst_minute_mean, sum / n);
+  }
+  return out;
+}
+
+void Print(const char* name, const Outcome& o) {
+  std::printf("%-22s packets offered %7llu  analyzed %7llu  shed %5.1f%%\n",
+              name, static_cast<unsigned long long>(o.summary.offered),
+              static_cast<unsigned long long>(o.packets_analyzed),
+              100.0 * o.summary.loss_ratio);
+  std::printf("%-22s late results %7llu  worst overshoot %6.2f s  "
+              "worst-minute mean delay %5.2f s\n",
+              "", static_cast<unsigned long long>(o.summary.delayed_tuples),
+              o.summary.max_overshoot, o.worst_minute_mean);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Network monitoring under a flash crowd "
+              "(300 s, deadline 1.5 s)\n\n");
+  Outcome feedback = RunScenario(/*use_feedback=*/true);
+  Outcome open_loop = RunScenario(/*use_feedback=*/false);
+  Print("feedback (CTRL):", feedback);
+  std::printf("\n");
+  Print("open loop (AURORA):", open_loop);
+  std::printf("\nWith feedback, the monitor keeps result freshness pinned "
+              "near the deadline and sheds only what the flash crowd makes "
+              "unavoidable; the open-loop policy lets the backlog — and the "
+              "analyst's staleness — run away during bursts.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Priority-streams example: the paper's future-work idea of heterogeneous
+// quality guarantees. An operations center ingests three telemetry
+// streams — critical alarms, billing events, and debug telemetry — with
+// very different importance. Under overload, the priority-aware shedder
+// takes the whole loss out of the debug stream first, then billing, and
+// touches alarms last; the feedback controller still decides WHEN and HOW
+// MUCH to shed, the weights only decide FROM WHERE.
+
+#include <cstdio>
+#include <memory>
+
+#include "control/ctrl_controller.h"
+#include "core/feedback_loop.h"
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "shedding/weighted_shedder.h"
+#include "sim/simulation.h"
+#include "workload/arrival_source.h"
+#include "workload/traces.h"
+
+using namespace ctrlshed;
+
+int main() {
+  constexpr double kDuration = 300.0;
+  constexpr double kHeadroom = 0.97;
+  constexpr int kStreams = 3;
+  const char* kNames[kStreams] = {"alarms", "billing", "debug"};
+  const double kPriorities[kStreams] = {100.0, 10.0, 1.0};
+
+  Simulation sim;
+
+  // Identical per-stream pipelines (filter -> map -> map), ~6 ms/tuple.
+  QueryNetwork net;
+  OperatorBase* entries[kStreams];
+  for (int s = 0; s < kStreams; ++s) {
+    auto* f = net.Add(std::make_unique<FilterOp>("f", Millis(2.0), 0.9));
+    auto* m1 = net.Add(std::make_unique<MapOp>("m1", Millis(2.0)));
+    auto* m2 = net.Add(std::make_unique<MapOp>("m2", Millis(2.0)));
+    f->ConnectTo(m1);
+    m1->ConnectTo(m2);
+    net.AddEntry(s, f);
+    entries[s] = f;
+  }
+  (void)entries;
+  net.FinalizeWithMeanEntryCost(Millis(6.0));
+
+  Engine engine(&net, kHeadroom);
+  sim.AttachProcess(&engine);
+
+  CtrlOptions ctrl_opts;
+  ctrl_opts.headroom = kHeadroom;
+  CtrlController controller(ctrl_opts);
+  WeightedEntryShedder shedder({kPriorities[0], kPriorities[1], kPriorities[2]},
+                               /*seed=*/5);
+
+  FeedbackLoopOptions loop_opts;
+  loop_opts.period = 1.0;
+  loop_opts.target_delay = 1.0;
+  loop_opts.headroom = kHeadroom;
+  FeedbackLoop loop(&sim, &engine, &controller, &shedder, loop_opts);
+
+  // Per-stream accounting.
+  uint64_t offered[kStreams] = {0, 0, 0};
+  uint64_t admitted[kStreams] = {0, 0, 0};
+  loop.Start();
+
+  // Each stream offers ~75 tuples/s (225 total vs ~160 capacity).
+  ParetoTraceParams wl;
+  wl.mean_rate = 75.0;
+  std::unique_ptr<ArrivalSource> sources[kStreams];
+  for (int s = 0; s < kStreams; ++s) {
+    sources[s] = std::make_unique<ArrivalSource>(
+        s, MakeParetoTrace(kDuration, wl, 100 + s),
+        ArrivalSource::Spacing::kPoisson, 200 + s);
+    sources[s]->Start(&sim, [&, s](const Tuple& t) {
+      ++offered[s];
+      const uint64_t before = engine.counters().admitted;
+      loop.OnArrival(t);
+      if (engine.counters().admitted > before) ++admitted[s];
+    });
+  }
+
+  sim.Run(kDuration);
+
+  std::printf("Telemetry triage under overload (300 s, yd = 1 s)\n\n");
+  std::printf("%-9s %10s %10s %10s %9s\n", "stream", "priority", "offered",
+              "admitted", "loss");
+  for (int s = 0; s < kStreams; ++s) {
+    const double loss =
+        offered[s] ? 1.0 - static_cast<double>(admitted[s]) / offered[s] : 0.0;
+    std::printf("%-9s %10.0f %10llu %10llu %8.1f%%\n", kNames[s],
+                kPriorities[s], static_cast<unsigned long long>(offered[s]),
+                static_cast<unsigned long long>(admitted[s]), 100.0 * loss);
+  }
+
+  const QosSummary s = loop.Summary();
+  std::printf("\nDelay QoS (all streams): mean %.2f s, p99 %.2f s, max "
+              "overshoot %.2f s against the 1 s target.\n",
+              s.mean_delay, s.p99_delay, s.max_overshoot);
+  std::printf("Total loss %.1f%% — concentrated in the debug stream; the "
+              "alarm stream is only touched during bursts so deep that "
+              "blocking the other two streams entirely cannot cover the "
+              "shed demand.\n",
+              100.0 * s.loss_ratio);
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef CTRLSHED_COMMON_MACROS_H_
+#define CTRLSHED_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctrlshed::internal {
+
+/// Prints a check-failure diagnostic and aborts the process.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ctrlshed::internal
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming
+/// errors (broken invariants), never for expected runtime failures.
+#define CS_CHECK(cond)                                               \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::ctrlshed::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                \
+  } while (0)
+
+/// CS_CHECK with an explanatory message.
+#define CS_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ctrlshed::internal::CheckFailed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (0)
+
+#endif  // CTRLSHED_COMMON_MACROS_H_

@@ -1,0 +1,29 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+double Rng::Pareto(double alpha, double xm) {
+  CS_CHECK_MSG(alpha > 0.0 && xm > 0.0, "Pareto parameters must be positive");
+  double u = Uniform();
+  // Guard against u == 0, which would give an infinite variate.
+  if (u <= 0.0) u = 1e-12;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) {
+  CS_CHECK_MSG(alpha > 0.0 && lo > 0.0 && hi > lo,
+               "BoundedPareto requires alpha > 0 and 0 < lo < hi");
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  double u = Uniform();
+  if (u >= 1.0) u = 1.0 - 1e-12;
+  // Inverse CDF of the bounded Pareto distribution.
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(1.0 / x, 1.0 / alpha);
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,68 @@
+#ifndef CTRLSHED_COMMON_RNG_H_
+#define CTRLSHED_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace ctrlshed {
+
+/// Deterministic pseudo-random source used across the library. Every
+/// stochastic component takes an explicit Rng (or a seed) so that whole
+/// experiments replay bit-identically.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Uniform() < p;
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Pareto variate with shape `alpha` and scale (minimum) `xm`:
+  /// P(X > x) = (xm / x)^alpha for x >= xm.
+  double Pareto(double alpha, double xm);
+
+  /// Bounded Pareto variate on [lo, hi] with shape `alpha` (inverse-CDF
+  /// sampling of the truncated distribution).
+  double BoundedPareto(double alpha, double lo, double hi);
+
+  /// Log-normal variate where the underlying normal has mean `mu` and
+  /// standard deviation `sigma`.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Normal variate.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Raw 64-bit draw, e.g. for deriving child seeds.
+  uint64_t NextUint64() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_COMMON_RNG_H_

@@ -1,0 +1,61 @@
+#include "common/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctrlshed {
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+SummaryStats TimeSeries::Stats() const { return ComputeStats(Values()); }
+
+double TimeSeries::Max() const {
+  double m = 0.0;
+  bool first = true;
+  for (const Sample& s : samples_) {
+    if (first || s.value > m) m = s.value;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::Mean() const { return Stats().mean; }
+
+double TimeSeries::SumAbove(double threshold) const {
+  double sum = 0.0;
+  for (const Sample& s : samples_) {
+    if (s.value > threshold) sum += s.value - threshold;
+  }
+  return sum;
+}
+
+size_t TimeSeries::CountAbove(double threshold) const {
+  size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.value > threshold) ++n;
+  }
+  return n;
+}
+
+SummaryStats ComputeStats(const std::vector<double>& values) {
+  SummaryStats st;
+  st.count = values.size();
+  if (values.empty()) return st;
+  st.min = *std::min_element(values.begin(), values.end());
+  st.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  st.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - st.mean) * (v - st.mean);
+  var /= static_cast<double>(values.size());
+  st.stddev = std::sqrt(var);
+  return st;
+}
+
+}  // namespace ctrlshed

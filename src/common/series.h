@@ -1,0 +1,66 @@
+#ifndef CTRLSHED_COMMON_SERIES_H_
+#define CTRLSHED_COMMON_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// One timestamped observation.
+struct Sample {
+  SimTime t = 0.0;
+  double value = 0.0;
+};
+
+/// Summary statistics of a collection of values.
+struct SummaryStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+/// Append-only time series with basic statistics, used by the monitor,
+/// recorder, and system-identification code.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  void Push(SimTime t, double value) { samples_.push_back({t, value}); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Values only, in insertion order.
+  std::vector<double> Values() const;
+
+  /// Summary statistics over all values; zeros when empty.
+  SummaryStats Stats() const;
+
+  /// Largest value; 0 when empty.
+  double Max() const;
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Sum of max(value - threshold, 0) over all samples.
+  double SumAbove(double threshold) const;
+
+  /// Number of samples whose value exceeds `threshold`.
+  size_t CountAbove(double threshold) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Computes summary statistics of a raw value vector.
+SummaryStats ComputeStats(const std::vector<double>& values);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_COMMON_SERIES_H_

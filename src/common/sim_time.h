@@ -1,0 +1,18 @@
+#ifndef CTRLSHED_COMMON_SIM_TIME_H_
+#define CTRLSHED_COMMON_SIM_TIME_H_
+
+namespace ctrlshed {
+
+/// Simulated time, in seconds. The whole library runs on a virtual clock so
+/// that a 400-second experiment replays in milliseconds of wall time.
+using SimTime = double;
+
+/// Converts milliseconds to SimTime seconds.
+constexpr SimTime Millis(double ms) { return ms / 1000.0; }
+
+/// Converts microseconds to SimTime seconds.
+constexpr SimTime Micros(double us) { return us / 1e6; }
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_COMMON_SIM_TIME_H_

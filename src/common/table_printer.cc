@@ -1,0 +1,43 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<std::string> headers)
+    : out_(out), headers_(std::move(headers)) {
+  widths_.reserve(headers_.size());
+  for (const std::string& h : headers_) {
+    widths_.push_back(h.size() < 12 ? 12 : h.size() + 2);
+  }
+}
+
+void TablePrinter::PrintHeader() {
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    out_ << std::setw(static_cast<int>(widths_[i])) << headers_[i];
+  }
+  out_ << "\n";
+}
+
+void TablePrinter::PrintRow(const std::vector<double>& cells) {
+  CS_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  char buf[64];
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision_, cells[i]);
+    out_ << std::setw(static_cast<int>(widths_[i])) << buf;
+  }
+  out_ << "\n";
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) {
+  CS_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    out_ << std::setw(static_cast<int>(widths_[i])) << cells[i];
+  }
+  out_ << "\n";
+}
+
+}  // namespace ctrlshed

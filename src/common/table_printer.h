@@ -1,0 +1,40 @@
+#ifndef CTRLSHED_COMMON_TABLE_PRINTER_H_
+#define CTRLSHED_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ctrlshed {
+
+/// Fixed-width column table printer used by the benchmark harness to emit
+/// the rows/series that correspond to the paper's figures. Numeric cells are
+/// formatted with a fixed precision; the output doubles as whitespace-
+/// separated data that gnuplot or pandas can ingest directly.
+class TablePrinter {
+ public:
+  /// Creates a printer that writes to `out` with the given column headers.
+  TablePrinter(std::ostream& out, std::vector<std::string> headers);
+
+  /// Prints the header row (call once before the data rows).
+  void PrintHeader();
+
+  /// Prints one row of numeric cells; must match the header count.
+  void PrintRow(const std::vector<double>& cells);
+
+  /// Prints one row of preformatted string cells.
+  void PrintRow(const std::vector<std::string>& cells);
+
+  /// Sets the numeric precision (default 4 significant decimals).
+  void set_precision(int p) { precision_ = p; }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  int precision_ = 4;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,19 @@
+#include "control/aurora_controller.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+AuroraController::AuroraController(double headroom) : headroom_(headroom) {
+  CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
+}
+
+double AuroraController::DesiredRate(const PeriodMeasurement& m) {
+  CS_CHECK_MSG(m.cost > 0.0, "cost estimate must be positive");
+  const double capacity = headroom_ / m.cost;  // L0
+  const double measured_load = m.fin;          // fin(k-1) by the time it is used
+  if (measured_load > capacity) return capacity;
+  return measured_load;
+}
+
+}  // namespace ctrlshed

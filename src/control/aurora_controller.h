@@ -1,0 +1,33 @@
+#ifndef CTRLSHED_CONTROL_AURORA_CONTROLLER_H_
+#define CTRLSHED_CONTROL_AURORA_CONTROLLER_H_
+
+#include "control/controller.h"
+
+namespace ctrlshed {
+
+/// The open-loop Aurora/Borealis load shedder (paper Fig. 1 and
+/// Section 4.3.2): every period, compare the measured load L = fin(k-1)
+/// against the CPU capacity L0 = H / c(k-1); shed the excess
+/// S(k) = max(0, L - L0), i.e. target an admitted rate of
+///
+///   v(k) = L0        when fin(k-1) > L0   (overloaded)
+///   v(k) = fin(k-1)  otherwise            (admit everything)
+///
+/// No system output (delay or queue) is consulted — this is what makes the
+/// method open-loop and produces Examples 1-3 of Section 4.3.2.
+class AuroraController : public LoadController {
+ public:
+  /// `headroom` is the H used to derive the capacity threshold L0 = H/c.
+  /// The paper's Fig. 16 experiment deliberately mis-tunes it to 0.96.
+  explicit AuroraController(double headroom);
+
+  double DesiredRate(const PeriodMeasurement& m) override;
+  std::string_view name() const override { return "AURORA"; }
+
+ private:
+  double headroom_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_AURORA_CONTROLLER_H_

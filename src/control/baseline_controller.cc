@@ -1,0 +1,22 @@
+#include "control/baseline_controller.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+BaselineController::BaselineController(double headroom) : headroom_(headroom) {
+  CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
+}
+
+double BaselineController::DesiredRate(const PeriodMeasurement& m) {
+  CS_CHECK_MSG(m.cost > 0.0, "cost estimate must be positive");
+  const double target_queue = m.target_delay * headroom_ / m.cost;
+  const double u = (target_queue - m.queue) / m.period;
+  const double service_rate = headroom_ / m.cost;
+  // Clamping to realizable rates is the actuator's job.
+  return u + service_rate;
+}
+
+}  // namespace ctrlshed

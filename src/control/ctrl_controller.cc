@@ -1,0 +1,53 @@
+#include "control/ctrl_controller.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+CtrlController::CtrlController(CtrlOptions options) : options_(options) {
+  CS_CHECK_MSG(options_.headroom > 0.0 && options_.headroom <= 1.0,
+               "headroom must be in (0,1]");
+}
+
+void CtrlController::Reset() {
+  prev_error_ = 0.0;
+  prev_u_ = 0.0;
+  last_fout_ = 0.0;
+  last_v_ = 0.0;
+}
+
+double CtrlController::DesiredRate(const PeriodMeasurement& m) {
+  CS_CHECK_MSG(m.cost > 0.0, "cost estimate must be positive");
+  CS_CHECK_MSG(m.period > 0.0, "control period must be positive");
+
+  const double feedback =
+      (options_.feedback == FeedbackSignal::kMeasuredDelay && m.has_y_measured)
+          ? m.y_measured
+          : m.y_hat;
+  const double e = m.target_delay - feedback;
+  const double gain = options_.headroom / (m.cost * m.period);
+  const double u = gain * (options_.gains.b0 * e + options_.gains.b1 * prev_error_) -
+                   options_.gains.a * prev_u_;
+
+  prev_error_ = e;
+  prev_u_ = u;
+  last_fout_ = m.fout;
+  // Clamping is the actuator's job: an entry shedder cannot realize a
+  // negative rate, a queue shedder can (it removes queued work).
+  last_v_ = u + m.fout;
+  return last_v_;
+}
+
+void CtrlController::NotifyActuation(double v_applied) {
+  if (!options_.anti_windup) return;
+  // Back-calculation: if the actuator could not realize v(k), rewrite the
+  // stored u(k) with the value that was actually applied so the recursion
+  // -a u(k-1) does not integrate an unrealizable command.
+  if (std::abs(v_applied - last_v_) > 1e-12) {
+    prev_u_ = v_applied - last_fout_;
+  }
+}
+
+}  // namespace ctrlshed

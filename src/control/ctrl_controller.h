@@ -1,0 +1,71 @@
+#ifndef CTRLSHED_CONTROL_CTRL_CONTROLLER_H_
+#define CTRLSHED_CONTROL_CTRL_CONTROLLER_H_
+
+#include "control/controller.h"
+#include "control/pole_placement.h"
+
+namespace ctrlshed {
+
+/// Which signal the controller feeds back.
+enum class FeedbackSignal {
+  /// The virtual-queue estimate y_hat of Eq. (11) — the paper's answer to
+  /// the unavailability of a real-time delay measurement (Section 4.5.1).
+  kVirtualQueue,
+  /// The measured mean delay of tuples that departed last period. This
+  /// signal is delayed by an unknown amount (the delay itself!), which is
+  /// exactly why the paper rejects it; exposed for the ablation bench.
+  kMeasuredDelay,
+};
+
+/// Options of the paper's feedback controller (the CTRL method).
+struct CtrlOptions {
+  /// Controller gains; the default is the paper's published set
+  /// (b0 = 0.4, b1 = -0.31, a = -0.8; closed-loop poles at 0.7).
+  ControllerGains gains = DesignPolePlacement(0.7, 0.7, -0.8);
+
+  /// The controller's estimate of the headroom factor H.
+  double headroom = 0.97;
+
+  /// Feedback signal selection (see FeedbackSignal).
+  FeedbackSignal feedback = FeedbackSignal::kVirtualQueue;
+
+  /// Back-calculation anti-windup: when the actuator saturates (it cannot
+  /// admit more tuples than arrive, nor fewer than zero), rewrite the
+  /// controller state with the realized control so the recursion does not
+  /// wind up. The paper does not discuss saturation; this is a standard
+  /// remedy and can be disabled for ablation.
+  bool anti_windup = true;
+};
+
+/// The paper's pole-placement feedback controller (Section 4.4, Eq. 10):
+///
+///   e(k) = yd - y_hat(k)
+///   u(k) = (H / (c T)) (b0 e(k) + b1 e(k-1)) - a u(k-1)
+///   v(k) = u(k) + fout(k)
+///
+/// where y_hat is the virtual-queue delay estimate and u is the allowed
+/// growth rate of the virtual queue.
+class CtrlController : public LoadController {
+ public:
+  explicit CtrlController(CtrlOptions options);
+
+  double DesiredRate(const PeriodMeasurement& m) override;
+  void NotifyActuation(double v_applied) override;
+  std::string_view name() const override { return "CTRL"; }
+
+  /// Resets the dynamic state (e(k-1), u(k-1)).
+  void Reset();
+
+  const CtrlOptions& options() const { return options_; }
+
+ private:
+  CtrlOptions options_;
+  double prev_error_ = 0.0;
+  double prev_u_ = 0.0;
+  double last_fout_ = 0.0;
+  double last_v_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_CTRL_CONTROLLER_H_

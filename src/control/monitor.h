@@ -1,0 +1,91 @@
+#ifndef CTRLSHED_CONTROL_MONITOR_H_
+#define CTRLSHED_CONTROL_MONITOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "control/controller.h"
+#include "engine/engine.h"
+
+namespace ctrlshed {
+
+/// Options of the periodic measurement process.
+struct MonitorOptions {
+  SimTime period = 1.0;     ///< Control/sampling period T.
+  double headroom = 0.97;   ///< H estimate used in the Eq. (11) delay estimate.
+  /// EWMA weight of the newest per-period cost measurement in [0,1].
+  /// 1 = no smoothing (the paper's "estimate c(k) with c(k-1)").
+  double cost_ewma = 1.0;
+  /// Multiplicative log-normal noise (sigma of log) applied to the
+  /// per-period cost measurement. The simulated engine's counters are
+  /// unrealistically exact compared to real Borealis, whose verification
+  /// plots (paper Figs. 6B/7B) show ~10% modeling/estimation error; the
+  /// performance experiments set this to 0.1 to restore that error band.
+  /// 0 disables the noise.
+  double estimation_noise = 0.0;
+  uint64_t noise_seed = 99;
+  /// Adaptive-control extension (the paper's Section 6 future work):
+  /// estimate the true headroom H online instead of trusting the
+  /// configured value. When the engine is saturated for a whole period,
+  /// the CPU work done per wall second IS the headroom; an EWMA of that
+  /// measurement replaces `headroom` in the Eq. (11) delay estimate,
+  /// correcting the steady-state offset a mis-identified H causes.
+  bool adapt_headroom = false;
+  double headroom_ewma = 0.2;
+};
+
+/// The monitor of the feedback loop (Fig. 3): at every period boundary it
+/// reads the engine's counters, forms the per-period measurement, and
+/// computes the estimated output signal
+///
+///   y_hat(k) = q(k) c(k)/H + c(k)/H                      (Eq. 11)
+///
+/// from the virtual queue length — the paper's answer to the delay signal
+/// not being measurable in real time (Section 4.5.1).
+class Monitor {
+ public:
+  /// `engine` must outlive the monitor.
+  Monitor(Engine* engine, MonitorOptions options);
+
+  /// Observes one departure (wire the engine's departure callback here,
+  /// possibly fanned out with the metrics accumulators).
+  void OnDeparture(const Departure& d);
+
+  /// Takes the period-boundary sample. `now` is the period end time,
+  /// `offered_cum` the cumulative count of tuples offered by the sources
+  /// (pre-shedding; the entry shedder sits before the engine so the engine
+  /// cannot count them), and `target_delay` the current setpoint.
+  PeriodMeasurement Sample(SimTime now, uint64_t offered_cum,
+                           double target_delay);
+
+  /// Current smoothed per-tuple cost estimate (seconds).
+  double CostEstimate() const { return cost_estimate_; }
+
+  /// Headroom in use for the delay estimate: the configured value, or the
+  /// online estimate when `adapt_headroom` is set.
+  double HeadroomEstimate() const { return headroom_estimate_; }
+
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  Engine* engine_;
+  MonitorOptions options_;
+  Rng noise_rng_;
+
+  int k_ = 0;
+  uint64_t prev_offered_ = 0;
+  uint64_t prev_admitted_ = 0;
+  double prev_drained_ = 0.0;
+  double prev_busy_ = 0.0;
+  double prev_queue_ = 0.0;
+  double cost_estimate_ = 0.0;
+  double headroom_estimate_ = 0.0;
+
+  // Departure accumulation since the last sample.
+  double delay_sum_ = 0.0;
+  uint64_t delay_count_ = 0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_MONITOR_H_

@@ -1,0 +1,49 @@
+#include "control/pi_controller.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+PiController::PiController(double headroom)
+    : PiController(headroom, Gains{}) {}
+
+PiController::PiController(double headroom, Gains gains, bool anti_windup)
+    : headroom_(headroom), gains_(gains), anti_windup_(anti_windup) {
+  CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
+  CS_CHECK_MSG(gains_.kp > 0.0 && gains_.ki >= 0.0, "bad PI gains");
+}
+
+void PiController::Reset() {
+  integral_ = 0.0;
+  last_gain_ = 0.0;
+  last_fout_ = 0.0;
+  last_v_ = 0.0;
+  last_e_ = 0.0;
+}
+
+double PiController::DesiredRate(const PeriodMeasurement& m) {
+  CS_CHECK_MSG(m.cost > 0.0, "cost estimate must be positive");
+  CS_CHECK_MSG(m.period > 0.0, "control period must be positive");
+
+  const double e = m.target_delay - m.y_hat;
+  integral_ += e * m.period;
+  last_e_ = e;
+  last_gain_ = headroom_ / (m.cost * m.period);
+  last_fout_ = m.fout;
+  last_v_ = last_gain_ * (gains_.kp * e + gains_.ki * integral_) + m.fout;
+  return last_v_;
+}
+
+void PiController::NotifyActuation(double v_applied) {
+  if (!anti_windup_ || last_gain_ <= 0.0 || gains_.ki <= 0.0) return;
+  // Back-calculate the integral so the stored state reproduces the
+  // realized command instead of the unrealizable one.
+  if (std::abs(v_applied - last_v_) > 1e-12) {
+    const double u_applied = v_applied - last_fout_;
+    integral_ = (u_applied / last_gain_ - gains_.kp * last_e_) / gains_.ki;
+  }
+}
+
+}  // namespace ctrlshed

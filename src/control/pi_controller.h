@@ -1,0 +1,48 @@
+#ifndef CTRLSHED_CONTROL_PI_CONTROLLER_H_
+#define CTRLSHED_CONTROL_PI_CONTROLLER_H_
+
+#include "control/controller.h"
+
+namespace ctrlshed {
+
+/// A textbook PI controller on the same virtual-queue feedback — the
+/// comparison point control engineers reach for first:
+///
+///   u(k) = (H / (c T)) (Kp e(k) + Ki T sum_{i<=k} e(i)),
+///   v(k) = u(k) + fout(k).
+///
+/// On a pure integrator plant the integral term adds a second open-loop
+/// pole at z = 1, so tuning is touchier than the paper's first-order
+/// phase-lead controller: Kp buys speed, Ki removes offset but erodes the
+/// phase margin. The defaults place the dominant closed-loop poles near
+/// 0.7 like the paper's design; bench/ablations compares the two.
+class PiController : public LoadController {
+ public:
+  struct Gains {
+    double kp = 0.5;
+    double ki = 0.05;
+  };
+
+  explicit PiController(double headroom);
+  PiController(double headroom, Gains gains, bool anti_windup = true);
+
+  double DesiredRate(const PeriodMeasurement& m) override;
+  void NotifyActuation(double v_applied) override;
+  std::string_view name() const override { return "PI"; }
+
+  void Reset();
+
+ private:
+  double headroom_;
+  Gains gains_;
+  bool anti_windup_;
+  double integral_ = 0.0;  // sum of e(i) * T, seconds^2
+  double last_gain_ = 0.0;
+  double last_fout_ = 0.0;
+  double last_v_ = 0.0;
+  double last_e_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_PI_CONTROLLER_H_

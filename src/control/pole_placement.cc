@@ -1,0 +1,37 @@
+#include "control/pole_placement.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+ControllerGains DesignPolePlacement(double p1, double p2, double a) {
+  // Matching z^2 + (a - 1 + b0) z + (-a + b1) = z^2 - (p1+p2) z + p1 p2:
+  ControllerGains g;
+  g.a = a;
+  g.b0 = 1.0 - (p1 + p2) - a;
+  g.b1 = p1 * p2 + a;
+  // Unity static gain (Eq. 19) holds by construction:
+  //   b0 + b1 = 1 - (p1+p2) + p1 p2 = (1-p1)(1-p2).
+  return g;
+}
+
+TransferFunction NormalizedPlant() {
+  // 1 / (z - 1), ascending coefficients: num {1}, den {-1, 1}.
+  return TransferFunction(Polynomial({1.0}), Polynomial({-1.0, 1.0}));
+}
+
+TransferFunction NormalizedController(const ControllerGains& gains) {
+  // (b0 z + b1) / (z + a), ascending: num {b1, b0}, den {a, 1}.
+  return TransferFunction(Polynomial({gains.b1, gains.b0}),
+                          Polynomial({gains.a, 1.0}));
+}
+
+TransferFunction ClosedLoop(const ControllerGains& gains, double gain) {
+  CS_CHECK_MSG(gain > 0.0, "loop gain must be positive");
+  TransferFunction loop =
+      NormalizedController(gains).Series(NormalizedPlant());
+  TransferFunction scaled(loop.num() * gain, loop.den());
+  return scaled.CloseUnityFeedback();
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,46 @@
+#ifndef CTRLSHED_CONTROL_POLE_PLACEMENT_H_
+#define CTRLSHED_CONTROL_POLE_PLACEMENT_H_
+
+#include "control/transfer_function.h"
+
+namespace ctrlshed {
+
+/// Parameters of the paper's first-order controller
+///   C(z) = H (b0 z + b1) / (c T (z + a))           (Eq. 15)
+/// whose time-domain control law is
+///   u(k) = (H / (c T)) (b0 e(k) + b1 e(k-1)) - a u(k-1)   (Eq. 10).
+struct ControllerGains {
+  double a = 0.0;
+  double b0 = 0.0;
+  double b1 = 0.0;
+};
+
+/// Pole-placement design of Appendix A. The plant is the integrator
+/// G(z) = cT / (H (z-1)); with the controller's built-in H/(cT) factor the
+/// closed-loop characteristic equation is
+///   z^2 + (a - 1 + b0) z + (-a + b1) = 0              (Eq. 17)
+/// which is matched to the desired (z - p1)(z - p2) = 0   (Eq. 18),
+/// and unity static gain (Eq. 19) requires b0 + b1 = (1 - p1)(1 - p2),
+/// which matching already implies. The system is therefore one equation
+/// short of pinning all three parameters: `a` is the free choice (the
+/// paper uses a = -0.8, giving b0 = 0.4, b1 = -0.31 for p1 = p2 = 0.7).
+ControllerGains DesignPolePlacement(double p1, double p2, double a = -0.8);
+
+/// The normalized plant: G(z) with the gain cT/H replaced by 1, i.e.
+/// 1/(z-1). Composing it with NormalizedController(gains) gives the loop
+/// gain whose closed loop has exactly the designed poles.
+TransferFunction NormalizedPlant();
+
+/// The controller (b0 z + b1)/(z + a) with the H/(cT) factor normalized
+/// away (it cancels against the plant gain when c and H are known exactly).
+TransferFunction NormalizedController(const ControllerGains& gains);
+
+/// Closed-loop transfer function from reference yd to output y for the
+/// nominal design, possibly with a multiplicative loop-gain error `gain`
+/// (gain = c_true/c_est * H_est/H_true models mis-estimated cost or
+/// headroom; gain = 1 is the nominal case of Eq. 16).
+TransferFunction ClosedLoop(const ControllerGains& gains, double gain = 1.0);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_POLE_PLACEMENT_H_

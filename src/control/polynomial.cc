@@ -1,0 +1,120 @@
+#include "control/polynomial.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+Polynomial::Polynomial(std::vector<double> ascending_coeffs)
+    : coeffs_(std::move(ascending_coeffs)) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+  Trim();
+}
+
+void Polynomial::Trim() {
+  while (coeffs_.size() > 1 && coeffs_.back() == 0.0) coeffs_.pop_back();
+}
+
+Polynomial Polynomial::FromRoots(const std::vector<std::complex<double>>& roots) {
+  // Multiply out (x - r_i). Complex roots must come in conjugate pairs for
+  // the result to be real; we multiply in complex and take real parts.
+  std::vector<std::complex<double>> c{1.0};
+  for (const auto& r : roots) {
+    std::vector<std::complex<double>> next(c.size() + 1, 0.0);
+    for (size_t i = 0; i < c.size(); ++i) {
+      next[i + 1] += c[i];
+      next[i] -= r * c[i];
+    }
+    c = std::move(next);
+  }
+  std::vector<double> real(c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    CS_CHECK_MSG(std::abs(c[i].imag()) < 1e-9,
+                 "complex roots must come in conjugate pairs");
+    real[i] = c[i].real();
+  }
+  return Polynomial(std::move(real));
+}
+
+int Polynomial::Degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+bool Polynomial::IsZero() const {
+  return coeffs_.size() == 1 && coeffs_[0] == 0.0;
+}
+
+double Polynomial::Evaluate(double x) const {
+  double acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+std::complex<double> Polynomial::Evaluate(std::complex<double> x) const {
+  std::complex<double> acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> out(std::max(coeffs_.size(), other.coeffs_.size()), 0.0);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = (*this)[i] + other[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  std::vector<double> out(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> out = coeffs_;
+  for (double& c : out) c *= scalar;
+  return Polynomial(std::move(out));
+}
+
+std::vector<std::complex<double>> Polynomial::Roots() const {
+  CS_CHECK_MSG(!IsZero(), "zero polynomial has no well-defined roots");
+  const int n = Degree();
+  if (n == 0) return {};
+
+  // Normalize to a monic polynomial.
+  std::vector<std::complex<double>> a(n + 1);
+  for (int i = 0; i <= n; ++i) a[i] = coeffs_[i] / coeffs_[n];
+
+  auto eval = [&](std::complex<double> x) {
+    std::complex<double> acc = 0.0;
+    for (int i = n; i >= 0; --i) acc = acc * x + a[i];
+    return acc;
+  };
+
+  // Durand-Kerner: start from non-real, non-unit-magnitude seeds.
+  std::vector<std::complex<double>> roots(n);
+  const std::complex<double> seed(0.4, 0.9);
+  std::complex<double> p = 1.0;
+  for (int i = 0; i < n; ++i) {
+    p *= seed;
+    roots[i] = p;
+  }
+
+  for (int iter = 0; iter < 500; ++iter) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      std::complex<double> denom = 1.0;
+      for (int j = 0; j < n; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      const std::complex<double> delta = eval(roots[i]) / denom;
+      roots[i] -= delta;
+      max_step = std::max(max_step, std::abs(delta));
+    }
+    if (max_step < 1e-13) break;
+  }
+  return roots;
+}
+
+}  // namespace ctrlshed

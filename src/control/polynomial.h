@@ -1,0 +1,48 @@
+#ifndef CTRLSHED_CONTROL_POLYNOMIAL_H_
+#define CTRLSHED_CONTROL_POLYNOMIAL_H_
+
+#include <complex>
+#include <vector>
+
+namespace ctrlshed {
+
+/// A real-coefficient polynomial c[0] + c[1] x + ... + c[n] x^n.
+/// Used for the numerators/denominators of z-domain transfer functions.
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// Coefficients in ascending order of power.
+  explicit Polynomial(std::vector<double> ascending_coeffs);
+
+  /// Polynomial with the given roots (monic).
+  static Polynomial FromRoots(const std::vector<std::complex<double>>& roots);
+
+  /// Degree after trimming trailing (highest-power) zero coefficients;
+  /// the zero polynomial has degree 0.
+  int Degree() const;
+
+  const std::vector<double>& coeffs() const { return coeffs_; }
+  double operator[](size_t i) const { return i < coeffs_.size() ? coeffs_[i] : 0.0; }
+  bool IsZero() const;
+
+  double Evaluate(double x) const;
+  std::complex<double> Evaluate(std::complex<double> x) const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+
+  /// All complex roots, via the Durand-Kerner iteration. The polynomial
+  /// must not be the zero polynomial; degree-0 polynomials have no roots.
+  std::vector<std::complex<double>> Roots() const;
+
+ private:
+  void Trim();
+
+  std::vector<double> coeffs_{0.0};
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_POLYNOMIAL_H_

@@ -1,0 +1,104 @@
+#include "control/rate_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  CS_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0, "alpha must be in (0,1]");
+}
+
+double EwmaPredictor::Observe(double fin) {
+  if (!primed_) {
+    state_ = fin;
+    primed_ = true;
+  } else {
+    state_ = alpha_ * fin + (1.0 - alpha_) * state_;
+  }
+  return state_;
+}
+
+Ar1Predictor::Ar1Predictor(double forgetting) : forgetting_(forgetting) {
+  CS_CHECK_MSG(forgetting_ > 0.0 && forgetting_ <= 1.0,
+               "forgetting factor must be in (0,1]");
+}
+
+double Ar1Predictor::phi() const {
+  const double denom = n_ * sxx_ - sx_ * sx_;
+  if (n_ < 3.0 || std::abs(denom) < 1e-9) return 0.0;
+  double phi = (n_ * sxy_ - sx_ * sy_) / denom;
+  // Clamp to a stable, sensible persistence range.
+  return std::clamp(phi, 0.0, 0.99);
+}
+
+double Ar1Predictor::Observe(double fin) {
+  if (primed_) {
+    n_ = forgetting_ * n_ + 1.0;
+    sx_ = forgetting_ * sx_ + prev_;
+    sy_ = forgetting_ * sy_ + fin;
+    sxx_ = forgetting_ * sxx_ + prev_ * prev_;
+    sxy_ = forgetting_ * sxy_ + prev_ * fin;
+  }
+  prev_ = fin;
+  primed_ = true;
+
+  const double p = phi();
+  const double mean = (n_ > 0.5) ? sy_ / n_ : fin;
+  return std::max(0.0, mean + p * (fin - mean));
+}
+
+KalmanPredictor::KalmanPredictor(double process_noise) : q_(process_noise) {
+  CS_CHECK_MSG(q_ > 0.0, "process noise must be positive");
+}
+
+double KalmanPredictor::Observe(double fin) {
+  if (!primed_) {
+    level_ = fin;
+    slope_ = 0.0;
+    primed_ = true;
+    return std::max(0.0, fin);
+  }
+
+  // Predict: level += slope; covariance propagates through F = [1 1; 0 1].
+  const double pl = level_ + slope_;
+  const double p00 = p00_ + 2.0 * p01_ + p11_ + q_;
+  const double p01 = p01_ + p11_ + 0.1 * q_;
+  const double p11 = p11_ + 0.25 * q_;
+
+  // Update with the measurement of the level.
+  const double innovation = fin - pl;
+  const double s = p00 + meas_var_;
+  const double k0 = p00 / s;
+  const double k1 = p01 / s;
+  level_ = pl + k0 * innovation;
+  slope_ = slope_ + k1 * innovation;
+  p00_ = (1.0 - k0) * p00;
+  p01_ = (1.0 - k0) * p01;
+  p11_ = p11 - k1 * p01;
+
+  // Adapt the measurement-noise estimate to the innovation magnitude.
+  meas_var_ = 0.95 * meas_var_ + 0.05 * innovation * innovation;
+  meas_var_ = std::max(meas_var_, 1.0);
+
+  return std::max(0.0, level_ + slope_);
+}
+
+std::unique_ptr<RatePredictor> MakePredictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLastValue:
+      return std::make_unique<LastValuePredictor>();
+    case PredictorKind::kEwma:
+      return std::make_unique<EwmaPredictor>(0.5);
+    case PredictorKind::kAr1:
+      return std::make_unique<Ar1Predictor>();
+    case PredictorKind::kKalman:
+      return std::make_unique<KalmanPredictor>();
+  }
+  CS_CHECK_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+}  // namespace ctrlshed

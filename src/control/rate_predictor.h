@@ -1,0 +1,99 @@
+#ifndef CTRLSHED_CONTROL_RATE_PREDICTOR_H_
+#define CTRLSHED_CONTROL_RATE_PREDICTOR_H_
+
+#include <memory>
+#include <string_view>
+
+namespace ctrlshed {
+
+/// One-step-ahead predictor of the arrival rate. The paper's actuator uses
+/// fin(k) as the estimate of fin(k+1) (Eq. 13) and names time-series
+/// prediction "a promising direction worth serious consideration"
+/// (Section 6); these predictors implement that direction. The drop
+/// probability alpha = 1 - v/fin_hat is only as good as fin_hat, so a
+/// better forecast directly reduces the burst-onset tuples that slip
+/// through and the over-shedding right after a burst ends.
+class RatePredictor {
+ public:
+  virtual ~RatePredictor() = default;
+
+  /// Feeds the rate observed over the period that just ended and returns
+  /// the forecast for the coming period (tuples/s, >= 0).
+  virtual double Observe(double fin) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The paper's estimator: fin_hat(k+1) = fin(k).
+class LastValuePredictor : public RatePredictor {
+ public:
+  double Observe(double fin) override { return fin; }
+  std::string_view name() const override { return "last-value"; }
+};
+
+/// Exponentially weighted moving average: smooths measurement noise at the
+/// cost of lag on burst edges.
+class EwmaPredictor : public RatePredictor {
+ public:
+  explicit EwmaPredictor(double alpha);
+  double Observe(double fin) override;
+  std::string_view name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double state_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Online AR(1) model fin(k+1) = mu + phi (fin(k) - mu), with mu and phi
+/// estimated by exponentially-forgetting least squares. Captures the
+/// persistence of multi-second bursts without assuming their level.
+class Ar1Predictor : public RatePredictor {
+ public:
+  /// `forgetting` in (0, 1]: weight decay of old samples (1 = none).
+  explicit Ar1Predictor(double forgetting = 0.98);
+  double Observe(double fin) override;
+  std::string_view name() const override { return "ar1"; }
+
+  double phi() const;
+
+ private:
+  double forgetting_;
+  double prev_ = 0.0;
+  bool primed_ = false;
+  // Forgetting-weighted sufficient statistics of (x = fin(k-1), y = fin(k)).
+  double n_ = 0.0, sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, sxy_ = 0.0;
+};
+
+/// Local-level + slope Kalman filter (a discrete double-exponential
+/// smoother): tracks a drifting mean and forecasts level + slope. The
+/// paper's Section 6 explicitly suggests combining Kalman filters with the
+/// controller.
+class KalmanPredictor : public RatePredictor {
+ public:
+  /// `process_noise` scales how fast level/slope may wander relative to
+  /// the measurement noise (which adapts to the observed residuals).
+  explicit KalmanPredictor(double process_noise = 25.0);
+  double Observe(double fin) override;
+  std::string_view name() const override { return "kalman"; }
+
+  double level() const { return level_; }
+  double slope() const { return slope_; }
+
+ private:
+  double q_;  // process noise (variance per step on the level)
+  double level_ = 0.0;
+  double slope_ = 0.0;
+  // State covariance.
+  double p00_ = 1e6, p01_ = 0.0, p11_ = 1e6;
+  double meas_var_ = 100.0;
+  bool primed_ = false;
+};
+
+enum class PredictorKind { kLastValue, kEwma, kAr1, kKalman };
+
+std::unique_ptr<RatePredictor> MakePredictor(PredictorKind kind);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_RATE_PREDICTOR_H_

@@ -1,0 +1,84 @@
+#include "control/transfer_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+TransferFunction::TransferFunction(Polynomial num, Polynomial den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  CS_CHECK_MSG(!den_.IsZero(), "transfer function denominator is zero");
+}
+
+TransferFunction TransferFunction::FromDescending(std::vector<double> num,
+                                                  std::vector<double> den) {
+  std::reverse(num.begin(), num.end());
+  std::reverse(den.begin(), den.end());
+  return TransferFunction(Polynomial(std::move(num)), Polynomial(std::move(den)));
+}
+
+bool TransferFunction::IsProper() const {
+  return num_.Degree() <= den_.Degree();
+}
+
+bool TransferFunction::IsStable() const {
+  for (const auto& p : Poles()) {
+    if (std::abs(p) >= 1.0 - 1e-12) return false;
+  }
+  return true;
+}
+
+double TransferFunction::StaticGain() const {
+  const double d = den_.Evaluate(1.0);
+  if (d == 0.0) return std::numeric_limits<double>::infinity();
+  return num_.Evaluate(1.0) / d;
+}
+
+TransferFunction TransferFunction::Series(const TransferFunction& other) const {
+  return TransferFunction(num_ * other.num_, den_ * other.den_);
+}
+
+TransferFunction TransferFunction::CloseUnityFeedback() const {
+  // L/(1+L) = num / (den + num).
+  return TransferFunction(num_, den_ + num_);
+}
+
+std::vector<double> TransferFunction::Simulate(
+    const std::vector<double>& input) const {
+  CS_CHECK_MSG(IsProper(), "cannot simulate an improper transfer function");
+  const int nd = den_.Degree();
+  const int nn = num_.Degree();
+  const double a_lead = den_[static_cast<size_t>(nd)];
+  CS_CHECK_MSG(a_lead != 0.0, "leading denominator coefficient is zero");
+
+  // Difference equation (shifting so the current output has delay 0):
+  //   a_nd y[k] = sum_j b_j u[k - (nd - j)] - sum_{i<nd} a_i y[k - (nd - i)]
+  std::vector<double> y(input.size(), 0.0);
+  for (size_t k = 0; k < input.size(); ++k) {
+    double acc = 0.0;
+    for (int j = 0; j <= nn; ++j) {
+      const int lag = nd - j;
+      if (static_cast<int>(k) - lag >= 0) {
+        acc += num_[static_cast<size_t>(j)] * input[k - static_cast<size_t>(lag)];
+      }
+    }
+    for (int i = 0; i < nd; ++i) {
+      const int lag = nd - i;
+      if (static_cast<int>(k) - lag >= 0) {
+        acc -= den_[static_cast<size_t>(i)] * y[k - static_cast<size_t>(lag)];
+      }
+    }
+    y[k] = acc / a_lead;
+  }
+  return y;
+}
+
+std::vector<double> TransferFunction::StepResponse(int n) const {
+  CS_CHECK_MSG(n >= 0, "negative length");
+  return Simulate(std::vector<double>(static_cast<size_t>(n), 1.0));
+}
+
+}  // namespace ctrlshed

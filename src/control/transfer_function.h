@@ -1,0 +1,64 @@
+#ifndef CTRLSHED_CONTROL_TRANSFER_FUNCTION_H_
+#define CTRLSHED_CONTROL_TRANSFER_FUNCTION_H_
+
+#include <complex>
+#include <vector>
+
+#include "control/polynomial.h"
+
+namespace ctrlshed {
+
+/// A discrete-time (z-domain) rational transfer function
+/// G(z) = num(z) / den(z), with polynomials stored in ascending powers of z.
+///
+/// Supports the analysis the paper performs: poles/zeros, stability,
+/// static gain, series/feedback composition, and time-domain simulation via
+/// the corresponding difference equation.
+class TransferFunction {
+ public:
+  TransferFunction(Polynomial num, Polynomial den);
+
+  /// Convenience: coefficients in DESCENDING powers of z, the common
+  /// textbook notation. E.g. Descending({1.0, -1.4, 0.49}, ...) means
+  /// z^2 - 1.4 z + 0.49.
+  static TransferFunction FromDescending(std::vector<double> num,
+                                         std::vector<double> den);
+
+  const Polynomial& num() const { return num_; }
+  const Polynomial& den() const { return den_; }
+
+  /// The system is proper when deg(num) <= deg(den); simulation requires it.
+  bool IsProper() const;
+
+  std::vector<std::complex<double>> Poles() const { return den_.Roots(); }
+  std::vector<std::complex<double>> Zeros() const { return num_.Roots(); }
+
+  /// True when every pole lies strictly inside the unit circle.
+  bool IsStable() const;
+
+  /// DC gain G(1); infinite when den(1) == 0 (integrator).
+  double StaticGain() const;
+
+  /// Series composition: this * other.
+  TransferFunction Series(const TransferFunction& other) const;
+
+  /// Unity negative feedback around the loop gain L = this:
+  /// L / (1 + L). This is the closed-loop transfer function when `this`
+  /// is C(z) G(z).
+  TransferFunction CloseUnityFeedback() const;
+
+  /// Simulates the output sequence for `input` with zero initial
+  /// conditions, using the direct-form difference equation.
+  std::vector<double> Simulate(const std::vector<double>& input) const;
+
+  /// Response to a unit step of length `n`.
+  std::vector<double> StepResponse(int n) const;
+
+ private:
+  Polynomial num_;
+  Polynomial den_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_TRANSFER_FUNCTION_H_

@@ -1,0 +1,118 @@
+#include "core/feedback_loop.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+FeedbackLoop::FeedbackLoop(Simulation* sim, Engine* engine,
+                           LoadController* controller, Shedder* shedder,
+                           FeedbackLoopOptions options)
+    : sim_(sim),
+      engine_(engine),
+      controller_(controller),
+      shedder_(shedder),
+      options_(options),
+      monitor_(engine,
+               [&options] {
+                 MonitorOptions mo;
+                 mo.period = options.period;
+                 mo.headroom = options.headroom;
+                 mo.cost_ewma = options.cost_ewma;
+                 mo.estimation_noise = options.estimation_noise;
+                 mo.noise_seed = options.noise_seed;
+                 mo.adapt_headroom = options.adapt_headroom;
+                 return mo;
+               }()),
+      qos_(options.target_delay),
+      target_delay_(options.target_delay) {
+  CS_CHECK(sim_ != nullptr);
+  CS_CHECK(engine_ != nullptr);
+  if (options.track_sources > 0) {
+    per_source_ = std::make_unique<PerSourceStats>(options.track_sources);
+  }
+  // controller_ may be null (uncontrolled run); shedder is required only
+  // when a controller is present.
+  if (controller_ != nullptr) CS_CHECK(shedder_ != nullptr);
+}
+
+void FeedbackLoop::SetDepartureObserver(DepartureCallback observer) {
+  CS_CHECK_MSG(!started_, "observer must be set before Start");
+  observer_ = std::move(observer);
+}
+
+void FeedbackLoop::SetRatePredictor(RatePredictor* predictor) {
+  CS_CHECK_MSG(!started_, "predictor must be set before Start");
+  predictor_ = predictor;
+}
+
+void FeedbackLoop::Start() {
+  CS_CHECK_MSG(!started_, "Start called twice");
+  started_ = true;
+
+  engine_->SetDepartureCallback([this](const Departure& d) {
+    monitor_.OnDeparture(d);
+    qos_.OnDeparture(d);
+    if (per_source_) per_source_->OnDeparture(d);
+    if (observer_) observer_(d);
+  });
+
+  sim_->ScheduleEvery(options_.period, options_.period, [this](SimTime now) {
+    ControlTick(now);
+    return true;
+  });
+}
+
+void FeedbackLoop::OnArrival(const Tuple& t) {
+  ++offered_;
+  if (per_source_) per_source_->OnOffered(t);
+  if (shedder_ != nullptr && controller_ != nullptr && !shedder_->Admit(t)) {
+    ++entry_shed_;
+    return;
+  }
+  if (per_source_) per_source_->OnAdmitted(t);
+  engine_->Inject(t, t.arrival_time);
+}
+
+void FeedbackLoop::SetTargetDelay(double yd) {
+  CS_CHECK_MSG(yd > 0.0, "target delay must be positive");
+  target_delay_ = yd;
+  qos_.SetTargetDelay(yd);
+}
+
+void FeedbackLoop::ControlTick(SimTime now) {
+  PeriodMeasurement m = monitor_.Sample(now, offered_, target_delay_);
+  if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
+  double v = 0.0;
+  double alpha = 0.0;
+  if (controller_ != nullptr) {
+    v = controller_->DesiredRate(m);
+    const double applied = shedder_->Configure(v, m);
+    controller_->NotifyActuation(applied);
+    alpha = shedder_->drop_probability();
+  }
+  recorder_.Record(m, v, alpha);
+}
+
+double FeedbackLoop::LossRatio() const {
+  if (offered_ == 0) return 0.0;
+  const uint64_t shed = entry_shed_ + engine_->counters().shed_lineages;
+  return static_cast<double>(shed) / static_cast<double>(offered_);
+}
+
+QosSummary FeedbackLoop::Summary() const {
+  QosSummary s;
+  s.accumulated_violation = qos_.accumulated_violation();
+  s.delayed_tuples = qos_.delayed_tuples();
+  s.max_overshoot = qos_.max_overshoot();
+  s.loss_ratio = LossRatio();
+  s.offered = offered_;
+  s.shed = entry_shed_ + engine_->counters().shed_lineages;
+  s.departures = qos_.departures();
+  s.mean_delay = qos_.mean_delay();
+  s.p50_delay = qos_.delay_histogram().Quantile(0.50);
+  s.p95_delay = qos_.delay_histogram().Quantile(0.95);
+  s.p99_delay = qos_.delay_histogram().Quantile(0.99);
+  return s;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,114 @@
+#ifndef CTRLSHED_CORE_FEEDBACK_LOOP_H_
+#define CTRLSHED_CORE_FEEDBACK_LOOP_H_
+
+#include <cstdint>
+
+#include "control/controller.h"
+#include "control/monitor.h"
+#include "control/rate_predictor.h"
+#include "engine/engine.h"
+#include <memory>
+
+#include "metrics/per_source_stats.h"
+#include "metrics/qos_metrics.h"
+#include "metrics/recorder.h"
+#include "shedding/shedder.h"
+#include "sim/simulation.h"
+
+namespace ctrlshed {
+
+/// Options of the closed control loop.
+struct FeedbackLoopOptions {
+  SimTime period = 1.0;        ///< Control period T.
+  double target_delay = 2.0;   ///< Initial setpoint yd (seconds).
+  double headroom = 0.97;      ///< H estimate shared by monitor & estimator.
+  double cost_ewma = 1.0;      ///< Cost-estimate smoothing (see Monitor).
+  double estimation_noise = 0.0;  ///< Cost-measurement noise (see Monitor).
+  uint64_t noise_seed = 99;
+  bool adapt_headroom = false;    ///< Online H estimation (see Monitor).
+  /// When > 0, keep per-stream offered/admitted/delay statistics for this
+  /// many sources (see PerSourceStats). 0 disables the accounting.
+  int track_sources = 0;
+};
+
+/// The complete feedback control loop of Fig. 3: monitor -> controller ->
+/// actuator (shedder) -> plant (engine). This is the paper's contribution
+/// assembled into a reusable component.
+///
+/// Wiring: route every source's arrivals into OnArrival (the loop applies
+/// the shedder and injects survivors into the engine), call Start once
+/// before Simulation::Run, and read the metrics afterwards.
+class FeedbackLoop {
+ public:
+  /// All pointees must outlive the loop. The controller may be null, in
+  /// which case no shedding control happens (open run: admit everything) —
+  /// useful for system identification.
+  FeedbackLoop(Simulation* sim, Engine* engine, LoadController* controller,
+               Shedder* shedder, FeedbackLoopOptions options);
+
+  FeedbackLoop(const FeedbackLoop&) = delete;
+  FeedbackLoop& operator=(const FeedbackLoop&) = delete;
+
+  /// Installs an additional per-departure observer (e.g. for system
+  /// identification, which groups delays by arrival period). Must be
+  /// called before Start.
+  void SetDepartureObserver(DepartureCallback observer);
+
+  /// Installs a one-step-ahead arrival-rate predictor feeding the
+  /// actuator's fin forecast (default: the paper's last-value estimate).
+  /// The pointee must outlive the loop; must be called before Start.
+  void SetRatePredictor(RatePredictor* predictor);
+
+  /// Installs callbacks and schedules the periodic control events.
+  void Start();
+
+  /// Entry point for arriving tuples (wire ArrivalSource sinks here).
+  void OnArrival(const Tuple& t);
+
+  /// Changes the delay setpoint at runtime (Fig. 18).
+  void SetTargetDelay(double yd);
+  double target_delay() const { return target_delay_; }
+
+  // --- Results ------------------------------------------------------------
+
+  const QosAccumulator& qos() const { return qos_; }
+  const Recorder& recorder() const { return recorder_; }
+  const Monitor& monitor() const { return monitor_; }
+
+  /// Per-stream statistics, or nullptr when `track_sources` was 0.
+  const PerSourceStats* per_source() const { return per_source_.get(); }
+
+  uint64_t offered() const { return offered_; }
+  uint64_t entry_shed() const { return entry_shed_; }
+
+  /// Total shed tuples (entry drops + in-network shedding) over offered.
+  double LossRatio() const;
+
+  /// End-of-run summary combining delay metrics and loss.
+  QosSummary Summary() const;
+
+ private:
+  void ControlTick(SimTime now);
+
+  Simulation* sim_;
+  Engine* engine_;
+  LoadController* controller_;
+  Shedder* shedder_;
+  FeedbackLoopOptions options_;
+
+  Monitor monitor_;
+  QosAccumulator qos_;
+  Recorder recorder_;
+  std::unique_ptr<PerSourceStats> per_source_;
+
+  DepartureCallback observer_;
+  RatePredictor* predictor_ = nullptr;
+  double target_delay_;
+  uint64_t offered_ = 0;
+  uint64_t entry_shed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CORE_FEEDBACK_LOOP_H_

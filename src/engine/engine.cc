@@ -1,0 +1,203 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+Engine::Engine(QueryNetwork* network, double headroom,
+               std::unique_ptr<SchedulerPolicy> scheduler)
+    : network_(network),
+      headroom_(headroom),
+      scheduler_(scheduler ? std::move(scheduler)
+                           : std::make_unique<RoundRobinScheduler>()) {
+  CS_CHECK(network_ != nullptr);
+  CS_CHECK_MSG(network_->finalized(), "network must be finalized");
+  CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
+  nominal_entry_cost_ = network_->MeanEntryCost();
+  CS_CHECK_MSG(nominal_entry_cost_ > 0.0, "network has zero per-tuple cost");
+}
+
+double Engine::CostMultiplierAt(SimTime t) const {
+  if (!cost_multiplier_) return 1.0;
+  double m = cost_multiplier_(t);
+  CS_CHECK_MSG(m > 0.0, "cost multiplier must be positive");
+  return m;
+}
+
+double Engine::VirtualQueueLength() const {
+  // The incremental +/- bookkeeping can leave ~1e-16 residue at empty.
+  if (queued_tuples_ == 0) return 0.0;
+  return std::max(0.0, outstanding_base_load_ / nominal_entry_cost_);
+}
+
+void Engine::Enqueue(OperatorBase* op, Tuple t, int port, bool derived) {
+  t.port = port;
+  if (t.lineage == kPendingLineage) {
+    t.lineage = next_lineage_++;
+    lineages_[t.lineage] = LineageState{0, derived};
+  }
+  lineages_[t.lineage].live_instances++;
+  op->queue().push_back(t);
+  ++queued_tuples_;
+  outstanding_base_load_ += network_->RemainingCost(op);
+}
+
+void Engine::Inject(Tuple t, SimTime now) {
+  // If the CPU was idle and its clock lags the arrival, service of this
+  // tuple can only start now.
+  if (queued_tuples_ == 0 && now > clock_) clock_ = now;
+
+  t.lineage = next_lineage_++;
+  lineages_[t.lineage] = LineageState{0, /*derived=*/false};
+  for (OperatorBase* entry : network_->Entries(t.source)) {
+    Tuple copy = t;
+    lineages_[copy.lineage].live_instances++;
+    copy.port = 0;
+    entry->queue().push_back(copy);
+    ++queued_tuples_;
+    outstanding_base_load_ += network_->RemainingCost(entry);
+  }
+  ++counters_.admitted;
+}
+
+void Engine::ReleaseLineage(const Tuple& t, SimTime depart_time,
+                            DepartureKind kind, bool shed) {
+  auto it = lineages_.find(t.lineage);
+  CS_CHECK_MSG(it != lineages_.end(), "unknown lineage released");
+  LineageState& st = it->second;
+  --st.live_instances;
+  CS_CHECK_MSG(st.live_instances >= 0, "lineage refcount underflow");
+
+  // A lineage any of whose branches was shed counts as lost, not departed.
+  if (shed) shed_taint_.insert(t.lineage);
+
+  if (st.live_instances == 0) {
+    const bool derived = st.derived;
+    const bool tainted = shed_taint_.erase(t.lineage) > 0;
+    lineages_.erase(it);
+    if (tainted) {
+      if (!derived) {
+        ++counters_.shed_lineages;
+      }
+      return;
+    }
+    if (!derived) ++counters_.departed;
+    if (on_departure_) {
+      on_departure_(Departure{t.arrival_time, depart_time, t.source, kind, derived});
+    }
+  }
+}
+
+void Engine::ExecuteOne(OperatorBase* op) {
+  CS_CHECK(!op->queue().empty());
+  Tuple in = op->queue().front();
+  op->queue().pop_front();
+  --queued_tuples_;
+  const double r_in = network_->RemainingCost(op);
+  outstanding_base_load_ -= r_in;
+  if (queued_tuples_ == 0) outstanding_base_load_ = 0.0;
+  double drained = r_in;
+
+  const double cost = op->cost() * CostMultiplierAt(clock_);
+  clock_ += cost / headroom_;
+  counters_.busy_seconds += cost;
+  ++counters_.invocations;
+
+  bool emitted_to_sink = false;
+  const SimTime completion = clock_;
+
+  EmitFn emit = [&](const Tuple& out_in) {
+    Tuple out = out_in;
+    const bool derived = (out.lineage == kPendingLineage);
+    if (op->downstream().empty()) {
+      // Sink: the emitted tuple departs the network right here.
+      if (derived) {
+        // A tuple born and departing in the same invocation (e.g. an
+        // aggregate at the end of a path). Report it directly.
+        if (on_departure_) {
+          on_departure_(Departure{out.arrival_time, completion, out.source,
+                                  DepartureKind::kOutput, /*derived=*/true});
+        }
+      } else {
+        emitted_to_sink = true;
+      }
+      return;
+    }
+    if (derived) {
+      out.lineage = next_lineage_++;
+      lineages_[out.lineage] = LineageState{0, /*derived=*/true};
+    }
+    for (const Downstream& d : op->downstream()) {
+      Tuple copy = out;
+      lineages_[copy.lineage].live_instances++;
+      copy.port = d.port;
+      d.op->queue().push_back(copy);
+      ++queued_tuples_;
+      const double r = network_->RemainingCost(d.op);
+      outstanding_base_load_ += r;
+      drained -= r;
+    }
+  };
+
+  op->Process(in, completion, emit);
+  counters_.drained_base_load += drained;
+
+  const DepartureKind kind =
+      emitted_to_sink ? DepartureKind::kOutput : DepartureKind::kFiltered;
+  ReleaseLineage(in, completion, kind, /*shed=*/false);
+}
+
+void Engine::AdvanceTo(SimTime t) {
+  while (clock_ < t) {
+    OperatorBase* op = scheduler_->Next(network_);
+    if (op == nullptr) {
+      clock_ = t;
+      return;
+    }
+    ExecuteOne(op);
+  }
+}
+
+double Engine::ShedFromQueues(double target_base_load, Rng& rng,
+                              QueueVictimPolicy policy) {
+  double removed = 0.0;
+  std::vector<OperatorBase*> nonempty;
+  while (removed < target_base_load) {
+    nonempty.clear();
+    const size_t n = network_->NumOperators();
+    for (size_t i = 0; i < n; ++i) {
+      OperatorBase* op = network_->Operator(i);
+      if (!op->queue().empty()) nonempty.push_back(op);
+    }
+    if (nonempty.empty()) break;
+    OperatorBase* victim = nullptr;
+    if (policy == QueueVictimPolicy::kMostCostly) {
+      for (OperatorBase* op : nonempty) {
+        if (victim == nullptr ||
+            network_->RemainingCost(op) > network_->RemainingCost(victim)) {
+          victim = op;
+        }
+      }
+    } else {
+      victim =
+          nonempty[static_cast<size_t>(rng.UniformInt(0, nonempty.size() - 1))];
+    }
+    // Drop the newest tuple in the victim queue: it has absorbed the least
+    // processing investment so far.
+    Tuple t = victim->queue().back();
+    victim->queue().pop_back();
+    --queued_tuples_;
+    const double r = network_->RemainingCost(victim);
+    outstanding_base_load_ -= r;
+    if (queued_tuples_ == 0) outstanding_base_load_ = 0.0;
+    counters_.shed_base_load += r;
+    removed += r;
+    ReleaseLineage(t, clock_, DepartureKind::kFiltered, /*shed=*/true);
+  }
+  return removed;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,179 @@
+#ifndef CTRLSHED_ENGINE_ENGINE_H_
+#define CTRLSHED_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "engine/query_network.h"
+#include "engine/scheduler.h"
+#include "engine/tuple.h"
+#include "sim/simulation.h"
+
+namespace ctrlshed {
+
+/// Time-varying multiplier applied to every operator's nominal cost. The
+/// paper simulates per-tuple cost variations (Fig. 14) by changing the
+/// effective processing cost over time; a multiplier of 1 keeps nominal
+/// costs.
+using CostMultiplierFn = std::function<double(SimTime)>;
+
+/// How a tuple's lineage left the query network.
+enum class DepartureKind {
+  kOutput,    ///< Reached a sink (operator without downstream that emitted).
+  kFiltered,  ///< Discarded by query semantics (filter predicate, absorbed
+              ///< into a window, or no join match) — still a normal
+              ///< departure in the paper's delay definition.
+};
+
+/// Per-departure record delivered to the departure callback.
+struct Departure {
+  SimTime arrival_time = 0.0;
+  SimTime depart_time = 0.0;
+  int source = 0;
+  DepartureKind kind = DepartureKind::kOutput;
+  bool derived = false;  ///< Lineage born inside the network (aggregate/join output).
+};
+
+using DepartureCallback = std::function<void(const Departure&)>;
+
+/// Monotonic counters exposed to the monitor. All "lineage" counters count
+/// source tuples (or derived tuples) once, however many copies branched
+/// paths create.
+struct EngineCounters {
+  uint64_t admitted = 0;         ///< Source tuples accepted into the network.
+  uint64_t departed = 0;         ///< Lineages fully departed (output or filtered).
+  uint64_t shed_lineages = 0;    ///< Lineages removed by in-network shedding.
+  uint64_t invocations = 0;      ///< Operator executions performed.
+  double busy_seconds = 0.0;     ///< Cumulative CPU work (cost x multiplier).
+  double drained_base_load = 0.0;  ///< Cumulative static load removed from queues.
+  double shed_base_load = 0.0;     ///< Static load removed by in-network shedding.
+};
+
+/// The Borealis-like query engine: the *plant* of the control loop.
+///
+/// The engine runs on the simulation's virtual clock as an attached
+/// Process. A fraction `headroom` of the CPU is available for query
+/// processing (the paper's H); executing an operator with effective cost c
+/// occupies c / H of virtual wall time. Scheduling is round-robin over
+/// operators with non-empty queues, FIFO within each queue, no tuple
+/// priorities — exactly the policy the paper models.
+///
+/// Service is non-preemptive: an invocation that starts before an event
+/// timestamp may finish slightly after it, as on a real engine.
+class Engine : public Process {
+ public:
+  /// `network` must be finalized and outlive the engine. `headroom` is the
+  /// TRUE fraction of CPU the engine gets (controllers carry their own,
+  /// possibly wrong, estimate of it). `scheduler` defaults to Borealis'
+  /// round-robin policy when null.
+  Engine(QueryNetwork* network, double headroom,
+         std::unique_ptr<SchedulerPolicy> scheduler = nullptr);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Installs the time-varying cost multiplier (default: constant 1).
+  void SetCostMultiplier(CostMultiplierFn fn) { cost_multiplier_ = std::move(fn); }
+
+  /// Installs the per-departure observer.
+  void SetDepartureCallback(DepartureCallback cb) { on_departure_ = std::move(cb); }
+
+  /// Admits one source tuple into the network at time `now` (>= the
+  /// engine's current clock position is not required; arrival timestamps
+  /// come from the simulation). `t.source` selects the entry operators.
+  void Inject(Tuple t, SimTime now);
+
+  /// Process (continuous work) interface: executes queued operator
+  /// invocations until the virtual CPU reaches `t` or all queues are empty.
+  void AdvanceTo(SimTime t) override;
+
+  /// Victim-queue selection policy for in-network shedding.
+  enum class QueueVictimPolicy {
+    kRandom,      ///< The paper's shedder: random locations.
+    kMostCostly,  ///< LSRM-flavored: drop where each tuple frees the most
+                  ///< remaining load (fewest tuples lost per load shed).
+  };
+
+  /// Removes queued tuples from non-empty operator queues (newest first
+  /// within the victim queue) until at least `target_base_load` seconds of
+  /// static load have been removed or the network is empty. Returns the
+  /// load actually removed. This is the in-network shedding actuator of
+  /// Section 4.5.2.
+  double ShedFromQueues(double target_base_load, Rng& rng,
+                        QueueVictimPolicy policy = QueueVictimPolicy::kRandom);
+
+  // --- Observation interface (the paper's monitor reads these) -----------
+
+  const EngineCounters& counters() const { return counters_; }
+
+  /// Total tuples currently sitting in operator queues.
+  uint64_t QueuedTuples() const { return queued_tuples_; }
+
+  /// Outstanding static load: sum over queued tuples of their expected
+  /// remaining cost at nominal operator costs (seconds).
+  double OutstandingBaseLoad() const { return outstanding_base_load_; }
+
+  /// Outstanding load expressed in entry-tuple equivalents — the "virtual
+  /// queue length" q of the paper's model (Eq. 2).
+  double VirtualQueueLength() const;
+
+  /// Expected per-tuple cost at nominal operator costs (model constant c).
+  double NominalEntryCost() const { return nominal_entry_cost_; }
+
+  /// Effective cost multiplier at time t.
+  double CostMultiplierAt(SimTime t) const;
+
+  /// Position of the engine's virtual CPU clock.
+  SimTime cpu_clock() const { return clock_; }
+
+  double headroom() const { return headroom_; }
+
+  const QueryNetwork& network() const { return *network_; }
+  const SchedulerPolicy& scheduler() const { return *scheduler_; }
+
+ private:
+  /// Executes one invocation of `op` (front of its queue).
+  void ExecuteOne(OperatorBase* op);
+
+  /// Enqueues `t` into `op`'s queue on `port`, maintaining counters and
+  /// lineage refcounts. Assigns a fresh lineage when `t.lineage` is pending.
+  void Enqueue(OperatorBase* op, Tuple t, int port, bool derived);
+
+  /// Decrements the lineage refcount; fires the departure callback when the
+  /// lineage is gone (unless it was shed).
+  void ReleaseLineage(const Tuple& t, SimTime depart_time, DepartureKind kind,
+                      bool shed);
+
+  struct LineageState {
+    int32_t live_instances = 0;
+    bool derived = false;
+  };
+
+  QueryNetwork* network_;
+  double headroom_;
+  std::unique_ptr<SchedulerPolicy> scheduler_;
+  CostMultiplierFn cost_multiplier_;
+  DepartureCallback on_departure_;
+
+  SimTime clock_ = 0.0;
+
+  uint64_t queued_tuples_ = 0;
+  double outstanding_base_load_ = 0.0;
+  double nominal_entry_cost_ = 0.0;
+  LineageId next_lineage_ = 1;
+  std::unordered_map<LineageId, LineageState> lineages_;
+  std::unordered_set<LineageId> shed_taint_;
+
+  EngineCounters counters_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_ENGINE_H_

@@ -1,0 +1,210 @@
+#include "engine/operator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+OperatorBase::OperatorBase(std::string name, double cost_seconds)
+    : name_(std::move(name)), cost_(cost_seconds) {
+  CS_CHECK_MSG(cost_ >= 0.0, "operator cost must be non-negative");
+}
+
+void OperatorBase::ConnectTo(OperatorBase* op, int port) {
+  CS_CHECK(op != nullptr);
+  CS_CHECK_MSG(op != this, "operator cannot feed itself");
+  downstream_.push_back(Downstream{op, port});
+}
+
+FilterOp::FilterOp(std::string name, double cost_seconds, double threshold)
+    : OperatorBase(std::move(name), cost_seconds), threshold_(threshold) {
+  CS_CHECK_MSG(threshold_ >= 0.0 && threshold_ <= 1.0,
+               "filter threshold must be in [0,1]");
+}
+
+namespace {
+
+// SplitMix64 finalizer: turns (payload bits, operator id) into a uniform
+// variate in [0,1) that is independent across operators. Using a hash of
+// the payload rather than the raw value keeps the pass decisions of
+// successive filters uncorrelated, so a chain's selectivity is the product
+// of the individual selectivities — the property the static load estimates
+// (and the paper's identification setup) rely on.
+double HashToUnit(double value, int op_id) {
+  uint64_t x;
+  static_assert(sizeof(x) == sizeof(value));
+  __builtin_memcpy(&x, &value, sizeof(x));
+  x ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(op_id + 1);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FilterOp::Process(const Tuple& in, SimTime /*now*/, const EmitFn& emit) {
+  if (HashToUnit(in.value, id()) < threshold_) emit(in);
+}
+
+MapOp::MapOp(std::string name, double cost_seconds, MapFn fn)
+    : OperatorBase(std::move(name), cost_seconds), fn_(std::move(fn)) {}
+
+void MapOp::Process(const Tuple& in, SimTime /*now*/, const EmitFn& emit) {
+  Tuple out = in;
+  if (fn_) fn_(out);
+  emit(out);
+}
+
+UnionOp::UnionOp(std::string name, double cost_seconds)
+    : OperatorBase(std::move(name), cost_seconds) {}
+
+void UnionOp::Process(const Tuple& in, SimTime /*now*/, const EmitFn& emit) {
+  emit(in);
+}
+
+WindowAggregateOp::WindowAggregateOp(std::string name, double cost_seconds,
+                                     int window_size, Kind kind)
+    : OperatorBase(std::move(name), cost_seconds),
+      window_size_(window_size),
+      kind_(kind) {
+  CS_CHECK_MSG(window_size_ > 0, "window size must be positive");
+}
+
+void WindowAggregateOp::Process(const Tuple& in, SimTime /*now*/,
+                                const EmitFn& emit) {
+  if (count_ == 0) {
+    acc_ = 0.0;
+    max_ = in.value;
+  }
+  acc_ += in.value;
+  max_ = std::max(max_, in.value);
+  ++count_;
+  if (count_ < window_size_) return;
+
+  Tuple out = in;  // inherits arrival time of the window-closing tuple
+  out.lineage = kPendingLineage;
+  switch (kind_) {
+    case Kind::kMean:
+      out.value = acc_ / window_size_;
+      break;
+    case Kind::kSum:
+      out.value = acc_;
+      break;
+    case Kind::kMax:
+      out.value = max_;
+      break;
+    case Kind::kCount:
+      out.value = static_cast<double>(window_size_);
+      break;
+  }
+  count_ = 0;
+  emit(out);
+}
+
+TimeWindowAggregateOp::TimeWindowAggregateOp(std::string name,
+                                             double cost_seconds,
+                                             SimTime window_seconds,
+                                             double expected_selectivity,
+                                             WindowAggregateOp::Kind kind)
+    : OperatorBase(std::move(name), cost_seconds),
+      window_seconds_(window_seconds),
+      expected_selectivity_(expected_selectivity),
+      kind_(kind) {
+  CS_CHECK_MSG(window_seconds_ > 0.0, "window must be positive");
+  CS_CHECK_MSG(expected_selectivity_ > 0.0 && expected_selectivity_ <= 1.0,
+               "expected selectivity must be in (0,1]");
+}
+
+void TimeWindowAggregateOp::EmitWindow(const Tuple& trigger,
+                                       const EmitFn& emit) {
+  if (count_ == 0) return;
+  Tuple out = trigger;
+  out.lineage = kPendingLineage;
+  switch (kind_) {
+    case WindowAggregateOp::Kind::kMean:
+      out.value = acc_ / count_;
+      break;
+    case WindowAggregateOp::Kind::kSum:
+      out.value = acc_;
+      break;
+    case WindowAggregateOp::Kind::kMax:
+      out.value = max_;
+      break;
+    case WindowAggregateOp::Kind::kCount:
+      out.value = static_cast<double>(count_);
+      break;
+  }
+  count_ = 0;
+  acc_ = 0.0;
+  max_ = 0.0;
+  emit(out);
+}
+
+void TimeWindowAggregateOp::Process(const Tuple& in, SimTime /*now*/,
+                                    const EmitFn& emit) {
+  // Windows are keyed by ARRIVAL time so results are deterministic under
+  // any scheduling; a tuple landing in a new window closes the previous.
+  const int64_t w = static_cast<int64_t>(in.arrival_time / window_seconds_);
+  if (w != current_window_) {
+    EmitWindow(in, emit);
+    current_window_ = w;
+  }
+  if (count_ == 0) max_ = in.value;
+  acc_ += in.value;
+  max_ = std::max(max_, in.value);
+  ++count_;
+}
+
+SplitOp::SplitOp(std::string name, double cost_seconds)
+    : OperatorBase(std::move(name), cost_seconds) {}
+
+void SplitOp::Process(const Tuple& in, SimTime /*now*/, const EmitFn& emit) {
+  emit(in);
+}
+
+SlidingJoinOp::SlidingJoinOp(std::string name, double cost_seconds,
+                             SimTime window_seconds, double band,
+                             double expected_selectivity)
+    : OperatorBase(std::move(name), cost_seconds),
+      window_seconds_(window_seconds),
+      band_(band),
+      expected_selectivity_(expected_selectivity) {
+  CS_CHECK_MSG(window_seconds_ > 0.0, "join window must be positive");
+  CS_CHECK_MSG(band_ >= 0.0, "join band must be non-negative");
+}
+
+size_t SlidingJoinOp::WindowSize(int port) const {
+  CS_CHECK(port == 0 || port == 1);
+  return windows_[port].size();
+}
+
+void SlidingJoinOp::Evict(std::deque<Entry>& window, SimTime now) {
+  while (!window.empty() && window.front().t < now - window_seconds_) {
+    window.pop_front();
+  }
+}
+
+void SlidingJoinOp::Process(const Tuple& in, SimTime now, const EmitFn& emit) {
+  CS_CHECK_MSG(in.port == 0 || in.port == 1, "join has exactly two ports");
+  const int mine = in.port;
+  const int other = 1 - mine;
+  Evict(windows_[mine], now);
+  Evict(windows_[other], now);
+
+  for (const Entry& e : windows_[other]) {
+    if (std::abs(e.key - in.aux) <= band_) {
+      Tuple out = in;
+      out.lineage = kPendingLineage;
+      out.value = (in.value + e.value) / 2.0;
+      out.port = 0;
+      emit(out);
+    }
+  }
+  windows_[mine].push_back(Entry{now, in.aux, in.value});
+}
+
+}  // namespace ctrlshed

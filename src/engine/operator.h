@@ -1,0 +1,215 @@
+#ifndef CTRLSHED_ENGINE_OPERATOR_H_
+#define CTRLSHED_ENGINE_OPERATOR_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+
+class OperatorBase;
+
+/// Callback an operator uses to emit an output tuple. Routing to downstream
+/// queues (or to a sink if the operator has no downstream) is done by the
+/// engine.
+using EmitFn = std::function<void(const Tuple&)>;
+
+/// A downstream connection: the target operator and the input port the
+/// emitted tuples arrive on.
+struct Downstream {
+  OperatorBase* op = nullptr;
+  int port = 0;
+};
+
+/// Base class for all query operators.
+///
+/// Each operator owns one FIFO input queue (tuples carry their input port,
+/// which matters only for multi-input operators such as joins) and has a
+/// fixed nominal CPU cost per invocation. One invocation consumes exactly
+/// one input tuple, which mirrors Borealis' per-tuple box processing in the
+/// paper's model.
+class OperatorBase {
+ public:
+  OperatorBase(std::string name, double cost_seconds);
+  virtual ~OperatorBase() = default;
+
+  OperatorBase(const OperatorBase&) = delete;
+  OperatorBase& operator=(const OperatorBase&) = delete;
+
+  /// Consumes `in` at virtual time `now`, emitting zero or more outputs.
+  virtual void Process(const Tuple& in, SimTime now, const EmitFn& emit) = 0;
+
+  /// Expected number of output tuples per input tuple, used for static load
+  /// estimation (the Borealis-style cost x selectivity products of
+  /// Section 4.2 of the Aurora load-shedding paper).
+  virtual double Selectivity() const { return 1.0; }
+
+  const std::string& name() const { return name_; }
+  double cost() const { return cost_; }
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  /// Adjusts the nominal cost; only network builders may call this, and
+  /// only before QueryNetwork::Finalize.
+  void set_cost(double cost_seconds) { cost_ = cost_seconds; }
+
+  std::deque<Tuple>& queue() { return queue_; }
+  const std::deque<Tuple>& queue() const { return queue_; }
+
+  const std::vector<Downstream>& downstream() const { return downstream_; }
+
+  /// Connects this operator's output to `op`'s input `port`.
+  void ConnectTo(OperatorBase* op, int port = 0);
+
+ private:
+  std::string name_;
+  double cost_;
+  int id_ = -1;
+  std::deque<Tuple> queue_;
+  std::vector<Downstream> downstream_;
+};
+
+/// Stateless selection with fixed selectivity `threshold`: the pass
+/// decision is a deterministic hash of the tuple payload and the operator
+/// id, uniform in [0,1) and independent across operators — so chained
+/// filters multiply their selectivities, as the paper's identification
+/// setup (uniform payload values fixing all selectivities) assumes.
+class FilterOp : public OperatorBase {
+ public:
+  FilterOp(std::string name, double cost_seconds, double threshold);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  double Selectivity() const override { return threshold_; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// Stateless transformation: applies `fn` to the tuple payload (identity by
+/// default). Selectivity 1.
+class MapOp : public OperatorBase {
+ public:
+  using MapFn = std::function<void(Tuple&)>;
+
+  MapOp(std::string name, double cost_seconds, MapFn fn = nullptr);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+
+ private:
+  MapFn fn_;
+};
+
+/// Merges any number of upstream streams into one output stream
+/// (pass-through; the merge itself is realized by several upstreams
+/// connecting to this operator's single queue).
+class UnionOp : public OperatorBase {
+ public:
+  UnionOp(std::string name, double cost_seconds);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+};
+
+/// Tumbling count-based window aggregate: absorbs `window_size` input
+/// tuples, then emits one derived tuple whose value is the chosen aggregate
+/// of the window. Selectivity 1/window_size.
+class WindowAggregateOp : public OperatorBase {
+ public:
+  enum class Kind { kMean, kSum, kMax, kCount };
+
+  WindowAggregateOp(std::string name, double cost_seconds, int window_size,
+                    Kind kind = Kind::kMean);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  double Selectivity() const override { return 1.0 / window_size_; }
+
+  int window_size() const { return window_size_; }
+
+ private:
+  int window_size_;
+  Kind kind_;
+  int count_ = 0;
+  double acc_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Tumbling TIME-based window aggregate: accumulates tuples until the
+/// window that contains them ends (windows are [k W, (k+1) W) in arrival
+/// time), then emits one derived tuple per non-empty window. Selectivity
+/// for static load estimation must be supplied (it depends on the input
+/// rate: roughly 1 / (rate x window)).
+class TimeWindowAggregateOp : public OperatorBase {
+ public:
+  TimeWindowAggregateOp(std::string name, double cost_seconds,
+                        SimTime window_seconds, double expected_selectivity,
+                        WindowAggregateOp::Kind kind =
+                            WindowAggregateOp::Kind::kMean);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  double Selectivity() const override { return expected_selectivity_; }
+
+  SimTime window_seconds() const { return window_seconds_; }
+
+ private:
+  void EmitWindow(const Tuple& trigger, const EmitFn& emit);
+
+  SimTime window_seconds_;
+  double expected_selectivity_;
+  WindowAggregateOp::Kind kind_;
+  int64_t current_window_ = -1;
+  int count_ = 0;
+  double acc_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Explicitly duplicates each input tuple to every downstream connection
+/// (fan-out is realized by the engine's routing; this operator documents
+/// the intent and carries the split's CPU cost).
+class SplitOp : public OperatorBase {
+ public:
+  SplitOp(std::string name, double cost_seconds);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+};
+
+/// Sliding-window band join over two input ports. Tuples from port 0 probe
+/// the window of port 1 and vice versa; a pair matches when their `aux`
+/// join keys differ by at most `band`. Windows are time-based: entries older
+/// than `window_seconds` relative to the probing tuple are evicted.
+///
+/// `expected_selectivity` is the caller-supplied estimate of matches per
+/// input used for static load estimation (the true match rate depends on
+/// the data; Borealis likewise relies on measured selectivity estimates).
+class SlidingJoinOp : public OperatorBase {
+ public:
+  SlidingJoinOp(std::string name, double cost_seconds, SimTime window_seconds,
+                double band, double expected_selectivity);
+
+  void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  double Selectivity() const override { return expected_selectivity_; }
+
+  size_t WindowSize(int port) const;
+
+ private:
+  struct Entry {
+    SimTime t;
+    double key;
+    double value;
+  };
+
+  void Evict(std::deque<Entry>& window, SimTime now);
+
+  SimTime window_seconds_;
+  double band_;
+  double expected_selectivity_;
+  std::deque<Entry> windows_[2];
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_OPERATOR_H_

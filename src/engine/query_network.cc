@@ -1,0 +1,95 @@
+#include "engine/query_network.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+// DFS colors for cycle detection / memoization.
+constexpr int kUnvisited = 0;
+constexpr int kInProgress = 1;
+constexpr int kDone = 2;
+}  // namespace
+
+void QueryNetwork::AddEntry(int source, OperatorBase* op) {
+  CS_CHECK_MSG(!finalized_, "network already finalized");
+  CS_CHECK(op != nullptr);
+  CS_CHECK_MSG(source >= 0, "source index must be non-negative");
+  if (static_cast<size_t>(source) >= entries_.size()) {
+    entries_.resize(source + 1);
+  }
+  entries_[source].push_back(op);
+}
+
+const std::vector<OperatorBase*>& QueryNetwork::Entries(int source) const {
+  CS_CHECK(source >= 0 && static_cast<size_t>(source) < entries_.size());
+  return entries_[source];
+}
+
+double QueryNetwork::ComputeRemainingCost(const OperatorBase* op,
+                                          std::vector<double>& memo,
+                                          std::vector<int>& state) const {
+  const int id = op->id();
+  CS_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < memo.size(),
+               "operator not registered with this network");
+  CS_CHECK_MSG(state[id] != kInProgress, "query network contains a cycle");
+  if (state[id] == kDone) return memo[id];
+  state[id] = kInProgress;
+  double down = 0.0;
+  for (const Downstream& d : op->downstream()) {
+    down += ComputeRemainingCost(d.op, memo, state);
+  }
+  memo[id] = op->cost() + op->Selectivity() * down;
+  state[id] = kDone;
+  return memo[id];
+}
+
+void QueryNetwork::Finalize() {
+  CS_CHECK_MSG(!finalized_, "Finalize called twice");
+  CS_CHECK_MSG(!operators_.empty(), "network has no operators");
+  CS_CHECK_MSG(!entries_.empty(), "network has no entry points");
+  for (const auto& per_source : entries_) {
+    CS_CHECK_MSG(!per_source.empty(), "a source has no entry operators");
+  }
+
+  remaining_cost_.assign(operators_.size(), 0.0);
+  std::vector<int> state(operators_.size(), kUnvisited);
+  for (const auto& op : operators_) {
+    ComputeRemainingCost(op.get(), remaining_cost_, state);
+  }
+  finalized_ = true;
+}
+
+void QueryNetwork::FinalizeWithMeanEntryCost(double target_mean_entry_cost) {
+  CS_CHECK_MSG(target_mean_entry_cost > 0.0, "target cost must be positive");
+  Finalize();
+  const double mean = MeanEntryCost();
+  CS_CHECK_MSG(mean > 0.0, "network has zero per-tuple cost");
+  const double factor = target_mean_entry_cost / mean;
+  for (auto& op : operators_) op->set_cost(op->cost() * factor);
+  for (double& r : remaining_cost_) r *= factor;
+}
+
+double QueryNetwork::RemainingCost(const OperatorBase* op) const {
+  CS_CHECK_MSG(finalized_, "network not finalized");
+  const int id = op->id();
+  CS_CHECK(id >= 0 && static_cast<size_t>(id) < remaining_cost_.size());
+  return remaining_cost_[id];
+}
+
+double QueryNetwork::EntryCost(int source) const {
+  double total = 0.0;
+  for (const OperatorBase* op : Entries(source)) {
+    total += RemainingCost(op);
+  }
+  return total;
+}
+
+double QueryNetwork::MeanEntryCost() const {
+  CS_CHECK_MSG(finalized_, "network not finalized");
+  double total = 0.0;
+  for (int s = 0; s < NumSources(); ++s) total += EntryCost(s);
+  return total / NumSources();
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,89 @@
+#ifndef CTRLSHED_ENGINE_QUERY_NETWORK_H_
+#define CTRLSHED_ENGINE_QUERY_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/operator.h"
+
+namespace ctrlshed {
+
+/// A network of operators forming one or more (possibly branched) query
+/// execution paths, plus the mapping from stream sources to their entry
+/// operators. Owns all operators.
+///
+/// Typical construction:
+///
+///   QueryNetwork net;
+///   auto* f = net.Add(std::make_unique<FilterOp>("f1", Millis(1), 0.8));
+///   auto* m = net.Add(std::make_unique<MapOp>("m1", Millis(2)));
+///   f->ConnectTo(m);
+///   net.AddEntry(/*source=*/0, f);
+///   net.Finalize();
+class QueryNetwork {
+ public:
+  QueryNetwork() = default;
+  QueryNetwork(const QueryNetwork&) = delete;
+  QueryNetwork& operator=(const QueryNetwork&) = delete;
+
+  /// Adds an operator and returns a non-owning pointer to it.
+  template <typename Op>
+  Op* Add(std::unique_ptr<Op> op) {
+    Op* raw = op.get();
+    raw->set_id(static_cast<int>(operators_.size()));
+    operators_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Registers `op` as an entry point for stream `source`. A stream may
+  /// enter multiple operators (paper Fig. 2: S2 enters operators 2 and 3).
+  void AddEntry(int source, OperatorBase* op);
+
+  /// Validates the topology (acyclic, entries registered) and precomputes
+  /// the static load estimates. Must be called before the network is given
+  /// to an Engine; construction methods must not be called afterwards.
+  void Finalize();
+
+  /// Like Finalize, but first rescales every operator's cost uniformly so
+  /// that MeanEntryCost() equals `target_mean_entry_cost`. Lets builders
+  /// express relative costs and pin the model constant c exactly.
+  void FinalizeWithMeanEntryCost(double target_mean_entry_cost);
+
+  bool finalized() const { return finalized_; }
+
+  size_t NumOperators() const { return operators_.size(); }
+  OperatorBase* Operator(size_t i) { return operators_[i].get(); }
+  const OperatorBase* Operator(size_t i) const { return operators_[i].get(); }
+
+  int NumSources() const { return static_cast<int>(entries_.size()); }
+  const std::vector<OperatorBase*>& Entries(int source) const;
+
+  /// Expected remaining CPU cost (seconds, at nominal operator costs) of a
+  /// tuple sitting in `op`'s queue, including `op` itself and the
+  /// selectivity-weighted costs of everything downstream. This is the
+  /// Borealis-style static load estimate.
+  double RemainingCost(const OperatorBase* op) const;
+
+  /// Expected total CPU cost of one tuple of stream `source` (sum of
+  /// RemainingCost over its entry operators).
+  double EntryCost(int source) const;
+
+  /// Expected per-tuple cost averaged over sources with equal weights —
+  /// the model's constant `c` at nominal costs.
+  double MeanEntryCost() const;
+
+ private:
+  double ComputeRemainingCost(const OperatorBase* op,
+                              std::vector<double>& memo,
+                              std::vector<int>& state) const;
+
+  std::vector<std::unique_ptr<OperatorBase>> operators_;
+  std::vector<std::vector<OperatorBase*>> entries_;  // per source
+  std::vector<double> remaining_cost_;               // per operator id
+  bool finalized_ = false;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_QUERY_NETWORK_H_

@@ -1,0 +1,79 @@
+#include "engine/scheduler.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+OperatorBase* RoundRobinScheduler::Next(QueryNetwork* net) {
+  const size_t n = net->NumOperators();
+  for (size_t step = 0; step < n; ++step) {
+    OperatorBase* op = net->Operator((index_ + step) % n);
+    if (!op->queue().empty()) {
+      index_ = (index_ + step + 1) % n;
+      return op;
+    }
+  }
+  return nullptr;
+}
+
+OperatorBase* GlobalFifoScheduler::Next(QueryNetwork* net) {
+  OperatorBase* best = nullptr;
+  double best_arrival = 0.0;
+  const size_t n = net->NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    OperatorBase* op = net->Operator(i);
+    if (op->queue().empty()) continue;
+    const double arrival = op->queue().front().arrival_time;
+    if (best == nullptr || arrival < best_arrival) {
+      best = op;
+      best_arrival = arrival;
+    }
+  }
+  return best;
+}
+
+OperatorBase* LongestQueueScheduler::Next(QueryNetwork* net) {
+  OperatorBase* best = nullptr;
+  size_t best_len = 0;
+  const size_t n = net->NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    OperatorBase* op = net->Operator(i);
+    if (op->queue().size() > best_len) {
+      best = op;
+      best_len = op->queue().size();
+    }
+  }
+  return best;
+}
+
+OperatorBase* RandomScheduler::Next(QueryNetwork* net) {
+  std::vector<OperatorBase*> ready;
+  const size_t n = net->NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    OperatorBase* op = net->Operator(i);
+    if (!op->queue().empty()) ready.push_back(op);
+  }
+  if (ready.empty()) return nullptr;
+  return ready[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(ready.size()) - 1))];
+}
+
+std::unique_ptr<SchedulerPolicy> MakeScheduler(SchedulerKind kind,
+                                               uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kGlobalFifo:
+      return std::make_unique<GlobalFifoScheduler>();
+    case SchedulerKind::kLongestQueue:
+      return std::make_unique<LongestQueueScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+  }
+  CS_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,75 @@
+#ifndef CTRLSHED_ENGINE_SCHEDULER_H_
+#define CTRLSHED_ENGINE_SCHEDULER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.h"
+#include "engine/query_network.h"
+
+namespace ctrlshed {
+
+/// Operator scheduling policy: decides which operator the CPU serves next.
+///
+/// Borealis (as modeled in the paper) uses round-robin with FIFO queues and
+/// no tuple priorities. The paper conjectures that its delay model holds
+/// for "a wide range of scheduling policies that do not consider tuple
+/// priorities"; the alternative policies here exist to test that conjecture
+/// (see bench/ablation_schedulers).
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Returns the next operator with a non-empty queue to serve, or nullptr
+  /// when the whole network is idle.
+  virtual OperatorBase* Next(QueryNetwork* net) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Borealis' policy: cycle over operators, one invocation per visit.
+class RoundRobinScheduler : public SchedulerPolicy {
+ public:
+  OperatorBase* Next(QueryNetwork* net) override;
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  size_t index_ = 0;
+};
+
+/// Serves the operator whose FRONT tuple arrived earliest — a global-FIFO
+/// approximation that processes tuples strictly in arrival order.
+class GlobalFifoScheduler : public SchedulerPolicy {
+ public:
+  OperatorBase* Next(QueryNetwork* net) override;
+  std::string_view name() const override { return "global-fifo"; }
+};
+
+/// Serves the operator with the longest queue (a memory-minimizing
+/// heuristic in the spirit of Chain scheduling).
+class LongestQueueScheduler : public SchedulerPolicy {
+ public:
+  OperatorBase* Next(QueryNetwork* net) override;
+  std::string_view name() const override { return "longest-queue"; }
+};
+
+/// Serves a uniformly random non-empty operator.
+class RandomScheduler : public SchedulerPolicy {
+ public:
+  explicit RandomScheduler(uint64_t seed) : rng_(seed) {}
+  OperatorBase* Next(QueryNetwork* net) override;
+  std::string_view name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Name-keyed factory used by the experiment runner.
+enum class SchedulerKind { kRoundRobin, kGlobalFifo, kLongestQueue, kRandom };
+
+std::unique_ptr<SchedulerPolicy> MakeScheduler(SchedulerKind kind,
+                                               uint64_t seed = 1);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_SCHEDULER_H_

@@ -1,0 +1,34 @@
+#ifndef CTRLSHED_ENGINE_TUPLE_H_
+#define CTRLSHED_ENGINE_TUPLE_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// Lineage id assigned by the engine. Tuples emitted by pass-through
+/// operators (filter, map, union) keep their input's lineage; operators that
+/// create new data (aggregates, joins) emit tuples with `kPendingLineage`
+/// and the engine assigns a fresh lineage at enqueue time.
+using LineageId = uint64_t;
+inline constexpr LineageId kPendingLineage = 0;
+
+/// A data item flowing through the query network.
+///
+/// The payload is a pair of doubles: `value` drives predicates and
+/// aggregations (workload generators draw it from U[0,1] so that filter
+/// selectivities are fixed, as in the paper's identification setup) and
+/// `aux` carries secondary data (e.g. a join key).
+struct Tuple {
+  LineageId lineage = kPendingLineage;
+  int source = 0;            ///< Index of the stream this tuple entered from.
+  SimTime arrival_time = 0;  ///< Arrival at the engine's network buffer.
+  double value = 0.0;
+  double aux = 0.0;
+  int port = 0;              ///< Input port at the operator whose queue holds it.
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_TUPLE_H_

@@ -1,0 +1,86 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  CS_CHECK_MSG(min_value > 0.0 && max_value > min_value && growth > 1.0,
+               "invalid histogram layout");
+  const size_t n = static_cast<size_t>(
+                       std::ceil(std::log(max_value / min_value) / log_growth_)) +
+                   2;  // one underflow + one overflow bucket
+  buckets_.assign(n, 0);
+}
+
+size_t LatencyHistogram::BucketFor(double value) const {
+  if (value < min_value_) return 0;
+  const size_t i =
+      1 + static_cast<size_t>(std::floor(std::log(value / min_value_) /
+                                         log_growth_));
+  return std::min(i, buckets_.size() - 1);
+}
+
+double LatencyHistogram::BucketUpperEdge(size_t i) const {
+  if (i == 0) return min_value_;
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(i));
+}
+
+void LatencyHistogram::Record(double value) {
+  CS_CHECK_MSG(value >= 0.0, "latency cannot be negative");
+  buckets_[BucketFor(value)]++;
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  CS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (count_ == 0) return 0.0;
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && seen > 0) return std::min(BucketUpperEdge(i), max_);
+  }
+  return max_;
+}
+
+double LatencyHistogram::FractionAbove(double threshold) const {
+  if (count_ == 0) return 0.0;
+  const size_t cut = BucketFor(threshold);
+  uint64_t above = 0;
+  for (size_t i = cut + 1; i < buckets_.size(); ++i) above += buckets_[i];
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  CS_CHECK_MSG(buckets_.size() == other.buckets_.size() &&
+                   min_value_ == other.min_value_ &&
+                   log_growth_ == other.log_growth_,
+               "histogram layouts differ");
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace ctrlshed

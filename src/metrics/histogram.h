@@ -1,0 +1,53 @@
+#ifndef CTRLSHED_METRICS_HISTOGRAM_H_
+#define CTRLSHED_METRICS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ctrlshed {
+
+/// Log-bucketed latency histogram with quantile queries. Buckets grow
+/// geometrically from `min_value` so that relative resolution is constant
+/// across the microsecond-to-minute range that stream delays span; values
+/// below/above the range clamp to the end buckets.
+class LatencyHistogram {
+ public:
+  /// `growth` is the bucket width ratio (e.g. 1.1 = 10% resolution).
+  LatencyHistogram(double min_value = 1e-4, double max_value = 1e3,
+                   double growth = 1.08);
+
+  void Record(double value);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double Mean() const;
+
+  /// Quantile in [0, 1]; returns the upper edge of the bucket containing
+  /// the q-th value (0 when empty). Quantile(0.5) is the median.
+  double Quantile(double q) const;
+
+  /// Fraction of recorded values strictly greater than `threshold`
+  /// (bucket-resolution approximation).
+  double FractionAbove(double threshold) const;
+
+  /// Merges another histogram with identical bucket layout.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketUpperEdge(size_t i) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_METRICS_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#include "metrics/per_source_stats.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+PerSourceStats::PerSourceStats(int num_sources)
+    : offered_(static_cast<size_t>(num_sources), 0),
+      admitted_(static_cast<size_t>(num_sources), 0),
+      departures_(static_cast<size_t>(num_sources), 0),
+      delay_sum_(static_cast<size_t>(num_sources), 0.0) {
+  CS_CHECK_MSG(num_sources > 0, "need at least one source");
+}
+
+void PerSourceStats::CheckSource(int source) const {
+  CS_CHECK_MSG(source >= 0 && static_cast<size_t>(source) < offered_.size(),
+               "unknown source");
+}
+
+void PerSourceStats::OnOffered(const Tuple& t) {
+  CheckSource(t.source);
+  ++offered_[static_cast<size_t>(t.source)];
+}
+
+void PerSourceStats::OnAdmitted(const Tuple& t) {
+  CheckSource(t.source);
+  ++admitted_[static_cast<size_t>(t.source)];
+}
+
+void PerSourceStats::OnDeparture(const Departure& d) {
+  CheckSource(d.source);
+  ++departures_[static_cast<size_t>(d.source)];
+  delay_sum_[static_cast<size_t>(d.source)] += d.depart_time - d.arrival_time;
+}
+
+uint64_t PerSourceStats::offered(int source) const {
+  CheckSource(source);
+  return offered_[static_cast<size_t>(source)];
+}
+
+uint64_t PerSourceStats::admitted(int source) const {
+  CheckSource(source);
+  return admitted_[static_cast<size_t>(source)];
+}
+
+uint64_t PerSourceStats::departures(int source) const {
+  CheckSource(source);
+  return departures_[static_cast<size_t>(source)];
+}
+
+double PerSourceStats::LossRatio(int source) const {
+  CheckSource(source);
+  const uint64_t off = offered_[static_cast<size_t>(source)];
+  if (off == 0) return 0.0;
+  return 1.0 - static_cast<double>(admitted_[static_cast<size_t>(source)]) /
+                   static_cast<double>(off);
+}
+
+double PerSourceStats::MeanDelay(int source) const {
+  CheckSource(source);
+  const uint64_t n = departures_[static_cast<size_t>(source)];
+  if (n == 0) return 0.0;
+  return delay_sum_[static_cast<size_t>(source)] / static_cast<double>(n);
+}
+
+}  // namespace ctrlshed

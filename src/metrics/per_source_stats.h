@@ -1,0 +1,47 @@
+#ifndef CTRLSHED_METRICS_PER_SOURCE_STATS_H_
+#define CTRLSHED_METRICS_PER_SOURCE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+
+/// Per-stream QoS accounting, for systems with heterogeneous guarantees
+/// (priority shedding, multi-tenant deployments). Wire OnOffered at the
+/// arrival entry point, OnAdmitted after the shedder's decision, and
+/// OnDeparture as a departure observer.
+class PerSourceStats {
+ public:
+  explicit PerSourceStats(int num_sources);
+
+  void OnOffered(const Tuple& t);
+  void OnAdmitted(const Tuple& t);
+  void OnDeparture(const Departure& d);
+
+  int num_sources() const { return static_cast<int>(offered_.size()); }
+  uint64_t offered(int source) const;
+  uint64_t admitted(int source) const;
+  uint64_t departures(int source) const;
+
+  /// Shed fraction of a stream: 1 - admitted/offered (0 when idle).
+  double LossRatio(int source) const;
+
+  /// Mean delay of a stream's departed tuples (derived tuples inherit the
+  /// source of their trigger tuple).
+  double MeanDelay(int source) const;
+
+ private:
+  void CheckSource(int source) const;
+
+  std::vector<uint64_t> offered_;
+  std::vector<uint64_t> admitted_;
+  std::vector<uint64_t> departures_;
+  std::vector<double> delay_sum_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_METRICS_PER_SOURCE_STATS_H_

@@ -1,0 +1,28 @@
+#include "metrics/qos_metrics.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+QosAccumulator::QosAccumulator(double target_delay)
+    : target_delay_(target_delay) {
+  CS_CHECK_MSG(target_delay_ > 0.0, "target delay must be positive");
+}
+
+void QosAccumulator::OnDeparture(const Departure& d) {
+  const double delay = d.depart_time - d.arrival_time;
+  CS_CHECK_MSG(delay >= -1e-9, "negative delay observed");
+  ++departures_;
+  delay_sum_ += delay;
+  histogram_.Record(std::max(0.0, delay));
+  const double over = delay - target_delay_;
+  if (over > 0.0) {
+    accumulated_violation_ += over;
+    ++delayed_tuples_;
+    max_overshoot_ = std::max(max_overshoot_, over);
+  }
+}
+
+}  // namespace ctrlshed

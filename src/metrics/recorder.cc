@@ -1,0 +1,18 @@
+#include "metrics/recorder.h"
+
+#include "common/table_printer.h"
+
+namespace ctrlshed {
+
+void Recorder::Write(std::ostream& out) const {
+  TablePrinter table(out, {"t", "yd", "fin", "admitted", "fout", "q",
+                           "c_ms", "y_hat", "y_meas", "v", "alpha"});
+  table.PrintHeader();
+  for (const PeriodRecord& r : rows_) {
+    table.PrintRow({r.m.t, r.m.target_delay, r.m.fin, r.m.admitted, r.m.fout,
+                    r.m.queue, r.m.cost * 1000.0, r.m.y_hat,
+                    r.m.has_y_measured ? r.m.y_measured : 0.0, r.v, r.alpha});
+  }
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,39 @@
+#ifndef CTRLSHED_METRICS_RECORDER_H_
+#define CTRLSHED_METRICS_RECORDER_H_
+
+#include <ostream>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "control/controller.h"
+
+namespace ctrlshed {
+
+/// One per-period row of the closed-loop trace.
+struct PeriodRecord {
+  PeriodMeasurement m;
+  double v = 0.0;      ///< Controller output (desired admitted rate).
+  double alpha = 0.0;  ///< Entry drop probability in force afterwards.
+};
+
+/// Collects the per-period trace of an experiment; feeds the transient
+/// plots (Figs. 15, 16, 18) and debugging.
+class Recorder {
+ public:
+  void Record(const PeriodMeasurement& m, double v, double alpha) {
+    rows_.push_back(PeriodRecord{m, v, alpha});
+  }
+
+  const std::vector<PeriodRecord>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// Writes a whitespace-separated table with a header row.
+  void Write(std::ostream& out) const;
+
+ private:
+  std::vector<PeriodRecord> rows_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_METRICS_RECORDER_H_

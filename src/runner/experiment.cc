@@ -1,0 +1,143 @@
+#include "runner/experiment.h"
+
+#include <memory>
+
+#include "common/macros.h"
+#include "control/aurora_controller.h"
+#include "control/baseline_controller.h"
+#include "control/ctrl_controller.h"
+#include "control/pi_controller.h"
+#include "core/feedback_loop.h"
+#include "engine/query_network.h"
+#include "runner/networks.h"
+#include "shedding/aurora_shedder.h"
+#include "shedding/entry_shedder.h"
+#include "shedding/queue_shedder.h"
+#include "sim/simulation.h"
+
+namespace ctrlshed {
+
+RateTrace BuildArrivalTrace(const ExperimentConfig& config) {
+  switch (config.workload) {
+    case WorkloadKind::kWeb:
+      return MakeWebTrace(config.duration, config.web, config.seed);
+    case WorkloadKind::kPareto:
+      return MakeParetoTrace(config.duration, config.pareto, config.seed);
+    case WorkloadKind::kMmpp:
+      return MakeMmppTrace(config.duration, config.mmpp, config.seed);
+    case WorkloadKind::kStep:
+      return MakeStepTrace(config.duration, config.step_at, config.step_low,
+                           config.step_high);
+    case WorkloadKind::kSine:
+      return MakeSineTrace(config.duration, config.sine_lo, config.sine_hi,
+                           config.sine_period);
+    case WorkloadKind::kRamp:
+      return MakeRampTrace(config.duration, config.ramp_from, config.ramp_to);
+    case WorkloadKind::kConstant:
+      return MakeConstantTrace(config.duration, config.constant_rate);
+  }
+  CS_CHECK_MSG(false, "unknown workload kind");
+  return RateTrace();
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  CS_CHECK_MSG(config.capacity_rate > 0.0, "capacity must be positive");
+
+  // The model constant c: at nominal cost the engine sustains exactly
+  // `capacity_rate` tuples/s, i.e. c = H_true / capacity.
+  const double nominal_cost = config.headroom_true / config.capacity_rate;
+
+  Simulation sim;
+  QueryNetwork net;
+  BuildIdentificationNetwork(&net, nominal_cost);
+  Engine engine(&net, config.headroom_true,
+                MakeScheduler(config.scheduler, config.seed + 5));
+  sim.AttachProcess(&engine);
+
+  RateTrace cost_trace;
+  if (config.vary_cost) {
+    cost_trace = MakeCostTrace(config.duration, config.cost_params,
+                               config.seed + 1);
+    const double base = config.cost_params.base_ms;
+    engine.SetCostMultiplier(
+        [&cost_trace, base](SimTime t) { return cost_trace.At(t) / base; });
+  }
+
+  std::unique_ptr<LoadController> controller;
+  switch (config.method) {
+    case Method::kNone:
+      break;
+    case Method::kCtrl: {
+      CtrlOptions opts;
+      opts.gains = config.gains;
+      opts.headroom = config.headroom_est;
+      opts.feedback = config.ctrl_feedback;
+      opts.anti_windup = config.anti_windup;
+      controller = std::make_unique<CtrlController>(opts);
+      break;
+    }
+    case Method::kBaseline:
+      controller = std::make_unique<BaselineController>(config.headroom_est);
+      break;
+    case Method::kAurora:
+      controller = std::make_unique<AuroraController>(config.headroom_est);
+      break;
+    case Method::kPi:
+      controller = std::make_unique<PiController>(config.headroom_est);
+      break;
+  }
+
+  std::unique_ptr<Shedder> shedder;
+  if (controller != nullptr) {
+    if (config.method == Method::kAurora) {
+      // Aurora sheds an absolute load amount via drop boxes (Eq. 7/8), not
+      // a drop fraction; the quota shedder realizes those semantics.
+      shedder = std::make_unique<AuroraQuotaShedder>();
+    } else if (config.use_queue_shedder) {
+      shedder = std::make_unique<QueueShedder>(&engine, config.seed + 2,
+                                               config.cost_aware_shedding);
+    } else {
+      shedder = std::make_unique<EntryShedder>(config.seed + 2);
+    }
+  }
+
+  FeedbackLoopOptions loop_opts;
+  loop_opts.period = config.period;
+  loop_opts.target_delay = config.target_delay;
+  loop_opts.headroom = config.headroom_est;
+  loop_opts.cost_ewma = config.cost_ewma;
+  loop_opts.estimation_noise = config.estimation_noise;
+  loop_opts.noise_seed = config.seed + 4;
+  loop_opts.adapt_headroom = config.adapt_headroom;
+  FeedbackLoop loop(&sim, &engine, controller.get(), shedder.get(), loop_opts);
+  if (config.departure_observer) {
+    loop.SetDepartureObserver(config.departure_observer);
+  }
+  std::unique_ptr<RatePredictor> predictor;
+  if (config.predictor != PredictorKind::kLastValue) {
+    predictor = MakePredictor(config.predictor);
+    loop.SetRatePredictor(predictor.get());
+  }
+  loop.Start();
+
+  for (const auto& [when, yd] : config.setpoint_schedule) {
+    CS_CHECK_MSG(when >= 0.0 && when <= config.duration,
+                 "setpoint change outside the run");
+    sim.Schedule(when, [&loop, yd = yd]() { loop.SetTargetDelay(yd); });
+  }
+
+  ArrivalSource source(0, BuildArrivalTrace(config), config.spacing,
+                       config.seed + 3);
+  source.Start(&sim, [&loop](const Tuple& t) { loop.OnArrival(t); });
+
+  sim.Run(config.duration);
+
+  ExperimentResult result;
+  result.summary = loop.Summary();
+  result.recorder = loop.recorder();
+  result.arrival_trace = source.trace();
+  result.nominal_cost = nominal_cost;
+  return result;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,112 @@
+#ifndef CTRLSHED_RUNNER_EXPERIMENT_H_
+#define CTRLSHED_RUNNER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "control/ctrl_controller.h"
+#include "control/pole_placement.h"
+#include "control/rate_predictor.h"
+#include "engine/engine.h"
+#include "metrics/qos_metrics.h"
+#include "metrics/recorder.h"
+#include "workload/arrival_source.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+
+/// Load shedding policy under test.
+enum class Method {
+  kNone,      ///< No shedding (uncontrolled run; system identification).
+  kCtrl,      ///< The paper's pole-placement feedback controller.
+  kBaseline,  ///< Naive model-inverting feedback (paper's BASELINE).
+  kAurora,    ///< Open-loop Aurora/Borealis shedder.
+  kPi,        ///< Textbook PI controller on the same feedback (extension).
+};
+
+/// Input workload shape.
+enum class WorkloadKind {
+  kWeb, kPareto, kMmpp, kStep, kSine, kRamp, kConstant,
+};
+
+/// Full description of one closed-loop experiment. Defaults reproduce the
+/// paper's standard setup: 400 s runs, T = 1 s, yd = 2 s, H = 0.97, an
+/// identification network whose capacity threshold is ~190 tuples/s.
+struct ExperimentConfig {
+  Method method = Method::kCtrl;
+  WorkloadKind workload = WorkloadKind::kWeb;
+
+  SimTime duration = 400.0;
+  SimTime period = 1.0;        ///< Control period T.
+  double target_delay = 2.0;   ///< yd, seconds.
+
+  double headroom_true = 0.97; ///< Engine's actual headroom.
+  double headroom_est = 0.97;  ///< H the monitor/controllers believe in.
+  double capacity_rate = 190.0;///< Tuples/s the CPU can sustain at nominal
+                               ///< cost; pins the model constant c.
+
+  bool use_queue_shedder = false;  ///< In-network shedding actuator.
+  bool cost_aware_shedding = false;  ///< LSRM-flavored victim selection.
+  bool vary_cost = false;          ///< Apply the Fig. 14 cost trace.
+  CostTraceParams cost_params;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+
+  // Workload parameters (the member matching `workload` is used).
+  ParetoTraceParams pareto;
+  WebTraceParams web;
+  MmppTraceParams mmpp;
+  double step_low = 10.0, step_high = 300.0;
+  SimTime step_at = 10.0;
+  double sine_lo = 0.0, sine_hi = 400.0;
+  SimTime sine_period = 100.0;
+  double ramp_from = 100.0, ramp_to = 400.0;
+  double constant_rate = 150.0;
+  ArrivalSource::Spacing spacing = ArrivalSource::Spacing::kPoisson;
+
+  // Controller details.
+  ControllerGains gains = DesignPolePlacement(0.7, 0.7, -0.8);
+  bool anti_windup = true;
+  FeedbackSignal ctrl_feedback = FeedbackSignal::kVirtualQueue;
+  /// Arrival-rate forecast feeding the actuator (Eq. 13 uses last-value).
+  PredictorKind predictor = PredictorKind::kLastValue;
+  /// Online headroom estimation (adaptive-control extension).
+  bool adapt_headroom = false;
+  /// 1.0 = use the raw per-period cost measurement, the paper's
+  /// "estimate c(k) with c(k-1)". Lower values smooth it (extension).
+  double cost_ewma = 1.0;
+  /// Cost-estimation noise (log-sigma). The performance comparisons use
+  /// 0.1 to match the ~10% estimation-error band real Borealis shows in
+  /// the paper's Figs. 6B/7B; identification runs use 0.
+  double estimation_noise = 0.0;
+
+  /// Setpoint schedule: (time, new yd) pairs applied during the run
+  /// (Fig. 18 uses {(150, 3.0), (300, 5.0)} with target_delay = 1.0).
+  std::vector<std::pair<SimTime, double>> setpoint_schedule;
+
+  /// Optional per-departure observer (system identification).
+  DepartureCallback departure_observer;
+
+  uint64_t seed = 42;
+};
+
+/// Everything a bench/test needs from one run.
+struct ExperimentResult {
+  QosSummary summary;
+  Recorder recorder;        ///< Per-period closed-loop trace.
+  RateTrace arrival_trace;  ///< The offered-rate trace that was used.
+  double nominal_cost = 0.0;  ///< Model constant c of the built network.
+};
+
+/// Builds the standard plant (identification network + engine + workload +
+/// chosen controller/shedder), runs it for `config.duration` simulated
+/// seconds, and returns the metrics.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// The arrival-rate trace `config` describes (used by RunExperiment, and
+/// exposed for the Fig. 13 trace plots).
+RateTrace BuildArrivalTrace(const ExperimentConfig& config);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RUNNER_EXPERIMENT_H_

@@ -1,0 +1,141 @@
+#include "runner/networks.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+namespace {
+
+// Descriptor of one chain position: 'm' map, 'f' filter (with selectivity),
+// 'u' union.
+struct ChainSpec {
+  char kind;
+  double sel;
+};
+
+}  // namespace
+
+void BuildIdentificationNetwork(QueryNetwork* net, double target_entry_cost) {
+  CS_CHECK(net != nullptr);
+  CS_CHECK_MSG(target_entry_cost > 0.0, "target cost must be positive");
+
+  // 14 operators; filters keep the chain's selectivity profile stable
+  // because payload values are uniform in [0,1].
+  const std::vector<ChainSpec> specs = {
+      {'m', 1.0}, {'f', 0.90}, {'m', 1.0}, {'f', 0.80}, {'m', 1.0},
+      {'u', 1.0}, {'f', 0.85}, {'m', 1.0}, {'f', 0.90}, {'m', 1.0},
+      {'m', 1.0}, {'f', 0.95}, {'m', 1.0}, {'m', 1.0},
+  };
+
+  // Expected number of operator invocations per entry tuple with uniform
+  // per-operator cost: sum of reach probabilities.
+  double expected_invocations = 0.0;
+  double reach = 1.0;
+  for (const ChainSpec& s : specs) {
+    expected_invocations += reach;
+    reach *= s.sel;
+  }
+  const double cost_each = target_entry_cost / expected_invocations;
+
+  std::vector<OperatorBase*> ops;
+  ops.reserve(specs.size());
+  int idx = 1;
+  for (const ChainSpec& s : specs) {
+    const std::string name = std::string(1, s.kind) + std::to_string(idx++);
+    OperatorBase* op = nullptr;
+    switch (s.kind) {
+      case 'm':
+        op = net->Add(std::make_unique<MapOp>(name, cost_each));
+        break;
+      case 'f':
+        op = net->Add(std::make_unique<FilterOp>(name, cost_each, s.sel));
+        break;
+      case 'u':
+        op = net->Add(std::make_unique<UnionOp>(name, cost_each));
+        break;
+      default:
+        CS_CHECK_MSG(false, "unknown chain op kind");
+    }
+    ops.push_back(op);
+  }
+  for (size_t i = 0; i + 1 < ops.size(); ++i) ops[i]->ConnectTo(ops[i + 1]);
+  net->AddEntry(0, ops.front());
+  net->Finalize();
+
+  // The scaling must land exactly on the target.
+  const double got = net->MeanEntryCost();
+  CS_CHECK_MSG(got > 0.999 * target_entry_cost && got < 1.001 * target_entry_cost,
+               "identification network cost scaling failed");
+}
+
+void BuildBranchedNetwork(QueryNetwork* net, double target_entry_cost) {
+  CS_CHECK(net != nullptr);
+  CS_CHECK_MSG(target_entry_cost > 0.0, "target cost must be positive");
+
+  // Shape of the paper's Fig. 2: S1 feeds query I; S2 enters at two points
+  // (operators of query I and II); S3 feeds query III which joins with a
+  // branch of query II. Built with unit costs first, then rescaled.
+  const double u = 1.0;  // placeholder unit cost, rescaled below
+
+  auto* f1 = net->Add(std::make_unique<FilterOp>("f1", u, 0.9));
+  auto* m2 = net->Add(std::make_unique<MapOp>("m2", u));
+  auto* f3 = net->Add(std::make_unique<FilterOp>("f3", u, 0.8));
+  auto* f4 = net->Add(std::make_unique<FilterOp>("f4", u, 0.7));
+  auto* u5 = net->Add(std::make_unique<UnionOp>("u5", u));
+  auto* m6 = net->Add(std::make_unique<MapOp>("m6", u));
+  auto* a7 = net->Add(std::make_unique<WindowAggregateOp>(
+      "agg7", u, /*window_size=*/8, WindowAggregateOp::Kind::kMean));
+  auto* m8 = net->Add(std::make_unique<MapOp>("m8", u));
+  // Join sized so the expected fan-out stays ~1 at the ~50-100 tuples/s
+  // rates the examples drive (matches ~ rate x window x 2 band).
+  auto* j9 = net->Add(std::make_unique<SlidingJoinOp>(
+      "join9", u, /*window_seconds=*/0.5, /*band=*/0.02,
+      /*expected_selectivity=*/1.0));
+  auto* m10 = net->Add(std::make_unique<MapOp>("m10", u));
+  auto* f11 = net->Add(std::make_unique<FilterOp>("f11", u, 0.85));
+  auto* m12 = net->Add(std::make_unique<MapOp>("m12", u));
+
+  // Query I: S1 -> f1 -> u5 -> m6 -> agg7 -> m8 (sink).
+  f1->ConnectTo(u5);
+  u5->ConnectTo(m6);
+  m6->ConnectTo(a7);
+  a7->ConnectTo(m8);
+
+  // Query II: S2 -> m2 -> (u5 shared with query I) and S2 -> f3 -> j9.
+  m2->ConnectTo(u5);
+  f3->ConnectTo(j9, /*port=*/0);
+
+  // Query III: S3 -> f4 -> j9 (other side) -> m10 -> f11 -> m12 (sink).
+  f4->ConnectTo(j9, /*port=*/1);
+  j9->ConnectTo(m10);
+  m10->ConnectTo(f11);
+  f11->ConnectTo(m12);
+
+  net->AddEntry(0, f1);
+  net->AddEntry(1, m2);
+  net->AddEntry(1, f3);  // S2 enters the network at two points
+  net->AddEntry(2, f4);
+  net->FinalizeWithMeanEntryCost(target_entry_cost);
+}
+
+void BuildUniformChain(QueryNetwork* net, int num_ops, double target_entry_cost) {
+  CS_CHECK(net != nullptr);
+  CS_CHECK_MSG(num_ops > 0, "need at least one operator");
+  const double cost_each = target_entry_cost / num_ops;
+  OperatorBase* prev = nullptr;
+  for (int i = 0; i < num_ops; ++i) {
+    auto* op = net->Add(
+        std::make_unique<MapOp>("m" + std::to_string(i + 1), cost_each));
+    if (prev != nullptr) prev->ConnectTo(op);
+    prev = op;
+  }
+  net->AddEntry(0, net->Operator(0));
+  net->Finalize();
+}
+
+}  // namespace ctrlshed

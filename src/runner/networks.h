@@ -1,0 +1,31 @@
+#ifndef CTRLSHED_RUNNER_NETWORKS_H_
+#define CTRLSHED_RUNNER_NETWORKS_H_
+
+#include "engine/query_network.h"
+
+namespace ctrlshed {
+
+/// Builds the 14-operator identification network of Section 4.2 into `net`
+/// (one source, a chain of maps/filters/union with fixed selectivities,
+/// uniform per-operator cost) and finalizes it. Operator costs are scaled
+/// so that the expected per-tuple cost is exactly `target_entry_cost`
+/// seconds — the paper pins the aggregate constraint (a ~190 tuples/s
+/// capacity threshold, i.e. c ~ 5.26 ms at H = 1) but omits the network
+/// details.
+void BuildIdentificationNetwork(QueryNetwork* net, double target_entry_cost);
+
+/// Builds a branched multi-query network in the shape of the paper's
+/// Fig. 2: three sources, two queries sharing operators, a fork, a union,
+/// a windowed aggregate and a sliding join. Used by examples and tests
+/// that exercise branched execution paths. Costs are scaled so the mean
+/// entry cost is `target_entry_cost`.
+void BuildBranchedNetwork(QueryNetwork* net, double target_entry_cost);
+
+/// Builds a trivial `num_ops`-operator chain of maps with uniform cost and
+/// no filtering; expected per-tuple cost is exactly `target_entry_cost`.
+/// The delay model of Eq. (1)/(2) holds exactly on this network.
+void BuildUniformChain(QueryNetwork* net, int num_ops, double target_entry_cost);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RUNNER_NETWORKS_H_

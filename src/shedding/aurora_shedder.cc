@@ -1,0 +1,31 @@
+#include "shedding/aurora_shedder.h"
+
+#include <algorithm>
+
+namespace ctrlshed {
+
+double AuroraQuotaShedder::Configure(double v, const PeriodMeasurement& m) {
+  const double shed_rate = std::max(0.0, m.fin_forecast - std::max(0.0, v));
+  quota_ = shed_rate * m.period;
+  expected_arrivals_ = std::max(1.0, m.fin_forecast * m.period);
+  arrivals_seen_ = 0.0;
+  drops_done_ = 0.0;
+  return std::max(0.0, v);
+}
+
+bool AuroraQuotaShedder::Admit(const Tuple& /*t*/) {
+  arrivals_seen_ += 1.0;
+  if (drops_done_ < quota_ &&
+      (drops_done_ + 1.0) <=
+          quota_ * arrivals_seen_ / expected_arrivals_ + 1.0) {
+    drops_done_ += 1.0;
+    return false;
+  }
+  return true;
+}
+
+double AuroraQuotaShedder::drop_probability() const {
+  return std::min(1.0, quota_ / expected_arrivals_);
+}
+
+}  // namespace ctrlshed

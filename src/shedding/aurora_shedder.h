@@ -1,0 +1,37 @@
+#ifndef CTRLSHED_SHEDDING_AURORA_SHEDDER_H_
+#define CTRLSHED_SHEDDING_AURORA_SHEDDER_H_
+
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+/// Absolute-amount entry shedder matching the Aurora drop-box semantics the
+/// paper's open-loop analysis assumes (Eq. 7/8): each period, an amount
+/// S(k) = max(0, fin(k) - v(k)) TUPLES PER SECOND is discarded — not a drop
+/// *fraction*. Under a monotonically rising rate this reproduces Example 1
+/// exactly: q(k) = q(k-1) + fin(k) - fin(k-1), i.e. the backlog tracks the
+/// ramp and the delay grows without bound.
+///
+/// Realization: a per-period drop quota of S T tuples, paced against the
+/// expected arrival count so drops spread across the period. If more
+/// tuples arrive than forecast, the quota runs out and the excess is
+/// admitted (the Eq. 8 behavior); if fewer arrive, drops stay pro-rata.
+class AuroraQuotaShedder : public Shedder {
+ public:
+  AuroraQuotaShedder() = default;
+
+  double Configure(double v, const PeriodMeasurement& m) override;
+  bool Admit(const Tuple& t) override;
+  double drop_probability() const override;
+  std::string_view name() const override { return "aurora-quota"; }
+
+ private:
+  double quota_ = 0.0;              ///< Tuples to drop this period.
+  double expected_arrivals_ = 1.0;  ///< Forecast arrivals this period.
+  double arrivals_seen_ = 0.0;
+  double drops_done_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SHEDDING_AURORA_SHEDDER_H_

@@ -1,0 +1,22 @@
+#include "shedding/entry_shedder.h"
+
+#include <algorithm>
+
+namespace ctrlshed {
+
+EntryShedder::EntryShedder(uint64_t seed) : rng_(seed) {}
+
+double EntryShedder::Configure(double v, const PeriodMeasurement& m) {
+  if (m.fin_forecast <= 0.0) {
+    // Nothing arriving: admit whatever comes (a closed gate on an idle
+    // stream would drop the first tuples of the next burst for no reason).
+    alpha_ = 0.0;
+    return v;
+  }
+  alpha_ = std::clamp(1.0 - v / m.fin_forecast, 0.0, 1.0);
+  return (1.0 - alpha_) * m.fin_forecast;
+}
+
+bool EntryShedder::Admit(const Tuple& /*t*/) { return !rng_.Bernoulli(alpha_); }
+
+}  // namespace ctrlshed

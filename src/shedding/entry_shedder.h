@@ -1,0 +1,33 @@
+#ifndef CTRLSHED_SHEDDING_ENTRY_SHEDDER_H_
+#define CTRLSHED_SHEDDING_ENTRY_SHEDDER_H_
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+/// The first load shedder of Section 4.5.2: treat the engine as a black
+/// box and drop arriving tuples before they enter the query network.
+/// Every stream carries a shedding factor alpha; each arrival flips an
+/// unfair coin and is admitted with probability 1 - alpha, where
+///
+///   alpha = 1 - v(k) / fin(k+1)  ~  1 - v(k) / fin(k)       (Eq. 13)
+///
+/// (the coming period's rate is estimated by the current one).
+class EntryShedder : public Shedder {
+ public:
+  explicit EntryShedder(uint64_t seed);
+
+  double Configure(double v, const PeriodMeasurement& m) override;
+  bool Admit(const Tuple& t) override;
+  double drop_probability() const override { return alpha_; }
+  std::string_view name() const override { return "entry"; }
+
+ private:
+  Rng rng_;
+  double alpha_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SHEDDING_ENTRY_SHEDDER_H_

@@ -1,0 +1,44 @@
+#include "shedding/semantic_shedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ctrlshed {
+
+SemanticShedder::SemanticShedder(UtilityFn utility)
+    : utility_(utility ? std::move(utility)
+                       : [](const Tuple& t) { return t.value; }) {}
+
+double SemanticShedder::Configure(double v, const PeriodMeasurement& m) {
+  if (m.fin_forecast <= 0.0) {
+    alpha_ = 0.0;
+  } else {
+    alpha_ = std::clamp(1.0 - v / m.fin_forecast, 0.0, 1.0);
+  }
+
+  // Re-estimate the utility distribution from the period that just ended.
+  if (!sample_.empty()) {
+    last_sample_ = std::move(sample_);
+    std::sort(last_sample_.begin(), last_sample_.end());
+  }
+  sample_.clear();
+
+  if (alpha_ <= 0.0 || last_sample_.empty()) {
+    threshold_ = -std::numeric_limits<double>::infinity();
+  } else {
+    const size_t idx = std::min(
+        last_sample_.size() - 1,
+        static_cast<size_t>(alpha_ * static_cast<double>(last_sample_.size())));
+    threshold_ = last_sample_[idx];
+  }
+  return (1.0 - alpha_) * std::max(0.0, m.fin_forecast);
+}
+
+bool SemanticShedder::Admit(const Tuple& t) {
+  const double u = utility_(t);
+  sample_.push_back(u);
+  return u >= threshold_;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,46 @@
+#ifndef CTRLSHED_SHEDDING_SEMANTIC_SHEDDER_H_
+#define CTRLSHED_SHEDDING_SEMANTIC_SHEDDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+/// Utility of a tuple to the application; higher = more valuable. The
+/// default uses the payload value itself.
+using UtilityFn = std::function<double(const Tuple&)>;
+
+/// Semantic entry shedder (the Aurora-style semantic drop the paper cites
+/// in Section 2): instead of flipping a fair coin, drop the LEAST useful
+/// tuples first. The utility distribution of the arriving stream is
+/// estimated from the previous period's sample; to drop a fraction alpha,
+/// tuples whose utility falls below the alpha-quantile are discarded.
+///
+/// With utility correlated to query relevance, the same loss RATE costs
+/// much less result quality than random shedding — at identical delay
+/// behavior, since the controller's v(k) is untouched.
+class SemanticShedder : public Shedder {
+ public:
+  explicit SemanticShedder(UtilityFn utility = nullptr);
+
+  double Configure(double v, const PeriodMeasurement& m) override;
+  bool Admit(const Tuple& t) override;
+  double drop_probability() const override { return alpha_; }
+  std::string_view name() const override { return "semantic"; }
+
+  /// Current drop threshold: tuples with utility < threshold are dropped.
+  double threshold() const { return threshold_; }
+
+ private:
+  UtilityFn utility_;
+  double alpha_ = 0.0;
+  double threshold_ = -1.0;  // nothing dropped initially
+  std::vector<double> sample_;       // utilities seen this period
+  std::vector<double> last_sample_;  // previous period, sorted
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SHEDDING_SEMANTIC_SHEDDER_H_

@@ -1,0 +1,36 @@
+#ifndef CTRLSHED_SHEDDING_SHEDDER_H_
+#define CTRLSHED_SHEDDING_SHEDDER_H_
+
+#include <string_view>
+
+#include "control/controller.h"
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+
+/// The actuator of the control loop: given the controller's desired
+/// admitted rate v(k), realize it by dropping tuples.
+class Shedder {
+ public:
+  virtual ~Shedder() = default;
+
+  /// Reconfigures the shedder at a period boundary. `v` is the desired
+  /// admitted rate for the coming period and `m` the measurement it was
+  /// derived from (`m.fin_forecast` estimates the coming period's
+  /// input rate, as in Eq. 13). Returns the admitted rate the shedder can
+  /// actually target after clamping, which the controller's anti-windup
+  /// hook consumes.
+  virtual double Configure(double v, const PeriodMeasurement& m) = 0;
+
+  /// Decides the fate of one arriving tuple: true = admit into the engine.
+  virtual bool Admit(const Tuple& t) = 0;
+
+  /// Current entry drop probability (diagnostics).
+  virtual double drop_probability() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SHEDDING_SHEDDER_H_

@@ -1,0 +1,74 @@
+#include "shedding/weighted_shedder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+WeightedEntryShedder::WeightedEntryShedder(std::vector<double> priorities,
+                                           uint64_t seed)
+    : priorities_(std::move(priorities)),
+      alpha_(priorities_.size(), 0.0),
+      seen_(priorities_.size(), 0),
+      rate_estimate_(priorities_.size(), 0.0),
+      rng_(seed) {
+  CS_CHECK_MSG(!priorities_.empty(), "need at least one stream priority");
+}
+
+double WeightedEntryShedder::Configure(double v, const PeriodMeasurement& m) {
+  period_ = m.period;
+
+  // Refresh per-source rate estimates from this period's own counts.
+  for (size_t s = 0; s < seen_.size(); ++s) {
+    rate_estimate_[s] = static_cast<double>(seen_[s]) / m.period;
+    seen_[s] = 0;
+  }
+
+  const double total_rate =
+      std::accumulate(rate_estimate_.begin(), rate_estimate_.end(), 0.0);
+  const double requested_drop =
+      std::max(0.0, std::min(m.fin_forecast, total_rate) - std::max(0.0, v));
+
+  // Water-fill the drop demand starting at the lowest priority.
+  std::vector<size_t> order(priorities_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return priorities_[a] < priorities_[b];
+  });
+  std::fill(alpha_.begin(), alpha_.end(), 0.0);
+  double remaining = requested_drop;
+  for (size_t s : order) {
+    if (remaining <= 0.0 || rate_estimate_[s] <= 0.0) continue;
+    const double drop_here = std::min(remaining, rate_estimate_[s]);
+    alpha_[s] = drop_here / rate_estimate_[s];
+    remaining -= drop_here;
+  }
+
+  const double realized_drop = requested_drop - remaining;
+  aggregate_alpha_ =
+      total_rate > 0.0 ? std::clamp(realized_drop / total_rate, 0.0, 1.0)
+                       : 0.0;
+
+  // Anything still undropped was unrealizable (demand beyond total inflow).
+  return std::max(0.0, v) + remaining;
+}
+
+bool WeightedEntryShedder::Admit(const Tuple& t) {
+  const size_t s = static_cast<size_t>(t.source);
+  CS_CHECK_MSG(s < alpha_.size(), "tuple from unknown source");
+  ++seen_[s];
+  return !rng_.Bernoulli(alpha_[s]);
+}
+
+double WeightedEntryShedder::drop_probability() const {
+  return aggregate_alpha_;
+}
+
+double WeightedEntryShedder::drop_probability(int source) const {
+  CS_CHECK(source >= 0 && static_cast<size_t>(source) < alpha_.size());
+  return alpha_[static_cast<size_t>(source)];
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,45 @@
+#ifndef CTRLSHED_SHEDDING_WEIGHTED_SHEDDER_H_
+#define CTRLSHED_SHEDDING_WEIGHTED_SHEDDER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+/// Priority-aware entry shedder — the paper's future-work direction of
+/// "heterogeneous quality guarantees for streams with different
+/// priorities". The total amount to shed is the same as EntryShedder's
+/// (fin_hat - v per second), but it is taken from the LOWEST-priority
+/// streams first (water-filling): stream s is only shed once every stream
+/// with lower priority is already fully blocked.
+///
+/// Per-stream arrival rates are estimated from the shedder's own arrival
+/// counts over the previous period.
+class WeightedEntryShedder : public Shedder {
+ public:
+  /// `priorities[s]` is the priority of source s — HIGHER survives longer.
+  WeightedEntryShedder(std::vector<double> priorities, uint64_t seed);
+
+  double Configure(double v, const PeriodMeasurement& m) override;
+  bool Admit(const Tuple& t) override;
+  double drop_probability() const override;  // aggregate
+  std::string_view name() const override { return "weighted-entry"; }
+
+  /// Per-source drop probability in force (diagnostics).
+  double drop_probability(int source) const;
+
+ private:
+  std::vector<double> priorities_;
+  std::vector<double> alpha_;          // per source
+  std::vector<uint64_t> seen_;         // arrivals this period, per source
+  std::vector<double> rate_estimate_;  // arrivals last period, per source
+  double aggregate_alpha_ = 0.0;
+  double period_ = 1.0;
+  Rng rng_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SHEDDING_WEIGHTED_SHEDDER_H_

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+void EventQueue::Push(SimTime t, std::function<void()> action) {
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::NextTime() const {
+  CS_CHECK_MSG(!heap_.empty(), "NextTime on empty queue");
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  CS_CHECK_MSG(!heap_.empty(), "Pop on empty queue");
+  // priority_queue::top is const; moving requires a copy here. Events are
+  // popped once per schedule so the copy of the std::function is acceptable.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace ctrlshed

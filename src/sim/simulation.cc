@@ -1,0 +1,46 @@
+#include "sim/simulation.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+void Simulation::Schedule(SimTime t, std::function<void()> action) {
+  CS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.Push(t, std::move(action));
+}
+
+void Simulation::ScheduleEvery(SimTime first, SimTime period,
+                               std::function<bool(SimTime)> action) {
+  CS_CHECK_MSG(period > 0.0, "period must be positive");
+  auto shared = std::make_shared<std::function<bool(SimTime)>>(std::move(action));
+  // Self-rescheduling wrapper. The recursive lambda owns the user callback
+  // via shared_ptr so each rescheduled copy stays cheap.
+  std::function<void()> tick = [this, shared, period]() {
+    if ((*shared)(now_)) {
+      SimTime next = now_ + period;
+      ScheduleEvery(next, period, *shared);
+    }
+  };
+  queue_.Push(first, std::move(tick));
+}
+
+void Simulation::AttachProcess(Process* p) {
+  CS_CHECK(p != nullptr);
+  processes_.push_back(p);
+}
+
+void Simulation::Run(SimTime end) {
+  while (!queue_.empty() && queue_.NextTime() <= end) {
+    Event e = queue_.Pop();
+    for (Process* p : processes_) p->AdvanceTo(e.time);
+    now_ = e.time;
+    e.action();
+  }
+  for (Process* p : processes_) p->AdvanceTo(end);
+  if (end > now_) now_ = end;
+}
+
+}  // namespace ctrlshed

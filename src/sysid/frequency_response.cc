@@ -1,0 +1,101 @@
+#include "sysid/frequency_response.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/macros.h"
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "runner/networks.h"
+#include "sim/simulation.h"
+#include "workload/arrival_source.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+
+double IntegratorGain(double freq_hz, double sample_period) {
+  CS_CHECK_MSG(freq_hz > 0.0 && sample_period > 0.0, "invalid frequency");
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, 2.0 * std::numbers::pi * freq_hz *
+                                             sample_period));
+  return std::abs(sample_period / (z - 1.0));
+}
+
+std::vector<FrequencyPoint> MeasureFrequencyResponse(
+    const FrequencySweepParams& params) {
+  std::vector<FrequencyPoint> out;
+  out.reserve(params.freqs_hz.size());
+
+  for (double f : params.freqs_hz) {
+    CS_CHECK_MSG(f > 0.0, "frequency must be positive");
+    const double duration = params.cycles / f;
+
+    Simulation sim;
+    QueryNetwork net;
+    BuildIdentificationNetwork(&net,
+                               params.headroom / params.capacity_rate);
+    Engine engine(&net, params.headroom);
+    sim.AttachProcess(&engine);
+
+    // Preload a backlog so q stays far from the q = 0 nonlinearity.
+    for (int i = 0; i < static_cast<int>(params.preload_tuples); ++i) {
+      Tuple t;
+      t.value = 0.5;
+      engine.Inject(t, 0.0);
+    }
+
+    // Sine input centered exactly on the service capacity.
+    RateTrace trace = MakeSineTrace(
+        duration, params.capacity_rate - params.amplitude,
+        params.capacity_rate + params.amplitude, 1.0 / f,
+        /*slot_width=*/std::min(0.25, 0.05 / f));
+    ArrivalSource source(0, std::move(trace),
+                         ArrivalSource::Spacing::kDeterministic, params.seed);
+    source.Start(&sim, [&engine, &sim](const Tuple& t) {
+      engine.Inject(t, sim.now());
+    });
+
+    // Sample q(k) every sample_period.
+    std::vector<double> q_samples;
+    sim.ScheduleEvery(params.sample_period, params.sample_period,
+                      [&](SimTime) {
+                        q_samples.push_back(engine.VirtualQueueLength());
+                        return true;
+                      });
+    sim.Run(duration);
+
+    // Discard the first two cycles (transient), correlate the rest.
+    const size_t skip = static_cast<size_t>(2.0 / (f * params.sample_period));
+    CS_CHECK_MSG(q_samples.size() > skip + 8, "sweep too short");
+    double mean = 0.0;
+    for (size_t k = skip; k < q_samples.size(); ++k) mean += q_samples[k];
+    mean /= static_cast<double>(q_samples.size() - skip);
+
+    std::complex<double> acc = 0.0;
+    for (size_t k = skip; k < q_samples.size(); ++k) {
+      const double t = static_cast<double>(k + 1) * params.sample_period;
+      const double w = 2.0 * std::numbers::pi * f;
+      acc += (q_samples[k] - mean) *
+             std::exp(std::complex<double>(0.0, -w * t));
+    }
+    const double n = static_cast<double>(q_samples.size() - skip);
+    // Single-bin amplitude of q; the input sine's complex amplitude is
+    // A / (2 j) at the same bin normalization, so gain = |q_bin| * 2 / A.
+    const double q_amp = 2.0 * std::abs(acc) / n;
+
+    FrequencyPoint p;
+    p.freq_hz = f;
+    p.gain = q_amp / params.amplitude;
+    // Input is A sin(wt) => complex amplitude phase -pi/2; report q's
+    // phase relative to the input.
+    p.phase_rad = std::arg(acc) + std::numbers::pi / 2.0;
+    while (p.phase_rad > std::numbers::pi) p.phase_rad -= 2.0 * std::numbers::pi;
+    while (p.phase_rad < -std::numbers::pi) p.phase_rad += 2.0 * std::numbers::pi;
+    p.model_gain = IntegratorGain(f, params.sample_period);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ctrlshed

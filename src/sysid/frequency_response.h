@@ -1,0 +1,47 @@
+#ifndef CTRLSHED_SYSID_FREQUENCY_RESPONSE_H_
+#define CTRLSHED_SYSID_FREQUENCY_RESPONSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// One point of the measured plant frequency response.
+struct FrequencyPoint {
+  double freq_hz = 0.0;
+  double gain = 0.0;        ///< |q(jw)| / |fin(jw)| measured on the engine.
+  double phase_rad = 0.0;   ///< Phase of q relative to the input sine.
+  double model_gain = 0.0;  ///< Integrator prediction T / |e^{jwT} - 1|.
+};
+
+/// Parameters of the frequency sweep.
+struct FrequencySweepParams {
+  std::vector<double> freqs_hz = {0.01, 0.02, 0.05, 0.1, 0.2};
+  double amplitude = 60.0;     ///< Input sine amplitude, tuples/s.
+  double capacity_rate = 190.0;
+  double headroom = 0.97;
+  SimTime sample_period = 1.0;
+  double cycles = 8.0;         ///< Measured cycles per frequency point.
+  double preload_tuples = 3000.0;  ///< Initial backlog keeping q > 0 so the
+                                   ///< integrator never rectifies at zero.
+  uint64_t seed = 5;
+};
+
+/// Drives the engine with fin(t) = capacity + A sin(2 pi f t) around a
+/// preloaded backlog and extracts the gain/phase of the virtual queue at
+/// each excitation frequency by single-bin correlation. The paper verifies
+/// its integrator model in the time domain (Figs. 5-7); this is the
+/// frequency-domain counterpart: the measured gain must follow the
+/// integrator's 1/w roll-off (-20 dB/decade) with ~-90 degree phase.
+std::vector<FrequencyPoint> MeasureFrequencyResponse(
+    const FrequencySweepParams& params);
+
+/// The discrete integrator's gain at frequency f (Hz) with sample period T:
+/// |T / (e^{j 2 pi f T} - 1)|.
+double IntegratorGain(double freq_hz, double sample_period);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SYSID_FREQUENCY_RESPONSE_H_

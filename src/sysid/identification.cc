@@ -1,0 +1,129 @@
+#include "sysid/identification.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "runner/experiment.h"
+
+namespace ctrlshed {
+
+ArrivalGroupedDelays::ArrivalGroupedDelays(SimTime period) : period_(period) {
+  CS_CHECK_MSG(period_ > 0.0, "period must be positive");
+}
+
+void ArrivalGroupedDelays::OnDeparture(const Departure& d) {
+  const size_t k = static_cast<size_t>(d.arrival_time / period_);
+  if (k >= sum_.size()) {
+    sum_.resize(k + 1, 0.0);
+    count_.resize(k + 1, 0);
+  }
+  sum_[k] += d.depart_time - d.arrival_time;
+  count_[k] += 1;
+}
+
+TimeSeries ArrivalGroupedDelays::Series(SimTime duration) const {
+  TimeSeries out;
+  const size_t n = static_cast<size_t>(duration / period_);
+  double last = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (k < count_.size() && count_[k] > 0) {
+      last = sum_[k] / static_cast<double>(count_[k]);
+    }
+    out.Push(static_cast<double>(k + 1) * period_, last);
+  }
+  return out;
+}
+
+StepResponse RunStepResponse(double rate, SimTime duration, SimTime step_at,
+                             double capacity_rate, double headroom_true,
+                             uint64_t seed) {
+  ArrivalGroupedDelays grouper(1.0);
+
+  ExperimentConfig config;
+  config.method = Method::kNone;
+  config.workload = WorkloadKind::kStep;
+  config.duration = duration;
+  config.step_at = step_at;
+  config.step_low = 5.0;  // a trickle before the step, as in Fig. 5A
+  config.step_high = rate;
+  config.capacity_rate = capacity_rate;
+  config.headroom_true = headroom_true;
+  config.headroom_est = headroom_true;
+  config.spacing = ArrivalSource::Spacing::kDeterministic;
+  config.seed = seed;
+  config.departure_observer = [&grouper](const Departure& d) {
+    grouper.OnDeparture(d);
+  };
+
+  ExperimentResult r = RunExperiment(config);
+
+  StepResponse resp;
+  resp.rate = rate;
+  resp.delay = grouper.Series(duration);
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    resp.queue.Push(row.m.t, row.m.queue);
+  }
+  for (size_t k = 1; k < resp.delay.size(); ++k) {
+    resp.delta_delay.push_back(resp.delay[k].value - resp.delay[k - 1].value);
+  }
+  return resp;
+}
+
+bool DelayDiverges(const TimeSeries& delay, SimTime step_at) {
+  // Compare the mean delay shortly after the step with the mean over the
+  // final quarter: a diverging (integrating) response keeps growing, a
+  // stable one flattens out at a constant service delay.
+  if (delay.size() < 8) return false;
+  double early_sum = 0.0, late_sum = 0.0;
+  size_t early_n = 0, late_n = 0;
+  const size_t n = delay.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Sample& s = delay[i];
+    if (s.t <= step_at) continue;
+    if (s.t <= step_at + (delay[n - 1].t - step_at) * 0.25) {
+      early_sum += s.value;
+      ++early_n;
+    } else if (s.t >= step_at + (delay[n - 1].t - step_at) * 0.75) {
+      late_sum += s.value;
+      ++late_n;
+    }
+  }
+  if (early_n == 0 || late_n == 0) return false;
+  const double early = early_sum / static_cast<double>(early_n);
+  const double late = late_sum / static_cast<double>(late_n);
+  return late > 2.0 * early + 0.05;
+}
+
+double EstimateCapacityThreshold(double lo, double hi, double tol,
+                                 SimTime duration, double capacity_rate,
+                                 double headroom_true, uint64_t seed) {
+  CS_CHECK_MSG(lo < hi && tol > 0.0, "invalid search interval");
+  while (hi - lo > tol) {
+    const double mid = (lo + hi) / 2.0;
+    StepResponse resp =
+        RunStepResponse(mid, duration, /*step_at=*/10.0, capacity_rate,
+                        headroom_true, seed);
+    if (DelayDiverges(resp.delay, 10.0)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double HeadroomFitError(const std::vector<double>& measured_delay,
+                        const std::vector<double>& queue, double c, double H) {
+  CS_CHECK_MSG(measured_delay.size() == queue.size(), "length mismatch");
+  double sse = 0.0;
+  double prev_q = 0.0;
+  for (size_t k = 0; k < queue.size(); ++k) {
+    const double model = (prev_q + 1.0) * c / H;
+    const double err = measured_delay[k] - model;
+    sse += err * err;
+    prev_q = queue[k];
+  }
+  return sse;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,68 @@
+#ifndef CTRLSHED_SYSID_IDENTIFICATION_H_
+#define CTRLSHED_SYSID_IDENTIFICATION_H_
+
+#include <vector>
+
+#include "common/series.h"
+#include "common/sim_time.h"
+#include "engine/engine.h"
+
+namespace ctrlshed {
+
+/// Groups per-tuple delays by the control period their tuple ARRIVED in —
+/// the paper's definition of the output signal y(k) ("average processing
+/// delay of data tuples that arrive within a small time window T"). Wire
+/// OnDeparture as a departure observer, then read the per-period series.
+class ArrivalGroupedDelays {
+ public:
+  explicit ArrivalGroupedDelays(SimTime period);
+
+  void OnDeparture(const Departure& d);
+
+  /// Per-period mean delays up to `duration`; periods with no arrivals (or
+  /// whose tuples never departed) carry the previous period's value.
+  TimeSeries Series(SimTime duration) const;
+
+ private:
+  SimTime period_;
+  std::vector<double> sum_;
+  std::vector<uint64_t> count_;
+};
+
+/// Result of one step-response identification run (one curve of Fig. 5).
+struct StepResponse {
+  double rate = 0.0;              ///< Post-step input rate, tuples/s.
+  TimeSeries delay;               ///< y(k), grouped by arrival period.
+  TimeSeries queue;               ///< q(k) at period boundaries.
+  std::vector<double> delta_delay;  ///< y(k) - y(k-1) (Fig. 5C).
+};
+
+/// Runs an uncontrolled engine against a step input that jumps from a tiny
+/// trickle to `rate` at `step_at`, for `duration` seconds. The standard
+/// identification plant is used (capacity ~ `capacity_rate`,
+/// true headroom `headroom_true`).
+StepResponse RunStepResponse(double rate, SimTime duration, SimTime step_at,
+                             double capacity_rate, double headroom_true,
+                             uint64_t seed);
+
+/// True when the step response diverges: the delay keeps growing through
+/// the tail of the run instead of settling (the paper's criterion for the
+/// threshold load in Fig. 5).
+bool DelayDiverges(const TimeSeries& delay, SimTime step_at);
+
+/// Binary-searches the capacity threshold (the largest stable input rate)
+/// in [lo, hi] to within `tol` tuples/s; the paper derives the per-tuple
+/// cost from this threshold (c ~ 1000/190 ms at H = 1).
+double EstimateCapacityThreshold(double lo, double hi, double tol,
+                                 SimTime duration, double capacity_rate,
+                                 double headroom_true, uint64_t seed);
+
+/// Sum of squared modeling errors for a candidate headroom H, given the
+/// measured delays and queue sequence of a run (the Fig. 6/7 fitting
+/// criterion; the best H in the paper is 0.97).
+double HeadroomFitError(const std::vector<double>& measured_delay,
+                        const std::vector<double>& queue, double c, double H);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SYSID_IDENTIFICATION_H_

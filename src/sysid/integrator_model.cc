@@ -1,0 +1,103 @@
+#include "sysid/integrator_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+std::vector<double> SimulateIntegratorModel(const ModelParams& params,
+                                            const std::vector<double>& fin) {
+  CS_CHECK_MSG(params.c > 0.0 && params.H > 0.0 && params.T > 0.0,
+               "model parameters must be positive");
+  std::vector<double> y(fin.size(), 0.0);
+  const double service = params.H / params.c;  // tuples/s
+  double q = 0.0;
+  for (size_t k = 0; k < fin.size(); ++k) {
+    y[k] = (q + 1.0) * params.c / params.H;
+    const double available = q / params.T + fin[k];  // rate-equivalent work
+    const double fout = std::min(service, available);
+    q = std::max(0.0, q + params.T * (fin[k] - fout));
+  }
+  return y;
+}
+
+std::vector<double> ModelDelayFromQueue(const std::vector<double>& q,
+                                        double c, double H) {
+  CS_CHECK_MSG(c > 0.0 && H > 0.0, "c and H must be positive");
+  std::vector<double> y(q.size(), 0.0);
+  double prev_q = 0.0;
+  for (size_t k = 0; k < q.size(); ++k) {
+    y[k] = (prev_q + 1.0) * c / H;
+    prev_q = q[k];
+  }
+  return y;
+}
+
+std::vector<double> ModelDelayFromQueueMidpoint(const std::vector<double>& q,
+                                                double c, double H) {
+  CS_CHECK_MSG(c > 0.0 && H > 0.0, "c and H must be positive");
+  std::vector<double> y(q.size(), 0.0);
+  double prev_q = 0.0;
+  for (size_t k = 0; k < q.size(); ++k) {
+    y[k] = ((prev_q + q[k]) / 2.0 + 1.0) * c / H;
+    prev_q = q[k];
+  }
+  return y;
+}
+
+double HeadroomFitErrorMidpoint(const std::vector<double>& measured,
+                                const std::vector<double>& q, double c,
+                                double H) {
+  CS_CHECK_MSG(measured.size() == q.size(), "length mismatch");
+  const std::vector<double> model = ModelDelayFromQueueMidpoint(q, c, H);
+  double sse = 0.0;
+  for (size_t k = 0; k < q.size(); ++k) {
+    const double err = measured[k] - model[k];
+    sse += err * err;
+  }
+  return sse;
+}
+
+ArxFit FitArxModel(const std::vector<double>& u, const std::vector<double>& y) {
+  ArxFit fit;
+  CS_CHECK_MSG(u.size() == y.size(), "length mismatch");
+  if (y.size() < 4) return fit;
+
+  // Normal equations for y(k) = a1 y(k-1) + b1 u(k-1), k = 1..n-1.
+  double syy = 0.0, suu = 0.0, syu = 0.0, sy_y = 0.0, su_y = 0.0;
+  const size_t n = y.size();
+  for (size_t k = 1; k < n; ++k) {
+    const double yp = y[k - 1], up = u[k - 1], yk = y[k];
+    syy += yp * yp;
+    suu += up * up;
+    syu += yp * up;
+    sy_y += yp * yk;
+    su_y += up * yk;
+  }
+  const double det = syy * suu - syu * syu;
+  if (std::abs(det) < 1e-9 * (syy * suu + 1e-12)) return fit;
+
+  fit.a1 = (sy_y * suu - su_y * syu) / det;
+  fit.b1 = (su_y * syy - sy_y * syu) / det;
+
+  double sse = 0.0;
+  for (size_t k = 1; k < n; ++k) {
+    const double pred = fit.a1 * y[k - 1] + fit.b1 * u[k - 1];
+    sse += (y[k] - pred) * (y[k] - pred);
+  }
+  fit.rmse = std::sqrt(sse / static_cast<double>(n - 1));
+  fit.ok = true;
+  return fit;
+}
+
+std::vector<double> ModelingError(const std::vector<double>& measured,
+                                  const std::vector<double>& model) {
+  CS_CHECK_MSG(measured.size() == model.size(), "length mismatch");
+  std::vector<double> err(measured.size());
+  for (size_t i = 0; i < measured.size(); ++i) err[i] = measured[i] - model[i];
+  return err;
+}
+
+}  // namespace ctrlshed

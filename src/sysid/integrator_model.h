@@ -1,0 +1,66 @@
+#ifndef CTRLSHED_SYSID_INTEGRATOR_MODEL_H_
+#define CTRLSHED_SYSID_INTEGRATOR_MODEL_H_
+
+#include <vector>
+
+namespace ctrlshed {
+
+/// Parameters of the paper's dynamic DSMS model (Section 4.2):
+/// an integrator with per-tuple cost c, headroom H and sampling period T.
+struct ModelParams {
+  double c = 0.0052631;  ///< Per-tuple cost, seconds (~190 tuples/s at H=1).
+  double H = 0.97;       ///< Headroom factor.
+  double T = 1.0;        ///< Sampling period, seconds.
+};
+
+/// Simulates the closed-form model against an input-rate sequence:
+///   y(k) = (q(k-1) + 1) c / H                              (Eq. 2)
+///   q(k) = max(0, q(k-1) + T (fin(k) - fout(k)))
+/// where fout is the service rate H/c, limited by the available work.
+/// Returns the y(k) sequence (same length as `fin`).
+std::vector<double> SimulateIntegratorModel(const ModelParams& params,
+                                            const std::vector<double>& fin);
+
+/// Computes the model's delay estimate from a measured virtual-queue
+/// sequence (Eq. 2 with the runtime-collected q(k), as in the paper's
+/// verification experiments of Figs. 6-7):
+///   y_model(k) = (q(k-1) + 1) c / H,  with q(-1) = 0.
+std::vector<double> ModelDelayFromQueue(const std::vector<double>& q,
+                                        double c, double H);
+
+/// Bias-corrected variant: y(k) averages tuples arriving THROUGHOUT period
+/// k, which see the queue evolve from q(k-1) to q(k); regressing on the
+/// midpoint (q(k-1) + q(k)) / 2 removes the resulting half-period bias
+/// that otherwise drags the fitted H a percent or two below the truth.
+std::vector<double> ModelDelayFromQueueMidpoint(const std::vector<double>& q,
+                                                double c, double H);
+
+/// Sum of squared errors between `measured` delays and the midpoint-model
+/// delays for candidate headroom H.
+double HeadroomFitErrorMidpoint(const std::vector<double>& measured,
+                                const std::vector<double>& q, double c,
+                                double H);
+
+/// Element-wise modeling error: measured - model. The two vectors must
+/// have the same length.
+std::vector<double> ModelingError(const std::vector<double>& measured,
+                                  const std::vector<double>& model);
+
+/// First-order ARX model  y(k) = a1 y(k-1) + b1 u(k-1)  fitted by least
+/// squares from input/output records — identification WITHOUT assuming
+/// the integrator structure. For the DSMS plant (u = net inflow rate,
+/// y = virtual queue length) the fit should recover a1 ~ 1 (the
+/// integrator pole) and b1 ~ T, which is how one validates the paper's
+/// Eq. (3) from data alone.
+struct ArxFit {
+  double a1 = 0.0;      ///< Pole estimate.
+  double b1 = 0.0;      ///< Input gain estimate.
+  double rmse = 0.0;    ///< One-step-ahead prediction error.
+  bool ok = false;      ///< False when the regression is degenerate.
+};
+
+ArxFit FitArxModel(const std::vector<double>& u, const std::vector<double>& y);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_SYSID_INTEGRATOR_MODEL_H_

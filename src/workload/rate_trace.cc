@@ -1,0 +1,45 @@
+#include "workload/rate_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+RateTrace::RateTrace(SimTime slot_width, std::vector<double> values)
+    : slot_width_(slot_width), values_(std::move(values)) {
+  CS_CHECK_MSG(slot_width_ > 0.0, "slot width must be positive");
+}
+
+double RateTrace::At(SimTime t) const {
+  CS_CHECK_MSG(!values_.empty(), "empty trace");
+  if (t < 0.0) return values_.front();
+  size_t i = static_cast<size_t>(t / slot_width_);
+  if (i >= values_.size()) i = values_.size() - 1;
+  return values_[i];
+}
+
+double RateTrace::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double RateTrace::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+RateTrace RateTrace::ScaledToMean(double target_mean) const {
+  CS_CHECK_MSG(!values_.empty(), "cannot scale an empty trace");
+  const double mean = Mean();
+  CS_CHECK_MSG(mean > 0.0, "cannot scale a zero-mean trace");
+  const double factor = target_mean / mean;
+  std::vector<double> scaled = values_;
+  for (double& v : scaled) v *= factor;
+  return RateTrace(slot_width_, std::move(scaled));
+}
+
+}  // namespace ctrlshed

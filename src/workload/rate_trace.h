@@ -1,0 +1,45 @@
+#ifndef CTRLSHED_WORKLOAD_RATE_TRACE_H_
+#define CTRLSHED_WORKLOAD_RATE_TRACE_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// A piecewise-constant function of time, stored as equal-width slots.
+/// Used both for arrival rates (tuples/s) and per-tuple cost traces (ms).
+class RateTrace {
+ public:
+  RateTrace() = default;
+
+  /// `slot_width` seconds per slot; `values[i]` holds for
+  /// t in [i*slot_width, (i+1)*slot_width).
+  RateTrace(SimTime slot_width, std::vector<double> values);
+
+  /// Value at time `t`; the last slot extends to +infinity and negative
+  /// times clamp to the first slot.
+  double At(SimTime t) const;
+
+  SimTime slot_width() const { return slot_width_; }
+  SimTime Duration() const { return slot_width_ * static_cast<double>(values_.size()); }
+  const std::vector<double>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+
+  /// Mean of all slot values (0 when empty).
+  double Mean() const;
+
+  /// Largest slot value (0 when empty).
+  double Max() const;
+
+  /// Returns a copy scaled so that Mean() == `target_mean`.
+  RateTrace ScaledToMean(double target_mean) const;
+
+ private:
+  SimTime slot_width_ = 1.0;
+  std::vector<double> values_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_WORKLOAD_RATE_TRACE_H_

@@ -1,0 +1,129 @@
+#include "workload/trace_io.h"
+
+#include <cmath>
+#include <iomanip>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ctrlshed {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+TraceParseResult Fail(int line, const std::string& what) {
+  TraceParseResult r;
+  r.ok = false;
+  std::ostringstream msg;
+  msg << "line " << line << ": " << what;
+  r.error = msg.str();
+  return r;
+}
+
+}  // namespace
+
+void WriteTrace(const RateTrace& trace, std::ostream& out) {
+  // Round-trippable precision for doubles.
+  out << std::setprecision(17);
+  out << "# ctrlshed-trace v1\n";
+  out << "slot_width " << trace.slot_width() << "\n";
+  for (double v : trace.values()) out << v << "\n";
+}
+
+TraceParseResult ReadTrace(std::istream& in) {
+  std::string line;
+  int lineno = 0;
+  double slot_width = 0.0;
+  bool have_width = false;
+  std::vector<double> values;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (!have_width) {
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key >> slot_width;
+      if (key != "slot_width" || ls.fail() || slot_width <= 0.0) {
+        return Fail(lineno, "expected 'slot_width <positive seconds>'");
+      }
+      have_width = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    double v = 0.0;
+    ls >> v;
+    if (ls.fail() || v < 0.0 || !std::isfinite(v)) {
+      return Fail(lineno, "expected a non-negative finite rate value");
+    }
+    values.push_back(v);
+  }
+
+  if (!have_width) return Fail(lineno, "missing slot_width header");
+  if (values.empty()) return Fail(lineno, "trace has no slots");
+
+  TraceParseResult r;
+  r.ok = true;
+  r.trace = RateTrace(slot_width, std::move(values));
+  return r;
+}
+
+TraceParseResult ReadTimestampTrace(std::istream& in, SimTime slot_width) {
+  if (slot_width <= 0.0) return Fail(0, "slot width must be positive");
+  std::string line;
+  int lineno = 0;
+  std::vector<double> counts;
+  double prev = -1.0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double t = 0.0;
+    ls >> t;
+    if (ls.fail() || t < 0.0 || !std::isfinite(t)) {
+      return Fail(lineno, "expected a non-negative finite timestamp");
+    }
+    if (t < prev) return Fail(lineno, "timestamps must be non-decreasing");
+    prev = t;
+    const size_t slot = static_cast<size_t>(t / slot_width);
+    if (slot >= counts.size()) counts.resize(slot + 1, 0.0);
+    counts[slot] += 1.0;
+  }
+  if (counts.empty()) return Fail(lineno, "no timestamps found");
+
+  // Convert per-slot counts into rates.
+  for (double& c : counts) c /= slot_width;
+  TraceParseResult r;
+  r.ok = true;
+  r.trace = RateTrace(slot_width, std::move(counts));
+  return r;
+}
+
+TraceParseResult ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    TraceParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  return ReadTrace(in);
+}
+
+bool WriteTraceFile(const RateTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTrace(trace, out);
+  return out.good();
+}
+
+}  // namespace ctrlshed

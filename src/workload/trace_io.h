@@ -1,0 +1,43 @@
+#ifndef CTRLSHED_WORKLOAD_TRACE_IO_H_
+#define CTRLSHED_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/rate_trace.h"
+
+namespace ctrlshed {
+
+/// Result of a trace parse; `ok` is false on malformed input and `error`
+/// then carries a line-numbered message.
+struct TraceParseResult {
+  bool ok = false;
+  RateTrace trace;
+  std::string error;
+};
+
+/// Writes `trace` in the text format below (round-trippable):
+///
+///   # ctrlshed-trace v1
+///   slot_width <seconds>
+///   <value>        (one per line, slot order)
+void WriteTrace(const RateTrace& trace, std::ostream& out);
+
+/// Parses the WriteTrace format. Lines starting with '#' are comments.
+TraceParseResult ReadTrace(std::istream& in);
+
+/// Parses a timestamp list (one arrival timestamp in seconds per line,
+/// non-decreasing — the shape of the Internet Traffic Archive packet
+/// traces the paper replays) and bins it into a rate trace with the given
+/// slot width. Use this to feed a real recorded trace to the workload
+/// generators in place of our synthetic web stand-in.
+TraceParseResult ReadTimestampTrace(std::istream& in, SimTime slot_width);
+
+/// File-path conveniences; return ok = false when the file cannot be
+/// opened.
+TraceParseResult ReadTraceFile(const std::string& path);
+bool WriteTraceFile(const RateTrace& trace, const std::string& path);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_WORKLOAD_TRACE_IO_H_

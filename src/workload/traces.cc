@@ -1,0 +1,204 @@
+#include "workload/traces.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace ctrlshed {
+
+namespace {
+
+size_t NumSlots(SimTime duration, SimTime slot_width) {
+  CS_CHECK_MSG(duration > 0.0 && slot_width > 0.0,
+               "duration and slot width must be positive");
+  return static_cast<size_t>(std::ceil(duration / slot_width));
+}
+
+}  // namespace
+
+RateTrace MakeConstantTrace(SimTime duration, double rate) {
+  return RateTrace(1.0, std::vector<double>(NumSlots(duration, 1.0), rate));
+}
+
+RateTrace MakeStepTrace(SimTime duration, SimTime step_at, double low,
+                        double high) {
+  const SimTime dt = 0.25;  // quarter-second slots keep the edge sharp
+  const size_t n = NumSlots(duration, dt);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (static_cast<double>(i) * dt < step_at) ? low : high;
+  }
+  return RateTrace(dt, std::move(v));
+}
+
+RateTrace MakeSineTrace(SimTime duration, double lo, double hi, SimTime period,
+                        SimTime slot_width) {
+  CS_CHECK_MSG(hi >= lo, "sine range inverted");
+  CS_CHECK_MSG(period > 0.0, "sine period must be positive");
+  const size_t n = NumSlots(duration, slot_width);
+  std::vector<double> v(n);
+  const double mid = (hi + lo) / 2.0;
+  const double amp = (hi - lo) / 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * slot_width;
+    v[i] = mid + amp * std::sin(2.0 * std::numbers::pi * t / period);
+  }
+  return RateTrace(slot_width, std::move(v));
+}
+
+RateTrace MakeRampTrace(SimTime duration, double start_rate, double end_rate) {
+  const SimTime dt = 0.5;
+  const size_t n = NumSlots(duration, dt);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double frac = (n <= 1) ? 0.0 : static_cast<double>(i) / (n - 1);
+    v[i] = start_rate + frac * (end_rate - start_rate);
+  }
+  return RateTrace(dt, std::move(v));
+}
+
+namespace {
+
+// Mean of the bounded Pareto distribution on [lo, hi] with shape a.
+double BoundedParetoMean(double a, double lo, double hi) {
+  if (std::abs(a - 1.0) < 1e-9) {
+    return lo * hi / (hi - lo) * std::log(hi / lo);
+  }
+  const double la = std::pow(lo, a);
+  const double ha = std::pow(hi, a);
+  return la / (1.0 - la / ha) * (a / (a - 1.0)) *
+         (1.0 / std::pow(lo, a - 1.0) - 1.0 / std::pow(hi, a - 1.0));
+}
+
+}  // namespace
+
+RateTrace MakeParetoTrace(SimTime duration, const ParetoTraceParams& params,
+                          uint64_t seed) {
+  CS_CHECK_MSG(params.beta > 0.0, "bias factor must be positive");
+  CS_CHECK_MSG(params.mean_rate > 0.0, "mean rate must be positive");
+  Rng rng(seed);
+  const size_t n = NumSlots(duration, params.slot_width);
+  // The absolute scale is anchored at beta = 1 (the Fig. 13 reference
+  // trace): rate = base x BoundedPareto(beta). Changing beta then changes
+  // burstiness the way the paper describes (smaller beta = heavier tail =
+  // burstier) without re-normalizing each trace, which would invert the
+  // ordering; Fig. 17 accordingly reports metrics relative to beta = 1.5.
+  const double base =
+      params.mean_rate / BoundedParetoMean(1.0, 1.0, params.spread);
+  std::vector<double> v(n);
+  size_t i = 0;
+  while (i < n) {
+    const double level =
+        base * rng.BoundedPareto(params.beta, 1.0, params.spread);
+    const double len_s =
+        rng.Pareto(params.episode_shape, params.episode_min_seconds);
+    size_t len = static_cast<size_t>(std::ceil(len_s / params.slot_width));
+    if (len == 0) len = 1;
+    for (size_t j = 0; j < len && i < n; ++j, ++i) v[i] = level;
+  }
+  return RateTrace(params.slot_width, std::move(v));
+}
+
+RateTrace MakeWebTrace(SimTime duration, const WebTraceParams& params,
+                       uint64_t seed) {
+  CS_CHECK_MSG(params.num_sources > 0, "need at least one ON/OFF source");
+  Rng rng(seed);
+  const size_t n = NumSlots(duration, params.slot_width);
+  std::vector<double> total(n, 0.0);
+
+  // Superpose heavy-tailed ON/OFF sources; each contributes 1 unit of rate
+  // while ON. The absolute level is fixed afterwards by rescaling.
+  for (int s = 0; s < params.num_sources; ++s) {
+    // Random initial phase: start a random way into an OFF period.
+    SimTime t = -rng.Uniform() * params.off_min_seconds * 3.0;
+    bool on = false;
+    while (t < duration) {
+      const double len = on ? rng.Pareto(params.on_shape, params.on_min_seconds)
+                            : rng.Pareto(params.off_shape, params.off_min_seconds);
+      if (on) {
+        const SimTime begin = std::max(0.0, t);
+        const SimTime end = std::min(duration, t + len);
+        for (SimTime u = begin; u < end; u += params.slot_width) {
+          const size_t i = static_cast<size_t>(u / params.slot_width);
+          if (i < n) total[i] += 1.0;
+        }
+      }
+      t += len;
+      on = !on;
+    }
+  }
+
+  // Slow "diurnal" modulation.
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * params.slot_width;
+    total[i] *= 1.0 + params.modulation *
+                          std::sin(2.0 * std::numbers::pi * t /
+                                   params.modulation_period);
+    if (total[i] < 0.0) total[i] = 0.0;
+  }
+
+  return RateTrace(params.slot_width, std::move(total))
+      .ScaledToMean(params.mean_rate);
+}
+
+RateTrace MakeMmppTrace(SimTime duration, const MmppTraceParams& params,
+                        uint64_t seed) {
+  CS_CHECK_MSG(params.quiet_rate >= 0.0 && params.burst_rate >= 0.0,
+               "rates must be non-negative");
+  CS_CHECK_MSG(params.mean_quiet_seconds > 0.0 &&
+                   params.mean_burst_seconds > 0.0,
+               "mean sojourn times must be positive");
+  Rng rng(seed);
+  const size_t n = NumSlots(duration, params.slot_width);
+  std::vector<double> v(n);
+  bool bursting = false;
+  // Geometric sojourns: leave the current state each slot with probability
+  // slot_width / mean_sojourn.
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = bursting ? params.burst_rate : params.quiet_rate;
+    const double leave =
+        params.slot_width /
+        (bursting ? params.mean_burst_seconds : params.mean_quiet_seconds);
+    if (rng.Bernoulli(std::min(1.0, leave))) bursting = !bursting;
+  }
+  return RateTrace(params.slot_width, std::move(v));
+}
+
+RateTrace MakeCostTrace(SimTime duration, const CostTraceParams& params,
+                        uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = NumSlots(duration, params.slot_width);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * params.slot_width;
+    double c = params.base_ms;
+    // Long-tailed but bounded noise floor (Fig. 14 stays under ~25 ms).
+    c += params.noise_scale_ms *
+         (rng.BoundedPareto(params.noise_shape, 1.0, 8.0) - 1.0);
+
+    // Small, smooth peak.
+    const double d_small = (t - params.small_peak_at) / params.small_peak_width;
+    c += params.small_peak_ms * std::exp(-d_small * d_small);
+
+    // Large peak with a sudden jump and exponential relaxation.
+    if (t >= params.jump_at) {
+      c += params.jump_ms * std::exp(-(t - params.jump_at) / params.jump_decay);
+    }
+
+    // Gradual ramp into a high terrace, then a sudden drop.
+    if (t >= params.ramp_from && t < params.terrace_from) {
+      const double frac =
+          (t - params.ramp_from) / (params.terrace_from - params.ramp_from);
+      c += params.terrace_ms * frac;
+    } else if (t >= params.terrace_from && t < params.terrace_until) {
+      c += params.terrace_ms;
+    }
+    v[i] = c;
+  }
+  return RateTrace(params.slot_width, std::move(v));
+}
+
+}  // namespace ctrlshed

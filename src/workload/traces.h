@@ -1,0 +1,115 @@
+#ifndef CTRLSHED_WORKLOAD_TRACES_H_
+#define CTRLSHED_WORKLOAD_TRACES_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "workload/rate_trace.h"
+
+namespace ctrlshed {
+
+/// Constant arrival rate.
+RateTrace MakeConstantTrace(SimTime duration, double rate);
+
+/// Step input: `low` until `step_at`, then `high` (paper Fig. 5A).
+RateTrace MakeStepTrace(SimTime duration, SimTime step_at, double low, double high);
+
+/// Sinusoidal input oscillating in [lo, hi] with the given period (paper's
+/// sinusoidal identification input, Fig. 7: fin in [0, 400]).
+RateTrace MakeSineTrace(SimTime duration, double lo, double hi,
+                        SimTime period, SimTime slot_width = 1.0);
+
+/// Monotonically increasing ramp from `start_rate` to `end_rate` (the
+/// open-loop instability scenario of Section 4.3.2, Example 1).
+RateTrace MakeRampTrace(SimTime duration, double start_rate, double end_rate);
+
+/// Parameters of the long-tailed synthetic workload ("Pareto" in the
+/// paper). The trace is a sequence of constant-rate EPISODES: each
+/// episode's rate level follows a bounded Pareto distribution whose shape
+/// is the bias factor `beta` (smaller beta = heavier tail = burstier), and
+/// episode durations are heavy-tailed with a floor of a few seconds — the
+/// paper observes that "most of the bursts in both traces last longer than
+/// a few (4 to 5) seconds", which is what makes a one-second control
+/// period satisfy the sampling theorem (Section 4.5.3). The whole trace is
+/// rescaled to `mean_rate`.
+struct ParetoTraceParams {
+  double beta = 1.0;        ///< Bias factor (paper sweeps 0.1 .. 1.5).
+  double mean_rate = 200.0; ///< Expected average at beta = 1, tuples/s.
+                            ///< (Other beta values shift the mean: the
+                            ///< absolute scale is fixed, not the mean, so
+                            ///< smaller beta is genuinely burstier.)
+  double spread = 12.0;     ///< hi/lo ratio of the bounded Pareto support;
+                            ///< 12 reproduces Fig. 13's ~4x peak-to-mean.
+  double episode_shape = 1.8;      ///< Pareto shape of episode durations.
+  double episode_min_seconds = 3.0;///< Minimum episode duration.
+  SimTime slot_width = 1.0; ///< Seconds per constant-rate slot.
+};
+
+RateTrace MakeParetoTrace(SimTime duration, const ParetoTraceParams& params,
+                          uint64_t seed);
+
+/// Parameters of the synthetic "Web" workload — our stand-in for the
+/// LBL-PKT-4 web-server request trace used in the paper (the Internet
+/// Traffic Archive is not available offline). The trace superposes
+/// heavy-tailed ON/OFF sources (the standard generative model for
+/// self-similar web traffic, per Paxson & Floyd) and applies a slow
+/// sinusoidal "diurnal" modulation, then rescales to the target mean.
+struct WebTraceParams {
+  int num_sources = 12;        ///< Few sources = rough, self-similar swings
+                               ///< like the LBL trace (100 -> ~700 spikes).
+  double on_shape = 1.5;       ///< Pareto shape of ON durations.
+  double on_min_seconds = 3.0; ///< Minimum ON duration (bursts last >= a few s).
+  double off_shape = 1.5;
+  double off_min_seconds = 9.0;
+  double mean_rate = 200.0;    ///< Matches Fig. 13's visual average.
+  double modulation = 0.25;    ///< Relative amplitude of the slow modulation.
+  SimTime modulation_period = 200.0;
+  SimTime slot_width = 1.0;
+};
+
+RateTrace MakeWebTrace(SimTime duration, const WebTraceParams& params,
+                       uint64_t seed);
+
+/// Parameters of a Markov-modulated arrival trace: a two-state (quiet /
+/// burst) Markov chain with geometric sojourn times, the classic MMPP-2
+/// burstiness model. Complements the Pareto-episode and ON/OFF-web
+/// generators with a short-range-dependent alternative.
+struct MmppTraceParams {
+  double quiet_rate = 120.0;       ///< Tuples/s in the quiet state.
+  double burst_rate = 450.0;       ///< Tuples/s in the burst state.
+  double mean_quiet_seconds = 12.0;
+  double mean_burst_seconds = 4.0;
+  SimTime slot_width = 1.0;
+};
+
+RateTrace MakeMmppTrace(SimTime duration, const MmppTraceParams& params,
+                        uint64_t seed);
+
+/// Parameters of the per-tuple cost trace of Fig. 14: a long-tailed noisy
+/// base with three "circumstances" — a small peak around t=50s, a large
+/// sudden-jump peak starting at t=125s, and a high terrace reached by a
+/// gradual ramp and ending with a sudden drop (250s..350s).
+struct CostTraceParams {
+  double base_ms = 4.0;
+  double noise_shape = 1.5;    ///< Pareto shape of the additive noise.
+  double noise_scale_ms = 0.4;
+  double small_peak_at = 50.0;
+  double small_peak_ms = 8.0;
+  double small_peak_width = 4.0;
+  double jump_at = 125.0;
+  double jump_ms = 18.0;
+  double jump_decay = 12.0;
+  double ramp_from = 200.0;    ///< Gradual increase starts here...
+  double terrace_from = 250.0; ///< ...reaching the terrace level here.
+  double terrace_until = 350.0;
+  double terrace_ms = 11.0;    ///< Height of the terrace above base.
+  SimTime slot_width = 1.0;
+};
+
+/// Returns the per-tuple cost in MILLISECONDS over time.
+RateTrace MakeCostTrace(SimTime duration, const CostTraceParams& params,
+                        uint64_t seed);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_WORKLOAD_TRACES_H_

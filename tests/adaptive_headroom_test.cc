@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+
+namespace ctrlshed {
+namespace {
+
+// The engine's true headroom is 0.80 but the loop believes 0.97. Without
+// adaptation the Eq. (11) estimate is biased and the controller settles
+// the real delay ABOVE the target by ~0.97/0.80; with online headroom
+// estimation the bias disappears.
+double SteadyStateDelay(bool adapt) {
+  ExperimentConfig cfg;
+  cfg.method = Method::kCtrl;
+  cfg.workload = WorkloadKind::kConstant;
+  cfg.constant_rate = 300.0;
+  cfg.duration = 200.0;
+  cfg.headroom_true = 0.80;
+  cfg.headroom_est = 0.97;
+  cfg.adapt_headroom = adapt;
+  ExperimentResult r = RunExperiment(cfg);
+
+  double sum = 0.0;
+  int n = 0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.t > 120.0 && row.m.has_y_measured) {
+      sum += row.m.y_measured;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+TEST(AdaptiveHeadroomTest, MisidentifiedHeadroomBiasesDelay) {
+  const double y = SteadyStateDelay(/*adapt=*/false);
+  // Bias factor ~ H_est / H_true = 1.21: y settles near 2.4 s, not 2.0.
+  EXPECT_GT(y, 2.2);
+}
+
+TEST(AdaptiveHeadroomTest, OnlineEstimateRemovesBias) {
+  const double y = SteadyStateDelay(/*adapt=*/true);
+  EXPECT_NEAR(y, 2.0, 0.15);
+}
+
+TEST(AdaptiveHeadroomTest, NoEffectWhenHeadroomCorrect) {
+  ExperimentConfig cfg;
+  cfg.method = Method::kCtrl;
+  cfg.workload = WorkloadKind::kConstant;
+  cfg.constant_rate = 300.0;
+  cfg.duration = 120.0;
+  cfg.adapt_headroom = true;
+  ExperimentResult r = RunExperiment(cfg);
+  double sum = 0.0;
+  int n = 0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.t > 60.0 && row.m.has_y_measured) {
+      sum += row.m.y_measured;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace ctrlshed

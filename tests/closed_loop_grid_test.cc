@@ -1,0 +1,81 @@
+// Property sweep of the closed loop on the nominal model plant: for every
+// combination of per-tuple cost c, control period T, and headroom H, the
+// CTRL law must drive the delay to the target with the designed dynamics —
+// the controller's H/(cT) factor is exactly what makes the design
+// plant-independent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "control/ctrl_controller.h"
+
+namespace ctrlshed {
+namespace {
+
+using GridParam = std::tuple<double, double, double>;  // c, T, H
+
+class ClosedLoopGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  // Simulates the saturated virtual-queue plant against the controller
+  // for `periods` steps starting from queue `q0`; returns the final y.
+  double RunLoop(double q0, int periods, double yd = 2.0) {
+    const auto [c, T, H] = GetParam();
+    CtrlOptions opts;
+    opts.headroom = H;
+    opts.anti_windup = false;
+    CtrlController ctrl(opts);
+    const double service = H / c;
+    double q = q0;
+    for (int k = 0; k < periods; ++k) {
+      PeriodMeasurement m;
+      m.period = T;
+      m.target_delay = yd;
+      m.cost = c;
+      m.queue = q;
+      m.fout = service;
+      m.y_hat = (q + 1.0) * c / H;
+      const double v = ctrl.DesiredRate(m);
+      q = std::max(0.0, q + T * (v - service));
+    }
+    return (q + 1.0) * c / H;
+  }
+};
+
+TEST_P(ClosedLoopGrid, ConvergesFromAbove) {
+  const auto [c, T, H] = GetParam();
+  const double y0 = 5.0;  // start 2.5x above target
+  const double q0 = y0 * H / c;
+  EXPECT_NEAR(RunLoop(q0, 80), 2.0, 0.05) << "c=" << c << " T=" << T;
+}
+
+TEST_P(ClosedLoopGrid, ConvergesFromBelow) {
+  EXPECT_NEAR(RunLoop(/*q0=*/1.0, 80), 2.0, 0.05);
+}
+
+TEST_P(ClosedLoopGrid, ErrorDecaysAtDesignedRate) {
+  // Poles at 0.7: from a 4-second initial error, after k periods the
+  // error is O(4 * k * 0.7^k). Check two checkpoints with slack for the
+  // zero-induced transient (the response may cross the target once).
+  const auto [c, T, H] = GetParam();
+  const double q0 = 6.0 * H / c;  // y0 = 6 s, error 4 s
+  EXPECT_LT(std::abs(RunLoop(q0, 12) - 2.0), 0.4);
+  EXPECT_LT(std::abs(RunLoop(q0, 24) - 2.0), 0.02);
+}
+
+TEST_P(ClosedLoopGrid, TracksMovedTarget) {
+  const auto [c, T, H] = GetParam();
+  const double q0 = 2.0 * H / c;
+  EXPECT_NEAR(RunLoop(q0, 80, /*yd=*/4.0), 4.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostPeriodHeadroom, ClosedLoopGrid,
+    ::testing::Combine(::testing::Values(0.001, 0.00526, 0.020),
+                       ::testing::Values(0.25, 1.0, 2.0),
+                       ::testing::Values(0.5, 0.97)));
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/series.h"
+#include "common/sim_time.h"
+#include "common/table_printer.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Millis(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(Micros(250.0), 0.00025);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.1);
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(RngTest, ParetoMeanMatchesTheory) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  // alpha = 3: mean = alpha * xm / (alpha - 1) = 1.5 (finite variance).
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(3.0, 1.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.02);
+}
+
+TEST(RngTest, BoundedParetoWithinBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.BoundedPareto(1.0, 1.0, 12.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 12.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoHeavierTailForSmallerShape) {
+  // Smaller shape = more mass near the upper bound.
+  Rng a(19), b(19);
+  int high_a = 0, high_b = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (a.BoundedPareto(0.3, 1.0, 12.0) > 6.0) ++high_a;
+    if (b.BoundedPareto(2.0, 1.0, 12.0) > 6.0) ++high_b;
+  }
+  EXPECT_GT(high_a, 2 * high_b);
+}
+
+TEST(SeriesTest, EmptySeriesStats) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Stats().count, 0u);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SeriesTest, BasicStats) {
+  TimeSeries s;
+  s.Push(0.0, 1.0);
+  s.Push(1.0, 3.0);
+  s.Push(2.0, 5.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  SummaryStats st = s.Stats();
+  EXPECT_DOUBLE_EQ(st.min, 1.0);
+  EXPECT_NEAR(st.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(SeriesTest, MaxWithAllNegativeValues) {
+  TimeSeries s;
+  s.Push(0.0, -5.0);
+  s.Push(1.0, -2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), -2.0);
+}
+
+TEST(SeriesTest, SumAboveAndCountAbove) {
+  TimeSeries s;
+  s.Push(0.0, 1.0);
+  s.Push(1.0, 2.5);
+  s.Push(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.SumAbove(2.0), 0.5 + 2.0);
+  EXPECT_EQ(s.CountAbove(2.0), 2u);
+  EXPECT_EQ(s.CountAbove(10.0), 0u);
+}
+
+TEST(SeriesTest, ValuesPreserveOrder) {
+  TimeSeries s;
+  s.Push(0.0, 9.0);
+  s.Push(1.0, 7.0);
+  auto v = s.Values();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(TablePrinterTest, HeaderAndRows) {
+  std::ostringstream out;
+  TablePrinter t(out, {"a", "b"});
+  t.PrintHeader();
+  t.PrintRow({1.0, 2.5});
+  std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("2.5000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, StringRows) {
+  std::ostringstream out;
+  TablePrinter t(out, {"name", "value"});
+  t.PrintRow(std::vector<std::string>{"x", "y"});
+  EXPECT_NE(out.str().find("x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrecisionConfigurable) {
+  std::ostringstream out;
+  TablePrinter t(out, {"v"});
+  t.set_precision(1);
+  t.PrintRow(std::vector<double>{3.14159});
+  EXPECT_NE(out.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.14"), std::string::npos);
+}
+
+TEST(ComputeStatsTest, SingleValue) {
+  SummaryStats st = ComputeStats({42.0});
+  EXPECT_DOUBLE_EQ(st.min, 42.0);
+  EXPECT_DOUBLE_EQ(st.max, 42.0);
+  EXPECT_DOUBLE_EQ(st.mean, 42.0);
+  EXPECT_DOUBLE_EQ(st.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/aurora_controller.h"
+#include "control/baseline_controller.h"
+#include "control/ctrl_controller.h"
+#include "control/pole_placement.h"
+
+namespace ctrlshed {
+namespace {
+
+PeriodMeasurement MakeMeasurement(double y_hat, double fout, double cost,
+                                  double queue = 0.0, double fin = 0.0) {
+  PeriodMeasurement m;
+  m.k = 1;
+  m.period = 1.0;
+  m.target_delay = 2.0;
+  m.fin = fin;
+  m.fout = fout;
+  m.queue = queue;
+  m.cost = cost;
+  m.y_hat = y_hat;
+  return m;
+}
+
+TEST(CtrlControllerTest, ImplementsEq10DifferenceEquation) {
+  CtrlOptions opts;
+  opts.headroom = 0.97;
+  opts.anti_windup = false;
+  CtrlController ctrl(opts);
+  const double c = 0.005, T = 1.0, H = 0.97;
+  const ControllerGains& g = opts.gains;
+
+  // Drive with a sequence of errors and compare against a direct
+  // evaluation of u(k) = H/(cT) (b0 e(k) + b1 e(k-1)) - a u(k-1).
+  std::vector<double> y_hats = {0.0, 0.5, 1.5, 2.5, 3.0, 2.0, 1.0};
+  double e_prev = 0.0, u_prev = 0.0;
+  for (size_t k = 0; k < y_hats.size(); ++k) {
+    PeriodMeasurement m = MakeMeasurement(y_hats[k], /*fout=*/100.0, c);
+    m.period = T;
+    const double v = ctrl.DesiredRate(m);
+    const double e = m.target_delay - y_hats[k];
+    const double u_want =
+        H / (c * T) * (g.b0 * e + g.b1 * e_prev) - g.a * u_prev;
+    EXPECT_NEAR(v, u_want + 100.0, 1e-9) << "period " << k;
+    e_prev = e;
+    u_prev = u_want;
+  }
+}
+
+TEST(CtrlControllerTest, SheddingWhenOverTarget) {
+  CtrlController ctrl(CtrlOptions{});
+  // First call: e = 2 - 10 = -8, u strongly negative.
+  PeriodMeasurement m = MakeMeasurement(/*y_hat=*/10.0, /*fout=*/190.0, 0.005);
+  const double v = ctrl.DesiredRate(m);
+  EXPECT_LT(v, 190.0);  // admit less than the drain rate => queue shrinks
+}
+
+TEST(CtrlControllerTest, AdmitsMoreWhenUnderTarget) {
+  CtrlController ctrl(CtrlOptions{});
+  PeriodMeasurement m = MakeMeasurement(/*y_hat=*/0.1, /*fout=*/190.0, 0.005);
+  const double v = ctrl.DesiredRate(m);
+  EXPECT_GT(v, 190.0);
+}
+
+TEST(CtrlControllerTest, ClosedLoopConvergesOnModelPlant) {
+  // Simulate the virtual-queue plant q(k) = q(k-1) + T (v - fout) against
+  // the controller; y must converge to yd with the designed dynamics.
+  CtrlOptions opts;
+  opts.anti_windup = false;
+  CtrlController ctrl(opts);
+  const double c = 0.005, H = 0.97, T = 1.0;
+  const double service = H / c;
+  double q = 3000.0;  // start far above target
+  double y_last = 0.0;
+  for (int k = 0; k < 60; ++k) {
+    PeriodMeasurement m = MakeMeasurement((q + 1) * c / H, service, c, q);
+    double v = ctrl.DesiredRate(m);
+    q = std::max(0.0, q + T * (v - service));
+    y_last = (q + 1) * c / H;
+  }
+  EXPECT_NEAR(y_last, 2.0, 0.05);
+}
+
+TEST(CtrlControllerTest, ConvergenceRateMatchesDesign) {
+  // Poles at 0.7 => error decays ~0.7^k once transients pass; after 12
+  // periods the paper expects ~98% convergence.
+  CtrlOptions opts;
+  opts.anti_windup = false;
+  CtrlController ctrl(opts);
+  const double c = 0.005, H = 0.97, T = 1.0;
+  const double service = H / c;
+  double q = 1000.0;
+  double y12 = 0.0;
+  for (int k = 0; k < 12; ++k) {
+    PeriodMeasurement m = MakeMeasurement((q + 1) * c / H, service, c, q);
+    q = std::max(0.0, q + T * (ctrl.DesiredRate(m) - service));
+    y12 = (q + 1) * c / H;
+  }
+  const double initial_error = 1000.0 * c / H - 2.0;  // ~3.15 s
+  EXPECT_LT(std::abs(y12 - 2.0), 0.05 * initial_error);
+}
+
+TEST(CtrlControllerTest, AntiWindupReopensPromptlyAfterSaturation) {
+  // Saturate hard (entry shedder cannot realize a negative rate) for many
+  // periods, then let the error clear. With anti-windup the state tracks
+  // the realized actuation and the controller re-admits immediately;
+  // without it, the wound-down recursion keeps the gate closed although
+  // the delay is already back at its target.
+  auto run = [](bool aw) {
+    CtrlOptions opts;
+    opts.anti_windup = aw;
+    CtrlController ctrl(opts);
+    for (int k = 0; k < 20; ++k) {
+      PeriodMeasurement m = MakeMeasurement(/*y_hat=*/8.0, /*fout=*/50.0, 0.005);
+      double v = ctrl.DesiredRate(m);
+      ctrl.NotifyActuation(std::max(0.0, v));  // actuator floor at 0
+    }
+    PeriodMeasurement m = MakeMeasurement(/*y_hat=*/1.9, /*fout=*/190.0, 0.005);
+    return ctrl.DesiredRate(m);
+  };
+  EXPECT_GT(run(true), 190.0);      // admits at least the drain rate again
+  EXPECT_LT(run(false), run(true));  // the wound-up state lags behind
+}
+
+TEST(CtrlControllerTest, ResetClearsState) {
+  CtrlController ctrl(CtrlOptions{});
+  PeriodMeasurement m = MakeMeasurement(5.0, 100.0, 0.005);
+  double v1 = ctrl.DesiredRate(m);
+  ctrl.Reset();
+  double v2 = ctrl.DesiredRate(m);
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+TEST(CtrlControllerDeathTest, NonPositiveCostAborts) {
+  CtrlController ctrl(CtrlOptions{});
+  PeriodMeasurement m = MakeMeasurement(1.0, 100.0, 0.0);
+  EXPECT_DEATH(ctrl.DesiredRate(m), "cost");
+}
+
+TEST(BaselineControllerTest, ImplementsModelInversion) {
+  BaselineController ctrl(0.97);
+  // v = (yd H/c - q)/T + H/c.
+  PeriodMeasurement m = MakeMeasurement(0.0, 0.0, 0.005, /*queue=*/100.0);
+  const double want = (2.0 * 0.97 / 0.005 - 100.0) / 1.0 + 0.97 / 0.005;
+  EXPECT_NEAR(ctrl.DesiredRate(m), want, 1e-9);
+}
+
+TEST(BaselineControllerTest, NegativeWhenQueueFarAboveTarget) {
+  BaselineController ctrl(0.97);
+  PeriodMeasurement m = MakeMeasurement(0.0, 0.0, 0.005, /*queue=*/5000.0);
+  EXPECT_LT(ctrl.DesiredRate(m), 0.0);
+}
+
+TEST(BaselineControllerTest, DeadbeatOnModelPlant) {
+  // With exact measurements the baseline reaches the target queue in one
+  // period (that is its defining property).
+  BaselineController ctrl(0.97);
+  const double c = 0.005, H = 0.97, T = 1.0;
+  const double service = H / c;
+  double q = 1000.0;
+  PeriodMeasurement m = MakeMeasurement(0.0, service, c, q);
+  double v = ctrl.DesiredRate(m);
+  q = q + T * (v - service);
+  EXPECT_NEAR(q, 2.0 * H / c, 1e-6);
+}
+
+TEST(AuroraControllerTest, ShedsToCapacityWhenOverloaded) {
+  AuroraController ctrl(0.97);
+  PeriodMeasurement m = MakeMeasurement(0.0, 0.0, 0.005, 0.0, /*fin=*/400.0);
+  EXPECT_NEAR(ctrl.DesiredRate(m), 0.97 / 0.005, 1e-9);
+}
+
+TEST(AuroraControllerTest, AdmitsEverythingWhenUnderloaded) {
+  AuroraController ctrl(0.97);
+  PeriodMeasurement m = MakeMeasurement(0.0, 0.0, 0.005, 0.0, /*fin=*/100.0);
+  // v = fin => the entry shedder computes alpha = 0.
+  EXPECT_NEAR(ctrl.DesiredRate(m), 100.0, 1e-9);
+}
+
+TEST(AuroraControllerTest, IgnoresQueueAndDelay) {
+  // Open-loop: the decision must not depend on q or y_hat.
+  AuroraController ctrl(0.97);
+  PeriodMeasurement a = MakeMeasurement(0.0, 0.0, 0.005, 0.0, 400.0);
+  PeriodMeasurement b = MakeMeasurement(50.0, 120.0, 0.005, 9999.0, 400.0);
+  EXPECT_DOUBLE_EQ(ctrl.DesiredRate(a), ctrl.DesiredRate(b));
+}
+
+TEST(AuroraControllerTest, AdaptsCapacityToMeasuredCost) {
+  AuroraController ctrl(0.97);
+  PeriodMeasurement cheap = MakeMeasurement(0.0, 0.0, 0.005, 0.0, 1000.0);
+  PeriodMeasurement pricey = MakeMeasurement(0.0, 0.0, 0.020, 0.0, 1000.0);
+  EXPECT_NEAR(ctrl.DesiredRate(cheap) / ctrl.DesiredRate(pricey), 4.0, 1e-9);
+}
+
+TEST(ControllerNamesTest, Names) {
+  EXPECT_EQ(CtrlController(CtrlOptions{}).name(), "CTRL");
+  EXPECT_EQ(BaselineController(0.97).name(), "BASELINE");
+  EXPECT_EQ(AuroraController(0.97).name(), "AURORA");
+}
+
+}  // namespace
+}  // namespace ctrlshed

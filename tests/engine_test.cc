@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "runner/networks.h"
+
+namespace ctrlshed {
+namespace {
+
+Tuple SourceTuple(double value, SimTime arrival, int source = 0) {
+  Tuple t;
+  t.source = source;
+  t.arrival_time = arrival;
+  t.value = value;
+  return t;
+}
+
+class UniformChainEngine : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BuildUniformChain(&net_, /*num_ops=*/5, /*target_entry_cost=*/0.010);
+  }
+  QueryNetwork net_;
+};
+
+TEST_F(UniformChainEngine, DelayModelEq1HoldsExactly) {
+  // Paper Eq. (1): with q tuples ahead, a tuple's delay is (q+1) c.
+  Engine engine(&net_, /*headroom=*/1.0);
+  std::vector<double> delays;
+  engine.SetDepartureCallback([&](const Departure& d) {
+    delays.push_back(d.depart_time - d.arrival_time);
+  });
+  const int kN = 20;
+  for (int i = 0; i < kN; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(10.0);
+  ASSERT_EQ(delays.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NEAR(delays[static_cast<size_t>(i)], (i + 1) * 0.010, 1e-9)
+        << "tuple " << i;
+  }
+}
+
+TEST_F(UniformChainEngine, HeadroomStretchesDelays) {
+  Engine engine(&net_, /*headroom=*/0.5);
+  std::vector<double> delays;
+  engine.SetDepartureCallback([&](const Departure& d) {
+    delays.push_back(d.depart_time - d.arrival_time);
+  });
+  engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(10.0);
+  ASSERT_EQ(delays.size(), 1u);
+  EXPECT_NEAR(delays[0], 0.010 / 0.5, 1e-9);
+}
+
+TEST_F(UniformChainEngine, FifoOrderPreserved) {
+  Engine engine(&net_, 1.0);
+  std::vector<double> order;
+  engine.SetDepartureCallback(
+      [&](const Departure& d) { order.push_back(d.arrival_time); });
+  for (int i = 0; i < 10; ++i) {
+    engine.Inject(SourceTuple(0.5, 0.01 * i), 0.01 * i);
+    engine.AdvanceTo(0.01 * (i + 1));
+  }
+  engine.AdvanceTo(10.0);
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 1; i < order.size(); ++i) EXPECT_GT(order[i], order[i - 1]);
+}
+
+TEST_F(UniformChainEngine, VirtualQueueCountsOutstandingTuples) {
+  Engine engine(&net_, 1.0);
+  EXPECT_DOUBLE_EQ(engine.VirtualQueueLength(), 0.0);
+  for (int i = 0; i < 7; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  EXPECT_NEAR(engine.VirtualQueueLength(), 7.0, 1e-9);
+  engine.AdvanceTo(100.0);
+  EXPECT_NEAR(engine.VirtualQueueLength(), 0.0, 1e-9);
+}
+
+TEST_F(UniformChainEngine, ConservationAdmittedEqualsDepartedPlusQueued) {
+  Engine engine(&net_, 1.0);
+  for (int i = 0; i < 50; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(0.2);  // partially drained
+  const EngineCounters& c = engine.counters();
+  EXPECT_EQ(c.admitted, 50u);
+  EXPECT_GT(c.departed, 0u);
+  EXPECT_LT(c.departed, 50u);
+  // On the no-filter chain, queued instances = outstanding lineages.
+  EXPECT_EQ(c.admitted - c.departed, engine.QueuedTuples());
+}
+
+TEST_F(UniformChainEngine, IdleEngineStartsServiceAtArrival) {
+  Engine engine(&net_, 1.0);
+  double depart = -1.0;
+  engine.SetDepartureCallback([&](const Departure& d) { depart = d.depart_time; });
+  engine.AdvanceTo(5.0);  // idle until t=5
+  engine.Inject(SourceTuple(0.5, 5.0), 5.0);
+  engine.AdvanceTo(10.0);
+  EXPECT_NEAR(depart, 5.010, 1e-9);
+}
+
+TEST_F(UniformChainEngine, NonPreemptiveOvershootIsBounded) {
+  Engine engine(&net_, 1.0);
+  engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(0.001);  // less than one invocation (0.002 each)
+  // The CPU may finish the invocation it started, but no more than that.
+  EXPECT_LE(engine.cpu_clock(), 0.002 + 1e-12);
+}
+
+TEST_F(UniformChainEngine, CostMultiplierScalesDelay) {
+  Engine engine(&net_, 1.0);
+  engine.SetCostMultiplier([](SimTime) { return 3.0; });
+  double delay = -1.0;
+  engine.SetDepartureCallback(
+      [&](const Departure& d) { delay = d.depart_time - d.arrival_time; });
+  engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(10.0);
+  EXPECT_NEAR(delay, 0.030, 1e-9);
+}
+
+TEST_F(UniformChainEngine, BusySecondsTracksWorkDone) {
+  Engine engine(&net_, 0.97);
+  for (int i = 0; i < 10; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(100.0);
+  EXPECT_NEAR(engine.counters().busy_seconds, 10 * 0.010, 1e-9);
+  EXPECT_NEAR(engine.counters().drained_base_load, 10 * 0.010, 1e-9);
+}
+
+TEST_F(UniformChainEngine, ShedFromQueuesRemovesLoadAndCountsLoss) {
+  Engine engine(&net_, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  const double before = engine.OutstandingBaseLoad();
+  const double removed = engine.ShedFromQueues(0.1, rng);
+  EXPECT_GE(removed, 0.1);
+  EXPECT_NEAR(engine.OutstandingBaseLoad(), before - removed, 1e-9);
+
+  uint64_t departures = 0;
+  engine.SetDepartureCallback([&](const Departure&) { ++departures; });
+  engine.AdvanceTo(100.0);
+  const EngineCounters& c = engine.counters();
+  EXPECT_GT(c.shed_lineages, 0u);
+  EXPECT_EQ(c.departed + c.shed_lineages, 30u);
+  // Shed tuples must not fire the departure callback.
+  EXPECT_EQ(departures, c.departed);
+}
+
+TEST_F(UniformChainEngine, ShedMoreThanAvailableDrainsEverything) {
+  Engine engine(&net_, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  const double removed = engine.ShedFromQueues(1e9, rng);
+  EXPECT_NEAR(removed, 5 * 0.010, 1e-9);
+  EXPECT_EQ(engine.QueuedTuples(), 0u);
+  EXPECT_EQ(engine.counters().shed_lineages, 5u);
+}
+
+TEST(EngineFilterTest, FilteredTuplesDepartAsFiltered) {
+  QueryNetwork net;
+  auto* f = net.Add(std::make_unique<FilterOp>("f", 0.001, 0.5));
+  auto* m = net.Add(std::make_unique<MapOp>("m", 0.001));
+  f->ConnectTo(m);
+  net.AddEntry(0, f);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+
+  int filtered = 0, output = 0;
+  engine.SetDepartureCallback([&](const Departure& d) {
+    if (d.kind == DepartureKind::kFiltered) ++filtered;
+    if (d.kind == DepartureKind::kOutput) ++output;
+  });
+  Rng rng(3);
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    engine.Inject(SourceTuple(rng.Uniform(), 0.0), 0.0);
+  }
+  engine.AdvanceTo(1000.0);
+  EXPECT_EQ(filtered + output, kN);
+  EXPECT_NEAR(static_cast<double>(output) / kN, 0.5, 0.05);
+  EXPECT_EQ(engine.counters().departed, static_cast<uint64_t>(kN));
+}
+
+TEST(EngineForkTest, ForkedLineageDepartsOnceAtLongestPath) {
+  // a forks to fast branch (b) and slow branch (c -> d); the lineage must
+  // be reported once, at the later departure.
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.001));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 0.001));
+  auto* c = net.Add(std::make_unique<MapOp>("c", 0.001));
+  auto* d = net.Add(std::make_unique<MapOp>("d", 0.004));
+  a->ConnectTo(b);
+  a->ConnectTo(c);
+  c->ConnectTo(d);
+  net.AddEntry(0, a);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+
+  std::vector<Departure> departures;
+  engine.SetDepartureCallback(
+      [&](const Departure& d2) { departures.push_back(d2); });
+  engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(10.0);
+  ASSERT_EQ(departures.size(), 1u);
+  // Longest path: a + c + d = 6 ms, plus round-robin interleaving with b.
+  EXPECT_GE(departures[0].depart_time, 0.006);
+  EXPECT_EQ(engine.counters().admitted, 1u);
+  EXPECT_EQ(engine.counters().departed, 1u);
+}
+
+TEST(EngineDerivedTest, AggregateOutputsReportedAsDerived) {
+  QueryNetwork net;
+  auto* agg = net.Add(std::make_unique<WindowAggregateOp>(
+      "agg", 0.001, 4, WindowAggregateOp::Kind::kMean));
+  auto* m = net.Add(std::make_unique<MapOp>("m", 0.001));
+  agg->ConnectTo(m);
+  net.AddEntry(0, agg);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+
+  int derived = 0, source_departs = 0;
+  engine.SetDepartureCallback([&](const Departure& d) {
+    if (d.derived) {
+      ++derived;
+    } else {
+      ++source_departs;
+    }
+  });
+  for (int i = 0; i < 8; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(10.0);
+  EXPECT_EQ(source_departs, 8);  // absorbed into windows
+  EXPECT_EQ(derived, 2);         // two window closings reach the sink
+  EXPECT_EQ(engine.counters().departed, 8u);
+}
+
+TEST(EngineMultiEntryTest, StreamEnteringTwoPointsForksAtEntry) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.001));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 0.002));
+  net.AddEntry(0, a);
+  net.AddEntry(0, b);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+
+  int departures = 0;
+  engine.SetDepartureCallback([&](const Departure&) { ++departures; });
+  engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  EXPECT_EQ(engine.QueuedTuples(), 2u);
+  engine.AdvanceTo(1.0);
+  EXPECT_EQ(departures, 1);  // one lineage, longest path reports
+  EXPECT_EQ(engine.counters().admitted, 1u);
+}
+
+TEST(EngineRoundRobinTest, BacklogDrainsAtServiceRate) {
+  QueryNetwork net;
+  BuildUniformChain(&net, 4, 0.005);
+  Engine engine(&net, 1.0);
+  // 100 tuples of 5 ms each = 0.5 s of work.
+  for (int i = 0; i < 100; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(0.25);
+  EXPECT_NEAR(static_cast<double>(engine.counters().departed), 50.0, 3.0);
+  engine.AdvanceTo(0.75);
+  EXPECT_EQ(engine.counters().departed, 100u);
+}
+
+TEST(EngineDeathTest, UnfinalizedNetworkAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.001));
+  net.AddEntry(0, a);
+  EXPECT_DEATH(Engine(&net, 1.0), "finalized");
+}
+
+TEST(EngineDeathTest, BadHeadroomAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.001));
+  net.AddEntry(0, a);
+  net.Finalize();
+  EXPECT_DEATH(Engine(&net, 0.0), "headroom");
+  EXPECT_DEATH(Engine(&net, 1.5), "headroom");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+
+namespace ctrlshed {
+namespace {
+
+ExperimentConfig ShortConfig(Method m, WorkloadKind w) {
+  ExperimentConfig cfg;
+  cfg.method = m;
+  cfg.workload = w;
+  cfg.duration = 120.0;
+  return cfg;
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kPareto);
+  cfg.vary_cost = true;
+  ExperimentResult a = RunExperiment(cfg);
+  ExperimentResult b = RunExperiment(cfg);
+  EXPECT_EQ(a.summary.offered, b.summary.offered);
+  EXPECT_EQ(a.summary.shed, b.summary.shed);
+  EXPECT_DOUBLE_EQ(a.summary.accumulated_violation,
+                   b.summary.accumulated_violation);
+  EXPECT_DOUBLE_EQ(a.summary.max_overshoot, b.summary.max_overshoot);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kPareto);
+  ExperimentConfig cfg2 = cfg;
+  cfg2.seed = 777;
+  EXPECT_NE(RunExperiment(cfg).summary.offered,
+            RunExperiment(cfg2).summary.offered);
+}
+
+TEST(ExperimentTest, NominalCostPinsCapacity) {
+  ExperimentConfig cfg = ShortConfig(Method::kNone, WorkloadKind::kConstant);
+  cfg.capacity_rate = 190.0;
+  cfg.headroom_true = 0.97;
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_NEAR(r.nominal_cost, 0.97 / 190.0, 1e-12);
+}
+
+TEST(ExperimentTest, UncontrolledOverloadDiverges) {
+  ExperimentConfig cfg = ShortConfig(Method::kNone, WorkloadKind::kConstant);
+  cfg.constant_rate = 300.0;
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_DOUBLE_EQ(r.summary.loss_ratio, 0.0);
+  // The virtual queue grows roughly linearly: (300-190) tuples/s.
+  const auto& rows = r.recorder.rows();
+  EXPECT_GT(rows.back().m.queue, 0.7 * 110.0 * cfg.duration);
+}
+
+TEST(ExperimentTest, CtrlKeepsDelaysNearTargetUnderOverload) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kConstant);
+  cfg.constant_rate = 300.0;
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_LT(r.summary.max_overshoot, 1.0);
+  EXPECT_GT(r.summary.loss_ratio, 0.2);
+}
+
+TEST(ExperimentTest, AuroraWorseThanCtrlOnBurstyInput) {
+  ExperimentConfig ctrl = ShortConfig(Method::kCtrl, WorkloadKind::kPareto);
+  ExperimentConfig aurora = ShortConfig(Method::kAurora, WorkloadKind::kPareto);
+  ctrl.vary_cost = aurora.vary_cost = true;
+  ctrl.duration = aurora.duration = 400.0;
+  ExperimentResult rc = RunExperiment(ctrl);
+  ExperimentResult ra = RunExperiment(aurora);
+  EXPECT_GT(ra.summary.accumulated_violation,
+            2.0 * rc.summary.accumulated_violation);
+}
+
+TEST(ExperimentTest, RampDestabilizesAurora) {
+  // Section 4.3.2 Example 1: under a monotonically increasing rate the
+  // Aurora shedder lags by one period forever (S(k) derived from
+  // fin(k-1)), so the queue — and the delay — grows through the whole
+  // ramp.
+  ExperimentConfig cfg = ShortConfig(Method::kAurora, WorkloadKind::kRamp);
+  cfg.ramp_from = 150.0;
+  cfg.ramp_to = 900.0;
+  cfg.spacing = ArrivalSource::Spacing::kDeterministic;
+  ExperimentResult r = RunExperiment(cfg);
+  const auto& rows = r.recorder.rows();
+  const size_t n = rows.size();
+  double mid = rows[n / 2].m.y_hat;
+  double late = rows[n - 2].m.y_hat;
+  EXPECT_GT(late, mid + 1.0);
+}
+
+TEST(ExperimentTest, CtrlHandlesTheSameRamp) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kRamp);
+  cfg.ramp_from = 150.0;
+  cfg.ramp_to = 900.0;
+  cfg.spacing = ArrivalSource::Spacing::kDeterministic;
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_LT(r.summary.max_overshoot, 1.0);
+}
+
+TEST(ExperimentTest, SetpointScheduleIsApplied) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kConstant);
+  cfg.constant_rate = 300.0;
+  cfg.target_delay = 1.0;
+  cfg.setpoint_schedule = {{60.0, 3.0}};
+  ExperimentResult r = RunExperiment(cfg);
+  const auto& rows = r.recorder.rows();
+  EXPECT_DOUBLE_EQ(rows[30].m.target_delay, 1.0);
+  EXPECT_DOUBLE_EQ(rows[80].m.target_delay, 3.0);
+
+  // Steady-state measured delays before and after.
+  double before = 0, after = 0;
+  int nb = 0, na = 0;
+  for (const auto& row : rows) {
+    if (!row.m.has_y_measured) continue;
+    if (row.m.t > 30 && row.m.t < 60) {
+      before += row.m.y_measured;
+      ++nb;
+    }
+    if (row.m.t > 100) {
+      after += row.m.y_measured;
+      ++na;
+    }
+  }
+  EXPECT_NEAR(before / nb, 1.0, 0.25);
+  EXPECT_NEAR(after / na, 3.0, 0.4);
+}
+
+TEST(ExperimentTest, QueueShedderConfigRuns) {
+  ExperimentConfig cfg = ShortConfig(Method::kCtrl, WorkloadKind::kPareto);
+  cfg.use_queue_shedder = true;
+  cfg.vary_cost = true;
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_GT(r.summary.offered, 0u);
+  EXPECT_GT(r.summary.loss_ratio, 0.0);
+}
+
+TEST(ExperimentTest, ArrivalTraceExposed) {
+  ExperimentConfig cfg = ShortConfig(Method::kNone, WorkloadKind::kSine);
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_FALSE(r.arrival_trace.empty());
+  EXPECT_GE(r.arrival_trace.Duration(), cfg.duration - 1.0);
+}
+
+TEST(ExperimentTest, DepartureObserverInvoked) {
+  ExperimentConfig cfg = ShortConfig(Method::kNone, WorkloadKind::kConstant);
+  cfg.constant_rate = 50.0;
+  uint64_t count = 0;
+  cfg.departure_observer = [&count](const Departure&) { ++count; };
+  ExperimentResult r = RunExperiment(cfg);
+  EXPECT_GT(count, 0u);
+  EXPECT_EQ(count, r.summary.departures);
+}
+
+TEST(ExperimentTest, EstimationNoiseChangesOutcome) {
+  ExperimentConfig a = ShortConfig(Method::kCtrl, WorkloadKind::kPareto);
+  ExperimentConfig b = a;
+  b.estimation_noise = 0.2;
+  EXPECT_NE(RunExperiment(a).summary.accumulated_violation,
+            RunExperiment(b).summary.accumulated_violation);
+}
+
+TEST(ExperimentTest, MistunedHeadroomChangesAuroraLoss) {
+  // Fig. 16: a smaller H estimate makes AURORA shed more.
+  ExperimentConfig a = ShortConfig(Method::kAurora, WorkloadKind::kPareto);
+  a.duration = 400.0;
+  ExperimentConfig b = a;
+  b.headroom_est = 0.90;
+  double loss_a = RunExperiment(a).summary.loss_ratio;
+  double loss_b = RunExperiment(b).summary.loss_ratio;
+  EXPECT_GT(loss_b, loss_a);
+}
+
+}  // namespace
+}  // namespace ctrlshed

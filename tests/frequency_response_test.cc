@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sysid/frequency_response.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(IntegratorGainTest, LowFrequencyAsymptote) {
+  // For w T << 1, |T/(e^{jwT}-1)| ~ 1/w.
+  const double f = 0.001;
+  EXPECT_NEAR(IntegratorGain(f, 1.0), 1.0 / (2.0 * std::numbers::pi * f),
+              0.5);
+}
+
+TEST(IntegratorGainTest, MonotoneDecreasing) {
+  double prev = 1e18;
+  for (double f : {0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const double g = IntegratorGain(f, 1.0);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+class FrequencySweepFixture : public ::testing::Test {
+ protected:
+  static const std::vector<FrequencyPoint>& Points() {
+    static const std::vector<FrequencyPoint>* points = [] {
+      FrequencySweepParams params;
+      params.freqs_hz = {0.01, 0.05, 0.2};
+      return new std::vector<FrequencyPoint>(
+          MeasureFrequencyResponse(params));
+    }();
+    return *points;
+  }
+};
+
+TEST_F(FrequencySweepFixture, GainMatchesIntegratorModel) {
+  for (const FrequencyPoint& p : Points()) {
+    EXPECT_NEAR(p.gain, p.model_gain, 0.25 * p.model_gain)
+        << "f = " << p.freq_hz;
+  }
+}
+
+TEST_F(FrequencySweepFixture, RollOffIsFirstOrder) {
+  // Gain ratio across a decade-ish span must track the frequency ratio
+  // (-20 dB/decade).
+  const auto& pts = Points();
+  ASSERT_EQ(pts.size(), 3u);
+  const double measured_ratio = pts.front().gain / pts.back().gain;
+  const double freq_ratio = pts.back().freq_hz / pts.front().freq_hz;
+  EXPECT_NEAR(measured_ratio, freq_ratio, 0.35 * freq_ratio);
+}
+
+TEST_F(FrequencySweepFixture, PhaseLagsLikeAnIntegrator) {
+  // The discrete integrator's phase is -(pi/2 + w T / 2); sampling and the
+  // zero-order-hold of slot-wise rates add up to about another half
+  // sample of lag. The lag must sit in that band and deepen with f.
+  double prev = 0.0;
+  for (const FrequencyPoint& p : Points()) {
+    const double wt = 2.0 * std::numbers::pi * p.freq_hz * 1.0;
+    const double ideal = -(std::numbers::pi / 2.0 + wt / 2.0);
+    EXPECT_LT(p.phase_rad, ideal + 0.35) << "f = " << p.freq_hz;
+    EXPECT_GT(p.phase_rad, ideal - wt - 0.35) << "f = " << p.freq_hz;
+    EXPECT_LT(p.phase_rad, prev + 1e-9);  // monotonically deeper lag
+    prev = p.phase_rad;
+  }
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/histogram.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ExactMeanMinMax) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketResolution) {
+  LatencyHistogram h(1e-4, 1e3, 1.05);
+  Rng rng(5);
+  for (int i = 0; i < 200000; ++i) h.Record(rng.Uniform(0.0, 10.0));
+  // Uniform[0,10]: p50 ~ 5, p95 ~ 9.5, p99 ~ 9.9, within 6% bucket width.
+  EXPECT_NEAR(h.Quantile(0.50), 5.0, 0.35);
+  EXPECT_NEAR(h.Quantile(0.95), 9.5, 0.6);
+  EXPECT_NEAR(h.Quantile(0.99), 9.9, 0.6);
+}
+
+TEST(LatencyHistogramTest, QuantileMonotone) {
+  LatencyHistogram h;
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.Exponential(1.0));
+  double prev = 0.0;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.Quantile(1.0), h.max() + 1e-12);
+}
+
+TEST(LatencyHistogramTest, FractionAbove) {
+  LatencyHistogram h;
+  for (int i = 0; i < 80; ++i) h.Record(0.5);
+  for (int i = 0; i < 20; ++i) h.Record(5.0);
+  EXPECT_NEAR(h.FractionAbove(2.0), 0.20, 1e-12);
+  EXPECT_NEAR(h.FractionAbove(10.0), 0.0, 1e-12);
+}
+
+TEST(LatencyHistogramTest, ClampsOutOfRange) {
+  LatencyHistogram h(1e-3, 10.0, 1.1);
+  h.Record(0.0);      // below range -> underflow bucket
+  h.Record(1e6);      // above range -> overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_GE(h.Quantile(1.0), 10.0);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.Record(1.0);
+  a.Record(2.0);
+  b.Record(8.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_NEAR(a.Mean(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(LatencyHistogramDeathTest, NegativeValueAborts) {
+  LatencyHistogram h;
+  EXPECT_DEATH(h.Record(-1.0), "negative");
+}
+
+TEST(LatencyHistogramDeathTest, MergeLayoutMismatchAborts) {
+  LatencyHistogram a(1e-4, 1e3, 1.08);
+  LatencyHistogram b(1e-4, 1e3, 1.10);
+  EXPECT_DEATH(a.Merge(b), "layout");
+}
+
+}  // namespace
+}  // namespace ctrlshed

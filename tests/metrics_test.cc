@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/qos_metrics.h"
+#include "metrics/recorder.h"
+
+namespace ctrlshed {
+namespace {
+
+Departure MakeDeparture(double arrival, double depart) {
+  Departure d;
+  d.arrival_time = arrival;
+  d.depart_time = depart;
+  return d;
+}
+
+TEST(QosAccumulatorTest, NoViolationsBelowTarget) {
+  QosAccumulator q(2.0);
+  q.OnDeparture(MakeDeparture(0.0, 1.5));
+  q.OnDeparture(MakeDeparture(0.0, 2.0));
+  EXPECT_DOUBLE_EQ(q.accumulated_violation(), 0.0);
+  EXPECT_EQ(q.delayed_tuples(), 0u);
+  EXPECT_DOUBLE_EQ(q.max_overshoot(), 0.0);
+  EXPECT_EQ(q.departures(), 2u);
+}
+
+TEST(QosAccumulatorTest, AccumulatesViolations) {
+  QosAccumulator q(2.0);
+  q.OnDeparture(MakeDeparture(0.0, 3.0));   // +1.0
+  q.OnDeparture(MakeDeparture(0.0, 2.5));   // +0.5
+  q.OnDeparture(MakeDeparture(0.0, 1.0));   // ok
+  EXPECT_DOUBLE_EQ(q.accumulated_violation(), 1.5);
+  EXPECT_EQ(q.delayed_tuples(), 2u);
+  EXPECT_DOUBLE_EQ(q.max_overshoot(), 1.0);
+}
+
+TEST(QosAccumulatorTest, MeanDelay) {
+  QosAccumulator q(2.0);
+  q.OnDeparture(MakeDeparture(0.0, 1.0));
+  q.OnDeparture(MakeDeparture(1.0, 4.0));
+  EXPECT_DOUBLE_EQ(q.mean_delay(), 2.0);
+}
+
+TEST(QosAccumulatorTest, EmptyMeanDelayIsZero) {
+  QosAccumulator q(2.0);
+  EXPECT_DOUBLE_EQ(q.mean_delay(), 0.0);
+}
+
+TEST(QosAccumulatorTest, SetpointChangeAppliesToLaterDepartures) {
+  QosAccumulator q(2.0);
+  q.OnDeparture(MakeDeparture(0.0, 2.5));  // +0.5 against yd = 2
+  q.SetTargetDelay(5.0);
+  q.OnDeparture(MakeDeparture(0.0, 4.0));  // ok against yd = 5
+  EXPECT_DOUBLE_EQ(q.accumulated_violation(), 0.5);
+  EXPECT_EQ(q.delayed_tuples(), 1u);
+}
+
+TEST(QosAccumulatorDeathTest, NonPositiveTargetAborts) {
+  EXPECT_DEATH(QosAccumulator(0.0), "positive");
+}
+
+TEST(QosAccumulatorDeathTest, NegativeDelayAborts) {
+  QosAccumulator q(2.0);
+  EXPECT_DEATH(q.OnDeparture(MakeDeparture(5.0, 1.0)), "negative delay");
+}
+
+TEST(RecorderTest, StoresRowsInOrder) {
+  Recorder r;
+  PeriodMeasurement m;
+  m.t = 1.0;
+  m.fin = 100.0;
+  r.Record(m, 90.0, 0.1);
+  m.t = 2.0;
+  r.Record(m, 80.0, 0.2);
+  ASSERT_EQ(r.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows()[0].m.t, 1.0);
+  EXPECT_DOUBLE_EQ(r.rows()[1].v, 80.0);
+  EXPECT_DOUBLE_EQ(r.rows()[1].alpha, 0.2);
+}
+
+TEST(RecorderTest, WriteProducesHeaderAndRows) {
+  Recorder r;
+  PeriodMeasurement m;
+  m.t = 1.0;
+  m.cost = 0.005;
+  m.y_hat = 1.25;
+  r.Record(m, 50.0, 0.0);
+  std::ostringstream out;
+  r.Write(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("y_hat"), std::string::npos);
+  EXPECT_NE(text.find("1.2500"), std::string::npos);
+  EXPECT_NE(text.find("5.0000"), std::string::npos);  // cost in ms
+}
+
+TEST(RecorderTest, EmptyRecorder) {
+  Recorder r;
+  EXPECT_TRUE(r.empty());
+  std::ostringstream out;
+  r.Write(out);
+  EXPECT_FALSE(out.str().empty());  // header only
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "runner/networks.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(IdentificationNetworkTest, HasFourteenOperators) {
+  QueryNetwork net;
+  BuildIdentificationNetwork(&net, 0.00526);
+  EXPECT_EQ(net.NumOperators(), 14u);
+  EXPECT_EQ(net.NumSources(), 1);
+}
+
+TEST(IdentificationNetworkTest, EntryCostMatchesTargetExactly) {
+  QueryNetwork net;
+  const double target = 0.97 / 190.0;
+  BuildIdentificationNetwork(&net, target);
+  EXPECT_NEAR(net.MeanEntryCost(), target, 1e-12);
+}
+
+TEST(IdentificationNetworkTest, UniformPerOperatorCosts) {
+  QueryNetwork net;
+  BuildIdentificationNetwork(&net, 0.005);
+  const double c0 = net.Operator(0)->cost();
+  for (size_t i = 1; i < net.NumOperators(); ++i) {
+    EXPECT_NEAR(net.Operator(i)->cost(), c0, 1e-15);
+  }
+}
+
+TEST(IdentificationNetworkTest, MeasuredCostMatchesStaticEstimate) {
+  // Drive the network and check that the CPU work per tuple matches the
+  // static cost x selectivity estimate (validates filter independence).
+  QueryNetwork net;
+  const double target = 0.005;
+  BuildIdentificationNetwork(&net, target);
+  Engine engine(&net, 1.0);
+  Rng rng(5);
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    Tuple t;
+    t.value = rng.Uniform();
+    engine.Inject(t, 0.0);
+  }
+  engine.AdvanceTo(1e9);
+  const double measured = engine.counters().busy_seconds / kN;
+  EXPECT_NEAR(measured, target, 0.02 * target);
+}
+
+TEST(BranchedNetworkTest, TopologyAndSources) {
+  QueryNetwork net;
+  BuildBranchedNetwork(&net, 0.005);
+  EXPECT_EQ(net.NumOperators(), 12u);
+  EXPECT_EQ(net.NumSources(), 3);
+  // S2 enters at two points (the paper's Fig. 2 shape).
+  EXPECT_EQ(net.Entries(1).size(), 2u);
+  EXPECT_NEAR(net.MeanEntryCost(), 0.005, 1e-12);
+}
+
+TEST(BranchedNetworkTest, RunsEndToEnd) {
+  QueryNetwork net;
+  BuildBranchedNetwork(&net, 0.002);
+  Engine engine(&net, 1.0);
+  int departures = 0;
+  engine.SetDepartureCallback([&](const Departure&) { ++departures; });
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    Tuple t;
+    t.source = i % 3;
+    t.value = rng.Uniform();
+    t.aux = rng.Uniform();
+    t.arrival_time = 0.01 * i;
+    engine.Inject(t, 0.01 * i);
+    engine.AdvanceTo(0.01 * (i + 1));
+  }
+  engine.AdvanceTo(1e9);
+  EXPECT_GT(departures, 250);  // all source lineages eventually depart
+  EXPECT_EQ(engine.QueuedTuples(), 0u);
+}
+
+TEST(UniformChainTest, CostSplitEvenly) {
+  QueryNetwork net;
+  BuildUniformChain(&net, 8, 0.008);
+  EXPECT_EQ(net.NumOperators(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(net.Operator(i)->cost(), 0.001, 1e-15);
+  }
+  EXPECT_NEAR(net.MeanEntryCost(), 0.008, 1e-12);
+}
+
+}  // namespace
+}  // namespace ctrlshed

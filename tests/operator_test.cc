@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/operator.h"
+
+namespace ctrlshed {
+namespace {
+
+std::vector<Tuple> Collect(OperatorBase& op, const Tuple& in, SimTime now = 0.0) {
+  std::vector<Tuple> out;
+  op.Process(in, now, [&](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+Tuple MakeTuple(double value, double aux = 0.0, int port = 0) {
+  Tuple t;
+  t.lineage = 42;
+  t.value = value;
+  t.aux = aux;
+  t.port = port;
+  return t;
+}
+
+TEST(FilterOpTest, SelectivityMatchesThresholdStatistically) {
+  FilterOp f("f", 0.001, 0.7);
+  f.set_id(3);
+  Rng rng(1);
+  int passed = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!Collect(f, MakeTuple(rng.Uniform())).empty()) ++passed;
+  }
+  EXPECT_NEAR(static_cast<double>(passed) / n, 0.7, 0.01);
+}
+
+TEST(FilterOpTest, DecisionsIndependentAcrossOperators) {
+  // Two filters with the same threshold but different ids must make
+  // (nearly) independent decisions on the same tuples: joint pass rate ~
+  // t^2, not min(t,t) = t.
+  FilterOp f1("f1", 0.001, 0.6), f2("f2", 0.001, 0.6);
+  f1.set_id(1);
+  f2.set_id(2);
+  Rng rng(2);
+  int both = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = MakeTuple(rng.Uniform());
+    const bool p1 = !Collect(f1, t).empty();
+    const bool p2 = !Collect(f2, t).empty();
+    if (p1 && p2) ++both;
+  }
+  EXPECT_NEAR(static_cast<double>(both) / n, 0.36, 0.01);
+}
+
+TEST(FilterOpTest, DeterministicPerTuple) {
+  FilterOp f("f", 0.001, 0.5);
+  f.set_id(9);
+  Tuple t = MakeTuple(0.123456);
+  const bool first = !Collect(f, t).empty();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(!Collect(f, t).empty(), first);
+  }
+}
+
+TEST(FilterOpTest, ExtremeThresholds) {
+  FilterOp never("f0", 0.001, 0.0), always("f1", 0.001, 1.0);
+  never.set_id(1);
+  always.set_id(2);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t = MakeTuple(rng.Uniform());
+    EXPECT_TRUE(Collect(never, t).empty());
+    EXPECT_EQ(Collect(always, t).size(), 1u);
+  }
+}
+
+TEST(FilterOpTest, SelectivityAccessor) {
+  FilterOp f("f", 0.001, 0.85);
+  EXPECT_DOUBLE_EQ(f.Selectivity(), 0.85);
+  EXPECT_DOUBLE_EQ(f.threshold(), 0.85);
+}
+
+TEST(MapOpTest, IdentityByDefault) {
+  MapOp m("m", 0.002);
+  Tuple in = MakeTuple(0.5, 7.0);
+  auto out = Collect(m, in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(out[0].aux, 7.0);
+  EXPECT_EQ(out[0].lineage, in.lineage);
+}
+
+TEST(MapOpTest, AppliesTransform) {
+  MapOp m("m", 0.002, [](Tuple& t) { t.value *= 2.0; });
+  auto out = Collect(m, MakeTuple(0.25));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 0.5);
+}
+
+TEST(UnionOpTest, PassesThrough) {
+  UnionOp u("u", 0.001);
+  auto out = Collect(u, MakeTuple(0.9));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 0.9);
+  EXPECT_DOUBLE_EQ(u.Selectivity(), 1.0);
+}
+
+TEST(WindowAggregateTest, EmitsOnceEveryWindow) {
+  WindowAggregateOp agg("a", 0.001, 4, WindowAggregateOp::Kind::kMean);
+  int emitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    emitted += static_cast<int>(Collect(agg, MakeTuple(1.0)).size());
+  }
+  EXPECT_EQ(emitted, 3);
+  EXPECT_DOUBLE_EQ(agg.Selectivity(), 0.25);
+}
+
+TEST(WindowAggregateTest, MeanValue) {
+  WindowAggregateOp agg("a", 0.001, 3, WindowAggregateOp::Kind::kMean);
+  Collect(agg, MakeTuple(1.0));
+  Collect(agg, MakeTuple(2.0));
+  auto out = Collect(agg, MakeTuple(6.0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+}
+
+TEST(WindowAggregateTest, SumMaxCount) {
+  WindowAggregateOp sum("s", 0.001, 2, WindowAggregateOp::Kind::kSum);
+  WindowAggregateOp mx("m", 0.001, 2, WindowAggregateOp::Kind::kMax);
+  WindowAggregateOp cnt("c", 0.001, 2, WindowAggregateOp::Kind::kCount);
+  Collect(sum, MakeTuple(1.5));
+  Collect(mx, MakeTuple(1.5));
+  Collect(cnt, MakeTuple(1.5));
+  EXPECT_DOUBLE_EQ(Collect(sum, MakeTuple(2.0))[0].value, 3.5);
+  EXPECT_DOUBLE_EQ(Collect(mx, MakeTuple(2.0))[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(Collect(cnt, MakeTuple(2.0))[0].value, 2.0);
+}
+
+TEST(WindowAggregateTest, OutputIsDerivedLineage) {
+  WindowAggregateOp agg("a", 0.001, 1, WindowAggregateOp::Kind::kMean);
+  auto out = Collect(agg, MakeTuple(1.0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lineage, kPendingLineage);
+}
+
+TEST(WindowAggregateTest, ResetsBetweenWindows) {
+  WindowAggregateOp agg("a", 0.001, 2, WindowAggregateOp::Kind::kSum);
+  Collect(agg, MakeTuple(10.0));
+  EXPECT_DOUBLE_EQ(Collect(agg, MakeTuple(10.0))[0].value, 20.0);
+  Collect(agg, MakeTuple(1.0));
+  EXPECT_DOUBLE_EQ(Collect(agg, MakeTuple(1.0))[0].value, 2.0);
+}
+
+TEST(SlidingJoinTest, MatchesWithinBand) {
+  SlidingJoinOp j("j", 0.001, 10.0, 0.1, 1.0);
+  Collect(j, MakeTuple(1.0, /*aux=*/0.50, /*port=*/0), 0.0);
+  auto out = Collect(j, MakeTuple(2.0, /*aux=*/0.55, /*port=*/1), 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.5);
+  EXPECT_EQ(out[0].lineage, kPendingLineage);
+}
+
+TEST(SlidingJoinTest, NoMatchOutsideBand) {
+  SlidingJoinOp j("j", 0.001, 10.0, 0.1, 1.0);
+  Collect(j, MakeTuple(1.0, 0.2, 0), 0.0);
+  auto out = Collect(j, MakeTuple(2.0, 0.9, 1), 1.0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SlidingJoinTest, WindowEvictsOldEntries) {
+  SlidingJoinOp j("j", 0.001, 2.0, 0.5, 1.0);
+  Collect(j, MakeTuple(1.0, 0.5, 0), 0.0);
+  EXPECT_EQ(j.WindowSize(0), 1u);
+  // Probe at t = 5: the port-0 entry from t=0 is older than the window.
+  auto out = Collect(j, MakeTuple(2.0, 0.5, 1), 5.0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(j.WindowSize(0), 0u);
+}
+
+TEST(SlidingJoinTest, MultipleMatches) {
+  SlidingJoinOp j("j", 0.001, 10.0, 1.0, 1.0);
+  Collect(j, MakeTuple(1.0, 0.1, 0), 0.0);
+  Collect(j, MakeTuple(2.0, 0.2, 0), 0.5);
+  auto out = Collect(j, MakeTuple(3.0, 0.15, 1), 1.0);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(SlidingJoinTest, SymmetricProbing) {
+  SlidingJoinOp j("j", 0.001, 10.0, 0.5, 1.0);
+  Collect(j, MakeTuple(1.0, 0.5, 1), 0.0);  // port 1 first
+  auto out = Collect(j, MakeTuple(2.0, 0.5, 0), 1.0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(OperatorBaseTest, ConnectToBuildsDownstreamList) {
+  MapOp a("a", 0.001), b("b", 0.001), c("c", 0.001);
+  a.ConnectTo(&b);
+  a.ConnectTo(&c, 1);
+  ASSERT_EQ(a.downstream().size(), 2u);
+  EXPECT_EQ(a.downstream()[0].op, &b);
+  EXPECT_EQ(a.downstream()[1].op, &c);
+  EXPECT_EQ(a.downstream()[1].port, 1);
+}
+
+TEST(OperatorBaseDeathTest, SelfLoopAborts) {
+  MapOp a("a", 0.001);
+  EXPECT_DEATH(a.ConnectTo(&a), "itself");
+}
+
+TEST(OperatorBaseDeathTest, NegativeCostAborts) {
+  EXPECT_DEATH(MapOp("m", -1.0), "non-negative");
+}
+
+}  // namespace
+}  // namespace ctrlshed

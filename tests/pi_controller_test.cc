@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "control/pi_controller.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+namespace {
+
+PeriodMeasurement MakeMeasurement(double y_hat, double fout, double cost,
+                                  double queue = 0.0) {
+  PeriodMeasurement m;
+  m.period = 1.0;
+  m.target_delay = 2.0;
+  m.fout = fout;
+  m.queue = queue;
+  m.cost = cost;
+  m.y_hat = y_hat;
+  return m;
+}
+
+TEST(PiControllerTest, ProportionalActionOnFirstError) {
+  PiController pi(0.97, PiController::Gains{0.5, 0.0});
+  // e = 2 - 4 = -2; u = H/(cT) * 0.5 * (-2).
+  const double v = pi.DesiredRate(MakeMeasurement(4.0, 100.0, 0.005));
+  EXPECT_NEAR(v, 0.97 / 0.005 * 0.5 * (-2.0) + 100.0, 1e-9);
+}
+
+TEST(PiControllerTest, IntegralAccumulates) {
+  PiController pi(1.0, PiController::Gains{0.0 + 1e-9, 0.1}, false);
+  PeriodMeasurement m = MakeMeasurement(1.0, 0.0, 0.01);  // e = +1 each call
+  const double v1 = pi.DesiredRate(m);
+  const double v2 = pi.DesiredRate(m);
+  EXPECT_NEAR(v2, 2.0 * v1, 1e-6);  // pure-integral command doubles
+}
+
+TEST(PiControllerTest, ClosedLoopConvergesOnModelPlant) {
+  PiController pi(0.97);
+  const double c = 0.005, H = 0.97, T = 1.0;
+  const double service = H / c;
+  double q = 2000.0;
+  double y = 0.0;
+  for (int k = 0; k < 150; ++k) {
+    PeriodMeasurement m = MakeMeasurement((q + 1) * c / H, service, c, q);
+    const double v = pi.DesiredRate(m);
+    pi.NotifyActuation(v);
+    q = std::max(0.0, q + T * (v - service));
+    y = (q + 1) * c / H;
+  }
+  EXPECT_NEAR(y, 2.0, 0.05);
+}
+
+TEST(PiControllerTest, SlowerThanPaperDesignAtSameSmoothness) {
+  // Count periods to settle within 5% from the same initial condition;
+  // the paper's phase-lead design should not be slower than the PI tuned
+  // to avoid oscillation.
+  auto settle = [](auto& ctrl) {
+    const double c = 0.005, H = 0.97, T = 1.0, service = H / c;
+    double q = 2000.0;
+    for (int k = 0; k < 200; ++k) {
+      PeriodMeasurement m = MakeMeasurement((q + 1) * c / H, service, c, q);
+      const double v = ctrl.DesiredRate(m);
+      ctrl.NotifyActuation(v);
+      q = std::max(0.0, q + T * (v - service));
+      if (std::abs((q + 1) * c / H - 2.0) < 0.1) return k;
+    }
+    return 200;
+  };
+  PiController pi(0.97);
+  const int pi_settle = settle(pi);
+  EXPECT_GT(pi_settle, 0);
+  EXPECT_LT(pi_settle, 100);  // it does converge, just not deadbeat-fast
+}
+
+TEST(PiControllerTest, AntiWindupLimitsIntegralRunaway) {
+  auto run = [](bool aw) {
+    PiController pi(0.97, PiController::Gains{0.5, 0.05}, aw);
+    for (int k = 0; k < 30; ++k) {
+      PeriodMeasurement m = MakeMeasurement(10.0, 50.0, 0.005);
+      const double v = pi.DesiredRate(m);
+      pi.NotifyActuation(std::max(0.0, v));
+    }
+    PeriodMeasurement m = MakeMeasurement(1.9, 190.0, 0.005);
+    return pi.DesiredRate(m);
+  };
+  EXPECT_GT(run(true), run(false));  // wound-up integral keeps the gate shut
+}
+
+TEST(PiControllerTest, ResetClearsState) {
+  PiController pi(0.97);
+  PeriodMeasurement m = MakeMeasurement(5.0, 100.0, 0.005);
+  const double v1 = pi.DesiredRate(m);
+  pi.Reset();
+  EXPECT_DOUBLE_EQ(pi.DesiredRate(m), v1);
+}
+
+TEST(MmppTraceTest, RatesAreTwoValued) {
+  MmppTraceParams p;
+  RateTrace t = MakeMmppTrace(600.0, p, 5);
+  int quiet = 0, burst = 0;
+  for (double v : t.values()) {
+    if (v == p.quiet_rate) {
+      ++quiet;
+    } else if (v == p.burst_rate) {
+      ++burst;
+    } else {
+      FAIL() << "unexpected rate " << v;
+    }
+  }
+  EXPECT_GT(quiet, 0);
+  EXPECT_GT(burst, 0);
+}
+
+TEST(MmppTraceTest, SojournFractionsMatchMeans) {
+  MmppTraceParams p;
+  RateTrace t = MakeMmppTrace(60000.0, p, 6);
+  int burst = 0;
+  for (double v : t.values()) burst += (v == p.burst_rate);
+  const double want = p.mean_burst_seconds /
+                      (p.mean_burst_seconds + p.mean_quiet_seconds);
+  EXPECT_NEAR(static_cast<double>(burst) / t.values().size(), want, 0.03);
+}
+
+TEST(MmppTraceTest, DeterministicPerSeed) {
+  MmppTraceParams p;
+  EXPECT_EQ(MakeMmppTrace(100.0, p, 9).values(),
+            MakeMmppTrace(100.0, p, 9).values());
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "control/pole_placement.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(PolePlacementTest, PaperPublishedGains) {
+  // Section 5: "b0 = 0.4, b1 = -0.31, and a = -0.8" for poles at 0.7.
+  ControllerGains g = DesignPolePlacement(0.7, 0.7, -0.8);
+  EXPECT_NEAR(g.b0, 0.4, 1e-12);
+  EXPECT_NEAR(g.b1, -0.31, 1e-12);
+  EXPECT_NEAR(g.a, -0.8, 1e-12);
+}
+
+TEST(PolePlacementTest, DiophantineEquationHolds) {
+  // Eq. 18: a - 1 + b0 = -(p1+p2) and -a + b1 = p1 p2.
+  ControllerGains g = DesignPolePlacement(0.6, 0.8, -0.5);
+  EXPECT_NEAR(g.a - 1.0 + g.b0, -(0.6 + 0.8), 1e-12);
+  EXPECT_NEAR(-g.a + g.b1, 0.6 * 0.8, 1e-12);
+}
+
+TEST(PolePlacementTest, UnityStaticGainHolds) {
+  // Eq. 19: closed-loop static gain must be exactly 1.
+  for (double a : {-0.9, -0.8, -0.5, 0.0, 0.3}) {
+    ControllerGains g = DesignPolePlacement(0.7, 0.7, a);
+    TransferFunction cl = ClosedLoop(g);
+    EXPECT_NEAR(cl.StaticGain(), 1.0, 1e-12) << "a = " << a;
+  }
+}
+
+struct PolePair {
+  double p1, p2;
+};
+
+class PolePlacementSweep : public ::testing::TestWithParam<PolePair> {};
+
+TEST_P(PolePlacementSweep, ClosedLoopPolesLandWhereDesigned) {
+  const auto [p1, p2] = GetParam();
+  ControllerGains g = DesignPolePlacement(p1, p2);
+  TransferFunction cl = ClosedLoop(g);
+  auto poles = cl.Poles();
+  ASSERT_EQ(poles.size(), 2u);
+  // Sort by real part for comparison.
+  double lo = std::min(poles[0].real(), poles[1].real());
+  double hi = std::max(poles[0].real(), poles[1].real());
+  EXPECT_NEAR(lo, std::min(p1, p2), 1e-7);
+  EXPECT_NEAR(hi, std::max(p1, p2), 1e-7);
+  EXPECT_NEAR(poles[0].imag(), 0.0, 1e-7);
+}
+
+TEST_P(PolePlacementSweep, ClosedLoopIsStable) {
+  const auto [p1, p2] = GetParam();
+  TransferFunction cl = ClosedLoop(DesignPolePlacement(p1, p2));
+  EXPECT_TRUE(cl.IsStable());
+}
+
+TEST_P(PolePlacementSweep, StepResponseTracksReference) {
+  const auto [p1, p2] = GetParam();
+  TransferFunction cl = ClosedLoop(DesignPolePlacement(p1, p2));
+  auto y = cl.StepResponse(300);
+  EXPECT_NEAR(y.back(), 1.0, 1e-6);
+}
+
+TEST_P(PolePlacementSweep, CriticallyDampedNoOscillation) {
+  // Equal real poles = damping 1: the step response must not overshoot
+  // much. The controller zero adds some kick, which grows as the poles
+  // get very fast — the paper's point that placing poles near 0 demands
+  // excessive control authority — so the bound only applies to the
+  // practical range.
+  const auto [p1, p2] = GetParam();
+  if (p1 != p2 || p1 < 0.3) return;
+  TransferFunction cl = ClosedLoop(DesignPolePlacement(p1, p2));
+  auto y = cl.StepResponse(300);
+  for (double v : y) EXPECT_LT(v, 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoleGrid, PolePlacementSweep,
+    ::testing::Values(PolePair{0.7, 0.7}, PolePair{0.5, 0.5},
+                      PolePair{0.3, 0.3}, PolePair{0.9, 0.9},
+                      PolePair{0.4, 0.8}, PolePair{0.2, 0.6},
+                      PolePair{0.6, 0.95}, PolePair{0.1, 0.1}));
+
+class GainRobustnessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainRobustnessSweep, StableUnderLoopGainError) {
+  // Modeling error in c or H scales the loop gain; the design must
+  // tolerate a wide band (the paper's argument for closed-loop control).
+  const double gain = GetParam();
+  TransferFunction cl = ClosedLoop(DesignPolePlacement(0.7, 0.7), gain);
+  EXPECT_TRUE(cl.IsStable()) << "gain error " << gain;
+  auto y = cl.StepResponse(800);
+  EXPECT_NEAR(y.back(), 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(GainGrid, GainRobustnessSweep,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.0, 1.3, 1.7, 2.2));
+
+TEST(PolePlacementTest, ExcessiveGainErrorEventuallyDestabilizes) {
+  // Sanity bound on the robustness claim: a large enough mismatch breaks
+  // the loop, so the sweep above is not vacuous.
+  bool unstable_found = false;
+  for (double gain : {4.0, 6.0, 10.0, 20.0}) {
+    if (!ClosedLoop(DesignPolePlacement(0.7, 0.7), gain).IsStable()) {
+      unstable_found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(unstable_found);
+}
+
+TEST(PolePlacementTest, NormalizedPlantIsIntegrator) {
+  TransferFunction g = NormalizedPlant();
+  auto poles = g.Poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), 1.0, 1e-12);
+}
+
+TEST(PolePlacementTest, ControllerPoleAtMinusA) {
+  ControllerGains g = DesignPolePlacement(0.7, 0.7, -0.8);
+  auto poles = NormalizedController(g).Poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), 0.8, 1e-10);
+}
+
+TEST(PolePlacementTest, FasterPolesConvergeFaster) {
+  auto settle = [](double pole) {
+    auto y = ClosedLoop(DesignPolePlacement(pole, pole)).StepResponse(400);
+    for (size_t k = 0; k < y.size(); ++k) {
+      bool settled = true;
+      for (size_t j = k; j < y.size(); ++j) {
+        if (std::abs(y[j] - 1.0) > 0.02) {
+          settled = false;
+          break;
+        }
+      }
+      if (settled) return static_cast<int>(k);
+    }
+    return static_cast<int>(y.size());
+  };
+  EXPECT_LT(settle(0.3), settle(0.9));
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "control/polynomial.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(PolynomialTest, EvaluateReal) {
+  Polynomial p({1.0, -2.0, 1.0});  // 1 - 2x + x^2 = (x-1)^2
+  EXPECT_DOUBLE_EQ(p.Evaluate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(3.0), 4.0);
+  EXPECT_EQ(p.Degree(), 2);
+}
+
+TEST(PolynomialTest, EvaluateComplex) {
+  Polynomial p({1.0, 0.0, 1.0});  // 1 + x^2
+  std::complex<double> v = p.Evaluate(std::complex<double>(0.0, 1.0));
+  EXPECT_NEAR(std::abs(v), 0.0, 1e-12);
+}
+
+TEST(PolynomialTest, TrimsTrailingZeros) {
+  Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.Degree(), 1);
+}
+
+TEST(PolynomialTest, ZeroPolynomial) {
+  Polynomial p({0.0});
+  EXPECT_TRUE(p.IsZero());
+  Polynomial q;
+  EXPECT_TRUE(q.IsZero());
+}
+
+TEST(PolynomialTest, Addition) {
+  Polynomial a({1.0, 2.0});
+  Polynomial b({3.0, 0.0, 5.0});
+  Polynomial c = a + b;
+  EXPECT_EQ(c.Degree(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 5.0);
+}
+
+TEST(PolynomialTest, Multiplication) {
+  Polynomial a({-1.0, 1.0});  // x - 1
+  Polynomial b({-2.0, 1.0});  // x - 2
+  Polynomial c = a * b;       // x^2 - 3x + 2
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], -3.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(PolynomialTest, ScalarMultiplication) {
+  Polynomial a({1.0, 2.0});
+  Polynomial b = a * 3.0;
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 6.0);
+}
+
+TEST(PolynomialTest, FromRootsRealPair) {
+  Polynomial p = Polynomial::FromRoots({{0.7, 0.0}, {0.7, 0.0}});
+  // (x - 0.7)^2 = x^2 - 1.4 x + 0.49 — the paper's desired CLCE (Eq. 14).
+  EXPECT_NEAR(p[0], 0.49, 1e-12);
+  EXPECT_NEAR(p[1], -1.4, 1e-12);
+  EXPECT_NEAR(p[2], 1.0, 1e-12);
+}
+
+TEST(PolynomialTest, FromRootsConjugatePair) {
+  Polynomial p = Polynomial::FromRoots({{0.5, 0.3}, {0.5, -0.3}});
+  // x^2 - x + 0.34.
+  EXPECT_NEAR(p[0], 0.34, 1e-12);
+  EXPECT_NEAR(p[1], -1.0, 1e-12);
+}
+
+TEST(PolynomialTest, RootsOfQuadratic) {
+  Polynomial p({2.0, -3.0, 1.0});  // (x-1)(x-2)
+  auto roots = p.Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  std::vector<double> re = {roots[0].real(), roots[1].real()};
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], 1.0, 1e-9);
+  EXPECT_NEAR(re[1], 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(roots[0].imag()), 0.0, 1e-9);
+}
+
+TEST(PolynomialTest, RootsOfComplexQuadratic) {
+  Polynomial p({1.0, 0.0, 1.0});  // roots +-i
+  auto roots = p.Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  for (const auto& r : roots) {
+    EXPECT_NEAR(std::abs(r), 1.0, 1e-9);
+    EXPECT_NEAR(r.real(), 0.0, 1e-9);
+  }
+}
+
+TEST(PolynomialTest, RootsRoundTripThroughFromRoots) {
+  std::vector<std::complex<double>> want = {{0.3, 0.0}, {-0.5, 0.0}, {0.9, 0.0}};
+  auto got = Polynomial::FromRoots(want).Roots();
+  ASSERT_EQ(got.size(), 3u);
+  std::vector<double> re;
+  for (const auto& r : got) {
+    re.push_back(r.real());
+    EXPECT_NEAR(r.imag(), 0.0, 1e-8);
+  }
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], -0.5, 1e-8);
+  EXPECT_NEAR(re[1], 0.3, 1e-8);
+  EXPECT_NEAR(re[2], 0.9, 1e-8);
+}
+
+TEST(PolynomialTest, RootsOfLinear) {
+  Polynomial p({-4.0, 2.0});  // 2x - 4
+  auto roots = p.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 2.0, 1e-10);
+}
+
+TEST(PolynomialTest, ConstantHasNoRoots) {
+  Polynomial p({5.0});
+  EXPECT_TRUE(p.Roots().empty());
+}
+
+TEST(PolynomialDeathTest, RootsOfZeroPolynomialAborts) {
+  Polynomial p({0.0});
+  EXPECT_DEATH(p.Roots(), "zero polynomial");
+}
+
+}  // namespace
+}  // namespace ctrlshed

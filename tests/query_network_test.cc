@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/query_network.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(QueryNetworkTest, RemainingCostOfChain) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 2.0));
+  auto* c = net.Add(std::make_unique<MapOp>("c", 4.0));
+  a->ConnectTo(b);
+  b->ConnectTo(c);
+  net.AddEntry(0, a);
+  net.Finalize();
+  EXPECT_DOUBLE_EQ(net.RemainingCost(c), 4.0);
+  EXPECT_DOUBLE_EQ(net.RemainingCost(b), 6.0);
+  EXPECT_DOUBLE_EQ(net.RemainingCost(a), 7.0);
+  EXPECT_DOUBLE_EQ(net.EntryCost(0), 7.0);
+}
+
+TEST(QueryNetworkTest, RemainingCostWeightsBySelectivity) {
+  QueryNetwork net;
+  auto* f = net.Add(std::make_unique<FilterOp>("f", 1.0, 0.5));
+  auto* m = net.Add(std::make_unique<MapOp>("m", 10.0));
+  f->ConnectTo(m);
+  net.AddEntry(0, f);
+  net.Finalize();
+  // Only half the tuples reach m: expected remaining = 1 + 0.5 * 10.
+  EXPECT_DOUBLE_EQ(net.RemainingCost(f), 6.0);
+}
+
+TEST(QueryNetworkTest, ForkSumsBranches) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 2.0));
+  auto* c = net.Add(std::make_unique<MapOp>("c", 3.0));
+  a->ConnectTo(b);
+  a->ConnectTo(c);
+  net.AddEntry(0, a);
+  net.Finalize();
+  EXPECT_DOUBLE_EQ(net.RemainingCost(a), 6.0);
+}
+
+TEST(QueryNetworkTest, MultiEntrySourceSumsEntryCosts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 2.0));
+  net.AddEntry(0, a);
+  net.AddEntry(0, b);  // one stream entering at two points
+  net.Finalize();
+  EXPECT_DOUBLE_EQ(net.EntryCost(0), 3.0);
+  EXPECT_EQ(net.NumSources(), 1);
+}
+
+TEST(QueryNetworkTest, MeanEntryCostAveragesSources) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 2.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 4.0));
+  net.AddEntry(0, a);
+  net.AddEntry(1, b);
+  net.Finalize();
+  EXPECT_DOUBLE_EQ(net.MeanEntryCost(), 3.0);
+}
+
+TEST(QueryNetworkTest, FinalizeWithMeanEntryCostScalesExactly) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 3.0));
+  a->ConnectTo(b);
+  net.AddEntry(0, a);
+  net.FinalizeWithMeanEntryCost(0.008);
+  EXPECT_NEAR(net.MeanEntryCost(), 0.008, 1e-12);
+  // Relative costs preserved: b is 3x a.
+  EXPECT_NEAR(b->cost() / a->cost(), 3.0, 1e-12);
+  EXPECT_NEAR(net.RemainingCost(a), 0.008, 1e-12);
+}
+
+TEST(QueryNetworkTest, SharedOperatorCountedPerPath) {
+  // Two entries feeding a shared downstream operator (computation sharing).
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 1.0));
+  auto* shared = net.Add(std::make_unique<MapOp>("s", 5.0));
+  a->ConnectTo(shared);
+  b->ConnectTo(shared);
+  net.AddEntry(0, a);
+  net.AddEntry(1, b);
+  net.Finalize();
+  EXPECT_DOUBLE_EQ(net.RemainingCost(a), 6.0);
+  EXPECT_DOUBLE_EQ(net.RemainingCost(b), 6.0);
+}
+
+TEST(QueryNetworkTest, OperatorIdsAssignedSequentially) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 1.0));
+  EXPECT_EQ(a->id(), 0);
+  EXPECT_EQ(b->id(), 1);
+  EXPECT_EQ(net.NumOperators(), 2u);
+}
+
+TEST(QueryNetworkDeathTest, CycleAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 1.0));
+  a->ConnectTo(b);
+  b->ConnectTo(a);
+  net.AddEntry(0, a);
+  EXPECT_DEATH(net.Finalize(), "cycle");
+}
+
+TEST(QueryNetworkDeathTest, NoEntriesAborts) {
+  QueryNetwork net;
+  net.Add(std::make_unique<MapOp>("a", 1.0));
+  EXPECT_DEATH(net.Finalize(), "entry");
+}
+
+TEST(QueryNetworkDeathTest, DoubleFinalizeAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  net.AddEntry(0, a);
+  net.Finalize();
+  EXPECT_DEATH(net.Finalize(), "twice");
+}
+
+TEST(QueryNetworkDeathTest, AddEntryAfterFinalizeAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  net.AddEntry(0, a);
+  net.Finalize();
+  EXPECT_DEATH(net.AddEntry(0, a), "finalized");
+}
+
+TEST(QueryNetworkDeathTest, RemainingCostBeforeFinalizeAborts) {
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 1.0));
+  net.AddEntry(0, a);
+  EXPECT_DEATH(net.RemainingCost(a), "finalized");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "control/rate_predictor.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(LastValuePredictorTest, ReturnsInput) {
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.Observe(123.0), 123.0);
+  EXPECT_DOUBLE_EQ(p.Observe(7.0), 7.0);
+}
+
+TEST(EwmaPredictorTest, PrimesWithFirstSample) {
+  EwmaPredictor p(0.5);
+  EXPECT_DOUBLE_EQ(p.Observe(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.Observe(200.0), 150.0);
+  EXPECT_DOUBLE_EQ(p.Observe(200.0), 175.0);
+}
+
+TEST(EwmaPredictorTest, AlphaOneIsLastValue) {
+  EwmaPredictor p(1.0);
+  p.Observe(10.0);
+  EXPECT_DOUBLE_EQ(p.Observe(99.0), 99.0);
+}
+
+TEST(Ar1PredictorTest, LearnsPersistence) {
+  // Strongly autocorrelated input: x(k+1) = 0.9 x(k) + noise.
+  Ar1Predictor p;
+  Rng rng(3);
+  double x = 100.0;
+  for (int k = 0; k < 500; ++k) {
+    p.Observe(x);
+    x = 200.0 + 0.9 * (x - 200.0) + rng.Normal(0.0, 5.0);
+  }
+  EXPECT_NEAR(p.phi(), 0.9, 0.1);
+}
+
+TEST(Ar1PredictorTest, WhiteNoisePhiNearZero) {
+  Ar1Predictor p;
+  Rng rng(4);
+  for (int k = 0; k < 500; ++k) p.Observe(rng.Uniform(100.0, 300.0));
+  EXPECT_LT(p.phi(), 0.25);
+}
+
+TEST(Ar1PredictorTest, NonNegativeForecast) {
+  Ar1Predictor p;
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_GE(p.Observe(k % 2 == 0 ? 0.0 : 1.0), 0.0);
+  }
+}
+
+TEST(KalmanPredictorTest, TracksConstantLevel) {
+  KalmanPredictor p;
+  double forecast = 0.0;
+  for (int k = 0; k < 100; ++k) forecast = p.Observe(250.0);
+  EXPECT_NEAR(forecast, 250.0, 1.0);
+  EXPECT_NEAR(p.slope(), 0.0, 0.5);
+}
+
+TEST(KalmanPredictorTest, AnticipatesRamp) {
+  // On a steady ramp the slope state lets the forecast lead the last
+  // value — exactly the Example-1 situation where last-value fails.
+  KalmanPredictor p;
+  double forecast = 0.0;
+  double x = 100.0;
+  for (int k = 0; k < 200; ++k) {
+    forecast = p.Observe(x);
+    x += 5.0;
+  }
+  // Next true value is x; last-value would predict x - 5.
+  EXPECT_GT(forecast, x - 4.0);
+  EXPECT_NEAR(p.slope(), 5.0, 1.0);
+}
+
+TEST(KalmanPredictorTest, NonNegative) {
+  KalmanPredictor p;
+  p.Observe(100.0);
+  for (int k = 0; k < 20; ++k) EXPECT_GE(p.Observe(0.0), 0.0);
+}
+
+struct PredictorCase {
+  PredictorKind kind;
+};
+
+class PredictorSweep : public ::testing::TestWithParam<PredictorKind> {};
+
+TEST_P(PredictorSweep, FactoryProducesWorkingPredictor) {
+  auto p = MakePredictor(GetParam());
+  ASSERT_NE(p, nullptr);
+  for (int k = 0; k < 50; ++k) {
+    const double f = p->Observe(200.0 + 10.0 * (k % 5));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LT(f, 1000.0);
+  }
+  EXPECT_FALSE(p->name().empty());
+}
+
+TEST_P(PredictorSweep, ForecastErrorBoundedOnEpisodicTrace) {
+  // On the paper's episodic Pareto workload every predictor must at least
+  // stay in the ballpark (mean absolute error below the trace stddev).
+  RateTrace trace = MakeParetoTrace(2000.0, ParetoTraceParams{}, 9);
+  auto p = MakePredictor(GetParam());
+  double abs_err = 0.0;
+  int n = 0;
+  double forecast = trace.values()[0];
+  for (size_t k = 0; k + 1 < trace.values().size(); ++k) {
+    abs_err += std::abs(forecast - trace.values()[k + 1]);
+    ++n;
+    forecast = p->Observe(trace.values()[k + 1]);
+  }
+  const double mae = abs_err / n;
+  EXPECT_LT(mae, 130.0);  // trace sd ~ 115-130 at the default parameters
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, PredictorSweep,
+                         ::testing::Values(PredictorKind::kLastValue,
+                                           PredictorKind::kEwma,
+                                           PredictorKind::kAr1,
+                                           PredictorKind::kKalman));
+
+TEST(PredictorComparisonTest, Ar1BeatsLastValueOnAr1Process) {
+  Rng rng(11);
+  Ar1Predictor ar1;
+  LastValuePredictor last;
+  double x = 200.0;
+  double err_ar1 = 0.0, err_last = 0.0;
+  double f_ar1 = x, f_last = x;
+  for (int k = 0; k < 3000; ++k) {
+    const double next = 200.0 + 0.85 * (x - 200.0) + rng.Normal(0.0, 20.0);
+    err_ar1 += (f_ar1 - next) * (f_ar1 - next);
+    err_last += (f_last - next) * (f_last - next);
+    f_ar1 = ar1.Observe(next);
+    f_last = last.Observe(next);
+    x = next;
+  }
+  EXPECT_LT(err_ar1, err_last);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "engine/scheduler.h"
+#include "runner/networks.h"
+
+namespace ctrlshed {
+namespace {
+
+Tuple SourceTuple(double value, SimTime arrival) {
+  Tuple t;
+  t.arrival_time = arrival;
+  t.value = value;
+  return t;
+}
+
+class TwoOpNetwork : public ::testing::Test {
+ protected:
+  TwoOpNetwork() {
+    a_ = net_.Add(std::make_unique<MapOp>("a", 0.001));
+    b_ = net_.Add(std::make_unique<MapOp>("b", 0.001));
+    a_->ConnectTo(b_);
+    net_.AddEntry(0, a_);
+    net_.Finalize();
+  }
+  QueryNetwork net_;
+  MapOp* a_ = nullptr;
+  MapOp* b_ = nullptr;
+};
+
+TEST_F(TwoOpNetwork, RoundRobinCyclesOperators) {
+  RoundRobinScheduler sched;
+  Tuple t = SourceTuple(0.5, 0.0);
+  t.lineage = 1;
+  a_->queue().push_back(t);
+  a_->queue().push_back(t);
+  b_->queue().push_back(t);
+  EXPECT_EQ(sched.Next(&net_), a_);
+  EXPECT_EQ(sched.Next(&net_), b_);
+  EXPECT_EQ(sched.Next(&net_), a_);
+}
+
+TEST_F(TwoOpNetwork, RoundRobinSkipsEmpty) {
+  RoundRobinScheduler sched;
+  Tuple t = SourceTuple(0.5, 0.0);
+  t.lineage = 1;
+  b_->queue().push_back(t);
+  EXPECT_EQ(sched.Next(&net_), b_);
+}
+
+TEST_F(TwoOpNetwork, AllIdleReturnsNull) {
+  RoundRobinScheduler rr;
+  GlobalFifoScheduler gf;
+  LongestQueueScheduler lq;
+  RandomScheduler rnd(1);
+  EXPECT_EQ(rr.Next(&net_), nullptr);
+  EXPECT_EQ(gf.Next(&net_), nullptr);
+  EXPECT_EQ(lq.Next(&net_), nullptr);
+  EXPECT_EQ(rnd.Next(&net_), nullptr);
+}
+
+TEST_F(TwoOpNetwork, GlobalFifoPicksEarliestFrontTuple) {
+  GlobalFifoScheduler sched;
+  Tuple late = SourceTuple(0.5, 5.0);
+  late.lineage = 1;
+  Tuple early = SourceTuple(0.5, 1.0);
+  early.lineage = 2;
+  a_->queue().push_back(late);
+  b_->queue().push_back(early);
+  EXPECT_EQ(sched.Next(&net_), b_);
+}
+
+TEST_F(TwoOpNetwork, LongestQueueWins) {
+  LongestQueueScheduler sched;
+  Tuple t = SourceTuple(0.5, 0.0);
+  t.lineage = 1;
+  a_->queue().push_back(t);
+  b_->queue().push_back(t);
+  b_->queue().push_back(t);
+  EXPECT_EQ(sched.Next(&net_), b_);
+}
+
+TEST_F(TwoOpNetwork, RandomOnlyPicksNonEmpty) {
+  RandomScheduler sched(7);
+  Tuple t = SourceTuple(0.5, 0.0);
+  t.lineage = 1;
+  a_->queue().push_back(t);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sched.Next(&net_), a_);
+}
+
+TEST(SchedulerFactoryTest, MakesEveryKind) {
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kRoundRobin)->name(), "round-robin");
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kGlobalFifo)->name(), "global-fifo");
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kLongestQueue)->name(),
+            "longest-queue");
+  EXPECT_EQ(MakeScheduler(SchedulerKind::kRandom)->name(), "random");
+}
+
+// Property sweep: on every non-priority scheduler, the engine conserves
+// tuples and the Eq. (1) delay model holds for a batch on a uniform chain
+// (service order may differ, but the aggregate drain rate cannot).
+class SchedulerSweep : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(SchedulerSweep, ConservationHolds) {
+  QueryNetwork net;
+  BuildIdentificationNetwork(&net, 0.005);
+  Engine engine(&net, 0.97, MakeScheduler(GetParam(), 3));
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    engine.Inject(SourceTuple(rng.Uniform(), 0.0), 0.0);
+  }
+  engine.AdvanceTo(1.0);
+  const EngineCounters& c = engine.counters();
+  EXPECT_GT(c.departed, 0u);
+  EXPECT_EQ(c.admitted, 500u);
+  engine.AdvanceTo(100.0);
+  EXPECT_EQ(engine.counters().departed, 500u);
+  EXPECT_EQ(engine.QueuedTuples(), 0u);
+}
+
+TEST_P(SchedulerSweep, BatchDrainTimeMatchesModel) {
+  // 200 tuples of cost c drain in ~200 c / H regardless of service order.
+  QueryNetwork net;
+  BuildUniformChain(&net, 5, 0.010);
+  Engine engine(&net, 1.0, MakeScheduler(GetParam(), 3));
+  double last_depart = 0.0;
+  engine.SetDepartureCallback(
+      [&](const Departure& d) { last_depart = std::max(last_depart, d.depart_time); });
+  for (int i = 0; i < 200; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(100.0);
+  EXPECT_NEAR(last_depart, 200 * 0.010, 1e-6);
+}
+
+TEST_P(SchedulerSweep, MeanDelayNearModelPrediction) {
+  // Average delay of a batch of N: the model predicts ~(N/2 + 1) c for any
+  // work-conserving order without priorities. Allow generous tolerance for
+  // order-dependent spread.
+  QueryNetwork net;
+  BuildUniformChain(&net, 5, 0.010);
+  Engine engine(&net, 1.0, MakeScheduler(GetParam(), 3));
+  double sum = 0.0;
+  int n = 0;
+  engine.SetDepartureCallback([&](const Departure& d) {
+    sum += d.depart_time - d.arrival_time;
+    ++n;
+  });
+  const int kN = 100;
+  // Distinct (near-zero) arrival stamps keep order-based policies sane.
+  for (int i = 0; i < kN; ++i) {
+    engine.Inject(SourceTuple(0.5, 1e-7 * i), 1e-7 * i);
+  }
+  engine.AdvanceTo(100.0);
+  ASSERT_EQ(n, kN);
+  const double model = (kN / 2.0 + 1.0) * 0.010;
+  // Queue-length-driven policies hold tuples back early in the batch and
+  // skew departures late, so the per-batch mean sits above the FIFO
+  // prediction; the drain-time (throughput) identity above is what the
+  // paper's virtual-queue model actually relies on.
+  EXPECT_NEAR(sum / n, model, 0.5 * model);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
+                         ::testing::Values(SchedulerKind::kRoundRobin,
+                                           SchedulerKind::kGlobalFifo,
+                                           SchedulerKind::kLongestQueue,
+                                           SchedulerKind::kRandom));
+
+}  // namespace
+}  // namespace ctrlshed

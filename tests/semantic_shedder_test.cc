@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "shedding/semantic_shedder.h"
+#include "shedding/weighted_shedder.h"
+
+namespace ctrlshed {
+namespace {
+
+PeriodMeasurement MakeMeasurement(double fin) {
+  PeriodMeasurement m;
+  m.period = 1.0;
+  m.fin = fin;
+  m.fin_forecast = fin;
+  m.cost = 0.005;
+  return m;
+}
+
+Tuple MakeTuple(double value, int source = 0) {
+  Tuple t;
+  t.value = value;
+  t.source = source;
+  return t;
+}
+
+TEST(SemanticShedderTest, AdmitsEverythingBeforeFirstConfigure) {
+  SemanticShedder s;
+  EXPECT_TRUE(s.Admit(MakeTuple(0.01)));
+  EXPECT_TRUE(s.Admit(MakeTuple(0.99)));
+}
+
+TEST(SemanticShedderTest, DropsLowestUtilityFraction) {
+  SemanticShedder s;
+  Rng rng(3);
+  // Period 1: no shedding yet, builds the utility sample.
+  s.Configure(/*v=*/100.0, MakeMeasurement(100.0));
+  for (int i = 0; i < 5000; ++i) s.Admit(MakeTuple(rng.Uniform()));
+  // Period 2: shed 30% => threshold ~ 0.3 quantile of U[0,1].
+  s.Configure(/*v=*/70.0, MakeMeasurement(100.0));
+  EXPECT_NEAR(s.threshold(), 0.3, 0.03);
+
+  int admitted = 0, low_admitted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    const bool ok = s.Admit(MakeTuple(u));
+    if (ok) ++admitted;
+    if (ok && u < 0.25) ++low_admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / n, 0.7, 0.03);
+  EXPECT_EQ(low_admitted, 0);  // the bottom quartile is entirely gone
+}
+
+TEST(SemanticShedderTest, CustomUtilityFunction) {
+  // Utility = aux: drop low-aux tuples regardless of value.
+  SemanticShedder s([](const Tuple& t) { return t.aux; });
+  Rng rng(4);
+  s.Configure(100.0, MakeMeasurement(100.0));
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = MakeTuple(rng.Uniform());
+    t.aux = rng.Uniform();
+    s.Admit(t);
+  }
+  s.Configure(50.0, MakeMeasurement(100.0));  // shed 50%
+  Tuple low = MakeTuple(0.99);
+  low.aux = 0.1;
+  Tuple high = MakeTuple(0.01);
+  high.aux = 0.9;
+  EXPECT_FALSE(s.Admit(low));
+  EXPECT_TRUE(s.Admit(high));
+}
+
+TEST(SemanticShedderTest, NoSheddingAdmitsLowUtility) {
+  SemanticShedder s;
+  Rng rng(5);
+  s.Configure(100.0, MakeMeasurement(100.0));
+  for (int i = 0; i < 100; ++i) s.Admit(MakeTuple(rng.Uniform()));
+  s.Configure(200.0, MakeMeasurement(100.0));  // v > fin: no shedding
+  EXPECT_TRUE(s.Admit(MakeTuple(0.001)));
+}
+
+TEST(WeightedShedderTest, LowPriorityAbsorbsAllLoss) {
+  WeightedEntryShedder s({/*source 0=*/1.0, /*source 1=*/10.0}, 7);
+  // Period 1: learn rates (100 tuples/s each).
+  s.Configure(200.0, MakeMeasurement(200.0));
+  for (int i = 0; i < 100; ++i) {
+    s.Admit(MakeTuple(0.5, 0));
+    s.Admit(MakeTuple(0.5, 1));
+  }
+  // Period 2: shed 80 of 200 => all from source 0 (priority 1 < 10).
+  s.Configure(120.0, MakeMeasurement(200.0));
+  EXPECT_NEAR(s.drop_probability(0), 0.8, 1e-9);
+  EXPECT_NEAR(s.drop_probability(1), 0.0, 1e-9);
+  EXPECT_NEAR(s.drop_probability(), 0.4, 1e-9);
+}
+
+TEST(WeightedShedderTest, OverflowSpillsToNextPriority) {
+  WeightedEntryShedder s({1.0, 10.0}, 7);
+  s.Configure(200.0, MakeMeasurement(200.0));
+  for (int i = 0; i < 100; ++i) {
+    s.Admit(MakeTuple(0.5, 0));
+    s.Admit(MakeTuple(0.5, 1));
+  }
+  // Shed 150 of 200: source 0 fully blocked, source 1 sheds 50%.
+  s.Configure(50.0, MakeMeasurement(200.0));
+  EXPECT_NEAR(s.drop_probability(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.drop_probability(1), 0.5, 1e-9);
+}
+
+TEST(WeightedShedderTest, AdmitRespectsPerSourceAlpha) {
+  WeightedEntryShedder s({1.0, 10.0}, 9);
+  s.Configure(200.0, MakeMeasurement(200.0));
+  for (int i = 0; i < 100; ++i) {
+    s.Admit(MakeTuple(0.5, 0));
+    s.Admit(MakeTuple(0.5, 1));
+  }
+  s.Configure(120.0, MakeMeasurement(200.0));
+  int admitted0 = 0, admitted1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.Admit(MakeTuple(0.5, 0))) ++admitted0;
+    if (s.Admit(MakeTuple(0.5, 1))) ++admitted1;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted0) / n, 0.2, 0.02);
+  EXPECT_EQ(admitted1, n);
+}
+
+TEST(WeightedShedderTest, ReportsUnrealizableDemand) {
+  WeightedEntryShedder s({1.0}, 3);
+  s.Configure(100.0, MakeMeasurement(100.0));
+  for (int i = 0; i < 100; ++i) s.Admit(MakeTuple(0.5, 0));
+  // Demand a negative rate: even blocking everything only sheds 100/s.
+  const double applied = s.Configure(-50.0, MakeMeasurement(100.0));
+  EXPECT_NEAR(s.drop_probability(0), 1.0, 1e-9);
+  EXPECT_NEAR(applied, 0.0, 1e-9);
+}
+
+TEST(WeightedShedderDeathTest, UnknownSourceAborts) {
+  WeightedEntryShedder s({1.0}, 3);
+  EXPECT_DEATH(s.Admit(MakeTuple(0.5, 5)), "unknown source");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "runner/networks.h"
+#include "shedding/entry_shedder.h"
+#include "shedding/queue_shedder.h"
+
+namespace ctrlshed {
+namespace {
+
+PeriodMeasurement MakeMeasurement(double fin, double queue = 0.0) {
+  PeriodMeasurement m;
+  m.period = 1.0;
+  m.fin = fin;
+  m.fin_forecast = fin;
+  m.queue = queue;
+  m.cost = 0.005;
+  return m;
+}
+
+Tuple SourceTuple(double value) {
+  Tuple t;
+  t.value = value;
+  return t;
+}
+
+TEST(EntryShedderTest, AlphaFollowsEq13) {
+  EntryShedder s(1);
+  s.Configure(/*v=*/150.0, MakeMeasurement(/*fin=*/200.0));
+  EXPECT_NEAR(s.drop_probability(), 0.25, 1e-12);
+}
+
+TEST(EntryShedderTest, AlphaClampedToZeroWhenUnderloaded) {
+  EntryShedder s(1);
+  s.Configure(/*v=*/300.0, MakeMeasurement(/*fin=*/200.0));
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 0.0);
+}
+
+TEST(EntryShedderTest, AlphaClampedToOneForNegativeRate) {
+  EntryShedder s(1);
+  const double applied = s.Configure(/*v=*/-50.0, MakeMeasurement(200.0));
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(applied, 0.0);  // the floor the controller learns about
+}
+
+TEST(EntryShedderTest, IdleStreamAdmitsEverything) {
+  EntryShedder s(1);
+  s.Configure(/*v=*/10.0, MakeMeasurement(/*fin=*/0.0));
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 0.0);
+  EXPECT_TRUE(s.Admit(SourceTuple(0.5)));
+}
+
+TEST(EntryShedderTest, DropFrequencyMatchesAlpha) {
+  EntryShedder s(7);
+  s.Configure(120.0, MakeMeasurement(200.0));  // alpha = 0.4
+  int admitted = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (s.Admit(SourceTuple(0.5))) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / n, 0.6, 0.01);
+}
+
+TEST(EntryShedderTest, AppliedRateReported) {
+  EntryShedder s(1);
+  const double applied = s.Configure(150.0, MakeMeasurement(200.0));
+  EXPECT_NEAR(applied, 150.0, 1e-9);
+}
+
+class QueueShedderFixture : public ::testing::Test {
+ protected:
+  QueueShedderFixture() {
+    BuildUniformChain(&net_, 5, 0.010);
+    engine_ = std::make_unique<Engine>(&net_, 1.0);
+  }
+
+  void Fill(int n) {
+    for (int i = 0; i < n; ++i) {
+      Tuple t = SourceTuple(0.5);
+      engine_->Inject(t, 0.0);
+    }
+  }
+
+  QueryNetwork net_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(QueueShedderFixture, NoSheddingWhenDesiredExceedsInflow) {
+  QueueShedder s(engine_.get(), 1);
+  Fill(50);
+  const double applied = s.Configure(/*v=*/250.0, MakeMeasurement(200.0, 50.0));
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 0.0);
+  EXPECT_EQ(engine_->QueuedTuples(), 50u);
+  EXPECT_DOUBLE_EQ(applied, 250.0);
+}
+
+TEST_F(QueueShedderFixture, PositiveRateShedsOnlyFromEntry) {
+  QueueShedder s(engine_.get(), 1);
+  Fill(50);
+  s.Configure(/*v=*/120.0, MakeMeasurement(200.0, 50.0));
+  EXPECT_NEAR(s.drop_probability(), 0.4, 1e-9);
+  EXPECT_EQ(engine_->QueuedTuples(), 50u);  // queues untouched
+}
+
+TEST_F(QueueShedderFixture, NegativeRateCutsQueuedWork) {
+  QueueShedder s(engine_.get(), 1);
+  Fill(100);
+  PeriodMeasurement m = MakeMeasurement(/*fin=*/200.0, /*queue=*/100.0);
+  const double applied = s.Configure(/*v=*/-30.0, m);
+  // All inflow blocked...
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 1.0);
+  // ...and 30 tuple-equivalents removed from the queues.
+  EXPECT_NEAR(static_cast<double>(engine_->QueuedTuples()), 70.0, 1.0);
+  EXPECT_NEAR(applied, -30.0, 1.0);
+}
+
+TEST_F(QueueShedderFixture, CannotShedMoreThanExists) {
+  QueueShedder s(engine_.get(), 1);
+  Fill(10);
+  PeriodMeasurement m = MakeMeasurement(/*fin=*/50.0, /*queue=*/10.0);
+  const double applied = s.Configure(/*v=*/-500.0, m);
+  EXPECT_EQ(engine_->QueuedTuples(), 0u);
+  EXPECT_DOUBLE_EQ(s.drop_probability(), 1.0);
+  // The unachievable remainder is reported back (anti-windup).
+  EXPECT_GT(applied, -500.0);
+}
+
+TEST_F(QueueShedderFixture, ShedTuplesCountAsLoss) {
+  QueueShedder s(engine_.get(), 1);
+  Fill(100);
+  s.Configure(-50.0, MakeMeasurement(100.0, 100.0));
+  engine_->AdvanceTo(100.0);
+  const EngineCounters& c = engine_->counters();
+  EXPECT_GT(c.shed_lineages, 0u);
+  EXPECT_EQ(c.shed_lineages + c.departed, 100u);
+}
+
+TEST_F(QueueShedderFixture, AdmitUsesConfiguredAlpha) {
+  QueueShedder s(engine_.get(), 7);
+  Fill(10);
+  s.Configure(/*v=*/50.0, MakeMeasurement(100.0, 10.0));  // alpha = 0.5
+  int admitted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.Admit(SourceTuple(0.5))) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(5.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SimulationTest, RunsEventsAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.Schedule(1.5, [&] { times.push_back(sim.now()); });
+  sim.Schedule(0.5, [&] { times.push_back(sim.now()); });
+  sim.Run(10.0);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulationTest, EventsPastEndAreNotRun) {
+  Simulation sim;
+  bool ran = false;
+  sim.Schedule(5.0, [&] { ran = true; });
+  sim.Run(4.0);
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.Schedule(sim.now() + 1.0, chain);
+  };
+  sim.Schedule(1.0, chain);
+  sim.Run(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulationTest, ScheduleEveryRepeatsUntilFalse) {
+  Simulation sim;
+  std::vector<double> ticks;
+  sim.ScheduleEvery(1.0, 1.0, [&](SimTime t) {
+    ticks.push_back(t);
+    return ticks.size() < 3;
+  });
+  sim.Run(50.0);
+  EXPECT_EQ(ticks, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SimulationTest, ScheduleEveryStopsAtEnd) {
+  Simulation sim;
+  int ticks = 0;
+  sim.ScheduleEvery(1.0, 1.0, [&](SimTime) {
+    ++ticks;
+    return true;
+  });
+  sim.Run(5.5);
+  EXPECT_EQ(ticks, 5);
+}
+
+class RecordingProcess : public Process {
+ public:
+  void AdvanceTo(SimTime t) override { advances.push_back(t); }
+  std::vector<SimTime> advances;
+};
+
+TEST(SimulationTest, ProcessesAdvanceBeforeEachEvent) {
+  Simulation sim;
+  RecordingProcess proc;
+  sim.AttachProcess(&proc);
+  sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  sim.Run(3.0);
+  // Advance to each event time, then to the end of the run.
+  EXPECT_EQ(proc.advances, (std::vector<SimTime>{1.0, 2.0, 3.0}));
+}
+
+TEST(SimulationTest, ProcessSeesEventEffectsInOrder) {
+  // A process advancing to time t must run before the event at t fires.
+  Simulation sim;
+  RecordingProcess proc;
+  sim.AttachProcess(&proc);
+  double seen_at_event = -1.0;
+  sim.Schedule(2.0, [&] { seen_at_event = proc.advances.back(); });
+  sim.Run(5.0);
+  EXPECT_DOUBLE_EQ(seen_at_event, 2.0);
+}
+
+TEST(SimulationDeathTest, SchedulingIntoThePastAborts) {
+  Simulation sim;
+  sim.Schedule(1.0, [] {});
+  sim.Run(2.0);
+  EXPECT_DEATH(sim.Schedule(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "runner/experiment.h"
+#include "sysid/identification.h"
+#include "sysid/integrator_model.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(IntegratorModelTest, UnderloadGivesConstantDelay) {
+  ModelParams p{0.005, 1.0, 1.0};
+  auto y = SimulateIntegratorModel(p, std::vector<double>(20, 100.0));
+  for (double v : y) EXPECT_NEAR(v, 0.005, 1e-9);
+}
+
+TEST(IntegratorModelTest, OverloadIntegrates) {
+  ModelParams p{0.005, 1.0, 1.0};  // capacity 200
+  auto y = SimulateIntegratorModel(p, std::vector<double>(10, 300.0));
+  // Queue grows by 100/period: y(k) = (100 (k) + 1) * 0.005.
+  EXPECT_NEAR(y[1], (100.0 + 1.0) * 0.005, 1e-9);
+  EXPECT_NEAR(y[9], (900.0 + 1.0) * 0.005, 1e-9);
+}
+
+TEST(IntegratorModelTest, HeadroomScalesServiceRate) {
+  ModelParams full{0.005, 1.0, 1.0}, half{0.005, 0.5, 1.0};
+  auto yf = SimulateIntegratorModel(full, std::vector<double>(10, 150.0));
+  auto yh = SimulateIntegratorModel(half, std::vector<double>(10, 150.0));
+  // Capacity 200 vs 100: the half-headroom system diverges.
+  EXPECT_NEAR(yf.back(), 0.005, 1e-9);
+  EXPECT_GT(yh.back(), 0.5);
+}
+
+TEST(IntegratorModelTest, QueueDrainsAfterBurst) {
+  ModelParams p{0.005, 1.0, 1.0};
+  std::vector<double> fin(20, 50.0);
+  fin[5] = 500.0;  // one burst second
+  auto y = SimulateIntegratorModel(p, fin);
+  EXPECT_GT(y[6], y[4]);          // burst raised the delay
+  EXPECT_NEAR(y.back(), 0.005, 1e-6);  // fully drained by the end
+}
+
+TEST(ModelDelayFromQueueTest, UsesPreviousQueue) {
+  auto y = ModelDelayFromQueue({100.0, 200.0, 300.0}, 0.005, 1.0);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_NEAR(y[0], 0.005, 1e-12);             // q(-1) = 0
+  EXPECT_NEAR(y[1], 101.0 * 0.005, 1e-12);
+  EXPECT_NEAR(y[2], 201.0 * 0.005, 1e-12);
+}
+
+TEST(ModelingErrorTest, ElementwiseDifference) {
+  auto e = ModelingError({1.0, 2.0}, {0.5, 2.5});
+  EXPECT_DOUBLE_EQ(e[0], 0.5);
+  EXPECT_DOUBLE_EQ(e[1], -0.5);
+}
+
+TEST(ArrivalGroupedDelaysTest, GroupsByArrivalPeriod) {
+  ArrivalGroupedDelays g(1.0);
+  Departure d;
+  d.arrival_time = 0.5;
+  d.depart_time = 1.0;
+  g.OnDeparture(d);
+  d.arrival_time = 0.9;
+  d.depart_time = 2.9;
+  g.OnDeparture(d);
+  d.arrival_time = 1.5;
+  d.depart_time = 2.0;
+  g.OnDeparture(d);
+  TimeSeries s = g.Series(3.0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0].value, (0.5 + 2.0) / 2.0, 1e-12);
+  EXPECT_NEAR(s[1].value, 0.5, 1e-12);
+  EXPECT_NEAR(s[2].value, 0.5, 1e-12);  // empty period holds last value
+}
+
+TEST(StepResponseTest, BelowCapacityStaysFlat) {
+  StepResponse r = RunStepResponse(150.0, 50.0, 10.0, 190.0, 0.97, 1);
+  EXPECT_FALSE(DelayDiverges(r.delay, 10.0));
+  // Post-step delay stays near the pure service time.
+  EXPECT_LT(r.delay[40].value, 0.05);
+}
+
+TEST(StepResponseTest, AboveCapacityDiverges) {
+  StepResponse r = RunStepResponse(300.0, 50.0, 10.0, 190.0, 0.97, 1);
+  EXPECT_TRUE(DelayDiverges(r.delay, 10.0));
+  EXPECT_GT(r.delay[35].value, 5.0);
+}
+
+TEST(StepResponseTest, DeltaDelayConvergesUnderOverload) {
+  // Fig. 5C: the growth rate of y settles to a constant — the signature of
+  // a pure integrator with no further dynamics.
+  StepResponse r = RunStepResponse(300.0, 50.0, 10.0, 190.0, 0.97, 1);
+  ASSERT_GT(r.delta_delay.size(), 30u);
+  // After the step transient, consecutive deltas are similar. Stay away
+  // from the end of the run: arrivals there depart after it finishes, so
+  // their periods carry stale delay values.
+  double d1 = r.delta_delay[20], d2 = r.delta_delay[28];
+  EXPECT_GT(d1, 0.0);
+  EXPECT_NEAR(d1, d2, 0.4 * std::max(d1, d2));
+}
+
+TEST(StepResponseTest, QueueSeriesRecorded) {
+  StepResponse r = RunStepResponse(300.0, 30.0, 10.0, 190.0, 0.97, 1);
+  EXPECT_EQ(r.queue.size(), 30u);
+  EXPECT_GT(r.queue[25].value, 1000.0);
+}
+
+TEST(EstimateCapacityThresholdTest, FindsTrueCapacity) {
+  // True sustainable rate is capacity_rate (H_true cancels by design).
+  double est = EstimateCapacityThreshold(100.0, 300.0, 4.0, 60.0, 190.0,
+                                         0.97, 3);
+  EXPECT_NEAR(est, 190.0, 8.0);
+}
+
+TEST(HeadroomFitErrorTest, TrueHeadroomFitsBest) {
+  // Generate a synthetic run from the model itself with H = 0.97.
+  const double c = 0.005;
+  std::vector<double> q, y;
+  double qq = 0.0;
+  for (int k = 0; k < 100; ++k) {
+    y.push_back((qq + 1.0) * c / 0.97);
+    qq += 50.0;  // growing backlog
+    q.push_back(qq);
+  }
+  const double e95 = HeadroomFitError(y, q, c, 0.95);
+  const double e97 = HeadroomFitError(y, q, c, 0.97);
+  const double e100 = HeadroomFitError(y, q, c, 1.00);
+  EXPECT_LT(e97, e95);
+  EXPECT_LT(e97, e100);
+  EXPECT_NEAR(e97, 0.0, 1e-12);
+}
+
+TEST(HeadroomFitErrorTest, EngineRunFitsHeadroomNearTruth) {
+  // The paper's Fig. 6 experiment: measure a (simulated) run, compute the
+  // model delays for candidate H values, and fit. Eq. (2) references the
+  // queue at the START of each period while arrivals spread across it, so
+  // with a growing queue the fitted H sits slightly BELOW the engine's
+  // true headroom — the same kind of small systematic modeling error the
+  // paper reports in Fig. 6B. The fit must land close to the truth and
+  // must clearly reject H = 1.
+  StepResponse r = RunStepResponse(300.0, 60.0, 10.0, 190.0, 0.97, 3);
+  std::vector<double> y, q;
+  // Use only periods whose arrivals had time to depart before the run
+  // ended (late arrivals in a diverging run never get a delay sample).
+  for (size_t i = 0; i < 40 && i < r.delay.size(); ++i) {
+    y.push_back(r.delay[i].value);
+    q.push_back(r.queue[i].value);
+  }
+  const double c = 0.97 / 190.0;
+  double best_h = 0.0, best_e = 1e300;
+  for (double h = 0.90; h <= 1.005; h += 0.005) {
+    const double e = HeadroomFitError(y, q, c, h);
+    if (e < best_e) {
+      best_e = e;
+      best_h = h;
+    }
+  }
+  EXPECT_NEAR(best_h, 0.97, 0.05);
+  EXPECT_LT(best_e, 0.5 * HeadroomFitError(y, q, c, 1.00));
+}
+
+
+TEST(ArxFitTest, RecoversIntegratorFromSyntheticData) {
+  // Generate q(k) = q(k-1) + T * net(k-1) with a rich input; the ARX fit
+  // must recover the pole at 1 and gain T without being told the model.
+  Rng rng(13);
+  std::vector<double> u, y;
+  double q = 50.0;
+  const double T = 1.0;
+  for (int k = 0; k < 300; ++k) {
+    const double net = rng.Uniform(-30.0, 30.0);
+    u.push_back(net);
+    y.push_back(q);
+    q = q + T * net;
+  }
+  // Shift so u(k-1) aligns with the transition y(k-1) -> y(k).
+  ArxFit fit = FitArxModel(u, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.a1, 1.0, 0.02);
+  EXPECT_NEAR(fit.b1, T, 0.05);
+  EXPECT_LT(fit.rmse, 1.0);
+}
+
+TEST(ArxFitTest, RecoversStableFirstOrderSystem) {
+  Rng rng(14);
+  std::vector<double> u, y;
+  double x = 0.0;
+  for (int k = 0; k < 500; ++k) {
+    const double in = rng.Uniform(-1.0, 1.0);
+    u.push_back(in);
+    y.push_back(x);
+    x = 0.6 * x + 0.3 * in;
+  }
+  ArxFit fit = FitArxModel(u, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.a1, 0.6, 0.02);
+  EXPECT_NEAR(fit.b1, 0.3, 0.02);
+}
+
+TEST(ArxFitTest, DegenerateInputRejected) {
+  // Constant input and output: the regression is singular.
+  std::vector<double> u(50, 0.0), y(50, 0.0);
+  EXPECT_FALSE(FitArxModel(u, y).ok);
+}
+
+TEST(ArxFitTest, TooFewSamplesRejected) {
+  EXPECT_FALSE(FitArxModel({1.0, 2.0}, {1.0, 2.0}).ok);
+}
+
+TEST(ArxFitTest, EngineDataYieldsIntegratorPole) {
+  // Drive the real (simulated) engine with a sine around capacity and fit
+  // the ARX model on (net inflow, virtual queue) records: the pole must
+  // sit at ~1 — Eq. (3) validated from data with no structural prior.
+  ArrivalGroupedDelays unused(1.0);
+  ExperimentConfig cfg;
+  cfg.method = Method::kNone;
+  cfg.workload = WorkloadKind::kSine;
+  cfg.duration = 150.0;
+  cfg.sine_lo = 60.0;
+  cfg.sine_hi = 330.0;
+  cfg.sine_period = 40.0;
+  cfg.spacing = ArrivalSource::Spacing::kDeterministic;
+  ExperimentResult r = RunExperiment(cfg);
+  std::vector<double> u, y;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    u.push_back((row.m.admitted - row.m.fout) * row.m.period);
+    y.push_back(row.m.queue);
+  }
+  ArxFit fit = FitArxModel(u, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.a1, 1.0, 0.05);
+  EXPECT_GT(fit.b1, 0.5);
+  EXPECT_LT(fit.b1, 1.5);
+}
+
+}  // namespace
+}  // namespace ctrlshed

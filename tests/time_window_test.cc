@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/operator.h"
+#include "engine/query_network.h"
+#include "metrics/per_source_stats.h"
+
+namespace ctrlshed {
+namespace {
+
+std::vector<Tuple> Collect(OperatorBase& op, const Tuple& in, SimTime now) {
+  std::vector<Tuple> out;
+  op.Process(in, now, [&](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+Tuple At(double arrival, double value) {
+  Tuple t;
+  t.lineage = 7;
+  t.arrival_time = arrival;
+  t.value = value;
+  return t;
+}
+
+TEST(TimeWindowAggregateTest, EmitsWhenWindowRollsOver) {
+  TimeWindowAggregateOp agg("a", 0.001, /*window=*/1.0, 0.1,
+                            WindowAggregateOp::Kind::kSum);
+  EXPECT_TRUE(Collect(agg, At(0.2, 1.0), 0.2).empty());
+  EXPECT_TRUE(Collect(agg, At(0.7, 2.0), 0.7).empty());
+  // First tuple of window [1,2) closes window [0,1).
+  auto out = Collect(agg, At(1.1, 5.0), 1.1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+  EXPECT_EQ(out[0].lineage, kPendingLineage);
+}
+
+TEST(TimeWindowAggregateTest, SkipsEmptyWindowsWithoutEmitting) {
+  TimeWindowAggregateOp agg("a", 0.001, 1.0, 0.1,
+                            WindowAggregateOp::Kind::kCount);
+  Collect(agg, At(0.5, 1.0), 0.5);
+  // Jump straight to window 5: exactly one aggregate (for window 0).
+  auto out = Collect(agg, At(5.2, 1.0), 5.2);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 1.0);  // count of window 0
+}
+
+TEST(TimeWindowAggregateTest, MeanAndMax) {
+  TimeWindowAggregateOp mean("m", 0.001, 1.0, 0.1,
+                             WindowAggregateOp::Kind::kMean);
+  TimeWindowAggregateOp mx("x", 0.001, 1.0, 0.1,
+                           WindowAggregateOp::Kind::kMax);
+  for (double v : {1.0, 2.0, 6.0}) {
+    Collect(mean, At(0.1, v), 0.1);
+    Collect(mx, At(0.1, v), 0.1);
+  }
+  EXPECT_DOUBLE_EQ(Collect(mean, At(1.5, 0.0), 1.5)[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(Collect(mx, At(1.5, 0.0), 1.5)[0].value, 6.0);
+}
+
+TEST(TimeWindowAggregateTest, SelectivityAccessor) {
+  TimeWindowAggregateOp agg("a", 0.001, 2.5, 0.05);
+  EXPECT_DOUBLE_EQ(agg.Selectivity(), 0.05);
+  EXPECT_DOUBLE_EQ(agg.window_seconds(), 2.5);
+}
+
+TEST(SplitOpTest, EngineDuplicatesToAllDownstreams) {
+  QueryNetwork net;
+  auto* split = net.Add(std::make_unique<SplitOp>("split", 0.001));
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.001));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 0.001));
+  auto* c = net.Add(std::make_unique<MapOp>("c", 0.001));
+  split->ConnectTo(a);
+  split->ConnectTo(b);
+  split->ConnectTo(c);
+  net.AddEntry(0, split);
+  net.Finalize();
+  // Expected remaining cost of the split = own + all three branches.
+  EXPECT_DOUBLE_EQ(net.RemainingCost(split), 0.004);
+
+  Engine engine(&net, 1.0);
+  int departures = 0;
+  engine.SetDepartureCallback([&](const Departure&) { ++departures; });
+  Tuple t;
+  t.value = 0.5;
+  engine.Inject(t, 0.0);
+  engine.AdvanceTo(1.0);
+  EXPECT_EQ(departures, 1);  // one lineage, last branch reports
+  EXPECT_EQ(engine.counters().invocations, 4u);
+}
+
+TEST(PerSourceStatsTest, TracksPerStreamCounters) {
+  PerSourceStats stats(2);
+  Tuple t0;
+  t0.source = 0;
+  Tuple t1;
+  t1.source = 1;
+  stats.OnOffered(t0);
+  stats.OnOffered(t0);
+  stats.OnOffered(t1);
+  stats.OnAdmitted(t0);
+  Departure d;
+  d.source = 0;
+  d.arrival_time = 1.0;
+  d.depart_time = 3.0;
+  stats.OnDeparture(d);
+
+  EXPECT_EQ(stats.offered(0), 2u);
+  EXPECT_EQ(stats.offered(1), 1u);
+  EXPECT_DOUBLE_EQ(stats.LossRatio(0), 0.5);
+  EXPECT_DOUBLE_EQ(stats.LossRatio(1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.MeanDelay(0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.MeanDelay(1), 0.0);
+}
+
+TEST(PerSourceStatsTest, IdleSourceHasZeroLoss) {
+  PerSourceStats stats(1);
+  EXPECT_DOUBLE_EQ(stats.LossRatio(0), 0.0);
+}
+
+TEST(PerSourceStatsDeathTest, UnknownSourceAborts) {
+  PerSourceStats stats(1);
+  Tuple t;
+  t.source = 4;
+  EXPECT_DEATH(stats.OnOffered(t), "unknown source");
+}
+
+TEST(CostAwareSheddingTest, MostCostlyPolicyPrefersExpensiveQueues) {
+  QueryNetwork net;
+  auto* cheap_tail = net.Add(std::make_unique<MapOp>("cheap", 0.001));
+  auto* expensive_head = net.Add(std::make_unique<MapOp>("exp1", 0.004));
+  auto* expensive_tail = net.Add(std::make_unique<MapOp>("exp2", 0.004));
+  expensive_head->ConnectTo(expensive_tail);
+  net.AddEntry(0, cheap_tail);
+  net.AddEntry(1, expensive_head);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+
+  // Queue 5 tuples at each entry.
+  for (int i = 0; i < 5; ++i) {
+    Tuple t;
+    t.source = 0;
+    engine.Inject(t, 0.0);
+    t.source = 1;
+    engine.Inject(t, 0.0);
+  }
+  Rng rng(1);
+  // Remove ~0.016 s of load cost-aware: two expensive tuples (0.008 each)
+  // suffice; the cheap queue must be untouched.
+  engine.ShedFromQueues(0.016, rng, Engine::QueueVictimPolicy::kMostCostly);
+  EXPECT_EQ(cheap_tail->queue().size(), 5u);
+  EXPECT_EQ(expensive_head->queue().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ctrlshed

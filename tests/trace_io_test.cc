@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_io.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(TraceIoTest, RoundTrip) {
+  RateTrace original(0.5, {10.0, 20.5, 0.0, 99.25});
+  std::stringstream buf;
+  WriteTrace(original, buf);
+  TraceParseResult r = ReadTrace(buf);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.trace.slot_width(), 0.5);
+  EXPECT_EQ(r.trace.values(), original.values());
+}
+
+TEST(TraceIoTest, RoundTripSyntheticTrace) {
+  RateTrace original = MakeParetoTrace(50.0, ParetoTraceParams{}, 3);
+  std::stringstream buf;
+  WriteTrace(original, buf);
+  TraceParseResult r = ReadTrace(buf);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.trace.values().size(), original.values().size());
+  for (size_t i = 0; i < original.values().size(); ++i) {
+    EXPECT_NEAR(r.trace.values()[i], original.values()[i],
+                1e-6 * original.values()[i] + 1e-9);
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n\nslot_width 1.0\n# another\n5\n\n7\n");
+  TraceParseResult r = ReadTrace(in);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace.values(), (std::vector<double>{5.0, 7.0}));
+}
+
+TEST(TraceIoTest, MissingHeaderFails) {
+  std::stringstream in("5\n7\n");
+  TraceParseResult r = ReadTrace(in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("slot_width"), std::string::npos);
+}
+
+TEST(TraceIoTest, NegativeValueFails) {
+  std::stringstream in("slot_width 1.0\n5\n-2\n");
+  TraceParseResult r = ReadTrace(in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, EmptyTraceFails) {
+  std::stringstream in("slot_width 1.0\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
+TEST(TraceIoTest, BadSlotWidthFails) {
+  std::stringstream in("slot_width -1\n5\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
+TEST(TimestampTraceTest, BinsArrivalsIntoRates) {
+  // 3 arrivals in [0,1), 1 in [1,2), 0 in [2,3), 2 in [3,4).
+  std::stringstream in("0.1\n0.5\n0.9\n1.2\n3.0\n3.99\n");
+  TraceParseResult r = ReadTimestampTrace(in, 1.0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace.values(), (std::vector<double>{3.0, 1.0, 0.0, 2.0}));
+}
+
+TEST(TimestampTraceTest, SubSecondSlots) {
+  std::stringstream in("0.1\n0.2\n0.3\n0.8\n");
+  TraceParseResult r = ReadTimestampTrace(in, 0.5);
+  ASSERT_TRUE(r.ok) << r.error;
+  // 3 arrivals in the first half-second slot => 6/s; 1 in the second => 2/s.
+  EXPECT_EQ(r.trace.values(), (std::vector<double>{6.0, 2.0}));
+}
+
+TEST(TimestampTraceTest, DecreasingTimestampsFail) {
+  std::stringstream in("1.0\n0.5\n");
+  TraceParseResult r = ReadTimestampTrace(in, 1.0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("non-decreasing"), std::string::npos);
+}
+
+TEST(TimestampTraceTest, EmptyInputFails) {
+  std::stringstream in("# only a comment\n");
+  EXPECT_FALSE(ReadTimestampTrace(in, 1.0).ok);
+}
+
+TEST(TraceIoFileTest, FileRoundTrip) {
+  const std::string path = "/tmp/ctrlshed_trace_io_test.trace";
+  RateTrace original(2.0, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(WriteTraceFile(original, path));
+  TraceParseResult r = ReadTraceFile(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.trace.values(), original.values());
+}
+
+TEST(TraceIoFileTest, MissingFileFails) {
+  TraceParseResult r = ReadTraceFile("/nonexistent/path/x.trace");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/transfer_function.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(TransferFunctionTest, FromDescendingMatchesAscending) {
+  // (z + 2) / (z^2 - 1.4 z + 0.49)
+  TransferFunction t = TransferFunction::FromDescending({1.0, 2.0},
+                                                        {1.0, -1.4, 0.49});
+  EXPECT_DOUBLE_EQ(t.num()[0], 2.0);
+  EXPECT_DOUBLE_EQ(t.num()[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.den()[2], 1.0);
+}
+
+TEST(TransferFunctionTest, PolesAndZeros) {
+  TransferFunction t = TransferFunction::FromDescending({1.0, -0.5},
+                                                        {1.0, -1.4, 0.49});
+  auto poles = t.Poles();
+  ASSERT_EQ(poles.size(), 2u);
+  EXPECT_NEAR(poles[0].real(), 0.7, 1e-8);
+  EXPECT_NEAR(poles[1].real(), 0.7, 1e-8);
+  auto zeros = t.Zeros();
+  ASSERT_EQ(zeros.size(), 1u);
+  EXPECT_NEAR(zeros[0].real(), 0.5, 1e-10);
+}
+
+TEST(TransferFunctionTest, StabilityInsideUnitCircle) {
+  EXPECT_TRUE(TransferFunction::FromDescending({1.0}, {1.0, -0.9}).IsStable());
+  EXPECT_FALSE(TransferFunction::FromDescending({1.0}, {1.0, -1.1}).IsStable());
+  // Pole exactly on the unit circle (integrator) is not stable.
+  EXPECT_FALSE(TransferFunction::FromDescending({1.0}, {1.0, -1.0}).IsStable());
+}
+
+TEST(TransferFunctionTest, StaticGain) {
+  // G(z) = 0.5 / (z - 0.5): G(1) = 1.
+  TransferFunction t = TransferFunction::FromDescending({0.5}, {1.0, -0.5});
+  EXPECT_DOUBLE_EQ(t.StaticGain(), 1.0);
+  // Integrator: infinite DC gain.
+  TransferFunction i = TransferFunction::FromDescending({1.0}, {1.0, -1.0});
+  EXPECT_TRUE(std::isinf(i.StaticGain()));
+}
+
+TEST(TransferFunctionTest, SimulateFirstOrderStep) {
+  // y(k) = 0.5 y(k-1) + 0.5 u(k-1): step response 0, .5, .75, .875, ...
+  TransferFunction t = TransferFunction::FromDescending({0.5}, {1.0, -0.5});
+  auto y = t.StepResponse(5);
+  ASSERT_EQ(y.size(), 5u);
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[2], 0.75, 1e-12);
+  EXPECT_NEAR(y[3], 0.875, 1e-12);
+}
+
+TEST(TransferFunctionTest, SimulateIntegrator) {
+  TransferFunction t = TransferFunction::FromDescending({1.0}, {1.0, -1.0});
+  auto y = t.StepResponse(4);
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+  EXPECT_NEAR(y[2], 2.0, 1e-12);
+  EXPECT_NEAR(y[3], 3.0, 1e-12);
+}
+
+TEST(TransferFunctionTest, SimulateFeedthrough) {
+  // Pure gain: num and den same degree.
+  TransferFunction t = TransferFunction::FromDescending({2.0, 0.0}, {1.0, 0.0});
+  auto y = t.Simulate({1.0, 2.0, 3.0});
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 4.0, 1e-12);
+  EXPECT_NEAR(y[2], 6.0, 1e-12);
+}
+
+TEST(TransferFunctionTest, SeriesComposition) {
+  TransferFunction a = TransferFunction::FromDescending({1.0}, {1.0, -0.5});
+  TransferFunction b = TransferFunction::FromDescending({2.0}, {1.0, -0.25});
+  TransferFunction c = a.Series(b);
+  EXPECT_EQ(c.den().Degree(), 2);
+  EXPECT_NEAR(c.StaticGain(), a.StaticGain() * b.StaticGain(), 1e-12);
+}
+
+TEST(TransferFunctionTest, UnityFeedbackGain) {
+  // L = 4/(z-0.5); closed loop static gain = L(1)/(1+L(1)) = 8/9.
+  TransferFunction l = TransferFunction::FromDescending({4.0}, {1.0, -0.5});
+  TransferFunction cl = l.CloseUnityFeedback();
+  EXPECT_NEAR(cl.StaticGain(), 8.0 / 9.0, 1e-12);
+}
+
+TEST(TransferFunctionTest, FeedbackStabilizesIntegrator) {
+  // L = 0.5/(z-1) closed loop has pole at 0.5.
+  TransferFunction l = TransferFunction::FromDescending({0.5}, {1.0, -1.0});
+  TransferFunction cl = l.CloseUnityFeedback();
+  EXPECT_TRUE(cl.IsStable());
+  auto poles = cl.Poles();
+  ASSERT_EQ(poles.size(), 1u);
+  EXPECT_NEAR(poles[0].real(), 0.5, 1e-10);
+}
+
+TEST(TransferFunctionTest, StepResponseConvergesToStaticGain) {
+  TransferFunction t = TransferFunction::FromDescending({0.3, 0.1},
+                                                        {1.0, -0.8, 0.2});
+  auto y = t.StepResponse(200);
+  EXPECT_NEAR(y.back(), t.StaticGain(), 1e-9);
+}
+
+TEST(TransferFunctionDeathTest, ImproperSimulationAborts) {
+  TransferFunction t(Polynomial({0.0, 0.0, 1.0}), Polynomial({1.0, 1.0}));
+  EXPECT_DEATH(t.Simulate({1.0}), "improper");
+}
+
+TEST(TransferFunctionDeathTest, ZeroDenominatorAborts) {
+  EXPECT_DEATH(TransferFunction(Polynomial({1.0}), Polynomial({0.0})),
+               "denominator");
+}
+
+}  // namespace
+}  // namespace ctrlshed

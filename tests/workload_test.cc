@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/series.h"
+#include "sim/simulation.h"
+#include "workload/arrival_source.h"
+#include "workload/rate_trace.h"
+#include "workload/traces.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(RateTraceTest, LookupBySlot) {
+  RateTrace t(0.5, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.At(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.At(0.49), 10.0);
+  EXPECT_DOUBLE_EQ(t.At(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(t.At(1.2), 30.0);
+  EXPECT_DOUBLE_EQ(t.At(99.0), 30.0);  // last slot extends
+  EXPECT_DOUBLE_EQ(t.At(-1.0), 10.0);  // clamps
+}
+
+TEST(RateTraceTest, MeanMaxDuration) {
+  RateTrace t(2.0, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(t.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(t.Duration(), 4.0);
+}
+
+TEST(RateTraceTest, ScaledToMean) {
+  RateTrace t(1.0, {1.0, 3.0});
+  RateTrace s = t.ScaledToMean(10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(s.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.values()[1], 15.0);
+}
+
+TEST(StepTraceTest, EdgeAtStepTime) {
+  RateTrace t = MakeStepTrace(50.0, 10.0, 5.0, 300.0);
+  EXPECT_DOUBLE_EQ(t.At(9.9), 5.0);
+  EXPECT_DOUBLE_EQ(t.At(10.0), 300.0);
+  EXPECT_DOUBLE_EQ(t.At(49.0), 300.0);
+}
+
+TEST(SineTraceTest, RangeAndMidpoint) {
+  RateTrace t = MakeSineTrace(200.0, 0.0, 400.0, 100.0);
+  EXPECT_NEAR(t.Mean(), 200.0, 10.0);
+  EXPECT_LE(t.Max(), 400.0 + 1e-9);
+  for (double v : t.values()) EXPECT_GE(v, -1e-9);
+  // Quarter period: peak.
+  EXPECT_NEAR(t.At(25.0), 400.0, 30.0);
+}
+
+TEST(RampTraceTest, MonotoneIncrease) {
+  RateTrace t = MakeRampTrace(100.0, 100.0, 400.0);
+  EXPECT_DOUBLE_EQ(t.values().front(), 100.0);
+  EXPECT_DOUBLE_EQ(t.values().back(), 400.0);
+  for (size_t i = 1; i < t.values().size(); ++i) {
+    EXPECT_GE(t.values()[i], t.values()[i - 1]);
+  }
+}
+
+TEST(ConstantTraceTest, AllSlotsEqual) {
+  RateTrace t = MakeConstantTrace(10.0, 150.0);
+  for (double v : t.values()) EXPECT_DOUBLE_EQ(v, 150.0);
+}
+
+TEST(ParetoTraceTest, MeanNearNominalAtBetaOne) {
+  ParetoTraceParams p;
+  p.beta = 1.0;
+  p.mean_rate = 200.0;
+  RateTrace t = MakeParetoTrace(4000.0, p, 7);
+  EXPECT_NEAR(t.Mean(), 200.0, 25.0);
+}
+
+SummaryStats TraceStats(const RateTrace& t) { return ComputeStats(t.values()); }
+
+TEST(ParetoTraceTest, SmallerBetaIsBurstier) {
+  ParetoTraceParams lo, hi;
+  lo.beta = 0.1;
+  hi.beta = 1.5;
+  RateTrace a = MakeParetoTrace(2000.0, lo, 7);
+  RateTrace b = MakeParetoTrace(2000.0, hi, 7);
+  EXPECT_GT(TraceStats(a).stddev, TraceStats(b).stddev);
+  EXPECT_GT(a.Mean(), b.Mean());  // heavier tail, un-normalized by design
+}
+
+TEST(ParetoTraceTest, EpisodesPersistForSeveralSeconds) {
+  ParetoTraceParams p;
+  RateTrace t = MakeParetoTrace(400.0, p, 11);
+  // Count level changes; with >= 3 s episodes there are at most ~133.
+  int changes = 0;
+  for (size_t i = 1; i < t.values().size(); ++i) {
+    if (t.values()[i] != t.values()[i - 1]) ++changes;
+  }
+  EXPECT_LT(changes, 140);
+  EXPECT_GT(changes, 10);
+}
+
+TEST(ParetoTraceTest, DeterministicPerSeed) {
+  ParetoTraceParams p;
+  RateTrace a = MakeParetoTrace(100.0, p, 5);
+  RateTrace b = MakeParetoTrace(100.0, p, 5);
+  EXPECT_EQ(a.values(), b.values());
+  RateTrace c = MakeParetoTrace(100.0, p, 6);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(WebTraceTest, MeanMatchesTarget) {
+  WebTraceParams p;
+  RateTrace t = MakeWebTrace(400.0, p, 42);
+  EXPECT_NEAR(t.Mean(), p.mean_rate, 1.0);  // rescaled exactly
+  EXPECT_EQ(TraceStats(t).count, 400u);
+}
+
+TEST(WebTraceTest, HasRealisticBursts) {
+  WebTraceParams p;
+  RateTrace t = MakeWebTrace(400.0, p, 42);
+  // Fig. 13-like: peaks well above the mean, non-trivial variability.
+  EXPECT_GT(t.Max(), 1.8 * t.Mean());
+  EXPECT_GT(TraceStats(t).stddev, 0.25 * t.Mean());
+}
+
+TEST(WebTraceTest, NonNegativeEverywhere) {
+  WebTraceParams p;
+  RateTrace t = MakeWebTrace(200.0, p, 1);
+  for (double v : t.values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(CostTraceTest, CircumstancesPresent) {
+  CostTraceParams p;
+  RateTrace t = MakeCostTrace(400.0, p, 3);
+  // Small peak near 50 s.
+  EXPECT_GT(t.At(50.0), p.base_ms + 0.7 * p.small_peak_ms);
+  // Sudden jump at 125 s: large rise vs 124 s.
+  EXPECT_GT(t.At(125.5), t.At(123.0) + 0.6 * p.jump_ms);
+  // Terrace: elevated and roughly flat in [250, 350).
+  EXPECT_GT(t.At(300.0), p.base_ms + 0.8 * p.terrace_ms);
+  // Sudden drop after the terrace.
+  EXPECT_LT(t.At(355.0), t.At(345.0) - 0.6 * p.terrace_ms);
+  // Gradual ramp before the terrace (paper: "c increases gradually").
+  EXPECT_GT(t.At(230.0), t.At(205.0));
+}
+
+TEST(CostTraceTest, StaysInFig14Range) {
+  CostTraceParams p;
+  RateTrace t = MakeCostTrace(400.0, p, 3);
+  for (double v : t.values()) {
+    EXPECT_GT(v, 2.0);
+    EXPECT_LT(v, 30.0);
+  }
+}
+
+class ArrivalSourceTest : public ::testing::Test {
+ protected:
+  // Runs a source against `trace` and returns arrival timestamps.
+  std::vector<SimTime> Collect(RateTrace trace, ArrivalSource::Spacing spacing,
+                               SimTime end) {
+    Simulation sim;
+    ArrivalSource src(0, std::move(trace), spacing, 17);
+    std::vector<SimTime> arrivals;
+    src.Start(&sim, [&](const Tuple& t) {
+      arrivals.push_back(t.arrival_time);
+      EXPECT_GE(t.value, 0.0);
+      EXPECT_LT(t.value, 1.0);
+    });
+    sim.Run(end);
+    return arrivals;
+  }
+};
+
+TEST_F(ArrivalSourceTest, DeterministicSpacingMatchesRate) {
+  auto arrivals = Collect(MakeConstantTrace(10.0, 50.0),
+                          ArrivalSource::Spacing::kDeterministic, 10.0);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 500.0, 2.0);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i] - arrivals[i - 1], 0.02, 1e-9);
+  }
+}
+
+TEST_F(ArrivalSourceTest, PoissonRateMatchesExpectation) {
+  auto arrivals = Collect(MakeConstantTrace(100.0, 80.0),
+                          ArrivalSource::Spacing::kPoisson, 100.0);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 8000.0, 300.0);
+}
+
+TEST_F(ArrivalSourceTest, ZeroRateSlotsProduceNoArrivals) {
+  RateTrace t(1.0, {0.0, 0.0, 100.0, 0.0, 100.0});
+  auto arrivals =
+      Collect(std::move(t), ArrivalSource::Spacing::kDeterministic, 5.0);
+  EXPECT_FALSE(arrivals.empty());
+  for (SimTime a : arrivals) {
+    const bool in_active_slot = (a >= 2.0 && a < 4.0) || (a >= 4.0 && a < 5.0);
+    EXPECT_TRUE(in_active_slot) << "arrival at " << a;
+    EXPECT_FALSE(a < 2.0) << "arrival in a zero-rate slot at " << a;
+  }
+}
+
+TEST_F(ArrivalSourceTest, StepRateChangesArrivalDensity) {
+  auto arrivals = Collect(MakeStepTrace(20.0, 10.0, 10.0, 200.0),
+                          ArrivalSource::Spacing::kDeterministic, 20.0);
+  int before = 0, after = 0;
+  for (SimTime a : arrivals) (a < 10.0 ? before : after)++;
+  EXPECT_NEAR(before, 100, 5);
+  EXPECT_NEAR(after, 2000, 20);
+}
+
+TEST(ArrivalSourceDeathTest, StartTwiceAborts) {
+  Simulation sim;
+  ArrivalSource src(0, MakeConstantTrace(1.0, 1.0),
+                    ArrivalSource::Spacing::kPoisson, 1);
+  src.Start(&sim, [](const Tuple&) {});
+  EXPECT_DEATH(src.Start(&sim, [](const Tuple&) {}), "twice");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,214 @@
+// ctrlshed — command-line front end to the experiment harness.
+//
+//   ctrlshed run [key=value ...]       run one closed-loop experiment
+//   ctrlshed trace [key=value ...]     generate a workload trace (stdout)
+//   ctrlshed design [poles=P] [a=A]    print controller gains for a design
+//   ctrlshed help
+//
+// Examples:
+//   ctrlshed run method=ctrl workload=pareto duration=400 yd=2 seed=7
+//   ctrlshed run method=aurora workload=web vary_cost=1 trace_out=run.tsv
+//   ctrlshed trace kind=web duration=400 seed=42 > web.trace
+//   ctrlshed design poles=0.7
+//
+// All values are plain key=value tokens; unknown keys abort with a message
+// listing the valid ones.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "control/pole_placement.h"
+#include "runner/experiment.h"
+#include "workload/trace_io.h"
+#include "workload/traces.h"
+
+using namespace ctrlshed;
+
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "expected key=value, got '%s'\n", tok.c_str());
+      std::exit(2);
+    }
+    args[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return args;
+}
+
+double GetDouble(Args& args, const std::string& key, double fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  const double v = std::atof(it->second.c_str());
+  args.erase(it);
+  return v;
+}
+
+std::string GetString(Args& args, const std::string& key,
+                      const std::string& fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  std::string v = it->second;
+  args.erase(it);
+  return v;
+}
+
+void RejectLeftovers(const Args& args) {
+  if (args.empty()) return;
+  std::fprintf(stderr, "unknown option(s):");
+  for (const auto& [k, v] : args) std::fprintf(stderr, " %s", k.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+Method ParseMethod(const std::string& s) {
+  if (s == "ctrl") return Method::kCtrl;
+  if (s == "baseline") return Method::kBaseline;
+  if (s == "aurora") return Method::kAurora;
+  if (s == "pi") return Method::kPi;
+  if (s == "none") return Method::kNone;
+  std::fprintf(stderr, "method must be ctrl|baseline|aurora|pi|none\n");
+  std::exit(2);
+}
+
+WorkloadKind ParseWorkload(const std::string& s) {
+  if (s == "web") return WorkloadKind::kWeb;
+  if (s == "pareto") return WorkloadKind::kPareto;
+  if (s == "mmpp") return WorkloadKind::kMmpp;
+  if (s == "step") return WorkloadKind::kStep;
+  if (s == "sine") return WorkloadKind::kSine;
+  if (s == "ramp") return WorkloadKind::kRamp;
+  if (s == "constant") return WorkloadKind::kConstant;
+  std::fprintf(stderr,
+               "workload must be web|pareto|mmpp|step|sine|ramp|constant\n");
+  std::exit(2);
+}
+
+int CmdRun(Args args) {
+  ExperimentConfig cfg;
+  cfg.method = ParseMethod(GetString(args, "method", "ctrl"));
+  cfg.workload = ParseWorkload(GetString(args, "workload", "pareto"));
+  cfg.duration = GetDouble(args, "duration", 400.0);
+  cfg.period = GetDouble(args, "T", 1.0);
+  cfg.target_delay = GetDouble(args, "yd", 2.0);
+  cfg.headroom_true = GetDouble(args, "H_true", 0.97);
+  cfg.headroom_est = GetDouble(args, "H", 0.97);
+  cfg.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.vary_cost = GetDouble(args, "vary_cost", 0.0) != 0.0;
+  cfg.use_queue_shedder = GetDouble(args, "queue_shed", 0.0) != 0.0;
+  cfg.estimation_noise = GetDouble(args, "noise", 0.0);
+  cfg.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
+  cfg.constant_rate = GetDouble(args, "rate", 150.0);
+  cfg.pareto.beta = GetDouble(args, "beta", 1.0);
+  cfg.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
+  const double poles = GetDouble(args, "poles", 0.7);
+  cfg.gains = DesignPolePlacement(poles, poles);
+  const std::string trace_out = GetString(args, "trace_out", "");
+  RejectLeftovers(args);
+
+  ExperimentResult r = RunExperiment(cfg);
+  const QosSummary& s = r.summary;
+  std::printf("offered            %llu\n",
+              static_cast<unsigned long long>(s.offered));
+  std::printf("shed               %llu (loss %.4f)\n",
+              static_cast<unsigned long long>(s.shed), s.loss_ratio);
+  std::printf("departures         %llu\n",
+              static_cast<unsigned long long>(s.departures));
+  std::printf("mean delay         %.4f s\n", s.mean_delay);
+  std::printf("p50/p95/p99 delay  %.4f / %.4f / %.4f s\n", s.p50_delay,
+              s.p95_delay, s.p99_delay);
+  std::printf("delayed tuples     %llu\n",
+              static_cast<unsigned long long>(s.delayed_tuples));
+  std::printf("accum violation    %.3f tuple-seconds\n",
+              s.accumulated_violation);
+  std::printf("max overshoot      %.4f s\n", s.max_overshoot);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    r.recorder.Write(out);
+    std::printf("per-period trace written to %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+int CmdTrace(Args args) {
+  const std::string kind = GetString(args, "kind", "pareto");
+  const double duration = GetDouble(args, "duration", 400.0);
+  const uint64_t seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
+  RateTrace trace;
+  if (kind == "web") {
+    trace = MakeWebTrace(duration, WebTraceParams{}, seed);
+  } else if (kind == "pareto") {
+    ParetoTraceParams p;
+    p.beta = GetDouble(args, "beta", 1.0);
+    trace = MakeParetoTrace(duration, p, seed);
+  } else if (kind == "mmpp") {
+    trace = MakeMmppTrace(duration, MmppTraceParams{}, seed);
+  } else if (kind == "cost") {
+    trace = MakeCostTrace(duration, CostTraceParams{}, seed);
+  } else {
+    std::fprintf(stderr, "kind must be web|pareto|mmpp|cost\n");
+    return 2;
+  }
+  RejectLeftovers(args);
+  WriteTrace(trace, std::cout);
+  return 0;
+}
+
+int CmdDesign(Args args) {
+  const double p = GetDouble(args, "poles", 0.7);
+  const double a = GetDouble(args, "a", -0.8);
+  RejectLeftovers(args);
+  ControllerGains g = DesignPolePlacement(p, p, a);
+  std::printf("closed-loop poles at %.3f (damping 1)\n", p);
+  std::printf("controller C(z) = H (b0 z + b1) / (c T (z + a))\n");
+  std::printf("  b0 = %.6f\n  b1 = %.6f\n  a  = %.6f\n", g.b0, g.b1, g.a);
+  std::printf("control law: u(k) = H/(cT) (b0 e(k) + b1 e(k-1)) - a u(k-1)\n");
+  return 0;
+}
+
+void PrintHelp() {
+  std::printf(
+      "ctrlshed — control-based load shedding for stream databases\n\n"
+      "  ctrlshed run    [method=ctrl|baseline|aurora|pi|none]\n"
+      "                  [workload=web|pareto|mmpp|step|sine|ramp|constant]\n"
+      "                  [duration=400] [T=1] [yd=2] [H=0.97] [H_true=0.97]\n"
+      "                  [capacity=190] [rate=150] [beta=1.0] [poles=0.7]\n"
+      "                  [vary_cost=0|1] [queue_shed=0|1] [noise=0]\n"
+      "                  [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
+      "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
+      "                  [beta=1.0] [seed=42]            (trace to stdout)\n"
+      "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
+      "  ctrlshed help\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0) {
+    PrintHelp();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "run") return CmdRun(ParseArgs(argc, argv, 2));
+  if (cmd == "trace") return CmdTrace(ParseArgs(argc, argv, 2));
+  if (cmd == "design") return CmdDesign(ParseArgs(argc, argv, 2));
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  PrintHelp();
+  return 2;
+}
