@@ -1,0 +1,61 @@
+#ifndef CTRLSHED_RT_RT_CLOCK_H_
+#define CTRLSHED_RT_RT_CLOCK_H_
+
+#include <chrono>
+
+#include "common/macros.h"
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// Maps the wall clock onto *trace time* — the time base every reused
+/// component (traces, control period, per-tuple costs, delay setpoints)
+/// is expressed in.
+///
+/// `compression` is trace-seconds per wall-second: at compression 20 a
+/// 400-second experiment replays in 20 wall seconds, with all rates and
+/// costs scaled consistently (the closed-loop dynamics are invariant, only
+/// the absolute wall durations shrink). This is what lets CI soaks finish
+/// in seconds while still racing real threads against a real clock.
+///
+/// The clock is immutable after Start(), so concurrent Now() calls from
+/// any thread are race-free.
+class RtClock {
+ public:
+  explicit RtClock(double compression = 1.0) : compression_(compression) {
+    CS_CHECK_MSG(compression_ > 0.0, "time compression must be positive");
+  }
+
+  /// Marks trace time zero. Call once, before any thread reads the clock.
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Trace seconds elapsed since Start().
+  SimTime Now() const {
+    const auto wall = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(wall).count() * compression_;
+  }
+
+  /// The wall-clock time point at which trace time reaches `trace_t`
+  /// (for sleep_until-style pacing with no cumulative drift).
+  std::chrono::steady_clock::time_point WallDeadline(SimTime trace_t) const {
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(trace_t / compression_));
+  }
+
+  /// Converts a trace duration to a wall duration.
+  std::chrono::steady_clock::duration WallDuration(SimTime trace_dt) const {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(trace_dt / compression_));
+  }
+
+  double compression() const { return compression_; }
+
+ private:
+  double compression_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_CLOCK_H_

@@ -1,0 +1,146 @@
+#include "rt/rt_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+RtEngine::RtEngine(QueryNetwork* network, const RtClock* clock,
+                   int num_sources, RtEngineOptions options)
+    : clock_(clock),
+      options_(options),
+      engine_(network, options.headroom),
+      nominal_entry_cost_(engine_.NominalEntryCost()) {
+  CS_CHECK(clock_ != nullptr);
+  CS_CHECK_MSG(num_sources >= 1, "need at least one source");
+  CS_CHECK_MSG(options_.pacing_wall_seconds > 0.0,
+               "pacing must be positive");
+  rings_.reserve(static_cast<size_t>(num_sources));
+  for (int i = 0; i < num_sources; ++i) {
+    rings_.push_back(std::make_unique<SpscRing<Tuple>>(options_.ring_capacity));
+  }
+  holdover_.resize(static_cast<size_t>(num_sources));
+  engine_.SetDepartureCallback([this](const Departure& d) {
+    delay_sum_local_ += d.depart_time - d.arrival_time;
+    ++delay_count_local_;
+    if (on_departure_) on_departure_(d);
+  });
+}
+
+RtEngine::~RtEngine() { Stop(); }
+
+void RtEngine::SetDepartureCallback(DepartureCallback cb) {
+  CS_CHECK_MSG(!started_, "departure callback must be set before Start");
+  on_departure_ = std::move(cb);
+}
+
+void RtEngine::Start() {
+  CS_CHECK_MSG(!started_, "Start called twice");
+  started_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void RtEngine::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (worker_.joinable()) worker_.join();
+}
+
+bool RtEngine::Offer(const Tuple& t) {
+  CS_CHECK_MSG(t.source >= 0 && t.source < num_sources(),
+               "tuple source out of range");
+  if (rings_[static_cast<size_t>(t.source)]->TryPush(t)) return true;
+  stats_.ring_dropped.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void RtEngine::Pump(SimTime now) {
+  // Collect the due tuples (arrival <= now). Each ring is FIFO with
+  // non-decreasing arrival times, so a not-yet-due tuple ends that ring's
+  // drain; it parks in the holdover slot until its time comes (sources can
+  // deliver a hair early through wall-deadline truncation). The per-ring
+  // drain is bounded so a producer refilling concurrently cannot pin us.
+  pending_.clear();
+  for (size_t i = 0; i < rings_.size(); ++i) {
+    if (holdover_[i].has_value()) {
+      if (holdover_[i]->arrival_time > now) continue;
+      pending_.push_back(*holdover_[i]);
+      holdover_[i].reset();
+    }
+    Tuple t;
+    for (size_t n = rings_[i]->capacity(); n > 0 && rings_[i]->TryPop(&t);
+         --n) {
+      if (t.arrival_time > now) {
+        holdover_[i] = t;
+        break;
+      }
+      pending_.push_back(t);
+    }
+  }
+
+  // Interleave injection with advancement in timestamp order, exactly as
+  // the simulation's event queue does: the engine must never hold a tuple
+  // whose arrival is in its virtual CPU's future, or a backlogged engine
+  // could "process" it before it arrived (negative delay).
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  for (const Tuple& t : pending_) {
+    engine_.AdvanceTo(t.arrival_time);
+    engine_.Inject(t, t.arrival_time);
+  }
+  engine_.AdvanceTo(now);
+}
+
+void RtEngine::Publish() {
+  const EngineCounters& c = engine_.counters();
+  stats_.admitted.store(c.admitted, std::memory_order_relaxed);
+  stats_.departed.store(c.departed, std::memory_order_relaxed);
+  stats_.shed_lineages.store(c.shed_lineages, std::memory_order_relaxed);
+  stats_.busy_seconds.store(c.busy_seconds, std::memory_order_relaxed);
+  stats_.drained_base_load.store(c.drained_base_load,
+                                 std::memory_order_relaxed);
+  stats_.queued_tuples.store(engine_.QueuedTuples(),
+                             std::memory_order_relaxed);
+  stats_.outstanding_base_load.store(engine_.OutstandingBaseLoad(),
+                                     std::memory_order_relaxed);
+  stats_.delay_sum.store(delay_sum_local_, std::memory_order_relaxed);
+  stats_.delay_count.store(delay_count_local_, std::memory_order_relaxed);
+}
+
+void RtEngine::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto pacing = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.pacing_wall_seconds));
+  auto deadline = Clock::now() + pacing;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    Pump(clock_->Now());
+    Publish();
+
+    const bool busy = engine_.QueuedTuples() > 0;
+    if (options_.cost_mode == RtCostMode::kBusySpin && busy) {
+      // The busy-loop cost charge: occupy the CPU until the next pump is
+      // due, as a real engine executing the queued work would.
+      while (Clock::now() < deadline &&
+             !stop_.load(std::memory_order_acquire)) {
+      }
+    } else {
+      std::this_thread::sleep_until(deadline);
+    }
+    const auto now = Clock::now();
+    deadline += pacing;
+    if (deadline < now) deadline = now + pacing;  // don't chase a lost past
+  }
+
+  // Final pump + publish so end-of-run stats include everything that
+  // happened before the stop signal.
+  Pump(clock_->Now());
+  Publish();
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,130 @@
+#ifndef CTRLSHED_RT_RT_ENGINE_H_
+#define CTRLSHED_RT_RT_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "engine/tuple.h"
+#include "rt/rt_clock.h"
+#include "rt/rt_stats.h"
+#include "rt/spsc_ring.h"
+
+namespace ctrlshed {
+
+/// How the worker charges per-tuple processing cost against real time.
+enum class RtCostMode {
+  /// Busy-loop while the engine is catching up to the wall clock: the
+  /// worker genuinely occupies the CPU for the duration of the virtual
+  /// work, so the plant is the actual processor.
+  kBusySpin,
+  /// Sleep between pumps instead of spinning. Same wall-clock dynamics
+  /// (work still completes only as real time passes), but the CPU is
+  /// yielded — the right mode for CI, sanitizers, and single-core boxes.
+  kSleep,
+};
+
+struct RtEngineOptions {
+  double headroom = 0.97;        ///< TRUE CPU fraction, as in Engine.
+  size_t ring_capacity = 4096;   ///< Per-source ingress ring size.
+  RtCostMode cost_mode = RtCostMode::kSleep;
+  /// Pump granularity in WALL seconds: how often the worker drains the
+  /// rings and advances the engine. Must be well below the control
+  /// period's wall duration.
+  double pacing_wall_seconds = 500e-6;
+};
+
+/// The real-time plant: one worker thread that owns a sim Engine
+/// exclusively and slaves its virtual CPU to the wall clock.
+///
+/// Every pump the worker (1) drains the per-source SPSC ingress rings into
+/// the engine, (2) calls Engine::AdvanceTo(clock->Now()), so exactly the
+/// work that fits in the real elapsed time executes — wall time, not an
+/// event queue, is what gates progress — and (3) republishes the engine's
+/// counters into the RtSharedStats atomics for the monitor thread. All of
+/// the sim engine's O(1) bookkeeping invariants (virtual queue length,
+/// outstanding base load, lineage refcounts, busy/drained accounting) are
+/// reused verbatim; the engine object itself is never touched by any other
+/// thread.
+///
+/// Ingress is lock-free: producers call Offer() (one designated thread per
+/// source index) which pushes into that source's ring; a full ring rejects
+/// the tuple and the drop is counted into the shared stats — overflow is
+/// load shedding the controller must account for.
+class RtEngine {
+ public:
+  /// `network` must be finalized and outlive the engine; `clock` must be
+  /// started before Start() and outlive the engine.
+  RtEngine(QueryNetwork* network, const RtClock* clock, int num_sources,
+           RtEngineOptions options);
+  ~RtEngine();
+
+  RtEngine(const RtEngine&) = delete;
+  RtEngine& operator=(const RtEngine&) = delete;
+
+  /// Installs the per-departure observer. Runs on the WORKER thread; must
+  /// be set before Start. The observer's state may be read by other
+  /// threads only after Stop() (thread join gives the happens-before).
+  void SetDepartureCallback(DepartureCallback cb);
+
+  /// Launches the worker thread.
+  void Start();
+
+  /// Signals the worker, joins it, and publishes a final snapshot.
+  /// Idempotent.
+  void Stop();
+
+  /// Ingress: pushes `t` into the ring of `t.source`. At most one thread
+  /// per source index may call this. Returns false when the ring is full
+  /// (the drop has already been counted).
+  bool Offer(const Tuple& t);
+
+  /// Shared observation surface (monitor thread reads, see RtSharedStats).
+  RtSharedStats* stats() { return &stats_; }
+  RtSample Snapshot() const { return stats_.Snapshot(clock_->Now()); }
+
+  double NominalEntryCost() const { return nominal_entry_cost_; }
+  const RtEngineOptions& options() const { return options_; }
+  int num_sources() const { return static_cast<int>(rings_.size()); }
+
+  /// The inner engine's counters. Only valid after Stop().
+  const EngineCounters& counters() const { return engine_.counters(); }
+
+ private:
+  void WorkerLoop();
+  /// Drains the rings into the engine and advances it to `now`.
+  void Pump(SimTime now);
+  /// Republishes the engine-side counters into the shared atomics.
+  void Publish();
+
+  const RtClock* clock_;
+  RtEngineOptions options_;
+  Engine engine_;  ///< Worker-thread-owned after Start().
+  double nominal_entry_cost_;
+  std::vector<std::unique_ptr<SpscRing<Tuple>>> rings_;
+
+  RtSharedStats stats_;
+  DepartureCallback on_departure_;
+
+  // Worker-local pump scratch: tuples due this pump, and one parked
+  // not-yet-due tuple per ring.
+  std::vector<Tuple> pending_;
+  std::vector<std::optional<Tuple>> holdover_;
+
+  // Worker-local departure-delay accumulation, published each pump.
+  double delay_sum_local_ = 0.0;
+  uint64_t delay_count_local_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+  bool started_ = false;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_ENGINE_H_

@@ -1,0 +1,175 @@
+#include "rt/rt_loop.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+// Longest uninterruptible sleep of the controller thread, so Stop() is
+// honored promptly even with long control periods.
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+}  // namespace
+
+RtLoop::RtLoop(RtEngine* engine, const RtClock* clock,
+               LoadController* controller, Shedder* shedder,
+               RtLoopOptions options)
+    : engine_(engine),
+      clock_(clock),
+      controller_(controller),
+      shedder_(shedder),
+      options_(options),
+      monitor_(engine->NominalEntryCost(),
+               [&options] {
+                 RtMonitorOptions mo;
+                 mo.period = options.period;
+                 mo.headroom = options.headroom;
+                 mo.cost_ewma = options.cost_ewma;
+                 mo.adapt_headroom = options.adapt_headroom;
+                 return mo;
+               }()),
+      qos_(options.target_delay),
+      target_delay_(options.target_delay) {
+  CS_CHECK(engine_ != nullptr);
+  CS_CHECK(clock_ != nullptr);
+  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+  if (controller_ != nullptr) CS_CHECK(shedder_ != nullptr);
+}
+
+RtLoop::~RtLoop() { Stop(); }
+
+void RtLoop::SetDepartureObserver(DepartureCallback observer) {
+  CS_CHECK_MSG(!started_, "observer must be set before Start");
+  observer_ = std::move(observer);
+}
+
+void RtLoop::SetRatePredictor(RatePredictor* predictor) {
+  CS_CHECK_MSG(!started_, "predictor must be set before Start");
+  predictor_ = predictor;
+}
+
+void RtLoop::Start() {
+  CS_CHECK_MSG(!started_, "Start called twice");
+  started_ = true;
+
+  // Departure fan-out runs on the engine worker thread. The setpoint is
+  // re-read per departure so runtime setpoint changes are judged like the
+  // sim loop judges them: against the setpoint in force at departure.
+  engine_->SetDepartureCallback([this](const Departure& d) {
+    const double yd = target_delay_.load(std::memory_order_relaxed);
+    if (yd != qos_.target_delay()) qos_.SetTargetDelay(yd);
+    qos_.OnDeparture(d);
+    if (observer_) observer_(d);
+  });
+
+  engine_->Start();
+  controller_thread_ = std::thread([this] { ControllerLoop(); });
+}
+
+void RtLoop::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (controller_thread_.joinable()) controller_thread_.join();
+  engine_->Stop();
+}
+
+void RtLoop::OnArrival(const Tuple& t) {
+  RtSharedStats* stats = engine_->stats();
+  stats->offered.fetch_add(1, std::memory_order_relaxed);
+  if (shedder_ != nullptr && controller_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shedder_mutex_);
+    if (!shedder_->Admit(t)) {
+      stats->entry_shed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  engine_->Offer(t);  // a full ring counts its own drop
+}
+
+void RtLoop::SetTargetDelay(double yd) {
+  CS_CHECK_MSG(yd > 0.0, "target delay must be positive");
+  target_delay_.store(yd, std::memory_order_relaxed);
+}
+
+void RtLoop::ControllerLoop() {
+  int k = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    ++k;
+    const auto deadline =
+        clock_->WallDeadline(static_cast<SimTime>(k) * options_.period);
+    while (!stop_.load(std::memory_order_acquire)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const auto remaining = deadline - now;
+      std::this_thread::sleep_for(
+          remaining < std::chrono::steady_clock::duration(kMaxSleepChunk)
+              ? remaining
+              : std::chrono::steady_clock::duration(kMaxSleepChunk));
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    ControlTick(clock_->Now());
+  }
+}
+
+void RtLoop::ControlTick(SimTime now) {
+  const RtSample s = engine_->stats()->Snapshot(now);
+  PeriodMeasurement m =
+      monitor_.Sample(s, target_delay_.load(std::memory_order_relaxed));
+  if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
+  double v = 0.0;
+  double alpha = 0.0;
+  if (controller_ != nullptr) {
+    v = controller_->DesiredRate(m);
+    double applied = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shedder_mutex_);
+      applied = shedder_->Configure(v, m);
+      alpha = shedder_->drop_probability();
+    }
+    controller_->NotifyActuation(applied);
+  }
+  recorder_.Record(m, v, alpha);
+}
+
+uint64_t RtLoop::offered() const {
+  return engine_->stats()->offered.load(std::memory_order_relaxed);
+}
+
+uint64_t RtLoop::entry_shed() const {
+  return engine_->stats()->entry_shed.load(std::memory_order_relaxed);
+}
+
+uint64_t RtLoop::ring_dropped() const {
+  return engine_->stats()->ring_dropped.load(std::memory_order_relaxed);
+}
+
+double RtLoop::LossRatio() const {
+  const uint64_t off = offered();
+  if (off == 0) return 0.0;
+  const uint64_t shed =
+      entry_shed() + ring_dropped() +
+      engine_->stats()->shed_lineages.load(std::memory_order_relaxed);
+  return static_cast<double>(shed) / static_cast<double>(off);
+}
+
+QosSummary RtLoop::Summary() const {
+  QosSummary s;
+  s.accumulated_violation = qos_.accumulated_violation();
+  s.delayed_tuples = qos_.delayed_tuples();
+  s.max_overshoot = qos_.max_overshoot();
+  s.loss_ratio = LossRatio();
+  s.offered = offered();
+  s.shed = entry_shed() + ring_dropped() +
+           engine_->stats()->shed_lineages.load(std::memory_order_relaxed);
+  s.departures = qos_.departures();
+  s.mean_delay = qos_.mean_delay();
+  s.p50_delay = qos_.delay_histogram().Quantile(0.50);
+  s.p95_delay = qos_.delay_histogram().Quantile(0.95);
+  s.p99_delay = qos_.delay_histogram().Quantile(0.99);
+  return s;
+}
+
+}  // namespace ctrlshed

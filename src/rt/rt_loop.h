@@ -1,0 +1,125 @@
+#ifndef CTRLSHED_RT_RT_LOOP_H_
+#define CTRLSHED_RT_RT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "control/controller.h"
+#include "control/rate_predictor.h"
+#include "metrics/qos_metrics.h"
+#include "metrics/recorder.h"
+#include "rt/rt_clock.h"
+#include "rt/rt_engine.h"
+#include "rt/rt_monitor.h"
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+/// Options of the real-time control loop; the subset of
+/// FeedbackLoopOptions that survives contact with a real clock.
+struct RtLoopOptions {
+  SimTime period = 1.0;        ///< Control period T, trace seconds.
+  double target_delay = 2.0;   ///< Initial setpoint yd (trace seconds).
+  double headroom = 0.97;      ///< H estimate shared by monitor & estimator.
+  double cost_ewma = 1.0;      ///< Cost-estimate smoothing (see RtMonitor).
+  bool adapt_headroom = false; ///< Online H estimation (see RtMonitor).
+};
+
+/// The wall-clock twin of FeedbackLoop: monitor -> controller -> shedder
+/// -> RtEngine, with the feedback ticking on a real periodic thread
+/// instead of simulation events.
+///
+/// Threading model:
+///  - OnArrival runs on the source threads: it counts the offer, asks the
+///    shedder for admission (under a small mutex — the shedders are reused
+///    unchanged from the sim and are not thread-safe by themselves), and
+///    pushes survivors into the engine's lock-free ingress ring.
+///  - The controller thread wakes at every period boundary, snapshots the
+///    shared atomics, runs the monitor/controller math, and reconfigures
+///    the shedder under the same mutex. Controller, monitor, predictor and
+///    recorder are touched by this thread only.
+///  - QoS accounting rides the engine worker's departure callback and is
+///    read by other threads only after Stop() (joins give happens-before).
+class RtLoop {
+ public:
+  /// All pointees must outlive the loop. The controller may be null
+  /// (open run: admit everything); a shedder is required otherwise.
+  RtLoop(RtEngine* engine, const RtClock* clock, LoadController* controller,
+         Shedder* shedder, RtLoopOptions options);
+  ~RtLoop();
+
+  RtLoop(const RtLoop&) = delete;
+  RtLoop& operator=(const RtLoop&) = delete;
+
+  /// Installs an additional per-departure observer (runs on the engine
+  /// worker thread). Must be called before Start.
+  void SetDepartureObserver(DepartureCallback observer);
+
+  /// Installs a one-step-ahead arrival-rate predictor (controller thread
+  /// only). Must be called before Start.
+  void SetRatePredictor(RatePredictor* predictor);
+
+  /// Starts the engine worker and the periodic controller thread. The
+  /// clock must already be started.
+  void Start();
+
+  /// Stops the controller thread and the engine worker. Idempotent.
+  /// Stop the arrival sources first so nothing races the teardown.
+  void Stop();
+
+  /// Ingress entry point; one designated thread per tuple source index.
+  void OnArrival(const Tuple& t);
+
+  /// Changes the delay setpoint at runtime (any thread).
+  void SetTargetDelay(double yd);
+  double target_delay() const {
+    return target_delay_.load(std::memory_order_relaxed);
+  }
+
+  // --- Results (valid after Stop()) --------------------------------------
+
+  const Recorder& recorder() const { return recorder_; }
+  const RtMonitor& monitor() const { return monitor_; }
+  const QosAccumulator& qos() const { return qos_; }
+
+  uint64_t offered() const;
+  uint64_t entry_shed() const;
+  uint64_t ring_dropped() const;
+
+  /// Total shed tuples (entry drops + ring overflow + in-network) over
+  /// offered. Ring overflow counts as loss: a full ingress queue sheds
+  /// load whether the controller asked for it or not.
+  double LossRatio() const;
+
+  /// End-of-run summary on the same reporting path as the sim loop.
+  QosSummary Summary() const;
+
+ private:
+  void ControllerLoop();
+  void ControlTick(SimTime now);
+
+  RtEngine* engine_;
+  const RtClock* clock_;
+  LoadController* controller_;
+  Shedder* shedder_;
+  RtLoopOptions options_;
+
+  RtMonitor monitor_;
+  QosAccumulator qos_;
+  Recorder recorder_;
+  DepartureCallback observer_;
+  RatePredictor* predictor_ = nullptr;
+
+  std::mutex shedder_mutex_;  ///< Guards Admit (sources) vs Configure (ctrl).
+  std::atomic<double> target_delay_;
+  std::atomic<bool> stop_{false};
+  std::thread controller_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_LOOP_H_

@@ -1,0 +1,87 @@
+#include "rt/rt_monitor.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+RtMonitor::RtMonitor(double nominal_entry_cost, RtMonitorOptions options)
+    : nominal_entry_cost_(nominal_entry_cost), options_(options) {
+  CS_CHECK_MSG(nominal_entry_cost_ > 0.0, "nominal cost must be positive");
+  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+  CS_CHECK_MSG(options_.headroom > 0.0 && options_.headroom <= 1.0,
+               "headroom must be in (0,1]");
+  CS_CHECK_MSG(options_.cost_ewma > 0.0 && options_.cost_ewma <= 1.0,
+               "cost_ewma must be in (0,1]");
+  CS_CHECK_MSG(options_.headroom_ewma > 0.0 && options_.headroom_ewma <= 1.0,
+               "headroom_ewma must be in (0,1]");
+  // Until the first measurement arrives, fall back to the static catalog
+  // estimate — same bootstrap as the sim Monitor.
+  cost_estimate_ = nominal_entry_cost_;
+  headroom_estimate_ = options_.headroom;
+}
+
+PeriodMeasurement RtMonitor::Sample(const RtSample& s, double target_delay) {
+  CS_CHECK_MSG(s.now > prev_.now, "samples must move forward in time");
+  CS_CHECK_MSG(s.offered >= prev_.offered, "offered counter went backwards");
+  // Rates use the actual elapsed trace time; the controller sees the
+  // nominal period its gains were designed for.
+  const double elapsed = s.now - prev_.now;
+  const double T = options_.period;
+
+  PeriodMeasurement m;
+  m.k = ++k_;
+  m.t = s.now;
+  m.period = T;
+  m.target_delay = target_delay;
+
+  m.fin = static_cast<double>(s.offered - prev_.offered) / elapsed;
+  m.fin_forecast = m.fin;  // the loop overrides this when a predictor is set
+  m.admitted = static_cast<double>(s.admitted - prev_.admitted) / elapsed;
+
+  const double drained = s.drained_base_load - prev_.drained_base_load;
+  const double busy = s.busy_seconds - prev_.busy_seconds;
+  m.fout = drained / nominal_entry_cost_ / elapsed;
+
+  // Measured per-tuple cost: CPU seconds consumed per entry-tuple
+  // equivalent drained. Only meaningful when enough work was processed.
+  if (drained > nominal_entry_cost_) {
+    const double measured = nominal_entry_cost_ * busy / drained;
+    cost_estimate_ = options_.cost_ewma * measured +
+                     (1.0 - options_.cost_ewma) * cost_estimate_;
+  }
+  m.cost = cost_estimate_;
+
+  // Virtual queue length from the outstanding static load, with the same
+  // empty-queue residue clamp as Engine::VirtualQueueLength.
+  m.queue = s.queued_tuples == 0
+                ? 0.0
+                : std::max(0.0, s.outstanding_base_load / nominal_entry_cost_);
+
+  // Online headroom estimate: with queued work at both ends of the period
+  // the CPU never idled, so work done per trace second IS the headroom.
+  if (options_.adapt_headroom && m.queue > 1.0 && prev_queue_ > 1.0 &&
+      busy > 0.0) {
+    const double measured_h = std::min(1.0, busy / elapsed);
+    headroom_estimate_ = options_.headroom_ewma * measured_h +
+                         (1.0 - options_.headroom_ewma) * headroom_estimate_;
+  }
+  prev_queue_ = m.queue;
+
+  const double h =
+      options_.adapt_headroom ? headroom_estimate_ : options_.headroom;
+  m.y_hat = (m.queue + 1.0) * m.cost / h;
+
+  const uint64_t departures = s.delay_count - prev_.delay_count;
+  if (departures > 0) {
+    m.y_measured =
+        (s.delay_sum - prev_.delay_sum) / static_cast<double>(departures);
+    m.has_y_measured = true;
+  }
+
+  prev_ = s;
+  return m;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,65 @@
+#ifndef CTRLSHED_RT_RT_MONITOR_H_
+#define CTRLSHED_RT_RT_MONITOR_H_
+
+#include <cstdint>
+
+#include "control/controller.h"
+#include "rt/rt_stats.h"
+
+namespace ctrlshed {
+
+/// Options of the real-time measurement process; mirrors MonitorOptions
+/// minus the simulation-only knobs (measurement noise is no longer
+/// injected — the real runtime has real noise).
+struct RtMonitorOptions {
+  SimTime period = 1.0;    ///< Nominal control period T, trace seconds.
+  double headroom = 0.97;  ///< H estimate used in the Eq. (11) delay estimate.
+  /// EWMA weight of the newest per-period cost measurement in (0,1];
+  /// 1 = no smoothing (the paper's "estimate c(k) with c(k-1)").
+  double cost_ewma = 1.0;
+  /// Online headroom estimation (see Monitor::adapt_headroom).
+  bool adapt_headroom = false;
+  double headroom_ewma = 0.2;
+};
+
+/// The monitor of the real-time feedback loop: the same per-period math as
+/// the sim-side Monitor (Eq. 11 delay estimate from the virtual queue
+/// length, measured cost c(k) = nominal * busy/drained, drain rate fout),
+/// but computed from RtSample snapshots of the shared atomics instead of
+/// poking the engine object — the engine lives on another thread.
+///
+/// Real-time wrinkle: the controller thread's wakeups jitter, so rates are
+/// formed over the *actual* elapsed trace time between samples, not the
+/// nominal T. The PeriodMeasurement still reports the nominal period
+/// (controller gains are designed for T; the jitter is orders of magnitude
+/// smaller).
+///
+/// Not thread-safe: owned and called by the controller thread only (or a
+/// test driving it with a fake clock).
+class RtMonitor {
+ public:
+  /// `nominal_entry_cost` is the network's model constant c (seconds), the
+  /// same value Engine::NominalEntryCost reports.
+  RtMonitor(double nominal_entry_cost, RtMonitorOptions options);
+
+  /// Forms the measurement for the period ending at `s.now`.
+  PeriodMeasurement Sample(const RtSample& s, double target_delay);
+
+  double CostEstimate() const { return cost_estimate_; }
+  double HeadroomEstimate() const { return headroom_estimate_; }
+  const RtMonitorOptions& options() const { return options_; }
+
+ private:
+  double nominal_entry_cost_;
+  RtMonitorOptions options_;
+
+  int k_ = 0;
+  RtSample prev_{};  ///< Previous snapshot (zeros before the first sample).
+  double prev_queue_ = 0.0;
+  double cost_estimate_ = 0.0;
+  double headroom_estimate_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_MONITOR_H_

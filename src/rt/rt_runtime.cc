@@ -1,0 +1,155 @@
+#include "rt/rt_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "control/aurora_controller.h"
+#include "control/baseline_controller.h"
+#include "control/ctrl_controller.h"
+#include "control/pi_controller.h"
+#include "engine/query_network.h"
+#include "rt/rt_clock.h"
+#include "rt/rt_loop.h"
+#include "rt/rt_source.h"
+#include "runner/networks.h"
+#include "shedding/aurora_shedder.h"
+#include "shedding/entry_shedder.h"
+
+namespace ctrlshed {
+
+namespace {
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+
+// Interruptible absolute sleep on the main thread (no stop token needed —
+// the main thread is the one that decides to stop).
+void SleepUntilWall(std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(
+        remaining < std::chrono::steady_clock::duration(kMaxSleepChunk)
+            ? remaining
+            : std::chrono::steady_clock::duration(kMaxSleepChunk));
+  }
+}
+}  // namespace
+
+RtRunResult RunRtExperiment(const RtRunConfig& config) {
+  const ExperimentConfig& base = config.base;
+  CS_CHECK_MSG(base.capacity_rate > 0.0, "capacity must be positive");
+  CS_CHECK_MSG(!base.use_queue_shedder,
+               "rt runtime does not support the in-network queue shedder");
+  CS_CHECK_MSG(!base.vary_cost,
+               "rt runtime does not support the cost-trace multiplier yet");
+  CS_CHECK_MSG(base.estimation_noise == 0.0,
+               "rt runtime does not inject estimation noise");
+
+  const double nominal_cost = base.headroom_true / base.capacity_rate;
+
+  RtClock clock(config.time_compression);
+  QueryNetwork net;
+  BuildIdentificationNetwork(&net, nominal_cost);
+
+  RtEngineOptions eopts;
+  eopts.headroom = base.headroom_true;
+  eopts.ring_capacity = config.ring_capacity;
+  eopts.cost_mode = config.cost_mode;
+  eopts.pacing_wall_seconds = config.pacing_wall_seconds;
+  RtEngine engine(&net, &clock, /*num_sources=*/1, eopts);
+
+  std::unique_ptr<LoadController> controller;
+  switch (base.method) {
+    case Method::kNone:
+      break;
+    case Method::kCtrl: {
+      CtrlOptions opts;
+      opts.gains = base.gains;
+      opts.headroom = base.headroom_est;
+      opts.feedback = base.ctrl_feedback;
+      opts.anti_windup = base.anti_windup;
+      controller = std::make_unique<CtrlController>(opts);
+      break;
+    }
+    case Method::kBaseline:
+      controller = std::make_unique<BaselineController>(base.headroom_est);
+      break;
+    case Method::kAurora:
+      controller = std::make_unique<AuroraController>(base.headroom_est);
+      break;
+    case Method::kPi:
+      controller = std::make_unique<PiController>(base.headroom_est);
+      break;
+  }
+
+  std::unique_ptr<Shedder> shedder;
+  if (controller != nullptr) {
+    if (base.method == Method::kAurora) {
+      shedder = std::make_unique<AuroraQuotaShedder>();
+    } else {
+      shedder = std::make_unique<EntryShedder>(base.seed + 2);
+    }
+  }
+
+  RtLoopOptions lopts;
+  lopts.period = base.period;
+  lopts.target_delay = base.target_delay;
+  lopts.headroom = base.headroom_est;
+  lopts.cost_ewma = base.cost_ewma;
+  lopts.adapt_headroom = base.adapt_headroom;
+  RtLoop loop(&engine, &clock, controller.get(), shedder.get(), lopts);
+  if (base.departure_observer) {
+    loop.SetDepartureObserver(base.departure_observer);
+  }
+  std::unique_ptr<RatePredictor> predictor;
+  if (base.predictor != PredictorKind::kLastValue) {
+    predictor = MakePredictor(base.predictor);
+    loop.SetRatePredictor(predictor.get());
+  }
+
+  RtArrivalSource source(0, BuildArrivalTrace(base), base.spacing,
+                         base.seed + 3);
+
+  // Setpoint schedule, applied by the main thread between waits.
+  std::vector<std::pair<SimTime, double>> schedule = base.setpoint_schedule;
+  std::sort(schedule.begin(), schedule.end());
+  for (const auto& [when, yd] : schedule) {
+    CS_CHECK_MSG(when >= 0.0 && when <= base.duration,
+                 "setpoint change outside the run");
+    CS_CHECK_MSG(yd > 0.0, "target delay must be positive");
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  clock.Start();
+  loop.Start();
+  source.Start(&clock, [&loop](const Tuple& t) { loop.OnArrival(t); });
+
+  for (const auto& [when, yd] : schedule) {
+    SleepUntilWall(clock.WallDeadline(when));
+    loop.SetTargetDelay(yd);
+  }
+  SleepUntilWall(clock.WallDeadline(base.duration));
+
+  // Teardown order: sources first (no new arrivals), then the loop (which
+  // stops the controller thread, then the engine worker).
+  source.Stop();
+  loop.Stop();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RtRunResult result;
+  result.summary = loop.Summary();
+  result.recorder = loop.recorder();
+  result.arrival_trace = source.trace();
+  result.nominal_cost = nominal_cost;
+  result.ring_dropped = loop.ring_dropped();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace ctrlshed

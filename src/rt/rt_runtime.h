@@ -1,0 +1,53 @@
+#ifndef CTRLSHED_RT_RT_RUNTIME_H_
+#define CTRLSHED_RT_RT_RUNTIME_H_
+
+#include <cstdint>
+
+#include "metrics/qos_metrics.h"
+#include "metrics/recorder.h"
+#include "rt/rt_engine.h"
+#include "runner/experiment.h"
+#include "workload/rate_trace.h"
+
+namespace ctrlshed {
+
+/// One real-time closed-loop run. `base` carries everything the sim
+/// harness already knows how to describe — method, workload, duration,
+/// control period, setpoint (schedule), headrooms, capacity, gains,
+/// predictor, spacing, seed. Simulation-only knobs are rejected: the rt
+/// runtime has no injected estimation noise (real noise comes free), no
+/// time-varying cost multiplier yet, and no in-network queue shedder (the
+/// engine's queues belong to the worker thread; the entry shedders are the
+/// actuators).
+struct RtRunConfig {
+  ExperimentConfig base;
+
+  /// Trace-seconds per wall-second (see RtClock). 20 replays a 400 s
+  /// experiment in 20 wall seconds; CI soaks use more.
+  double time_compression = 20.0;
+  size_t ring_capacity = 4096;
+  RtCostMode cost_mode = RtCostMode::kSleep;
+  double pacing_wall_seconds = 500e-6;
+};
+
+/// Results on the same reporting path as the sim's ExperimentResult, plus
+/// the rt-specific accounting.
+struct RtRunResult {
+  QosSummary summary;
+  Recorder recorder;        ///< Per-period closed-loop trace.
+  RateTrace arrival_trace;  ///< The offered-rate trace that was replayed.
+  double nominal_cost = 0.0;
+
+  uint64_t ring_dropped = 0;  ///< Ingress-ring overflow drops (in `shed`).
+  double wall_seconds = 0.0;  ///< Real elapsed time of the run.
+};
+
+/// Builds the standard plant (identification network + RtEngine + replay
+/// source + chosen controller/shedder), races it against the wall clock
+/// for `base.duration` trace seconds, joins everything, and returns the
+/// metrics.
+RtRunResult RunRtExperiment(const RtRunConfig& config);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_RUNTIME_H_

@@ -1,0 +1,106 @@
+#include "rt/rt_source.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+// Rates below this are treated as "no arrivals in this slot" (same
+// threshold as the sim-side ArrivalSource).
+constexpr double kMinRate = 1e-9;
+// Longest uninterruptible sleep, so Stop() is honored promptly.
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+}  // namespace
+
+RtArrivalSource::RtArrivalSource(int source_index, RateTrace trace,
+                                 ArrivalSource::Spacing spacing, uint64_t seed)
+    : source_index_(source_index),
+      trace_(std::move(trace)),
+      spacing_(spacing),
+      rng_(seed) {
+  CS_CHECK_MSG(!trace_.empty(), "arrival source needs a non-empty trace");
+}
+
+RtArrivalSource::~RtArrivalSource() { Stop(); }
+
+void RtArrivalSource::Start(const RtClock* clock,
+                            std::function<void(const Tuple&)> sink) {
+  CS_CHECK_MSG(!started_, "Start called twice");
+  CS_CHECK(clock != nullptr);
+  CS_CHECK(sink != nullptr);
+  started_ = true;
+  clock_ = clock;
+  sink_ = std::move(sink);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void RtArrivalSource::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+// Same walk as ArrivalSource::NextArrival: slot-by-slot with re-evaluation
+// at boundaries so rate changes take effect promptly.
+SimTime RtArrivalSource::NextArrival(SimTime t) {
+  const SimTime end = trace_.Duration();
+  SimTime now = t;
+  while (now < end) {
+    const double rate = trace_.At(now);
+    const SimTime width = trace_.slot_width();
+    if (rate < kMinRate) {
+      now = (std::floor(now / width) + 1.0) * width;
+      continue;
+    }
+    const double gap = (spacing_ == ArrivalSource::Spacing::kDeterministic)
+                           ? 1.0 / rate
+                           : rng_.Exponential(rate);
+    const SimTime candidate = now + gap;
+    const SimTime boundary = (std::floor(now / width) + 1.0) * width;
+    if (candidate > boundary && trace_.At(boundary) != rate) {
+      now = boundary;
+      continue;
+    }
+    return candidate;
+  }
+  return end + 1.0;  // exhausted
+}
+
+void RtArrivalSource::Run() {
+  using Clock = std::chrono::steady_clock;
+  SimTime t = NextArrival(0.0);
+  const SimTime end = trace_.Duration();
+
+  while (!stop_.load(std::memory_order_acquire) && t <= end) {
+    // Sleep (in interruptible chunks) until the arrival is due; arrivals
+    // already in the past are delivered immediately, in order — the replay
+    // catches up rather than silently thinning the trace.
+    const auto deadline = clock_->WallDeadline(t);
+    while (!stop_.load(std::memory_order_acquire)) {
+      const auto now = Clock::now();
+      if (now >= deadline) break;
+      const auto remaining = deadline - now;
+      std::this_thread::sleep_for(
+          remaining < kMaxSleepChunk
+              ? std::chrono::duration_cast<Clock::duration>(remaining)
+              : Clock::duration(kMaxSleepChunk));
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    Tuple tup;
+    tup.source = source_index_;
+    tup.arrival_time = t;
+    tup.value = rng_.Uniform();
+    tup.aux = rng_.Uniform();
+    sink_(tup);
+    generated_.fetch_add(1, std::memory_order_relaxed);
+    t = NextArrival(t);
+  }
+  exhausted_.store(true, std::memory_order_release);
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,91 @@
+#ifndef CTRLSHED_RT_RT_STATS_H_
+#define CTRLSHED_RT_RT_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace ctrlshed {
+
+/// One coherent-enough snapshot of the shared counters, taken by the
+/// monitor thread at a period boundary. Plain values: everything the
+/// RtMonitor needs to reproduce the sim Monitor's per-period math.
+struct RtSample {
+  SimTime now = 0.0;  ///< Trace time the snapshot was taken at.
+
+  // Ingress side (cumulative).
+  uint64_t offered = 0;       ///< Tuples offered by the sources.
+  uint64_t entry_shed = 0;    ///< Dropped by the entry shedder.
+  uint64_t ring_dropped = 0;  ///< Rejected by a full ingress ring.
+
+  // Engine side (cumulative mirrors of EngineCounters + queue state).
+  uint64_t admitted = 0;
+  uint64_t departed = 0;
+  uint64_t shed_lineages = 0;
+  double busy_seconds = 0.0;
+  double drained_base_load = 0.0;
+  uint64_t queued_tuples = 0;
+  double outstanding_base_load = 0.0;
+
+  // Departure-delay accumulation (cumulative; the monitor takes deltas).
+  double delay_sum = 0.0;
+  uint64_t delay_count = 0;
+};
+
+/// The cross-thread observation surface of the real-time runtime: every
+/// field is a monotonic cumulative counter in a std::atomic.
+///
+/// Writers: the ingress counters are bumped with relaxed fetch_add by the
+/// source threads (there may be several); the engine counters are written
+/// by the single RtEngine worker thread, which republishes them after
+/// every pump. Readers (the monitor thread, tests) load with relaxed
+/// order: each field is individually race-free, and the slight skew
+/// *between* fields within one snapshot is bounded by one pump interval —
+/// the same imprecision a real engine's profiler sampling has, and far
+/// below the control period it feeds.
+///
+/// The doubles rely on std::atomic<double> loads/stores (lock-free on the
+/// platforms we target); fetch_add on doubles is avoided so C++17-era
+/// toolchains under sanitizers stay happy — the single-writer fields use
+/// plain store, and multi-writer fields are integers.
+struct RtSharedStats {
+  // Ingress side: any source thread, fetch_add relaxed.
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> entry_shed{0};
+  std::atomic<uint64_t> ring_dropped{0};
+
+  // Engine side: single writer (the worker), store relaxed.
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> departed{0};
+  std::atomic<uint64_t> shed_lineages{0};
+  std::atomic<double> busy_seconds{0.0};
+  std::atomic<double> drained_base_load{0.0};
+  std::atomic<uint64_t> queued_tuples{0};
+  std::atomic<double> outstanding_base_load{0.0};
+  std::atomic<double> delay_sum{0.0};
+  std::atomic<uint64_t> delay_count{0};
+
+  RtSample Snapshot(SimTime now) const {
+    RtSample s;
+    s.now = now;
+    s.offered = offered.load(std::memory_order_relaxed);
+    s.entry_shed = entry_shed.load(std::memory_order_relaxed);
+    s.ring_dropped = ring_dropped.load(std::memory_order_relaxed);
+    s.admitted = admitted.load(std::memory_order_relaxed);
+    s.departed = departed.load(std::memory_order_relaxed);
+    s.shed_lineages = shed_lineages.load(std::memory_order_relaxed);
+    s.busy_seconds = busy_seconds.load(std::memory_order_relaxed);
+    s.drained_base_load = drained_base_load.load(std::memory_order_relaxed);
+    s.queued_tuples = queued_tuples.load(std::memory_order_relaxed);
+    s.outstanding_base_load =
+        outstanding_base_load.load(std::memory_order_relaxed);
+    s.delay_sum = delay_sum.load(std::memory_order_relaxed);
+    s.delay_count = delay_count.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_RT_STATS_H_

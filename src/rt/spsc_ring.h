@@ -1,0 +1,93 @@
+#ifndef CTRLSHED_RT_SPSC_RING_H_
+#define CTRLSHED_RT_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer — the
+/// ingress queue between one arrival thread and the RtEngine worker.
+///
+/// Exactly ONE thread may call TryPush and exactly ONE thread may call
+/// TryPop (they may be different threads). Synchronization is a classic
+/// two-index scheme: the producer publishes a slot with a release store of
+/// `tail_`, the consumer acquires it before reading, and vice versa for
+/// `head_`. Each side keeps a cached copy of the other side's index so the
+/// hot path touches only its own cache line (no ping-pong until the ring
+/// is actually near-full or near-empty).
+///
+/// TryPush returns false when the ring is full instead of blocking: the
+/// caller counts the rejection as a drop, which feeds the loss-ratio
+/// accounting (an overflowing ingress queue is load shedding by another
+/// name, and the controller must see it).
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    CS_CHECK_MSG(capacity >= 1, "ring capacity must be at least 1");
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (and leaves the ring unchanged) when
+  /// full.
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the element count; exact only when both sides are quiet.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  // 64 is the usual cache-line size; std::hardware_destructive_
+  // interference_size is not implemented everywhere we build.
+  static constexpr size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};  ///< Consumer index.
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};  ///< Producer index.
+  alignas(kCacheLine) uint64_t cached_head_ = 0;  ///< Producer's view of head_.
+  alignas(kCacheLine) uint64_t cached_tail_ = 0;  ///< Consumer's view of tail_.
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_SPSC_RING_H_

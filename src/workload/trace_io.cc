@@ -27,6 +27,18 @@ TraceParseResult Fail(int line, const std::string& what) {
   return r;
 }
 
+// True when the stream has unconsumed non-whitespace left on the line —
+// "1.5garbage" parses as 1.5 via operator>>, and silently accepting it
+// hides a corrupt trace file.
+bool HasTrailingGarbage(std::istringstream& ls) {
+  std::string rest;
+  return static_cast<bool>(ls >> rest);
+}
+
+// Resize ceiling for timestamp-bucketed traces: a single corrupt timestamp
+// like 1e300 must not turn into a multi-terabyte resize.
+constexpr size_t kMaxSlots = size_t{1} << 24;  // 16.7M slots
+
 }  // namespace
 
 void WriteTrace(const RateTrace& trace, std::ostream& out) {
@@ -52,7 +64,8 @@ TraceParseResult ReadTrace(std::istream& in) {
       std::istringstream ls(line);
       std::string key;
       ls >> key >> slot_width;
-      if (key != "slot_width" || ls.fail() || slot_width <= 0.0) {
+      if (key != "slot_width" || ls.fail() || !std::isfinite(slot_width) ||
+          slot_width <= 0.0 || HasTrailingGarbage(ls)) {
         return Fail(lineno, "expected 'slot_width <positive seconds>'");
       }
       have_width = true;
@@ -61,7 +74,7 @@ TraceParseResult ReadTrace(std::istream& in) {
     std::istringstream ls(line);
     double v = 0.0;
     ls >> v;
-    if (ls.fail() || v < 0.0 || !std::isfinite(v)) {
+    if (ls.fail() || v < 0.0 || !std::isfinite(v) || HasTrailingGarbage(ls)) {
       return Fail(lineno, "expected a non-negative finite rate value");
     }
     values.push_back(v);
@@ -77,7 +90,9 @@ TraceParseResult ReadTrace(std::istream& in) {
 }
 
 TraceParseResult ReadTimestampTrace(std::istream& in, SimTime slot_width) {
-  if (slot_width <= 0.0) return Fail(0, "slot width must be positive");
+  if (!std::isfinite(slot_width) || slot_width <= 0.0) {
+    return Fail(0, "slot width must be positive");
+  }
   std::string line;
   int lineno = 0;
   std::vector<double> counts;
@@ -90,12 +105,16 @@ TraceParseResult ReadTimestampTrace(std::istream& in, SimTime slot_width) {
     std::istringstream ls(line);
     double t = 0.0;
     ls >> t;
-    if (ls.fail() || t < 0.0 || !std::isfinite(t)) {
+    if (ls.fail() || t < 0.0 || !std::isfinite(t) || HasTrailingGarbage(ls)) {
       return Fail(lineno, "expected a non-negative finite timestamp");
     }
     if (t < prev) return Fail(lineno, "timestamps must be non-decreasing");
     prev = t;
-    const size_t slot = static_cast<size_t>(t / slot_width);
+    const double slot_f = t / slot_width;
+    if (slot_f >= static_cast<double>(kMaxSlots)) {
+      return Fail(lineno, "timestamp exceeds the supported trace length");
+    }
+    const size_t slot = static_cast<size_t>(slot_f);
     if (slot >= counts.size()) counts.resize(slot + 1, 0.0);
     counts[slot] += 1.0;
   }

@@ -1,0 +1,141 @@
+// End-to-end tests of the real-time runtime: real threads, real clock,
+// compressed time so each test costs well under a second of wall time.
+// Assertions are deliberately loose — scheduling noise is the point of the
+// subsystem — with the tight tracking gate living in bench/rt_soak.
+
+#include "rt/rt_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/rt_clock.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(RtClockTest, CompressionMapsTraceToWall) {
+  RtClock clock(40.0);
+  clock.Start();
+  // 40 trace seconds = 1 wall second; deadlines are consistent with the
+  // duration conversion.
+  const auto d1 = clock.WallDeadline(40.0);
+  const auto d2 = clock.WallDeadline(80.0);
+  const auto gap = std::chrono::duration<double>(d2 - d1).count();
+  EXPECT_NEAR(gap, 1.0, 1e-6);
+  EXPECT_NEAR(std::chrono::duration<double>(clock.WallDuration(4.0)).count(),
+              0.1, 1e-6);
+  EXPECT_GE(clock.Now(), 0.0);
+}
+
+RtRunConfig BaseConfig() {
+  RtRunConfig cfg;
+  cfg.base.workload = WorkloadKind::kConstant;
+  cfg.base.seed = 7;
+  cfg.time_compression = 40.0;
+  return cfg;
+}
+
+TEST(RtRuntimeTest, UnderloadOpenRunSmoke) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kNone;
+  cfg.base.constant_rate = 100.0;  // about half the 190 t/s capacity
+  cfg.base.duration = 8.0;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  // Poisson(100/s * 8s) = 800 expected offers; allow wide slack.
+  EXPECT_GT(r.summary.offered, 600u);
+  EXPECT_LT(r.summary.offered, 1000u);
+  // Underloaded and uncontrolled: nothing shed anywhere.
+  EXPECT_EQ(r.summary.shed, 0u);
+  EXPECT_EQ(r.ring_dropped, 0u);
+  EXPECT_DOUBLE_EQ(r.summary.loss_ratio, 0.0);
+  // Nearly everything drains (a few tuples may be in flight at stop).
+  EXPECT_GT(r.summary.departures,
+            static_cast<uint64_t>(0.8 * static_cast<double>(r.summary.offered)));
+  // An underloaded engine keeps delays near the per-tuple cost, far from
+  // the overload regime.
+  EXPECT_LT(r.summary.mean_delay, 0.5);
+  EXPECT_GT(r.recorder.rows().size(), 4u);
+}
+
+TEST(RtRuntimeTest, OverloadControllerTracksSetpoint) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kCtrl;
+  cfg.base.constant_rate = 380.0;  // sustained 2x overload
+  cfg.base.duration = 15.0;
+  cfg.base.target_delay = 2.0;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  // 2x overload must shed roughly half; wide band for scheduling noise.
+  EXPECT_GT(r.summary.loss_ratio, 0.25);
+  EXPECT_LT(r.summary.loss_ratio, 0.70);
+  ASSERT_GE(r.recorder.rows().size(), 10u);
+
+  // After the transient the delay estimate must sit near the setpoint
+  // (the tight +/-20% gate is rt_soak's job; this is the sanity band).
+  double sum = 0.0;
+  int n = 0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.k <= 5) continue;
+    sum += row.m.y_hat;
+    ++n;
+  }
+  ASSERT_GT(n, 4);
+  const double mean_yhat = sum / n;
+  EXPECT_GT(mean_yhat, 0.5 * cfg.base.target_delay);
+  EXPECT_LT(mean_yhat, 1.5 * cfg.base.target_delay);
+  // The entry shedder actually actuated.
+  EXPECT_GT(r.summary.shed, 0u);
+}
+
+TEST(RtRuntimeTest, RingOverflowIsCountedAsLoss) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kNone;  // no shedding: overflow is the relief
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 4.0;
+  cfg.ring_capacity = 2;  // pathological ingress queue
+  // Pump rarely (in wall time) so arrivals pile into the tiny ring
+  // between pumps.
+  cfg.pacing_wall_seconds = 2e-3;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  EXPECT_GT(r.ring_dropped, 0u);
+  // Drop-on-full feeds the loss ratio even with no controller installed.
+  EXPECT_GT(r.summary.loss_ratio, 0.0);
+  EXPECT_EQ(r.summary.shed, r.ring_dropped);
+  // Offered splits into admitted + overflow (+ a handful still queued in
+  // the ring at teardown).
+  EXPECT_GE(r.summary.offered, r.ring_dropped);
+}
+
+TEST(RtRuntimeTest, SetpointScheduleIsApplied) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kCtrl;
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 12.0;
+  cfg.base.target_delay = 2.0;
+  cfg.base.setpoint_schedule = {{6.0, 1.0}};
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  bool saw_initial = false;
+  bool saw_changed = false;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.t < 5.5) saw_initial |= row.m.target_delay == 2.0;
+    if (row.m.t > 7.5) saw_changed |= row.m.target_delay == 1.0;
+  }
+  EXPECT_TRUE(saw_initial);
+  EXPECT_TRUE(saw_changed);
+}
+
+TEST(RtRuntimeDeathTest, RejectsSimOnlyKnobs) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.duration = 1.0;
+  cfg.base.use_queue_shedder = true;
+  EXPECT_DEATH(RunRtExperiment(cfg), "queue shedder");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "workload/trace_io.h"
@@ -63,6 +66,51 @@ TEST(TraceIoTest, BadSlotWidthFails) {
   EXPECT_FALSE(ReadTrace(in).ok);
 }
 
+// NaN compares false against every threshold, so `slot_width <= 0` alone
+// used to let it through and poison every downstream rate computation.
+TEST(TraceIoTest, NanSlotWidthFails) {
+  std::stringstream in("slot_width nan\n5\n");
+  TraceParseResult r = ReadTrace(in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("slot_width"), std::string::npos);
+}
+
+TEST(TraceIoTest, InfiniteSlotWidthFails) {
+  std::stringstream in("slot_width inf\n5\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
+TEST(TraceIoTest, NanRateValueFails) {
+  std::stringstream in("slot_width 1.0\n5\nnan\n");
+  TraceParseResult r = ReadTrace(in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, InfiniteRateValueFails) {
+  std::stringstream in("slot_width 1.0\ninf\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
+// "1.5garbage" extracts 1.5 via operator>> and used to be silently
+// accepted, hiding corrupt lines.
+TEST(TraceIoTest, TrailingGarbageOnValueFails) {
+  std::stringstream in("slot_width 1.0\n5\n1.5garbage\n");
+  TraceParseResult r = ReadTrace(in);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, TrailingGarbageOnHeaderFails) {
+  std::stringstream in("slot_width 1.0 extra\n5\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
+TEST(TraceIoTest, TwoValuesOnOneLineFail) {
+  std::stringstream in("slot_width 1.0\n5 7\n");
+  EXPECT_FALSE(ReadTrace(in).ok);
+}
+
 TEST(TimestampTraceTest, BinsArrivalsIntoRates) {
   // 3 arrivals in [0,1), 1 in [1,2), 0 in [2,3), 2 in [3,4).
   std::stringstream in("0.1\n0.5\n0.9\n1.2\n3.0\n3.99\n");
@@ -91,6 +139,31 @@ TEST(TimestampTraceTest, EmptyInputFails) {
   EXPECT_FALSE(ReadTimestampTrace(in, 1.0).ok);
 }
 
+TEST(TimestampTraceTest, NanTimestampFails) {
+  std::stringstream in("0.5\nnan\n");
+  EXPECT_FALSE(ReadTimestampTrace(in, 1.0).ok);
+}
+
+TEST(TimestampTraceTest, NanSlotWidthFails) {
+  std::stringstream in("0.5\n");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ReadTimestampTrace(in, nan).ok);
+}
+
+// A single corrupt timestamp like 1e300 must fail the parse, not attempt
+// a 1e300-slot resize.
+TEST(TimestampTraceTest, HugeTimestampFailsInsteadOfResizing) {
+  std::stringstream in("0.5\n1e300\n");
+  TraceParseResult r = ReadTimestampTrace(in, 1.0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("trace length"), std::string::npos);
+}
+
+TEST(TimestampTraceTest, TrailingGarbageFails) {
+  std::stringstream in("0.5oops\n");
+  EXPECT_FALSE(ReadTimestampTrace(in, 1.0).ok);
+}
+
 TEST(TraceIoFileTest, FileRoundTrip) {
   const std::string path = "/tmp/ctrlshed_trace_io_test.trace";
   RateTrace original(2.0, {1.0, 2.0, 3.0});
@@ -104,6 +177,24 @@ TEST(TraceIoFileTest, MissingFileFails) {
   TraceParseResult r = ReadTraceFile("/nonexistent/path/x.trace");
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+// End-to-end regression: a corrupt trace FILE (good header, NaN and
+// garbage-suffixed rows) is rejected with a line-accurate error.
+TEST(TraceIoFileTest, CorruptFileIsRejected) {
+  const std::string path = "/tmp/ctrlshed_trace_io_corrupt.trace";
+  {
+    std::ofstream out(path);
+    out << "# ctrlshed-trace v1\n"
+        << "slot_width 0.5\n"
+        << "10\n"
+        << "nan\n"
+        << "20trailing\n";
+  }
+  TraceParseResult r = ReadTraceFile(path);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 4"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

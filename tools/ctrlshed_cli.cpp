@@ -1,6 +1,7 @@
 // ctrlshed — command-line front end to the experiment harness.
 //
 //   ctrlshed run [key=value ...]       run one closed-loop experiment
+//   ctrlshed rt  [key=value ...]       run it on wall-clock threads (src/rt)
 //   ctrlshed trace [key=value ...]     generate a workload trace (stdout)
 //   ctrlshed design [poles=P] [a=A]    print controller gains for a design
 //   ctrlshed help
@@ -8,6 +9,7 @@
 // Examples:
 //   ctrlshed run method=ctrl workload=pareto duration=400 yd=2 seed=7
 //   ctrlshed run method=aurora workload=web vary_cost=1 trace_out=run.tsv
+//   ctrlshed rt method=ctrl workload=web duration=60 compress=20
 //   ctrlshed trace kind=web duration=400 seed=42 > web.trace
 //   ctrlshed design poles=0.7
 //
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "control/pole_placement.h"
+#include "rt/rt_runtime.h"
 #include "runner/experiment.h"
 #include "workload/trace_io.h"
 #include "workload/traces.h"
@@ -95,6 +98,35 @@ WorkloadKind ParseWorkload(const std::string& s) {
   std::exit(2);
 }
 
+void PrintSummary(const QosSummary& s) {
+  std::printf("offered            %llu\n",
+              static_cast<unsigned long long>(s.offered));
+  std::printf("shed               %llu (loss %.4f)\n",
+              static_cast<unsigned long long>(s.shed), s.loss_ratio);
+  std::printf("departures         %llu\n",
+              static_cast<unsigned long long>(s.departures));
+  std::printf("mean delay         %.4f s\n", s.mean_delay);
+  std::printf("p50/p95/p99 delay  %.4f / %.4f / %.4f s\n", s.p50_delay,
+              s.p95_delay, s.p99_delay);
+  std::printf("delayed tuples     %llu\n",
+              static_cast<unsigned long long>(s.delayed_tuples));
+  std::printf("accum violation    %.3f tuple-seconds\n",
+              s.accumulated_violation);
+  std::printf("max overshoot      %.4f s\n", s.max_overshoot);
+}
+
+int WriteRecorder(const Recorder& recorder, const std::string& trace_out) {
+  if (trace_out.empty()) return 0;
+  std::ofstream out(trace_out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
+  }
+  recorder.Write(out);
+  std::printf("per-period trace written to %s\n", trace_out.c_str());
+  return 0;
+}
+
 int CmdRun(Args args) {
   ExperimentConfig cfg;
   cfg.method = ParseMethod(GetString(args, "method", "ctrl"));
@@ -118,32 +150,46 @@ int CmdRun(Args args) {
   RejectLeftovers(args);
 
   ExperimentResult r = RunExperiment(cfg);
-  const QosSummary& s = r.summary;
-  std::printf("offered            %llu\n",
-              static_cast<unsigned long long>(s.offered));
-  std::printf("shed               %llu (loss %.4f)\n",
-              static_cast<unsigned long long>(s.shed), s.loss_ratio);
-  std::printf("departures         %llu\n",
-              static_cast<unsigned long long>(s.departures));
-  std::printf("mean delay         %.4f s\n", s.mean_delay);
-  std::printf("p50/p95/p99 delay  %.4f / %.4f / %.4f s\n", s.p50_delay,
-              s.p95_delay, s.p99_delay);
-  std::printf("delayed tuples     %llu\n",
-              static_cast<unsigned long long>(s.delayed_tuples));
-  std::printf("accum violation    %.3f tuple-seconds\n",
-              s.accumulated_violation);
-  std::printf("max overshoot      %.4f s\n", s.max_overshoot);
+  PrintSummary(r.summary);
+  return WriteRecorder(r.recorder, trace_out);
+}
 
-  if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-      return 1;
-    }
-    r.recorder.Write(out);
-    std::printf("per-period trace written to %s\n", trace_out.c_str());
-  }
-  return 0;
+int CmdRt(Args args) {
+  RtRunConfig cfg;
+  cfg.base.method = ParseMethod(GetString(args, "method", "ctrl"));
+  cfg.base.workload = ParseWorkload(GetString(args, "workload", "pareto"));
+  cfg.base.duration = GetDouble(args, "duration", 60.0);
+  cfg.base.period = GetDouble(args, "T", 1.0);
+  cfg.base.target_delay = GetDouble(args, "yd", 2.0);
+  cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
+  cfg.base.headroom_est = GetDouble(args, "H", 0.97);
+  cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
+  cfg.base.constant_rate = GetDouble(args, "rate", 150.0);
+  cfg.base.pareto.beta = GetDouble(args, "beta", 1.0);
+  cfg.base.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
+  const double poles = GetDouble(args, "poles", 0.7);
+  cfg.base.gains = DesignPolePlacement(poles, poles);
+
+  cfg.time_compression = GetDouble(args, "compress", 20.0);
+  cfg.ring_capacity =
+      static_cast<size_t>(GetDouble(args, "ring", 4096.0));
+  cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
+                      ? RtCostMode::kBusySpin
+                      : RtCostMode::kSleep;
+  const std::string trace_out = GetString(args, "trace_out", "");
+  RejectLeftovers(args);
+
+  std::printf("replaying %.0f trace seconds at %gx compression (~%.1f wall s)"
+              " ...\n",
+              cfg.base.duration, cfg.time_compression,
+              cfg.base.duration / cfg.time_compression);
+  RtRunResult r = RunRtExperiment(cfg);
+  PrintSummary(r.summary);
+  std::printf("ring drops         %llu\n",
+              static_cast<unsigned long long>(r.ring_dropped));
+  std::printf("wall time          %.2f s\n", r.wall_seconds);
+  return WriteRecorder(r.recorder, trace_out);
 }
 
 int CmdTrace(Args args) {
@@ -191,6 +237,13 @@ void PrintHelp() {
       "                  [capacity=190] [rate=150] [beta=1.0] [poles=0.7]\n"
       "                  [vary_cost=0|1] [queue_shed=0|1] [noise=0]\n"
       "                  [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
+      "  ctrlshed rt     [method=...] [workload=...] [duration=60] [T=1]\n"
+      "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
+      "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
+      "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
+      "                  [seed=42] [trace_out=FILE]\n"
+      "                  (wall-clock threaded runtime; compress = trace\n"
+      "                  seconds replayed per wall second)\n"
       "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
       "                  [beta=1.0] [seed=42]            (trace to stdout)\n"
       "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
@@ -206,6 +259,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "run") return CmdRun(ParseArgs(argc, argv, 2));
+  if (cmd == "rt") return CmdRt(ParseArgs(argc, argv, 2));
   if (cmd == "trace") return CmdTrace(ParseArgs(argc, argv, 2));
   if (cmd == "design") return CmdDesign(ParseArgs(argc, argv, 2));
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
