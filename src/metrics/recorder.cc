@@ -1,5 +1,10 @@
 #include "metrics/recorder.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
 #include "common/table_printer.h"
 
 namespace ctrlshed {
@@ -12,6 +17,43 @@ void Recorder::Write(std::ostream& out) const {
     table.PrintRow({r.m.t, r.m.target_delay, r.m.fin, r.m.admitted, r.m.fout,
                     r.m.queue, r.m.cost * 1000.0, r.m.y_hat,
                     r.m.has_y_measured ? r.m.y_measured : 0.0, r.v, r.alpha});
+  }
+}
+
+void Recorder::WriteCsv(std::ostream& out) const {
+  out << "k,t,period,yd,fin,fin_forecast,admitted,fout,q,c,y_hat,y_meas,"
+         "e,u,v,alpha,loss,lateness\n";
+  char buf[40];
+  const auto field = [&out, &buf](double v, char sep) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf << sep;
+  };
+  for (const PeriodRecord& r : rows_) {
+    const double e = r.m.target_delay - r.m.y_hat;
+    const double u = r.v - r.m.fout;
+    const double loss =
+        r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin)
+                      : 0.0;
+    out << r.m.k << ',';
+    field(r.m.t, ',');
+    field(r.m.period, ',');
+    field(r.m.target_delay, ',');
+    field(r.m.fin, ',');
+    field(r.m.fin_forecast, ',');
+    field(r.m.admitted, ',');
+    field(r.m.fout, ',');
+    field(r.m.queue, ',');
+    field(r.m.cost, ',');
+    field(r.m.y_hat, ',');
+    field(r.m.has_y_measured ? r.m.y_measured
+                             : std::numeric_limits<double>::quiet_NaN(),
+          ',');
+    field(e, ',');
+    field(u, ',');
+    field(r.v, ',');
+    field(r.alpha, ',');
+    field(loss, ',');
+    field(r.lateness, '\n');
   }
 }
 

@@ -14,14 +14,20 @@ struct PeriodRecord {
   PeriodMeasurement m;
   double v = 0.0;      ///< Controller output (desired admitted rate).
   double alpha = 0.0;  ///< Entry drop probability in force afterwards.
+  /// Wall-clock lateness of the actuation, seconds: how far past the
+  /// period deadline the control tick actually ran. Always 0 in the
+  /// simulation (ticks fire exactly on the event heap); the rt loop
+  /// records its scheduling jitter here.
+  double lateness = 0.0;
 };
 
 /// Collects the per-period trace of an experiment; feeds the transient
-/// plots (Figs. 15, 16, 18) and debugging.
+/// plots (Figs. 15, 16, 18), the telemetry timeline export, and debugging.
 class Recorder {
  public:
-  void Record(const PeriodMeasurement& m, double v, double alpha) {
-    rows_.push_back(PeriodRecord{m, v, alpha});
+  void Record(const PeriodMeasurement& m, double v, double alpha,
+              double lateness = 0.0) {
+    rows_.push_back(PeriodRecord{m, v, alpha, lateness});
   }
 
   const std::vector<PeriodRecord>& rows() const { return rows_; }
@@ -29,6 +35,14 @@ class Recorder {
 
   /// Writes a whitespace-separated table with a header row.
   void Write(std::ostream& out) const;
+
+  /// Machine-readable variant: comma-separated, locale-independent %.17g
+  /// doubles (exact round-trip through strtod), one header row. Adds the
+  /// derived control signals the table omits: the tracking error
+  /// e = yd - y_hat, the queue-growth command u = v - fout (Eq. 10), the
+  /// per-period loss (fin - admitted)/fin, and the actuation lateness.
+  /// y_meas is `nan` for periods with no departures.
+  void WriteCsv(std::ostream& out) const;
 
  private:
   std::vector<PeriodRecord> rows_;

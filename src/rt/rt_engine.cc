@@ -114,13 +114,36 @@ void RtEngine::Publish() {
 
 void RtEngine::WorkerLoop() {
   using Clock = std::chrono::steady_clock;
+  if (options_.telemetry != nullptr) {
+    trace_buf_ = options_.telemetry->RegisterThread("rt.worker");
+    pump_interval_metric_ =
+        options_.telemetry->metrics()->GetHistogram("rt.pump_interval_s");
+    pump_counter_ = options_.telemetry->metrics()->GetCounter("rt.pumps");
+  }
   const auto pacing = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(options_.pacing_wall_seconds));
   auto deadline = Clock::now() + pacing;
+  auto last_pump = Clock::now();
+  bool have_last_pump = false;
 
   while (!stop_.load(std::memory_order_acquire)) {
-    Pump(clock_->Now());
-    Publish();
+    const auto pump_start = Clock::now();
+    if (have_last_pump) {
+      const double interval =
+          std::chrono::duration<double>(pump_start - last_pump).count();
+      pump_intervals_.Record(interval);
+      if (pump_interval_metric_ != nullptr) {
+        pump_interval_metric_->Record(interval);
+      }
+    }
+    have_last_pump = true;
+    last_pump = pump_start;
+    {
+      ScopedSpan span(trace_buf_, "pump");
+      Pump(clock_->Now());
+      Publish();
+    }
+    if (pump_counter_ != nullptr) pump_counter_->Add();
 
     const bool busy = engine_.QueuedTuples() > 0;
     if (options_.cost_mode == RtCostMode::kBusySpin && busy) {

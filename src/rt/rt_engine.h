@@ -11,9 +11,11 @@
 #include "engine/engine.h"
 #include "engine/query_network.h"
 #include "engine/tuple.h"
+#include "metrics/histogram.h"
 #include "rt/rt_clock.h"
 #include "rt/rt_stats.h"
 #include "rt/spsc_ring.h"
+#include "telemetry/telemetry.h"
 
 namespace ctrlshed {
 
@@ -37,6 +39,10 @@ struct RtEngineOptions {
   /// rings and advances the engine. Must be well below the control
   /// period's wall duration.
   double pacing_wall_seconds = 500e-6;
+  /// Optional telemetry session (non-owning; must outlive the engine).
+  /// Null disables tracing/metric registration — the worker's hot path
+  /// then carries one dead branch per pump.
+  Telemetry* telemetry = nullptr;
 };
 
 /// The real-time plant: one worker thread that owns a sim Engine
@@ -95,6 +101,11 @@ class RtEngine {
   /// The inner engine's counters. Only valid after Stop().
   const EngineCounters& counters() const { return engine_.counters(); }
 
+  /// Wall-clock interval between consecutive pump starts — the worker's
+  /// scheduling-jitter record, always collected (one histogram increment
+  /// per pump). Only valid after Stop().
+  const LatencyHistogram& pump_intervals() const { return pump_intervals_; }
+
  private:
   void WorkerLoop();
   /// Drains the rings into the engine and advances it to `now`.
@@ -119,6 +130,13 @@ class RtEngine {
   // Worker-local departure-delay accumulation, published each pump.
   double delay_sum_local_ = 0.0;
   uint64_t delay_count_local_ = 0;
+
+  // Worker-local telemetry (trace buffer registered at thread start;
+  // histogram read by other threads only after the join in Stop()).
+  LatencyHistogram pump_intervals_{1e-6, 1e3, 1.08};
+  TraceBuffer* trace_buf_ = nullptr;
+  HistogramMetric* pump_interval_metric_ = nullptr;
+  Counter* pump_counter_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::thread worker_;

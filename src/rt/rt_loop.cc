@@ -1,5 +1,6 @@
 #include "rt/rt_loop.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -95,6 +96,14 @@ void RtLoop::SetTargetDelay(double yd) {
 }
 
 void RtLoop::ControllerLoop() {
+  if (options_.telemetry != nullptr) {
+    trace_buf_ = options_.telemetry->RegisterThread("rt.controller");
+    MetricsRegistry* reg = options_.telemetry->metrics();
+    lateness_metric_ = reg->GetHistogram("rt.actuation_lateness_s");
+    queue_gauge_ = reg->GetGauge("rt.queue");
+    y_hat_gauge_ = reg->GetGauge("rt.y_hat");
+    alpha_gauge_ = reg->GetGauge("rt.alpha");
+  }
   int k = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     ++k;
@@ -110,18 +119,28 @@ void RtLoop::ControllerLoop() {
               : std::chrono::steady_clock::duration(kMaxSleepChunk));
     }
     if (stop_.load(std::memory_order_acquire)) break;
-    ControlTick(clock_->Now());
+    // Actuation jitter: how late past the period boundary this tick runs.
+    const double lateness =
+        std::max(0.0, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - deadline)
+                          .count());
+    ControlTick(clock_->Now(), lateness);
   }
 }
 
-void RtLoop::ControlTick(SimTime now) {
-  const RtSample s = engine_->stats()->Snapshot(now);
-  PeriodMeasurement m =
-      monitor_.Sample(s, target_delay_.load(std::memory_order_relaxed));
+void RtLoop::ControlTick(SimTime now, double lateness_wall) {
+  ScopedSpan tick_span(trace_buf_, "control_tick");
+  PeriodMeasurement m;
+  {
+    ScopedSpan sample_span(trace_buf_, "sample");
+    const RtSample s = engine_->stats()->Snapshot(now);
+    m = monitor_.Sample(s, target_delay_.load(std::memory_order_relaxed));
+  }
   if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
   double v = 0.0;
   double alpha = 0.0;
   if (controller_ != nullptr) {
+    ScopedSpan actuate_span(trace_buf_, "actuate");
     v = controller_->DesiredRate(m);
     double applied = 0.0;
     {
@@ -131,7 +150,14 @@ void RtLoop::ControlTick(SimTime now) {
     }
     controller_->NotifyActuation(applied);
   }
-  recorder_.Record(m, v, alpha);
+  actuation_lateness_.Record(lateness_wall);
+  if (lateness_metric_ != nullptr) lateness_metric_->Record(lateness_wall);
+  if (queue_gauge_ != nullptr) {
+    queue_gauge_->Set(m.queue);
+    y_hat_gauge_->Set(m.y_hat);
+    alpha_gauge_->Set(alpha);
+  }
+  recorder_.Record(m, v, alpha, lateness_wall);
 }
 
 uint64_t RtLoop::offered() const {

@@ -25,6 +25,8 @@ struct RtLoopOptions {
   double headroom = 0.97;      ///< H estimate shared by monitor & estimator.
   double cost_ewma = 1.0;      ///< Cost-estimate smoothing (see RtMonitor).
   bool adapt_headroom = false; ///< Online H estimation (see RtMonitor).
+  /// Optional telemetry session (non-owning; must outlive the loop).
+  Telemetry* telemetry = nullptr;
 };
 
 /// The wall-clock twin of FeedbackLoop: monitor -> controller -> shedder
@@ -84,6 +86,12 @@ class RtLoop {
   const RtMonitor& monitor() const { return monitor_; }
   const QosAccumulator& qos() const { return qos_; }
 
+  /// Wall-clock lateness of each control tick past its period deadline
+  /// (actuation jitter). Only valid after Stop().
+  const LatencyHistogram& actuation_lateness() const {
+    return actuation_lateness_;
+  }
+
   uint64_t offered() const;
   uint64_t entry_shed() const;
   uint64_t ring_dropped() const;
@@ -98,7 +106,9 @@ class RtLoop {
 
  private:
   void ControllerLoop();
-  void ControlTick(SimTime now);
+  /// `lateness_wall` is how far (wall seconds, >= 0) past the period
+  /// deadline the tick started — the actuation jitter this period.
+  void ControlTick(SimTime now, double lateness_wall);
 
   RtEngine* engine_;
   const RtClock* clock_;
@@ -111,6 +121,15 @@ class RtLoop {
   Recorder recorder_;
   DepartureCallback observer_;
   RatePredictor* predictor_ = nullptr;
+
+  // Controller-thread telemetry (histogram read elsewhere only after the
+  // join in Stop()).
+  LatencyHistogram actuation_lateness_{1e-6, 1e3, 1.08};
+  TraceBuffer* trace_buf_ = nullptr;
+  HistogramMetric* lateness_metric_ = nullptr;
+  Gauge* queue_gauge_ = nullptr;
+  Gauge* y_hat_gauge_ = nullptr;
+  Gauge* alpha_gauge_ = nullptr;
 
   std::mutex shedder_mutex_;  ///< Guards Admit (sources) vs Configure (ctrl).
   std::atomic<double> target_delay_;

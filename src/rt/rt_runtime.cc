@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "runner/networks.h"
 #include "shedding/aurora_shedder.h"
 #include "shedding/entry_shedder.h"
+#include "telemetry/timeline.h"
 
 namespace ctrlshed {
 
@@ -52,6 +54,14 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
 
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
+  // The telemetry session outlives every thread that traces into it
+  // (engine worker, controller, sources, this thread).
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
+  TraceBuffer* main_buf =
+      telemetry ? telemetry->RegisterThread("main") : nullptr;
+  std::optional<ScopedSpan> phase;
+  phase.emplace(main_buf, "setup");
+
   RtClock clock(config.time_compression);
   QueryNetwork net;
   BuildIdentificationNetwork(&net, nominal_cost);
@@ -61,6 +71,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   eopts.ring_capacity = config.ring_capacity;
   eopts.cost_mode = config.cost_mode;
   eopts.pacing_wall_seconds = config.pacing_wall_seconds;
+  eopts.telemetry = telemetry.get();
   RtEngine engine(&net, &clock, /*num_sources=*/1, eopts);
 
   std::unique_ptr<LoadController> controller;
@@ -102,6 +113,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   lopts.headroom = base.headroom_est;
   lopts.cost_ewma = base.cost_ewma;
   lopts.adapt_headroom = base.adapt_headroom;
+  lopts.telemetry = telemetry.get();
   RtLoop loop(&engine, &clock, controller.get(), shedder.get(), lopts);
   if (base.departure_observer) {
     loop.SetDepartureObserver(base.departure_observer);
@@ -114,6 +126,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
 
   RtArrivalSource source(0, BuildArrivalTrace(base), base.spacing,
                          base.seed + 3);
+  source.SetTelemetry(telemetry.get());
 
   // Setpoint schedule, applied by the main thread between waits.
   std::vector<std::pair<SimTime, double>> schedule = base.setpoint_schedule;
@@ -129,6 +142,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   loop.Start();
   source.Start(&clock, [&loop](const Tuple& t) { loop.OnArrival(t); });
 
+  phase.emplace(main_buf, "replay");
   for (const auto& [when, yd] : schedule) {
     SleepUntilWall(clock.WallDeadline(when));
     loop.SetTargetDelay(yd);
@@ -137,9 +151,11 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
 
   // Teardown order: sources first (no new arrivals), then the loop (which
   // stops the controller thread, then the engine worker).
+  phase.emplace(main_buf, "teardown");
   source.Stop();
   loop.Stop();
   const auto wall_end = std::chrono::steady_clock::now();
+  phase.reset();
 
   RtRunResult result;
   result.summary = loop.Summary();
@@ -149,6 +165,18 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   result.ring_dropped = loop.ring_dropped();
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
+  result.pump_intervals = engine.pump_intervals();
+  result.actuation_lateness = loop.actuation_lateness();
+
+  // Telemetry epilogue: every thread has joined, so a final drain sees
+  // everything; the timeline export reuses the recorder's rows.
+  if (telemetry) {
+    result.timeline_rows =
+        WriteControlTimeline(result.recorder, telemetry->dir());
+    telemetry->Stop();
+    result.trace_events = telemetry->trace_events();
+    result.trace_dropped = telemetry->trace_dropped();
+  }
   return result;
 }
 

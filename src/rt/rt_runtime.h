@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "metrics/histogram.h"
 #include "metrics/qos_metrics.h"
 #include "metrics/recorder.h"
 #include "rt/rt_engine.h"
@@ -40,6 +41,17 @@ struct RtRunResult {
 
   uint64_t ring_dropped = 0;  ///< Ingress-ring overflow drops (in `shed`).
   double wall_seconds = 0.0;  ///< Real elapsed time of the run.
+
+  // Scheduling-jitter record, always collected (see RtEngine/RtLoop):
+  // wall seconds between worker pumps, and wall seconds each control tick
+  // ran past its period deadline.
+  LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
+  LatencyHistogram actuation_lateness{1e-6, 1e3, 1.08};
+
+  // Telemetry accounting, non-zero only when base.telemetry.dir is set.
+  uint64_t trace_events = 0;   ///< Span/instant events captured.
+  uint64_t trace_dropped = 0;  ///< Events lost to full trace rings.
+  uint64_t timeline_rows = 0;  ///< Per-period rows exported.
 };
 
 /// Builds the standard plant (identification network + RtEngine + replay

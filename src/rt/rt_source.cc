@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
+#include "telemetry/telemetry.h"
 
 namespace ctrlshed {
 
@@ -26,6 +28,11 @@ RtArrivalSource::RtArrivalSource(int source_index, RateTrace trace,
 }
 
 RtArrivalSource::~RtArrivalSource() { Stop(); }
+
+void RtArrivalSource::SetTelemetry(Telemetry* telemetry) {
+  CS_CHECK_MSG(!started_, "telemetry must be set before Start");
+  telemetry_ = telemetry;
+}
 
 void RtArrivalSource::Start(const RtClock* clock,
                             std::function<void(const Tuple&)> sink) {
@@ -72,6 +79,10 @@ SimTime RtArrivalSource::NextArrival(SimTime t) {
 
 void RtArrivalSource::Run() {
   using Clock = std::chrono::steady_clock;
+  if (telemetry_ != nullptr) {
+    trace_buf_ = telemetry_->RegisterThread("rt.source" +
+                                            std::to_string(source_index_));
+  }
   SimTime t = NextArrival(0.0);
   const SimTime end = trace_.Duration();
 
@@ -96,7 +107,10 @@ void RtArrivalSource::Run() {
     tup.arrival_time = t;
     tup.value = rng_.Uniform();
     tup.aux = rng_.Uniform();
-    sink_(tup);
+    {
+      ScopedSpan span(trace_buf_, "deliver");
+      sink_(tup);
+    }
     generated_.fetch_add(1, std::memory_order_relaxed);
     t = NextArrival(t);
   }

@@ -14,6 +14,9 @@
 
 namespace ctrlshed {
 
+class Telemetry;
+class TraceBuffer;
+
 /// Replays one stream's rate trace against the wall clock: a thread that
 /// draws the same arrival process as the sim-side ArrivalSource (same
 /// spacing modes, same slot-boundary thinning, same payload distribution)
@@ -34,6 +37,11 @@ class RtArrivalSource {
 
   RtArrivalSource(const RtArrivalSource&) = delete;
   RtArrivalSource& operator=(const RtArrivalSource&) = delete;
+
+  /// Installs a telemetry session (non-owning; must outlive the source).
+  /// The replay thread registers itself and traces a span per delivery.
+  /// Must be called before Start.
+  void SetTelemetry(Telemetry* telemetry);
 
   /// Launches the replay thread. `clock` must be started and outlive this
   /// source; `sink` is invoked on the replay thread.
@@ -64,6 +72,8 @@ class RtArrivalSource {
 
   const RtClock* clock_ = nullptr;
   std::function<void(const Tuple&)> sink_;
+  Telemetry* telemetry_ = nullptr;
+  TraceBuffer* trace_buf_ = nullptr;  ///< Replay-thread-owned.
   std::atomic<bool> stop_{false};
   std::atomic<bool> exhausted_{false};
   std::atomic<uint64_t> generated_{0};

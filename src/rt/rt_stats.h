@@ -66,6 +66,26 @@ struct RtSharedStats {
   std::atomic<double> delay_sum{0.0};
   std::atomic<uint64_t> delay_count{0};
 
+  /// Takes a snapshot of all counters at `now`.
+  ///
+  /// Skew bound: the loads are not one atomic transaction, so a snapshot
+  /// taken mid-pump can mix ingress counters that a source just bumped
+  /// with engine mirrors from the previous Publish — the engine-side
+  /// fields lag the ingress side by at most one pump interval (and each
+  /// other by nothing: Publish writes them back-to-back between pumps).
+  /// Two guarantees follow, and the telemetry exporter depends on them:
+  ///
+  ///  1. Every field is individually monotonic non-decreasing across
+  ///     successive snapshots (each is a cumulative counter with relaxed
+  ///     but per-field-ordered atomics), so per-period deltas of any one
+  ///     field are never negative.
+  ///  2. Cross-field invariants (e.g. admitted <= offered - entry_shed)
+  ///     may be transiently violated within a snapshot, but only by the
+  ///     tuples of a single in-flight pump — far below the control period
+  ///     the samples feed.
+  ///
+  /// rt_stats_test.cc locks both in with a fake-clock sequence and a
+  /// concurrent stress run.
   RtSample Snapshot(SimTime now) const {
     RtSample s;
     s.now = now;

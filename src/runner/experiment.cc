@@ -1,6 +1,7 @@
 #include "runner/experiment.h"
 
 #include <memory>
+#include <optional>
 
 #include "common/macros.h"
 #include "control/aurora_controller.h"
@@ -14,6 +15,7 @@
 #include "shedding/entry_shedder.h"
 #include "shedding/queue_shedder.h"
 #include "sim/simulation.h"
+#include "telemetry/timeline.h"
 
 namespace ctrlshed {
 
@@ -42,6 +44,14 @@ RateTrace BuildArrivalTrace(const ExperimentConfig& config) {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   CS_CHECK_MSG(config.capacity_rate > 0.0, "capacity must be positive");
+
+  // The sim is single-threaded, so the whole run traces onto one track:
+  // phase spans (build/run/summarize) plus the timeline export at the end.
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(config.telemetry);
+  TraceBuffer* trace_buf =
+      telemetry ? telemetry->RegisterThread("sim.main") : nullptr;
+  std::optional<ScopedSpan> phase;
+  phase.emplace(trace_buf, "build_plant");
 
   // The model constant c: at nominal cost the engine sustains exactly
   // `capacity_rate` tuples/s, i.e. c = H_true / capacity.
@@ -130,13 +140,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                        config.seed + 3);
   source.Start(&sim, [&loop](const Tuple& t) { loop.OnArrival(t); });
 
+  phase.emplace(trace_buf, "simulate");
   sim.Run(config.duration);
+  phase.emplace(trace_buf, "summarize");
 
   ExperimentResult result;
   result.summary = loop.Summary();
   result.recorder = loop.recorder();
   result.arrival_trace = source.trace();
   result.nominal_cost = nominal_cost;
+  phase.reset();
+
+  if (telemetry) {
+    MetricsRegistry* reg = telemetry->metrics();
+    reg->GetCounter("sim.offered")->Add(result.summary.offered);
+    reg->GetCounter("sim.shed")->Add(result.summary.shed);
+    reg->GetCounter("sim.departures")->Add(result.summary.departures);
+    reg->GetGauge("sim.loss_ratio")->Set(result.summary.loss_ratio);
+    reg->GetGauge("sim.mean_delay")->Set(result.summary.mean_delay);
+    WriteControlTimeline(result.recorder, telemetry->dir());
+    telemetry->Stop();
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "engine/engine.h"
 #include "metrics/qos_metrics.h"
 #include "metrics/recorder.h"
+#include "telemetry/telemetry.h"
 #include "workload/arrival_source.h"
 #include "workload/traces.h"
 
@@ -86,6 +87,12 @@ struct ExperimentConfig {
 
   /// Optional per-departure observer (system identification).
   DepartureCallback departure_observer;
+
+  /// Observability: an empty dir disables everything; a set dir makes the
+  /// run write trace.json (spans), metrics.jsonl (periodic registry
+  /// snapshots), and timeline.csv/.jsonl (the per-period control-loop
+  /// export) into it. Shared by the sim and rt harnesses.
+  TelemetryOptions telemetry;
 
   uint64_t seed = 42;
 };

@@ -1,0 +1,86 @@
+#include "telemetry/metrics_registry.h"
+
+#include <cstdio>
+
+namespace ctrlshed {
+
+namespace {
+
+// Locale-independent shortest-round-trip double formatting for JSON.
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               double min_value,
+                                               double max_value,
+                                               double growth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramMetric>(min_value, max_value, growth);
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::WriteJsonLine(double t_seconds, std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"t\":";
+  WriteDouble(out, t_seconds);
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << c->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":";
+    WriteDouble(out, g->Value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    const LatencyHistogram snap = h->Snapshot();
+    out << "\"" << name << "\":{\"count\":" << snap.count() << ",\"mean\":";
+    WriteDouble(out, snap.Mean());
+    out << ",\"min\":";
+    WriteDouble(out, snap.min());
+    out << ",\"max\":";
+    WriteDouble(out, snap.max());
+    out << ",\"p50\":";
+    WriteDouble(out, snap.Quantile(0.50));
+    out << ",\"p95\":";
+    WriteDouble(out, snap.Quantile(0.95));
+    out << ",\"p99\":";
+    WriteDouble(out, snap.Quantile(0.99));
+    out << "}";
+  }
+  out << "}}\n";
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,92 @@
+#ifndef CTRLSHED_TELEMETRY_METRICS_REGISTRY_H_
+#define CTRLSHED_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "metrics/histogram.h"
+
+namespace ctrlshed {
+
+/// Monotonic counter; any thread, relaxed — exactly the RtSharedStats
+/// discipline, behind a name.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge; any thread, relaxed.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A named LatencyHistogram behind a small mutex. Recording sites are the
+/// periodic paths (one pump, one control tick), so contention is nil; the
+/// lock exists only so the exporter can snapshot mid-run.
+class HistogramMetric {
+ public:
+  HistogramMetric(double min_value, double max_value, double growth)
+      : hist_(min_value, max_value, growth) {}
+
+  void Record(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(v);
+  }
+
+  /// Copy for quantile queries without holding the lock across them.
+  LatencyHistogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+};
+
+/// Name -> metric registry with a JSONL snapshot writer. Get* calls are
+/// mutex-protected and idempotent (same name returns the same object);
+/// call them once at setup and cache the pointer — the pointers are stable
+/// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Histogram layout defaults suit wall-clock latencies (1 us .. 1000 s
+  /// at 8% resolution). A second Get with the same name ignores the layout
+  /// arguments and returns the existing histogram.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                double min_value = 1e-6,
+                                double max_value = 1e3,
+                                double growth = 1.08);
+
+  /// Writes one JSON object line: {"t":…,"counters":{…},"gauges":{…},
+  /// "histograms":{name:{count,mean,min,max,p50,p95,p99}}}. `t_seconds`
+  /// is the caller's notion of elapsed time (the exporter passes wall
+  /// seconds since it started).
+  void WriteJsonLine(double t_seconds, std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,101 @@
+#include "telemetry/telemetry.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+// Exporter sleep granularity; bounds Stop() latency like the rt threads.
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+}  // namespace
+
+std::unique_ptr<Telemetry> Telemetry::Open(const TelemetryOptions& options) {
+  if (options.dir.empty()) return nullptr;
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  CS_CHECK_MSG(!ec, "cannot create telemetry directory");
+  return std::unique_ptr<Telemetry>(new Telemetry(options));
+}
+
+Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
+  CS_CHECK_MSG(options_.export_period_wall > 0.0,
+               "export period must be positive");
+  if (options_.trace) {
+    tracer_ = std::make_unique<Tracer>(options_.trace_buffer_capacity);
+  }
+  metrics_out_.open(metrics_path());
+  CS_CHECK_MSG(metrics_out_.good(), "cannot open metrics.jsonl");
+  start_wall_ = std::chrono::steady_clock::now();
+  exporter_ = std::thread([this] { ExportLoop(); });
+}
+
+Telemetry::~Telemetry() { Stop(); }
+
+TraceBuffer* Telemetry::RegisterThread(const std::string& name) {
+  return tracer_ ? tracer_->RegisterThread(name) : nullptr;
+}
+
+std::string Telemetry::trace_path() const {
+  return (std::filesystem::path(options_.dir) / "trace.json").string();
+}
+
+std::string Telemetry::metrics_path() const {
+  return (std::filesystem::path(options_.dir) / "metrics.jsonl").string();
+}
+
+uint64_t Telemetry::trace_events() const {
+  return tracer_ ? tracer_->collected_events() : 0;
+}
+
+uint64_t Telemetry::trace_dropped() const {
+  return tracer_ ? tracer_->dropped_events() : 0;
+}
+
+void Telemetry::FlushOnce() {
+  if (tracer_) tracer_->Drain();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_wall_)
+                             .count();
+  metrics_.WriteJsonLine(elapsed, metrics_out_);
+  metrics_out_.flush();
+}
+
+void Telemetry::ExportLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.export_period_wall));
+  auto deadline = Clock::now() + period;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = Clock::now();
+    if (now < deadline) {
+      const auto remaining = deadline - now;
+      std::this_thread::sleep_for(
+          remaining < Clock::duration(kMaxSleepChunk)
+              ? remaining
+              : Clock::duration(kMaxSleepChunk));
+      continue;
+    }
+    FlushOnce();
+    deadline += period;
+    if (deadline < now) deadline = now + period;
+  }
+}
+
+void Telemetry::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  if (exporter_.joinable()) exporter_.join();
+  FlushOnce();
+  metrics_out_.close();
+  if (tracer_) {
+    std::ofstream trace_out(trace_path());
+    CS_CHECK_MSG(trace_out.good(), "cannot open trace.json");
+    tracer_->WriteChromeTrace(trace_out);
+  }
+}
+
+}  // namespace ctrlshed

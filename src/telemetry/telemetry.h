@@ -1,0 +1,85 @@
+#ifndef CTRLSHED_TELEMETRY_TELEMETRY_H_
+#define CTRLSHED_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/tracer.h"
+
+namespace ctrlshed {
+
+/// What to collect and where to put it. An empty `dir` disables telemetry
+/// entirely: Telemetry::Open returns null and every instrumentation site
+/// degrades to a single null-pointer branch.
+struct TelemetryOptions {
+  std::string dir;      ///< Output directory; created if missing.
+  bool trace = true;    ///< Collect spans into <dir>/trace.json.
+  /// Wall seconds between metrics.jsonl snapshots (and trace-ring drains).
+  double export_period_wall = 0.25;
+  /// Per-thread trace ring capacity, in events.
+  size_t trace_buffer_capacity = 1 << 14;
+};
+
+/// One telemetry session: a Tracer, a MetricsRegistry, and a background
+/// exporter thread that every `export_period_wall` seconds appends a
+/// registry snapshot to <dir>/metrics.jsonl and drains the trace rings.
+/// Stop() (idempotent, also run by the destructor) takes a final snapshot
+/// and serializes the trace to <dir>/trace.json.
+///
+/// Thread-safety: RegisterThread/metrics() may be called from any thread;
+/// each TraceBuffer is single-producer as documented on the tracer.
+class Telemetry {
+ public:
+  /// Creates the directory and starts the exporter. Returns null when
+  /// `options.dir` is empty (telemetry off). Aborts if the directory
+  /// cannot be created.
+  static std::unique_ptr<Telemetry> Open(const TelemetryOptions& options);
+
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Registers the calling thread for tracing; null when tracing is off —
+  /// callers keep the pointer and pass it to ScopedSpan unconditionally.
+  TraceBuffer* RegisterThread(const std::string& name);
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return tracer_.get(); }  ///< Null when trace is off.
+
+  /// Joins the exporter, flushes metrics.jsonl, writes trace.json.
+  void Stop();
+
+  const std::string& dir() const { return options_.dir; }
+  std::string trace_path() const;
+  std::string metrics_path() const;
+
+  /// Valid after Stop(): total span/instant events captured and dropped.
+  uint64_t trace_events() const;
+  uint64_t trace_dropped() const;
+
+ private:
+  explicit Telemetry(TelemetryOptions options);
+
+  void ExportLoop();
+  void FlushOnce();
+
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Tracer> tracer_;
+
+  std::ofstream metrics_out_;
+  std::chrono::steady_clock::time_point start_wall_;
+  std::atomic<bool> stop_{false};
+  std::thread exporter_;
+  bool stopped_ = false;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_TELEMETRY_H_

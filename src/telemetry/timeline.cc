@@ -1,0 +1,88 @@
+#include "telemetry/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void WriteTimelineJsonl(const Recorder& recorder, std::ostream& out) {
+  for (const PeriodRecord& r : recorder.rows()) {
+    const double e = r.m.target_delay - r.m.y_hat;
+    const double u = r.v - r.m.fout;
+    const double loss =
+        r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin)
+                      : 0.0;
+    out << "{\"k\":" << r.m.k << ",\"t\":";
+    WriteDouble(out, r.m.t);
+    out << ",\"yd\":";
+    WriteDouble(out, r.m.target_delay);
+    out << ",\"fin\":";
+    WriteDouble(out, r.m.fin);
+    out << ",\"fin_forecast\":";
+    WriteDouble(out, r.m.fin_forecast);
+    out << ",\"admitted\":";
+    WriteDouble(out, r.m.admitted);
+    out << ",\"fout\":";
+    WriteDouble(out, r.m.fout);
+    out << ",\"q\":";
+    WriteDouble(out, r.m.queue);
+    out << ",\"c\":";
+    WriteDouble(out, r.m.cost);
+    out << ",\"y_hat\":";
+    WriteDouble(out, r.m.y_hat);
+    out << ",\"y_meas\":";
+    if (r.m.has_y_measured) {
+      WriteDouble(out, r.m.y_measured);
+    } else {
+      out << "null";
+    }
+    out << ",\"e\":";
+    WriteDouble(out, e);
+    out << ",\"u\":";
+    WriteDouble(out, u);
+    out << ",\"v\":";
+    WriteDouble(out, r.v);
+    out << ",\"alpha\":";
+    WriteDouble(out, r.alpha);
+    out << ",\"loss\":";
+    WriteDouble(out, loss);
+    out << ",\"lateness\":";
+    WriteDouble(out, r.lateness);
+    out << "}\n";
+  }
+}
+
+std::string TimelineCsvPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "timeline.csv").string();
+}
+
+std::string TimelineJsonlPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "timeline.jsonl").string();
+}
+
+size_t WriteControlTimeline(const Recorder& recorder, const std::string& dir) {
+  std::ofstream csv(TimelineCsvPath(dir));
+  CS_CHECK_MSG(csv.good(), "cannot open timeline.csv");
+  recorder.WriteCsv(csv);
+
+  std::ofstream jsonl(TimelineJsonlPath(dir));
+  CS_CHECK_MSG(jsonl.good(), "cannot open timeline.jsonl");
+  WriteTimelineJsonl(recorder, jsonl);
+  return recorder.rows().size();
+}
+
+}  // namespace ctrlshed

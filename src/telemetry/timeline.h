@@ -1,0 +1,29 @@
+#ifndef CTRLSHED_TELEMETRY_TIMELINE_H_
+#define CTRLSHED_TELEMETRY_TIMELINE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "metrics/recorder.h"
+
+namespace ctrlshed {
+
+/// JSONL twin of Recorder::WriteCsv: one JSON object per control period
+/// with the same fields (k, t, yd, q, y_hat, e, u, v, alpha, loss,
+/// lateness, …). `y_meas` is null for periods with no departures.
+void WriteTimelineJsonl(const Recorder& recorder, std::ostream& out);
+
+/// Writes the control-loop timeline into `dir` as both timeline.csv
+/// (Recorder::WriteCsv) and timeline.jsonl. Returns the number of period
+/// rows written. Aborts if the files cannot be created (the directory
+/// must already exist — Telemetry::Open creates it).
+size_t WriteControlTimeline(const Recorder& recorder, const std::string& dir);
+
+/// Paths the timeline export uses inside `dir`.
+std::string TimelineCsvPath(const std::string& dir);
+std::string TimelineJsonlPath(const std::string& dir);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_TIMELINE_H_

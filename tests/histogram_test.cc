@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "metrics/histogram.h"
 
@@ -65,6 +67,59 @@ TEST(LatencyHistogramTest, ClampsOutOfRange) {
   EXPECT_EQ(h.count(), 2u);
   EXPECT_DOUBLE_EQ(h.max(), 1e6);
   EXPECT_GE(h.Quantile(1.0), 10.0);
+}
+
+TEST(LatencyHistogramTest, BucketEdgesAreLowerInclusive) {
+  // Layout 1,2,4,8,...: a value exactly on a bucket edge belongs to the
+  // bucket ABOVE the edge, so FractionAbove at an edge excludes it.
+  LatencyHistogram h(1.0, 64.0, 2.0);
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(4.0);
+  h.Record(8.0);
+  EXPECT_NEAR(h.FractionAbove(1.0), 0.75, 1e-12);
+  EXPECT_NEAR(h.FractionAbove(2.0), 0.50, 1e-12);
+  EXPECT_NEAR(h.FractionAbove(4.0), 0.25, 1e-12);
+  EXPECT_NEAR(h.FractionAbove(8.0), 0.0, 1e-12);
+  // A below-range threshold cuts at the underflow bucket: everything
+  // recorded in a real bucket counts as above.
+  EXPECT_NEAR(h.FractionAbove(0.5), 1.0, 1e-12);
+  h.Record(0.25);  // underflow bucket
+  EXPECT_NEAR(h.FractionAbove(0.5), 0.8, 1e-12);
+}
+
+TEST(LatencyHistogramTest, QuantileReturnsContainingBucketUpperEdge) {
+  LatencyHistogram h(1.0, 64.0, 2.0);
+  for (int i = 0; i < 99; ++i) h.Record(3.0);  // bucket [2, 4)
+  h.Record(5.0);                               // bucket [4, 8)
+  // The median falls in [2, 4): its upper edge is 4, below max = 5, so
+  // the bucket edge is reported verbatim.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  // The top quantile's bucket edge (8) exceeds the true max; the clamp
+  // keeps Quantile(1) at the exact max.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+}
+
+TEST(LatencyHistogramTest, UnderflowBucketReportsMinValueEdge) {
+  LatencyHistogram h(1.0, 64.0, 2.0);
+  for (int i = 0; i < 10; ++i) h.Record(0.01);  // all below range
+  h.Record(3.0);
+  // Median sits in the underflow bucket, whose upper edge is min_value.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketTrueValuesOnKnownData) {
+  // Deterministic 1..1000 ms ramp at 5% resolution: each reported
+  // percentile must be >= the true order statistic (it is a bucket upper
+  // edge) and <= one bucket-growth factor above it.
+  LatencyHistogram h(1e-3, 10.0, 1.05);
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double truth = std::ceil(q * 1000.0) * 1e-3;
+    const double reported = h.Quantile(q);
+    EXPECT_GE(reported, truth - 1e-12) << "q=" << q;
+    EXPECT_LE(reported, truth * 1.05 + 1e-12) << "q=" << q;
+  }
 }
 
 TEST(LatencyHistogramTest, MergeCombinesCounts) {

@@ -6,8 +6,15 @@
 #include "rt/rt_runtime.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "rt/rt_clock.h"
+#include "telemetry/timeline.h"
 
 namespace ctrlshed {
 namespace {
@@ -128,6 +135,87 @@ TEST(RtRuntimeTest, SetpointScheduleIsApplied) {
   }
   EXPECT_TRUE(saw_initial);
   EXPECT_TRUE(saw_changed);
+}
+
+TEST(RtRuntimeTest, JitterHistogramsAreAlwaysCollected) {
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kCtrl;
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 8.0;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  // No telemetry dir, yet the scheduling-jitter record is there: one
+  // sample per worker pump and one per control tick.
+  EXPECT_GT(r.pump_intervals.count(), 100u);
+  EXPECT_GT(r.actuation_lateness.count(), 4u);
+  EXPECT_GT(r.pump_intervals.Quantile(0.5), 0.0);
+  // Lateness is an overshoot: non-negative by construction.
+  EXPECT_GE(r.actuation_lateness.min(), 0.0);
+  // And telemetry stayed off.
+  EXPECT_EQ(r.trace_events, 0u);
+  EXPECT_EQ(r.timeline_rows, 0u);
+}
+
+TEST(RtRuntimeTest, TelemetryDirProducesTraceAndTimeline) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  dir += "ctrlshed_rt_telemetry_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kCtrl;
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 8.0;
+  cfg.base.telemetry.dir = dir;
+  cfg.base.telemetry.export_period_wall = 0.05;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  EXPECT_GT(r.trace_events, 0u);
+  EXPECT_GT(r.timeline_rows, 4u);
+  EXPECT_EQ(r.timeline_rows, r.recorder.rows().size());
+
+  // The Chrome trace carries spans from the worker, the controller, at
+  // least one source thread, and the main thread.
+  std::ifstream trace_in(dir + "/trace.json");
+  ASSERT_TRUE(trace_in.good());
+  std::ostringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  const std::string trace = trace_buf.str();
+  EXPECT_NE(trace.find("rt.worker"), std::string::npos);
+  EXPECT_NE(trace.find("rt.controller"), std::string::npos);
+  EXPECT_NE(trace.find("rt.source0"), std::string::npos);
+  EXPECT_NE(trace.find("\"main\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pump\""), std::string::npos);
+  EXPECT_NE(trace.find("control_tick"), std::string::npos);
+
+  // The timeline CSV has the header plus one row per control period, with
+  // the control signals the analysis scripts need.
+  std::ifstream csv_in(TimelineCsvPath(dir));
+  ASSERT_TRUE(csv_in.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(csv_in, header));
+  for (const char* col : {"q", "y_hat", "e", "u", "v", "alpha"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(csv_in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, r.timeline_rows);
+
+  // metrics.jsonl saw at least one periodic snapshot plus the final flush.
+  std::ifstream metrics_in(dir + "/metrics.jsonl");
+  ASSERT_TRUE(metrics_in.good());
+  std::ostringstream metrics_buf;
+  metrics_buf << metrics_in.rdbuf();
+  EXPECT_NE(metrics_buf.str().find("rt.pump_interval_s"), std::string::npos);
+  EXPECT_NE(metrics_buf.str().find("rt.actuation_lateness_s"),
+            std::string::npos);
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST(RtRuntimeDeathTest, RejectsSimOnlyKnobs) {

@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/recorder.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/timeline.h"
+#include "telemetry/tracer.h"
+
+namespace ctrlshed {
+namespace {
+
+// Minimal JSON well-formedness checker: validates balanced structure,
+// string escaping, and literal/number syntax. Enough to catch a malformed
+// writer without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't' && e != 'u') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::strtod(s_.c_str() + start, &end);
+    return end == s_.c_str() + pos_;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string TempDir(const char* tag) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  dir += "ctrlshed_telemetry_";
+  dir += tag;
+  dir += "_";
+  dir += std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TracerTest, SpansRoundTripThroughTheRing) {
+  Tracer tracer(/*buffer_capacity=*/64);
+  TraceBuffer* buf = tracer.RegisterThread("main");
+  ASSERT_NE(buf, nullptr);
+  { ScopedSpan span(buf, "work"); }
+  buf->Instant("marker");
+  tracer.Drain();
+  ASSERT_EQ(buf->collected().size(), 2u);
+  EXPECT_STREQ(buf->collected()[0].name, "work");
+  EXPECT_GE(buf->collected()[0].dur_us, 0);
+  EXPECT_STREQ(buf->collected()[1].name, "marker");
+  EXPECT_LT(buf->collected()[1].dur_us, 0);  // instant marker
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(TracerTest, NullBufferSpanIsANoOp) {
+  // The disabled path: ScopedSpan on a null buffer must not touch anything.
+  ScopedSpan span(nullptr, "ignored");
+}
+
+TEST(TracerTest, FullRingDropsAndCounts) {
+  Tracer tracer(/*buffer_capacity=*/8);
+  TraceBuffer* buf = tracer.RegisterThread("noisy");
+  const int emitted = 100;
+  for (int i = 0; i < emitted; ++i) buf->Emit({"e", i, 1});
+  tracer.Drain();
+  EXPECT_EQ(buf->collected().size() + buf->dropped(),
+            static_cast<size_t>(emitted));
+  EXPECT_GT(buf->dropped(), 0u);
+}
+
+TEST(TracerTest, TwoThreadStressAccountsForEveryEvent) {
+  // Two producer threads hammer small rings while this thread drains
+  // concurrently; at the end, collected + dropped == emitted, per thread.
+  Tracer tracer(/*buffer_capacity=*/32);
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<TraceBuffer*> bufs(2, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      TraceBuffer* buf = tracer.RegisterThread("worker" + std::to_string(t));
+      bufs[t] = buf;
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span(buf, "stress");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Concurrent drains exercise the SPSC consumer side against live
+  // producers.
+  for (int i = 0; i < 50; ++i) {
+    tracer.Drain();
+    std::this_thread::yield();
+  }
+  for (auto& th : threads) th.join();
+  tracer.Drain();  // final drain after quiesce
+
+  uint64_t collected = 0;
+  uint64_t dropped = 0;
+  for (TraceBuffer* buf : bufs) {
+    ASSERT_NE(buf, nullptr);
+    collected += buf->collected().size();
+    dropped += buf->dropped();
+  }
+  EXPECT_EQ(collected + dropped, 2u * kPerThread);
+  EXPECT_GT(collected, 0u);
+  EXPECT_EQ(tracer.collected_events(), collected);
+  EXPECT_EQ(tracer.dropped_events(), dropped);
+}
+
+TEST(TracerTest, ChromeTraceIsWellFormedJson) {
+  Tracer tracer(/*buffer_capacity=*/16);
+  TraceBuffer* buf = tracer.RegisterThread("na\"me\\with\nescapes");
+  { ScopedSpan span(buf, "span_a"); }
+  buf->Instant("instant_b");
+  for (int i = 0; i < 40; ++i) buf->Emit({"overflow", i, 1});  // force drops
+  std::ostringstream out;
+  tracer.WriteChromeTrace(out);
+  const std::string json = out.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // drop counter
+  EXPECT_NE(json.find("span_a"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GetIsIdempotentAndStable) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events");
+  EXPECT_EQ(reg.GetCounter("events"), c);
+  c->Add(3);
+  c->Add();
+  EXPECT_EQ(c->Value(), 4u);
+
+  Gauge* g = reg.GetGauge("level");
+  EXPECT_EQ(reg.GetGauge("level"), g);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+
+  HistogramMetric* h = reg.GetHistogram("lat");
+  EXPECT_EQ(reg.GetHistogram("lat"), h);
+  h->Record(0.5);
+  h->Record(1.5);
+  const LatencyHistogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1.0);
+}
+
+TEST(MetricsRegistryTest, JsonLineIsWellFormedAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.GetCounter("pumps")->Add(42);
+  reg.GetGauge("alpha")->Set(0.25);
+  reg.GetHistogram("lateness")->Record(0.001);
+  std::ostringstream out;
+  reg.WriteJsonLine(1.5, out);
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  JsonChecker checker(line);
+  EXPECT_TRUE(checker.Valid()) << line;
+  EXPECT_NE(line.find("\"pumps\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(line.find("\"lateness\""), std::string::npos);
+  EXPECT_NE(line.find("\"p99\""), std::string::npos);
+}
+
+TEST(TelemetryTest, DisabledWhenDirEmpty) {
+  TelemetryOptions options;  // dir empty
+  EXPECT_EQ(Telemetry::Open(options), nullptr);
+}
+
+TEST(TelemetryTest, SessionWritesTraceAndMetricsFiles) {
+  TelemetryOptions options;
+  options.dir = TempDir("session");
+  options.export_period_wall = 0.01;
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(options);
+  ASSERT_NE(telemetry, nullptr);
+
+  TraceBuffer* buf = telemetry->RegisterThread("test_main");
+  ASSERT_NE(buf, nullptr);
+  { ScopedSpan span(buf, "unit_of_work"); }
+  telemetry->metrics()->GetCounter("test.count")->Add(7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  telemetry->Stop();
+  telemetry->Stop();  // idempotent
+
+  EXPECT_GE(telemetry->trace_events(), 1u);
+  EXPECT_EQ(telemetry->trace_dropped(), 0u);
+
+  const std::string trace = ReadFile(telemetry->trace_path());
+  JsonChecker trace_checker(trace);
+  EXPECT_TRUE(trace_checker.Valid());
+  EXPECT_NE(trace.find("unit_of_work"), std::string::npos);
+  EXPECT_NE(trace.find("test_main"), std::string::npos);
+
+  const std::string metrics = ReadFile(telemetry->metrics_path());
+  std::istringstream lines(metrics);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    JsonChecker line_checker(line);
+    EXPECT_TRUE(line_checker.Valid()) << line;
+    ++n;
+  }
+  EXPECT_GE(n, 1);
+  EXPECT_NE(metrics.find("test.count"), std::string::npos);
+
+  std::filesystem::remove_all(options.dir);
+}
+
+TEST(TelemetryTest, TraceOffStillExportsMetrics) {
+  TelemetryOptions options;
+  options.dir = TempDir("notrace");
+  options.trace = false;
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(options);
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->RegisterThread("anything"), nullptr);
+  EXPECT_EQ(telemetry->tracer(), nullptr);
+  telemetry->metrics()->GetGauge("g")->Set(1.0);
+  telemetry->Stop();
+  EXPECT_EQ(telemetry->trace_events(), 0u);
+  EXPECT_FALSE(ReadFile(telemetry->metrics_path()).empty());
+  std::filesystem::remove_all(options.dir);
+}
+
+Recorder MakeRecorder() {
+  Recorder r;
+  PeriodMeasurement m;
+  m.k = 1;
+  m.t = 1.0;
+  m.period = 1.0;
+  m.target_delay = 2.0;
+  m.fin = 100.0;
+  m.fin_forecast = 110.0;
+  m.admitted = 80.0;
+  m.fout = 75.0;
+  m.queue = 12.0;
+  m.cost = 0.005;
+  m.y_hat = 1.75;
+  m.y_measured = 1.8;
+  m.has_y_measured = true;
+  r.Record(m, 85.0, 0.2, 0.001);
+  m.k = 2;
+  m.t = 2.0;
+  m.has_y_measured = false;  // lull: y_meas should export as null/nan
+  r.Record(m, 90.0, 0.1);
+  return r;
+}
+
+TEST(TimelineTest, JsonlRowsAreWellFormedAndCarryControlSignals) {
+  const Recorder r = MakeRecorder();
+  std::ostringstream out;
+  WriteTimelineJsonl(r, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    JsonChecker checker(line);
+    EXPECT_TRUE(checker.Valid()) << line;
+    for (const char* key : {"\"k\"", "\"q\"", "\"y_hat\"", "\"e\"", "\"u\"",
+                            "\"v\"", "\"alpha\"", "\"loss\"", "\"lateness\""}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+  // Derived signals of row 1: e = yd - y_hat = 0.25; u = v - fout = 10.
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"e\":0.25"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"u\":10"), std::string::npos) << text;
+  // Row 2 has no departures: y_meas must be JSON null.
+  EXPECT_NE(text.find("\"y_meas\":null"), std::string::npos) << text;
+}
+
+TEST(TimelineTest, WriteControlTimelineProducesBothFiles) {
+  const Recorder r = MakeRecorder();
+  const std::string dir = TempDir("timeline");
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(WriteControlTimeline(r, dir), 2u);
+  const std::string csv = ReadFile(TimelineCsvPath(dir));
+  EXPECT_NE(csv.find("k,t,"), std::string::npos);
+  EXPECT_NE(csv.find("lateness"), std::string::npos);
+  const std::string jsonl = ReadFile(TimelineJsonlPath(dir));
+  EXPECT_NE(jsonl.find("\"y_hat\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ctrlshed

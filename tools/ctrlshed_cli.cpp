@@ -13,8 +13,10 @@
 //   ctrlshed trace kind=web duration=400 seed=42 > web.trace
 //   ctrlshed design poles=0.7
 //
-// All values are plain key=value tokens; unknown keys abort with a message
-// listing the valid ones.
+// All values are plain key=value tokens; GNU-style spellings are accepted
+// too (`--telemetry-dir out/` and `--telemetry-dir=out/` both mean
+// `telemetry_dir=out/`). Unknown keys abort with a message listing the
+// valid ones.
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +41,24 @@ using Args = std::map<std::string, std::string>;
 Args ParseArgs(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
-    const std::string tok = argv[i];
+    std::string tok = argv[i];
+    const bool dashed = tok.rfind("--", 0) == 0;
+    if (dashed) {
+      // GNU spelling: strip the dashes, map '-' to '_', allow the value
+      // as either `--key=value` or the next token.
+      tok = tok.substr(2);
+      for (char& c : tok) {
+        if (c == '-') c = '_';
+      }
+      if (tok.find('=') == std::string::npos) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option --%s needs a value\n", tok.c_str());
+          std::exit(2);
+        }
+        args[tok] = argv[++i];
+        continue;
+      }
+    }
     const size_t eq = tok.find('=');
     if (eq == std::string::npos || eq == 0) {
       std::fprintf(stderr, "expected key=value, got '%s'\n", tok.c_str());
@@ -122,9 +141,22 @@ int WriteRecorder(const Recorder& recorder, const std::string& trace_out) {
     std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
     return 1;
   }
-  recorder.Write(out);
+  // .csv extension selects the machine-readable writer.
+  if (trace_out.size() >= 4 &&
+      trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0) {
+    recorder.WriteCsv(out);
+  } else {
+    recorder.Write(out);
+  }
   std::printf("per-period trace written to %s\n", trace_out.c_str());
   return 0;
+}
+
+void PrintTelemetryPaths(const std::string& dir) {
+  if (dir.empty()) return;
+  std::printf("telemetry written to %s: trace.json (open in Perfetto), "
+              "metrics.jsonl, timeline.csv, timeline.jsonl\n",
+              dir.c_str());
 }
 
 int CmdRun(Args args) {
@@ -146,11 +178,13 @@ int CmdRun(Args args) {
   cfg.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
   const double poles = GetDouble(args, "poles", 0.7);
   cfg.gains = DesignPolePlacement(poles, poles);
+  cfg.telemetry.dir = GetString(args, "telemetry_dir", "");
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
   ExperimentResult r = RunExperiment(cfg);
   PrintSummary(r.summary);
+  PrintTelemetryPaths(cfg.telemetry.dir);
   return WriteRecorder(r.recorder, trace_out);
 }
 
@@ -177,6 +211,7 @@ int CmdRt(Args args) {
   cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
+  cfg.base.telemetry.dir = GetString(args, "telemetry_dir", "");
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
@@ -189,6 +224,22 @@ int CmdRt(Args args) {
   std::printf("ring drops         %llu\n",
               static_cast<unsigned long long>(r.ring_dropped));
   std::printf("wall time          %.2f s\n", r.wall_seconds);
+  std::printf("pump interval      p50/p95/p99 %.3f / %.3f / %.3f ms\n",
+              r.pump_intervals.Quantile(0.50) * 1e3,
+              r.pump_intervals.Quantile(0.95) * 1e3,
+              r.pump_intervals.Quantile(0.99) * 1e3);
+  std::printf("actuation lateness p50/p95/p99 %.3f / %.3f / %.3f ms\n",
+              r.actuation_lateness.Quantile(0.50) * 1e3,
+              r.actuation_lateness.Quantile(0.95) * 1e3,
+              r.actuation_lateness.Quantile(0.99) * 1e3);
+  if (!cfg.base.telemetry.dir.empty()) {
+    std::printf("trace events       %llu captured, %llu dropped; "
+                "%llu timeline rows\n",
+                static_cast<unsigned long long>(r.trace_events),
+                static_cast<unsigned long long>(r.trace_dropped),
+                static_cast<unsigned long long>(r.timeline_rows));
+    PrintTelemetryPaths(cfg.base.telemetry.dir);
+  }
   return WriteRecorder(r.recorder, trace_out);
 }
 
@@ -237,13 +288,21 @@ void PrintHelp() {
       "                  [capacity=190] [rate=150] [beta=1.0] [poles=0.7]\n"
       "                  [vary_cost=0|1] [queue_shed=0|1] [noise=0]\n"
       "                  [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
+      "                  [telemetry_dir=DIR]\n"
       "  ctrlshed rt     [method=...] [workload=...] [duration=60] [T=1]\n"
       "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
       "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
-      "                  [seed=42] [trace_out=FILE]\n"
+      "                  [seed=42] [trace_out=FILE] [telemetry_dir=DIR]\n"
       "                  (wall-clock threaded runtime; compress = trace\n"
       "                  seconds replayed per wall second)\n"
+      "\n"
+      "  telemetry_dir=DIR (or --telemetry-dir DIR) writes trace.json\n"
+      "  (Chrome trace-event JSON; open in Perfetto), metrics.jsonl\n"
+      "  (periodic metric snapshots), and timeline.csv/.jsonl (per-period\n"
+      "  q, y_hat, e, u, v, alpha, loss, lateness) into DIR.\n"
+      "  trace_out=FILE writes the per-period table (CSV if FILE ends in\n"
+      "  .csv).\n"
       "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
       "                  [beta=1.0] [seed=42]            (trace to stdout)\n"
       "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
