@@ -10,12 +10,26 @@
 // pass compress=1 for a true real-time hour-of-the-day soak.
 //
 //   rt_soak [duration=60] [compress=15] [yd=2] [overload=2] [seed=42]
-//           [telemetry_dir=DIR]
+//           [workers=1] [telemetry_dir=DIR]
+//
+// workers=N shards the plant across N engine workers under one aggregate
+// feedback loop. `overload` stays defined against ONE worker's capacity,
+// so the same trace feeds every N: workers=4 overload=8 is a 2x overload
+// of the aggregate. With workers > 1 the soak first replays the identical
+// trace at workers=1 and prints the comparison — the sharded run must
+// shed measurably less (or process measurably more) than the single
+// worker it outgrew, plus a per-shard drop/loss breakdown.
 //
 // Exit status 0 iff the converged mean delay estimate is within ±20% of
-// the setpoint. The summary includes the latency-jitter report: pump
-// interval and actuation-lateness percentiles (p50/p95/p99), quantifying
-// the thread-scheduling noise the rt runtime adds over the sim.
+// the setpoint over the overloaded periods (fin >= N x capacity). When
+// the trace never overloads the aggregate (fewer than 8 such periods —
+// e.g. workers=4 overload=2), the gate degrades gracefully: the delay
+// estimate must simply stay at or below the setpoint band (an unloaded
+// shedder cannot create delay), and with workers > 1 the N-vs-1
+// improvement must still hold. The summary includes the latency-jitter
+// report: pump interval and actuation-lateness percentiles (p50/p95/p99),
+// quantifying the thread-scheduling noise the rt runtime adds over the
+// sim.
 
 #include <cmath>
 #include <cstdio>
@@ -60,6 +74,28 @@ void PrintJitter(const char* label, const LatencyHistogram& h) {
               static_cast<unsigned long long>(h.count()));
 }
 
+void PrintShardBreakdown(const RtRunResult& r) {
+  std::printf("\nper-shard breakdown (%d workers):\n", r.workers);
+  for (size_t i = 0; i < r.shards.size(); ++i) {
+    const RtShardSummary& s = r.shards[i];
+    const uint64_t dropped = s.entry_shed + s.ring_dropped + s.shed_lineages;
+    const double loss =
+        s.offered > 0
+            ? static_cast<double>(dropped) / static_cast<double>(s.offered)
+            : 0.0;
+    std::printf("  shard %zu: offered %llu, entry_shed %llu, ring_drop %llu, "
+                "in_net %llu (loss %.3f), departed %llu, "
+                "pump p50/p99 %.3f/%.3f ms\n",
+                i, static_cast<unsigned long long>(s.offered),
+                static_cast<unsigned long long>(s.entry_shed),
+                static_cast<unsigned long long>(s.ring_dropped),
+                static_cast<unsigned long long>(s.shed_lineages), loss,
+                static_cast<unsigned long long>(s.departed),
+                s.pump_intervals.Quantile(0.50) * 1e3,
+                s.pump_intervals.Quantile(0.99) * 1e3);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,25 +106,55 @@ int main(int argc, char** argv) {
   const double yd = Arg(argc, argv, "yd", 2.0);
   const double overload = Arg(argc, argv, "overload", 2.0);
   const uint64_t seed = static_cast<uint64_t>(Arg(argc, argv, "seed", 42.0));
+  const double workers_raw = Arg(argc, argv, "workers", 1.0);
+  if (workers_raw < 1.0 || workers_raw > 64.0 ||
+      workers_raw != std::floor(workers_raw)) {
+    std::fprintf(stderr, "workers must be an integer in [1, 64]\n");
+    return 2;
+  }
+  const int workers = static_cast<int>(workers_raw);
 
   RtRunConfig cfg;
   cfg.base.method = Method::kCtrl;
   cfg.base.workload = WorkloadKind::kWeb;
   // The Fig. 13 web workload, rescaled so its long-run mean is a sustained
-  // `overload` multiple of the engine's capacity threshold.
+  // `overload` multiple of ONE worker's capacity threshold (the trace is
+  // the same for every workers=N, so runs are comparable).
   cfg.base.web.mean_rate = overload * cfg.base.capacity_rate;
   cfg.base.duration = duration;
   cfg.base.target_delay = yd;
   cfg.base.seed = seed;
   cfg.time_compression = compress;
+  cfg.workers = workers;
   cfg.base.telemetry.dir = StrArg(argc, argv, "telemetry_dir", "");
 
-  std::printf("workload: web trace, mean %.0f t/s vs capacity %.0f t/s "
-              "(%.1fx overload)\n",
-              cfg.base.web.mean_rate, cfg.base.capacity_rate, overload);
+  const double agg_capacity =
+      static_cast<double>(workers) * cfg.base.capacity_rate;
+  std::printf("workload: web trace, mean %.0f t/s vs %d x %.0f t/s capacity "
+              "(%.1fx overload of the aggregate)\n",
+              cfg.base.web.mean_rate, workers, cfg.base.capacity_rate,
+              cfg.base.web.mean_rate / agg_capacity);
   std::printf("replaying %.0f trace seconds at %gx compression "
               "(~%.1f wall s), T = %.1f s, yd = %.1f s\n\n",
               duration, compress, duration / compress, cfg.base.period, yd);
+
+  // The single-worker yardstick: with workers > 1, first replay the same
+  // trace against one worker so the sharded run has something to beat.
+  RtRunResult single;
+  if (workers > 1) {
+    RtRunConfig one = cfg;
+    one.workers = 1;
+    one.base.telemetry.dir = "";
+    std::printf("comparison run: workers=1 on the same trace ...\n");
+    single = RunRtExperiment(one);
+    std::printf("  workers=1: offered %llu, shed %llu (loss %.3f), "
+                "departures %llu, mean delay %.3f s\n\n",
+                static_cast<unsigned long long>(single.summary.offered),
+                static_cast<unsigned long long>(single.summary.shed),
+                single.summary.loss_ratio,
+                static_cast<unsigned long long>(single.summary.departures),
+                single.summary.mean_delay);
+  }
 
   RtRunResult r = RunRtExperiment(cfg);
 
@@ -111,9 +177,13 @@ int main(int argc, char** argv) {
   double sum = 0.0;
   int n = 0;
   int lulls = 0;
+  double sum_all = 0.0;
+  int n_all = 0;
   for (const PeriodRecord& row : r.recorder.rows()) {
     if (row.m.k <= kConvergedAfter) continue;
-    if (row.m.fin < cfg.base.capacity_rate) {
+    sum_all += row.m.y_hat;
+    ++n_all;
+    if (row.m.fin < agg_capacity) {
       ++lulls;
       continue;
     }
@@ -122,6 +192,7 @@ int main(int argc, char** argv) {
   }
   const double mean_yhat = n > 0 ? sum / n : 0.0;
   const double rel_err = std::abs(mean_yhat - yd) / yd;
+  const double mean_yhat_all = n_all > 0 ? sum_all / n_all : 0.0;
 
   std::printf("\n");
   std::printf("offered %llu, shed %llu (loss %.3f), departures %llu, "
@@ -135,6 +206,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.ring_dropped));
   std::printf("wall time           %.2f s (%.0fx real time)\n",
               r.wall_seconds, duration / r.wall_seconds);
+  if (workers > 1) PrintShardBreakdown(r);
 
   // Latency-jitter report: how noisily the threads hit their wall-clock
   // marks. Pump interval should sit near the 0.5 ms pacing; actuation
@@ -154,9 +226,39 @@ int main(int argc, char** argv) {
               "%d overloaded periods, %d lulls excluded)\n",
               mean_yhat, yd, 100.0 * rel_err, n, lulls);
 
-  const bool pass = n >= 8 && rel_err <= 0.20;
-  std::printf("%s: converged delay within +/-20%% of setpoint under "
-              "overload\n",
-              pass ? "PASS" : "FAIL");
+  // Tracking gate. With >= 8 overloaded periods the converged estimate
+  // must sit within +/-20% of the setpoint; a trace that never overloads
+  // the aggregate (sharded headroom swallowed the burst) must instead
+  // keep the estimate at or below the setpoint band.
+  bool pass;
+  if (n >= 8) {
+    pass = rel_err <= 0.20;
+    std::printf("%s: converged delay within +/-20%% of setpoint under "
+                "overload\n",
+                pass ? "PASS" : "FAIL");
+  } else {
+    pass = n_all >= 8 && mean_yhat_all <= 1.2 * yd;
+    std::printf("%s: aggregate never overloaded (%d overloaded periods); "
+                "mean y %.3f s stays at or below the setpoint band\n",
+                pass ? "PASS" : "FAIL", n, mean_yhat_all);
+  }
+
+  // Sharding dividend gate: on the same trace, N workers must shed
+  // measurably less or process measurably more than one.
+  if (workers > 1) {
+    const bool sheds_less =
+        r.summary.loss_ratio + 0.02 < single.summary.loss_ratio;
+    const bool processes_more =
+        static_cast<double>(r.summary.departures) >
+        1.05 * static_cast<double>(single.summary.departures);
+    const bool improved = sheds_less || processes_more;
+    std::printf("%s: workers=%d vs workers=1 — loss %.3f vs %.3f, "
+                "departures %llu vs %llu\n",
+                improved ? "PASS" : "FAIL", workers, r.summary.loss_ratio,
+                single.summary.loss_ratio,
+                static_cast<unsigned long long>(r.summary.departures),
+                static_cast<unsigned long long>(single.summary.departures));
+    pass = pass && improved;
+  }
   return pass ? 0 : 1;
 }

@@ -1,26 +1,32 @@
 #include "control/monitor.h"
 
-#include <algorithm>
-
 #include "common/macros.h"
 
 namespace ctrlshed {
 
-Monitor::Monitor(Engine* engine, MonitorOptions options)
-    : engine_(engine), options_(options), noise_rng_(options.noise_seed) {
-  CS_CHECK(engine_ != nullptr);
-  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
-  CS_CHECK_MSG(options_.headroom > 0.0 && options_.headroom <= 1.0,
-               "headroom must be in (0,1]");
-  CS_CHECK_MSG(options_.cost_ewma > 0.0 && options_.cost_ewma <= 1.0,
-               "cost_ewma must be in (0,1]");
-  CS_CHECK_MSG(options_.headroom_ewma > 0.0 && options_.headroom_ewma <= 1.0,
-               "headroom_ewma must be in (0,1]");
-  // Until the first measurement arrives, fall back to the static estimate
-  // (Borealis can always compute this from its cost x selectivity catalog).
-  cost_estimate_ = engine_->NominalEntryCost();
-  headroom_estimate_ = options_.headroom;
+namespace {
+PeriodMathOptions ToMathOptions(const MonitorOptions& o) {
+  PeriodMathOptions mo;
+  mo.period = o.period;
+  mo.headroom = o.headroom;
+  mo.max_headroom = 1.0;  // one worker owns the whole plant here
+  mo.cost_ewma = o.cost_ewma;
+  mo.adapt_headroom = o.adapt_headroom;
+  mo.headroom_ewma = o.headroom_ewma;
+  return mo;
 }
+
+double CheckedNominalCost(Engine* engine) {
+  CS_CHECK(engine != nullptr);
+  return engine->NominalEntryCost();
+}
+}  // namespace
+
+Monitor::Monitor(Engine* engine, MonitorOptions options)
+    : engine_(engine),
+      options_(options),
+      noise_rng_(options.noise_seed),
+      math_(CheckedNominalCost(engine), ToMathOptions(options)) {}
 
 void Monitor::OnDeparture(const Departure& d) {
   delay_sum_ += d.depart_time - d.arrival_time;
@@ -30,64 +36,28 @@ void Monitor::OnDeparture(const Departure& d) {
 PeriodMeasurement Monitor::Sample(SimTime now, uint64_t offered_cum,
                                   double target_delay) {
   const EngineCounters& c = engine_->counters();
-  const double T = options_.period;
 
-  PeriodMeasurement m;
-  m.k = ++k_;
-  m.t = now;
-  m.period = T;
-  m.target_delay = target_delay;
+  PeriodCounters pc;
+  pc.now = now;
+  pc.offered = offered_cum;
+  pc.admitted = c.admitted;
+  pc.drained_base_load = c.drained_base_load;
+  pc.busy_seconds = c.busy_seconds;
+  pc.queue = engine_->VirtualQueueLength();
+  pc.delay_sum = delay_sum_;
+  pc.delay_count = delay_count_;
 
-  CS_CHECK_MSG(offered_cum >= prev_offered_, "offered counter went backwards");
-  m.fin = static_cast<double>(offered_cum - prev_offered_) / T;
-  m.fin_forecast = m.fin;  // the loop overrides this when a predictor is set
-  m.admitted = static_cast<double>(c.admitted - prev_admitted_) / T;
+  // The sim samples on the event heap at exact boundaries: the period's
+  // actual span IS the nominal T.
+  PeriodMeasurement m =
+      options_.estimation_noise > 0.0
+          ? math_.Sample(pc, target_delay, options_.period, [this] {
+              return noise_rng_.LogNormal(0.0, options_.estimation_noise);
+            })
+          : math_.Sample(pc, target_delay, options_.period);
 
-  const double nominal = engine_->NominalEntryCost();
-  const double drained = c.drained_base_load - prev_drained_;
-  const double busy = c.busy_seconds - prev_busy_;
-  m.fout = drained / nominal / T;
-
-  // Measured per-tuple cost: CPU seconds consumed per entry-tuple
-  // equivalent drained. Only meaningful when enough work was processed.
-  if (drained > nominal) {
-    double measured = nominal * busy / drained;
-    if (options_.estimation_noise > 0.0) {
-      measured *= noise_rng_.LogNormal(0.0, options_.estimation_noise);
-    }
-    cost_estimate_ = options_.cost_ewma * measured +
-                     (1.0 - options_.cost_ewma) * cost_estimate_;
-  }
-  m.cost = cost_estimate_;
-
-  m.queue = engine_->VirtualQueueLength();
-
-  // Online headroom estimate: when there was queued work at both ends of
-  // the period the CPU never idled, so its work done per wall second
-  // equals the true headroom.
-  if (options_.adapt_headroom && m.queue > 1.0 && prev_queue_ > 1.0 &&
-      busy > 0.0) {
-    const double measured_h = std::min(1.0, busy / T);
-    headroom_estimate_ = options_.headroom_ewma * measured_h +
-                         (1.0 - options_.headroom_ewma) * headroom_estimate_;
-  }
-  prev_queue_ = m.queue;
-
-  const double h =
-      options_.adapt_headroom ? headroom_estimate_ : options_.headroom;
-  m.y_hat = (m.queue + 1.0) * m.cost / h;
-
-  if (delay_count_ > 0) {
-    m.y_measured = delay_sum_ / static_cast<double>(delay_count_);
-    m.has_y_measured = true;
-  }
   delay_sum_ = 0.0;
   delay_count_ = 0;
-
-  prev_offered_ = offered_cum;
-  prev_admitted_ = c.admitted;
-  prev_drained_ = c.drained_base_load;
-  prev_busy_ = c.busy_seconds;
   return m;
 }
 

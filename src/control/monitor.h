@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "control/controller.h"
+#include "control/period_math.h"
 #include "engine/engine.h"
 
 namespace ctrlshed {
@@ -41,7 +42,9 @@ struct MonitorOptions {
 ///   y_hat(k) = q(k) c(k)/H + c(k)/H                      (Eq. 11)
 ///
 /// from the virtual queue length — the paper's answer to the delay signal
-/// not being measurable in real time (Section 4.5.1).
+/// not being measurable in real time (Section 4.5.1). The measurement
+/// math itself lives in control/period_math.h, shared with the rt
+/// runtime's RtMonitor; this class binds it to a sim Engine.
 class Monitor {
  public:
   /// `engine` must outlive the monitor.
@@ -59,11 +62,11 @@ class Monitor {
                            double target_delay);
 
   /// Current smoothed per-tuple cost estimate (seconds).
-  double CostEstimate() const { return cost_estimate_; }
+  double CostEstimate() const { return math_.CostEstimate(); }
 
   /// Headroom in use for the delay estimate: the configured value, or the
   /// online estimate when `adapt_headroom` is set.
-  double HeadroomEstimate() const { return headroom_estimate_; }
+  double HeadroomEstimate() const { return math_.HeadroomEstimate(); }
 
   const MonitorOptions& options() const { return options_; }
 
@@ -71,15 +74,7 @@ class Monitor {
   Engine* engine_;
   MonitorOptions options_;
   Rng noise_rng_;
-
-  int k_ = 0;
-  uint64_t prev_offered_ = 0;
-  uint64_t prev_admitted_ = 0;
-  double prev_drained_ = 0.0;
-  double prev_busy_ = 0.0;
-  double prev_queue_ = 0.0;
-  double cost_estimate_ = 0.0;
-  double headroom_estimate_ = 0.0;
+  PeriodMath math_;
 
   // Departure accumulation since the last sample.
   double delay_sum_ = 0.0;

@@ -1,0 +1,85 @@
+#include "control/period_math.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+PeriodMath::PeriodMath(double nominal_entry_cost, PeriodMathOptions options)
+    : nominal_entry_cost_(nominal_entry_cost), options_(options) {
+  CS_CHECK_MSG(nominal_entry_cost_ > 0.0, "nominal cost must be positive");
+  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+  CS_CHECK_MSG(options_.max_headroom >= 1.0, "max headroom must be >= 1");
+  CS_CHECK_MSG(
+      options_.headroom > 0.0 && options_.headroom <= options_.max_headroom,
+      "headroom must be in (0, max_headroom]");
+  CS_CHECK_MSG(options_.cost_ewma > 0.0 && options_.cost_ewma <= 1.0,
+               "cost_ewma must be in (0,1]");
+  CS_CHECK_MSG(options_.headroom_ewma > 0.0 && options_.headroom_ewma <= 1.0,
+               "headroom_ewma must be in (0,1]");
+  // Until the first measurement arrives, fall back to the static estimate
+  // (Borealis can always compute this from its cost x selectivity catalog).
+  cost_estimate_ = nominal_entry_cost_;
+  headroom_estimate_ = options_.headroom;
+}
+
+PeriodMeasurement PeriodMath::Sample(const PeriodCounters& c,
+                                     double target_delay, double elapsed,
+                                     const std::function<double()>& cost_noise) {
+  CS_CHECK_MSG(elapsed > 0.0, "elapsed time must be positive");
+  CS_CHECK_MSG(c.offered >= prev_offered_, "offered counter went backwards");
+
+  PeriodMeasurement m;
+  m.k = ++k_;
+  m.t = c.now;
+  m.period = options_.period;
+  m.target_delay = target_delay;
+
+  m.fin = static_cast<double>(c.offered - prev_offered_) / elapsed;
+  m.fin_forecast = m.fin;  // the loop overrides this when a predictor is set
+  m.admitted = static_cast<double>(c.admitted - prev_admitted_) / elapsed;
+
+  const double drained = c.drained_base_load - prev_drained_;
+  const double busy = c.busy_seconds - prev_busy_;
+  m.fout = drained / nominal_entry_cost_ / elapsed;
+
+  // Measured per-tuple cost: CPU seconds consumed per entry-tuple
+  // equivalent drained. Only meaningful when enough work was processed.
+  if (drained > nominal_entry_cost_) {
+    double measured = nominal_entry_cost_ * busy / drained;
+    if (cost_noise) measured *= cost_noise();
+    cost_estimate_ = options_.cost_ewma * measured +
+                     (1.0 - options_.cost_ewma) * cost_estimate_;
+  }
+  m.cost = cost_estimate_;
+
+  m.queue = c.queue;
+
+  // Online headroom estimate: with queued work at both ends of the period
+  // the CPU never idled, so work done per trace second IS the headroom.
+  if (options_.adapt_headroom && m.queue > 1.0 && prev_queue_ > 1.0 &&
+      busy > 0.0) {
+    const double measured_h = std::min(options_.max_headroom, busy / elapsed);
+    headroom_estimate_ = options_.headroom_ewma * measured_h +
+                         (1.0 - options_.headroom_ewma) * headroom_estimate_;
+  }
+  prev_queue_ = m.queue;
+
+  const double h =
+      options_.adapt_headroom ? headroom_estimate_ : options_.headroom;
+  m.y_hat = (m.queue + 1.0) * m.cost / h;
+
+  if (c.delay_count > 0) {
+    m.y_measured = c.delay_sum / static_cast<double>(c.delay_count);
+    m.has_y_measured = true;
+  }
+
+  prev_offered_ = c.offered;
+  prev_admitted_ = c.admitted;
+  prev_drained_ = c.drained_base_load;
+  prev_busy_ = c.busy_seconds;
+  return m;
+}
+
+}  // namespace ctrlshed

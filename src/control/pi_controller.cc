@@ -11,7 +11,8 @@ PiController::PiController(double headroom)
 
 PiController::PiController(double headroom, Gains gains, bool anti_windup)
     : headroom_(headroom), gains_(gains), anti_windup_(anti_windup) {
-  CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
+  // > 1 is legal: sharded plants aggregate to an effective headroom N*H.
+  CS_CHECK_MSG(headroom_ > 0.0, "headroom must be positive");
   CS_CHECK_MSG(gains_.kp > 0.0 && gains_.ki >= 0.0, "bad PI gains");
 }
 

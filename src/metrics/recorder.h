@@ -2,6 +2,7 @@
 #define CTRLSHED_METRICS_RECORDER_H_
 
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -19,6 +20,10 @@ struct PeriodRecord {
   /// simulation (ticks fire exactly on the event heap); the rt loop
   /// records its scheduling jitter here.
   double lateness = 0.0;
+  /// Per-shard virtual queue lengths at the sample (sums to m.queue).
+  /// Empty for unsharded runs — the sim loop and the N = 1 rt loop — so
+  /// their exports stay byte-identical.
+  std::vector<double> shard_q;
 };
 
 /// Collects the per-period trace of an experiment; feeds the transient
@@ -26,8 +31,8 @@ struct PeriodRecord {
 class Recorder {
  public:
   void Record(const PeriodMeasurement& m, double v, double alpha,
-              double lateness = 0.0) {
-    rows_.push_back(PeriodRecord{m, v, alpha, lateness});
+              double lateness = 0.0, std::vector<double> shard_q = {}) {
+    rows_.push_back(PeriodRecord{m, v, alpha, lateness, std::move(shard_q)});
   }
 
   const std::vector<PeriodRecord>& rows() const { return rows_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
@@ -115,7 +116,11 @@ void RtEngine::Publish() {
 void RtEngine::WorkerLoop() {
   using Clock = std::chrono::steady_clock;
   if (options_.telemetry != nullptr) {
-    trace_buf_ = options_.telemetry->RegisterThread("rt.worker");
+    trace_buf_ = options_.telemetry->RegisterThread(
+        "rt.worker" + std::to_string(options_.shard_index));
+    // Metric objects are shared across shards (the registry is
+    // thread-safe and Counter/HistogramMetric updates are atomic or
+    // internally locked), so these aggregate over all workers.
     pump_interval_metric_ =
         options_.telemetry->metrics()->GetHistogram("rt.pump_interval_s");
     pump_counter_ = options_.telemetry->metrics()->GetCounter("rt.pumps");

@@ -43,6 +43,9 @@ struct RtEngineOptions {
   /// Null disables tracing/metric registration — the worker's hot path
   /// then carries one dead branch per pump.
   Telemetry* telemetry = nullptr;
+  /// Which shard of a partitioned plant this engine is; labels the worker
+  /// thread's telemetry ("rt.worker<i>"). 0 for the unsharded runtime.
+  int shard_index = 0;
 };
 
 /// The real-time plant: one worker thread that owns a sim Engine

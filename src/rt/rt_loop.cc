@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
@@ -12,32 +13,51 @@ namespace {
 // Longest uninterruptible sleep of the controller thread, so Stop() is
 // honored promptly even with long control periods.
 constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+
+std::vector<RtShard> CheckedShards(std::vector<RtShard> shards,
+                                   const LoadController* controller) {
+  CS_CHECK_MSG(!shards.empty(), "need at least one shard");
+  for (const RtShard& s : shards) {
+    CS_CHECK(s.engine != nullptr);
+    CS_CHECK_MSG(s.engine->NominalEntryCost() ==
+                     shards[0].engine->NominalEntryCost(),
+                 "shards must be homogeneous (same nominal entry cost)");
+    if (controller != nullptr) CS_CHECK(s.shedder != nullptr);
+  }
+  return shards;
+}
+
+RtMonitorOptions ToMonitorOptions(const RtLoopOptions& options) {
+  RtMonitorOptions mo;
+  mo.period = options.period;
+  mo.headroom = options.headroom;
+  mo.cost_ewma = options.cost_ewma;
+  mo.adapt_headroom = options.adapt_headroom;
+  return mo;
+}
 }  // namespace
+
+RtLoop::RtLoop(std::vector<RtShard> shards, const RtClock* clock,
+               LoadController* controller, RtLoopOptions options)
+    : shards_(CheckedShards(std::move(shards), controller)),
+      clock_(clock),
+      controller_(controller),
+      options_(options),
+      monitor_(shards_[0].engine->NominalEntryCost(),
+               static_cast<int>(shards_.size()), ToMonitorOptions(options)),
+      qos_(options.target_delay),
+      samples_(shards_.size()),
+      shedder_mutexes_(new std::mutex[shards_.size()]),
+      target_delay_(options.target_delay) {
+  CS_CHECK(clock_ != nullptr);
+  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+}
 
 RtLoop::RtLoop(RtEngine* engine, const RtClock* clock,
                LoadController* controller, Shedder* shedder,
                RtLoopOptions options)
-    : engine_(engine),
-      clock_(clock),
-      controller_(controller),
-      shedder_(shedder),
-      options_(options),
-      monitor_(engine->NominalEntryCost(),
-               [&options] {
-                 RtMonitorOptions mo;
-                 mo.period = options.period;
-                 mo.headroom = options.headroom;
-                 mo.cost_ewma = options.cost_ewma;
-                 mo.adapt_headroom = options.adapt_headroom;
-                 return mo;
-               }()),
-      qos_(options.target_delay),
-      target_delay_(options.target_delay) {
-  CS_CHECK(engine_ != nullptr);
-  CS_CHECK(clock_ != nullptr);
-  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
-  if (controller_ != nullptr) CS_CHECK(shedder_ != nullptr);
-}
+    : RtLoop(std::vector<RtShard>{{engine, shedder}}, clock, controller,
+             options) {}
 
 RtLoop::~RtLoop() { Stop(); }
 
@@ -55,17 +75,21 @@ void RtLoop::Start() {
   CS_CHECK_MSG(!started_, "Start called twice");
   started_ = true;
 
-  // Departure fan-out runs on the engine worker thread. The setpoint is
-  // re-read per departure so runtime setpoint changes are judged like the
-  // sim loop judges them: against the setpoint in force at departure.
-  engine_->SetDepartureCallback([this](const Departure& d) {
-    const double yd = target_delay_.load(std::memory_order_relaxed);
-    if (yd != qos_.target_delay()) qos_.SetTargetDelay(yd);
-    qos_.OnDeparture(d);
-    if (observer_) observer_(d);
-  });
+  // Departure fan-in runs on the N engine worker threads, serialized by
+  // the departure mutex (uncontended at N = 1). The setpoint is re-read
+  // per departure so runtime setpoint changes are judged like the sim
+  // loop judges them: against the setpoint in force at departure.
+  for (const RtShard& shard : shards_) {
+    shard.engine->SetDepartureCallback([this](const Departure& d) {
+      std::lock_guard<std::mutex> lock(departure_mutex_);
+      const double yd = target_delay_.load(std::memory_order_relaxed);
+      if (yd != qos_.target_delay()) qos_.SetTargetDelay(yd);
+      qos_.OnDeparture(d);
+      if (observer_) observer_(d);
+    });
+  }
 
-  engine_->Start();
+  for (const RtShard& shard : shards_) shard.engine->Start();
   controller_thread_ = std::thread([this] { ControllerLoop(); });
 }
 
@@ -74,20 +98,28 @@ void RtLoop::Stop() {
   stopped_ = true;
   stop_.store(true, std::memory_order_release);
   if (controller_thread_.joinable()) controller_thread_.join();
-  engine_->Stop();
+  for (const RtShard& shard : shards_) shard.engine->Stop();
 }
 
 void RtLoop::OnArrival(const Tuple& t) {
-  RtSharedStats* stats = engine_->stats();
+  // Hash partitioning: global source s lives on shard s % N as that
+  // engine's local source s / N. The global->local remap keeps the
+  // one-producer-per-ring SPSC contract intact.
+  const size_t shard_idx =
+      static_cast<size_t>(t.source) % shards_.size();
+  const RtShard& shard = shards_[shard_idx];
+  RtSharedStats* stats = shard.engine->stats();
   stats->offered.fetch_add(1, std::memory_order_relaxed);
-  if (shedder_ != nullptr && controller_ != nullptr) {
-    std::lock_guard<std::mutex> lock(shedder_mutex_);
-    if (!shedder_->Admit(t)) {
+  if (shard.shedder != nullptr && controller_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shedder_mutexes_[shard_idx]);
+    if (!shard.shedder->Admit(t)) {
       stats->entry_shed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
-  engine_->Offer(t);  // a full ring counts its own drop
+  Tuple local = t;
+  local.source = t.source / static_cast<int>(shards_.size());
+  shard.engine->Offer(local);  // a full ring counts its own drop
 }
 
 void RtLoop::SetTargetDelay(double yd) {
@@ -103,6 +135,13 @@ void RtLoop::ControllerLoop() {
     queue_gauge_ = reg->GetGauge("rt.queue");
     y_hat_gauge_ = reg->GetGauge("rt.y_hat");
     alpha_gauge_ = reg->GetGauge("rt.alpha");
+    if (shards_.size() > 1) {
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        const std::string prefix = "rt.shard" + std::to_string(i);
+        shard_queue_gauges_.push_back(reg->GetGauge(prefix + ".queue"));
+        shard_alpha_gauges_.push_back(reg->GetGauge(prefix + ".alpha"));
+      }
+    }
   }
   int k = 0;
   while (!stop_.load(std::memory_order_acquire)) {
@@ -132,9 +171,15 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
   ScopedSpan tick_span(trace_buf_, "control_tick");
   PeriodMeasurement m;
   {
+    // The aggregation barrier: every shard is snapshotted at the same
+    // trace instant, so the monitor folds a consistent cut of the
+    // partitioned plant (per-shard skew stays bounded by one pump).
     ScopedSpan sample_span(trace_buf_, "sample");
-    const RtSample s = engine_->stats()->Snapshot(now);
-    m = monitor_.Sample(s, target_delay_.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      samples_[i] = shards_[i].engine->stats()->Snapshot(now);
+    }
+    m = monitor_.Sample(samples_,
+                        target_delay_.load(std::memory_order_relaxed));
   }
   if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
   double v = 0.0;
@@ -142,11 +187,36 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
   if (controller_ != nullptr) {
     ScopedSpan actuate_span(trace_buf_, "actuate");
     v = controller_->DesiredRate(m);
+    // Fan the one admitted rate back out per shard, proportionally to
+    // each shard's offered rate over the last period (even split when
+    // nothing arrived anywhere). Each shedder sees its shard's slice of
+    // the measurement; at N = 1 share == 1.0 exactly and this reduces to
+    // the historical single-shedder actuation bit for bit.
+    const std::vector<double>& shard_fin = monitor_.shard_fin();
+    const std::vector<double>& shard_queues = monitor_.shard_queues();
+    double total_fin = 0.0;
+    for (double f : shard_fin) total_fin += f;
     double applied = 0.0;
-    {
-      std::lock_guard<std::mutex> lock(shedder_mutex_);
-      applied = shedder_->Configure(v, m);
-      alpha = shedder_->drop_probability();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const double share = total_fin > 0.0
+                               ? shard_fin[i] / total_fin
+                               : 1.0 / static_cast<double>(shards_.size());
+      PeriodMeasurement mi = m;
+      mi.fin = shard_fin[i];
+      mi.fin_forecast = m.fin_forecast * share;
+      mi.admitted = m.admitted * share;
+      mi.queue = shard_queues[i];
+      double alpha_i = 0.0;
+      {
+        std::lock_guard<std::mutex> lock(shedder_mutexes_[i]);
+        applied += shards_[i].shedder->Configure(v * share, mi);
+        alpha_i = shards_[i].shedder->drop_probability();
+      }
+      alpha += share * alpha_i;
+      if (i < shard_alpha_gauges_.size()) {
+        shard_queue_gauges_[i]->Set(shard_queues[i]);
+        shard_alpha_gauges_[i]->Set(alpha_i);
+      }
     }
     controller_->NotifyActuation(applied);
   }
@@ -157,27 +227,35 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
     y_hat_gauge_->Set(m.y_hat);
     alpha_gauge_->Set(alpha);
   }
-  recorder_.Record(m, v, alpha, lateness_wall);
+  recorder_.Record(m, v, alpha, lateness_wall,
+                   shards_.size() > 1 ? monitor_.shard_queues()
+                                      : std::vector<double>{});
 }
 
-uint64_t RtLoop::offered() const {
-  return engine_->stats()->offered.load(std::memory_order_relaxed);
+uint64_t RtLoop::SumStat(
+    std::atomic<uint64_t> RtSharedStats::* member) const {
+  uint64_t total = 0;
+  for (const RtShard& shard : shards_) {
+    total += (shard.engine->stats()->*member).load(std::memory_order_relaxed);
+  }
+  return total;
 }
+
+uint64_t RtLoop::offered() const { return SumStat(&RtSharedStats::offered); }
 
 uint64_t RtLoop::entry_shed() const {
-  return engine_->stats()->entry_shed.load(std::memory_order_relaxed);
+  return SumStat(&RtSharedStats::entry_shed);
 }
 
 uint64_t RtLoop::ring_dropped() const {
-  return engine_->stats()->ring_dropped.load(std::memory_order_relaxed);
+  return SumStat(&RtSharedStats::ring_dropped);
 }
 
 double RtLoop::LossRatio() const {
   const uint64_t off = offered();
   if (off == 0) return 0.0;
-  const uint64_t shed =
-      entry_shed() + ring_dropped() +
-      engine_->stats()->shed_lineages.load(std::memory_order_relaxed);
+  const uint64_t shed = entry_shed() + ring_dropped() +
+                        SumStat(&RtSharedStats::shed_lineages);
   return static_cast<double>(shed) / static_cast<double>(off);
 }
 
@@ -189,7 +267,7 @@ QosSummary RtLoop::Summary() const {
   s.loss_ratio = LossRatio();
   s.offered = offered();
   s.shed = entry_shed() + ring_dropped() +
-           engine_->stats()->shed_lineages.load(std::memory_order_relaxed);
+           SumStat(&RtSharedStats::shed_lineages);
   s.departures = qos_.departures();
   s.mean_delay = qos_.mean_delay();
   s.p50_delay = qos_.delay_histogram().Quantile(0.50);

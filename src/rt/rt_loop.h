@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "control/controller.h"
 #include "control/rate_predictor.h"
@@ -17,37 +19,68 @@
 
 namespace ctrlshed {
 
+/// One partition of a sharded real-time plant: a worker-owned engine plus
+/// the entry shedder that gates its ingress. Pointees are non-owning and
+/// must outlive the loop; `shedder` may be null only in open runs (no
+/// controller).
+struct RtShard {
+  RtEngine* engine = nullptr;
+  Shedder* shedder = nullptr;
+};
+
 /// Options of the real-time control loop; the subset of
 /// FeedbackLoopOptions that survives contact with a real clock.
 struct RtLoopOptions {
   SimTime period = 1.0;        ///< Control period T, trace seconds.
   double target_delay = 2.0;   ///< Initial setpoint yd (trace seconds).
-  double headroom = 0.97;      ///< H estimate shared by monitor & estimator.
+  double headroom = 0.97;      ///< PER-WORKER H estimate (see RtMonitor).
   double cost_ewma = 1.0;      ///< Cost-estimate smoothing (see RtMonitor).
   bool adapt_headroom = false; ///< Online H estimation (see RtMonitor).
   /// Optional telemetry session (non-owning; must outlive the loop).
   Telemetry* telemetry = nullptr;
 };
 
-/// The wall-clock twin of FeedbackLoop: monitor -> controller -> shedder
-/// -> RtEngine, with the feedback ticking on a real periodic thread
-/// instead of simulation events.
+/// The wall-clock twin of FeedbackLoop: monitor -> controller -> shedders
+/// -> N sharded RtEngines, with the feedback ticking on a real periodic
+/// thread instead of simulation events.
+///
+/// Sharding model: the plant is hash-partitioned across N shards, each a
+/// worker thread owning its own sim Engine, ingress rings, and shedder.
+/// Global source index s routes to shard s % N (and becomes local source
+/// s / N inside that shard's engine), so each global source still has
+/// exactly one SPSC producer per ring. One controller drives the
+/// aggregate: the monitor folds the N shard snapshots into a single
+/// virtual plant (q = sum q_i, drain-weighted cost, effective headroom
+/// N*H), the controller computes one admitted rate v(k), and actuation
+/// fans v back out per shard proportionally to each shard's offered rate
+/// over the last period (an even 1/N split when nothing arrived). With
+/// N = 1 every aggregation and fan-out step is the identity, so the
+/// single-shard loop is bit-identical to the pre-sharding runtime.
 ///
 /// Threading model:
-///  - OnArrival runs on the source threads: it counts the offer, asks the
-///    shedder for admission (under a small mutex — the shedders are reused
-///    unchanged from the sim and are not thread-safe by themselves), and
-///    pushes survivors into the engine's lock-free ingress ring.
-///  - The controller thread wakes at every period boundary, snapshots the
-///    shared atomics, runs the monitor/controller math, and reconfigures
-///    the shedder under the same mutex. Controller, monitor, predictor and
-///    recorder are touched by this thread only.
-///  - QoS accounting rides the engine worker's departure callback and is
-///    read by other threads only after Stop() (joins give happens-before).
+///  - OnArrival runs on the source threads: it counts the offer against
+///    the owning shard, asks that shard's shedder for admission (under a
+///    per-shard mutex — the shedders are reused unchanged from the sim
+///    and are not thread-safe by themselves), and pushes survivors into
+///    the shard engine's lock-free ingress ring.
+///  - The controller thread wakes at every period boundary, snapshots all
+///    shards' shared atomics at one clock read (the aggregation barrier),
+///    runs the monitor/controller math, and reconfigures each shedder
+///    under its mutex. Controller, monitor, predictor and recorder are
+///    touched by this thread only.
+///  - QoS accounting rides the N engine workers' departure callbacks,
+///    serialized by a departure mutex, and is read by other threads only
+///    after Stop() (joins give happens-before).
 class RtLoop {
  public:
-  /// All pointees must outlive the loop. The controller may be null
-  /// (open run: admit everything); a shedder is required otherwise.
+  /// Sharded plant. All pointees must outlive the loop; shards must be
+  /// homogeneous (same nominal entry cost). The controller may be null
+  /// (open run: admit everything); per-shard shedders are required
+  /// otherwise.
+  RtLoop(std::vector<RtShard> shards, const RtClock* clock,
+         LoadController* controller, RtLoopOptions options);
+
+  /// Single-shard convenience, the historical signature.
   RtLoop(RtEngine* engine, const RtClock* clock, LoadController* controller,
          Shedder* shedder, RtLoopOptions options);
   ~RtLoop();
@@ -56,22 +89,23 @@ class RtLoop {
   RtLoop& operator=(const RtLoop&) = delete;
 
   /// Installs an additional per-departure observer (runs on the engine
-  /// worker thread). Must be called before Start.
+  /// worker threads, serialized by the loop). Must be called before Start.
   void SetDepartureObserver(DepartureCallback observer);
 
   /// Installs a one-step-ahead arrival-rate predictor (controller thread
   /// only). Must be called before Start.
   void SetRatePredictor(RatePredictor* predictor);
 
-  /// Starts the engine worker and the periodic controller thread. The
+  /// Starts the engine workers and the periodic controller thread. The
   /// clock must already be started.
   void Start();
 
-  /// Stops the controller thread and the engine worker. Idempotent.
+  /// Stops the controller thread and the engine workers. Idempotent.
   /// Stop the arrival sources first so nothing races the teardown.
   void Stop();
 
-  /// Ingress entry point; one designated thread per tuple source index.
+  /// Ingress entry point; one designated thread per GLOBAL tuple source
+  /// index. Routes to shard t.source % num_shards().
   void OnArrival(const Tuple& t);
 
   /// Changes the delay setpoint at runtime (any thread).
@@ -79,6 +113,8 @@ class RtLoop {
   double target_delay() const {
     return target_delay_.load(std::memory_order_relaxed);
   }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   // --- Results (valid after Stop()) --------------------------------------
 
@@ -92,6 +128,8 @@ class RtLoop {
     return actuation_lateness_;
   }
 
+  // Aggregates over all shards; the per-shard decomposition is available
+  // from each shard's RtEngine stats.
   uint64_t offered() const;
   uint64_t entry_shed() const;
   uint64_t ring_dropped() const;
@@ -109,11 +147,11 @@ class RtLoop {
   /// `lateness_wall` is how far (wall seconds, >= 0) past the period
   /// deadline the tick started — the actuation jitter this period.
   void ControlTick(SimTime now, double lateness_wall);
+  uint64_t SumStat(std::atomic<uint64_t> RtSharedStats::* member) const;
 
-  RtEngine* engine_;
+  std::vector<RtShard> shards_;
   const RtClock* clock_;
   LoadController* controller_;
-  Shedder* shedder_;
   RtLoopOptions options_;
 
   RtMonitor monitor_;
@@ -121,6 +159,9 @@ class RtLoop {
   Recorder recorder_;
   DepartureCallback observer_;
   RatePredictor* predictor_ = nullptr;
+
+  // Controller-thread scratch, sized once (no per-tick allocation).
+  std::vector<RtSample> samples_;
 
   // Controller-thread telemetry (histogram read elsewhere only after the
   // join in Stop()).
@@ -130,8 +171,16 @@ class RtLoop {
   Gauge* queue_gauge_ = nullptr;
   Gauge* y_hat_gauge_ = nullptr;
   Gauge* alpha_gauge_ = nullptr;
+  // Per-shard decomposition gauges, registered only when num_shards > 1
+  // (the unsharded telemetry surface is unchanged).
+  std::vector<Gauge*> shard_queue_gauges_;
+  std::vector<Gauge*> shard_alpha_gauges_;
 
-  std::mutex shedder_mutex_;  ///< Guards Admit (sources) vs Configure (ctrl).
+  /// One mutex per shard guarding Admit (source threads) vs Configure
+  /// (controller thread) on that shard's shedder.
+  std::unique_ptr<std::mutex[]> shedder_mutexes_;
+  /// Serializes the N workers' departure fan-in into qos_/observer_.
+  std::mutex departure_mutex_;
   std::atomic<double> target_delay_;
   std::atomic<bool> stop_{false};
   std::thread controller_thread_;

@@ -6,82 +6,90 @@
 
 namespace ctrlshed {
 
-RtMonitor::RtMonitor(double nominal_entry_cost, RtMonitorOptions options)
-    : nominal_entry_cost_(nominal_entry_cost), options_(options) {
-  CS_CHECK_MSG(nominal_entry_cost_ > 0.0, "nominal cost must be positive");
-  CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+namespace {
+PeriodMathOptions ToMathOptions(const RtMonitorOptions& o, int num_shards) {
+  PeriodMathOptions mo;
+  mo.period = o.period;
+  // The aggregate of N workers, each granted H of a CPU, is one plant
+  // with effective headroom N*H (and an online estimate that may climb
+  // to N full CPUs of work per second).
+  mo.headroom = static_cast<double>(num_shards) * o.headroom;
+  mo.max_headroom = static_cast<double>(num_shards);
+  mo.cost_ewma = o.cost_ewma;
+  mo.adapt_headroom = o.adapt_headroom;
+  mo.headroom_ewma = o.headroom_ewma;
+  return mo;
+}
+
+int CheckedShards(int num_shards) {
+  CS_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  return num_shards;
+}
+}  // namespace
+
+RtMonitor::RtMonitor(double nominal_entry_cost, int num_shards,
+                     RtMonitorOptions options)
+    : nominal_entry_cost_(nominal_entry_cost),
+      num_shards_(CheckedShards(num_shards)),
+      options_(options),
+      math_(nominal_entry_cost, ToMathOptions(options, num_shards)),
+      prev_shard_offered_(static_cast<size_t>(num_shards), 0),
+      shard_fin_(static_cast<size_t>(num_shards), 0.0),
+      shard_queues_(static_cast<size_t>(num_shards), 0.0) {
   CS_CHECK_MSG(options_.headroom > 0.0 && options_.headroom <= 1.0,
-               "headroom must be in (0,1]");
-  CS_CHECK_MSG(options_.cost_ewma > 0.0 && options_.cost_ewma <= 1.0,
-               "cost_ewma must be in (0,1]");
-  CS_CHECK_MSG(options_.headroom_ewma > 0.0 && options_.headroom_ewma <= 1.0,
-               "headroom_ewma must be in (0,1]");
-  // Until the first measurement arrives, fall back to the static catalog
-  // estimate — same bootstrap as the sim Monitor.
-  cost_estimate_ = nominal_entry_cost_;
-  headroom_estimate_ = options_.headroom;
+               "per-worker headroom must be in (0,1]");
+}
+
+PeriodMeasurement RtMonitor::Sample(const std::vector<RtSample>& shards,
+                                    double target_delay) {
+  CS_CHECK_MSG(shards.size() == static_cast<size_t>(num_shards_),
+               "one snapshot per shard required");
+  const SimTime now = shards[0].now;
+  CS_CHECK_MSG(now > prev_now_, "samples must move forward in time");
+  // Rates use the actual elapsed trace time; the controller sees the
+  // nominal period its gains were designed for (PeriodMath handles that).
+  const double elapsed = now - prev_now_;
+
+  PeriodCounters pc;
+  pc.now = now;
+  double delay_sum = 0.0;
+  uint64_t delay_count = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const RtSample& s = shards[i];
+    CS_CHECK_MSG(s.now == now, "shard snapshots must share one sample time");
+    pc.offered += s.offered;
+    pc.admitted += s.admitted;
+    pc.drained_base_load += s.drained_base_load;
+    pc.busy_seconds += s.busy_seconds;
+    delay_sum += s.delay_sum;
+    delay_count += s.delay_count;
+
+    // Per-shard virtual queue length from the outstanding static load,
+    // with the same empty-queue residue clamp as Engine::VirtualQueueLength.
+    const double q =
+        s.queued_tuples == 0
+            ? 0.0
+            : std::max(0.0, s.outstanding_base_load / nominal_entry_cost_);
+    shard_queues_[i] = q;
+    pc.queue += q;
+
+    shard_fin_[i] =
+        static_cast<double>(s.offered - prev_shard_offered_[i]) / elapsed;
+    prev_shard_offered_[i] = s.offered;
+  }
+  pc.delay_sum = delay_sum - prev_delay_sum_;
+  pc.delay_count = delay_count - prev_delay_count_;
+  prev_delay_sum_ = delay_sum;
+  prev_delay_count_ = delay_count;
+  prev_now_ = now;
+
+  return math_.Sample(pc, target_delay, elapsed);
 }
 
 PeriodMeasurement RtMonitor::Sample(const RtSample& s, double target_delay) {
-  CS_CHECK_MSG(s.now > prev_.now, "samples must move forward in time");
-  CS_CHECK_MSG(s.offered >= prev_.offered, "offered counter went backwards");
-  // Rates use the actual elapsed trace time; the controller sees the
-  // nominal period its gains were designed for.
-  const double elapsed = s.now - prev_.now;
-  const double T = options_.period;
-
-  PeriodMeasurement m;
-  m.k = ++k_;
-  m.t = s.now;
-  m.period = T;
-  m.target_delay = target_delay;
-
-  m.fin = static_cast<double>(s.offered - prev_.offered) / elapsed;
-  m.fin_forecast = m.fin;  // the loop overrides this when a predictor is set
-  m.admitted = static_cast<double>(s.admitted - prev_.admitted) / elapsed;
-
-  const double drained = s.drained_base_load - prev_.drained_base_load;
-  const double busy = s.busy_seconds - prev_.busy_seconds;
-  m.fout = drained / nominal_entry_cost_ / elapsed;
-
-  // Measured per-tuple cost: CPU seconds consumed per entry-tuple
-  // equivalent drained. Only meaningful when enough work was processed.
-  if (drained > nominal_entry_cost_) {
-    const double measured = nominal_entry_cost_ * busy / drained;
-    cost_estimate_ = options_.cost_ewma * measured +
-                     (1.0 - options_.cost_ewma) * cost_estimate_;
-  }
-  m.cost = cost_estimate_;
-
-  // Virtual queue length from the outstanding static load, with the same
-  // empty-queue residue clamp as Engine::VirtualQueueLength.
-  m.queue = s.queued_tuples == 0
-                ? 0.0
-                : std::max(0.0, s.outstanding_base_load / nominal_entry_cost_);
-
-  // Online headroom estimate: with queued work at both ends of the period
-  // the CPU never idled, so work done per trace second IS the headroom.
-  if (options_.adapt_headroom && m.queue > 1.0 && prev_queue_ > 1.0 &&
-      busy > 0.0) {
-    const double measured_h = std::min(1.0, busy / elapsed);
-    headroom_estimate_ = options_.headroom_ewma * measured_h +
-                         (1.0 - options_.headroom_ewma) * headroom_estimate_;
-  }
-  prev_queue_ = m.queue;
-
-  const double h =
-      options_.adapt_headroom ? headroom_estimate_ : options_.headroom;
-  m.y_hat = (m.queue + 1.0) * m.cost / h;
-
-  const uint64_t departures = s.delay_count - prev_.delay_count;
-  if (departures > 0) {
-    m.y_measured =
-        (s.delay_sum - prev_.delay_sum) / static_cast<double>(departures);
-    m.has_y_measured = true;
-  }
-
-  prev_ = s;
-  return m;
+  CS_CHECK_MSG(num_shards_ == 1,
+               "single-sample Sample on a multi-shard monitor");
+  return Sample(std::vector<RtSample>{s}, target_delay);
 }
 
 }  // namespace ctrlshed

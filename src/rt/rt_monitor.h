@@ -2,8 +2,10 @@
 #define CTRLSHED_RT_RT_MONITOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "control/controller.h"
+#include "control/period_math.h"
 #include "rt/rt_stats.h"
 
 namespace ctrlshed {
@@ -13,7 +15,10 @@ namespace ctrlshed {
 /// injected — the real runtime has real noise).
 struct RtMonitorOptions {
   SimTime period = 1.0;    ///< Nominal control period T, trace seconds.
-  double headroom = 0.97;  ///< H estimate used in the Eq. (11) delay estimate.
+  /// PER-WORKER H estimate used in the Eq. (11) delay estimate. An
+  /// N-shard monitor presents the controller with the aggregate plant's
+  /// effective headroom N*H.
+  double headroom = 0.97;
   /// EWMA weight of the newest per-period cost measurement in (0,1];
   /// 1 = no smoothing (the paper's "estimate c(k) with c(k-1)").
   double cost_ewma = 1.0;
@@ -23,10 +28,20 @@ struct RtMonitorOptions {
 };
 
 /// The monitor of the real-time feedback loop: the same per-period math as
-/// the sim-side Monitor (Eq. 11 delay estimate from the virtual queue
-/// length, measured cost c(k) = nominal * busy/drained, drain rate fout),
-/// but computed from RtSample snapshots of the shared atomics instead of
-/// poking the engine object — the engine lives on another thread.
+/// the sim-side Monitor (shared via control/period_math.h — Eq. 11 delay
+/// estimate from the virtual queue length, measured cost
+/// c(k) = nominal * busy/drained, drain rate fout), but computed from
+/// RtSample snapshots of the shared atomics instead of poking the engine
+/// objects — the engines live on other threads.
+///
+/// Sharded plants: with N > 1 shards the monitor aggregates one snapshot
+/// per shard into a single virtual plant the unchanged controller can
+/// drive — q = Σ q_i, fout = Σ fout_i, a drain-weighted cost
+/// c = nominal * Σ busy_i / Σ drained_i, and an Eq. (11) estimate against
+/// the aggregate's effective headroom N*H (N workers each grant H of a
+/// CPU, so the aggregate drains at N*H/c tuples per second). Per-shard
+/// offered rates and queue lengths of the last period are kept for the
+/// actuation fan-out and the telemetry export.
 ///
 /// Real-time wrinkle: the controller thread's wakeups jitter, so rates are
 /// formed over the *actual* elapsed trace time between samples, not the
@@ -38,26 +53,51 @@ struct RtMonitorOptions {
 /// test driving it with a fake clock).
 class RtMonitor {
  public:
-  /// `nominal_entry_cost` is the network's model constant c (seconds), the
-  /// same value Engine::NominalEntryCost reports.
-  RtMonitor(double nominal_entry_cost, RtMonitorOptions options);
+  /// `nominal_entry_cost` is the model constant c (seconds) each shard's
+  /// Engine::NominalEntryCost reports (shards are homogeneous).
+  RtMonitor(double nominal_entry_cost, int num_shards,
+            RtMonitorOptions options);
 
-  /// Forms the measurement for the period ending at `s.now`.
+  /// Single-shard convenience (the N = 1 plant).
+  RtMonitor(double nominal_entry_cost, RtMonitorOptions options)
+      : RtMonitor(nominal_entry_cost, 1, options) {}
+
+  /// Forms the aggregate measurement for the period ending at the common
+  /// snapshot time. `shards` holds one snapshot per shard, all taken at
+  /// the same `now`, in shard order; its size must equal num_shards().
+  PeriodMeasurement Sample(const std::vector<RtSample>& shards,
+                           double target_delay);
+
+  /// Single-shard convenience.
   PeriodMeasurement Sample(const RtSample& s, double target_delay);
 
-  double CostEstimate() const { return cost_estimate_; }
-  double HeadroomEstimate() const { return headroom_estimate_; }
+  double CostEstimate() const { return math_.CostEstimate(); }
+  double HeadroomEstimate() const { return math_.HeadroomEstimate(); }
+  int num_shards() const { return num_shards_; }
   const RtMonitorOptions& options() const { return options_; }
+
+  // --- Last period's per-shard decomposition (valid after a Sample) -----
+
+  /// Offered rate of each shard over the last period (tuples/second);
+  /// the actuation fan-out weights the admitted rate by these.
+  const std::vector<double>& shard_fin() const { return shard_fin_; }
+
+  /// Virtual queue length of each shard at the last sample.
+  const std::vector<double>& shard_queues() const { return shard_queues_; }
 
  private:
   double nominal_entry_cost_;
+  int num_shards_;
   RtMonitorOptions options_;
+  PeriodMath math_;
 
-  int k_ = 0;
-  RtSample prev_{};  ///< Previous snapshot (zeros before the first sample).
-  double prev_queue_ = 0.0;
-  double cost_estimate_ = 0.0;
-  double headroom_estimate_ = 0.0;
+  SimTime prev_now_ = 0.0;
+  std::vector<uint64_t> prev_shard_offered_;
+  double prev_delay_sum_ = 0.0;
+  uint64_t prev_delay_count_ = 0;
+
+  std::vector<double> shard_fin_;
+  std::vector<double> shard_queues_;
 };
 
 }  // namespace ctrlshed

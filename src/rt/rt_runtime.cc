@@ -51,6 +51,9 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
                "rt runtime does not support the cost-trace multiplier yet");
   CS_CHECK_MSG(base.estimation_noise == 0.0,
                "rt runtime does not inject estimation noise");
+  const int workers = config.workers;
+  CS_CHECK_MSG(workers >= 1 && workers <= 64,
+               "workers must be in [1, 64]");
 
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
@@ -63,17 +66,30 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   phase.emplace(main_buf, "setup");
 
   RtClock clock(config.time_compression);
-  QueryNetwork net;
-  BuildIdentificationNetwork(&net, nominal_cost);
 
-  RtEngineOptions eopts;
-  eopts.headroom = base.headroom_true;
-  eopts.ring_capacity = config.ring_capacity;
-  eopts.cost_mode = config.cost_mode;
-  eopts.pacing_wall_seconds = config.pacing_wall_seconds;
-  eopts.telemetry = telemetry.get();
-  RtEngine engine(&net, &clock, /*num_sources=*/1, eopts);
+  // The partitioned plant: one network/engine pair per shard, each with
+  // one local source (global source i is shard i's local source 0).
+  std::vector<std::unique_ptr<QueryNetwork>> nets;
+  std::vector<std::unique_ptr<RtEngine>> engines;
+  nets.reserve(static_cast<size_t>(workers));
+  engines.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    nets.push_back(std::make_unique<QueryNetwork>());
+    BuildIdentificationNetwork(nets.back().get(), nominal_cost);
+    RtEngineOptions eopts;
+    eopts.headroom = base.headroom_true;
+    eopts.ring_capacity = config.ring_capacity;
+    eopts.cost_mode = config.cost_mode;
+    eopts.pacing_wall_seconds = config.pacing_wall_seconds;
+    eopts.telemetry = telemetry.get();
+    eopts.shard_index = i;
+    engines.push_back(std::make_unique<RtEngine>(
+        nets.back().get(), &clock, /*num_sources=*/1, eopts));
+  }
 
+  // One controller drives the aggregate plant; its headroom belief is the
+  // aggregate's effective headroom N*H (what the monitor reports against).
+  const double headroom_agg = static_cast<double>(workers) * base.headroom_est;
   std::unique_ptr<LoadController> controller;
   switch (base.method) {
     case Method::kNone:
@@ -81,30 +97,40 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     case Method::kCtrl: {
       CtrlOptions opts;
       opts.gains = base.gains;
-      opts.headroom = base.headroom_est;
+      opts.headroom = headroom_agg;
       opts.feedback = base.ctrl_feedback;
       opts.anti_windup = base.anti_windup;
       controller = std::make_unique<CtrlController>(opts);
       break;
     }
     case Method::kBaseline:
-      controller = std::make_unique<BaselineController>(base.headroom_est);
+      controller = std::make_unique<BaselineController>(headroom_agg);
       break;
     case Method::kAurora:
-      controller = std::make_unique<AuroraController>(base.headroom_est);
+      controller = std::make_unique<AuroraController>(headroom_agg);
       break;
     case Method::kPi:
-      controller = std::make_unique<PiController>(base.headroom_est);
+      controller = std::make_unique<PiController>(headroom_agg);
       break;
   }
 
-  std::unique_ptr<Shedder> shedder;
-  if (controller != nullptr) {
-    if (base.method == Method::kAurora) {
-      shedder = std::make_unique<AuroraQuotaShedder>();
-    } else {
-      shedder = std::make_unique<EntryShedder>(base.seed + 2);
+  // Per-shard entry shedders (decorrelated streams; i = 0 reproduces the
+  // historical single-shedder seed).
+  std::vector<std::unique_ptr<Shedder>> shedders;
+  std::vector<RtShard> shards;
+  for (int i = 0; i < workers; ++i) {
+    RtShard shard;
+    shard.engine = engines[static_cast<size_t>(i)].get();
+    if (controller != nullptr) {
+      if (base.method == Method::kAurora) {
+        shedders.push_back(std::make_unique<AuroraQuotaShedder>());
+      } else {
+        shedders.push_back(
+            std::make_unique<EntryShedder>(base.seed + 2 + 7919 * i));
+      }
+      shard.shedder = shedders.back().get();
     }
+    shards.push_back(shard);
   }
 
   RtLoopOptions lopts;
@@ -114,7 +140,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   lopts.cost_ewma = base.cost_ewma;
   lopts.adapt_headroom = base.adapt_headroom;
   lopts.telemetry = telemetry.get();
-  RtLoop loop(&engine, &clock, controller.get(), shedder.get(), lopts);
+  RtLoop loop(std::move(shards), &clock, controller.get(), lopts);
   if (base.departure_observer) {
     loop.SetDepartureObserver(base.departure_observer);
   }
@@ -124,9 +150,20 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     loop.SetRatePredictor(predictor.get());
   }
 
-  RtArrivalSource source(0, BuildArrivalTrace(base), base.spacing,
-                         base.seed + 3);
-  source.SetTelemetry(telemetry.get());
+  // The offered load splits evenly across N replay sources — the same
+  // aggregate trace, each source drawing its 1/N slice with its own seed.
+  // At N = 1 the trace is passed through unscaled (identical arrivals to
+  // the historical runtime).
+  const RateTrace full_trace = BuildArrivalTrace(base);
+  std::vector<std::unique_ptr<RtArrivalSource>> sources;
+  for (int i = 0; i < workers; ++i) {
+    const RateTrace trace =
+        workers == 1 ? full_trace
+                     : full_trace.Scaled(1.0 / static_cast<double>(workers));
+    sources.push_back(std::make_unique<RtArrivalSource>(
+        i, trace, base.spacing, base.seed + 3 + i));
+    sources.back()->SetTelemetry(telemetry.get());
+  }
 
   // Setpoint schedule, applied by the main thread between waits.
   std::vector<std::pair<SimTime, double>> schedule = base.setpoint_schedule;
@@ -140,7 +177,9 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   const auto wall_start = std::chrono::steady_clock::now();
   clock.Start();
   loop.Start();
-  source.Start(&clock, [&loop](const Tuple& t) { loop.OnArrival(t); });
+  for (auto& source : sources) {
+    source->Start(&clock, [&loop](const Tuple& t) { loop.OnArrival(t); });
+  }
 
   phase.emplace(main_buf, "replay");
   for (const auto& [when, yd] : schedule) {
@@ -150,9 +189,9 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   SleepUntilWall(clock.WallDeadline(base.duration));
 
   // Teardown order: sources first (no new arrivals), then the loop (which
-  // stops the controller thread, then the engine worker).
+  // stops the controller thread, then the engine workers).
   phase.emplace(main_buf, "teardown");
-  source.Stop();
+  for (auto& source : sources) source->Stop();
   loop.Stop();
   const auto wall_end = std::chrono::steady_clock::now();
   phase.reset();
@@ -160,12 +199,25 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   RtRunResult result;
   result.summary = loop.Summary();
   result.recorder = loop.recorder();
-  result.arrival_trace = source.trace();
+  result.arrival_trace = full_trace;
   result.nominal_cost = nominal_cost;
   result.ring_dropped = loop.ring_dropped();
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
-  result.pump_intervals = engine.pump_intervals();
+  result.workers = workers;
+  for (const auto& engine : engines) {
+    const RtSharedStats* stats = engine->stats();
+    RtShardSummary shard;
+    shard.offered = stats->offered.load(std::memory_order_relaxed);
+    shard.entry_shed = stats->entry_shed.load(std::memory_order_relaxed);
+    shard.ring_dropped = stats->ring_dropped.load(std::memory_order_relaxed);
+    shard.shed_lineages =
+        stats->shed_lineages.load(std::memory_order_relaxed);
+    shard.departed = stats->departed.load(std::memory_order_relaxed);
+    shard.pump_intervals = engine->pump_intervals();
+    result.shards.push_back(std::move(shard));
+    result.pump_intervals.Merge(engine->pump_intervals());
+  }
   result.actuation_lateness = loop.actuation_lateness();
 
   // Telemetry epilogue: every thread has joined, so a final drain sees

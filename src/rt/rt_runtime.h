@@ -2,6 +2,7 @@
 #define CTRLSHED_RT_RT_RUNTIME_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "metrics/histogram.h"
 #include "metrics/qos_metrics.h"
@@ -29,6 +30,24 @@ struct RtRunConfig {
   size_t ring_capacity = 4096;
   RtCostMode cost_mode = RtCostMode::kSleep;
   double pacing_wall_seconds = 500e-6;
+
+  /// Worker shards the plant is partitioned across (see RtLoop). The
+  /// offered-rate trace is split evenly: N replay sources, each driving
+  /// its own shard with the base trace scaled by 1/N (independent arrival
+  /// draws per source), so the aggregate offered load matches the
+  /// unsharded run. 1 = the historical single-worker runtime, bit for
+  /// bit.
+  int workers = 1;
+};
+
+/// Per-shard slice of a sharded run's accounting.
+struct RtShardSummary {
+  uint64_t offered = 0;
+  uint64_t entry_shed = 0;
+  uint64_t ring_dropped = 0;
+  uint64_t shed_lineages = 0;
+  uint64_t departed = 0;
+  LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
 };
 
 /// Results on the same reporting path as the sim's ExperimentResult, plus
@@ -42,9 +61,14 @@ struct RtRunResult {
   uint64_t ring_dropped = 0;  ///< Ingress-ring overflow drops (in `shed`).
   double wall_seconds = 0.0;  ///< Real elapsed time of the run.
 
+  /// Worker shards of the run, and each shard's slice of the counters
+  /// (`shards.size() == workers`; the summary holds the aggregates).
+  int workers = 1;
+  std::vector<RtShardSummary> shards;
+
   // Scheduling-jitter record, always collected (see RtEngine/RtLoop):
-  // wall seconds between worker pumps, and wall seconds each control tick
-  // ran past its period deadline.
+  // wall seconds between worker pumps (merged over all shards), and wall
+  // seconds each control tick ran past its period deadline.
   LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
   LatencyHistogram actuation_lateness{1e-6, 1e3, 1.08};
 

@@ -62,6 +62,16 @@ void WriteTimelineJsonl(const Recorder& recorder, std::ostream& out) {
     WriteDouble(out, loss);
     out << ",\"lateness\":";
     WriteDouble(out, r.lateness);
+    // Sharded runs decompose the aggregate queue; unsharded rows carry no
+    // shard data and keep the historical schema.
+    if (!r.shard_q.empty()) {
+      out << ",\"shards\":" << r.shard_q.size() << ",\"shard_q\":[";
+      for (size_t i = 0; i < r.shard_q.size(); ++i) {
+        if (i > 0) out << ',';
+        WriteDouble(out, r.shard_q[i]);
+      }
+      out << ']';
+    }
     out << "}\n";
   }
 }

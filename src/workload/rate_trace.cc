@@ -42,4 +42,11 @@ RateTrace RateTrace::ScaledToMean(double target_mean) const {
   return RateTrace(slot_width_, std::move(scaled));
 }
 
+RateTrace RateTrace::Scaled(double factor) const {
+  CS_CHECK_MSG(factor >= 0.0, "scale factor must be non-negative");
+  std::vector<double> scaled = values_;
+  for (double& v : scaled) v *= factor;
+  return RateTrace(slot_width_, std::move(scaled));
+}
+
 }  // namespace ctrlshed

@@ -35,6 +35,10 @@ class RateTrace {
   /// Returns a copy scaled so that Mean() == `target_mean`.
   RateTrace ScaledToMean(double target_mean) const;
 
+  /// Returns a copy with every slot multiplied by `factor` (>= 0). Used to
+  /// split one offered-rate trace evenly across N sharded replay sources.
+  RateTrace Scaled(double factor) const;
+
  private:
   SimTime slot_width_ = 1.0;
   std::vector<double> values_;

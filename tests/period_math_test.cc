@@ -1,0 +1,200 @@
+// Unit tests of the shared per-period measurement math (Eq. 11 delay
+// estimate, cost EWMA, online headroom adaptation) that both the sim
+// Monitor and the rt RtMonitor delegate to. The helper consumes cumulative
+// counters and forms deltas itself, so every case fabricates a counter
+// trajectory and checks the derived signals.
+
+#include "control/period_math.h"
+
+#include <gtest/gtest.h>
+
+namespace ctrlshed {
+namespace {
+
+constexpr double kNominalCost = 0.005;  // 5 ms per entry tuple
+
+PeriodMathOptions Opts() {
+  PeriodMathOptions o;
+  o.period = 1.0;
+  o.headroom = 1.0;
+  return o;
+}
+
+TEST(PeriodMathTest, FirstSampleRatesAndEq11) {
+  PeriodMath math(kNominalCost, Opts());
+
+  PeriodCounters c;
+  c.now = 1.0;
+  c.offered = 100;
+  c.admitted = 80;
+  c.drained_base_load = 60 * kNominalCost;
+  c.busy_seconds = 60 * kNominalCost;
+  c.queue = 20.0;
+
+  PeriodMeasurement m = math.Sample(c, 2.0, /*elapsed=*/1.0);
+  EXPECT_EQ(m.k, 1);
+  EXPECT_DOUBLE_EQ(m.t, 1.0);
+  EXPECT_DOUBLE_EQ(m.period, 1.0);
+  EXPECT_DOUBLE_EQ(m.fin, 100.0);
+  EXPECT_DOUBLE_EQ(m.fin_forecast, 100.0);
+  EXPECT_DOUBLE_EQ(m.admitted, 80.0);
+  EXPECT_DOUBLE_EQ(m.fout, 60.0);
+  EXPECT_DOUBLE_EQ(m.queue, 20.0);
+  // Measured cost == nominal here, so y_hat = (q+1) c / H.
+  EXPECT_NEAR(m.y_hat, 21.0 * kNominalCost, 1e-12);
+  EXPECT_FALSE(m.has_y_measured);
+  EXPECT_DOUBLE_EQ(m.target_delay, 2.0);
+}
+
+TEST(PeriodMathTest, RatesDivideByElapsedNotNominalPeriod) {
+  PeriodMath math(kNominalCost, Opts());
+
+  PeriodCounters c1;
+  c1.now = 1.0;
+  c1.offered = 100;
+  math.Sample(c1, 2.0, 1.0);
+
+  // An oversleeping rt controller: the "1-second" period spans 2 s.
+  PeriodCounters c2 = c1;
+  c2.now = 3.0;
+  c2.offered = 400;  // +300 over 2 s -> 150/s
+  c2.admitted = 200;
+  c2.drained_base_load = 100 * kNominalCost;
+  c2.busy_seconds = 100 * kNominalCost;
+
+  PeriodMeasurement m = math.Sample(c2, 2.0, /*elapsed=*/2.0);
+  EXPECT_EQ(m.k, 2);
+  EXPECT_DOUBLE_EQ(m.fin, 150.0);
+  EXPECT_DOUBLE_EQ(m.admitted, 100.0);
+  EXPECT_DOUBLE_EQ(m.fout, 50.0);
+  // The controller still sees the nominal design period.
+  EXPECT_DOUBLE_EQ(m.period, 1.0);
+}
+
+TEST(PeriodMathTest, CostEwmaAndIdlePeriodKeepsEstimate) {
+  PeriodMathOptions o = Opts();
+  o.cost_ewma = 0.5;
+  PeriodMath math(kNominalCost, o);
+
+  PeriodCounters c1;
+  c1.now = 1.0;
+  c1.drained_base_load = 100 * kNominalCost;
+  c1.busy_seconds = 2 * 100 * kNominalCost;  // measured cost = 2 * nominal
+  PeriodMeasurement m1 = math.Sample(c1, 2.0, 1.0);
+  // EWMA from the nominal bootstrap: 0.5*2c + 0.5*c = 1.5c.
+  EXPECT_NEAR(m1.cost, 1.5 * kNominalCost, 1e-12);
+
+  // Nothing drained: the estimate must not be corrupted.
+  PeriodCounters c2 = c1;
+  c2.now = 2.0;
+  PeriodMeasurement m2 = math.Sample(c2, 2.0, 1.0);
+  EXPECT_NEAR(m2.cost, 1.5 * kNominalCost, 1e-12);
+  EXPECT_DOUBLE_EQ(m2.fout, 0.0);
+}
+
+TEST(PeriodMathTest, CostNoiseAppliedOnlyWhenUpdateFires) {
+  PeriodMath math(kNominalCost, Opts());
+  int draws = 0;
+  const std::function<double()> noise = [&draws] {
+    ++draws;
+    return 2.0;
+  };
+
+  // Idle period: the noise source must NOT be consumed (the sim Monitor's
+  // RNG stream position depends on this).
+  PeriodCounters c1;
+  c1.now = 1.0;
+  math.Sample(c1, 2.0, 1.0, noise);
+  EXPECT_EQ(draws, 0);
+
+  PeriodCounters c2 = c1;
+  c2.now = 2.0;
+  c2.drained_base_load = 100 * kNominalCost;
+  c2.busy_seconds = 100 * kNominalCost;
+  PeriodMeasurement m = math.Sample(c2, 2.0, 1.0, noise);
+  EXPECT_EQ(draws, 1);
+  EXPECT_NEAR(m.cost, 2.0 * kNominalCost, 1e-12);
+}
+
+TEST(PeriodMathTest, MeasuredDelayUsesSuppliedDeltas) {
+  PeriodMath math(kNominalCost, Opts());
+
+  PeriodCounters c;
+  c.now = 1.0;
+  c.delay_sum = 10.0;
+  c.delay_count = 5;
+  PeriodMeasurement m1 = math.Sample(c, 2.0, 1.0);
+  ASSERT_TRUE(m1.has_y_measured);
+  EXPECT_DOUBLE_EQ(m1.y_measured, 2.0);
+
+  c.now = 2.0;
+  c.delay_sum = 0.0;
+  c.delay_count = 0;
+  PeriodMeasurement m2 = math.Sample(c, 2.0, 1.0);
+  EXPECT_FALSE(m2.has_y_measured);
+}
+
+TEST(PeriodMathTest, AdaptiveHeadroomConvergesUnderSaturation) {
+  PeriodMathOptions o = Opts();
+  o.headroom = 0.90;  // wrong belief; the "engine" actually gets 0.6
+  o.adapt_headroom = true;
+  o.headroom_ewma = 0.5;
+  PeriodMath math(kNominalCost, o);
+
+  PeriodCounters c;
+  double busy = 0.0;
+  for (int k = 1; k <= 20; ++k) {
+    c.now = static_cast<double>(k);
+    busy += 0.6;
+    c.busy_seconds = busy;
+    c.drained_base_load = busy;
+    c.queue = 100.0;  // persistently backlogged
+    math.Sample(c, 2.0, 1.0);
+  }
+  EXPECT_NEAR(math.HeadroomEstimate(), 0.6, 0.01);
+}
+
+TEST(PeriodMathTest, AggregateHeadroomAboveOneIsAccepted) {
+  // A 4-worker aggregate plant: effective headroom 4*0.97, online estimate
+  // clamped at 4 CPUs of work per second.
+  PeriodMathOptions o;
+  o.headroom = 4 * 0.97;
+  o.max_headroom = 4.0;
+  o.adapt_headroom = true;
+  o.headroom_ewma = 1.0;  // no smoothing: track the measurement exactly
+  PeriodMath math(kNominalCost, o);
+
+  PeriodCounters c;
+  c.now = 1.0;
+  c.queue = 50.0;
+  math.Sample(c, 2.0, 1.0);
+
+  c.now = 2.0;
+  c.busy_seconds = 3.2;  // 3.2 CPU-seconds across 4 workers in 1 s
+  c.drained_base_load = 3.2;
+  PeriodMeasurement m = math.Sample(c, 2.0, 1.0);
+  EXPECT_NEAR(math.HeadroomEstimate(), 3.2, 1e-12);
+  // y_hat uses the online aggregate estimate.
+  EXPECT_NEAR(m.y_hat, (m.queue + 1.0) * m.cost / 3.2, 1e-12);
+}
+
+TEST(PeriodMathDeathTest, RejectsBackwardsCounters) {
+  PeriodMath math(kNominalCost, Opts());
+  PeriodCounters c;
+  c.now = 1.0;
+  c.offered = 10;
+  math.Sample(c, 2.0, 1.0);
+  c.now = 2.0;
+  c.offered = 5;
+  EXPECT_DEATH(math.Sample(c, 2.0, 1.0), "backwards");
+}
+
+TEST(PeriodMathDeathTest, RejectsNonPositiveElapsed) {
+  PeriodMath math(kNominalCost, Opts());
+  PeriodCounters c;
+  c.now = 1.0;
+  EXPECT_DEATH(math.Sample(c, 2.0, 0.0), "elapsed");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace ctrlshed {
 namespace {
 
@@ -174,6 +176,131 @@ TEST(RtMonitorDeathTest, RejectsNonMonotonicTime) {
   mon.Sample(s, 2.0);
   s.now = 1.5;
   EXPECT_DEATH(mon.Sample(s, 2.0), "forward");
+}
+
+// --- Multi-shard aggregation -----------------------------------------------
+
+TEST(RtMonitorShardedTest, SkewedShardsAggregateToOnePlant) {
+  // Two shards, maximally skewed: shard 0 idle, shard 1 overloaded. The
+  // controller must see exactly the single plant the shard sums describe.
+  RtMonitor mon(kNominalCost, /*num_shards=*/2, Opts());
+
+  RtSample idle;
+  idle.now = 1.0;
+
+  RtSample busy;
+  busy.now = 1.0;
+  busy.offered = 200;
+  busy.admitted = 160;
+  busy.drained_base_load = 120 * kNominalCost;
+  busy.busy_seconds = 120 * kNominalCost;
+  busy.queued_tuples = 40;
+  busy.outstanding_base_load = 40 * kNominalCost;
+  busy.delay_sum = 12.0;
+  busy.delay_count = 4;
+
+  PeriodMeasurement m = mon.Sample({idle, busy}, 2.0);
+  EXPECT_DOUBLE_EQ(m.fin, 200.0);
+  EXPECT_DOUBLE_EQ(m.admitted, 160.0);
+  EXPECT_DOUBLE_EQ(m.fout, 120.0);
+  EXPECT_DOUBLE_EQ(m.queue, 40.0);
+  // Eq. 11 against the aggregate's effective headroom N*H = 2.
+  EXPECT_NEAR(m.y_hat, 41.0 * kNominalCost / 2.0, 1e-12);
+  ASSERT_TRUE(m.has_y_measured);
+  EXPECT_DOUBLE_EQ(m.y_measured, 3.0);
+
+  // The per-shard decomposition feeds the actuation fan-out.
+  EXPECT_DOUBLE_EQ(mon.shard_fin()[0], 0.0);
+  EXPECT_DOUBLE_EQ(mon.shard_fin()[1], 200.0);
+  EXPECT_DOUBLE_EQ(mon.shard_queues()[0], 0.0);
+  EXPECT_DOUBLE_EQ(mon.shard_queues()[1], 40.0);
+}
+
+TEST(RtMonitorShardedTest, AggregateMatchesEquivalentSinglePlant) {
+  // Summing the shard counters into one RtSample and feeding a 1-shard
+  // monitor with headroom N*H must reproduce the 2-shard measurement —
+  // the sharded monitor IS the single-plant abstraction.
+  RtMonitorOptions per_worker = Opts();
+  per_worker.headroom = 0.8;
+  RtMonitor sharded(kNominalCost, 2, per_worker);
+
+  RtMonitorOptions agg = Opts();
+  agg.headroom = 1.0;  // RtMonitor checks per-worker H <= 1; emulate 2*0.8
+  RtMonitor reference(kNominalCost, 1, agg);
+
+  RtSample a;
+  a.now = 1.0;
+  a.offered = 150;
+  a.admitted = 120;
+  a.drained_base_load = 90 * kNominalCost;
+  a.busy_seconds = 110 * kNominalCost;
+  a.queued_tuples = 30;
+  a.outstanding_base_load = 30 * kNominalCost;
+
+  RtSample b;
+  b.now = 1.0;
+  b.offered = 50;
+  b.admitted = 40;
+  b.drained_base_load = 30 * kNominalCost;
+  b.busy_seconds = 35 * kNominalCost;
+  b.queued_tuples = 10;
+  b.outstanding_base_load = 10 * kNominalCost;
+
+  RtSample sum;
+  sum.now = 1.0;
+  sum.offered = a.offered + b.offered;
+  sum.admitted = a.admitted + b.admitted;
+  sum.drained_base_load = a.drained_base_load + b.drained_base_load;
+  sum.busy_seconds = a.busy_seconds + b.busy_seconds;
+  sum.queued_tuples = a.queued_tuples + b.queued_tuples;
+  sum.outstanding_base_load =
+      a.outstanding_base_load + b.outstanding_base_load;
+
+  PeriodMeasurement ms = sharded.Sample({a, b}, 2.0);
+  PeriodMeasurement mr = reference.Sample(sum, 2.0);
+  EXPECT_DOUBLE_EQ(ms.fin, mr.fin);
+  EXPECT_DOUBLE_EQ(ms.fout, mr.fout);
+  EXPECT_DOUBLE_EQ(ms.queue, mr.queue);
+  // Drain-weighted cost is identical; only the headroom divisor differs
+  // (2 * 0.8 vs 1.0), so y_hat scales by exactly 1.0 / 1.6.
+  EXPECT_DOUBLE_EQ(ms.cost, mr.cost);
+  EXPECT_NEAR(ms.y_hat, mr.y_hat / 1.6, 1e-12);
+}
+
+TEST(RtMonitorShardedTest, PerShardQueueClampIsAppliedBeforeSumming) {
+  // An empty shard's bookkeeping residue must not leak into the aggregate
+  // queue, even when another shard is backlogged.
+  RtMonitor mon(kNominalCost, 2, Opts());
+
+  RtSample empty;
+  empty.now = 1.0;
+  empty.queued_tuples = 0;
+  empty.outstanding_base_load = 1e-16;  // residue
+
+  RtSample backlogged;
+  backlogged.now = 1.0;
+  backlogged.queued_tuples = 10;
+  backlogged.outstanding_base_load = 10 * kNominalCost;
+
+  PeriodMeasurement m = mon.Sample({empty, backlogged}, 2.0);
+  EXPECT_DOUBLE_EQ(m.queue, 10.0);
+}
+
+TEST(RtMonitorShardedDeathTest, RejectsWrongShardCount) {
+  RtMonitor mon(kNominalCost, 2, Opts());
+  RtSample s;
+  s.now = 1.0;
+  EXPECT_DEATH(mon.Sample(std::vector<RtSample>{s}, 2.0),
+               "one snapshot per shard");
+}
+
+TEST(RtMonitorShardedDeathTest, RejectsMismatchedSnapshotTimes) {
+  RtMonitor mon(kNominalCost, 2, Opts());
+  RtSample a;
+  a.now = 1.0;
+  RtSample b;
+  b.now = 1.5;
+  EXPECT_DEATH(mon.Sample({a, b}, 2.0), "one sample time");
 }
 
 }  // namespace

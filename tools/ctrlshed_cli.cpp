@@ -86,6 +86,25 @@ std::string GetString(Args& args, const std::string& key,
   return v;
 }
 
+/// Worker-shard count of `ctrlshed rt`; strictly validated (a mistyped
+/// value silently coerced to 0 workers would be a confusing crash deep in
+/// the runtime). 64 is far above any sane shard count on one box.
+int GetWorkers(Args& args) {
+  auto it = args.find("workers");
+  if (it == args.end()) return 1;
+  const std::string s = it->second;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 1 || v > 64) {
+    std::fprintf(stderr,
+                 "workers must be an integer in [1, 64], got '%s'\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  args.erase(it);
+  return static_cast<int>(v);
+}
+
 void RejectLeftovers(const Args& args) {
   if (args.empty()) return;
   std::fprintf(stderr, "unknown option(s):");
@@ -211,6 +230,7 @@ int CmdRt(Args args) {
   cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
+  cfg.workers = GetWorkers(args);
   cfg.base.telemetry.dir = GetString(args, "telemetry_dir", "");
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
@@ -221,6 +241,19 @@ int CmdRt(Args args) {
               cfg.base.duration / cfg.time_compression);
   RtRunResult r = RunRtExperiment(cfg);
   PrintSummary(r.summary);
+  if (r.workers > 1) {
+    std::printf("workers            %d\n", r.workers);
+    for (size_t i = 0; i < r.shards.size(); ++i) {
+      const RtShardSummary& s = r.shards[i];
+      std::printf("  shard %zu          offered %llu  entry_shed %llu  "
+                  "ring_drop %llu  in_net %llu  departed %llu\n",
+                  i, static_cast<unsigned long long>(s.offered),
+                  static_cast<unsigned long long>(s.entry_shed),
+                  static_cast<unsigned long long>(s.ring_dropped),
+                  static_cast<unsigned long long>(s.shed_lineages),
+                  static_cast<unsigned long long>(s.departed));
+    }
+  }
   std::printf("ring drops         %llu\n",
               static_cast<unsigned long long>(r.ring_dropped));
   std::printf("wall time          %.2f s\n", r.wall_seconds);
@@ -293,9 +326,12 @@ void PrintHelp() {
       "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
       "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
-      "                  [seed=42] [trace_out=FILE] [telemetry_dir=DIR]\n"
+      "                  [workers=1] [seed=42] [trace_out=FILE]\n"
+      "                  [telemetry_dir=DIR]\n"
       "                  (wall-clock threaded runtime; compress = trace\n"
-      "                  seconds replayed per wall second)\n"
+      "                  seconds replayed per wall second; workers=N in\n"
+      "                  [1,64] partitions the plant across N engine\n"
+      "                  shards under one aggregate feedback loop)\n"
       "\n"
       "  telemetry_dir=DIR (or --telemetry-dir DIR) writes trace.json\n"
       "  (Chrome trace-event JSON; open in Perfetto), metrics.jsonl\n"
