@@ -10,7 +10,11 @@
 // pass compress=1 for a true real-time hour-of-the-day soak.
 //
 //   rt_soak [duration=60] [compress=15] [yd=2] [overload=2] [seed=42]
-//           [workers=1] [telemetry_dir=DIR]
+//           [workers=1] [telemetry_dir=DIR] [telemetry_port=N]
+//
+// telemetry_port=N serves the live control-loop feed over HTTP while the
+// soak runs (N=0 picks an ephemeral port, printed at startup): /metrics,
+// /status, /timeline (SSE), and the dashboard at /.
 //
 // workers=N shards the plant across N engine workers under one aggregate
 // feedback loop. `overload` stays defined against ONE worker's capacity,
@@ -127,6 +131,19 @@ int main(int argc, char** argv) {
   cfg.time_compression = compress;
   cfg.workers = workers;
   cfg.base.telemetry.dir = StrArg(argc, argv, "telemetry_dir", "");
+  const double port_raw = Arg(argc, argv, "telemetry_port", -1.0);
+  if (port_raw < -1.0 || port_raw > 65535.0 ||
+      port_raw != std::floor(port_raw)) {
+    std::fprintf(stderr, "telemetry_port must be an integer in [0, 65535]\n");
+    return 2;
+  }
+  cfg.base.telemetry.server_port = static_cast<int>(port_raw);
+  cfg.base.telemetry.on_server_start = [](int port) {
+    std::printf("telemetry server: http://127.0.0.1:%d/ "
+                "(/metrics /status /timeline)\n",
+                port);
+    std::fflush(stdout);
+  };
 
   const double agg_capacity =
       static_cast<double>(workers) * cfg.base.capacity_rate;
@@ -145,6 +162,8 @@ int main(int argc, char** argv) {
     RtRunConfig one = cfg;
     one.workers = 1;
     one.base.telemetry.dir = "";
+    one.base.telemetry.server_port = -1;
+    one.base.telemetry.on_server_start = nullptr;
     std::printf("comparison run: workers=1 on the same trace ...\n");
     single = RunRtExperiment(one);
     std::printf("  workers=1: offered %llu, shed %llu (loss %.3f), "
@@ -221,6 +240,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.trace_dropped),
                 static_cast<unsigned long long>(r.timeline_rows),
                 cfg.base.telemetry.dir.c_str());
+  }
+  if (r.telemetry_port >= 0) {
+    std::printf("sse feed            port %d: %llu connections, "
+                "%llu rows streamed, %llu dropped to slow clients\n",
+                r.telemetry_port,
+                static_cast<unsigned long long>(r.sse_clients),
+                static_cast<unsigned long long>(r.sse_rows_published),
+                static_cast<unsigned long long>(r.sse_rows_dropped));
   }
   std::printf("converged mean y    %.3f s (setpoint %.3f s, error %.1f%%, "
               "%d overloaded periods, %d lulls excluded)\n",

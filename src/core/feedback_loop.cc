@@ -1,6 +1,7 @@
 #include "core/feedback_loop.h"
 
 #include "common/macros.h"
+#include "telemetry/telemetry.h"
 
 namespace ctrlshed {
 
@@ -90,7 +91,9 @@ void FeedbackLoop::ControlTick(SimTime now) {
     controller_->NotifyActuation(applied);
     alpha = shedder_->drop_probability();
   }
-  recorder_.Record(m, v, alpha);
+  PeriodRecord rec{m, v, alpha, /*lateness=*/0.0, /*shard_q=*/{}};
+  if (options_.telemetry != nullptr) options_.telemetry->PublishTimelineRow(rec);
+  recorder_.Record(std::move(rec));
 }
 
 double FeedbackLoop::LossRatio() const {

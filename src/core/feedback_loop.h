@@ -17,6 +17,8 @@
 
 namespace ctrlshed {
 
+class Telemetry;
+
 /// Options of the closed control loop.
 struct FeedbackLoopOptions {
   SimTime period = 1.0;        ///< Control period T.
@@ -29,6 +31,10 @@ struct FeedbackLoopOptions {
   /// When > 0, keep per-stream offered/admitted/delay statistics for this
   /// many sources (see PerSourceStats). 0 disables the accounting.
   int track_sources = 0;
+  /// When set, every finished control period is published to the
+  /// telemetry timeline sinks (streaming files + SSE) as it happens,
+  /// instead of only being exported after the run. Not owned.
+  Telemetry* telemetry = nullptr;
 };
 
 /// The complete feedback control loop of Fig. 3: monitor -> controller ->

@@ -93,6 +93,7 @@ void Engine::ReleaseLineage(const Tuple& t, SimTime depart_time,
 
 void Engine::ExecuteOne(OperatorBase* op) {
   CS_CHECK(!op->queue().empty());
+  if (observer_ != nullptr) observer_->OnInvocationStart(*op);
   Tuple in = op->queue().front();
   op->queue().pop_front();
   --queued_tuples_;
@@ -148,6 +149,7 @@ void Engine::ExecuteOne(OperatorBase* op) {
   const DepartureKind kind =
       emitted_to_sink ? DepartureKind::kOutput : DepartureKind::kFiltered;
   ReleaseLineage(in, completion, kind, /*shed=*/false);
+  if (observer_ != nullptr) observer_->OnInvocationEnd(*op, cost);
 }
 
 void Engine::AdvanceTo(SimTime t) {
@@ -196,6 +198,7 @@ double Engine::ShedFromQueues(double target_base_load, Rng& rng,
     counters_.shed_base_load += r;
     removed += r;
     ReleaseLineage(t, clock_, DepartureKind::kFiltered, /*shed=*/true);
+    if (observer_ != nullptr) observer_->OnQueueDrop(*victim);
   }
   return removed;
 }

@@ -43,6 +43,23 @@ struct Departure {
 
 using DepartureCallback = std::function<void(const Departure&)>;
 
+/// Per-invocation observer hooks, the seam the telemetry layer plugs into
+/// without the engine linking against it (telemetry already depends on the
+/// engine). All callbacks run on the engine's thread, inline in the pump —
+/// implementations must be cheap and must never block.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// An invocation of `op` is about to run (front of its queue).
+  virtual void OnInvocationStart(const OperatorBase& op) = 0;
+  /// The invocation finished; `cost_seconds` is the effective CPU cost
+  /// charged (nominal cost x multiplier).
+  virtual void OnInvocationEnd(const OperatorBase& op,
+                               double cost_seconds) = 0;
+  /// In-network shedding dropped one queued tuple from `op`'s queue.
+  virtual void OnQueueDrop(const OperatorBase& op) = 0;
+};
+
 /// Monotonic counters exposed to the monitor. All "lineage" counters count
 /// source tuples (or derived tuples) once, however many copies branched
 /// paths create.
@@ -84,6 +101,10 @@ class Engine : public Process {
 
   /// Installs the per-departure observer.
   void SetDepartureCallback(DepartureCallback cb) { on_departure_ = std::move(cb); }
+
+  /// Installs the per-invocation observer (null to remove). Not owned;
+  /// must outlive the engine's use of it.
+  void SetObserver(EngineObserver* observer) { observer_ = observer; }
 
   /// Admits one source tuple into the network at time `now` (>= the
   /// engine's current clock position is not required; arrival timestamps
@@ -161,6 +182,7 @@ class Engine : public Process {
   std::unique_ptr<SchedulerPolicy> scheduler_;
   CostMultiplierFn cost_multiplier_;
   DepartureCallback on_departure_;
+  EngineObserver* observer_ = nullptr;
 
   SimTime clock_ = 0.0;
 

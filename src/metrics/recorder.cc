@@ -20,41 +20,46 @@ void Recorder::Write(std::ostream& out) const {
   }
 }
 
-void Recorder::WriteCsv(std::ostream& out) const {
+void Recorder::WriteCsvHeader(std::ostream& out) {
   out << "k,t,period,yd,fin,fin_forecast,admitted,fout,q,c,y_hat,y_meas,"
          "e,u,v,alpha,loss,lateness\n";
+}
+
+void Recorder::WriteCsvRow(const PeriodRecord& r, std::ostream& out) {
   char buf[40];
   const auto field = [&out, &buf](double v, char sep) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out << buf << sep;
   };
-  for (const PeriodRecord& r : rows_) {
-    const double e = r.m.target_delay - r.m.y_hat;
-    const double u = r.v - r.m.fout;
-    const double loss =
-        r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin)
-                      : 0.0;
-    out << r.m.k << ',';
-    field(r.m.t, ',');
-    field(r.m.period, ',');
-    field(r.m.target_delay, ',');
-    field(r.m.fin, ',');
-    field(r.m.fin_forecast, ',');
-    field(r.m.admitted, ',');
-    field(r.m.fout, ',');
-    field(r.m.queue, ',');
-    field(r.m.cost, ',');
-    field(r.m.y_hat, ',');
-    field(r.m.has_y_measured ? r.m.y_measured
-                             : std::numeric_limits<double>::quiet_NaN(),
-          ',');
-    field(e, ',');
-    field(u, ',');
-    field(r.v, ',');
-    field(r.alpha, ',');
-    field(loss, ',');
-    field(r.lateness, '\n');
-  }
+  const double e = r.m.target_delay - r.m.y_hat;
+  const double u = r.v - r.m.fout;
+  const double loss =
+      r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin) : 0.0;
+  out << r.m.k << ',';
+  field(r.m.t, ',');
+  field(r.m.period, ',');
+  field(r.m.target_delay, ',');
+  field(r.m.fin, ',');
+  field(r.m.fin_forecast, ',');
+  field(r.m.admitted, ',');
+  field(r.m.fout, ',');
+  field(r.m.queue, ',');
+  field(r.m.cost, ',');
+  field(r.m.y_hat, ',');
+  field(r.m.has_y_measured ? r.m.y_measured
+                           : std::numeric_limits<double>::quiet_NaN(),
+        ',');
+  field(e, ',');
+  field(u, ',');
+  field(r.v, ',');
+  field(r.alpha, ',');
+  field(loss, ',');
+  field(r.lateness, '\n');
+}
+
+void Recorder::WriteCsv(std::ostream& out) const {
+  WriteCsvHeader(out);
+  for (const PeriodRecord& r : rows_) WriteCsvRow(r, out);
 }
 
 }  // namespace ctrlshed

@@ -34,6 +34,7 @@ class Recorder {
               double lateness = 0.0, std::vector<double> shard_q = {}) {
     rows_.push_back(PeriodRecord{m, v, alpha, lateness, std::move(shard_q)});
   }
+  void Record(PeriodRecord row) { rows_.push_back(std::move(row)); }
 
   const std::vector<PeriodRecord>& rows() const { return rows_; }
   bool empty() const { return rows_.empty(); }
@@ -48,6 +49,12 @@ class Recorder {
   /// per-period loss (fin - admitted)/fin, and the actuation lateness.
   /// y_meas is `nan` for periods with no departures.
   void WriteCsv(std::ostream& out) const;
+
+  /// Header + single-row pieces of WriteCsv, exposed so streaming sinks
+  /// (the telemetry FileTimelineSink) produce byte-identical CSV while
+  /// writing row by row instead of from a finished recorder.
+  static void WriteCsvHeader(std::ostream& out);
+  static void WriteCsvRow(const PeriodRecord& row, std::ostream& out);
 
  private:
   std::vector<PeriodRecord> rows_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "telemetry/op_telemetry.h"
 
 namespace ctrlshed {
 
@@ -124,6 +125,11 @@ void RtEngine::WorkerLoop() {
     pump_interval_metric_ =
         options_.telemetry->metrics()->GetHistogram("rt.pump_interval_s");
     pump_counter_ = options_.telemetry->metrics()->GetCounter("rt.pumps");
+    // Operator-granular spans/counters on this worker's engine. Counters
+    // are registry-shared, so shards aggregate per operator name.
+    op_telemetry_ = std::make_unique<OperatorTelemetry>(
+        options_.telemetry, trace_buf_, engine_.network());
+    engine_.SetObserver(op_telemetry_.get());
   }
   const auto pacing = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(options_.pacing_wall_seconds));

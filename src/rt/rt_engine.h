@@ -19,6 +19,8 @@
 
 namespace ctrlshed {
 
+class OperatorTelemetry;
+
 /// How the worker charges per-tuple processing cost against real time.
 enum class RtCostMode {
   /// Busy-loop while the engine is catching up to the wall clock: the
@@ -140,6 +142,9 @@ class RtEngine {
   TraceBuffer* trace_buf_ = nullptr;
   HistogramMetric* pump_interval_metric_ = nullptr;
   Counter* pump_counter_ = nullptr;
+  /// Per-operator spans/counters (worker-thread-owned; created at thread
+  /// start, torn down after the join).
+  std::unique_ptr<OperatorTelemetry> op_telemetry_;
 
   std::atomic<bool> stop_{false};
   std::thread worker_;

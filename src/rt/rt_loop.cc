@@ -227,9 +227,13 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
     y_hat_gauge_->Set(m.y_hat);
     alpha_gauge_->Set(alpha);
   }
-  recorder_.Record(m, v, alpha, lateness_wall,
+  PeriodRecord rec{m, v, alpha, lateness_wall,
                    shards_.size() > 1 ? monitor_.shard_queues()
-                                      : std::vector<double>{});
+                                      : std::vector<double>{}};
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->PublishTimelineRow(rec);
+  }
+  recorder_.Record(std::move(rec));
 }
 
 uint64_t RtLoop::SumStat(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -20,17 +21,18 @@
 #include "runner/networks.h"
 #include "shedding/aurora_shedder.h"
 #include "shedding/entry_shedder.h"
-#include "telemetry/timeline.h"
 
 namespace ctrlshed {
 
 namespace {
 constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
 
-// Interruptible absolute sleep on the main thread (no stop token needed —
-// the main thread is the one that decides to stop).
-void SleepUntilWall(std::chrono::steady_clock::time_point deadline) {
+// Interruptible absolute sleep on the main thread: wakes early when the
+// caller-provided stop flag (e.g. a signal handler's) flips true.
+void SleepUntilWall(std::chrono::steady_clock::time_point deadline,
+                    const std::atomic<bool>* stop) {
   for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return;
     const auto remaining = deadline - now;
@@ -39,6 +41,10 @@ void SleepUntilWall(std::chrono::steady_clock::time_point deadline) {
             ? remaining
             : std::chrono::steady_clock::duration(kMaxSleepChunk));
   }
+}
+
+bool StopRequested(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
 }
 }  // namespace
 
@@ -62,6 +68,22 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
   TraceBuffer* main_buf =
       telemetry ? telemetry->RegisterThread("main") : nullptr;
+  if (telemetry) {
+    // Everything the status lambda captures is immutable for the run, so
+    // the server thread can render it without synchronization.
+    const double duration = base.duration;
+    const double period = base.period;
+    const double compression = config.time_compression;
+    const int n_workers = config.workers;
+    telemetry->SetStatusSource([duration, period, compression, n_workers] {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"mode\":\"rt\",\"workers\":%d,\"duration\":%g,"
+                    "\"period\":%g,\"compression\":%g}",
+                    n_workers, duration, period, compression);
+      return std::string(buf);
+    });
+  }
   std::optional<ScopedSpan> phase;
   phase.emplace(main_buf, "setup");
 
@@ -183,10 +205,11 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
 
   phase.emplace(main_buf, "replay");
   for (const auto& [when, yd] : schedule) {
-    SleepUntilWall(clock.WallDeadline(when));
+    SleepUntilWall(clock.WallDeadline(when), config.stop);
+    if (StopRequested(config.stop)) break;
     loop.SetTargetDelay(yd);
   }
-  SleepUntilWall(clock.WallDeadline(base.duration));
+  SleepUntilWall(clock.WallDeadline(base.duration), config.stop);
 
   // Teardown order: sources first (no new arrivals), then the loop (which
   // stops the controller thread, then the engine workers).
@@ -220,14 +243,22 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   }
   result.actuation_lateness = loop.actuation_lateness();
 
+  result.interrupted = StopRequested(config.stop);
+
   // Telemetry epilogue: every thread has joined, so a final drain sees
-  // everything; the timeline export reuses the recorder's rows.
+  // everything. The timeline files were streamed row by row through the
+  // loop's TimelineSink path (complete even on an interrupted run).
   if (telemetry) {
-    result.timeline_rows =
-        WriteControlTimeline(result.recorder, telemetry->dir());
+    if (telemetry->server() != nullptr) {
+      result.telemetry_port = telemetry->server()->port();
+    }
     telemetry->Stop();
+    result.timeline_rows = telemetry->timeline_rows();
     result.trace_events = telemetry->trace_events();
     result.trace_dropped = telemetry->trace_dropped();
+    result.sse_clients = telemetry->sse_clients_accepted();
+    result.sse_rows_published = telemetry->sse_rows_published();
+    result.sse_rows_dropped = telemetry->sse_rows_dropped();
   }
   return result;
 }

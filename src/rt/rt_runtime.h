@@ -1,6 +1,7 @@
 #ifndef CTRLSHED_RT_RT_RUNTIME_H_
 #define CTRLSHED_RT_RT_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,13 @@ struct RtRunConfig {
   /// unsharded run. 1 = the historical single-worker runtime, bit for
   /// bit.
   int workers = 1;
+
+  /// Optional early-stop flag (e.g. set by a SIGINT handler). The main
+  /// thread polls it between sleep chunks; when it flips true the run
+  /// tears down cleanly — sources stop, threads join, telemetry flushes
+  /// complete trace.json / timeline.* files — and the result covers the
+  /// periods that finished. Not owned; may be null.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Per-shard slice of a sharded run's accounting.
@@ -72,10 +80,19 @@ struct RtRunResult {
   LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
   LatencyHistogram actuation_lateness{1e-6, 1e3, 1.08};
 
-  // Telemetry accounting, non-zero only when base.telemetry.dir is set.
+  // Telemetry accounting, non-zero only when telemetry was on.
   uint64_t trace_events = 0;   ///< Span/instant events captured.
   uint64_t trace_dropped = 0;  ///< Events lost to full trace rings.
   uint64_t timeline_rows = 0;  ///< Per-period rows exported.
+
+  // Live-server accounting, meaningful only with base.telemetry.server_port
+  // >= 0.
+  int telemetry_port = -1;          ///< Bound port; -1 when no server ran.
+  uint64_t sse_clients = 0;         ///< HTTP connections accepted.
+  uint64_t sse_rows_published = 0;  ///< Timeline rows offered to the feed.
+  uint64_t sse_rows_dropped = 0;    ///< Rows lost to slow SSE clients.
+
+  bool interrupted = false;  ///< True when config.stop ended the run early.
 };
 
 /// Builds the standard plant (identification network + RtEngine + replay

@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include <cstdio>
 #include <memory>
 #include <optional>
 
@@ -15,7 +16,7 @@
 #include "shedding/entry_shedder.h"
 #include "shedding/queue_shedder.h"
 #include "sim/simulation.h"
-#include "telemetry/timeline.h"
+#include "telemetry/op_telemetry.h"
 
 namespace ctrlshed {
 
@@ -63,6 +64,24 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   Engine engine(&net, config.headroom_true,
                 MakeScheduler(config.scheduler, config.seed + 5));
   sim.AttachProcess(&engine);
+
+  // Operator-granular instrumentation: op:<name> spans on the sim track,
+  // per-operator processed/dropped counters for /metrics.
+  std::unique_ptr<OperatorTelemetry> op_telemetry;
+  if (telemetry) {
+    op_telemetry =
+        std::make_unique<OperatorTelemetry>(telemetry.get(), trace_buf, net);
+    engine.SetObserver(op_telemetry.get());
+    const double duration = config.duration;
+    const double period = config.period;
+    telemetry->SetStatusSource([duration, period] {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"mode\":\"sim\",\"duration\":%g,\"period\":%g}",
+                    duration, period);
+      return std::string(buf);
+    });
+  }
 
   RateTrace cost_trace;
   if (config.vary_cost) {
@@ -119,6 +138,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   loop_opts.estimation_noise = config.estimation_noise;
   loop_opts.noise_seed = config.seed + 4;
   loop_opts.adapt_headroom = config.adapt_headroom;
+  loop_opts.telemetry = telemetry.get();
   FeedbackLoop loop(&sim, &engine, controller.get(), shedder.get(), loop_opts);
   if (config.departure_observer) {
     loop.SetDepartureObserver(config.departure_observer);
@@ -158,7 +178,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     reg->GetCounter("sim.departures")->Add(result.summary.departures);
     reg->GetGauge("sim.loss_ratio")->Set(result.summary.loss_ratio);
     reg->GetGauge("sim.mean_delay")->Set(result.summary.mean_delay);
-    WriteControlTimeline(result.recorder, telemetry->dir());
+    // timeline.csv / timeline.jsonl were streamed row-by-row through the
+    // loop's TimelineSink path; nothing left to export here.
     telemetry->Stop();
   }
   return result;

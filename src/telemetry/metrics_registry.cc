@@ -41,6 +41,26 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    const LatencyHistogram hist = h->Snapshot();
+    MetricsSnapshot::HistogramStats s;
+    s.count = hist.count();
+    s.sum = hist.Mean() * static_cast<double>(hist.count());
+    s.min = hist.min();
+    s.max = hist.max();
+    s.p50 = hist.Quantile(0.50);
+    s.p95 = hist.Quantile(0.95);
+    s.p99 = hist.Quantile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
 void MetricsRegistry::WriteJsonLine(double t_seconds, std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out << "{\"t\":";

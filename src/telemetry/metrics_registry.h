@@ -58,6 +58,24 @@ class HistogramMetric {
   LatencyHistogram hist_;
 };
 
+/// A point-in-time copy of every metric, detached from the registry's
+/// locks. Renderers (the JSONL exporter, the Prometheus endpoint) iterate
+/// this instead of holding the registry mutex across formatting.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    uint64_t count = 0;
+    double sum = 0.0;  ///< mean x count — Prometheus' `_sum` convention.
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
 /// Name -> metric registry with a JSONL snapshot writer. Get* calls are
 /// mutex-protected and idempotent (same name returns the same object);
 /// call them once at setup and cache the pointer — the pointers are stable
@@ -73,6 +91,9 @@ class MetricsRegistry {
                                 double min_value = 1e-6,
                                 double max_value = 1e3,
                                 double growth = 1.08);
+
+  /// Copies every metric's current value (any thread).
+  MetricsSnapshot Snapshot() const;
 
   /// Writes one JSON object line: {"t":…,"counters":{…},"gauges":{…},
   /// "histograms":{name:{count,mean,min,max,p50,p95,p99}}}. `t_seconds`

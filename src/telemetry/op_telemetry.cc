@@ -1,0 +1,46 @@
+#include "telemetry/op_telemetry.h"
+
+#include <string>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+OperatorTelemetry::OperatorTelemetry(Telemetry* telemetry, TraceBuffer* buf,
+                                     const QueryNetwork& network)
+    : buf_(buf) {
+  CS_CHECK(telemetry != nullptr);
+  ops_.resize(network.NumOperators());
+  for (size_t i = 0; i < network.NumOperators(); ++i) {
+    const OperatorBase* op = network.Operator(i);
+    PerOp& slot = ops_[static_cast<size_t>(op->id())];
+    if (telemetry->tracer() != nullptr) {
+      slot.span_name = telemetry->tracer()->Intern("op:" + op->name());
+    }
+    slot.processed =
+        telemetry->metrics()->GetCounter("engine.op." + op->name() + ".processed");
+    slot.dropped =
+        telemetry->metrics()->GetCounter("engine.op." + op->name() + ".dropped");
+  }
+}
+
+void OperatorTelemetry::OnInvocationStart(const OperatorBase& op) {
+  (void)op;
+  if (buf_ != nullptr) start_us_ = buf_->NowUs();
+}
+
+void OperatorTelemetry::OnInvocationEnd(const OperatorBase& op,
+                                        double cost_seconds) {
+  (void)cost_seconds;
+  const PerOp& slot = ops_[static_cast<size_t>(op.id())];
+  slot.processed->Add();
+  if (buf_ != nullptr && slot.span_name != nullptr) {
+    buf_->Emit({slot.span_name, start_us_, buf_->NowUs() - start_us_});
+  }
+}
+
+void OperatorTelemetry::OnQueueDrop(const OperatorBase& op) {
+  ops_[static_cast<size_t>(op.id())].dropped->Add();
+}
+
+}  // namespace ctrlshed

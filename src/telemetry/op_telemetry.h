@@ -1,0 +1,52 @@
+#ifndef CTRLSHED_TELEMETRY_OP_TELEMETRY_H_
+#define CTRLSHED_TELEMETRY_OP_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/query_network.h"
+#include "telemetry/telemetry.h"
+
+namespace ctrlshed {
+
+/// EngineObserver that instruments the plant at operator granularity:
+/// every invocation becomes an `op:<name>` span on the pumping thread's
+/// trace buffer, and per-operator `engine.op.<name>.processed` /
+/// `engine.op.<name>.dropped` counters accumulate in the metrics registry
+/// — so trace.json and GET /metrics show where inside the query network
+/// the cost lives and where the in-network shedder is dropping.
+///
+/// Span names are interned in the Tracer (operator names live in the
+/// query network, which may be destroyed before the trace serializes).
+/// Counters are registry-owned, so shards sharing one registry aggregate
+/// naturally — the same convention as the rt pump counters. With a null
+/// trace buffer only the counters run; the per-invocation overhead is two
+/// relaxed atomic adds.
+class OperatorTelemetry : public EngineObserver {
+ public:
+  /// `telemetry` must be non-null and outlive this observer. `buf` is the
+  /// owning thread's trace buffer (null when tracing is off). Counters and
+  /// interned names cover every operator of `network` (finalized).
+  OperatorTelemetry(Telemetry* telemetry, TraceBuffer* buf,
+                    const QueryNetwork& network);
+
+  void OnInvocationStart(const OperatorBase& op) override;
+  void OnInvocationEnd(const OperatorBase& op, double cost_seconds) override;
+  void OnQueueDrop(const OperatorBase& op) override;
+
+ private:
+  struct PerOp {
+    const char* span_name = nullptr;  ///< Interned; null when tracing off.
+    Counter* processed = nullptr;
+    Counter* dropped = nullptr;
+  };
+
+  TraceBuffer* buf_;
+  std::vector<PerOp> ops_;  ///< Indexed by OperatorBase::id().
+  int64_t start_us_ = 0;    ///< Invocations never nest on one engine.
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_OP_TELEMETRY_H_

@@ -1,0 +1,146 @@
+#include "telemetry/prom_export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ctrlshed {
+
+namespace {
+
+// Locale-independent double formatting, same policy as the JSONL writers.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One exposition sample: family name + optional label + value text.
+struct Sample {
+  std::string labels;  ///< e.g. `{shard="0"}`, empty for plain metrics.
+  std::string suffix;  ///< e.g. "_sum"; appended to the family name.
+  std::string value;
+};
+
+/// Family name + label split of one registry name (see header contract).
+struct Mapped {
+  std::string family;
+  std::string labels;
+};
+
+/// "rt.shard<i>.<leaf>" and "engine.op.<name>.<leaf>" fold into labeled
+/// families; everything else sanitizes whole.
+Mapped MapName(const std::string& name) {
+  const std::string shard_prefix = "rt.shard";
+  if (name.rfind(shard_prefix, 0) == 0) {
+    size_t i = shard_prefix.size();
+    size_t digits = 0;
+    while (i + digits < name.size() && std::isdigit(static_cast<unsigned char>(
+                                           name[i + digits]))) {
+      ++digits;
+    }
+    if (digits > 0 && i + digits < name.size() && name[i + digits] == '.') {
+      const std::string shard = name.substr(i, digits);
+      const std::string leaf = name.substr(i + digits + 1);
+      return {"rt_shard_" + PrometheusName(leaf),
+              "{shard=\"" + EscapeLabelValue(shard) + "\"}"};
+    }
+  }
+  const std::string op_prefix = "engine.op.";
+  if (name.rfind(op_prefix, 0) == 0) {
+    const size_t last_dot = name.rfind('.');
+    if (last_dot > op_prefix.size()) {
+      const std::string op =
+          name.substr(op_prefix.size(), last_dot - op_prefix.size());
+      const std::string leaf = name.substr(last_dot + 1);
+      return {"engine_op_" + PrometheusName(leaf),
+              "{op=\"" + EscapeLabelValue(op) + "\"}"};
+    }
+  }
+  return {PrometheusName(name), ""};
+}
+
+/// Families must appear once with one # TYPE line and all their samples
+/// grouped, so collect into an ordered family map before writing.
+using FamilyMap = std::map<std::string, std::pair<const char*, std::vector<Sample>>>;
+
+void Collect(FamilyMap* fams, const std::string& family, const char* type,
+             Sample sample) {
+  auto& slot = (*fams)[family];
+  slot.first = type;
+  slot.second.push_back(std::move(sample));
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  // A leading digit is not a valid metric-name start; prefix it away.
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out += '_';
+  return out;
+}
+
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
+  FamilyMap fams;
+  for (const auto& [name, value] : snapshot.counters) {
+    Mapped m = MapName(name);
+    Collect(&fams, m.family + "_total", "counter",
+            {m.labels, "", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Mapped m = MapName(name);
+    Collect(&fams, m.family, "gauge", {m.labels, "", Num(value)});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    Mapped m = MapName(name);
+    // Labeled histogram families would need the quantile label merged into
+    // the existing label set; no instrument needs that yet, so a labeled
+    // histogram keeps its labels only on _sum/_count and the quantile
+    // samples assume an empty base label set.
+    const struct {
+      const char* q;
+      double v;
+    } quantiles[] = {{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const auto& q : quantiles) {
+      Collect(&fams, m.family, "summary",
+              {std::string("{quantile=\"") + q.q + "\"}", "", Num(q.v)});
+    }
+    Collect(&fams, m.family, "summary", {m.labels, "_sum", Num(h.sum)});
+    Collect(&fams, m.family, "summary",
+            {m.labels, "_count", std::to_string(h.count)});
+  }
+
+  for (const auto& [family, entry] : fams) {
+    out << "# TYPE " << family << ' ' << entry.first << '\n';
+    for (const Sample& s : entry.second) {
+      out << family << s.suffix << s.labels << ' ' << s.value << '\n';
+    }
+  }
+}
+
+}  // namespace ctrlshed

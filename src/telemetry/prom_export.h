@@ -1,0 +1,32 @@
+#ifndef CTRLSHED_TELEMETRY_PROM_EXPORT_H_
+#define CTRLSHED_TELEMETRY_PROM_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics_registry.h"
+
+namespace ctrlshed {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4), the payload of the telemetry server's GET /metrics.
+///
+/// Registry names are dot-separated; the renderer maps them onto
+/// Prometheus conventions:
+///  - every name is sanitized to [a-zA-Z0-9_:] ("rt.pumps" -> "rt_pumps");
+///  - counters get the "_total" suffix;
+///  - per-shard instruments "rt.shard<i>.<leaf>" become
+///    `rt_shard_<leaf>{shard="<i>"}` so a shard is a label, not a metric
+///    family per shard;
+///  - per-operator instruments "engine.op.<name>.<leaf>" become
+///    `engine_op_<leaf>{op="<name>"}`;
+///  - histograms render as summaries: `<name>{quantile="0.5|0.95|0.99"}`
+///    plus `<name>_sum` and `<name>_count`.
+void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Sanitizes one metric name to the Prometheus charset (exposed for tests).
+std::string PrometheusName(const std::string& name);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_PROM_EXPORT_H_

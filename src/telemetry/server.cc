@@ -1,0 +1,450 @@
+#include "telemetry/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/macros.h"
+#include "telemetry/prom_export.h"
+
+namespace ctrlshed {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+double NowWall() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  CS_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
+  CS_CHECK_MSG(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << "\r\nContent-Type: " << content_type
+      << "\r\nContent-Length: " << body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+// The whole dashboard ships inline so GET / works with zero files on disk:
+// three autoscaled strip charts fed by the same SSE stream the tests
+// assert on.
+constexpr const char kDashboardHtml[] = R"html(<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>ctrlshed live telemetry</title>
+<style>
+  body { font-family: monospace; background: #111; color: #ddd; margin: 1em; }
+  h1 { font-size: 1.1em; }
+  .chart { margin-bottom: 1em; }
+  canvas { background: #181818; border: 1px solid #333; display: block; }
+  .legend { font-size: 0.85em; color: #999; }
+  #stat { color: #7a7; }
+</style>
+</head>
+<body>
+<h1>ctrlshed control loop <span id="stat">connecting&hellip;</span></h1>
+<div class="chart"><div class="legend">delay: <span style="color:#6cf">y_hat</span> vs <span style="color:#fc6">yd (setpoint)</span></div><canvas id="c_y" width="900" height="160"></canvas></div>
+<div class="chart"><div class="legend">rates: <span style="color:#6cf">u = v - fout</span>, <span style="color:#fc6">v</span></div><canvas id="c_u" width="900" height="160"></canvas></div>
+<div class="chart"><div class="legend">shedding: <span style="color:#6cf">alpha</span>, <span style="color:#fc6">loss</span></div><canvas id="c_a" width="900" height="160"></canvas></div>
+<script>
+'use strict';
+const WINDOW = 600;
+const rows = [];
+function draw(id, series) {
+  const cv = document.getElementById(id), g = cv.getContext('2d');
+  g.clearRect(0, 0, cv.width, cv.height);
+  let lo = Infinity, hi = -Infinity;
+  for (const s of series) for (const v of s.data) {
+    if (v == null || !isFinite(v)) continue;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  if (!isFinite(lo)) return;
+  if (hi - lo < 1e-12) { hi += 1; lo -= 1; }
+  const pad = (hi - lo) * 0.08; lo -= pad; hi += pad;
+  g.fillStyle = '#666'; g.font = '10px monospace';
+  g.fillText(hi.toPrecision(4), 4, 12);
+  g.fillText(lo.toPrecision(4), 4, cv.height - 4);
+  for (const s of series) {
+    g.strokeStyle = s.color; g.beginPath();
+    let pen = false;
+    for (let i = 0; i < s.data.length; i++) {
+      const v = s.data[i];
+      if (v == null || !isFinite(v)) { pen = false; continue; }
+      const x = i * cv.width / Math.max(WINDOW - 1, s.data.length - 1);
+      const y = cv.height - (v - lo) / (hi - lo) * cv.height;
+      if (pen) g.lineTo(x, y); else { g.moveTo(x, y); pen = true; }
+    }
+    g.stroke();
+  }
+}
+function redraw() {
+  const col = (f) => rows.map(f);
+  draw('c_y', [{color: '#6cf', data: col(r => r.y_hat)},
+               {color: '#fc6', data: col(r => r.yd)}]);
+  draw('c_u', [{color: '#6cf', data: col(r => r.u)},
+               {color: '#fc6', data: col(r => r.v)}]);
+  draw('c_a', [{color: '#6cf', data: col(r => r.alpha)},
+               {color: '#fc6', data: col(r => r.loss)}]);
+}
+const es = new EventSource('/timeline');
+es.onopen = () => { document.getElementById('stat').textContent = 'live'; };
+es.onerror = () => { document.getElementById('stat').textContent = 'disconnected'; };
+es.onmessage = (ev) => {
+  rows.push(JSON.parse(ev.data));
+  if (rows.length > WINDOW) rows.shift();
+  const last = rows[rows.length - 1];
+  document.getElementById('stat').textContent =
+      'live · k=' + last.k + ' t=' + last.t.toFixed(2) +
+      ' q=' + last.q.toFixed(0) + ' alpha=' + last.alpha.toFixed(3);
+  redraw();
+};
+</script>
+</body>
+</html>
+)html";
+
+}  // namespace
+
+struct TelemetryServer::Client {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  bool streaming = false;
+  bool close_after_flush = false;
+  bool closed = false;
+  uint64_t dropped_rows = 0;
+};
+
+TelemetryServer::TelemetryServer(MetricsRegistry* registry,
+                                 TelemetryServerOptions options)
+    : registry_(registry), options_(options) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Start() {
+  CS_CHECK_MSG(!started_.load(), "TelemetryServer::Start called twice");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  CS_CHECK_MSG(listen_fd_ >= 0, "telemetry server: socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  CS_CHECK_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0,
+               "telemetry server: cannot bind 127.0.0.1 port");
+  CS_CHECK_MSG(listen(listen_fd_, 16) == 0, "telemetry server: listen failed");
+
+  socklen_t len = sizeof(addr);
+  CS_CHECK_MSG(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0,
+               "telemetry server: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+
+  SetNonBlocking(listen_fd_);
+  CS_CHECK_MSG(pipe(wake_pipe_) == 0, "telemetry server: pipe failed");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  if (registry_ != nullptr) {
+    published_counter_ = registry_->GetCounter("telemetry.sse.rows_published");
+    dropped_counter_ = registry_->GetCounter("telemetry.sse.rows_dropped");
+  }
+
+  start_wall_ = NowWall();
+  started_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void TelemetryServer::Stop() {
+  if (!started_.exchange(false)) return;
+  stop_requested_.store(true);
+  const char b = 'w';
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+  thread_.join();
+  stop_requested_.store(false);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : clients_) {
+    if (!c->closed) CloseClient(c.get());
+  }
+  clients_.clear();
+  close(listen_fd_);
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void TelemetryServer::SetStatusCallback(std::function<std::string()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_cb_ = std::move(cb);
+}
+
+void TelemetryServer::PublishTimelineRow(const std::string& row_json) {
+  const std::string frame = "data: " + row_json + "\n\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(row_json);
+    while (history_.size() > options_.history_rows) history_.pop_front();
+    for (auto& c : clients_) {
+      if (!c->streaming || c->closed) continue;
+      if (c->out.size() + frame.size() > options_.client_buffer_bytes) {
+        // Never stall the control thread on a stuck socket: the row is
+        // gone for this client, and the count makes the gap visible.
+        ++c->dropped_rows;
+        rows_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (dropped_counter_ != nullptr) dropped_counter_->Add();
+      } else {
+        c->out += frame;
+      }
+    }
+  }
+  rows_published_.fetch_add(1, std::memory_order_relaxed);
+  if (published_counter_ != nullptr) published_counter_->Add();
+  const char b = 'w';
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+}
+
+// Requires mu_ held: the only caller is HandleRequest, which the serve
+// loop invokes under the lock (std::mutex is non-recursive, so locking
+// here again would deadlock).
+std::string TelemetryServer::StatusJson() const {
+  size_t total_clients = 0;
+  size_t streams = 0;
+  for (const auto& c : clients_) {
+    if (c->closed) continue;
+    ++total_clients;
+    if (c->streaming) ++streams;
+  }
+  const std::function<std::string()>& cb = status_cb_;
+  std::ostringstream out;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", NowWall() - start_wall_);
+  out << "{\"uptime_s\":" << buf << ",\"port\":" << port_ << ",\"sse\":{"
+      << "\"clients\":" << total_clients << ",\"streams\":" << streams
+      << ",\"clients_accepted\":" << clients_accepted()
+      << ",\"rows_published\":" << rows_published()
+      << ",\"rows_dropped\":" << rows_dropped() << "},\"app\":"
+      << (cb ? cb() : std::string("null")) << "}";
+  return out.str();
+}
+
+void TelemetryServer::HandleRequest(Client* c, const std::string& method,
+                                    const std::string& path) {
+  if (method != "GET") {
+    c->out += HttpResponse("405 Method Not Allowed", "text/plain",
+                           "only GET is supported\n");
+    c->close_after_flush = true;
+    return;
+  }
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/") {
+    c->out += HttpResponse("200 OK", "text/html; charset=utf-8",
+                           kDashboardHtml);
+    c->close_after_flush = true;
+  } else if (route == "/metrics") {
+    std::ostringstream body;
+    if (registry_ != nullptr) {
+      WritePrometheusText(registry_->Snapshot(), body);
+    }
+    c->out += HttpResponse(
+        "200 OK", "text/plain; version=0.0.4; charset=utf-8", body.str());
+    c->close_after_flush = true;
+  } else if (route == "/status") {
+    c->out += HttpResponse("200 OK", "application/json", StatusJson());
+    c->close_after_flush = true;
+  } else if (route == "/timeline") {
+    c->out +=
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+        "Cache-Control: no-cache\r\nConnection: keep-alive\r\n\r\n";
+    // Replay before going live so a late subscriber sees the whole run;
+    // caller already holds no ordering guarantee beyond row order, which
+    // the single publisher thread preserves.
+    for (const std::string& row : history_) {
+      c->out += "data: " + row + "\n\n";
+    }
+    c->streaming = true;
+  } else {
+    c->out += HttpResponse("404 Not Found", "text/plain",
+                           "unknown path; try /, /metrics, /status, "
+                           "/timeline\n");
+    c->close_after_flush = true;
+  }
+}
+
+void TelemetryServer::HandleReadable(Client* c) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      // A streaming client has nothing more to say; discard its bytes but
+      // keep reading so we notice the hangup.
+      if (!c->streaming) c->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      CloseClient(c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseClient(c);
+    return;
+  }
+  if (c->streaming || c->close_after_flush) return;
+  if (c->in.size() > kMaxRequestBytes) {
+    c->out += HttpResponse("431 Request Header Fields Too Large", "text/plain",
+                           "request too large\n");
+    c->close_after_flush = true;
+    return;
+  }
+  const size_t end = c->in.find("\r\n\r\n");
+  if (end == std::string::npos) return;
+  const size_t line_end = c->in.find("\r\n");
+  std::istringstream req_line(c->in.substr(0, line_end));
+  std::string method, path;
+  req_line >> method >> path;
+  c->in.clear();
+  if (method.empty() || path.empty()) {
+    c->out += HttpResponse("400 Bad Request", "text/plain", "bad request\n");
+    c->close_after_flush = true;
+    return;
+  }
+  HandleRequest(c, method, path);
+}
+
+void TelemetryServer::FlushClient(Client* c) {
+  while (!c->out.empty()) {
+    const ssize_t n =
+        send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseClient(c);
+    return;
+  }
+  if (c->close_after_flush) CloseClient(c);
+}
+
+void TelemetryServer::CloseClient(Client* c) {
+  if (c->closed) return;
+  close(c->fd);
+  c->fd = -1;
+  c->closed = true;
+}
+
+void TelemetryServer::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    SetNonBlocking(fd);
+    if (options_.sndbuf_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t active = 0;
+    for (const auto& c : clients_) {
+      if (!c->closed) ++active;
+    }
+    if (active >= static_cast<size_t>(options_.max_clients)) {
+      close(fd);
+      continue;
+    }
+    clients_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto client = std::make_unique<Client>();
+    client->fd = fd;
+    clients_.push_back(std::move(client));
+  }
+}
+
+void TelemetryServer::Serve() {
+  bool draining = false;
+  double drain_deadline = 0.0;
+  while (true) {
+    if (stop_requested_.load() && !draining) {
+      draining = true;
+      drain_deadline = NowWall() + options_.drain_timeout_wall;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<Client*> fd_client;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (!draining) fds.push_back({listen_fd_, POLLIN, 0});
+    bool pending_out = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& c : clients_) {
+        if (c->closed) continue;
+        short events = POLLIN;
+        if (!c->out.empty()) {
+          events |= POLLOUT;
+          pending_out = true;
+        }
+        fds.push_back({c->fd, events, 0});
+        fd_client.push_back(c.get());
+      }
+    }
+
+    if (draining && (!pending_out || NowWall() >= drain_deadline)) break;
+
+    poll(fds.data(), fds.size(), draining ? 20 : 500);
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    const size_t client_base = draining ? 1 : 2;
+    if (!draining && (fds[1].revents & POLLIN)) AcceptNew();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < fd_client.size(); ++i) {
+        Client* c = fd_client[i];
+        const short re = fds[client_base + i].revents;
+        if (c->closed) continue;
+        if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+          CloseClient(c);
+          continue;
+        }
+        if (re & POLLIN) HandleReadable(c);
+        if (!c->closed && !c->out.empty()) FlushClient(c);
+      }
+      clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                    [](const std::unique_ptr<Client>& c) {
+                                      return c->closed;
+                                    }),
+                     clients_.end());
+    }
+  }
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,133 @@
+#ifndef CTRLSHED_TELEMETRY_SERVER_H_
+#define CTRLSHED_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+
+namespace ctrlshed {
+
+struct TelemetryServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port — read it
+  /// back from port() after Start().
+  int port = 0;
+  /// Per-client pending-write cap. A client that cannot drain its socket
+  /// fast enough loses whole timeline rows (counted, never blocking the
+  /// publisher) once its buffer is full — the tracer-ring discipline
+  /// applied to sockets.
+  size_t client_buffer_bytes = 256 * 1024;
+  /// Timeline rows replayed to a subscriber that connects mid-run, so a
+  /// late dashboard (or the e2e test) still sees the rows published before
+  /// its GET /timeline arrived.
+  size_t history_rows = 4096;
+  /// Connections beyond this are accepted and immediately closed.
+  int max_clients = 64;
+  /// Stop() keeps flushing connected clients for at most this many wall
+  /// seconds before force-closing them.
+  double drain_timeout_wall = 2.0;
+  /// When > 0, SO_SNDBUF is set on accepted sockets. Tests use a tiny
+  /// value to provoke slow-client drops without megabytes of traffic.
+  int sndbuf_bytes = 0;
+};
+
+/// Dependency-free HTTP/1.1 observability server: one poll()-based thread,
+/// nonblocking sockets, loopback only. Endpoints:
+///
+///   GET /          embedded HTML dashboard charting the SSE feed live
+///   GET /metrics   Prometheus text exposition of the MetricsRegistry
+///   GET /timeline  SSE stream of per-period timeline rows (history replay
+///                  on connect, then live)
+///   GET /status    one JSON snapshot: uptime, SSE stats, app section
+///
+/// The publisher side (PublishTimelineRow) never blocks on a client: rows
+/// that do not fit a client's bounded buffer are dropped for that client
+/// and counted. All other methods return 405, unknown paths 404.
+class TelemetryServer {
+ public:
+  /// `registry` backs GET /metrics; may be null (renders empty). The
+  /// server also registers `telemetry.sse.rows_published` /
+  /// `telemetry.sse.rows_dropped` counters in it so the live-feed health
+  /// is itself scrapeable.
+  TelemetryServer(MetricsRegistry* registry, TelemetryServerOptions options);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the serving thread. Aborts if the
+  /// port cannot be bound.
+  void Start();
+
+  /// Flushes connected clients (bounded by drain_timeout_wall), closes
+  /// all sockets, joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 requests). Valid after Start().
+  int port() const { return port_; }
+
+  /// Enqueues one timeline row (serialized JSON object, no newline) to
+  /// every /timeline subscriber and the replay history. Called from the
+  /// control thread; never blocks on client sockets.
+  void PublishTimelineRow(const std::string& row_json);
+
+  /// Supplies the "app" section of GET /status: a complete JSON value
+  /// (object) describing run config / shard summaries / trace counts.
+  /// Called from the server thread; must be thread-safe and non-blocking.
+  void SetStatusCallback(std::function<std::string()> cb);
+
+  uint64_t rows_published() const {
+    return rows_published_.load(std::memory_order_relaxed);
+  }
+  /// Total rows dropped across all slow clients.
+  uint64_t rows_dropped() const {
+    return rows_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t clients_accepted() const {
+    return clients_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Client;
+
+  void Serve();
+  void AcceptNew();
+  void HandleReadable(Client* c);
+  void HandleRequest(Client* c, const std::string& method,
+                     const std::string& path);
+  void FlushClient(Client* c);
+  void CloseClient(Client* c);
+  std::string StatusJson() const;
+
+  MetricsRegistry* registry_;
+  TelemetryServerOptions options_;
+  int port_ = -1;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  mutable std::mutex mu_;  ///< Guards clients_, history_, status_cb_.
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::deque<std::string> history_;
+  std::function<std::string()> status_cb_;
+
+  std::atomic<uint64_t> rows_published_{0};
+  std::atomic<uint64_t> rows_dropped_{0};
+  std::atomic<uint64_t> clients_accepted_{0};
+  Counter* published_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  double start_wall_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_SERVER_H_

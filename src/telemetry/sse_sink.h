@@ -1,0 +1,27 @@
+#ifndef CTRLSHED_TELEMETRY_SSE_SINK_H_
+#define CTRLSHED_TELEMETRY_SSE_SINK_H_
+
+#include "telemetry/server.h"
+#include "telemetry/timeline.h"
+
+namespace ctrlshed {
+
+/// TimelineSink that forwards each period row to the telemetry server's
+/// /timeline subscribers. Serializes with the same TimelineRowJson the
+/// JSONL file sink uses, so the live stream is byte-identical to
+/// timeline.jsonl on disk.
+class SseTimelineSink : public TimelineSink {
+ public:
+  explicit SseTimelineSink(TelemetryServer* server) : server_(server) {}
+
+  void Publish(const PeriodRecord& row) override {
+    server_->PublishTimelineRow(TimelineRowJson(row));
+  }
+
+ private:
+  TelemetryServer* server_;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_SSE_SINK_H_

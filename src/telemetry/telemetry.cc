@@ -1,9 +1,11 @@
 #include "telemetry/telemetry.h"
 
 #include <filesystem>
+#include <sstream>
 #include <utility>
 
 #include "common/macros.h"
+#include "telemetry/sse_sink.h"
 
 namespace ctrlshed {
 
@@ -13,29 +15,71 @@ constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
 }  // namespace
 
 std::unique_ptr<Telemetry> Telemetry::Open(const TelemetryOptions& options) {
-  if (options.dir.empty()) return nullptr;
-  std::error_code ec;
-  std::filesystem::create_directories(options.dir, ec);
-  CS_CHECK_MSG(!ec, "cannot create telemetry directory");
+  if (options.dir.empty() && options.server_port < 0) return nullptr;
+  if (!options.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.dir, ec);
+    CS_CHECK_MSG(!ec, "cannot create telemetry directory");
+  }
   return std::unique_ptr<Telemetry>(new Telemetry(options));
 }
 
 Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
   CS_CHECK_MSG(options_.export_period_wall > 0.0,
                "export period must be positive");
-  if (options_.trace) {
+  const bool have_dir = !options_.dir.empty();
+  if (have_dir && options_.trace) {
     tracer_ = std::make_unique<Tracer>(options_.trace_buffer_capacity);
   }
-  metrics_out_.open(metrics_path());
-  CS_CHECK_MSG(metrics_out_.good(), "cannot open metrics.jsonl");
+  if (have_dir) {
+    metrics_out_.open(metrics_path());
+    CS_CHECK_MSG(metrics_out_.good(), "cannot open metrics.jsonl");
+    file_sink_ = std::make_unique<FileTimelineSink>(options_.dir);
+    sinks_.push_back(file_sink_.get());
+  }
+  if (options_.server_port >= 0) {
+    TelemetryServerOptions server_opts;
+    server_opts.port = options_.server_port;
+    server_opts.client_buffer_bytes = options_.server_client_buffer_bytes;
+    server_opts.history_rows = options_.server_history_rows;
+    server_opts.sndbuf_bytes = options_.server_sndbuf_bytes;
+    server_ = std::make_unique<TelemetryServer>(&metrics_, server_opts);
+    server_->Start();
+    // The default status callback already covers trace health; a run can
+    // enrich it with SetStatusSource.
+    server_->SetStatusCallback([this] {
+      std::ostringstream out;
+      out << "{\"trace_events\":" << trace_events()
+          << ",\"trace_dropped\":" << trace_dropped()
+          << ",\"timeline_rows\":" << timeline_rows() << ",\"run\":"
+          << (app_status_ ? app_status_() : std::string("null")) << "}";
+      return out.str();
+    });
+    sse_sink_ = std::make_unique<SseTimelineSink>(server_.get());
+    sinks_.push_back(sse_sink_.get());
+    if (options_.on_server_start) options_.on_server_start(server_->port());
+  }
   start_wall_ = std::chrono::steady_clock::now();
-  exporter_ = std::thread([this] { ExportLoop(); });
+  if (have_dir) {
+    exporter_ = std::thread([this] { ExportLoop(); });
+  }
 }
 
 Telemetry::~Telemetry() { Stop(); }
 
 TraceBuffer* Telemetry::RegisterThread(const std::string& name) {
   return tracer_ ? tracer_->RegisterThread(name) : nullptr;
+}
+
+void Telemetry::PublishTimelineRow(const PeriodRecord& row) {
+  for (TimelineSink* sink : sinks_) sink->Publish(row);
+  timeline_rows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Telemetry::SetStatusSource(std::function<std::string()> app_status) {
+  // Installed before the run's threads start; the server thread reads it
+  // through the status callback afterwards.
+  app_status_ = std::move(app_status);
 }
 
 std::string Telemetry::trace_path() const {
@@ -54,8 +98,21 @@ uint64_t Telemetry::trace_dropped() const {
   return tracer_ ? tracer_->dropped_events() : 0;
 }
 
+uint64_t Telemetry::sse_rows_published() const {
+  return server_ ? server_->rows_published() : 0;
+}
+
+uint64_t Telemetry::sse_rows_dropped() const {
+  return server_ ? server_->rows_dropped() : 0;
+}
+
+uint64_t Telemetry::sse_clients_accepted() const {
+  return server_ ? server_->clients_accepted() : 0;
+}
+
 void Telemetry::FlushOnce() {
   if (tracer_) tracer_->Drain();
+  if (!metrics_out_.is_open()) return;
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_wall_)
                              .count();
@@ -96,6 +153,9 @@ void Telemetry::Stop() {
     CS_CHECK_MSG(trace_out.good(), "cannot open trace.json");
     tracer_->WriteChromeTrace(trace_out);
   }
+  // Server last: clients get every row published before Stop, then a
+  // bounded drain. Its status callback reads the tracer's final counts.
+  if (server_) server_->Stop();
 }
 
 }  // namespace ctrlshed

@@ -3,19 +3,28 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "metrics/recorder.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/server.h"
+#include "telemetry/timeline.h"
 #include "telemetry/tracer.h"
 
 namespace ctrlshed {
 
-/// What to collect and where to put it. An empty `dir` disables telemetry
-/// entirely: Telemetry::Open returns null and every instrumentation site
-/// degrades to a single null-pointer branch.
+class SseTimelineSink;
+
+/// What to collect and where to put it. With an empty `dir` AND a negative
+/// `server_port`, telemetry is off entirely: Telemetry::Open returns null
+/// and every instrumentation site degrades to a single null-pointer
+/// branch. An empty `dir` with a server port runs socket-only (no files).
 struct TelemetryOptions {
   std::string dir;      ///< Output directory; created if missing.
   bool trace = true;    ///< Collect spans into <dir>/trace.json.
@@ -23,21 +32,43 @@ struct TelemetryOptions {
   double export_period_wall = 0.25;
   /// Per-thread trace ring capacity, in events.
   size_t trace_buffer_capacity = 1 << 14;
+
+  /// Port for the live HTTP/SSE server on 127.0.0.1: negative disables it,
+  /// 0 picks an ephemeral port (observe via on_server_start / server()).
+  int server_port = -1;
+  /// Per-SSE-client pending-write cap; rows beyond it are dropped for
+  /// that client and counted.
+  size_t server_client_buffer_bytes = 256 * 1024;
+  /// Timeline rows replayed to subscribers that connect mid-run.
+  size_t server_history_rows = 4096;
+  /// When > 0, SO_SNDBUF for accepted sockets (tests shrink it).
+  int server_sndbuf_bytes = 0;
+  /// Called once with the bound port after the server starts.
+  std::function<void(int)> on_server_start;
 };
 
-/// One telemetry session: a Tracer, a MetricsRegistry, and a background
-/// exporter thread that every `export_period_wall` seconds appends a
-/// registry snapshot to <dir>/metrics.jsonl and drains the trace rings.
-/// Stop() (idempotent, also run by the destructor) takes a final snapshot
-/// and serializes the trace to <dir>/trace.json.
+/// One telemetry session: a Tracer, a MetricsRegistry, an optional live
+/// TelemetryServer, and a background exporter thread that every
+/// `export_period_wall` seconds appends a registry snapshot to
+/// <dir>/metrics.jsonl and drains the trace rings. Stop() (idempotent,
+/// also run by the destructor) takes a final snapshot, serializes the
+/// trace to <dir>/trace.json, and shuts the server down.
+///
+/// The control-loop timeline flows through PublishTimelineRow: one call
+/// per finished period fans out to every registered TimelineSink — the
+/// streaming file sink (timeline.csv / timeline.jsonl, flushed per row)
+/// and the SSE sink feeding GET /timeline. One serializer, so the live
+/// stream and the files carry identical rows.
 ///
 /// Thread-safety: RegisterThread/metrics() may be called from any thread;
-/// each TraceBuffer is single-producer as documented on the tracer.
+/// each TraceBuffer is single-producer as documented on the tracer;
+/// PublishTimelineRow must come from a single thread (the control loop).
 class Telemetry {
  public:
-  /// Creates the directory and starts the exporter. Returns null when
-  /// `options.dir` is empty (telemetry off). Aborts if the directory
-  /// cannot be created.
+  /// Creates the directory (when set) and starts the exporter and server.
+  /// Returns null when both `dir` is empty and `server_port` is negative
+  /// (telemetry off). Aborts if the directory cannot be created or the
+  /// port cannot be bound.
   static std::unique_ptr<Telemetry> Open(const TelemetryOptions& options);
 
   ~Telemetry();
@@ -51,8 +82,24 @@ class Telemetry {
 
   MetricsRegistry* metrics() { return &metrics_; }
   Tracer* tracer() { return tracer_.get(); }  ///< Null when trace is off.
+  TelemetryServer* server() { return server_.get(); }  ///< Null when off.
 
-  /// Joins the exporter, flushes metrics.jsonl, writes trace.json.
+  /// Publishes one finished control period to every timeline sink (files
+  /// and SSE subscribers). Control thread only.
+  void PublishTimelineRow(const PeriodRecord& row);
+
+  /// Rows published through PublishTimelineRow so far.
+  uint64_t timeline_rows() const {
+    return timeline_rows_.load(std::memory_order_relaxed);
+  }
+
+  /// Supplies the "app" JSON value of the server's GET /status (run
+  /// config, shard summaries, …). The callback runs on the server thread;
+  /// it must be thread-safe and non-blocking. No-op without a server.
+  void SetStatusSource(std::function<std::string()> app_status);
+
+  /// Joins the exporter, flushes metrics.jsonl, writes trace.json, stops
+  /// the server (draining connected clients briefly).
   void Stop();
 
   const std::string& dir() const { return options_.dir; }
@@ -63,6 +110,11 @@ class Telemetry {
   uint64_t trace_events() const;
   uint64_t trace_dropped() const;
 
+  /// Live-feed health (0 when no server is running).
+  uint64_t sse_rows_published() const;
+  uint64_t sse_rows_dropped() const;
+  uint64_t sse_clients_accepted() const;
+
  private:
   explicit Telemetry(TelemetryOptions options);
 
@@ -72,6 +124,12 @@ class Telemetry {
   TelemetryOptions options_;
   MetricsRegistry metrics_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<TelemetryServer> server_;
+  std::unique_ptr<FileTimelineSink> file_sink_;
+  std::unique_ptr<SseTimelineSink> sse_sink_;
+  std::vector<TimelineSink*> sinks_;
+  std::atomic<uint64_t> timeline_rows_{0};
+  std::function<std::string()> app_status_;
 
   std::ofstream metrics_out_;
   std::chrono::steady_clock::time_point start_wall_;

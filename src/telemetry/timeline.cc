@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "common/macros.h"
 
@@ -19,61 +19,82 @@ void WriteDouble(std::ostream& out, double v) {
 
 }  // namespace
 
+std::string TimelineRowJson(const PeriodRecord& r) {
+  std::ostringstream out;
+  const double e = r.m.target_delay - r.m.y_hat;
+  const double u = r.v - r.m.fout;
+  const double loss =
+      r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin) : 0.0;
+  out << "{\"k\":" << r.m.k << ",\"t\":";
+  WriteDouble(out, r.m.t);
+  out << ",\"yd\":";
+  WriteDouble(out, r.m.target_delay);
+  out << ",\"fin\":";
+  WriteDouble(out, r.m.fin);
+  out << ",\"fin_forecast\":";
+  WriteDouble(out, r.m.fin_forecast);
+  out << ",\"admitted\":";
+  WriteDouble(out, r.m.admitted);
+  out << ",\"fout\":";
+  WriteDouble(out, r.m.fout);
+  out << ",\"q\":";
+  WriteDouble(out, r.m.queue);
+  out << ",\"c\":";
+  WriteDouble(out, r.m.cost);
+  out << ",\"y_hat\":";
+  WriteDouble(out, r.m.y_hat);
+  out << ",\"y_meas\":";
+  if (r.m.has_y_measured) {
+    WriteDouble(out, r.m.y_measured);
+  } else {
+    out << "null";
+  }
+  out << ",\"e\":";
+  WriteDouble(out, e);
+  out << ",\"u\":";
+  WriteDouble(out, u);
+  out << ",\"v\":";
+  WriteDouble(out, r.v);
+  out << ",\"alpha\":";
+  WriteDouble(out, r.alpha);
+  out << ",\"loss\":";
+  WriteDouble(out, loss);
+  out << ",\"lateness\":";
+  WriteDouble(out, r.lateness);
+  // Sharded runs decompose the aggregate queue; unsharded rows carry no
+  // shard data and keep the historical schema.
+  if (!r.shard_q.empty()) {
+    out << ",\"shards\":" << r.shard_q.size() << ",\"shard_q\":[";
+    for (size_t i = 0; i < r.shard_q.size(); ++i) {
+      if (i > 0) out << ',';
+      WriteDouble(out, r.shard_q[i]);
+    }
+    out << ']';
+  }
+  out << "}";
+  return out.str();
+}
+
 void WriteTimelineJsonl(const Recorder& recorder, std::ostream& out) {
   for (const PeriodRecord& r : recorder.rows()) {
-    const double e = r.m.target_delay - r.m.y_hat;
-    const double u = r.v - r.m.fout;
-    const double loss =
-        r.m.fin > 0.0 ? std::max(0.0, (r.m.fin - r.m.admitted) / r.m.fin)
-                      : 0.0;
-    out << "{\"k\":" << r.m.k << ",\"t\":";
-    WriteDouble(out, r.m.t);
-    out << ",\"yd\":";
-    WriteDouble(out, r.m.target_delay);
-    out << ",\"fin\":";
-    WriteDouble(out, r.m.fin);
-    out << ",\"fin_forecast\":";
-    WriteDouble(out, r.m.fin_forecast);
-    out << ",\"admitted\":";
-    WriteDouble(out, r.m.admitted);
-    out << ",\"fout\":";
-    WriteDouble(out, r.m.fout);
-    out << ",\"q\":";
-    WriteDouble(out, r.m.queue);
-    out << ",\"c\":";
-    WriteDouble(out, r.m.cost);
-    out << ",\"y_hat\":";
-    WriteDouble(out, r.m.y_hat);
-    out << ",\"y_meas\":";
-    if (r.m.has_y_measured) {
-      WriteDouble(out, r.m.y_measured);
-    } else {
-      out << "null";
-    }
-    out << ",\"e\":";
-    WriteDouble(out, e);
-    out << ",\"u\":";
-    WriteDouble(out, u);
-    out << ",\"v\":";
-    WriteDouble(out, r.v);
-    out << ",\"alpha\":";
-    WriteDouble(out, r.alpha);
-    out << ",\"loss\":";
-    WriteDouble(out, loss);
-    out << ",\"lateness\":";
-    WriteDouble(out, r.lateness);
-    // Sharded runs decompose the aggregate queue; unsharded rows carry no
-    // shard data and keep the historical schema.
-    if (!r.shard_q.empty()) {
-      out << ",\"shards\":" << r.shard_q.size() << ",\"shard_q\":[";
-      for (size_t i = 0; i < r.shard_q.size(); ++i) {
-        if (i > 0) out << ',';
-        WriteDouble(out, r.shard_q[i]);
-      }
-      out << ']';
-    }
-    out << "}\n";
+    out << TimelineRowJson(r) << "\n";
   }
+}
+
+FileTimelineSink::FileTimelineSink(const std::string& dir)
+    : csv_(TimelineCsvPath(dir)), jsonl_(TimelineJsonlPath(dir)) {
+  CS_CHECK_MSG(csv_.good(), "cannot open timeline.csv");
+  CS_CHECK_MSG(jsonl_.good(), "cannot open timeline.jsonl");
+  Recorder::WriteCsvHeader(csv_);
+  csv_.flush();
+}
+
+void FileTimelineSink::Publish(const PeriodRecord& row) {
+  Recorder::WriteCsvRow(row, csv_);
+  csv_.flush();
+  jsonl_ << TimelineRowJson(row) << "\n";
+  jsonl_.flush();
+  ++rows_written_;
 }
 
 std::string TimelineCsvPath(const std::string& dir) {

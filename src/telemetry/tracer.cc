@@ -73,6 +73,13 @@ TraceBuffer* Tracer::RegisterThread(const std::string& name) {
   return buffers_.back().get();
 }
 
+const char* Tracer::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = interned_[name];
+  if (!slot) slot = std::make_unique<std::string>(name);
+  return slot->c_str();
+}
+
 void Tracer::Drain() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& buf : buffers_) buf->Drain();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -105,6 +106,13 @@ class Tracer {
   /// stable for the tracer's lifetime. Call once per thread.
   TraceBuffer* RegisterThread(const std::string& name);
 
+  /// Interns a dynamically built span name (e.g. "op:join" from operator
+  /// names owned by a query network that may die before the tracer): the
+  /// returned pointer is stable for the tracer's lifetime and safe to use
+  /// as TraceEvent::name. Mutex-protected and deduplicating — call once at
+  /// setup, never per event.
+  const char* Intern(const std::string& name);
+
   /// Microseconds since construction (monotonic clock; any thread).
   int64_t NowUs() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -131,6 +139,7 @@ class Tracer {
 
   mutable std::mutex mu_;  ///< Guards registration vs iteration.
   std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  std::map<std::string, std::unique_ptr<std::string>> interned_;
 };
 
 }  // namespace ctrlshed

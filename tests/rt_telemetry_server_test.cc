@@ -1,0 +1,209 @@
+// End-to-end test of the live telemetry server under a real rt run: an
+// SSE subscriber attached for the whole run must receive exactly the rows
+// the run streamed to timeline.jsonl on disk — same bytes, same order —
+// because both sinks share one serializer and one publish path.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/rt_runtime.h"
+#include "telemetry/timeline.h"
+
+namespace ctrlshed {
+namespace {
+
+std::string TempDir(const char* name) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string(name) + "." + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Subscribes to /timeline and drains until the server closes the stream
+/// (run teardown), collecting the `data: ` payloads in arrival order.
+class SseCollector {
+ public:
+  void Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(0, ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)))
+        << std::strerror(errno);
+    const char req[] = "GET /timeline HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+    ASSERT_EQ(static_cast<ssize_t>(sizeof(req) - 1),
+              ::send(fd_, req, sizeof(req) - 1, 0));
+    reader_ = std::thread([this] {
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        raw_.append(buf, static_cast<size_t>(n));
+      }
+    });
+  }
+
+  /// Joins the reader and splits the stream into SSE data payloads.
+  std::vector<std::string> Finish() {
+    if (reader_.joinable()) reader_.join();
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    std::vector<std::string> rows;
+    // Skip the HTTP response headers, then parse `data: <row>\n\n` frames.
+    size_t pos = raw_.find("\r\n\r\n");
+    pos = pos == std::string::npos ? 0 : pos + 4;
+    const std::string prefix = "data: ";
+    while ((pos = raw_.find(prefix, pos)) != std::string::npos) {
+      pos += prefix.size();
+      const size_t end = raw_.find("\n\n", pos);
+      if (end == std::string::npos) break;
+      rows.push_back(raw_.substr(pos, end - pos));
+      pos = end + 2;
+    }
+    return rows;
+  }
+
+  const std::string& raw() const { return raw_; }
+
+ private:
+  int fd_ = -1;
+  std::string raw_;
+  std::thread reader_;
+};
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)));
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(static_cast<ssize_t>(req.size()),
+            ::send(fd, req.data(), req.size(), 0));
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(RtTelemetryServerTest, LiveTimelineMatchesFileByteForByte) {
+  const std::string dir = TempDir("ctrlshed_rt_sse_e2e");
+
+  RtRunConfig cfg;
+  cfg.base.method = Method::kCtrl;
+  cfg.base.workload = WorkloadKind::kConstant;
+  cfg.base.constant_rate = 380.0;  // sustained 2x overload: alpha active
+  cfg.base.duration = 12.0;
+  cfg.base.seed = 7;
+  cfg.time_compression = 40.0;
+  cfg.base.telemetry.dir = dir;
+  cfg.base.telemetry.server_port = 0;
+
+  SseCollector collector;
+  int observed_port = -1;
+  cfg.base.telemetry.on_server_start = [&](int port) {
+    observed_port = port;
+    collector.Connect(port);
+  };
+
+  RtRunResult r = RunRtExperiment(cfg);
+  const std::vector<std::string> live = collector.Finish();
+
+  ASSERT_GT(observed_port, 0);
+  EXPECT_EQ(r.telemetry_port, observed_port);
+  EXPECT_GE(r.sse_clients, 1u);
+  // A loopback reader that does nothing but drain must never be slow.
+  EXPECT_EQ(r.sse_rows_dropped, 0u);
+  EXPECT_EQ(r.sse_rows_published, r.timeline_rows);
+
+  // The stream and the file must agree row for row, byte for byte: both
+  // are fed by the same TimelineRowJson serialization of each period.
+  std::ifstream jsonl(TimelineJsonlPath(dir));
+  ASSERT_TRUE(jsonl.is_open());
+  std::vector<std::string> file_rows;
+  for (std::string line; std::getline(jsonl, line);) {
+    file_rows.push_back(line);
+  }
+  ASSERT_GT(file_rows.size(), 8u);
+  ASSERT_EQ(live.size(), file_rows.size());
+  for (size_t i = 0; i < file_rows.size(); ++i) {
+    EXPECT_EQ(live[i], file_rows[i]) << "row " << i << " diverged";
+  }
+  EXPECT_EQ(live.size(), static_cast<size_t>(r.timeline_rows));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RtTelemetryServerTest, MetricsEndpointExposesRunInstruments) {
+  const std::string dir = TempDir("ctrlshed_rt_metrics_e2e");
+
+  RtRunConfig cfg;
+  cfg.base.method = Method::kCtrl;
+  cfg.base.workload = WorkloadKind::kConstant;
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 10.0;
+  cfg.base.seed = 7;
+  cfg.time_compression = 40.0;
+  cfg.workers = 2;  // the per-shard gauges only exist when sharded
+  cfg.base.telemetry.dir = dir;
+  cfg.base.telemetry.server_port = 0;
+
+  // Scrape /metrics and /status mid-run from the server-start hook's
+  // port, on a helper thread so the replay keeps running underneath.
+  std::string metrics;
+  std::string status;
+  std::thread scraper;
+  cfg.base.telemetry.on_server_start = [&](int port) {
+    scraper = std::thread([&metrics, &status, port] {
+      // Let a few control periods elapse so the gauges exist.
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      metrics = HttpGet(port, "/metrics");
+      status = HttpGet(port, "/status");
+    });
+  };
+
+  RtRunResult r = RunRtExperiment(cfg);
+  scraper.join();
+
+  EXPECT_GT(r.timeline_rows, 0u);
+  // Per-shard control-loop gauges, folded into labeled families.
+  EXPECT_NE(metrics.find("rt_shard_queue{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("rt_shard_alpha{shard=\"0\"}"), std::string::npos);
+  // Per-operator pump counters from the EngineObserver seam.
+  EXPECT_NE(metrics.find("engine_op_processed_total{op=\""),
+            std::string::npos);
+  // The SSE feed's own health counters are scrapeable.
+  EXPECT_NE(metrics.find("telemetry_sse_rows_published_total"),
+            std::string::npos);
+  // Status carries the run config section from the rt harness.
+  EXPECT_NE(status.find("\"mode\":\"rt\""), std::string::npos);
+  EXPECT_NE(status.find("\"sse\":"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/prom_export.h"
+#include "telemetry/server.h"
+
+namespace ctrlshed {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Loopback client helpers. Plain blocking sockets with a receive timeout:
+// the server under test is nonblocking, the test client does not need to be.
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)))
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// One full HTTP exchange: the server closes non-SSE responses after the
+/// flush, so reading to EOF yields the complete response.
+std::string Fetch(int port, const std::string& request) {
+  const int fd = ConnectTo(port);
+  SendAll(fd, request);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string Get(int port, const std::string& path) {
+  return Fetch(port,
+               "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Reads from an open SSE connection until the buffer holds `frames`
+/// complete `data: ...\n\n` frames (or the deadline passes).
+std::string ReadFrames(int fd, size_t frames, double timeout_s = 5.0) {
+  std::string out;
+  char buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (CountOccurrences(out, "\n\n") < frames &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition mapping.
+
+TEST(PrometheusName, SanitizesInvalidCharacters) {
+  EXPECT_EQ("rt_pump_interval", PrometheusName("rt.pump-interval"));
+  EXPECT_EQ("already_fine_09:x", PrometheusName("already_fine_09:x"));
+}
+
+TEST(PrometheusName, PrefixesLeadingDigit) {
+  EXPECT_EQ("_9lives", PrometheusName("9lives"));
+}
+
+TEST(PrometheusName, EmptyBecomesUnderscore) {
+  EXPECT_EQ("_", PrometheusName(""));
+}
+
+TEST(PrometheusText, CountersGetTotalSuffix) {
+  MetricsSnapshot snap;
+  snap.counters["rt.offered"] = 42;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  EXPECT_NE(out.str().find("# TYPE rt_offered_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("rt_offered_total 42\n"), std::string::npos);
+}
+
+TEST(PrometheusText, ShardMetricsFoldIntoLabeledFamily) {
+  MetricsSnapshot snap;
+  snap.gauges["rt.shard0.queue"] = 3.5;
+  snap.gauges["rt.shard1.queue"] = 7.0;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  // One family, one # TYPE line, two labeled samples.
+  EXPECT_EQ(1u, CountOccurrences(text, "# TYPE rt_shard_queue gauge\n"));
+  EXPECT_NE(text.find("rt_shard_queue{shard=\"0\"} 3.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_shard_queue{shard=\"1\"} 7\n"), std::string::npos);
+}
+
+TEST(PrometheusText, OperatorCountersFoldIntoLabeledFamily) {
+  MetricsSnapshot snap;
+  snap.counters["engine.op.filter_a.processed"] = 10;
+  snap.counters["engine.op.join.processed"] = 20;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  EXPECT_EQ(1u, CountOccurrences(
+                    text, "# TYPE engine_op_processed_total counter\n"));
+  EXPECT_NE(text.find("engine_op_processed_total{op=\"filter_a\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("engine_op_processed_total{op=\"join\"} 20\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramsRenderAsSummaries) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramStats h;
+  h.count = 4;
+  h.sum = 2.0;
+  // Exactly representable doubles, so the %.17g output is the short form.
+  h.p50 = 0.5;
+  h.p95 = 0.75;
+  h.p99 = 1.25;
+  snap.histograms["rt.pump.interval"] = h;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  EXPECT_EQ(1u, CountOccurrences(text, "# TYPE rt_pump_interval summary\n"));
+  EXPECT_NE(text.find("rt_pump_interval{quantile=\"0.5\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_pump_interval{quantile=\"0.95\"} 0.75\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_pump_interval_sum 2\n"), std::string::npos);
+  EXPECT_NE(text.find("rt_pump_interval_count 4\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live server endpoints.
+
+TEST(TelemetryServer, BindsEphemeralPort) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.Start();
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+}
+
+TEST(TelemetryServer, MetricsEndpointServesRegistry) {
+  MetricsRegistry registry;
+  registry.GetGauge("rt.shard0.queue")->Set(12.0);
+  registry.GetCounter("rt.offered")->Add(99);
+  TelemetryServer server(&registry, {});
+  server.Start();
+  const std::string response = Get(server.port(), "/metrics");
+  server.Stop();
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE rt_shard_queue gauge"), std::string::npos);
+  EXPECT_NE(response.find("rt_shard_queue{shard=\"0\"} 12"),
+            std::string::npos);
+  EXPECT_NE(response.find("rt_offered_total 99"), std::string::npos);
+}
+
+TEST(TelemetryServer, StatusMergesAppCallback) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.SetStatusCallback([] { return std::string("{\"mode\":\"test\"}"); });
+  server.Start();
+  const std::string response = Get(server.port(), "/status");
+  server.Stop();
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"sse\":"), std::string::npos);
+  EXPECT_NE(response.find("\"app\":{\"mode\":\"test\"}"), std::string::npos);
+}
+
+TEST(TelemetryServer, DashboardAndErrorRoutes) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.Start();
+  const std::string root = Get(server.port(), "/");
+  const std::string missing = Get(server.port(), "/nope");
+  const std::string post = Fetch(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  server.Stop();
+  EXPECT_NE(root.find("text/html"), std::string::npos);
+  EXPECT_NE(root.find("EventSource"), std::string::npos);
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_NE(post.find("405"), std::string::npos);
+}
+
+TEST(TelemetryServer, SseReplaysHistoryThenStreamsLive) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.Start();
+  server.PublishTimelineRow("{\"k\":1}");
+  server.PublishTimelineRow("{\"k\":2}");
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "GET /timeline HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string replay = ReadFrames(fd, 2);
+  EXPECT_NE(replay.find("text/event-stream"), std::string::npos);
+  EXPECT_NE(replay.find("data: {\"k\":1}\n\n"), std::string::npos);
+  EXPECT_NE(replay.find("data: {\"k\":2}\n\n"), std::string::npos);
+
+  server.PublishTimelineRow("{\"k\":3}");
+  const std::string live = ReadFrames(fd, 1);
+  EXPECT_NE(live.find("data: {\"k\":3}\n\n"), std::string::npos);
+
+  ::close(fd);
+  server.Stop();
+  EXPECT_EQ(3u, server.rows_published());
+  EXPECT_EQ(0u, server.rows_dropped());
+  EXPECT_EQ(1u, server.clients_accepted());
+}
+
+TEST(TelemetryServer, HistoryIsBounded) {
+  MetricsRegistry registry;
+  TelemetryServerOptions options;
+  options.history_rows = 2;
+  TelemetryServer server(&registry, options);
+  server.Start();
+  server.PublishTimelineRow("{\"k\":1}");
+  server.PublishTimelineRow("{\"k\":2}");
+  server.PublishTimelineRow("{\"k\":3}");
+
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "GET /timeline HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string replay = ReadFrames(fd, 2);
+  ::close(fd);
+  server.Stop();
+  EXPECT_EQ(replay.find("data: {\"k\":1}\n\n"), std::string::npos);
+  EXPECT_NE(replay.find("data: {\"k\":2}\n\n"), std::string::npos);
+  EXPECT_NE(replay.find("data: {\"k\":3}\n\n"), std::string::npos);
+}
+
+TEST(TelemetryServer, SlowClientDropsRowsWithoutBlockingPublisher) {
+  MetricsRegistry registry;
+  TelemetryServerOptions options;
+  options.client_buffer_bytes = 4096;  // tiny pending-write cap
+  options.sndbuf_bytes = 4096;         // tiny kernel buffer too
+  TelemetryServer server(&registry, options);
+  server.Start();
+
+  // Subscribe, read just the SSE response headers, then stop reading: the
+  // kernel buffer and the 4 KiB server-side buffer fill, after which every
+  // publish must drop for this client instead of blocking.
+  const int fd = ConnectTo(server.port());
+  SendAll(fd, "GET /timeline HTTP/1.1\r\nHost: x\r\n\r\n");
+  char buf[512];
+  ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);
+
+  const std::string fat_row = "{\"pad\":\"" + std::string(512, 'x') + "\"}";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.rows_dropped() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    server.PublishTimelineRow(fat_row);
+  }
+  EXPECT_GT(server.rows_dropped(), 0u);
+
+  // The publisher stayed responsive; the metrics endpoint exposes the
+  // drop counter the publisher just bumped.
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("telemetry_sse_rows_dropped_total"),
+            std::string::npos);
+
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(TelemetryServer, StopIsIdempotentAndRestartUnsupportedPathsSafe) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.Start();
+  server.PublishTimelineRow("{\"k\":1}");
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  // Publishing after stop must not crash (rows go to history only).
+  server.PublishTimelineRow("{\"k\":2}");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -18,6 +18,9 @@
 // `telemetry_dir=out/`). Unknown keys abort with a message listing the
 // valid ones.
 
+#include <csignal>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -103,6 +106,41 @@ int GetWorkers(Args& args) {
   }
   args.erase(it);
   return static_cast<int>(v);
+}
+
+/// Telemetry-server port: -1 (absent) disables; 0 requests an ephemeral
+/// port; otherwise a validated TCP port.
+int GetPort(Args& args) {
+  auto it = args.find("telemetry_port");
+  if (it == args.end()) return -1;
+  const std::string s = it->second;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 0 || v > 65535) {
+    std::fprintf(stderr,
+                 "telemetry_port must be an integer in [0, 65535], got '%s'\n",
+                 s.c_str());
+    std::exit(2);
+  }
+  args.erase(it);
+  return static_cast<int>(v);
+}
+
+/// Set by SIGINT/SIGTERM; polled by the rt runtime's main-thread sleeps so
+/// an interrupted run still tears down cleanly and flushes its telemetry.
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallShutdownHandler() {
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  // One signal requests the graceful flush; a second one (the handler is
+  // reset to default) kills a run that is stuck tearing down.
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
 void RejectLeftovers(const Args& args) {
@@ -198,6 +236,14 @@ int CmdRun(Args args) {
   const double poles = GetDouble(args, "poles", 0.7);
   cfg.gains = DesignPolePlacement(poles, poles);
   cfg.telemetry.dir = GetString(args, "telemetry_dir", "");
+  cfg.telemetry.server_port = GetPort(args);
+  if (cfg.telemetry.server_port >= 0) {
+    cfg.telemetry.on_server_start = [](int port) {
+      std::printf("telemetry server   http://127.0.0.1:%d/ "
+                  "(/metrics /status /timeline)\n", port);
+      std::fflush(stdout);
+    };
+  }
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
@@ -232,14 +278,28 @@ int CmdRt(Args args) {
                       : RtCostMode::kSleep;
   cfg.workers = GetWorkers(args);
   cfg.base.telemetry.dir = GetString(args, "telemetry_dir", "");
+  cfg.base.telemetry.server_port = GetPort(args);
+  if (cfg.base.telemetry.server_port >= 0) {
+    cfg.base.telemetry.on_server_start = [](int port) {
+      std::printf("telemetry server   http://127.0.0.1:%d/ "
+                  "(/metrics /status /timeline)\n", port);
+      std::fflush(stdout);
+    };
+  }
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
+
+  InstallShutdownHandler();
+  cfg.stop = &g_stop;
 
   std::printf("replaying %.0f trace seconds at %gx compression (~%.1f wall s)"
               " ...\n",
               cfg.base.duration, cfg.time_compression,
               cfg.base.duration / cfg.time_compression);
   RtRunResult r = RunRtExperiment(cfg);
+  if (r.interrupted) {
+    std::printf("interrupted — partial run; telemetry flushed completely\n");
+  }
   PrintSummary(r.summary);
   if (r.workers > 1) {
     std::printf("workers            %d\n", r.workers);
@@ -272,6 +332,16 @@ int CmdRt(Args args) {
                 static_cast<unsigned long long>(r.trace_dropped),
                 static_cast<unsigned long long>(r.timeline_rows));
     PrintTelemetryPaths(cfg.base.telemetry.dir);
+  }
+  if (r.telemetry_port >= 0) {
+    // Client drops sit beside the tracer's dropped_events above so a
+    // silently truncated live feed is visible in the same summary.
+    std::printf("sse feed           port %d: %llu connections, %llu rows "
+                "streamed, %llu dropped to slow clients\n",
+                r.telemetry_port,
+                static_cast<unsigned long long>(r.sse_clients),
+                static_cast<unsigned long long>(r.sse_rows_published),
+                static_cast<unsigned long long>(r.sse_rows_dropped));
   }
   return WriteRecorder(r.recorder, trace_out);
 }
@@ -321,13 +391,13 @@ void PrintHelp() {
       "                  [capacity=190] [rate=150] [beta=1.0] [poles=0.7]\n"
       "                  [vary_cost=0|1] [queue_shed=0|1] [noise=0]\n"
       "                  [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
-      "                  [telemetry_dir=DIR]\n"
+      "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "  ctrlshed rt     [method=...] [workload=...] [duration=60] [T=1]\n"
       "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
       "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
       "                  [workers=1] [seed=42] [trace_out=FILE]\n"
-      "                  [telemetry_dir=DIR]\n"
+      "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "                  (wall-clock threaded runtime; compress = trace\n"
       "                  seconds replayed per wall second; workers=N in\n"
       "                  [1,64] partitions the plant across N engine\n"
@@ -337,6 +407,12 @@ void PrintHelp() {
       "  (Chrome trace-event JSON; open in Perfetto), metrics.jsonl\n"
       "  (periodic metric snapshots), and timeline.csv/.jsonl (per-period\n"
       "  q, y_hat, e, u, v, alpha, loss, lateness) into DIR.\n"
+      "  telemetry_port=N (or --telemetry-port N) serves live telemetry on\n"
+      "  http://127.0.0.1:N — GET / (dashboard), /metrics (Prometheus),\n"
+      "  /timeline (SSE rows identical to timeline.jsonl), /status (JSON).\n"
+      "  N=0 picks an ephemeral port (printed at startup). Works with or\n"
+      "  without telemetry_dir. SIGINT/SIGTERM on `ctrlshed rt` stops the\n"
+      "  run early and still flushes complete trace/timeline files.\n"
       "  trace_out=FILE writes the per-period table (CSV if FILE ends in\n"
       "  .csv).\n"
       "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
