@@ -10,7 +10,11 @@
 // pass compress=1 for a true real-time hour-of-the-day soak.
 //
 //   rt_soak [duration=60] [compress=15] [yd=2] [overload=2] [seed=42]
-//           [workers=1] [telemetry_dir=DIR] [telemetry_port=N]
+//           [workers=1] [batch=1] [telemetry_dir=DIR] [telemetry_port=N]
+//
+// batch=B sets the datapath batch size (SPSC pop run length and engine
+// invocation quantum; see RtEngineOptions::batch). 1 is the bit-identical
+// per-tuple path.
 //
 // telemetry_port=N serves the live control-loop feed over HTTP while the
 // soak runs (N=0 picks an ephemeral port, printed at startup): /metrics,
@@ -117,6 +121,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   const int workers = static_cast<int>(workers_raw);
+  const double batch_raw = Arg(argc, argv, "batch", 1.0);
+  if (batch_raw < 1.0 || batch_raw > 4096.0 ||
+      batch_raw != std::floor(batch_raw)) {
+    std::fprintf(stderr, "batch must be an integer in [1, 4096]\n");
+    return 2;
+  }
 
   RtRunConfig cfg;
   cfg.base.method = Method::kCtrl;
@@ -130,6 +140,7 @@ int main(int argc, char** argv) {
   cfg.base.seed = seed;
   cfg.time_compression = compress;
   cfg.workers = workers;
+  cfg.batch = static_cast<size_t>(batch_raw);
   cfg.base.telemetry.dir = StrArg(argc, argv, "telemetry_dir", "");
   const double port_raw = Arg(argc, argv, "telemetry_port", -1.0);
   if (port_raw < -1.0 || port_raw > 65535.0 ||
@@ -152,8 +163,9 @@ int main(int argc, char** argv) {
               cfg.base.web.mean_rate, workers, cfg.base.capacity_rate,
               cfg.base.web.mean_rate / agg_capacity);
   std::printf("replaying %.0f trace seconds at %gx compression "
-              "(~%.1f wall s), T = %.1f s, yd = %.1f s\n\n",
-              duration, compress, duration / compress, cfg.base.period, yd);
+              "(~%.1f wall s), T = %.1f s, yd = %.1f s, batch = %zu\n\n",
+              duration, compress, duration / compress, cfg.base.period, yd,
+              cfg.batch);
 
   // The single-worker yardstick: with workers > 1, first replay the same
   // trace against one worker so the sharded run has something to beat.
@@ -225,7 +237,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.ring_dropped));
   std::printf("wall time           %.2f s (%.0fx real time)\n",
               r.wall_seconds, duration / r.wall_seconds);
-  if (workers > 1) PrintShardBreakdown(r);
+  PrintShardBreakdown(r);
 
   // Latency-jitter report: how noisily the threads hit their wall-clock
   // marks. Pump interval should sit near the 0.5 ms pacing; actuation

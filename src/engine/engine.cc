@@ -18,6 +18,21 @@ Engine::Engine(QueryNetwork* network, double headroom,
   CS_CHECK_MSG(headroom_ > 0.0 && headroom_ <= 1.0, "headroom must be in (0,1]");
   nominal_entry_cost_ = network_->MeanEntryCost();
   CS_CHECK_MSG(nominal_entry_cost_ > 0.0, "network has zero per-tuple cost");
+  const size_t n = network_->NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    network_->Operator(i)->queue().BindPool(&chunk_pool_);
+  }
+}
+
+Engine::~Engine() {
+  // Return all queued chunks to the pool (it frees them), then unbind so
+  // the network can outlive this engine or serve a fresh one.
+  const size_t n = network_->NumOperators();
+  for (size_t i = 0; i < n; ++i) {
+    TupleQueue& q = network_->Operator(i)->queue();
+    q.clear();
+    q.BindPool(nullptr);
+  }
 }
 
 double Engine::CostMultiplierAt(SimTime t) const {
@@ -33,28 +48,15 @@ double Engine::VirtualQueueLength() const {
   return std::max(0.0, outstanding_base_load_ / nominal_entry_cost_);
 }
 
-void Engine::Enqueue(OperatorBase* op, Tuple t, int port, bool derived) {
-  t.port = port;
-  if (t.lineage == kPendingLineage) {
-    t.lineage = next_lineage_++;
-    lineages_[t.lineage] = LineageState{0, derived};
-  }
-  lineages_[t.lineage].live_instances++;
-  op->queue().push_back(t);
-  ++queued_tuples_;
-  outstanding_base_load_ += network_->RemainingCost(op);
-}
-
 void Engine::Inject(Tuple t, SimTime now) {
   // If the CPU was idle and its clock lags the arrival, service of this
   // tuple can only start now.
   if (queued_tuples_ == 0 && now > clock_) clock_ = now;
 
-  t.lineage = next_lineage_++;
-  lineages_[t.lineage] = LineageState{0, /*derived=*/false};
+  t.lineage = lineages_.Allocate(/*derived=*/false);
   for (OperatorBase* entry : network_->Entries(t.source)) {
     Tuple copy = t;
-    lineages_[copy.lineage].live_instances++;
+    lineages_.AddInstance(copy.lineage);
     copy.port = 0;
     entry->queue().push_back(copy);
     ++queued_tuples_;
@@ -63,57 +65,50 @@ void Engine::Inject(Tuple t, SimTime now) {
   ++counters_.admitted;
 }
 
-void Engine::ReleaseLineage(const Tuple& t, SimTime depart_time,
-                            DepartureKind kind, bool shed) {
-  auto it = lineages_.find(t.lineage);
-  CS_CHECK_MSG(it != lineages_.end(), "unknown lineage released");
-  LineageState& st = it->second;
-  --st.live_instances;
-  CS_CHECK_MSG(st.live_instances >= 0, "lineage refcount underflow");
-
-  // A lineage any of whose branches was shed counts as lost, not departed.
-  if (shed) shed_taint_.insert(t.lineage);
-
-  if (st.live_instances == 0) {
-    const bool derived = st.derived;
-    const bool tainted = shed_taint_.erase(t.lineage) > 0;
-    lineages_.erase(it);
-    if (tainted) {
-      if (!derived) {
-        ++counters_.shed_lineages;
-      }
-      return;
-    }
-    if (!derived) ++counters_.departed;
-    if (on_departure_) {
-      on_departure_(Departure{t.arrival_time, depart_time, t.source, kind, derived});
-    }
+void Engine::InjectBatch(const Tuple* tuples, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    AdvanceTo(tuples[i].arrival_time);
+    Inject(tuples[i], tuples[i].arrival_time);
   }
 }
 
-void Engine::ExecuteOne(OperatorBase* op) {
+void Engine::ReleaseLineage(const Tuple& t, SimTime depart_time,
+                            DepartureKind kind, bool shed) {
+  const LineageTable::Released r = lineages_.Release(t.lineage, shed);
+  if (!r.last) return;
+
+  // A lineage any of whose branches was shed counts as lost, not departed.
+  if (r.tainted) {
+    if (!r.derived) ++counters_.shed_lineages;
+    return;
+  }
+  if (!r.derived) ++counters_.departed;
+  if (on_departure_) {
+    on_departure_(Departure{t.arrival_time, depart_time, t.source, kind, r.derived});
+  }
+}
+
+void Engine::ExecuteBatch(OperatorBase* op, size_t quantum, SimTime limit) {
   CS_CHECK(!op->queue().empty());
   if (observer_ != nullptr) observer_->OnInvocationStart(*op);
-  Tuple in = op->queue().front();
-  op->queue().pop_front();
-  --queued_tuples_;
+
+  // Everything per-operator is hoisted out of the invocation loop; the
+  // loop body keeps the seed's floating-point operation order exactly, so
+  // quantum == 1 reproduces the per-tuple engine bit-for-bit.
+  TupleQueue& queue = op->queue();
   const double r_in = network_->RemainingCost(op);
-  outstanding_base_load_ -= r_in;
-  if (queued_tuples_ == 0) outstanding_base_load_ = 0.0;
-  double drained = r_in;
+  const auto& downstream = op->downstream();
+  const bool is_sink = downstream.empty();
 
-  const double cost = op->cost() * CostMultiplierAt(clock_);
-  clock_ += cost / headroom_;
-  counters_.busy_seconds += cost;
-  ++counters_.invocations;
-
+  // Per-invocation emit context, rebound each iteration.
+  SimTime completion = 0.0;
+  double drained = 0.0;
   bool emitted_to_sink = false;
-  const SimTime completion = clock_;
 
-  EmitFn emit = [&](const Tuple& out_in) {
+  const auto emit_impl = [&](const Tuple& out_in) {
     Tuple out = out_in;
     const bool derived = (out.lineage == kPendingLineage);
-    if (op->downstream().empty()) {
+    if (is_sink) {
       // Sink: the emitted tuple departs the network right here.
       if (derived) {
         // A tuple born and departing in the same invocation (e.g. an
@@ -127,13 +122,10 @@ void Engine::ExecuteOne(OperatorBase* op) {
       }
       return;
     }
-    if (derived) {
-      out.lineage = next_lineage_++;
-      lineages_[out.lineage] = LineageState{0, /*derived=*/true};
-    }
-    for (const Downstream& d : op->downstream()) {
+    if (derived) out.lineage = lineages_.Allocate(/*derived=*/true);
+    for (const Downstream& d : downstream) {
       Tuple copy = out;
-      lineages_[copy.lineage].live_instances++;
+      lineages_.AddInstance(copy.lineage);
       copy.port = d.port;
       d.op->queue().push_back(copy);
       ++queued_tuples_;
@@ -142,14 +134,39 @@ void Engine::ExecuteOne(OperatorBase* op) {
       drained -= r;
     }
   };
+  const EmitFn emit(emit_impl);
 
-  op->Process(in, completion, emit);
-  counters_.drained_base_load += drained;
+  size_t ran = 0;
+  double batch_cost = 0.0;
+  for (;;) {
+    const Tuple in = queue.front();
+    queue.pop_front();
+    --queued_tuples_;
+    outstanding_base_load_ -= r_in;
+    if (queued_tuples_ == 0) outstanding_base_load_ = 0.0;
+    drained = r_in;
 
-  const DepartureKind kind =
-      emitted_to_sink ? DepartureKind::kOutput : DepartureKind::kFiltered;
-  ReleaseLineage(in, completion, kind, /*shed=*/false);
-  if (observer_ != nullptr) observer_->OnInvocationEnd(*op, cost);
+    const double cost = op->cost() * CostMultiplierAt(clock_);
+    clock_ += cost / headroom_;
+    counters_.busy_seconds += cost;
+    ++counters_.invocations;
+    batch_cost += cost;
+
+    emitted_to_sink = false;
+    completion = clock_;
+    op->Process(in, completion, emit);
+    counters_.drained_base_load += drained;
+
+    const DepartureKind kind =
+        emitted_to_sink ? DepartureKind::kOutput : DepartureKind::kFiltered;
+    ReleaseLineage(in, completion, kind, /*shed=*/false);
+
+    ++ran;
+    if (ran >= quantum || queue.empty() || clock_ >= limit) break;
+  }
+  if (observer_ != nullptr) {
+    observer_->OnInvocationBatch(*op, static_cast<uint64_t>(ran), batch_cost);
+  }
 }
 
 void Engine::AdvanceTo(SimTime t) {
@@ -159,7 +176,7 @@ void Engine::AdvanceTo(SimTime t) {
       clock_ = t;
       return;
     }
-    ExecuteOne(op);
+    ExecuteBatch(op, scheduler_->GrantQuantum(*op), t);
   }
 }
 

@@ -3,17 +3,17 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include <memory>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "engine/lineage_table.h"
 #include "engine/query_network.h"
 #include "engine/scheduler.h"
 #include "engine/tuple.h"
+#include "engine/tuple_queue.h"
 #include "sim/simulation.h"
 
 namespace ctrlshed {
@@ -47,15 +47,34 @@ using DepartureCallback = std::function<void(const Departure&)>;
 /// without the engine linking against it (telemetry already depends on the
 /// engine). All callbacks run on the engine's thread, inline in the pump —
 /// implementations must be cheap and must never block.
+///
+/// Calling convention: the engine emits OnInvocationStart once per *batch*
+/// (a run of up to quantum back-to-back invocations of one operator; the
+/// default quantum of 1 makes a batch a single invocation) followed by one
+/// OnInvocationBatch when the run ends. Observers that only care about
+/// per-invocation granularity can override OnInvocationEnd and rely on the
+/// default OnInvocationBatch fan-out.
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
-  /// An invocation of `op` is about to run (front of its queue).
+  /// A batch of invocations of `op` is about to run (front of its queue).
   virtual void OnInvocationStart(const OperatorBase& op) = 0;
-  /// The invocation finished; `cost_seconds` is the effective CPU cost
-  /// charged (nominal cost x multiplier).
-  virtual void OnInvocationEnd(const OperatorBase& op,
-                               double cost_seconds) = 0;
+  /// One invocation finished; `cost_seconds` is the effective CPU cost
+  /// charged (nominal cost x multiplier). Only called via the default
+  /// OnInvocationBatch fan-out.
+  virtual void OnInvocationEnd(const OperatorBase& op, double cost_seconds) {
+    (void)op;
+    (void)cost_seconds;
+  }
+  /// A batch of `n` invocations of `op` finished, charging `cost_seconds`
+  /// of total effective CPU cost. Default: fan out to OnInvocationEnd with
+  /// the mean per-invocation cost (exact at n == 1, the seed path).
+  virtual void OnInvocationBatch(const OperatorBase& op, uint64_t n,
+                                 double cost_seconds) {
+    for (uint64_t i = 0; i < n; ++i) {
+      OnInvocationEnd(op, cost_seconds / static_cast<double>(n));
+    }
+  }
   /// In-network shedding dropped one queued tuple from `op`'s queue.
   virtual void OnQueueDrop(const OperatorBase& op) = 0;
 };
@@ -80,18 +99,29 @@ struct EngineCounters {
 /// processing (the paper's H); executing an operator with effective cost c
 /// occupies c / H of virtual wall time. Scheduling is round-robin over
 /// operators with non-empty queues, FIFO within each queue, no tuple
-/// priorities — exactly the policy the paper models.
+/// priorities — exactly the policy the paper models. With a scheduler
+/// quantum > 1 the engine drains up to that many invocations per operator
+/// visit (Aurora-style train scheduling) before re-selecting; the default
+/// quantum of 1 reproduces the paper's policy bit-for-bit.
 ///
 /// Service is non-preemptive: an invocation that starts before an event
 /// timestamp may finish slightly after it, as on a real engine.
+///
+/// Allocation discipline: operator queues are pooled TupleQueues backed by
+/// the engine's chunk pool and lineages live in a slab table, so steady
+/// state (queue depths at or below their high-water mark) performs zero
+/// heap allocations on the inject/execute path.
 class Engine : public Process {
  public:
   /// `network` must be finalized and outlive the engine. `headroom` is the
   /// TRUE fraction of CPU the engine gets (controllers carry their own,
   /// possibly wrong, estimate of it). `scheduler` defaults to Borealis'
-  /// round-robin policy when null.
+  /// round-robin policy when null. The constructor binds the network's
+  /// operator queues to this engine's chunk pool; at most one live Engine
+  /// per network.
   Engine(QueryNetwork* network, double headroom,
          std::unique_ptr<SchedulerPolicy> scheduler = nullptr);
+  ~Engine() override;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -110,6 +140,11 @@ class Engine : public Process {
   /// engine's current clock position is not required; arrival timestamps
   /// come from the simulation). `t.source` selects the entry operators.
   void Inject(Tuple t, SimTime now);
+
+  /// Admits `n` tuples, advancing the engine to each tuple's arrival time
+  /// before injecting it — the arrival-ordered replay loop the rt pump
+  /// runs, as one call. `tuples` must be sorted by arrival_time.
+  void InjectBatch(const Tuple* tuples, size_t n);
 
   /// Process (continuous work) interface: executes queued operator
   /// invocations until the virtual CPU reaches `t` or all queues are empty.
@@ -158,24 +193,23 @@ class Engine : public Process {
 
   const QueryNetwork& network() const { return *network_; }
   const SchedulerPolicy& scheduler() const { return *scheduler_; }
+  SchedulerPolicy& scheduler() { return *scheduler_; }
+
+  /// The engine's chunk pool (benchmarks assert its high-water mark
+  /// stabilizes — zero steady-state allocations).
+  const TupleChunkPool& chunk_pool() const { return chunk_pool_; }
 
  private:
-  /// Executes one invocation of `op` (front of its queue).
-  void ExecuteOne(OperatorBase* op);
-
-  /// Enqueues `t` into `op`'s queue on `port`, maintaining counters and
-  /// lineage refcounts. Assigns a fresh lineage when `t.lineage` is pending.
-  void Enqueue(OperatorBase* op, Tuple t, int port, bool derived);
+  /// Executes up to `quantum` back-to-back invocations of `op`, stopping
+  /// early when its queue drains or the virtual clock reaches `limit`.
+  /// At quantum == 1 this is exactly the seed's single-invocation step,
+  /// including floating-point operation order.
+  void ExecuteBatch(OperatorBase* op, size_t quantum, SimTime limit);
 
   /// Decrements the lineage refcount; fires the departure callback when the
   /// lineage is gone (unless it was shed).
   void ReleaseLineage(const Tuple& t, SimTime depart_time, DepartureKind kind,
                       bool shed);
-
-  struct LineageState {
-    int32_t live_instances = 0;
-    bool derived = false;
-  };
 
   QueryNetwork* network_;
   double headroom_;
@@ -189,9 +223,8 @@ class Engine : public Process {
   uint64_t queued_tuples_ = 0;
   double outstanding_base_load_ = 0.0;
   double nominal_entry_cost_ = 0.0;
-  LineageId next_lineage_ = 1;
-  std::unordered_map<LineageId, LineageState> lineages_;
-  std::unordered_set<LineageId> shed_taint_;
+  LineageTable lineages_;
+  TupleChunkPool chunk_pool_;
 
   EngineCounters counters_;
 };

@@ -1,0 +1,108 @@
+#ifndef CTRLSHED_ENGINE_LINEAGE_TABLE_H_
+#define CTRLSHED_ENGINE_LINEAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/tuple.h"
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+/// Slab-indexed lineage refcount table.
+///
+/// The seed tracked lineages in a std::unordered_map<LineageId,
+/// LineageState> plus a std::unordered_set shed-taint — two hash probes on
+/// every enqueue and every release, on the exact path every tuple crosses.
+/// This table replaces both with a flat slab: a LineageId is
+/// (slot_index << 32) | generation, so lookup is one bounds-checked index,
+/// the shed taint is a bit in the slot, and freed slots are recycled
+/// through an intrusive free list. The generation tag (never 0, so no id
+/// collides with kPendingLineage) makes stale ids detectable: releasing a
+/// recycled slot with an old generation is a hard CS_CHECK failure rather
+/// than silent corruption.
+class LineageTable {
+ public:
+  /// Creates a lineage with zero live instances. `derived` marks tuples
+  /// materialized inside the network (they don't count toward
+  /// departed/shed lineage totals).
+  LineageId Allocate(bool derived) {
+    uint32_t index;
+    if (free_head_ != kNil) {
+      index = free_head_;
+      free_head_ = slots_[index].next_free;
+    } else {
+      index = static_cast<uint32_t>(slots_.size());
+      CS_CHECK_MSG(slots_.size() < kNil, "lineage slab exhausted");
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[index];
+    s.live_instances = 0;
+    s.derived = derived;
+    s.shed = false;
+    ++live_;
+    return (static_cast<LineageId>(index) << 32) | s.generation;
+  }
+
+  /// Adds one live tuple instance to the lineage.
+  void AddInstance(LineageId id) { ++Checked(id).live_instances; }
+
+  /// Fate of a lineage whose last instance was just released.
+  struct Released {
+    bool last = false;     ///< This was the final live instance.
+    bool tainted = false;  ///< Some instance of the lineage was shed.
+    bool derived = false;  ///< The lineage was network-materialized.
+  };
+
+  /// Drops one live instance; `shed` additionally taints the lineage.
+  /// When the last instance goes, the slot is recycled (its generation
+  /// bumped so the old id goes stale) and the lineage's fate is returned.
+  Released Release(LineageId id, bool shed) {
+    Slot& s = Checked(id);
+    --s.live_instances;
+    CS_CHECK_MSG(s.live_instances >= 0, "lineage refcount underflow");
+    if (shed) s.shed = true;
+    Released r;
+    if (s.live_instances > 0) return r;
+    r.last = true;
+    r.tainted = s.shed;
+    r.derived = s.derived;
+    if (++s.generation == 0) s.generation = 1;  // Keep ids != kPendingLineage.
+    const auto index = static_cast<uint32_t>(id >> 32);
+    s.next_free = free_head_;
+    free_head_ = index;
+    --live_;
+    return r;
+  }
+
+  /// Lineages currently allocated (not yet fully released).
+  size_t live_lineages() const { return live_; }
+  /// Slab high-water mark in slots.
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    int32_t live_instances = 0;
+    uint32_t generation = 1;  ///< Never 0: (index<<32)|gen can't be 0.
+    bool derived = false;
+    bool shed = false;
+    uint32_t next_free = kNil;
+  };
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  Slot& Checked(LineageId id) {
+    const auto index = static_cast<uint32_t>(id >> 32);
+    const auto generation = static_cast<uint32_t>(id);
+    CS_CHECK_MSG(index < slots_.size() && slots_[index].generation == generation,
+                 "unknown lineage released");
+    return slots_[index];
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNil;
+  size_t live_ = 0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_LINEAGE_TABLE_H_

@@ -4,19 +4,43 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "engine/tuple.h"
+#include "engine/tuple_queue.h"
 
 namespace ctrlshed {
 
 class OperatorBase;
 
-/// Callback an operator uses to emit an output tuple. Routing to downstream
-/// queues (or to a sink if the operator has no downstream) is done by the
-/// engine.
-using EmitFn = std::function<void(const Tuple&)>;
+/// Non-owning callable reference an operator uses to emit an output tuple.
+/// Routing to downstream queues (or to a sink if the operator has no
+/// downstream) is done by the engine.
+///
+/// This is a function_ref, not a std::function: the engine's emit closure
+/// captures enough state to overflow std::function's small-buffer
+/// optimization, which put one heap allocation on every operator
+/// invocation. The referenced callable must outlive the Process call it is
+/// passed to (always true: the engine keeps it on the stack across the
+/// call) — operators must not store an EmitFn.
+class EmitFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EmitFn>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function.
+  EmitFn(const F& fn)
+      : obj_(&fn), call_([](const void* obj, const Tuple& t) {
+          (*static_cast<const F*>(obj))(t);
+        }) {}
+
+  void operator()(const Tuple& t) const { call_(obj_, t); }
+
+ private:
+  const void* obj_;
+  void (*call_)(const void*, const Tuple&);
+};
 
 /// A downstream connection: the target operator and the input port the
 /// emitted tuples arrive on.
@@ -57,8 +81,8 @@ class OperatorBase {
   /// only before QueryNetwork::Finalize.
   void set_cost(double cost_seconds) { cost_ = cost_seconds; }
 
-  std::deque<Tuple>& queue() { return queue_; }
-  const std::deque<Tuple>& queue() const { return queue_; }
+  TupleQueue& queue() { return queue_; }
+  const TupleQueue& queue() const { return queue_; }
 
   const std::vector<Downstream>& downstream() const { return downstream_; }
 
@@ -69,7 +93,7 @@ class OperatorBase {
   std::string name_;
   double cost_;
   int id_ = -1;
-  std::deque<Tuple> queue_;
+  TupleQueue queue_;
   std::vector<Downstream> downstream_;
 };
 

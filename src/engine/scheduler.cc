@@ -6,6 +6,11 @@
 
 namespace ctrlshed {
 
+void SchedulerPolicy::set_quantum(size_t quantum) {
+  CS_CHECK_MSG(quantum >= 1, "scheduler quantum must be >= 1");
+  quantum_ = quantum;
+}
+
 OperatorBase* RoundRobinScheduler::Next(QueryNetwork* net) {
   const size_t n = net->NumOperators();
   for (size_t step = 0; step < n; ++step) {

@@ -24,7 +24,26 @@ class SchedulerPolicy {
   /// when the whole network is idle.
   virtual OperatorBase* Next(QueryNetwork* net) = 0;
 
+  /// Invocation quantum granted to the operator Next just selected: the
+  /// engine may run up to this many back-to-back invocations of it before
+  /// re-selecting. 1 (the default) reproduces the paper's one-invocation-
+  /// per-visit policy exactly; larger quanta amortize per-visit scheduling
+  /// and observer overhead at the price of coarser interleaving (Aurora's
+  /// train scheduling). Policies whose semantics depend on re-selecting
+  /// after every tuple may override this to clamp the grant.
+  virtual size_t GrantQuantum(const OperatorBase& op) {
+    (void)op;
+    return quantum_;
+  }
+
+  /// Sets the baseline quantum (>= 1) GrantQuantum hands out.
+  void set_quantum(size_t quantum);
+  size_t quantum() const { return quantum_; }
+
   virtual std::string_view name() const = 0;
+
+ private:
+  size_t quantum_ = 1;
 };
 
 /// Borealis' policy: cycle over operators, one invocation per visit.
@@ -42,6 +61,12 @@ class RoundRobinScheduler : public SchedulerPolicy {
 class GlobalFifoScheduler : public SchedulerPolicy {
  public:
   OperatorBase* Next(QueryNetwork* net) override;
+  /// Always 1: draining a train from one queue would process tuples out of
+  /// global arrival order, which is this policy's whole point.
+  size_t GrantQuantum(const OperatorBase& op) override {
+    (void)op;
+    return 1;
+  }
   std::string_view name() const override { return "global-fifo"; }
 };
 

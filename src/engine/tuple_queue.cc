@@ -1,0 +1,131 @@
+#include "engine/tuple_queue.h"
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+TupleChunkPool::~TupleChunkPool() {
+  for (TupleChunk* chunk : free_) delete chunk;
+}
+
+TupleChunk* TupleChunkPool::Acquire() {
+  if (!free_.empty()) {
+    TupleChunk* chunk = free_.back();
+    free_.pop_back();
+    return chunk;
+  }
+  ++allocated_;
+  return new TupleChunk;
+}
+
+void TupleChunkPool::Release(TupleChunk* chunk) { free_.push_back(chunk); }
+
+TupleQueue::~TupleQueue() { clear(); }
+
+void TupleQueue::BindPool(TupleChunkPool* pool) {
+  CS_CHECK_MSG(size_ == 0, "TupleQueue::BindPool requires an empty queue");
+  CS_CHECK_MSG(pool_ == nullptr || pool == nullptr || pool_ == pool,
+               "TupleQueue is already bound to a different pool");
+  clear();  // Returns any retained chunk to the previous allocator.
+  pool_ = pool;
+}
+
+Tuple& TupleQueue::front() {
+  CS_CHECK(size_ > 0);
+  return ring_[chunk_head_ & (ring_.size() - 1)]->slots[slot_head_];
+}
+
+const Tuple& TupleQueue::front() const {
+  CS_CHECK(size_ > 0);
+  return ring_[chunk_head_ & (ring_.size() - 1)]->slots[slot_head_];
+}
+
+Tuple& TupleQueue::back() {
+  CS_CHECK(size_ > 0);
+  const size_t pos = slot_head_ + size_ - 1;
+  return ChunkAt(pos / TupleChunk::kTuples)->slots[pos % TupleChunk::kTuples];
+}
+
+const Tuple& TupleQueue::back() const {
+  CS_CHECK(size_ > 0);
+  const size_t pos = slot_head_ + size_ - 1;
+  return ChunkAt(pos / TupleChunk::kTuples)->slots[pos % TupleChunk::kTuples];
+}
+
+void TupleQueue::push_back(const Tuple& t) {
+  const size_t pos = slot_head_ + size_;
+  const size_t off = pos / TupleChunk::kTuples;
+  if (off == num_chunks_) {
+    if (num_chunks_ == ring_.size()) GrowRing();
+    ring_[(chunk_head_ + num_chunks_) & (ring_.size() - 1)] = AcquireChunk();
+    ++num_chunks_;
+  }
+  ChunkAt(off)->slots[pos % TupleChunk::kTuples] = t;
+  ++size_;
+}
+
+void TupleQueue::pop_front() {
+  CS_CHECK(size_ > 0);
+  ++slot_head_;
+  --size_;
+  if (slot_head_ == TupleChunk::kTuples) {
+    ReleaseChunk(ring_[chunk_head_ & (ring_.size() - 1)]);
+    ++chunk_head_;
+    --num_chunks_;
+    slot_head_ = 0;
+  } else if (size_ == 0) {
+    // Rewind within the retained front chunk so long-lived mostly-empty
+    // queues never creep toward a chunk boundary.
+    slot_head_ = 0;
+  }
+}
+
+void TupleQueue::pop_back() {
+  CS_CHECK(size_ > 0);
+  const size_t pos = slot_head_ + size_ - 1;
+  --size_;
+  if (pos % TupleChunk::kTuples == 0 && pos / TupleChunk::kTuples > 0) {
+    // The popped tuple was the sole occupant of the trailing chunk.
+    ReleaseChunk(ChunkAt(num_chunks_ - 1));
+    --num_chunks_;
+  } else if (size_ == 0) {
+    slot_head_ = 0;
+    if (pos == 0 && num_chunks_ == 1) {
+      // Queue drained via pop_back down to the front chunk's slot 0:
+      // release it too so pop_back-only drains don't pin a chunk.
+      ReleaseChunk(ring_[chunk_head_ & (ring_.size() - 1)]);
+      --num_chunks_;
+    }
+  }
+}
+
+void TupleQueue::clear() {
+  for (size_t i = 0; i < num_chunks_; ++i) ReleaseChunk(ChunkAt(i));
+  num_chunks_ = 0;
+  chunk_head_ = 0;
+  slot_head_ = 0;
+  size_ = 0;
+}
+
+TupleChunk* TupleQueue::AcquireChunk() {
+  return pool_ != nullptr ? pool_->Acquire() : new TupleChunk;
+}
+
+void TupleQueue::ReleaseChunk(TupleChunk* chunk) {
+  if (pool_ != nullptr) {
+    pool_->Release(chunk);
+  } else {
+    delete chunk;
+  }
+}
+
+void TupleQueue::GrowRing() {
+  const size_t old_cap = ring_.size();
+  std::vector<TupleChunk*> grown(old_cap == 0 ? 2 : old_cap * 2, nullptr);
+  // Re-pack live chunks to the front of the new ring.
+  for (size_t i = 0; i < num_chunks_; ++i) grown[i] = ChunkAt(i);
+  ring_.swap(grown);
+  chunk_head_ = 0;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,114 @@
+#ifndef CTRLSHED_ENGINE_TUPLE_QUEUE_H_
+#define CTRLSHED_ENGINE_TUPLE_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+
+/// Fixed-size block of queued tuples — the allocation unit the chunk pool
+/// recycles. 128 tuples ≈ 5 KiB keeps a chunk well inside L1 while making
+/// the pointer-chase cost of crossing chunks negligible (one per 128 ops).
+struct TupleChunk {
+  static constexpr size_t kTuples = 128;
+  Tuple slots[kTuples];
+};
+
+/// Free-list recycler for TupleChunks, owned by one Engine and shared by
+/// every operator queue of its network. Single-threaded by construction:
+/// an Engine (and therefore its queues) is only ever touched by one thread
+/// at a time, so Acquire/Release need no synchronization.
+///
+/// Once the pool has grown to the workload's high-water mark, queue
+/// push/pop cycles recycle chunks through the free list and the steady
+/// state performs zero heap allocations (bench/engine_throughput
+/// --check-allocs asserts this).
+class TupleChunkPool {
+ public:
+  TupleChunkPool() = default;
+  ~TupleChunkPool();
+
+  TupleChunkPool(const TupleChunkPool&) = delete;
+  TupleChunkPool& operator=(const TupleChunkPool&) = delete;
+
+  /// Pops a recycled chunk, or heap-allocates when the free list is dry.
+  TupleChunk* Acquire();
+
+  /// Returns a chunk to the free list (never frees it back to the heap;
+  /// the pool keeps its high-water mark for the engine's lifetime).
+  void Release(TupleChunk* chunk);
+
+  /// Chunks ever heap-allocated — stable once the workload's peak queue
+  /// depth has been seen.
+  uint64_t allocated() const { return allocated_; }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<TupleChunk*> free_;
+  uint64_t allocated_ = 0;
+};
+
+/// FIFO tuple queue over pooled chunks — the replacement for the
+/// std::deque<Tuple> operator queues, which allocate and free nodes under
+/// load. Supports exactly the operations the engine needs: push_back,
+/// pop_front (service), pop_back (newest-first in-network shedding), and
+/// front/back/size inspection.
+///
+/// Layout: a power-of-two ring of chunk pointers; logical position p lives
+/// in chunk (slot_head_ + p) / kTuples at slot (slot_head_ + p) % kTuples,
+/// with the ring re-packed on growth. The pointer ring only grows when the
+/// queue outgrows every depth it has seen before, so steady-state operation
+/// touches no allocator at all.
+///
+/// Without a bound pool the queue heap-allocates its chunks directly —
+/// the standalone mode tests and schedulers use before an Engine exists.
+class TupleQueue {
+ public:
+  TupleQueue() = default;
+  ~TupleQueue();
+
+  TupleQueue(const TupleQueue&) = delete;
+  TupleQueue& operator=(const TupleQueue&) = delete;
+
+  /// Binds (pool != nullptr) or unbinds (nullptr) the backing chunk pool.
+  /// The queue must be empty, and must not already be bound to a
+  /// different pool; any retained chunk is returned to its allocator.
+  void BindPool(TupleChunkPool* pool);
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  Tuple& front();
+  const Tuple& front() const;
+  Tuple& back();
+  const Tuple& back() const;
+
+  void push_back(const Tuple& t);
+  void pop_front();
+  void pop_back();
+
+  /// Releases every chunk (to the pool when bound, else to the heap).
+  void clear();
+
+ private:
+  TupleChunk* ChunkAt(size_t chunk_off) const {
+    return ring_[(chunk_head_ + chunk_off) & (ring_.size() - 1)];
+  }
+  TupleChunk* AcquireChunk();
+  void ReleaseChunk(TupleChunk* chunk);
+  void GrowRing();
+
+  TupleChunkPool* pool_ = nullptr;
+  std::vector<TupleChunk*> ring_;  ///< Power-of-two chunk-pointer ring.
+  size_t chunk_head_ = 0;          ///< Ring index of the front chunk.
+  size_t num_chunks_ = 0;          ///< Live chunks, front to back.
+  size_t slot_head_ = 0;           ///< Front tuple's slot in the front chunk.
+  size_t size_ = 0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_TUPLE_QUEUE_H_

@@ -20,11 +20,17 @@ RtEngine::RtEngine(QueryNetwork* network, const RtClock* clock,
   CS_CHECK_MSG(num_sources >= 1, "need at least one source");
   CS_CHECK_MSG(options_.pacing_wall_seconds > 0.0,
                "pacing must be positive");
+  CS_CHECK_MSG(options_.batch >= 1 && options_.batch <= 4096,
+               "batch must be in [1, 4096]");
+  engine_.scheduler().set_quantum(options_.batch);
   rings_.reserve(static_cast<size_t>(num_sources));
   for (int i = 0; i < num_sources; ++i) {
     rings_.push_back(std::make_unique<SpscRing<Tuple>>(options_.ring_capacity));
   }
   holdover_.resize(static_cast<size_t>(num_sources));
+  run_bounds_.reserve(static_cast<size_t>(num_sources));
+  run_cursor_.reserve(static_cast<size_t>(num_sources));
+  scratch_.resize(options_.batch);
   engine_.SetDepartureCallback([this](const Departure& d) {
     delay_sum_local_ += d.depart_time - d.arrival_time;
     ++delay_count_local_;
@@ -59,43 +65,94 @@ bool RtEngine::Offer(const Tuple& t) {
   return false;
 }
 
+size_t RtEngine::OfferBatch(const Tuple* tuples, size_t n) {
+  if (n == 0) return 0;
+  const int source = tuples[0].source;
+  CS_CHECK_MSG(source >= 0 && source < num_sources(),
+               "tuple source out of range");
+  const size_t pushed =
+      rings_[static_cast<size_t>(source)]->TryPushBatch(tuples, n);
+  if (pushed < n) {
+    stats_.ring_dropped.fetch_add(n - pushed, std::memory_order_relaxed);
+  }
+  return pushed;
+}
+
 void RtEngine::Pump(SimTime now) {
   // Collect the due tuples (arrival <= now). Each ring is FIFO with
   // non-decreasing arrival times, so a not-yet-due tuple ends that ring's
-  // drain; it parks in the holdover slot until its time comes (sources can
-  // deliver a hair early through wall-deadline truncation). The per-ring
-  // drain is bounded so a producer refilling concurrently cannot pin us.
+  // drain; popped-but-not-due tuples park in the ring's holdover FIFO
+  // until their time comes (sources can deliver a hair early through
+  // wall-deadline truncation, and a batch pop can overshoot the due
+  // prefix). The per-ring drain is bounded so a producer refilling
+  // concurrently cannot pin us.
   pending_.clear();
+  run_bounds_.clear();
   for (size_t i = 0; i < rings_.size(); ++i) {
-    if (holdover_[i].has_value()) {
-      if (holdover_[i]->arrival_time > now) continue;
-      pending_.push_back(*holdover_[i]);
-      holdover_[i].reset();
+    const size_t run_start = pending_.size();
+    Holdover& held = holdover_[i];
+    while (!held.empty() && held.buf[held.head].arrival_time <= now) {
+      pending_.push_back(held.buf[held.head++]);
     }
-    Tuple t;
-    for (size_t n = rings_[i]->capacity(); n > 0 && rings_[i]->TryPop(&t);
-         --n) {
-      if (t.arrival_time > now) {
-        holdover_[i] = t;
-        break;
+    if (held.empty()) {
+      held.buf.clear();
+      held.head = 0;
+      // Ring order is arrival order, so stop at the first not-due tuple.
+      bool parked = false;
+      size_t budget = rings_[i]->capacity();
+      while (budget > 0 && !parked) {
+        const size_t want = budget < options_.batch ? budget : options_.batch;
+        const size_t got = rings_[i]->TryPopBatch(scratch_.data(), want);
+        if (got == 0) break;
+        budget -= got;
+        for (size_t j = 0; j < got; ++j) {
+          if (!parked && scratch_[j].arrival_time <= now) {
+            pending_.push_back(scratch_[j]);
+          } else {
+            parked = true;
+            held.buf.push_back(scratch_[j]);
+          }
+        }
       }
-      pending_.push_back(t);
     }
+    run_bounds_.emplace_back(run_start, pending_.size());
   }
 
   // Interleave injection with advancement in timestamp order, exactly as
   // the simulation's event queue does: the engine must never hold a tuple
   // whose arrival is in its virtual CPU's future, or a backlogged engine
-  // could "process" it before it arrived (negative delay).
-  std::stable_sort(pending_.begin(), pending_.end(),
-                   [](const Tuple& a, const Tuple& b) {
-                     return a.arrival_time < b.arrival_time;
-                   });
-  for (const Tuple& t : pending_) {
-    engine_.AdvanceTo(t.arrival_time);
-    engine_.Inject(t, t.arrival_time);
+  // could "process" it before it arrived (negative delay). Each per-ring
+  // run is already arrival-sorted, so a K-way merge replaces the seed's
+  // stable_sort (whose temporary buffer was a per-pump heap allocation).
+  if (run_bounds_.size() <= 1) {
+    engine_.InjectBatch(pending_.data(), pending_.size());
+  } else {
+    MergeRunsByArrival();
+    engine_.InjectBatch(inject_order_.data(), inject_order_.size());
   }
   engine_.AdvanceTo(now);
+}
+
+void RtEngine::MergeRunsByArrival() {
+  inject_order_.clear();
+  run_cursor_.clear();
+  for (const auto& bounds : run_bounds_) run_cursor_.push_back(bounds.first);
+  // K is the source count (small); a linear scan per pop beats a heap and,
+  // by breaking ties toward the lowest ring index, reproduces exactly what
+  // stable_sort over the concatenated runs produced in the seed.
+  for (;;) {
+    size_t best = run_bounds_.size();
+    for (size_t k = 0; k < run_bounds_.size(); ++k) {
+      if (run_cursor_[k] == run_bounds_[k].second) continue;
+      if (best == run_bounds_.size() ||
+          pending_[run_cursor_[k]].arrival_time <
+              pending_[run_cursor_[best]].arrival_time) {
+        best = k;
+      }
+    }
+    if (best == run_bounds_.size()) break;
+    inject_order_.push_back(pending_[run_cursor_[best]++]);
+  }
 }
 
 void RtEngine::Publish() {
@@ -124,6 +181,14 @@ void RtEngine::WorkerLoop() {
     // internally locked), so these aggregate over all workers.
     pump_interval_metric_ =
         options_.telemetry->metrics()->GetHistogram("rt.pump_interval_s");
+    if (options_.per_shard_pump_metric) {
+      // Per-shard jitter next to the aggregate: the Prometheus exporter
+      // folds rt.shard<i>.pump_interval_s into one summary family
+      // rt_shard_pump_interval_s{shard="i"}.
+      shard_pump_interval_metric_ = options_.telemetry->metrics()->GetHistogram(
+          "rt.shard" + std::to_string(options_.shard_index) +
+          ".pump_interval_s");
+    }
     pump_counter_ = options_.telemetry->metrics()->GetCounter("rt.pumps");
     // Operator-granular spans/counters on this worker's engine. Counters
     // are registry-shared, so shards aggregate per operator name.
@@ -145,6 +210,9 @@ void RtEngine::WorkerLoop() {
       pump_intervals_.Record(interval);
       if (pump_interval_metric_ != nullptr) {
         pump_interval_metric_->Record(interval);
+      }
+      if (shard_pump_interval_metric_ != nullptr) {
+        shard_pump_interval_metric_->Record(interval);
       }
     }
     have_last_pump = true;

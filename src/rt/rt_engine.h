@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.h"
@@ -41,6 +41,12 @@ struct RtEngineOptions {
   /// rings and advances the engine. Must be well below the control
   /// period's wall duration.
   double pacing_wall_seconds = 500e-6;
+  /// Datapath batch size, in [1, 4096]: how many tuples each SPSC pop
+  /// moves per index publish, and the invocation quantum the engine's
+  /// scheduler grants per operator visit. 1 is the seed-equivalent
+  /// per-tuple path (bit-identical control arithmetic); larger values
+  /// amortize the atomics and the per-visit scheduling/observer overhead.
+  size_t batch = 1;
   /// Optional telemetry session (non-owning; must outlive the engine).
   /// Null disables tracing/metric registration — the worker's hot path
   /// then carries one dead branch per pump.
@@ -48,6 +54,11 @@ struct RtEngineOptions {
   /// Which shard of a partitioned plant this engine is; labels the worker
   /// thread's telemetry ("rt.worker<i>"). 0 for the unsharded runtime.
   int shard_index = 0;
+  /// Register a per-shard pump-interval histogram
+  /// ("rt.shard<i>.pump_interval_s") in addition to the aggregate
+  /// "rt.pump_interval_s". The sharded runtime enables this so the
+  /// Prometheus exporter can serve one labeled summary family.
+  bool per_shard_pump_metric = false;
 };
 
 /// The real-time plant: one worker thread that owns a sim Engine
@@ -95,6 +106,19 @@ class RtEngine {
   /// (the drop has already been counted).
   bool Offer(const Tuple& t);
 
+  /// Batched ingress: pushes `n` tuples — all with the same `source` —
+  /// into that source's ring with one index publish. Returns how many were
+  /// accepted; the rejected tail has already been counted as ring drops.
+  /// Same producer contract as Offer.
+  size_t OfferBatch(const Tuple* tuples, size_t n);
+
+  /// One drain-and-advance step: moves every due tuple (arrival <= `now`)
+  /// from the ingress rings into the engine in arrival order and advances
+  /// the virtual CPU to `now`. Normally driven by the worker thread;
+  /// exposed so benchmarks and tests can run the pump synchronously on an
+  /// un-Started engine (same single-thread ownership rules as Start).
+  void Pump(SimTime now);
+
   /// Shared observation surface (monitor thread reads, see RtSharedStats).
   RtSharedStats* stats() { return &stats_; }
   RtSample Snapshot() const { return stats_.Snapshot(clock_->Now()); }
@@ -113,10 +137,12 @@ class RtEngine {
 
  private:
   void WorkerLoop();
-  /// Drains the rings into the engine and advances it to `now`.
-  void Pump(SimTime now);
   /// Republishes the engine-side counters into the shared atomics.
   void Publish();
+  /// Merges the per-ring arrival-sorted runs recorded in `run_bounds_`
+  /// into `inject_order_` (stable across rings: ties go to the lower ring
+  /// index, reproducing what stable_sort over the concatenation gives).
+  void MergeRunsByArrival();
 
   const RtClock* clock_;
   RtEngineOptions options_;
@@ -127,10 +153,22 @@ class RtEngine {
   RtSharedStats stats_;
   DepartureCallback on_departure_;
 
-  // Worker-local pump scratch: tuples due this pump, and one parked
-  // not-yet-due tuple per ring.
+  // Worker-local pump scratch, all reused across pumps so the steady
+  // state allocates nothing: the per-ring batch-pop staging buffer, the
+  // due tuples of this pump (as per-ring sorted runs), the run boundaries,
+  // the merged injection order, and the parked not-yet-due tuples per ring
+  // (a FIFO drained from `head`; batch pops can park several at once).
+  struct Holdover {
+    std::vector<Tuple> buf;
+    size_t head = 0;
+    bool empty() const { return head == buf.size(); }
+  };
+  std::vector<Tuple> scratch_;
   std::vector<Tuple> pending_;
-  std::vector<std::optional<Tuple>> holdover_;
+  std::vector<std::pair<size_t, size_t>> run_bounds_;
+  std::vector<Tuple> inject_order_;
+  std::vector<size_t> run_cursor_;
+  std::vector<Holdover> holdover_;
 
   // Worker-local departure-delay accumulation, published each pump.
   double delay_sum_local_ = 0.0;
@@ -141,6 +179,7 @@ class RtEngine {
   LatencyHistogram pump_intervals_{1e-6, 1e3, 1.08};
   TraceBuffer* trace_buf_ = nullptr;
   HistogramMetric* pump_interval_metric_ = nullptr;
+  HistogramMetric* shard_pump_interval_metric_ = nullptr;
   Counter* pump_counter_ = nullptr;
   /// Per-operator spans/counters (worker-thread-owned; created at thread
   /// start, torn down after the join).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "rt/rt_source.h"
 
 namespace ctrlshed {
 
@@ -101,25 +102,56 @@ void RtLoop::Stop() {
   for (const RtShard& shard : shards_) shard.engine->Stop();
 }
 
-void RtLoop::OnArrival(const Tuple& t) {
+void RtLoop::OnArrival(const Tuple& t) { OnArrivalBatch(&t, 1); }
+
+void RtLoop::OnArrivalBatch(const Tuple* tuples, size_t n) {
+  if (n == 0) return;
   // Hash partitioning: global source s lives on shard s % N as that
   // engine's local source s / N. The global->local remap keeps the
-  // one-producer-per-ring SPSC contract intact.
+  // one-producer-per-ring SPSC contract intact (a batch comes from one
+  // source thread, so the whole batch lands on one shard).
   const size_t shard_idx =
-      static_cast<size_t>(t.source) % shards_.size();
+      static_cast<size_t>(tuples[0].source) % shards_.size();
   const RtShard& shard = shards_[shard_idx];
   RtSharedStats* stats = shard.engine->stats();
-  stats->offered.fetch_add(1, std::memory_order_relaxed);
-  if (shard.shedder != nullptr && controller_ != nullptr) {
-    std::lock_guard<std::mutex> lock(shedder_mutexes_[shard_idx]);
-    if (!shard.shedder->Admit(t)) {
-      stats->entry_shed.fetch_add(1, std::memory_order_relaxed);
-      return;
+  stats->offered.fetch_add(n, std::memory_order_relaxed);
+  const int local_source =
+      tuples[0].source / static_cast<int>(shards_.size());
+
+  // Stage the admitted survivors (source remapped) and push them with one
+  // ring publish; chunked so callers may exceed kRtArrivalBatchMax.
+  Tuple admitted[kRtArrivalBatchMax];
+  for (size_t base = 0; base < n;) {
+    const size_t chunk_end =
+        n - base < kRtArrivalBatchMax ? n : base + kRtArrivalBatchMax;
+    size_t m = 0;
+    uint64_t shed = 0;
+    if (shard.shedder != nullptr && controller_ != nullptr) {
+      std::lock_guard<std::mutex> lock(shedder_mutexes_[shard_idx]);
+      for (size_t i = base; i < chunk_end; ++i) {
+        CS_CHECK_MSG(tuples[i].source == tuples[0].source,
+                     "a batch must come from a single source");
+        if (shard.shedder->Admit(tuples[i])) {
+          admitted[m] = tuples[i];
+          admitted[m].source = local_source;
+          ++m;
+        } else {
+          ++shed;
+        }
+      }
+    } else {
+      for (size_t i = base; i < chunk_end; ++i) {
+        CS_CHECK_MSG(tuples[i].source == tuples[0].source,
+                     "a batch must come from a single source");
+        admitted[m] = tuples[i];
+        admitted[m].source = local_source;
+        ++m;
+      }
     }
+    if (shed > 0) stats->entry_shed.fetch_add(shed, std::memory_order_relaxed);
+    shard.engine->OfferBatch(admitted, m);  // a full ring counts its drops
+    base = chunk_end;
   }
-  Tuple local = t;
-  local.source = t.source / static_cast<int>(shards_.size());
-  shard.engine->Offer(local);  // a full ring counts its own drop
 }
 
 void RtLoop::SetTargetDelay(double yd) {

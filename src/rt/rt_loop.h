@@ -108,6 +108,12 @@ class RtLoop {
   /// index. Routes to shard t.source % num_shards().
   void OnArrival(const Tuple& t);
 
+  /// Batched ingress: `n` tuples from ONE source (all t.source equal), in
+  /// arrival order. Takes the shard's shedder mutex once and pushes the
+  /// admitted survivors into the engine ring with one batched publish.
+  /// At n == 1 this is exactly OnArrival.
+  void OnArrivalBatch(const Tuple* tuples, size_t n);
+
   /// Changes the delay setpoint at runtime (any thread).
   void SetTargetDelay(double yd);
   double target_delay() const {

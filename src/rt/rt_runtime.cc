@@ -103,8 +103,10 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     eopts.ring_capacity = config.ring_capacity;
     eopts.cost_mode = config.cost_mode;
     eopts.pacing_wall_seconds = config.pacing_wall_seconds;
+    eopts.batch = config.batch;
     eopts.telemetry = telemetry.get();
     eopts.shard_index = i;
+    eopts.per_shard_pump_metric = workers > 1;
     engines.push_back(std::make_unique<RtEngine>(
         nets.back().get(), &clock, /*num_sources=*/1, eopts));
   }
@@ -200,7 +202,9 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   clock.Start();
   loop.Start();
   for (auto& source : sources) {
-    source->Start(&clock, [&loop](const Tuple& t) { loop.OnArrival(t); });
+    source->Start(&clock, [&loop](const Tuple* tuples, size_t n) {
+      loop.OnArrivalBatch(tuples, n);
+    });
   }
 
   phase.emplace(main_buf, "replay");

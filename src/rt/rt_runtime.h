@@ -32,6 +32,11 @@ struct RtRunConfig {
   RtCostMode cost_mode = RtCostMode::kSleep;
   double pacing_wall_seconds = 500e-6;
 
+  /// Datapath batch size (see RtEngineOptions::batch): SPSC pop run length
+  /// and engine invocation quantum. 1 (default) is the seed-equivalent
+  /// per-tuple path with bit-identical control arithmetic.
+  size_t batch = 1;
+
   /// Worker shards the plant is partitioned across (see RtLoop). The
   /// offered-rate trace is split evenly: N replay sources, each driving
   /// its own shard with the base trace scaled by 1/N (independent arrival

@@ -17,6 +17,17 @@ namespace ctrlshed {
 class Telemetry;
 class TraceBuffer;
 
+/// Largest run of already-due arrivals a replay thread delivers per sink
+/// call. Catch-up bursts (oversleeps, overload) arrive in batches of up to
+/// this many tuples; on-time replay wakes per arrival and delivers runs of
+/// one, which keeps the batched path behaviorally identical to the seed's
+/// per-tuple delivery whenever the replay is keeping up.
+inline constexpr size_t kRtArrivalBatchMax = 64;
+
+/// Batched delivery callback: `n` in [1, kRtArrivalBatchMax] tuples from
+/// one source in arrival order.
+using RtBatchSink = std::function<void(const Tuple* tuples, size_t n)>;
+
 /// Replays one stream's rate trace against the wall clock: a thread that
 /// draws the same arrival process as the sim-side ArrivalSource (same
 /// spacing modes, same slot-boundary thinning, same payload distribution)
@@ -45,7 +56,7 @@ class RtArrivalSource {
 
   /// Launches the replay thread. `clock` must be started and outlive this
   /// source; `sink` is invoked on the replay thread.
-  void Start(const RtClock* clock, std::function<void(const Tuple&)> sink);
+  void Start(const RtClock* clock, RtBatchSink sink);
 
   /// Signals the thread and joins it. Idempotent.
   void Stop();
@@ -71,7 +82,7 @@ class RtArrivalSource {
   Rng rng_;
 
   const RtClock* clock_ = nullptr;
-  std::function<void(const Tuple&)> sink_;
+  RtBatchSink sink_;
   Telemetry* telemetry_ = nullptr;
   TraceBuffer* trace_buf_ = nullptr;  ///< Replay-thread-owned.
   std::atomic<bool> stop_{false};

@@ -39,6 +39,20 @@ void OperatorTelemetry::OnInvocationEnd(const OperatorBase& op,
   }
 }
 
+void OperatorTelemetry::OnInvocationBatch(const OperatorBase& op, uint64_t n,
+                                          double cost_seconds) {
+  (void)cost_seconds;
+  if (n == 0) return;
+  const PerOp& slot = ops_[static_cast<size_t>(op.id())];
+  slot.processed->Add(n);
+  // One span covers the whole batch (started at OnInvocationStart); the
+  // per-invocation span shape of the unbatched path is preserved exactly
+  // at n == 1.
+  if (buf_ != nullptr && slot.span_name != nullptr) {
+    buf_->Emit({slot.span_name, start_us_, buf_->NowUs() - start_us_});
+  }
+}
+
 void OperatorTelemetry::OnQueueDrop(const OperatorBase& op) {
   ops_[static_cast<size_t>(op.id())].dropped->Add();
 }

@@ -33,6 +33,8 @@ class OperatorTelemetry : public EngineObserver {
 
   void OnInvocationStart(const OperatorBase& op) override;
   void OnInvocationEnd(const OperatorBase& op, double cost_seconds) override;
+  void OnInvocationBatch(const OperatorBase& op, uint64_t n,
+                         double cost_seconds) override;
   void OnQueueDrop(const OperatorBase& op) override;
 
  private:

@@ -118,17 +118,26 @@ void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
   }
   for (const auto& [name, h] : snapshot.histograms) {
     Mapped m = MapName(name);
-    // Labeled histogram families would need the quantile label merged into
-    // the existing label set; no instrument needs that yet, so a labeled
-    // histogram keeps its labels only on _sum/_count and the quantile
-    // samples assume an empty base label set.
+    // Quantile samples merge the quantile label into the family's base
+    // label set, so a labeled histogram (e.g. the per-shard pump-interval
+    // instruments "rt.shard<i>.pump_interval_s") folds into ONE summary
+    // family with samples like {shard="0",quantile="0.5"}. An unlabeled
+    // histogram keeps the historical {quantile="..."} form byte for byte.
     const struct {
       const char* q;
       double v;
     } quantiles[] = {{"0.5", h.p50}, {"0.95", h.p95}, {"0.99", h.p99}};
     for (const auto& q : quantiles) {
-      Collect(&fams, m.family, "summary",
-              {std::string("{quantile=\"") + q.q + "\"}", "", Num(q.v)});
+      std::string labels;
+      if (m.labels.empty()) {
+        labels = std::string("{quantile=\"") + q.q + "\"}";
+      } else {
+        // `m.labels` is always of the form {key="value"}; splice the
+        // quantile in before the closing brace.
+        labels = m.labels.substr(0, m.labels.size() - 1) + ",quantile=\"" +
+                 q.q + "\"}";
+      }
+      Collect(&fams, m.family, "summary", {std::move(labels), "", Num(q.v)});
     }
     Collect(&fams, m.family, "summary", {m.labels, "_sum", Num(h.sum)});
     Collect(&fams, m.family, "summary",

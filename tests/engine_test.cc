@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -262,6 +263,198 @@ TEST(EngineRoundRobinTest, BacklogDrainsAtServiceRate) {
   EXPECT_NEAR(static_cast<double>(engine.counters().departed), 50.0, 3.0);
   engine.AdvanceTo(0.75);
   EXPECT_EQ(engine.counters().departed, 100u);
+}
+
+TEST_F(UniformChainEngine, ShedMostCostlyDropsNewestFromEntryQueue) {
+  // All tuples sit in the entry queue (full remaining cost), so kMostCostly
+  // must shed there, newest arrivals first.
+  Engine engine(&net_, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    engine.Inject(SourceTuple(0.5, 0.001 * i), 0.0);
+  }
+  const double removed = engine.ShedFromQueues(
+      0.025, rng, Engine::QueueVictimPolicy::kMostCostly);
+  EXPECT_NEAR(removed, 3 * 0.010, 1e-9);  // ceil(0.025 / 0.010) tuples
+  EXPECT_EQ(engine.counters().shed_lineages, 3u);
+
+  std::vector<double> survivors;
+  engine.SetDepartureCallback(
+      [&](const Departure& d) { survivors.push_back(d.arrival_time); });
+  engine.AdvanceTo(100.0);
+  ASSERT_EQ(survivors.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_NEAR(survivors[static_cast<size_t>(i)], 0.001 * i, 1e-12)
+        << "newest-first shedding must keep the earliest arrivals";
+  }
+}
+
+/// Records which operator queues in-network shedding dropped from.
+class DropRecorder : public EngineObserver {
+ public:
+  void OnInvocationStart(const OperatorBase&) override {}
+  void OnQueueDrop(const OperatorBase& op) override {
+    drops.push_back(op.name());
+  }
+  std::vector<std::string> drops;
+};
+
+TEST(EngineShedPolicyTest, MostCostlyPicksQueueWithHighestRemainingCost) {
+  // a (6 ms) -> b (4 ms): a tuple queued at `a` carries 10 ms of remaining
+  // work, a tuple queued at `b` only 4 ms, so kMostCostly must victimize
+  // `a`'s queue while it is non-empty.
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.006));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 0.004));
+  a->ConnectTo(b);
+  net.AddEntry(0, a);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+  DropRecorder recorder;
+  engine.SetObserver(&recorder);
+
+  for (int i = 0; i < 4; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(0.006);  // one invocation of `a`: queues now a=3, b=1
+  ASSERT_EQ(engine.QueuedTuples(), 4u);
+  const double before = engine.OutstandingBaseLoad();
+  EXPECT_NEAR(before, 3 * 0.010 + 0.004, 1e-9);
+
+  Rng rng(2);
+  const double removed = engine.ShedFromQueues(
+      0.015, rng, Engine::QueueVictimPolicy::kMostCostly);
+  EXPECT_NEAR(removed, 2 * 0.010, 1e-9);
+  EXPECT_NEAR(engine.OutstandingBaseLoad(), before - removed, 1e-9);
+  ASSERT_EQ(recorder.drops.size(), 2u);
+  EXPECT_EQ(recorder.drops[0], "a");
+  EXPECT_EQ(recorder.drops[1], "a");
+}
+
+TEST(EngineInjectBatchTest, MatchesSequentialReplayBitForBit) {
+  // InjectBatch is the rt pump's arrival-ordered replay loop as one call;
+  // it must reproduce the sequential AdvanceTo+Inject loop exactly,
+  // including floating-point clock positions and departure stamps.
+  QueryNetwork net_seq, net_batch;
+  BuildUniformChain(&net_seq, 5, 0.010);
+  BuildUniformChain(&net_batch, 5, 0.010);
+  Engine seq(&net_seq, 0.97);
+  Engine batch(&net_batch, 0.97);
+
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 100; ++i) {
+    tuples.push_back(SourceTuple(0.25 + 0.005 * (i % 7), 0.0037 * i));
+  }
+
+  std::vector<double> seq_departs, batch_departs;
+  seq.SetDepartureCallback(
+      [&](const Departure& d) { seq_departs.push_back(d.depart_time); });
+  batch.SetDepartureCallback(
+      [&](const Departure& d) { batch_departs.push_back(d.depart_time); });
+
+  for (const Tuple& t : tuples) {
+    seq.AdvanceTo(t.arrival_time);
+    seq.Inject(t, t.arrival_time);
+  }
+  batch.InjectBatch(tuples.data(), tuples.size());
+
+  EXPECT_EQ(seq.cpu_clock(), batch.cpu_clock());
+  seq.AdvanceTo(100.0);
+  batch.AdvanceTo(100.0);
+
+  EXPECT_EQ(seq.cpu_clock(), batch.cpu_clock());
+  EXPECT_EQ(seq.counters().admitted, batch.counters().admitted);
+  EXPECT_EQ(seq.counters().departed, batch.counters().departed);
+  EXPECT_EQ(seq.counters().invocations, batch.counters().invocations);
+  EXPECT_EQ(seq.counters().busy_seconds, batch.counters().busy_seconds);
+  ASSERT_EQ(seq_departs.size(), batch_departs.size());
+  for (size_t i = 0; i < seq_departs.size(); ++i) {
+    EXPECT_EQ(seq_departs[i], batch_departs[i]) << "departure " << i;
+  }
+}
+
+TEST(EngineQuantumTest, TrainSchedulingPreservesWorkTotals) {
+  // Quantum > 1 coarsens the interleaving but must not change how much
+  // work is done or how many tuples depart.
+  QueryNetwork net1, net4;
+  BuildUniformChain(&net1, 5, 0.010);
+  BuildUniformChain(&net4, 5, 0.010);
+  Engine e1(&net1, 0.97);
+  Engine e4(&net4, 0.97);
+  e4.scheduler().set_quantum(4);
+
+  for (int i = 0; i < 50; ++i) {
+    e1.Inject(SourceTuple(0.5, 0.0), 0.0);
+    e4.Inject(SourceTuple(0.5, 0.0), 0.0);
+  }
+  e1.AdvanceTo(100.0);
+  e4.AdvanceTo(100.0);
+
+  EXPECT_EQ(e1.counters().departed, 50u);
+  EXPECT_EQ(e4.counters().departed, 50u);
+  EXPECT_EQ(e1.counters().invocations, e4.counters().invocations);
+  EXPECT_NEAR(e1.counters().busy_seconds, e4.counters().busy_seconds, 1e-9);
+  EXPECT_NEAR(e1.counters().drained_base_load, e4.counters().drained_base_load,
+              1e-9);
+  EXPECT_EQ(e4.QueuedTuples(), 0u);
+}
+
+/// Counts batch-level observer callbacks (the telemetry calling convention:
+/// one OnInvocationStart + one OnInvocationBatch per train).
+class BatchCounter : public EngineObserver {
+ public:
+  void OnInvocationStart(const OperatorBase&) override { ++starts; }
+  void OnInvocationBatch(const OperatorBase&, uint64_t n,
+                         double cost_seconds) override {
+    ++batches;
+    invocations += n;
+    max_n = n > max_n ? n : max_n;
+    total_cost += cost_seconds;
+  }
+  void OnQueueDrop(const OperatorBase&) override {}
+  uint64_t starts = 0;
+  uint64_t batches = 0;
+  uint64_t invocations = 0;
+  uint64_t max_n = 0;
+  double total_cost = 0.0;
+};
+
+/// Relies on the default OnInvocationBatch fan-out to OnInvocationEnd.
+class PerInvocationCounter : public EngineObserver {
+ public:
+  void OnInvocationStart(const OperatorBase&) override {}
+  void OnInvocationEnd(const OperatorBase&, double cost_seconds) override {
+    ++ends;
+    total_cost += cost_seconds;
+  }
+  void OnQueueDrop(const OperatorBase&) override {}
+  uint64_t ends = 0;
+  double total_cost = 0.0;
+};
+
+TEST_F(UniformChainEngine, ObserverBatchCallbackAccountsEveryInvocation) {
+  Engine engine(&net_, 1.0);
+  engine.scheduler().set_quantum(3);
+  BatchCounter counter;
+  engine.SetObserver(&counter);
+  for (int i = 0; i < 20; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(100.0);
+
+  EXPECT_EQ(counter.invocations, engine.counters().invocations);
+  EXPECT_EQ(counter.starts, counter.batches);
+  EXPECT_GE(counter.max_n, 2u);  // trains actually formed
+  EXPECT_LE(counter.max_n, 3u);  // and never exceeded the quantum
+  EXPECT_NEAR(counter.total_cost, engine.counters().busy_seconds, 1e-9);
+}
+
+TEST_F(UniformChainEngine, ObserverDefaultFanOutPreservesPerInvocationView) {
+  Engine engine(&net_, 1.0);
+  engine.scheduler().set_quantum(4);
+  PerInvocationCounter counter;
+  engine.SetObserver(&counter);
+  for (int i = 0; i < 12; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(100.0);
+
+  EXPECT_EQ(counter.ends, engine.counters().invocations);
+  EXPECT_NEAR(counter.total_cost, engine.counters().busy_seconds, 1e-9);
 }
 
 TEST(EngineDeathTest, UnfinalizedNetworkAborts) {

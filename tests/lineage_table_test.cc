@@ -1,0 +1,125 @@
+#include "engine/lineage_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+namespace {
+
+TEST(LineageTableTest, SingleInstanceLifecycle) {
+  LineageTable table;
+  const LineageId id = table.Allocate(/*derived=*/false);
+  EXPECT_NE(id, kPendingLineage);
+  EXPECT_EQ(table.live_lineages(), 1u);
+  table.AddInstance(id);
+  const LineageTable::Released r = table.Release(id, /*shed=*/false);
+  EXPECT_TRUE(r.last);
+  EXPECT_FALSE(r.tainted);
+  EXPECT_FALSE(r.derived);
+  EXPECT_EQ(table.live_lineages(), 0u);
+}
+
+TEST(LineageTableTest, LastReleaseReportsWhenAllInstancesGone) {
+  LineageTable table;
+  const LineageId id = table.Allocate(false);
+  table.AddInstance(id);
+  table.AddInstance(id);
+  table.AddInstance(id);
+  EXPECT_FALSE(table.Release(id, false).last);
+  EXPECT_FALSE(table.Release(id, false).last);
+  EXPECT_TRUE(table.Release(id, false).last);
+}
+
+TEST(LineageTableTest, ShedOnAnyInstanceTaintsTheLineage) {
+  LineageTable table;
+  const LineageId id = table.Allocate(false);
+  table.AddInstance(id);
+  table.AddInstance(id);
+  // The FIRST copy is shed; the taint must survive to the final release
+  // even though that release itself is not a shed.
+  EXPECT_FALSE(table.Release(id, /*shed=*/true).last);
+  const LineageTable::Released r = table.Release(id, /*shed=*/false);
+  EXPECT_TRUE(r.last);
+  EXPECT_TRUE(r.tainted);
+}
+
+TEST(LineageTableTest, DerivedFlagRoundTrips) {
+  LineageTable table;
+  const LineageId id = table.Allocate(/*derived=*/true);
+  table.AddInstance(id);
+  const LineageTable::Released r = table.Release(id, false);
+  EXPECT_TRUE(r.last);
+  EXPECT_TRUE(r.derived);
+}
+
+TEST(LineageTableTest, SlotsAreRecycledWithoutGrowingTheSlab) {
+  LineageTable table;
+  for (int i = 0; i < 10000; ++i) {
+    const LineageId id = table.Allocate(false);
+    table.AddInstance(id);
+    table.Release(id, false);
+  }
+  // One allocate-release cycle at a time keeps the slab at one slot.
+  EXPECT_EQ(table.capacity(), 1u);
+  EXPECT_EQ(table.live_lineages(), 0u);
+}
+
+TEST(LineageTableTest, RecycledSlotClearsShedAndDerivedState) {
+  LineageTable table;
+  const LineageId a = table.Allocate(/*derived=*/true);
+  table.AddInstance(a);
+  table.Release(a, /*shed=*/true);
+  // Same slot, fresh generation: no stale taint or derived flag.
+  const LineageId b = table.Allocate(/*derived=*/false);
+  EXPECT_NE(a, b);
+  table.AddInstance(b);
+  const LineageTable::Released r = table.Release(b, false);
+  EXPECT_TRUE(r.last);
+  EXPECT_FALSE(r.tainted);
+  EXPECT_FALSE(r.derived);
+}
+
+TEST(LineageTableTest, InterleavedLineagesStayIndependent) {
+  LineageTable table;
+  std::vector<LineageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(table.Allocate(i % 2 == 0));
+    table.AddInstance(ids.back());
+  }
+  EXPECT_EQ(table.live_lineages(), 64u);
+  // Release the even ones shed, odd ones clean.
+  for (int i = 0; i < 64; ++i) {
+    const LineageTable::Released r =
+        table.Release(ids[static_cast<size_t>(i)], /*shed=*/i % 2 == 0);
+    EXPECT_TRUE(r.last);
+    EXPECT_EQ(r.tainted, i % 2 == 0);
+    EXPECT_EQ(r.derived, i % 2 == 0);
+  }
+  EXPECT_EQ(table.live_lineages(), 0u);
+  const size_t high_water = table.capacity();
+  // Re-allocating reuses the freed slots.
+  for (int i = 0; i < 64; ++i) table.Allocate(false);
+  EXPECT_EQ(table.capacity(), high_water);
+}
+
+TEST(LineageTableDeathTest, StaleGenerationIsDetected) {
+  LineageTable table;
+  const LineageId stale = table.Allocate(false);
+  table.AddInstance(stale);
+  table.Release(stale, false);     // slot recycled, generation bumped
+  table.Allocate(false);           // same slot, new generation
+  EXPECT_DEATH(table.Release(stale, false), "unknown lineage");
+}
+
+TEST(LineageTableDeathTest, RefcountUnderflowIsDetected) {
+  LineageTable table;
+  const LineageId id = table.Allocate(false);
+  // No AddInstance: releasing drives the refcount negative.
+  EXPECT_DEATH(table.Release(id, false), "underflow");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -92,6 +92,36 @@ TEST_F(TwoOpNetwork, RandomOnlyPicksNonEmpty) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(sched.Next(&net_), a_);
 }
 
+TEST(SchedulerQuantumTest, DefaultGrantIsOneInvocation) {
+  RoundRobinScheduler sched;
+  MapOp op("x", 0.001);
+  EXPECT_EQ(sched.quantum(), 1u);
+  EXPECT_EQ(sched.GrantQuantum(op), 1u);
+}
+
+TEST(SchedulerQuantumTest, SetQuantumRaisesTheGrant) {
+  RoundRobinScheduler sched;
+  MapOp op("x", 0.001);
+  sched.set_quantum(8);
+  EXPECT_EQ(sched.quantum(), 8u);
+  EXPECT_EQ(sched.GrantQuantum(op), 8u);
+}
+
+TEST(SchedulerQuantumTest, GlobalFifoClampsGrantToOne) {
+  // Draining a train from one queue would process tuples out of global
+  // arrival order, so the policy overrides the baseline quantum.
+  GlobalFifoScheduler sched;
+  MapOp op("x", 0.001);
+  sched.set_quantum(16);
+  EXPECT_EQ(sched.quantum(), 16u);
+  EXPECT_EQ(sched.GrantQuantum(op), 1u);
+}
+
+TEST(SchedulerQuantumDeathTest, ZeroQuantumAborts) {
+  RoundRobinScheduler sched;
+  EXPECT_DEATH(sched.set_quantum(0), "quantum");
+}
+
 TEST(SchedulerFactoryTest, MakesEveryKind) {
   EXPECT_EQ(MakeScheduler(SchedulerKind::kRoundRobin)->name(), "round-robin");
   EXPECT_EQ(MakeScheduler(SchedulerKind::kGlobalFifo)->name(), "global-fifo");

@@ -170,6 +170,42 @@ TEST(PrometheusText, HistogramsRenderAsSummaries) {
   EXPECT_NE(text.find("rt_pump_interval_count 4\n"), std::string::npos);
 }
 
+TEST(PrometheusText, ShardHistogramsMergeQuantileIntoLabelSet) {
+  // Per-shard histograms must fold into ONE summary family with the
+  // quantile label spliced into the shard label set, not N families.
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramStats h0;
+  h0.count = 2;
+  h0.sum = 1.0;
+  h0.p50 = 0.25;
+  h0.p95 = 0.5;
+  h0.p99 = 0.5;
+  MetricsSnapshot::HistogramStats h1;
+  h1.count = 6;
+  h1.sum = 3.0;
+  h1.p50 = 0.125;
+  h1.p95 = 0.75;
+  h1.p99 = 1.5;
+  snap.histograms["rt.shard0.pump_interval_s"] = h0;
+  snap.histograms["rt.shard1.pump_interval_s"] = h1;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+
+  EXPECT_EQ(1u, CountOccurrences(
+                    text, "# TYPE rt_shard_pump_interval_s summary\n"));
+  EXPECT_NE(
+      text.find("rt_shard_pump_interval_s{shard=\"0\",quantile=\"0.5\"} 0.25\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("rt_shard_pump_interval_s{shard=\"1\",quantile=\"0.99\"} 1.5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("rt_shard_pump_interval_s_sum{shard=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_shard_pump_interval_s_count{shard=\"1\"} 6\n"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Live server endpoints.
 

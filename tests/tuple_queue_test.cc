@@ -1,0 +1,157 @@
+#include "engine/tuple_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.h"
+#include "engine/tuple.h"
+
+namespace ctrlshed {
+namespace {
+
+Tuple MakeTuple(uint64_t seq) {
+  Tuple t;
+  t.lineage = seq;
+  t.arrival_time = static_cast<double>(seq) * 1e-3;
+  t.value = static_cast<double>(seq) * 0.5;
+  return t;
+}
+
+TEST(TupleQueueTest, FifoOrderAcrossChunkBoundaries) {
+  TupleQueue q;
+  // Three chunks' worth plus a remainder, so the front chunk is released
+  // and re-walked several times.
+  const uint64_t kN = 3 * TupleChunk::kTuples + 17;
+  for (uint64_t i = 0; i < kN; ++i) q.push_back(MakeTuple(i));
+  EXPECT_EQ(q.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.front().lineage, i);
+    EXPECT_EQ(q.back().lineage, kN - 1);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TupleQueueTest, PopBackRemovesNewestFirst) {
+  TupleQueue q;
+  const uint64_t kN = TupleChunk::kTuples + 5;  // back chunk nearly empty
+  for (uint64_t i = 0; i < kN; ++i) q.push_back(MakeTuple(i));
+  for (uint64_t i = kN; i-- > 0;) {
+    EXPECT_EQ(q.back().lineage, i);
+    q.pop_back();
+  }
+  EXPECT_TRUE(q.empty());
+  // The queue must still work after draining from the back.
+  q.push_back(MakeTuple(42));
+  EXPECT_EQ(q.front().lineage, 42u);
+}
+
+TEST(TupleQueueTest, ExactChunkBoundaryPopBack) {
+  // pop_back exactly at a chunk boundary must release the emptied back
+  // chunk and re-expose the previous chunk's last slot.
+  TupleQueue q;
+  for (uint64_t i = 0; i < TupleChunk::kTuples + 1; ++i) q.push_back(MakeTuple(i));
+  q.pop_back();  // back chunk now empty
+  EXPECT_EQ(q.back().lineage, TupleChunk::kTuples - 1);
+  q.push_back(MakeTuple(999));
+  EXPECT_EQ(q.back().lineage, 999u);
+  EXPECT_EQ(q.size(), TupleChunk::kTuples + 1);
+}
+
+TEST(TupleQueueTest, RandomizedDifferentialAgainstDeque) {
+  TupleQueue q;
+  std::deque<uint64_t> ref;
+  Rng rng(91);
+  uint64_t seq = 0;
+  for (int step = 0; step < 200000; ++step) {
+    const double r = rng.Uniform();
+    if (r < 0.5 || ref.empty()) {
+      q.push_back(MakeTuple(seq));
+      ref.push_back(seq);
+      ++seq;
+    } else if (r < 0.8) {
+      ASSERT_EQ(q.front().lineage, ref.front());
+      q.pop_front();
+      ref.pop_front();
+    } else {
+      ASSERT_EQ(q.back().lineage, ref.back());
+      q.pop_back();
+      ref.pop_back();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(q.front().lineage, ref.front());
+      ASSERT_EQ(q.back().lineage, ref.back());
+    }
+  }
+}
+
+TEST(TupleQueueTest, PooledSteadyStateRecyclesChunks) {
+  TupleChunkPool pool;
+  TupleQueue q;
+  q.BindPool(&pool);
+  const uint64_t kDepth = 8 * TupleChunk::kTuples;  // high-water mark
+  uint64_t allocated_after_first_round = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t i = 0; i < kDepth; ++i) q.push_back(MakeTuple(i));
+    for (uint64_t i = 0; i < kDepth; ++i) q.pop_front();
+    ASSERT_TRUE(q.empty());
+    if (round == 0) {
+      allocated_after_first_round = pool.allocated();
+      ASSERT_GT(allocated_after_first_round, 0u);
+    } else {
+      // Past the high-water mark every chunk comes from the free list.
+      ASSERT_EQ(pool.allocated(), allocated_after_first_round)
+          << "round " << round << " heap-allocated a chunk in steady state";
+    }
+  }
+  q.clear();
+  // Everything the pool ever handed out is back on its free list.
+  EXPECT_EQ(pool.free_count(), pool.allocated());
+}
+
+TEST(TupleQueueTest, ClearReturnsChunksToPool) {
+  TupleChunkPool pool;
+  TupleQueue q;
+  q.BindPool(&pool);
+  for (uint64_t i = 0; i < 3 * TupleChunk::kTuples; ++i) q.push_back(MakeTuple(i));
+  const uint64_t allocated = pool.allocated();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(pool.free_count(), allocated);
+  // A rebuilt queue reuses the same chunks.
+  for (uint64_t i = 0; i < 3 * TupleChunk::kTuples; ++i) q.push_back(MakeTuple(i));
+  EXPECT_EQ(pool.allocated(), allocated);
+}
+
+TEST(TupleQueueTest, TwoQueuesShareOnePool) {
+  TupleChunkPool pool;
+  TupleQueue a, b;
+  a.BindPool(&pool);
+  b.BindPool(&pool);
+  for (uint64_t i = 0; i < TupleChunk::kTuples; ++i) a.push_back(MakeTuple(i));
+  const uint64_t after_a = pool.allocated();
+  a.clear();
+  // b picks up the chunks a released instead of allocating fresh ones.
+  for (uint64_t i = 0; i < TupleChunk::kTuples; ++i) b.push_back(MakeTuple(i));
+  EXPECT_EQ(pool.allocated(), after_a);
+  b.clear();
+}
+
+TEST(TupleQueueDeathTest, BindPoolOnNonEmptyQueueAborts) {
+  TupleChunkPool pool;
+  TupleQueue q;
+  q.push_back(MakeTuple(1));
+  EXPECT_DEATH(q.BindPool(&pool), "empty");
+}
+
+TEST(TupleQueueDeathTest, PopFromEmptyAborts) {
+  TupleQueue q;
+  EXPECT_DEATH(q.pop_front(), "");
+  EXPECT_DEATH(q.pop_back(), "");
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -273,6 +273,13 @@ int CmdRt(Args args) {
   cfg.time_compression = GetDouble(args, "compress", 20.0);
   cfg.ring_capacity =
       static_cast<size_t>(GetDouble(args, "ring", 4096.0));
+  const double batch = GetDouble(args, "batch", 1.0);
+  if (batch < 1.0 || batch > 4096.0 || batch != std::floor(batch)) {
+    std::fprintf(stderr, "batch must be an integer in [1, 4096], got %g\n",
+                 batch);
+    return 2;
+  }
+  cfg.batch = static_cast<size_t>(batch);
   cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
@@ -301,18 +308,16 @@ int CmdRt(Args args) {
     std::printf("interrupted — partial run; telemetry flushed completely\n");
   }
   PrintSummary(r.summary);
-  if (r.workers > 1) {
-    std::printf("workers            %d\n", r.workers);
-    for (size_t i = 0; i < r.shards.size(); ++i) {
-      const RtShardSummary& s = r.shards[i];
-      std::printf("  shard %zu          offered %llu  entry_shed %llu  "
-                  "ring_drop %llu  in_net %llu  departed %llu\n",
-                  i, static_cast<unsigned long long>(s.offered),
-                  static_cast<unsigned long long>(s.entry_shed),
-                  static_cast<unsigned long long>(s.ring_dropped),
-                  static_cast<unsigned long long>(s.shed_lineages),
-                  static_cast<unsigned long long>(s.departed));
-    }
+  if (r.workers > 1) std::printf("workers            %d\n", r.workers);
+  for (size_t i = 0; i < r.shards.size(); ++i) {
+    const RtShardSummary& s = r.shards[i];
+    std::printf("  shard %zu          offered %llu  entry_shed %llu  "
+                "ring_drop %llu  in_net %llu  departed %llu\n",
+                i, static_cast<unsigned long long>(s.offered),
+                static_cast<unsigned long long>(s.entry_shed),
+                static_cast<unsigned long long>(s.ring_dropped),
+                static_cast<unsigned long long>(s.shed_lineages),
+                static_cast<unsigned long long>(s.departed));
   }
   std::printf("ring drops         %llu\n",
               static_cast<unsigned long long>(r.ring_dropped));
@@ -396,12 +401,15 @@ void PrintHelp() {
       "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
       "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
-      "                  [workers=1] [seed=42] [trace_out=FILE]\n"
+      "                  [workers=1] [batch=1] [seed=42] [trace_out=FILE]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "                  (wall-clock threaded runtime; compress = trace\n"
       "                  seconds replayed per wall second; workers=N in\n"
       "                  [1,64] partitions the plant across N engine\n"
-      "                  shards under one aggregate feedback loop)\n"
+      "                  shards under one aggregate feedback loop;\n"
+      "                  batch=B in [1,4096] sets the datapath batch —\n"
+      "                  SPSC pop run length and invocation quantum —\n"
+      "                  with batch=1 the bit-identical per-tuple path)\n"
       "\n"
       "  telemetry_dir=DIR (or --telemetry-dir DIR) writes trace.json\n"
       "  (Chrome trace-event JSON; open in Perfetto), metrics.jsonl\n"
