@@ -1,0 +1,117 @@
+#include "cluster/cluster_control_loop.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+ClusterControlLoop::ClusterControlLoop(ClusterControlLoopOptions options)
+    : options_(options),
+      monitor_(options.nominal_entry_cost, options.monitor),
+      controller_(options.ctrl),
+      yd_(options.target_delay) {
+  CS_CHECK_MSG(yd_ > 0.0, "target delay must be positive");
+}
+
+void ClusterControlLoop::OnHello(const NodeHello& h, SimTime recv_now) {
+  monitor_.OnHello(h, recv_now);
+}
+
+void ClusterControlLoop::OnReport(const NodeStatsReport& r, SimTime recv_now) {
+  monitor_.OnReport(r, recv_now);
+}
+
+void ClusterControlLoop::OnAck(const ActuationAck& a) {
+  if (!pending_.open || a.seq != pending_.seq) return;
+  for (size_t i = 0; i < pending_.node_ids.size(); ++i) {
+    if (pending_.node_ids[i] != a.node_id || pending_.acked[i]) continue;
+    pending_.acked[i] = true;
+    pending_.applied[i] = a.applied;
+    pending_.alpha[i] = a.alpha;
+    ++pending_.acks;
+    break;
+  }
+  // The zero-delay path finalizes here, before the next tick — preserving
+  // the single-process DesiredRate -> NotifyActuation interleaving.
+  if (pending_.acks == pending_.node_ids.size()) Finalize();
+}
+
+std::vector<NodeCommand> ClusterControlLoop::Tick(SimTime now) {
+  ++ticks_;
+  Finalize();  // a period still waiting on late/lost acks
+
+  PeriodMeasurement m;
+  if (!monitor_.Sample(now, yd_, &m)) {
+    ++idle_ticks_;
+    return {};
+  }
+  if (monitor_.headroom_changed()) {
+    controller_.SetHeadroom(monitor_.effective_headroom());
+  }
+  const double v = controller_.DesiredRate(m);
+
+  const std::vector<uint32_t>& ids = monitor_.active_ids();
+  const std::vector<double> shares = ProportionalShares(monitor_.node_fin());
+
+  pending_ = PendingPeriod{};
+  pending_.open = true;
+  pending_.seq = ++seq_;
+  pending_.record.m = m;
+  pending_.record.v = v;
+  // Per-node queue decomposition in the shard_q slot — the timeline/CSV
+  // exports then work unchanged on a controller (empty at one node, like
+  // the N = 1 rt loop, keeping those exports byte-identical).
+  pending_.record.shard_q =
+      ids.size() > 1 ? monitor_.node_queues() : std::vector<double>{};
+
+  std::vector<NodeCommand> commands;
+  commands.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const double v_i = v * shares[i];
+    NodeCommand cmd;
+    cmd.node_id = ids[i];
+    cmd.act.seq = pending_.seq;
+    cmd.act.v = v_i;
+    cmd.act.target_delay = yd_;
+    commands.push_back(cmd);
+
+    pending_.node_ids.push_back(ids[i]);
+    pending_.shares.push_back(shares[i]);
+    pending_.v_i.push_back(v_i);
+    pending_.acked.push_back(false);
+    pending_.applied.push_back(0.0);
+    // Until the ack lands, fall back to the node's last reported alpha.
+    const ClusterMonitor::NodeState* n = monitor_.Find(ids[i]);
+    pending_.alpha.push_back(n != nullptr ? n->alpha : 0.0);
+  }
+  return commands;
+}
+
+void ClusterControlLoop::Finalize() {
+  if (!pending_.open) return;
+  pending_.open = false;
+  double applied = 0.0;
+  double alpha = 0.0;
+  for (size_t i = 0; i < pending_.node_ids.size(); ++i) {
+    // A node whose ack was lost or delayed is assumed to have applied its
+    // full slice: missing data must not masquerade as actuator
+    // saturation, or the anti-windup would rewrite controller state on
+    // every dropped message.
+    applied += pending_.acked[i] ? pending_.applied[i] : pending_.v_i[i];
+    alpha += pending_.shares[i] * pending_.alpha[i];
+  }
+  controller_.NotifyActuation(applied);
+  pending_.record.alpha = alpha;
+  recorder_.Record(pending_.record);
+  if (on_record_) on_record_(recorder_.rows().back());
+}
+
+void ClusterControlLoop::Flush() { Finalize(); }
+
+void ClusterControlLoop::SetTargetDelay(double yd) {
+  CS_CHECK_MSG(yd > 0.0, "target delay must be positive");
+  yd_ = yd;
+}
+
+}  // namespace ctrlshed

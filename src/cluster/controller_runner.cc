@@ -1,0 +1,262 @@
+#include "cluster/controller_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_control_loop.h"
+#include "cluster/wire.h"
+#include "common/macros.h"
+#include "net/frame_server.h"
+#include "net/socket_util.h"
+#include "rt/rt_clock.h"
+#include "telemetry/telemetry.h"
+
+namespace ctrlshed {
+
+namespace {
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+
+void SleepUntilWall(std::chrono::steady_clock::time_point deadline,
+                    const std::atomic<bool>* stop) {
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(
+        remaining < std::chrono::steady_clock::duration(kMaxSleepChunk)
+            ? remaining
+            : std::chrono::steady_clock::duration(kMaxSleepChunk));
+  }
+}
+
+bool StopRequested(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+}  // namespace
+
+ClusterControllerResult RunClusterController(
+    const ClusterControllerConfig& config) {
+  const ExperimentConfig& base = config.base;
+  CS_CHECK_MSG(base.method == Method::kCtrl,
+               "the cluster controller drives the CTRL method");
+  CS_CHECK_MSG(base.capacity_rate > 0.0, "capacity must be positive");
+  IgnoreSigPipe();
+
+  const double nominal_cost = base.headroom_true / base.capacity_rate;
+
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
+
+  RtClock clock(config.time_compression);
+
+  ClusterControlLoopOptions lopts;
+  lopts.nominal_entry_cost = nominal_cost;
+  lopts.target_delay = base.target_delay;
+  lopts.monitor.period = base.period;
+  lopts.monitor.cost_ewma = base.cost_ewma;
+  lopts.monitor.adapt_headroom = base.adapt_headroom;
+  lopts.monitor.stale_periods = config.stale_periods;
+  lopts.ctrl.gains = base.gains;
+  lopts.ctrl.headroom = base.headroom_est;  // re-targeted from membership
+  lopts.ctrl.feedback = base.ctrl_feedback;
+  lopts.ctrl.anti_windup = base.anti_windup;
+  ClusterControlLoop ctl(lopts);
+  if (telemetry) {
+    // Record callbacks fire from the serve thread (ack-completed periods)
+    // and the period loop (tick-finalized ones), always under loop_mu — the
+    // mutex serializes the publishes the timeline contract asks for.
+    ctl.SetRecordCallback([&telemetry](const PeriodRecord& row) {
+      telemetry->PublishTimelineRow(row);
+    });
+  }
+
+  // loop_mu serializes the two threads that touch ctl and the node/conn
+  // maps: the frame server's serve thread and this (period) thread.
+  std::mutex loop_mu;
+  std::unordered_map<uint64_t, uint32_t> conn_node;  // conn -> node
+  std::unordered_map<uint32_t, uint64_t> node_conn;  // node -> live conn
+
+  // The /status cluster block is PREBUILT here whenever membership or
+  // freshness changes, and the telemetry status source only copies it out
+  // under this leaf mutex. The source must not take loop_mu: the telemetry
+  // server invokes it under its own lock, while the record callback above
+  // publishes rows INTO that lock while holding loop_mu — sourcing status
+  // through loop_mu would close a lock-order cycle.
+  std::mutex status_mu;
+  std::string status_json;
+  // Requires loop_mu held (reads ctl); safe before the threads start too.
+  const auto refresh_status = [&ctl, &clock, &base, &status_mu,
+                               &status_json] {
+    const SimTime now = clock.Now();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\":\"cluster\",\"cluster\":{\"role\":"
+                  "\"controller\",\"period\":%g,\"target_delay\":%g,"
+                  "\"nodes\":%d,\"active\":%d,\"node_list\":[",
+                  base.period, ctl.target_delay(), ctl.monitor().known_count(),
+                  ctl.monitor().active_count());
+    std::string json(buf);
+    bool first = true;
+    for (const auto& n : ctl.monitor().nodes()) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"id\":%u,\"workers\":%u,\"active\":%s,"
+                    "\"last_report_age_s\":%.3f,\"alpha\":%.4f}",
+                    first ? "" : ",", n.id, n.workers,
+                    n.active ? "true" : "false",
+                    n.ever_reported ? now - n.last_seen : -1.0, n.alpha);
+      json += buf;
+      first = false;
+    }
+    json += "]}}";
+    std::lock_guard<std::mutex> lock(status_mu);
+    status_json = std::move(json);
+  };
+
+  ClusterControllerResult result;
+
+  FrameServerOptions sopts;
+  sopts.port = config.port;
+  sopts.bind_address = config.bind_address;
+  FrameServer server(sopts);
+  server.OnFrame([&](uint64_t conn_id, const Frame& f) {
+    std::lock_guard<std::mutex> lock(loop_mu);
+    switch (f.type) {
+      case FrameType::kHello: {
+        NodeHello h;
+        if (!DecodeHello(f.payload, &h)) break;
+        ctl.OnHello(h, clock.Now());
+        conn_node[conn_id] = h.node_id;
+        node_conn[h.node_id] = conn_id;
+        ++result.hellos;
+        refresh_status();
+        return;
+      }
+      case FrameType::kStatsReport: {
+        NodeStatsReport r;
+        if (!DecodeStatsReport(f.payload, &r)) break;
+        ctl.OnReport(r, clock.Now());
+        ++result.reports;
+        refresh_status();
+        return;
+      }
+      case FrameType::kAck: {
+        ActuationAck a;
+        if (!DecodeAck(f.payload, &a)) break;
+        ctl.OnAck(a);
+        ++result.acks;
+        return;
+      }
+      default:
+        break;
+    }
+    ++result.rejected;
+  });
+  server.OnDisconnect([&](uint64_t conn_id) {
+    std::lock_guard<std::mutex> lock(loop_mu);
+    auto it = conn_node.find(conn_id);
+    if (it == conn_node.end()) return;
+    // Only forget the mapping if this connection is still the node's
+    // current one (a reconnect may already have replaced it).
+    auto live = node_conn.find(it->second);
+    if (live != node_conn.end() && live->second == conn_id) {
+      node_conn.erase(live);
+    }
+    conn_node.erase(it);
+  });
+
+  if (telemetry) {
+    // The /status cluster block: role, membership, and per-node freshness,
+    // served from the prebuilt snapshot (see refresh_status above).
+    refresh_status();  // threads not started yet; loop_mu not needed
+    telemetry->SetStatusSource([&status_mu, &status_json] {
+      std::lock_guard<std::mutex> lock(status_mu);
+      return status_json;
+    });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  clock.Start();
+  server.Start();
+  if (config.on_ready) config.on_ready(server.port());
+
+  // Optional bring-up barrier: give scripted nodes a window to join before
+  // the first boundary, so early ticks aren't all idle.
+  if (config.min_nodes > 0) {
+    const auto deadline =
+        wall_start + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(
+                             config.min_nodes_timeout_wall));
+    while (!StopRequested(config.stop) &&
+           std::chrono::steady_clock::now() < deadline) {
+      {
+        std::lock_guard<std::mutex> lock(loop_mu);
+        if (ctl.monitor().known_count() >= config.min_nodes) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  // --- Period loop --------------------------------------------------------
+  for (int64_t k = 1;; ++k) {
+    const SimTime boundary = static_cast<double>(k) * base.period;
+    if (boundary > base.duration) break;
+    SleepUntilWall(clock.WallDeadline(boundary), config.stop);
+    if (StopRequested(config.stop)) break;
+    std::vector<NodeCommand> commands;
+    {
+      std::lock_guard<std::mutex> lock(loop_mu);
+      commands = ctl.Tick(clock.Now());
+      // A tick can age a silent node out of the fold with no frame ever
+      // arriving, so freshness changes here too, not just in OnFrame.
+      refresh_status();
+    }
+    for (const NodeCommand& cmd : commands) {
+      uint64_t conn_id = 0;
+      {
+        std::lock_guard<std::mutex> lock(loop_mu);
+        auto it = node_conn.find(cmd.node_id);
+        if (it == node_conn.end()) continue;  // node dropped mid-period
+        conn_id = it->second;
+      }
+      server.Send(conn_id, EncodeActuationFrame(cmd.act));
+    }
+  }
+  result.interrupted = StopRequested(config.stop);
+
+  server.Stop();
+  {
+    std::lock_guard<std::mutex> lock(loop_mu);
+    ctl.Flush();
+    result.recorder = ctl.recorder();
+    result.ticks = ctl.ticks();
+    result.idle_ticks = ctl.idle_ticks();
+    result.nodes_seen = ctl.monitor().known_count();
+    result.final_active = ctl.monitor().active_count();
+    for (const auto& n : ctl.monitor().nodes()) {
+      result.total_workers += static_cast<int>(n.workers);
+    }
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.port = server.port();
+  result.connections = server.connections_accepted();
+  result.corrupt_streams = server.corrupt_streams();
+
+  if (telemetry) {
+    if (telemetry->server() != nullptr) {
+      result.telemetry_port = telemetry->server()->port();
+    }
+    telemetry->Stop();
+  }
+  return result;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,53 @@
+#ifndef CTRLSHED_CLUSTER_FEEDER_H_
+#define CTRLSHED_CLUSTER_FEEDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "runner/experiment.h"
+
+namespace ctrlshed {
+
+/// Configuration of a `ctrlshed feed` producer: replays the configured
+/// workload's arrival trace against the wall clock and ships each batch to
+/// a node's tuple ingress as kTupleBatch frames.
+struct ClusterFeedConfig {
+  /// Workload shape, spacing, seed, duration. The trace is the same one
+  /// the sim/rt runners would build from this config.
+  ExperimentConfig base;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double connect_timeout_wall = 5.0;
+
+  /// Wire source id of the first stream; stream i carries source_id + i.
+  /// The node routes source s to shard s % workers.
+  uint32_t source_id = 0;
+  /// Replay streams, each an independent arrival process. With more than
+  /// one, each stream's trace is scaled by 1/sources so the aggregate
+  /// offered load matches the configured trace.
+  int sources = 1;
+  /// Extra scale on every stream's rate (e.g. 2.0 = 2x overload).
+  double rate_scale = 1.0;
+
+  double time_compression = 20.0;
+
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct ClusterFeedResult {
+  bool connected = false;
+  uint64_t tuples_sent = 0;
+  uint64_t frames_sent = 0;
+  double wall_seconds = 0.0;
+  bool interrupted = false;
+};
+
+/// Runs the producer for base.duration trace seconds (or until the
+/// connection dies / stop flips). Blocks until done.
+ClusterFeedResult RunClusterFeeder(const ClusterFeedConfig& config);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CLUSTER_FEEDER_H_

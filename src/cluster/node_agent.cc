@@ -1,0 +1,87 @@
+#include "cluster/node_agent.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+NodeAgent::NodeAgent(double nominal_entry_cost, std::vector<Shedder*> shedders,
+                     NodeAgentOptions options)
+    : options_(options),
+      nominal_entry_cost_(nominal_entry_cost),
+      shedders_(std::move(shedders)),
+      monitor_(nominal_entry_cost, static_cast<int>(shedders_.size()),
+               options.monitor),
+      target_delay_(options.target_delay) {
+  CS_CHECK_MSG(!shedders_.empty(), "need one shedder per shard");
+  for (Shedder* s : shedders_) CS_CHECK(s != nullptr);
+  CS_CHECK_MSG(target_delay_ > 0.0, "target delay must be positive");
+}
+
+NodeHello NodeAgent::Hello() const {
+  NodeHello h;
+  h.node_id = options_.node_id;
+  h.workers = static_cast<uint32_t>(shedders_.size());
+  h.headroom = options_.monitor.headroom;
+  h.nominal_cost = nominal_entry_cost_;
+  h.period = options_.monitor.period;
+  return h;
+}
+
+NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
+  m_ = monitor_.Sample(shards, target_delay_);
+  has_measurement_ = true;
+
+  NodeStatsReport r;
+  r.node_id = options_.node_id;
+  r.seq = ++seq_;
+  r.deltas = monitor_.last_deltas();
+  r.alpha = alpha_;
+  for (const RtSample& s : shards) {
+    r.offered_total += s.offered;
+    r.entry_shed_total += s.entry_shed;
+    r.ring_dropped_total += s.ring_dropped;
+    r.departed_total += s.departed;
+  }
+  return r;
+}
+
+ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
+  target_delay_ = a.target_delay;
+
+  ActuationAck ack;
+  ack.node_id = options_.node_id;
+  ack.seq = a.seq;
+  if (!has_measurement_) {
+    // Nothing arrived/was sampled yet, so there is no load to slice; the
+    // shedders stay wide open and the ack reports the command as applied
+    // (the anti-windup hook must not see a phantom saturation).
+    ack.applied = a.v;
+    ack.alpha = alpha_;
+    return ack;
+  }
+
+  // Identical arithmetic to RtLoop::ControlTick's shard fan-out.
+  const std::vector<double>& shard_fin = monitor_.shard_fin();
+  const std::vector<double>& shard_queues = monitor_.shard_queues();
+  const std::vector<double> shares = ProportionalShares(shard_fin);
+  double applied = 0.0;
+  double alpha = 0.0;
+  for (size_t i = 0; i < shedders_.size(); ++i) {
+    const double share = shares[i];
+    PeriodMeasurement mi = m_;
+    mi.fin = shard_fin[i];
+    mi.fin_forecast = m_.fin_forecast * share;
+    mi.admitted = m_.admitted * share;
+    mi.queue = shard_queues[i];
+    applied += shedders_[i]->Configure(a.v * share, mi);
+    alpha += share * shedders_[i]->drop_probability();
+  }
+  alpha_ = alpha;
+  ack.applied = applied;
+  ack.alpha = alpha;
+  return ack;
+}
+
+}  // namespace ctrlshed

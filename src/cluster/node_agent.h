@@ -1,0 +1,72 @@
+#ifndef CTRLSHED_CLUSTER_NODE_AGENT_H_
+#define CTRLSHED_CLUSTER_NODE_AGENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/wire.h"
+#include "rt/rt_monitor.h"
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+
+struct NodeAgentOptions {
+  uint32_t node_id = 0;
+  double target_delay = 2.0;   ///< Initial yd until an actuation arrives.
+  RtMonitorOptions monitor;    ///< Same options the node's rt loop uses.
+};
+
+/// The node-side half of the cluster control loop, transport-agnostic so
+/// the sim harness and the socket runner share it verbatim.
+///
+/// Tick() is RtLoop::ControlTick's measurement half: fold the shard
+/// snapshots through the node's own RtMonitor and emit the upstream stats
+/// report (the monitor's exact PeriodDeltas plus cumulative context).
+/// Apply() is the actuation half: fan the received v(k) out to the shard
+/// shedders proportionally to per-shard offered load — byte-for-byte the
+/// arithmetic of RtLoop::ControlTick's fan-out, which is what makes the
+/// nodes=1/delay=0 cluster identical to the single-process sharded loop.
+///
+/// Not thread-safe: the caller serializes Tick/Apply against each other
+/// and against the admission path's shedder use (the socket runner holds
+/// one plant mutex; the sim is single-threaded).
+class NodeAgent {
+ public:
+  /// `shedders` has one entry per shard, in shard order; pointers must
+  /// outlive the agent.
+  NodeAgent(double nominal_entry_cost, std::vector<Shedder*> shedders,
+            NodeAgentOptions options);
+
+  /// Period boundary: one snapshot per shard, all at the same trace time.
+  NodeStatsReport Tick(const std::vector<RtSample>& shards);
+
+  /// Applies a received command to the entry shedders. Safe to call
+  /// before the first Tick (nothing to fan out yet: acks applied = 0).
+  ActuationAck Apply(const ClusterActuation& a);
+
+  const RtMonitor& monitor() const { return monitor_; }
+  const PeriodMeasurement& last_measurement() const { return m_; }
+  double last_alpha() const { return alpha_; }
+  double target_delay() const { return target_delay_; }
+  uint32_t node_id() const { return options_.node_id; }
+  int workers() const { return monitor_.num_shards(); }
+
+  /// The hello this node announces itself with.
+  NodeHello Hello() const;
+
+ private:
+  NodeAgentOptions options_;
+  double nominal_entry_cost_;
+  std::vector<Shedder*> shedders_;
+  RtMonitor monitor_;
+
+  double target_delay_;
+  uint32_t seq_ = 0;
+  bool has_measurement_ = false;
+  PeriodMeasurement m_;
+  double alpha_ = 0.0;
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CLUSTER_NODE_AGENT_H_

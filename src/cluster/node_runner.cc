@@ -1,0 +1,252 @@
+#include "cluster/node_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/node_agent.h"
+#include "cluster/wire.h"
+#include "common/macros.h"
+#include "engine/query_network.h"
+#include "net/frame_client.h"
+#include "net/frame_server.h"
+#include "net/socket_util.h"
+#include "rt/rt_clock.h"
+#include "runner/networks.h"
+#include "shedding/entry_shedder.h"
+#include "telemetry/telemetry.h"
+
+namespace ctrlshed {
+
+namespace {
+constexpr auto kMaxSleepChunk = std::chrono::milliseconds(5);
+
+void SleepUntilWall(std::chrono::steady_clock::time_point deadline,
+                    const std::atomic<bool>* stop) {
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(
+        remaining < std::chrono::steady_clock::duration(kMaxSleepChunk)
+            ? remaining
+            : std::chrono::steady_clock::duration(kMaxSleepChunk));
+  }
+}
+
+bool StopRequested(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+}  // namespace
+
+ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
+  const ExperimentConfig& base = config.base;
+  CS_CHECK_MSG(base.capacity_rate > 0.0, "capacity must be positive");
+  CS_CHECK_MSG(config.workers >= 1 && config.workers <= 64,
+               "workers must be in [1, 64]");
+  IgnoreSigPipe();  // a dying peer must never kill the node process
+
+  const int workers = config.workers;
+  const double nominal_cost = base.headroom_true / base.capacity_rate;
+
+  std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
+  if (telemetry) {
+    const uint32_t node_id = config.node_id;
+    const int n_workers = workers;
+    const double period = base.period;
+    telemetry->SetStatusSource([node_id, n_workers, period] {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"mode\":\"cluster\",\"cluster\":{\"role\":\"node\","
+                    "\"node_id\":%u,\"workers\":%d,\"period\":%g}}",
+                    node_id, n_workers, period);
+      return std::string(buf);
+    });
+  }
+  Counter* rejected_metric =
+      telemetry ? telemetry->metrics()->GetCounter("net.ingress.rejected")
+                : nullptr;
+
+  RtClock clock(config.time_compression);
+
+  // The plant: same construction as the sharded rt runtime, with the shard
+  // index node-local (each node is its own plant; the cluster-wide view
+  // lives in the controller's aggregation).
+  std::vector<std::unique_ptr<QueryNetwork>> nets;
+  std::vector<std::unique_ptr<RtEngine>> engines;
+  std::vector<std::unique_ptr<EntryShedder>> shedders;
+  std::vector<Shedder*> shedder_ptrs;
+  for (int i = 0; i < workers; ++i) {
+    nets.push_back(std::make_unique<QueryNetwork>());
+    BuildIdentificationNetwork(nets.back().get(), nominal_cost);
+    RtEngineOptions eopts;
+    eopts.headroom = base.headroom_true;
+    eopts.ring_capacity = config.ring_capacity;
+    eopts.cost_mode = config.cost_mode;
+    eopts.pacing_wall_seconds = config.pacing_wall_seconds;
+    eopts.batch = config.batch;
+    eopts.telemetry = telemetry.get();
+    eopts.shard_index = i;
+    eopts.per_shard_pump_metric = workers > 1;
+    engines.push_back(std::make_unique<RtEngine>(
+        nets.back().get(), &clock, /*num_sources=*/1, eopts));
+    shedders.push_back(std::make_unique<EntryShedder>(
+        base.seed + 2 + 7919 * static_cast<uint64_t>(i)));
+    shedder_ptrs.push_back(shedders.back().get());
+  }
+
+  NodeAgentOptions agent_opts;
+  agent_opts.node_id = config.node_id;
+  agent_opts.target_delay = base.target_delay;
+  agent_opts.monitor.period = base.period;
+  agent_opts.monitor.headroom = base.headroom_est;
+  agent_opts.monitor.cost_ewma = base.cost_ewma;
+  agent_opts.monitor.adapt_headroom = base.adapt_headroom;
+  NodeAgent agent(nominal_cost, shedder_ptrs, agent_opts);
+
+  // One plant mutex serializes the three users of the shedders/agent:
+  // ingress admission (serve thread), the period tick (report thread), and
+  // remote actuation (control reader thread).
+  std::mutex plant_mu;
+
+  ClusterNodeResult result;
+
+  // --- Tuple ingress ------------------------------------------------------
+  FrameServerOptions sopts;
+  sopts.port = config.ingress_port;
+  sopts.bind_address = config.bind_address;
+  FrameServer ingress(sopts);
+  std::vector<Tuple> admitted;  // serve-thread scratch
+  ingress.OnFrame([&](uint64_t /*conn_id*/, const Frame& f) {
+    TupleBatch batch;
+    if (f.type != FrameType::kTupleBatch ||
+        !DecodeTupleBatch(f.payload, &batch)) {
+      ++result.ingress_rejected;
+      if (rejected_metric != nullptr) rejected_metric->Add(1);
+      return;
+    }
+    const int shard = static_cast<int>(batch.source) % workers;
+    RtEngine* engine = engines[static_cast<size_t>(shard)].get();
+    admitted.clear();
+    {
+      std::lock_guard<std::mutex> lock(plant_mu);
+      for (Tuple t : batch.tuples) {
+        t.source = 0;  // each shard engine has a single local source
+        if (shedder_ptrs[static_cast<size_t>(shard)]->Admit(t)) {
+          admitted.push_back(t);
+        }
+      }
+    }
+    RtSharedStats* stats = engine->stats();
+    stats->offered.fetch_add(batch.tuples.size(), std::memory_order_relaxed);
+    stats->entry_shed.fetch_add(batch.tuples.size() - admitted.size(),
+                                std::memory_order_relaxed);
+    if (!admitted.empty()) {
+      engine->OfferBatch(admitted.data(), admitted.size());
+    }
+  });
+
+  // --- Control channel ----------------------------------------------------
+  FrameClient control;
+  control.OnFrame([&](const Frame& f) {
+    ClusterActuation act;
+    if (f.type != FrameType::kActuation || !DecodeActuation(f.payload, &act)) {
+      ++result.control_rejected;
+      return;
+    }
+    ActuationAck ack;
+    {
+      std::lock_guard<std::mutex> lock(plant_mu);
+      ack = agent.Apply(act);
+    }
+    ++result.actuations_applied;
+    control.Send(EncodeAckFrame(ack));
+  });
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  clock.Start();
+  for (auto& engine : engines) engine->Start();
+  ingress.Start();
+
+  if (config.controller_port > 0) {
+    result.controller_connected =
+        control.Connect(config.controller_host, config.controller_port,
+                        config.connect_timeout_wall);
+    if (result.controller_connected) {
+      control.Send(EncodeHelloFrame(agent.Hello()));
+    } else {
+      std::fprintf(stderr,
+                   "ctrlshed node %u: controller %s:%d unreachable; running "
+                   "with local shedding only\n",
+                   config.node_id, config.controller_host.c_str(),
+                   config.controller_port);
+    }
+  }
+
+  if (config.on_ready) config.on_ready(ingress.port());
+
+  // --- Period loop: sample, report ---------------------------------------
+  // Runs on this (main) thread: sleep to each period boundary, snapshot
+  // every shard at one clock read, tick the agent, ship the report.
+  std::vector<RtSample> samples;
+  samples.reserve(static_cast<size_t>(workers));
+  for (int64_t k = 1;; ++k) {
+    const SimTime boundary = static_cast<double>(k) * base.period;
+    if (boundary > base.duration) break;
+    SleepUntilWall(clock.WallDeadline(boundary), config.stop);
+    if (StopRequested(config.stop)) break;
+    const SimTime now = clock.Now();
+    samples.clear();
+    for (auto& engine : engines) {
+      samples.push_back(engine->stats()->Snapshot(now));
+    }
+    NodeStatsReport report;
+    {
+      std::lock_guard<std::mutex> lock(plant_mu);
+      report = agent.Tick(samples);
+    }
+    if (control.connected()) {
+      if (control.Send(EncodeStatsReportFrame(report))) ++result.reports_sent;
+    }
+  }
+  result.interrupted = StopRequested(config.stop);
+
+  // Teardown: ingress first (no new arrivals), then the control channel
+  // (no new actuations), then the engine workers.
+  ingress.Stop();
+  control.Close();
+  for (auto& engine : engines) engine->Stop();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.ingress_port = ingress.port();
+  result.ingress_connections = ingress.connections_accepted();
+  result.ingress_frames = ingress.frames_received();
+  result.corrupt_streams = ingress.corrupt_streams();
+  result.final_alpha = agent.last_alpha();
+  for (auto& engine : engines) {
+    const RtSharedStats* stats = engine->stats();
+    result.offered += stats->offered.load(std::memory_order_relaxed);
+    result.entry_shed += stats->entry_shed.load(std::memory_order_relaxed);
+    result.ring_dropped += stats->ring_dropped.load(std::memory_order_relaxed);
+    result.shed_lineages +=
+        stats->shed_lineages.load(std::memory_order_relaxed);
+    result.departed += stats->departed.load(std::memory_order_relaxed);
+  }
+
+  if (telemetry) {
+    if (telemetry->server() != nullptr) {
+      result.telemetry_port = telemetry->server()->port();
+    }
+    telemetry->Stop();
+  }
+  return result;
+}
+
+}  // namespace ctrlshed

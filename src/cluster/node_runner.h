@@ -1,0 +1,91 @@
+#ifndef CTRLSHED_CLUSTER_NODE_RUNNER_H_
+#define CTRLSHED_CLUSTER_NODE_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rt/rt_engine.h"
+#include "runner/experiment.h"
+
+namespace ctrlshed {
+
+/// Configuration of one `ctrlshed node` process: a sharded rt plant whose
+/// tuples arrive over a TCP ingress listener and whose control decisions
+/// arrive from a remote cluster controller.
+struct ClusterNodeConfig {
+  /// Period, setpoint, headrooms, capacity, cost smoothing, seed,
+  /// telemetry. The workload fields are unused — arrivals come from the
+  /// network, not a local replay.
+  ExperimentConfig base;
+
+  uint32_t node_id = 0;
+  int workers = 1;
+
+  /// Tuple ingress listener; 0 picks an ephemeral port (see on_ready).
+  int ingress_port = 0;
+  std::string bind_address = "127.0.0.1";
+
+  /// Control channel. A node that cannot reach the controller still runs:
+  /// it serves ingress and sheds with whatever configuration its shedders
+  /// last had (initially admit-everything), the designed degradation mode.
+  std::string controller_host = "127.0.0.1";
+  int controller_port = 0;
+  double connect_timeout_wall = 5.0;
+
+  double time_compression = 20.0;
+  size_t ring_capacity = 4096;
+  RtCostMode cost_mode = RtCostMode::kSleep;
+  double pacing_wall_seconds = 500e-6;
+  size_t batch = 1;
+
+  /// Optional early-stop flag (e.g. a SIGINT handler's).
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Called once the ingress listener is bound and the plant is running,
+  /// with the bound ingress port — how tests and the smoke script learn an
+  /// ephemeral port.
+  std::function<void(int ingress_port)> on_ready;
+};
+
+struct ClusterNodeResult {
+  // Plant accounting (summed over shards).
+  uint64_t offered = 0;
+  uint64_t entry_shed = 0;
+  uint64_t ring_dropped = 0;
+  uint64_t shed_lineages = 0;
+  uint64_t departed = 0;
+  double final_alpha = 0.0;
+
+  // Ingress accounting.
+  uint64_t ingress_connections = 0;
+  uint64_t ingress_frames = 0;
+  /// Well-formed frames whose payload failed the hardened tuple decode
+  /// (also exported as the net.ingress.rejected counter).
+  uint64_t ingress_rejected = 0;
+  /// Streams dropped for framing corruption (bad magic/length).
+  uint64_t corrupt_streams = 0;
+
+  // Control-channel accounting.
+  bool controller_connected = false;
+  uint64_t reports_sent = 0;
+  uint64_t actuations_applied = 0;
+  /// Malformed control frames (wrong type or failed decode).
+  uint64_t control_rejected = 0;
+
+  double wall_seconds = 0.0;
+  int ingress_port = -1;
+  int telemetry_port = -1;
+  bool interrupted = false;
+};
+
+/// Runs one cluster node for base.duration trace seconds: W sharded
+/// RtEngines fed by the TCP tuple ingress, a NodeAgent ticking every
+/// period (stats report upstream), and remote actuations applied to the
+/// entry shedders. Blocks until the run completes.
+ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CLUSTER_NODE_RUNNER_H_

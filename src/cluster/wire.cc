@@ -1,0 +1,123 @@
+#include "cluster/wire.h"
+
+#include <cmath>
+
+namespace ctrlshed {
+
+namespace {
+
+std::string Framed(FrameType type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(type, payload, &frame);
+  return frame;
+}
+
+bool AllFinite(std::initializer_list<double> vs) {
+  for (double v : vs) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeHelloFrame(const NodeHello& h) {
+  std::string p;
+  PutU32(h.node_id, &p);
+  PutU32(h.workers, &p);
+  PutF64(h.headroom, &p);
+  PutF64(h.nominal_cost, &p);
+  PutF64(h.period, &p);
+  return Framed(FrameType::kHello, p);
+}
+
+bool DecodeHello(const std::string& payload, NodeHello* out) {
+  WireReader r(payload);
+  if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->workers) ||
+      !r.ReadF64(&out->headroom) || !r.ReadF64(&out->nominal_cost) ||
+      !r.ReadF64(&out->period) || !r.AtEnd()) {
+    return false;
+  }
+  // A hello that fails these invariants would seed an invalid plant.
+  return out->workers >= 1 &&
+         AllFinite({out->headroom, out->nominal_cost, out->period}) &&
+         out->headroom > 0.0 && out->nominal_cost > 0.0 && out->period > 0.0;
+}
+
+std::string EncodeStatsReportFrame(const NodeStatsReport& r) {
+  std::string p;
+  PutU32(r.node_id, &p);
+  PutU32(r.seq, &p);
+  PutF64(r.deltas.now, &p);
+  PutU64(r.deltas.offered, &p);
+  PutU64(r.deltas.admitted, &p);
+  PutF64(r.deltas.drained_base_load, &p);
+  PutF64(r.deltas.busy_seconds, &p);
+  PutF64(r.deltas.queue, &p);
+  PutF64(r.deltas.delay_sum, &p);
+  PutU64(r.deltas.delay_count, &p);
+  PutF64(r.alpha, &p);
+  PutU64(r.offered_total, &p);
+  PutU64(r.entry_shed_total, &p);
+  PutU64(r.ring_dropped_total, &p);
+  PutU64(r.departed_total, &p);
+  return Framed(FrameType::kStatsReport, p);
+}
+
+bool DecodeStatsReport(const std::string& payload, NodeStatsReport* out) {
+  WireReader r(payload);
+  if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->seq) ||
+      !r.ReadF64(&out->deltas.now) || !r.ReadU64(&out->deltas.offered) ||
+      !r.ReadU64(&out->deltas.admitted) ||
+      !r.ReadF64(&out->deltas.drained_base_load) ||
+      !r.ReadF64(&out->deltas.busy_seconds) || !r.ReadF64(&out->deltas.queue) ||
+      !r.ReadF64(&out->deltas.delay_sum) ||
+      !r.ReadU64(&out->deltas.delay_count) || !r.ReadF64(&out->alpha) ||
+      !r.ReadU64(&out->offered_total) || !r.ReadU64(&out->entry_shed_total) ||
+      !r.ReadU64(&out->ring_dropped_total) ||
+      !r.ReadU64(&out->departed_total) || !r.AtEnd()) {
+    return false;
+  }
+  return AllFinite({out->deltas.now, out->deltas.drained_base_load,
+                    out->deltas.busy_seconds, out->deltas.queue,
+                    out->deltas.delay_sum, out->alpha}) &&
+         out->deltas.queue >= 0.0 && out->deltas.now >= 0.0;
+}
+
+std::string EncodeActuationFrame(const ClusterActuation& a) {
+  std::string p;
+  PutU32(a.seq, &p);
+  PutF64(a.v, &p);
+  PutF64(a.target_delay, &p);
+  return Framed(FrameType::kActuation, p);
+}
+
+bool DecodeActuation(const std::string& payload, ClusterActuation* out) {
+  WireReader r(payload);
+  if (!r.ReadU32(&out->seq) || !r.ReadF64(&out->v) ||
+      !r.ReadF64(&out->target_delay) || !r.AtEnd()) {
+    return false;
+  }
+  return AllFinite({out->v, out->target_delay}) && out->target_delay > 0.0;
+}
+
+std::string EncodeAckFrame(const ActuationAck& a) {
+  std::string p;
+  PutU32(a.node_id, &p);
+  PutU32(a.seq, &p);
+  PutF64(a.applied, &p);
+  PutF64(a.alpha, &p);
+  return Framed(FrameType::kAck, p);
+}
+
+bool DecodeAck(const std::string& payload, ActuationAck* out) {
+  WireReader r(payload);
+  if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->seq) ||
+      !r.ReadF64(&out->applied) || !r.ReadF64(&out->alpha) || !r.AtEnd()) {
+    return false;
+  }
+  return AllFinite({out->applied, out->alpha});
+}
+
+}  // namespace ctrlshed

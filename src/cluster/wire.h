@@ -1,0 +1,73 @@
+#ifndef CTRLSHED_CLUSTER_WIRE_H_
+#define CTRLSHED_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "control/period_math.h"
+#include "net/frame.h"
+
+namespace ctrlshed {
+
+/// Control-plane messages exchanged between cluster nodes and the
+/// controller. Stats travel as per-period counter DELTAS (the exact
+/// PeriodDeltas the node's own monitor consumed), not cumulative totals:
+/// summing deltas upstream reproduces the single-process aggregation
+/// arithmetic bit-for-bit, and a node that leaves and rejoins never makes
+/// a counter appear to run backwards.
+
+/// node -> controller, once per connection: membership announcement.
+struct NodeHello {
+  uint32_t node_id = 0;
+  uint32_t workers = 0;        ///< Shard count N_i of this node.
+  double headroom = 0.0;       ///< Per-worker H estimate.
+  double nominal_cost = 0.0;   ///< Model constant c (must match the plan).
+  double period = 0.0;         ///< Control period T the node ticks at.
+};
+
+/// node -> controller, once per control period.
+struct NodeStatsReport {
+  uint32_t node_id = 0;
+  uint32_t seq = 0;            ///< Node-local period index k.
+  PeriodDeltas deltas;         ///< This period's counter deltas + queue.
+  double alpha = 0.0;          ///< Blended entry-drop probability in force.
+  // Cumulative context for the controller's status/summary display only —
+  // never fed into the aggregate plant math.
+  uint64_t offered_total = 0;
+  uint64_t entry_shed_total = 0;
+  uint64_t ring_dropped_total = 0;
+  uint64_t departed_total = 0;
+};
+
+/// controller -> node, once per control period: this node's slice of v(k).
+struct ClusterActuation {
+  uint32_t seq = 0;            ///< Controller period index.
+  double v = 0.0;              ///< Admitted-rate command for this node.
+  double target_delay = 0.0;   ///< Current setpoint yd.
+};
+
+/// node -> controller, in response to an actuation.
+struct ActuationAck {
+  uint32_t node_id = 0;
+  uint32_t seq = 0;            ///< Echoes ClusterActuation::seq.
+  double applied = 0.0;        ///< Rate the shedders could actually target.
+  double alpha = 0.0;          ///< Share-blended drop probability after apply.
+};
+
+// Encoders return complete frames (header included), ready to send.
+std::string EncodeHelloFrame(const NodeHello& h);
+std::string EncodeStatsReportFrame(const NodeStatsReport& r);
+std::string EncodeActuationFrame(const ClusterActuation& a);
+std::string EncodeAckFrame(const ActuationAck& a);
+
+// Decoders take a frame payload of the matching type and reject size
+// mismatches, trailing bytes, and non-finite floats (a NaN queue length or
+// rate would poison the aggregate plant silently).
+bool DecodeHello(const std::string& payload, NodeHello* out);
+bool DecodeStatsReport(const std::string& payload, NodeStatsReport* out);
+bool DecodeActuation(const std::string& payload, ClusterActuation* out);
+bool DecodeAck(const std::string& payload, ActuationAck* out);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CLUSTER_WIRE_H_

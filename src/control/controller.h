@@ -45,6 +45,12 @@ class LoadController {
   /// Updates the delay setpoint at runtime (Fig. 18 experiments).
   virtual void SetTargetDelay(double /*yd*/) {}
 
+  /// Updates the plant-size estimate H at runtime. The cluster controller
+  /// calls this when membership changes (effective headroom is the sum of
+  /// active nodes' N_i*H_i); controllers whose gain depends on H override
+  /// it, others ignore it.
+  virtual void SetHeadroom(double /*headroom*/) {}
+
   virtual std::string_view name() const = 0;
 };
 

@@ -41,6 +41,14 @@ double CtrlController::DesiredRate(const PeriodMeasurement& m) {
   return last_v_;
 }
 
+void CtrlController::SetHeadroom(double headroom) {
+  CS_CHECK_MSG(headroom > 0.0, "headroom must be positive");
+  // The Eq. (10) gain H/(cT) re-reads options_.headroom every period, so
+  // updating it here re-scales the loop gain from the next DesiredRate on;
+  // the dynamic state (e(k-1), u(k-1)) carries over unchanged.
+  options_.headroom = headroom;
+}
+
 void CtrlController::NotifyActuation(double v_applied) {
   if (!options_.anti_windup) return;
   // Back-calculation: if the actuator could not realize v(k), rewrite the

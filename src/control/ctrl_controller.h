@@ -51,6 +51,7 @@ class CtrlController : public LoadController {
 
   double DesiredRate(const PeriodMeasurement& m) override;
   void NotifyActuation(double v_applied) override;
+  void SetHeadroom(double headroom) override;
   std::string_view name() const override { return "CTRL"; }
 
   /// Resets the dynamic state (e(k-1), u(k-1)).

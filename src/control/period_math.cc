@@ -27,21 +27,45 @@ PeriodMath::PeriodMath(double nominal_entry_cost, PeriodMathOptions options)
 PeriodMeasurement PeriodMath::Sample(const PeriodCounters& c,
                                      double target_delay, double elapsed,
                                      const std::function<double()>& cost_noise) {
-  CS_CHECK_MSG(elapsed > 0.0, "elapsed time must be positive");
   CS_CHECK_MSG(c.offered >= prev_offered_, "offered counter went backwards");
+  CS_CHECK_MSG(c.admitted >= prev_admitted_, "admitted counter went backwards");
+
+  PeriodDeltas d;
+  d.now = c.now;
+  d.offered = c.offered - prev_offered_;
+  d.admitted = c.admitted - prev_admitted_;
+  d.drained_base_load = c.drained_base_load - prev_drained_;
+  d.busy_seconds = c.busy_seconds - prev_busy_;
+  d.queue = c.queue;
+  d.delay_sum = c.delay_sum;
+  d.delay_count = c.delay_count;
+
+  prev_offered_ = c.offered;
+  prev_admitted_ = c.admitted;
+  prev_drained_ = c.drained_base_load;
+  prev_busy_ = c.busy_seconds;
+
+  return SampleDeltas(d, target_delay, elapsed, cost_noise);
+}
+
+PeriodMeasurement PeriodMath::SampleDeltas(
+    const PeriodDeltas& d, double target_delay, double elapsed,
+    const std::function<double()>& cost_noise) {
+  CS_CHECK_MSG(elapsed > 0.0, "elapsed time must be positive");
+  last_deltas_ = d;
 
   PeriodMeasurement m;
   m.k = ++k_;
-  m.t = c.now;
+  m.t = d.now;
   m.period = options_.period;
   m.target_delay = target_delay;
 
-  m.fin = static_cast<double>(c.offered - prev_offered_) / elapsed;
+  m.fin = static_cast<double>(d.offered) / elapsed;
   m.fin_forecast = m.fin;  // the loop overrides this when a predictor is set
-  m.admitted = static_cast<double>(c.admitted - prev_admitted_) / elapsed;
+  m.admitted = static_cast<double>(d.admitted) / elapsed;
 
-  const double drained = c.drained_base_load - prev_drained_;
-  const double busy = c.busy_seconds - prev_busy_;
+  const double drained = d.drained_base_load;
+  const double busy = d.busy_seconds;
   m.fout = drained / nominal_entry_cost_ / elapsed;
 
   // Measured per-tuple cost: CPU seconds consumed per entry-tuple
@@ -54,7 +78,7 @@ PeriodMeasurement PeriodMath::Sample(const PeriodCounters& c,
   }
   m.cost = cost_estimate_;
 
-  m.queue = c.queue;
+  m.queue = d.queue;
 
   // Online headroom estimate: with queued work at both ends of the period
   // the CPU never idled, so work done per trace second IS the headroom.
@@ -70,16 +94,38 @@ PeriodMeasurement PeriodMath::Sample(const PeriodCounters& c,
       options_.adapt_headroom ? headroom_estimate_ : options_.headroom;
   m.y_hat = (m.queue + 1.0) * m.cost / h;
 
-  if (c.delay_count > 0) {
-    m.y_measured = c.delay_sum / static_cast<double>(c.delay_count);
+  if (d.delay_count > 0) {
+    m.y_measured = d.delay_sum / static_cast<double>(d.delay_count);
     m.has_y_measured = true;
   }
 
-  prev_offered_ = c.offered;
-  prev_admitted_ = c.admitted;
-  prev_drained_ = c.drained_base_load;
-  prev_busy_ = c.busy_seconds;
   return m;
+}
+
+void PeriodMath::SetHeadroom(double headroom, double max_headroom) {
+  CS_CHECK_MSG(max_headroom >= 1.0, "max headroom must be >= 1");
+  CS_CHECK_MSG(headroom > 0.0 && headroom <= max_headroom,
+               "headroom must be in (0, max_headroom]");
+  options_.headroom = headroom;
+  options_.max_headroom = max_headroom;
+  if (options_.adapt_headroom && k_ > 0) {
+    // Keep the learned estimate but respect the new plant bound.
+    headroom_estimate_ = std::min(headroom_estimate_, max_headroom);
+  } else {
+    headroom_estimate_ = headroom;
+  }
+}
+
+std::vector<double> ProportionalShares(const std::vector<double>& loads) {
+  std::vector<double> shares(loads.size(), 0.0);
+  if (loads.empty()) return shares;
+  double total = 0.0;
+  for (double l : loads) total += l;
+  const double even = 1.0 / static_cast<double>(loads.size());
+  for (size_t i = 0; i < loads.size(); ++i) {
+    shares[i] = total > 0.0 ? loads[i] / total : even;
+  }
+  return shares;
 }
 
 }  // namespace ctrlshed

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "control/controller.h"
 
@@ -29,6 +30,25 @@ struct PeriodMathOptions {
   /// `headroom` in the Eq. (11) delay estimate.
   bool adapt_headroom = false;
   double headroom_ewma = 0.2;
+};
+
+/// Per-period counter deltas plus the instantaneous queue state at the
+/// period boundary. This is the wire-friendly form: cluster nodes ship
+/// exactly these deltas upstream so the aggregate plant sums them without
+/// re-deriving differences from floating-point cumulative totals (which
+/// would break bit-identity with the single-process loop).
+struct PeriodDeltas {
+  SimTime now = 0.0;         ///< Boundary time (trace seconds).
+  uint64_t offered = 0;      ///< Tuples offered this period (pre-shed).
+  uint64_t admitted = 0;     ///< Tuples admitted this period.
+  double drained_base_load = 0.0;  ///< Static load drained, seconds.
+  double busy_seconds = 0.0;       ///< CPU work performed, seconds.
+  /// Instantaneous virtual queue length q in entry-tuple equivalents at
+  /// the boundary, already clamped by the caller.
+  double queue = 0.0;
+  /// Departure-delay accumulation of this period.
+  double delay_sum = 0.0;
+  uint64_t delay_count = 0;
 };
 
 /// Cumulative plant counters at a period boundary, plus the instantaneous
@@ -79,6 +99,24 @@ class PeriodMath {
                            double elapsed,
                            const std::function<double()>& cost_noise = nullptr);
 
+  /// Delta entry point: forms the measurement for the period whose counter
+  /// deltas are `d`, spanning `elapsed` trace seconds ending at `d.now`.
+  /// Sample() is a thin wrapper that differences cumulative counters and
+  /// calls this, so both paths share one arithmetic sequence bit-for-bit.
+  PeriodMeasurement SampleDeltas(
+      const PeriodDeltas& d, double target_delay, double elapsed,
+      const std::function<double()>& cost_noise = nullptr);
+
+  /// The deltas consumed by the most recent Sample/SampleDeltas call —
+  /// what a cluster node reports upstream for aggregate re-derivation.
+  const PeriodDeltas& last_deltas() const { return last_deltas_; }
+
+  /// Re-targets the plant size mid-run (cluster membership change: the
+  /// effective headroom is the sum over active nodes of N_i*H_i). Keeps
+  /// the cost EWMA and period index; snaps the online headroom estimate
+  /// into the new bound.
+  void SetHeadroom(double headroom, double max_headroom);
+
   double CostEstimate() const { return cost_estimate_; }
   double HeadroomEstimate() const { return headroom_estimate_; }
   const PeriodMathOptions& options() const { return options_; }
@@ -95,7 +133,16 @@ class PeriodMath {
   double prev_queue_ = 0.0;
   double cost_estimate_ = 0.0;
   double headroom_estimate_ = 0.0;
+  PeriodDeltas last_deltas_;
 };
+
+/// Normalized fan-out weights proportional to `loads` (per-shard or
+/// per-node offered rates). Falls back to an even split when the total is
+/// zero or negative so an idle plant still distributes the command. The
+/// shares sum to 1 up to rounding, so v_i = v * share_i conserves the
+/// aggregate command within floating-point error (well under one tuple
+/// per period).
+std::vector<double> ProportionalShares(const std::vector<double>& loads);
 
 }  // namespace ctrlshed
 

@@ -1,0 +1,153 @@
+#include "net/frame.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace ctrlshed {
+
+namespace {
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+bool KnownType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kTupleBatch) &&
+         t <= static_cast<uint8_t>(FrameType::kAck);
+}
+
+}  // namespace
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  b[0] = static_cast<char>(v);
+  b[1] = static_cast<char>(v >> 8);
+  b[2] = static_cast<char>(v >> 16);
+  b[3] = static_cast<char>(v >> 24);
+  out->append(b, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+void PutF64(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  if (!ok_ || size_ - pos_ < 4) {
+    ok_ = false;
+    return false;
+  }
+  *v = GetU32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  if (!ok_ || size_ - pos_ < 8) {
+    ok_ = false;
+    return false;
+  }
+  *v = GetU64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool WireReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+void AppendFrame(FrameType type, const std::string& payload,
+                 std::string* out) {
+  CS_CHECK_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  PutU32(kFrameMagic, out);
+  out->push_back(static_cast<char>(type));
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  if (buf_.size() < kFrameHeaderBytes) return Status::kNeedMore;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf_.data());
+  if (GetU32(p) != kFrameMagic) return Status::kCorrupt;
+  const uint8_t type = p[4];
+  const uint32_t len = GetU32(p + 5);
+  if (!KnownType(type) || len > max_payload_) return Status::kCorrupt;
+  if (buf_.size() < kFrameHeaderBytes + len) return Status::kNeedMore;
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buf_, kFrameHeaderBytes, len);
+  buf_.erase(0, kFrameHeaderBytes + len);
+  return Status::kFrame;
+}
+
+std::string EncodeTupleBatchFrame(uint32_t source, const Tuple* tuples,
+                                  size_t n) {
+  CS_CHECK_MSG(n <= kMaxTuplesPerFrame, "tuple batch exceeds frame capacity");
+  std::string payload;
+  payload.reserve(8 + n * kTupleWireBytes);
+  PutU32(source, &payload);
+  PutU32(static_cast<uint32_t>(n), &payload);
+  for (size_t i = 0; i < n; ++i) {
+    PutF64(tuples[i].arrival_time, &payload);
+    PutF64(tuples[i].value, &payload);
+    PutF64(tuples[i].aux, &payload);
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(FrameType::kTupleBatch, payload, &frame);
+  return frame;
+}
+
+bool DecodeTupleBatch(const std::string& payload, TupleBatch* out) {
+  WireReader r(payload);
+  uint32_t source = 0;
+  uint32_t count = 0;
+  if (!r.ReadU32(&source) || !r.ReadU32(&count)) return false;
+  // Exact-size check rejects both truncated batches and trailing garbage;
+  // the count bound keeps a hostile header from driving a huge reserve.
+  if (count > kMaxTuplesPerFrame) return false;
+  if (r.remaining() != static_cast<size_t>(count) * kTupleWireBytes) {
+    return false;
+  }
+  out->source = source;
+  out->tuples.clear();
+  out->tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Tuple t;
+    if (!r.ReadF64(&t.arrival_time) || !r.ReadF64(&t.value) ||
+        !r.ReadF64(&t.aux)) {
+      return false;
+    }
+    // A NaN/inf arrival time would poison the delay accounting the control
+    // loop feeds on; reject the whole frame (same all-or-nothing policy as
+    // trace parsing).
+    if (!std::isfinite(t.arrival_time) || !std::isfinite(t.value) ||
+        !std::isfinite(t.aux)) {
+      return false;
+    }
+    t.source = static_cast<int>(source);
+    out->tuples.push_back(t);
+  }
+  return r.AtEnd();
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,91 @@
+#include "net/frame_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/macros.h"
+#include "net/socket_util.h"
+
+namespace ctrlshed {
+
+FrameClient::~FrameClient() { Close(); }
+
+void FrameClient::OnFrame(FrameHandler handler) {
+  CS_CHECK_MSG(fd_ < 0, "handler must be set before Connect");
+  on_frame_ = std::move(handler);
+}
+
+bool FrameClient::Connect(const std::string& host, int port,
+                          double timeout_wall_seconds) {
+  CS_CHECK_MSG(fd_ < 0, "Connect called twice");
+  fd_ = ConnectWithRetry(host, port, timeout_wall_seconds);
+  if (fd_ < 0) return false;
+  connected_.store(true, std::memory_order_release);
+  reader_ = std::thread([this] { ReadLoop(); });
+  return true;
+}
+
+bool FrameClient::Send(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (!connected_.load(std::memory_order_acquire)) return false;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    connected_.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void FrameClient::ReadLoop() {
+  FrameDecoder decoder;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+    Frame frame;
+    bool corrupt = false;
+    while (true) {
+      const FrameDecoder::Status st = decoder.Next(&frame);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kCorrupt) {
+        corrupt_streams_.fetch_add(1, std::memory_order_relaxed);
+        corrupt = true;
+        break;
+      }
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      if (on_frame_ && !closing_.load(std::memory_order_acquire)) {
+        on_frame_(frame);
+      }
+    }
+    if (corrupt) break;
+  }
+  connected_.store(false, std::memory_order_release);
+}
+
+void FrameClient::Close() {
+  if (fd_ < 0) return;
+  closing_.store(true, std::memory_order_release);
+  connected_.store(false, std::memory_order_release);
+  // Shut the socket down so the reader's blocking recv returns; close the
+  // fd only after the thread exits (no fd reuse race).
+  shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace ctrlshed

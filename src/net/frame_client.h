@@ -1,0 +1,63 @@
+#ifndef CTRLSHED_NET_FRAME_CLIENT_H_
+#define CTRLSHED_NET_FRAME_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+
+namespace ctrlshed {
+
+/// Blocking TCP client for the frame protocol: one reader thread decodes
+/// inbound frames into a handler, Send() serializes writers through a
+/// mutex. Used by cluster nodes for the control channel (reports out,
+/// actuations in) and by `ctrlshed feed` for tuple ingress (send-only).
+///
+/// A send/recv failure (peer died) flips connected() to false and stays
+/// there; callers poll it and decide whether to keep running standalone
+/// (nodes keep local shedding when the controller is gone).
+class FrameClient {
+ public:
+  using FrameHandler = std::function<void(const Frame&)>;
+
+  FrameClient() = default;
+  ~FrameClient();
+
+  /// Must be installed before Connect; runs on the reader thread.
+  void OnFrame(FrameHandler handler);
+
+  /// Connects to host:port, retrying for up to `timeout_wall_seconds`.
+  bool Connect(const std::string& host, int port,
+               double timeout_wall_seconds = 5.0);
+
+  /// Queues nothing: writes the already-framed bytes synchronously
+  /// (MSG_NOSIGNAL, mutex-serialized). Returns false once disconnected.
+  bool Send(const std::string& bytes);
+
+  void Close();
+
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+  uint64_t frames_received() const { return frames_received_.load(); }
+  /// Nonzero when the peer stream desynced (connection is then closed).
+  uint64_t corrupt_streams() const { return corrupt_streams_.load(); }
+
+ private:
+  void ReadLoop();
+
+  FrameHandler on_frame_;
+  int fd_ = -1;
+  std::thread reader_;
+  std::mutex send_mu_;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> closing_{false};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> corrupt_streams_{0};
+};
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_NET_FRAME_CLIENT_H_

@@ -1,0 +1,267 @@
+#include "net/frame_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+#include "net/socket_util.h"
+
+namespace ctrlshed {
+
+namespace {
+double NowWall() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+struct FrameServer::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+  FrameDecoder decoder{kMaxFramePayload};
+  std::string out;
+  bool closed = false;
+
+  explicit Conn(size_t max_payload) : decoder(max_payload) {}
+};
+
+FrameServer::FrameServer(FrameServerOptions options)
+    : options_(std::move(options)) {}
+
+FrameServer::~FrameServer() { Stop(); }
+
+void FrameServer::OnFrame(FrameHandler handler) {
+  CS_CHECK_MSG(!started_.load(), "handlers must be set before Start");
+  on_frame_ = std::move(handler);
+}
+
+void FrameServer::OnDisconnect(DisconnectHandler handler) {
+  CS_CHECK_MSG(!started_.load(), "handlers must be set before Start");
+  on_disconnect_ = std::move(handler);
+}
+
+void FrameServer::Start() {
+  CS_CHECK_MSG(!started_.load(), "FrameServer::Start called twice");
+  IgnoreSigPipe();
+
+  std::string error;
+  listen_fd_ = CreateListener(options_.bind_address, options_.port, &port_,
+                              &error);
+  CS_CHECK_MSG(listen_fd_ >= 0, "frame server: cannot bind ingress port");
+  SetNonBlocking(listen_fd_);
+
+  CS_CHECK_MSG(pipe(wake_pipe_) == 0, "frame server: pipe failed");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  started_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+}
+
+void FrameServer::Stop() {
+  if (!started_.exchange(false)) return;
+  stop_requested_.store(true);
+  Wake();
+  thread_.join();
+  stop_requested_.store(false);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : conns_) {
+    if (!c->closed) CloseConn(c.get());
+  }
+  conns_.clear();
+  close(listen_fd_);
+  close(wake_pipe_[0]);
+  close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void FrameServer::Wake() {
+  const char b = 'w';
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+}
+
+bool FrameServer::Send(uint64_t conn_id, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Conn* target = nullptr;
+    for (auto& c : conns_) {
+      if (c->id == conn_id && !c->closed) {
+        target = c.get();
+        break;
+      }
+    }
+    if (target == nullptr) return false;
+    if (target->out.size() + bytes.size() > options_.max_out_buffer) {
+      CloseConn(target);
+      return false;
+    }
+    target->out += bytes;
+  }
+  Wake();
+  return true;
+}
+
+void FrameServer::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    SetNonBlocking(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t active = 0;
+    for (const auto& c : conns_) {
+      if (!c->closed) ++active;
+    }
+    if (active >= static_cast<size_t>(options_.max_clients)) {
+      close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>(options_.max_payload);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void FrameServer::HandleReadable(Conn* c,
+                                 std::vector<PendingFrame>* decoded) {
+  char buf[16384];
+  while (true) {
+    const ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(c);
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(c);
+    break;
+  }
+  // Drain complete frames even when the peer just hung up: its final
+  // batch is already buffered and must not be lost.
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status st = c->decoder.Next(&frame);
+    if (st == FrameDecoder::Status::kNeedMore) break;
+    if (st == FrameDecoder::Status::kCorrupt) {
+      // A byte stream that desyncs cannot be trusted again; count it and
+      // cut the peer loose rather than guess at a resync point.
+      corrupt_streams_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(c);
+      return;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    decoded->push_back({c->id, std::move(frame)});
+  }
+}
+
+void FrameServer::FlushConn(Conn* c) {
+  while (!c->out.empty()) {
+    const ssize_t n = send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseConn(c);
+    return;
+  }
+}
+
+// Requires mu_ held. The disconnect handler runs later, outside the lock,
+// so handlers may call Send() freely.
+void FrameServer::CloseConn(Conn* c) {
+  if (c->closed) return;
+  close(c->fd);
+  c->fd = -1;
+  c->closed = true;
+  disconnected_.push_back(c->id);
+}
+
+void FrameServer::Serve() {
+  bool draining = false;
+  double drain_deadline = 0.0;
+  while (true) {
+    if (stop_requested_.load() && !draining) {
+      draining = true;
+      drain_deadline = NowWall() + options_.drain_timeout_wall;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<Conn*> fd_conn;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (!draining) fds.push_back({listen_fd_, POLLIN, 0});
+    bool pending_out = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& c : conns_) {
+        if (c->closed) continue;
+        short events = POLLIN;
+        if (!c->out.empty()) {
+          events |= POLLOUT;
+          pending_out = true;
+        }
+        fds.push_back({c->fd, events, 0});
+        fd_conn.push_back(c.get());
+      }
+    }
+
+    if (draining && (!pending_out || NowWall() >= drain_deadline)) break;
+
+    poll(fds.data(), fds.size(), draining ? 20 : 200);
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    const size_t conn_base = draining ? 1 : 2;
+    if (!draining && (fds[1].revents & POLLIN)) AcceptNew();
+
+    std::vector<PendingFrame> decoded;
+    std::vector<uint64_t> disconnects;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < fd_conn.size(); ++i) {
+        Conn* c = fd_conn[i];
+        const short re = fds[conn_base + i].revents;
+        if (c->closed) continue;
+        if (re & (POLLERR | POLLNVAL)) {
+          CloseConn(c);
+          continue;
+        }
+        // POLLHUP can accompany final buffered bytes; read first so a
+        // producer's last batch before disconnect is not lost.
+        if (re & (POLLIN | POLLHUP)) HandleReadable(c, &decoded);
+        if (!c->closed && !c->out.empty()) FlushConn(c);
+      }
+      conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                  [](const std::unique_ptr<Conn>& c) {
+                                    return c->closed;
+                                  }),
+                   conns_.end());
+      disconnects.swap(disconnected_);
+    }
+    // Handlers run on this thread but outside mu_, so they may call
+    // Send() (which locks) without deadlocking.
+    for (const PendingFrame& pf : decoded) {
+      if (on_frame_) on_frame_(pf.conn_id, pf.frame);
+    }
+    for (uint64_t id : disconnects) {
+      if (on_disconnect_) on_disconnect_(id);
+    }
+  }
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,31 @@
+#ifndef CTRLSHED_NET_SOCKET_UTIL_H_
+#define CTRLSHED_NET_SOCKET_UTIL_H_
+
+#include <string>
+
+namespace ctrlshed {
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent, thread-safe).
+/// Every send() in the tree also passes MSG_NOSIGNAL; this catches any
+/// other path (e.g. a stdio write to a dead pipe) so an abruptly
+/// disconnected peer can never kill a live run.
+void IgnoreSigPipe();
+
+/// Puts `fd` into non-blocking mode; aborts on fcntl failure.
+void SetNonBlocking(int fd);
+
+/// Creates a listening TCP socket bound to `bind_ip:port` (port 0 picks an
+/// ephemeral port). Returns the fd and stores the bound port in
+/// `*bound_port`. Returns -1 with an explanation in `*error` on failure.
+int CreateListener(const std::string& bind_ip, int port, int* bound_port,
+                   std::string* error);
+
+/// Blocking connect to host:port, retrying until `deadline_wall_seconds`
+/// of wall time elapse (covers the node-starts-before-controller race in
+/// scripts). Returns the connected fd or -1.
+int ConnectWithRetry(const std::string& host, int port,
+                     double deadline_wall_seconds);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_NET_SOCKET_UTIL_H_

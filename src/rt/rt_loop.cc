@@ -226,13 +226,10 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
     // the historical single-shedder actuation bit for bit.
     const std::vector<double>& shard_fin = monitor_.shard_fin();
     const std::vector<double>& shard_queues = monitor_.shard_queues();
-    double total_fin = 0.0;
-    for (double f : shard_fin) total_fin += f;
+    const std::vector<double> shares = ProportionalShares(shard_fin);
     double applied = 0.0;
     for (size_t i = 0; i < shards_.size(); ++i) {
-      const double share = total_fin > 0.0
-                               ? shard_fin[i] / total_fin
-                               : 1.0 / static_cast<double>(shards_.size());
+      const double share = shares[i];
       PeriodMeasurement mi = m;
       mi.fin = shard_fin[i];
       mi.fin_forecast = m.fin_forecast * share;

@@ -73,6 +73,11 @@ class RtMonitor {
 
   double CostEstimate() const { return math_.CostEstimate(); }
   double HeadroomEstimate() const { return math_.HeadroomEstimate(); }
+
+  /// Counter deltas the last Sample consumed — exactly what a cluster node
+  /// reports upstream so the cluster plant can re-derive the aggregate
+  /// measurement without a second cumulative-differencing pass.
+  const PeriodDeltas& last_deltas() const { return math_.last_deltas(); }
   int num_shards() const { return num_shards_; }
   const RtMonitorOptions& options() const { return options_; }
 

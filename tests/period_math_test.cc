@@ -178,6 +178,100 @@ TEST(PeriodMathTest, AggregateHeadroomAboveOneIsAccepted) {
   EXPECT_NEAR(m.y_hat, (m.queue + 1.0) * m.cost / 3.2, 1e-12);
 }
 
+TEST(PeriodMathTest, SampleDeltasMatchesCumulativeSampleExactly) {
+  // The wire path (cluster nodes ship deltas) and the local path
+  // (cumulative counters differenced internally) must share one
+  // arithmetic sequence — EXPECT_EQ, not NEAR, or the cluster identity
+  // contract breaks.
+  PeriodMath cumulative(kNominalCost, Opts());
+  PeriodMath deltas(kNominalCost, Opts());
+
+  PeriodCounters c;
+  uint64_t offered = 0;
+  uint64_t admitted_sum = 0;
+  double busy = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    const uint64_t d_offered = 90 + static_cast<uint64_t>(7 * k);
+    // Dyadic values only: cumulative counters are sums of the deltas, and
+    // the cumulative path re-derives deltas by subtraction, so any value
+    // that rounds on accumulation would break EXPECT_EQ for a reason that
+    // has nothing to do with the math under test.
+    const double d_busy = 0.25 + 0.125 * static_cast<double>(k);
+    PeriodDeltas d;
+    d.now = static_cast<double>(k);
+    d.offered = d_offered;
+    d.admitted = d_offered / 2;
+    d.busy_seconds = d_busy;
+    d.drained_base_load = d_busy;
+    d.queue = 3.5 * static_cast<double>(k);
+    d.delay_sum = 0.75 * static_cast<double>(k);
+    d.delay_count = static_cast<uint64_t>(k);
+
+    offered += d_offered;
+    busy += d_busy;
+    admitted_sum += d.admitted;
+    c.now = d.now;
+    c.offered = offered;
+    c.admitted = admitted_sum;
+    c.busy_seconds = busy;
+    c.drained_base_load = busy;
+    c.queue = d.queue;
+    c.delay_sum = d.delay_sum;
+    c.delay_count = d.delay_count;
+
+    const PeriodMeasurement a = cumulative.Sample(c, 2.0, 1.0);
+    const PeriodMeasurement b = deltas.SampleDeltas(d, 2.0, 1.0);
+    EXPECT_EQ(a.fin, b.fin);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.fout, b.fout);
+    EXPECT_EQ(a.queue, b.queue);
+    EXPECT_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.y_hat, b.y_hat);
+    EXPECT_EQ(a.y_measured, b.y_measured);
+  }
+}
+
+TEST(PeriodMathTest, SetHeadroomRetargetsEq11KeepingCostState) {
+  PeriodMathOptions o = Opts();
+  o.cost_ewma = 0.5;
+  PeriodMath math(kNominalCost, o);
+
+  PeriodCounters c;
+  c.now = 1.0;
+  c.drained_base_load = 100 * kNominalCost;
+  c.busy_seconds = 2 * 100 * kNominalCost;
+  c.queue = 10.0;
+  const PeriodMeasurement m1 = math.Sample(c, 2.0, 1.0);
+
+  // Cluster membership doubles the plant: y_hat halves, but the cost EWMA
+  // carries over instead of resetting to the nominal bootstrap.
+  math.SetHeadroom(2.0, 2.0);
+  c.now = 2.0;
+  const PeriodMeasurement m2 = math.Sample(c, 2.0, 1.0);
+  EXPECT_EQ(m2.cost, m1.cost);  // idle period: EWMA untouched
+  EXPECT_NEAR(m2.y_hat, (c.queue + 1.0) * m2.cost / 2.0, 1e-12);
+}
+
+TEST(ProportionalSharesTest, WeightsProportionalToLoads) {
+  const std::vector<double> shares = ProportionalShares({300.0, 100.0});
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+}
+
+TEST(ProportionalSharesTest, ZeroTotalFallsBackToEvenSplit) {
+  const std::vector<double> shares = ProportionalShares({0.0, 0.0, 0.0, 0.0});
+  ASSERT_EQ(shares.size(), 4u);
+  for (double s : shares) EXPECT_DOUBLE_EQ(s, 0.25);
+}
+
+TEST(ProportionalSharesTest, SingleLoadIsExactlyOne) {
+  // At one shard/node the fan-out must be the identity: v * 1.0 == v bit
+  // for bit, which the cluster identity tests lean on.
+  EXPECT_EQ(ProportionalShares({123.4})[0], 1.0);
+  EXPECT_EQ(ProportionalShares({0.0})[0], 1.0);
+}
+
 TEST(PeriodMathDeathTest, RejectsBackwardsCounters) {
   PeriodMath math(kNominalCost, Opts());
   PeriodCounters c;

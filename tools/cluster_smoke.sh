@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Two-node loopback cluster smoke: one controller, two `ctrlshed node`
+# processes, one feeder per node pushing the web trace at ~2x a single
+# worker's capacity through real TCP ingress. The controller runs the
+# rt_soak tracking gate (gate=1): over the overloaded periods the
+# converged aggregate delay estimate must sit within +/-20% of the
+# setpoint. The script additionally requires a clean shutdown with
+# nonzero departed tuples on BOTH nodes and zero protocol rejects.
+#
+# Usage: tools/cluster_smoke.sh [path/to/ctrlshed]
+# Env:   DURATION (trace seconds, default 60 — shorter windows weight
+#        burst lulls enough to brush the gate), COMPRESS (default 10).
+set -euo pipefail
+
+BIN=${1:-build/tools/ctrlshed}
+DURATION=${DURATION:-60}
+COMPRESS=${COMPRESS:-10}
+
+OUT=$(mktemp -d)
+PIDS=()
+cleanup() {
+  local p
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+# Every role binds an ephemeral port and announces it on stdout; poll the
+# log instead of racing a pre-picked port number.
+wait_port() { # <logfile> <sed -E capture regex> -> port on stdout
+  local log=$1 re=$2 port i
+  for i in $(seq 1 100); do
+    port=$(sed -nE "s/.*${re}.*/\1/p" "$log" 2>/dev/null | head -n 1)
+    if [[ -n ${port:-} ]]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "cluster_smoke: timed out waiting for port in $log" >&2
+  cat "$log" >&2 || true
+  return 1
+}
+
+field() { # <logfile> <label> -> first numeric value of that summary line
+  sed -nE "s/^$2 +([0-9]+).*/\1/p" "$1" | head -n 1
+}
+
+"$BIN" cluster port=0 duration="$DURATION" compress="$COMPRESS" \
+  min_nodes=2 gate=1 >"$OUT/ctl.log" 2>&1 &
+CTL_PID=$!
+PIDS+=("$CTL_PID")
+CTL_PORT=$(wait_port "$OUT/ctl.log" 'control channel on 127\.0\.0\.1:([0-9]+)')
+
+NODE_PIDS=()
+for id in 0 1; do
+  "$BIN" node id="$id" workers=1 port=0 controller_port="$CTL_PORT" \
+    duration="$DURATION" compress="$COMPRESS" >"$OUT/n$id.log" 2>&1 &
+  NODE_PIDS+=("$!")
+  PIDS+=("$!")
+done
+N0_PORT=$(wait_port "$OUT/n0.log" 'listening on 127\.0\.0\.1:([0-9]+)')
+N1_PORT=$(wait_port "$OUT/n1.log" 'listening on 127\.0\.0\.1:([0-9]+)')
+
+# 380 tuples/s mean into a 190/s worker: both nodes must shed to track yd.
+FEED_PIDS=()
+for id in 0 1; do
+  port=$N0_PORT
+  [[ $id == 1 ]] && port=$N1_PORT
+  "$BIN" feed host=127.0.0.1 port="$port" workload=web mean_rate=380 \
+    duration="$DURATION" compress="$COMPRESS" seed=$((42 + id)) \
+    source="$id" >"$OUT/f$id.log" 2>&1 &
+  FEED_PIDS+=("$!")
+  PIDS+=("$!")
+done
+
+FAIL=0
+for p in "${FEED_PIDS[@]}"; do wait "$p" || { echo "feeder exited nonzero" >&2; FAIL=1; }; done
+for p in "${NODE_PIDS[@]}"; do wait "$p" || { echo "node exited nonzero" >&2; FAIL=1; }; done
+CTL_STATUS=0
+wait "$CTL_PID" || CTL_STATUS=$?
+PIDS=()
+
+echo "--- controller ---"; cat "$OUT/ctl.log"
+for id in 0 1; do echo "--- node $id ---"; cat "$OUT/n$id.log"; done
+
+if [[ $CTL_STATUS -ne 0 ]]; then
+  echo "cluster_smoke: controller tracking gate FAILED (exit $CTL_STATUS)" >&2
+  FAIL=1
+fi
+for id in 0 1; do
+  departed=$(field "$OUT/n$id.log" departed)
+  if [[ -z ${departed:-} || $departed -eq 0 ]]; then
+    echo "cluster_smoke: node $id departed nothing" >&2
+    FAIL=1
+  fi
+  if ! grep -qE 'ingress .* 0 rejected, 0 corrupt streams' "$OUT/n$id.log"; then
+    echo "cluster_smoke: node $id saw protocol rejects" >&2
+    FAIL=1
+  fi
+  if ! grep -q 'control            connected' "$OUT/n$id.log"; then
+    echo "cluster_smoke: node $id never joined the controller" >&2
+    FAIL=1
+  fi
+done
+if ! grep -qE 'messages .* 0 rejected, 0 corrupt streams' "$OUT/ctl.log"; then
+  echo "cluster_smoke: controller saw protocol rejects" >&2
+  FAIL=1
+fi
+
+if [[ $FAIL -ne 0 ]]; then
+  echo "cluster_smoke: FAIL" >&2
+  exit 1
+fi
+echo "cluster_smoke: PASS"

@@ -21,6 +21,7 @@
 #include <csignal>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +30,11 @@
 #include <map>
 #include <string>
 
+#include "cluster/controller_runner.h"
+#include "cluster/feeder.h"
+#include "cluster/node_runner.h"
 #include "control/pole_placement.h"
+#include "net/socket_util.h"
 #include "rt/rt_runtime.h"
 #include "runner/experiment.h"
 #include "workload/trace_io.h"
@@ -375,6 +380,209 @@ int CmdTrace(Args args) {
   return 0;
 }
 
+/// Validated integer in [lo, hi] under `key`, or `fallback` when absent.
+long GetInt(Args& args, const std::string& key, long fallback, long lo,
+            long hi) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  const std::string s = it->second;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "%s must be an integer in [%ld, %ld], got '%s'\n",
+                 key.c_str(), lo, hi, s.c_str());
+    std::exit(2);
+  }
+  args.erase(it);
+  return v;
+}
+
+void SetupTelemetry(Args& args, ExperimentConfig* cfg) {
+  cfg->telemetry.dir = GetString(args, "telemetry_dir", "");
+  cfg->telemetry.server_port = GetPort(args);
+  if (cfg->telemetry.server_port >= 0) {
+    cfg->telemetry.on_server_start = [](int port) {
+      std::printf("telemetry server   http://127.0.0.1:%d/ "
+                  "(/metrics /status /timeline)\n", port);
+      std::fflush(stdout);
+    };
+  }
+}
+
+int CmdNode(Args args) {
+  ClusterNodeConfig cfg;
+  cfg.node_id = static_cast<uint32_t>(GetInt(args, "id", 0, 0, 1 << 20));
+  cfg.workers = GetWorkers(args);
+  cfg.ingress_port = static_cast<int>(GetInt(args, "port", 0, 0, 65535));
+  cfg.controller_host = GetString(args, "controller_host", "127.0.0.1");
+  cfg.controller_port =
+      static_cast<int>(GetInt(args, "controller_port", 0, 0, 65535));
+  cfg.base.duration = GetDouble(args, "duration", 60.0);
+  cfg.base.period = GetDouble(args, "T", 1.0);
+  cfg.base.target_delay = GetDouble(args, "yd", 2.0);
+  cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
+  cfg.base.headroom_est = GetDouble(args, "H", 0.97);
+  cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
+  cfg.base.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
+  cfg.time_compression = GetDouble(args, "compress", 20.0);
+  cfg.ring_capacity = static_cast<size_t>(GetDouble(args, "ring", 4096.0));
+  cfg.batch = static_cast<size_t>(GetInt(args, "batch", 1, 1, 4096));
+  cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
+                      ? RtCostMode::kBusySpin
+                      : RtCostMode::kSleep;
+  SetupTelemetry(args, &cfg.base);
+  RejectLeftovers(args);
+
+  InstallShutdownHandler();
+  cfg.stop = &g_stop;
+  cfg.on_ready = [&cfg](int port) {
+    std::printf("node %u: ingress listening on 127.0.0.1:%d (%d workers)\n",
+                cfg.node_id, port, cfg.workers);
+    std::fflush(stdout);
+  };
+
+  ClusterNodeResult r = RunClusterNode(cfg);
+  if (r.interrupted) std::printf("interrupted — partial run\n");
+  std::printf("offered            %llu\n",
+              static_cast<unsigned long long>(r.offered));
+  std::printf("entry shed         %llu (alpha %.3f at end)\n",
+              static_cast<unsigned long long>(r.entry_shed), r.final_alpha);
+  std::printf("ring drops         %llu\n",
+              static_cast<unsigned long long>(r.ring_dropped));
+  std::printf("departed           %llu\n",
+              static_cast<unsigned long long>(r.departed));
+  std::printf("ingress            %llu connections, %llu frames, "
+              "%llu rejected, %llu corrupt streams\n",
+              static_cast<unsigned long long>(r.ingress_connections),
+              static_cast<unsigned long long>(r.ingress_frames),
+              static_cast<unsigned long long>(r.ingress_rejected),
+              static_cast<unsigned long long>(r.corrupt_streams));
+  std::printf("control            %s, %llu reports sent, %llu actuations "
+              "applied, %llu rejected\n",
+              r.controller_connected ? "connected" : "standalone",
+              static_cast<unsigned long long>(r.reports_sent),
+              static_cast<unsigned long long>(r.actuations_applied),
+              static_cast<unsigned long long>(r.control_rejected));
+  std::printf("wall time          %.2f s\n", r.wall_seconds);
+  return 0;
+}
+
+int CmdCluster(Args args) {
+  ClusterControllerConfig cfg;
+  cfg.port = static_cast<int>(GetInt(args, "port", 0, 0, 65535));
+  cfg.base.duration = GetDouble(args, "duration", 60.0);
+  cfg.base.period = GetDouble(args, "T", 1.0);
+  cfg.base.target_delay = GetDouble(args, "yd", 2.0);
+  cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
+  cfg.base.headroom_est = GetDouble(args, "H", 0.97);
+  cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
+  const double poles = GetDouble(args, "poles", 0.7);
+  cfg.base.gains = DesignPolePlacement(poles, poles);
+  cfg.stale_periods =
+      static_cast<int>(GetInt(args, "stale_periods", 3, 1, 1000));
+  cfg.min_nodes = static_cast<int>(GetInt(args, "min_nodes", 0, 0, 1024));
+  cfg.time_compression = GetDouble(args, "compress", 20.0);
+  const bool gate = GetDouble(args, "gate", 0.0) != 0.0;
+  const std::string trace_out = GetString(args, "trace_out", "");
+  SetupTelemetry(args, &cfg.base);
+  RejectLeftovers(args);
+
+  InstallShutdownHandler();
+  cfg.stop = &g_stop;
+  cfg.on_ready = [](int port) {
+    std::printf("cluster controller: control channel on 127.0.0.1:%d\n", port);
+    std::fflush(stdout);
+  };
+
+  ClusterControllerResult r = RunClusterController(cfg);
+  if (r.interrupted) std::printf("interrupted — partial run\n");
+  std::printf("nodes              %d seen (%d workers total), %d active at "
+              "end\n",
+              r.nodes_seen, r.total_workers, r.final_active);
+  std::printf("ticks              %d (%d idle)\n", r.ticks, r.idle_ticks);
+  std::printf("messages           %llu hellos, %llu reports, %llu acks, "
+              "%llu rejected, %llu corrupt streams\n",
+              static_cast<unsigned long long>(r.hellos),
+              static_cast<unsigned long long>(r.reports),
+              static_cast<unsigned long long>(r.acks),
+              static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(r.corrupt_streams));
+  std::printf("wall time          %.2f s\n", r.wall_seconds);
+  const int wret = WriteRecorder(r.recorder, trace_out);
+  if (!gate) return wret;
+
+  // The rt_soak tracking gate on the aggregate plant: over the overloaded
+  // periods (fin at or above the cluster's total capacity) the converged
+  // delay estimate must sit within +/-20% of the setpoint; a run that
+  // never overloaded must keep the estimate at or below the setpoint band.
+  const double yd = cfg.base.target_delay;
+  const double agg_capacity =
+      static_cast<double>(r.total_workers) * cfg.base.capacity_rate;
+  const int kConvergedAfter = 4;
+  double sum = 0.0, sum_all = 0.0;
+  int n = 0, n_all = 0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.k <= kConvergedAfter) continue;
+    sum_all += row.m.y_hat;
+    ++n_all;
+    if (row.m.fin < agg_capacity) continue;
+    sum += row.m.y_hat;
+    ++n;
+  }
+  const double mean_yhat = n > 0 ? sum / n : 0.0;
+  const double rel_err = yd > 0.0 ? std::abs(mean_yhat - yd) / yd : 0.0;
+  const double mean_all = n_all > 0 ? sum_all / n_all : 0.0;
+  bool pass;
+  if (n >= 8) {
+    pass = rel_err <= 0.20;
+    std::printf("%s: converged mean y %.3f s vs setpoint %.3f s "
+                "(error %.1f%%, %d overloaded periods)\n",
+                pass ? "PASS" : "FAIL", mean_yhat, yd, 100.0 * rel_err, n);
+  } else {
+    pass = n_all >= 8 && mean_all <= 1.2 * yd;
+    std::printf("%s: aggregate never overloaded (%d overloaded periods); "
+                "mean y %.3f s stays at or below the setpoint band\n",
+                pass ? "PASS" : "FAIL", n, mean_all);
+  }
+  return (pass && wret == 0) ? 0 : 1;
+}
+
+int CmdFeed(Args args) {
+  ClusterFeedConfig cfg;
+  cfg.host = GetString(args, "host", "127.0.0.1");
+  cfg.port = static_cast<int>(GetInt(args, "port", 0, 1, 65535));
+  cfg.source_id = static_cast<uint32_t>(GetInt(args, "source", 0, 0, 1 << 20));
+  cfg.sources = static_cast<int>(GetInt(args, "sources", 1, 1, 64));
+  cfg.rate_scale = GetDouble(args, "scale", 1.0);
+  cfg.base.workload = ParseWorkload(GetString(args, "workload", "web"));
+  cfg.base.duration = GetDouble(args, "duration", 60.0);
+  cfg.base.constant_rate = GetDouble(args, "rate", 150.0);
+  cfg.base.pareto.beta = GetDouble(args, "beta", 1.0);
+  if (args.count("mean_rate") != 0) {
+    cfg.base.web.mean_rate = GetDouble(args, "mean_rate", 0.0);
+  }
+  cfg.base.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
+  cfg.time_compression = GetDouble(args, "compress", 20.0);
+  RejectLeftovers(args);
+
+  InstallShutdownHandler();
+  cfg.stop = &g_stop;
+
+  ClusterFeedResult r = RunClusterFeeder(cfg);
+  if (!r.connected) {
+    std::fprintf(stderr, "feed: cannot reach %s:%d\n", cfg.host.c_str(),
+                 cfg.port);
+    return 1;
+  }
+  if (r.interrupted) std::printf("interrupted — partial feed\n");
+  std::printf("sent %llu tuples in %llu frames over %.2f wall s\n",
+              static_cast<unsigned long long>(r.tuples_sent),
+              static_cast<unsigned long long>(r.frames_sent), r.wall_seconds);
+  return 0;
+}
+
 int CmdDesign(Args args) {
   const double p = GetDouble(args, "poles", 0.7);
   const double a = GetDouble(args, "a", -0.8);
@@ -426,12 +634,41 @@ void PrintHelp() {
       "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
       "                  [beta=1.0] [seed=42]            (trace to stdout)\n"
       "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
+      "\n"
+      "  ctrlshed cluster [port=0] [duration=60] [T=1] [yd=2] [H=0.97]\n"
+      "                  [capacity=190] [poles=0.7] [stale_periods=3]\n"
+      "                  [min_nodes=0] [compress=20] [gate=0|1]\n"
+      "                  [trace_out=FILE] [telemetry_dir=DIR]\n"
+      "                  [telemetry_port=N]\n"
+      "                  (cluster controller: nodes connect to `port`,\n"
+      "                  their stats aggregate into one plant, v(k) fans\n"
+      "                  back out; gate=1 exits nonzero unless the\n"
+      "                  converged delay tracks the setpoint within 20%%)\n"
+      "  ctrlshed node   [id=0] [workers=1] [port=0]\n"
+      "                  [controller_host=127.0.0.1] [controller_port=P]\n"
+      "                  [duration=60] [T=1] [yd=2] [H=0.97] [H_true=0.97]\n"
+      "                  [capacity=190] [compress=20] [ring=4096]\n"
+      "                  [batch=1] [busy_spin=0|1] [seed=42]\n"
+      "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
+      "                  (cluster member: serves tuple ingress on `port`,\n"
+      "                  reports per-period stats upstream, applies the\n"
+      "                  controller's v(k) slice to its entry shedders;\n"
+      "                  keeps shedding locally if the controller is gone)\n"
+      "  ctrlshed feed   host=H port=P [source=0] [sources=1] [scale=1]\n"
+      "                  [workload=web|...] [mean_rate=R] [rate=150]\n"
+      "                  [duration=60] [compress=20] [seed=42]\n"
+      "                  (replays the workload trace into a node's tuple\n"
+      "                  ingress; scale multiplies the offered rate)\n"
       "  ctrlshed help\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Process-wide: a peer that closes its socket mid-write must surface as
+  // an EPIPE error code, never as a fatal signal (cluster roles write to
+  // sockets from several threads).
+  IgnoreSigPipe();
   if (argc < 2 || std::strcmp(argv[1], "help") == 0) {
     PrintHelp();
     return argc < 2 ? 2 : 0;
@@ -439,6 +676,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "run") return CmdRun(ParseArgs(argc, argv, 2));
   if (cmd == "rt") return CmdRt(ParseArgs(argc, argv, 2));
+  if (cmd == "node") return CmdNode(ParseArgs(argc, argv, 2));
+  if (cmd == "cluster") return CmdCluster(ParseArgs(argc, argv, 2));
+  if (cmd == "feed") return CmdFeed(ParseArgs(argc, argv, 2));
   if (cmd == "trace") return CmdTrace(ParseArgs(argc, argv, 2));
   if (cmd == "design") return CmdDesign(ParseArgs(argc, argv, 2));
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
