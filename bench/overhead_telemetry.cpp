@@ -11,12 +11,19 @@
 // widens the intervals.
 //
 //   overhead_telemetry [duration=40] [compress=20] [rate=380] [reps=2]
-//                      [out=out/overhead_telemetry]
+//                      [out=out/overhead_telemetry] [cluster=1]
 //
 // Emits BENCH_telemetry.json (per-config pump stats and percent deltas
 // vs. telemetry-off). Exit 0 iff the server-attached mean pump interval
 // stays within 5% of telemetry-off (each config keeps its best of
 // `reps` repetitions, so one scheduler hiccup does not fail the gate).
+//
+// The cluster cell (cluster=0 skips it) runs a controller plus two local
+// nodes and two feeders in-process, twice: metrics-snapshot piggybacking
+// on vs off, both with full node telemetry. The gate is the same probe
+// one level up — the nodes' merged pump-interval mean with piggybacking
+// must stay within 5% of the piggyback-off run. Emits
+// BENCH_fleet_telemetry.json.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -28,10 +35,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
+#include "cluster/controller_runner.h"
+#include "cluster/feeder.h"
+#include "cluster/node_runner.h"
 #include "rt/rt_runtime.h"
 
 using namespace ctrlshed;
@@ -212,6 +224,163 @@ void WriteJson(const RunStats (&best)[3], double delta_file,
   std::fclose(f);
 }
 
+// --- Cluster cell -----------------------------------------------------------
+
+struct FleetStats {
+  double mean = 0.0;  // seconds, merged over both nodes' workers
+  double p95 = 0.0;
+  uint64_t pumps = 0;
+  uint64_t reports = 0;
+};
+
+/// One in-process fleet: controller + two single-worker nodes + one web
+/// feeder per node at ~2x capacity, all on threads over loopback TCP.
+/// Both cells run with full node telemetry (registry + trace); the only
+/// difference is whether each kStatsReport carries a metrics snapshot.
+FleetStats RunFleetOnce(bool piggyback, double duration, double compress,
+                        const std::string& out_dir) {
+  ExperimentConfig control;
+  control.method = Method::kCtrl;
+  control.duration = duration;
+  control.period = 1.0;
+  control.target_delay = 2.0;
+
+  std::promise<int> ctl_port_promise;
+  auto ctl_port_future = ctl_port_promise.get_future();
+  ClusterControllerResult ctl_result;
+  std::thread ctl_thread([&] {
+    ClusterControllerConfig cfg;
+    cfg.base = control;
+    cfg.base.telemetry.dir = out_dir + "/ctl";
+    cfg.port = 0;
+    cfg.min_nodes = 2;
+    cfg.time_compression = compress;
+    cfg.on_ready = [&ctl_port_promise](int port) {
+      ctl_port_promise.set_value(port);
+    };
+    ctl_result = RunClusterController(cfg);
+  });
+  const int ctl_port = ctl_port_future.get();
+
+  std::promise<int> node_port_promise[2];
+  ClusterNodeResult node_result[2];
+  std::vector<std::thread> node_threads;
+  for (uint32_t id = 0; id < 2; ++id) {
+    node_threads.emplace_back([&, id] {
+      ClusterNodeConfig cfg;
+      cfg.base = control;
+      cfg.base.telemetry.dir =
+          out_dir + "/node" + std::to_string(id);
+      cfg.node_id = id;
+      cfg.workers = 1;
+      cfg.ingress_port = 0;
+      cfg.controller_port = ctl_port;
+      cfg.time_compression = compress;
+      cfg.piggyback_metrics = piggyback;
+      cfg.on_ready = [&, id](int port) {
+        node_port_promise[id].set_value(port);
+      };
+      node_result[id] = RunClusterNode(cfg);
+    });
+  }
+  const int ingress[2] = {node_port_promise[0].get_future().get(),
+                          node_port_promise[1].get_future().get()};
+
+  std::vector<std::thread> feed_threads;
+  for (int i = 0; i < 2; ++i) {
+    feed_threads.emplace_back([&, i] {
+      ClusterFeedConfig cfg;
+      cfg.base = control;
+      cfg.base.workload = WorkloadKind::kWeb;
+      cfg.base.web.mean_rate = 380.0;
+      cfg.base.seed = 42 + static_cast<uint64_t>(i);
+      cfg.port = ingress[i];
+      cfg.source_id = static_cast<uint32_t>(i);
+      cfg.time_compression = compress;
+      (void)RunClusterFeeder(cfg);
+    });
+  }
+
+  for (auto& t : feed_threads) t.join();
+  for (auto& t : node_threads) t.join();
+  ctl_thread.join();
+
+  LatencyHistogram merged{1e-6, 1e3, 1.08};
+  FleetStats s;
+  for (int i = 0; i < 2; ++i) {
+    merged.Merge(node_result[i].pump_intervals);
+    s.reports += node_result[i].reports_sent;
+  }
+  s.mean = merged.Mean();
+  s.p95 = merged.Quantile(0.95);
+  s.pumps = merged.count();
+  return s;
+}
+
+void WriteFleetJson(const FleetStats& off, const FleetStats& on,
+                    double delta, bool pass) {
+  FILE* f = std::fopen("BENCH_fleet_telemetry.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_fleet_telemetry.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"overhead_telemetry/fleet\",\n");
+  std::fprintf(f, "  \"metric\": \"node_pump_interval_seconds\",\n");
+  std::fprintf(f, "  \"configs\": {\n");
+  const FleetStats* cells[] = {&off, &on};
+  const char* names[] = {"piggyback_off", "piggyback_on"};
+  for (int i = 0; i < 2; ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"mean\": %.9g, \"p95\": %.9g, "
+                 "\"pumps\": %llu, \"reports\": %llu}%s\n",
+                 names[i], cells[i]->mean, cells[i]->p95,
+                 static_cast<unsigned long long>(cells[i]->pumps),
+                 static_cast<unsigned long long>(cells[i]->reports),
+                 i == 0 ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"mean_delta_pct\": %.3f,\n", delta);
+  std::fprintf(f,
+               "  \"gate\": \"piggyback-on node pump mean within 5%% of "
+               "piggyback-off\",\n");
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+}
+
+/// Runs both fleet cells (best of `reps`) and gates the piggybacking
+/// overhead. Returns true iff the gate holds.
+bool RunClusterCell(double duration, double compress, int reps,
+                    const std::string& out) {
+  std::printf("\ncluster cell: controller + 2 nodes + 2 feeders, "
+              "snapshot piggybacking off vs on\n");
+  FleetStats best[2];
+  for (int cell = 0; cell < 2; ++cell) {
+    const bool piggyback = cell == 1;
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::string dir = out + "/fleet_" +
+                              (piggyback ? "on" : "off") + "_rep" +
+                              std::to_string(rep);
+      const FleetStats s = RunFleetOnce(piggyback, duration, compress, dir);
+      if (rep == 0 || s.mean < best[cell].mean) best[cell] = s;
+    }
+    std::printf("piggyback %-3s node pump mean/p95 %8.1f / %8.1f us  "
+                "(%llu pumps, %llu reports)\n",
+                piggyback ? "on" : "off", best[cell].mean * 1e6,
+                best[cell].p95 * 1e6,
+                static_cast<unsigned long long>(best[cell].pumps),
+                static_cast<unsigned long long>(best[cell].reports));
+  }
+  const double delta =
+      100.0 * (best[1].mean - best[0].mean) / best[0].mean;
+  const bool pass = delta <= 5.0;
+  std::printf("node pump mean delta with piggybacking: %+.2f%%\n", delta);
+  WriteFleetJson(best[0], best[1], delta, pass);
+  std::printf("%s: piggybacking pump overhead %s 5%% "
+              "(BENCH_fleet_telemetry.json written)\n",
+              pass ? "PASS" : "FAIL", pass ? "within" : "exceeds");
+  return pass;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,5 +436,10 @@ int main(int argc, char** argv) {
   std::printf("%s: server-attached pump overhead %s 5%% of telemetry-off "
               "(BENCH_telemetry.json written)\n",
               pass ? "PASS" : "FAIL", pass ? "within" : "exceeds");
-  return pass ? 0 : 1;
+
+  bool fleet_pass = true;
+  if (Arg(argc, argv, "cluster", 1.0) != 0.0) {
+    fleet_pass = RunClusterCell(duration, compress, reps, out);
+  }
+  return pass && fleet_pass ? 0 : 1;
 }

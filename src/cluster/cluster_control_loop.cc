@@ -20,6 +20,9 @@ void ClusterControlLoop::OnHello(const NodeHello& h, SimTime recv_now) {
 
 void ClusterControlLoop::OnReport(const NodeStatsReport& r, SimTime recv_now) {
   monitor_.OnReport(r, recv_now);
+  if (metrics_sink_ != nullptr && r.has_metrics) {
+    FoldMetricsSnapshot(r.node_id, r.metrics, metrics_sink_);
+  }
 }
 
 void ClusterControlLoop::OnAck(const ActuationAck& a) {

@@ -55,6 +55,13 @@ class ClusterControlLoop {
   /// Emits each finalized period row (telemetry timeline hook).
   void SetRecordCallback(RecordCallback cb) { on_record_ = std::move(cb); }
 
+  /// Federation sink: when set, every report carrying a piggybacked
+  /// metrics snapshot is folded into this registry under node="<id>"
+  /// labels (see FoldMetricsSnapshot). Observability only — the snapshot
+  /// never reaches the monitor or the control law, which is what keeps
+  /// the one-node zero-delay cluster byte-identical to the local loop.
+  void SetMetricsSink(MetricsRegistry* sink) { metrics_sink_ = sink; }
+
   void OnHello(const NodeHello& h, SimTime recv_now);
   void OnReport(const NodeStatsReport& r, SimTime recv_now);
   void OnAck(const ActuationAck& a);
@@ -76,6 +83,9 @@ class ClusterControlLoop {
   int ticks() const { return ticks_; }
   /// Ticks skipped because no node was active.
   int idle_ticks() const { return idle_ticks_; }
+  /// Seq of the most recent non-idle tick (0 before the first) — the
+  /// period id stamped on actuations and echoed back in report ctrl_seq.
+  uint32_t seq() const { return seq_; }
 
  private:
   struct PendingPeriod {
@@ -99,6 +109,7 @@ class ClusterControlLoop {
   Recorder recorder_;
   RecordCallback on_record_;
 
+  MetricsRegistry* metrics_sink_ = nullptr;
   double yd_;
   uint32_t seq_ = 0;
   int ticks_ = 0;

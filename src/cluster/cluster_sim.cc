@@ -133,6 +133,9 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
   loop_opts.ctrl.feedback = base.ctrl_feedback;
   loop_opts.ctrl.anti_windup = base.anti_windup;
   ClusterControlLoop ctl(loop_opts);
+  if (config.fleet_metrics != nullptr) {
+    ctl.SetMetricsSink(config.fleet_metrics);
+  }
 
   // --- Modeled network ---------------------------------------------------
   // Zero delay = a direct call, so a message sent at a period boundary is
@@ -212,7 +215,19 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
         s.delay_count = shard.delay_count;
         samples.push_back(s);
       }
-      const NodeStatsReport report = node->agent->Tick(samples);
+      NodeStatsReport report = node->agent->Tick(samples);
+      if (config.piggyback_metrics) {
+        // The sim nodes have no registry; the snapshot mirrors the same
+        // cumulative counters a socket node's registry carries. Attaching
+        // it must not perturb the plant: the controller folds it into a
+        // metrics sink (when one is set) and nothing else.
+        report.has_metrics = true;
+        report.metrics.counters = {
+            {"rt.offered", report.offered_total},
+            {"rt.entry_shed", report.entry_shed_total},
+            {"rt.departed", report.departed_total}};
+        report.metrics.gauges = {{"rt.alpha", report.alpha}};
+      }
       deliver(config.report_delay,
               [&ctl, &sim, report]() { ctl.OnReport(report, sim.now()); });
       return true;

@@ -7,6 +7,7 @@
 #include "metrics/qos_metrics.h"
 #include "metrics/recorder.h"
 #include "runner/experiment.h"
+#include "telemetry/metrics_registry.h"
 
 namespace ctrlshed {
 
@@ -41,6 +42,17 @@ struct ClusterSimConfig {
 
   /// Stale-node policy M: excluded after missing this many periods.
   int stale_periods = 3;
+
+  /// Piggyback a metrics snapshot (built from each node's cumulative
+  /// counters) on every report, as the socket nodes do. On by default to
+  /// prove the sim's EXPECT_EQ identity with the single-process loop
+  /// survives federation: the snapshot never touches the plant math.
+  bool piggyback_metrics = true;
+
+  /// Optional federation sink: when set, piggybacked snapshots are folded
+  /// here under node="<id>" labels, so tests can assert on the controller
+  /// registry the socket runner would expose on /metrics. Not owned.
+  MetricsRegistry* fleet_metrics = nullptr;
 
   /// When > 0, node `kill_node_id` stops ticking/reporting (and its
   /// producers' tuples vanish) at this trace time — the deterministic

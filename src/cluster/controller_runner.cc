@@ -16,6 +16,7 @@
 #include "net/socket_util.h"
 #include "rt/rt_clock.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/tracer.h"
 
 namespace ctrlshed {
 
@@ -74,6 +75,9 @@ ClusterControllerResult RunClusterController(
     ctl.SetRecordCallback([&telemetry](const PeriodRecord& row) {
       telemetry->PublishTimelineRow(row);
     });
+    // Federate piggybacked node snapshots into this registry: one scrape
+    // of the controller's /metrics then covers the whole fleet.
+    ctl.SetMetricsSink(telemetry->metrics());
   }
 
   // loop_mu serializes the two threads that touch ctl and the node/conn
@@ -90,9 +94,10 @@ ClusterControllerResult RunClusterController(
   // through loop_mu would close a lock-order cycle.
   std::mutex status_mu;
   std::string status_json;
+  std::string fleet_json = "{\"nodes\":[]}";
   // Requires loop_mu held (reads ctl); safe before the threads start too.
-  const auto refresh_status = [&ctl, &clock, &base, &status_mu,
-                               &status_json] {
+  const auto refresh_status = [&ctl, &clock, &base, &status_mu, &status_json,
+                               &fleet_json] {
     const SimTime now = clock.Now();
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -102,6 +107,9 @@ ClusterControllerResult RunClusterController(
                   base.period, ctl.target_delay(), ctl.monitor().known_count(),
                   ctl.monitor().active_count());
     std::string json(buf);
+    std::string fleet("{\"nodes\":[");
+    const std::vector<uint32_t>& active_ids = ctl.monitor().active_ids();
+    const std::vector<double>& queues = ctl.monitor().node_queues();
     bool first = true;
     for (const auto& n : ctl.monitor().nodes()) {
       std::snprintf(buf, sizeof(buf),
@@ -111,11 +119,36 @@ ClusterControllerResult RunClusterController(
                     n.active ? "true" : "false",
                     n.ever_reported ? now - n.last_seen : -1.0, n.alpha);
       json += buf;
+      // The fleet view adds the plant decomposition the dashboard panel
+      // plots: last sampled queue, cumulative loss, last report seq.
+      double queue = 0.0;
+      for (size_t i = 0; i < active_ids.size() && i < queues.size(); ++i) {
+        if (active_ids[i] == n.id) queue = queues[i];
+      }
+      const uint64_t lost = n.entry_shed_total + n.ring_dropped_total;
+      const double loss = n.offered_total > 0
+                              ? static_cast<double>(lost) /
+                                    static_cast<double>(n.offered_total)
+                              : 0.0;
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"id\":%u,\"workers\":%u,\"fresh\":%s,"
+          "\"last_report_age_s\":%.3f,\"queue\":%.3f,\"alpha\":%.4f,"
+          "\"offered\":%llu,\"shed\":%llu,\"loss\":%.4f,\"last_seq\":%u}",
+          first ? "" : ",", n.id, n.workers, n.active ? "true" : "false",
+          n.ever_reported ? now - n.last_seen : -1.0, queue, n.alpha,
+          static_cast<unsigned long long>(n.offered_total),
+          static_cast<unsigned long long>(lost), loss, n.last_seq);
+      fleet += buf;
       first = false;
     }
     json += "]}}";
+    std::snprintf(buf, sizeof(buf), "],\"period\":%g,\"target_delay\":%g}",
+                  base.period, ctl.target_delay());
+    fleet += buf;
     std::lock_guard<std::mutex> lock(status_mu);
     status_json = std::move(json);
+    fleet_json = std::move(fleet);
   };
 
   ClusterControllerResult result;
@@ -124,7 +157,15 @@ ClusterControllerResult RunClusterController(
   sopts.port = config.port;
   sopts.bind_address = config.bind_address;
   FrameServer server(sopts);
+  // The serve thread owns its own trace buffer, registered lazily on the
+  // first frame (registration must happen on the owning thread).
+  TraceBuffer* serve_buf = nullptr;
+  bool serve_buf_init = false;
   server.OnFrame([&](uint64_t conn_id, const Frame& f) {
+    if (!serve_buf_init) {
+      serve_buf_init = true;
+      if (telemetry) serve_buf = telemetry->RegisterThread("ctl.serve");
+    }
     std::lock_guard<std::mutex> lock(loop_mu);
     switch (f.type) {
       case FrameType::kHello: {
@@ -134,12 +175,28 @@ ClusterControllerResult RunClusterController(
         conn_node[conn_id] = h.node_id;
         node_conn[h.node_id] = conn_id;
         ++result.hellos;
+        // Close the clock-sync round trip: echo the node's trace clock
+        // next to ours so the node can place itself on our timebase.
+        HelloAck ha;
+        ha.node_id = h.node_id;
+        ha.echo_t0_us = h.trace_clock_us;
+        ha.ctrl_clock_us =
+            (telemetry && telemetry->tracer() != nullptr)
+                ? static_cast<uint64_t>(telemetry->tracer()->NowUs())
+                : 0;
+        server.Send(conn_id, EncodeHelloAckFrame(ha));
         refresh_status();
         return;
       }
       case FrameType::kStatsReport: {
         NodeStatsReport r;
         if (!DecodeStatsReport(f.payload, &r)) break;
+        ScopedSpan span(serve_buf, "cluster.on_report");
+        // ctrl_seq echoes the last actuation the node applied — the
+        // cross-process correlation id (0 = none yet, don't stamp).
+        if (r.ctrl_seq > 0) {
+          span.SetArg("period", static_cast<int64_t>(r.ctrl_seq));
+        }
         ctl.OnReport(r, clock.Now());
         ++result.reports;
         refresh_status();
@@ -148,6 +205,8 @@ ClusterControllerResult RunClusterController(
       case FrameType::kAck: {
         ActuationAck a;
         if (!DecodeAck(f.payload, &a)) break;
+        ScopedSpan span(serve_buf, "cluster.on_ack");
+        if (a.seq > 0) span.SetArg("period", static_cast<int64_t>(a.seq));
         ctl.OnAck(a);
         ++result.acks;
         return;
@@ -178,6 +237,15 @@ ClusterControllerResult RunClusterController(
       std::lock_guard<std::mutex> lock(status_mu);
       return status_json;
     });
+    if (telemetry->server() != nullptr) {
+      // Same leaf-mutex discipline as the status source: the server must
+      // never pull /fleet through loop_mu (lock-order cycle with the
+      // record callback publishing into the server's own lock).
+      telemetry->server()->SetFleetCallback([&status_mu, &fleet_json] {
+        std::lock_guard<std::mutex> lock(status_mu);
+        return fleet_json;
+      });
+    }
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -204,18 +272,28 @@ ClusterControllerResult RunClusterController(
   }
 
   // --- Period loop --------------------------------------------------------
+  TraceBuffer* period_buf =
+      telemetry ? telemetry->RegisterThread("ctl.period") : nullptr;
   for (int64_t k = 1;; ++k) {
     const SimTime boundary = static_cast<double>(k) * base.period;
     if (boundary > base.duration) break;
     SleepUntilWall(clock.WallDeadline(boundary), config.stop);
     if (StopRequested(config.stop)) break;
+    ScopedSpan span(period_buf, "cluster.tick");
     std::vector<NodeCommand> commands;
+    uint32_t tick_seq = 0;
     {
       std::lock_guard<std::mutex> lock(loop_mu);
       commands = ctl.Tick(clock.Now());
+      // An idle tick assigns no seq; only a commanding tick gets the
+      // period id stamped on its span.
+      if (!commands.empty()) tick_seq = ctl.seq();
       // A tick can age a silent node out of the fold with no frame ever
       // arriving, so freshness changes here too, not just in OnFrame.
       refresh_status();
+    }
+    if (tick_seq > 0) {
+      span.SetArg("period", static_cast<int64_t>(tick_seq));
     }
     for (const NodeCommand& cmd : commands) {
       uint64_t conn_id = 0;

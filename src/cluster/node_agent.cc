@@ -36,6 +36,7 @@ NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
   NodeStatsReport r;
   r.node_id = options_.node_id;
   r.seq = ++seq_;
+  r.ctrl_seq = ctrl_seq_;
   r.deltas = monitor_.last_deltas();
   r.alpha = alpha_;
   for (const RtSample& s : shards) {
@@ -49,6 +50,7 @@ NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
 
 ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
   target_delay_ = a.target_delay;
+  ctrl_seq_ = a.seq;
 
   ActuationAck ack;
   ack.node_id = options_.node_id;

@@ -48,6 +48,9 @@ class NodeAgent {
   const PeriodMeasurement& last_measurement() const { return m_; }
   double last_alpha() const { return alpha_; }
   double target_delay() const { return target_delay_; }
+  /// Controller seq of the last actuation applied (0 before the first);
+  /// also stamped into every report's ctrl_seq for trace correlation.
+  uint32_t last_ctrl_seq() const { return ctrl_seq_; }
   uint32_t node_id() const { return options_.node_id; }
   int workers() const { return monitor_.num_shards(); }
 
@@ -62,6 +65,7 @@ class NodeAgent {
 
   double target_delay_;
   uint32_t seq_ = 0;
+  uint32_t ctrl_seq_ = 0;
   bool has_measurement_ = false;
   PeriodMeasurement m_;
   double alpha_ = 0.0;

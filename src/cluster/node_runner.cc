@@ -18,7 +18,9 @@
 #include "rt/rt_clock.h"
 #include "runner/networks.h"
 #include "shedding/entry_shedder.h"
+#include "telemetry/fleet_metrics.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/tracer.h"
 
 namespace ctrlshed {
 
@@ -152,8 +154,34 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   });
 
   // --- Control channel ----------------------------------------------------
+  // The reader thread owns its own trace buffer, registered lazily on the
+  // first frame (registration must happen on the owning thread).
   FrameClient control;
+  TraceBuffer* ctl_buf = nullptr;
+  bool ctl_buf_init = false;
   control.OnFrame([&](const Frame& f) {
+    if (!ctl_buf_init) {
+      ctl_buf_init = true;
+      if (telemetry) ctl_buf = telemetry->RegisterThread("node.control");
+    }
+    if (f.type == FrameType::kHelloAck) {
+      HelloAck ha;
+      if (!DecodeHelloAck(f.payload, &ha)) {
+        ++result.control_rejected;
+        return;
+      }
+      // NTP-style midpoint: the controller's clock read sits halfway
+      // through the hello/ack round trip. offset = controller - node, the
+      // shift trace-merge applies to put this file on the controller's
+      // timebase. Only meaningful when both ends were tracing.
+      if (ctl_buf != nullptr && ha.ctrl_clock_us != 0 && ha.echo_t0_us != 0) {
+        const int64_t t2 = ctl_buf->NowUs();
+        const int64_t mid = (static_cast<int64_t>(ha.echo_t0_us) + t2) / 2;
+        ctl_buf->Instant("clock_sync", "offset_us",
+                         static_cast<int64_t>(ha.ctrl_clock_us) - mid);
+      }
+      return;
+    }
     ClusterActuation act;
     if (f.type != FrameType::kActuation || !DecodeActuation(f.payload, &act)) {
       ++result.control_rejected;
@@ -161,6 +189,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     }
     ActuationAck ack;
     {
+      ScopedSpan span(ctl_buf, "cluster.apply", "period",
+                      static_cast<int64_t>(act.seq));
       std::lock_guard<std::mutex> lock(plant_mu);
       ack = agent.Apply(act);
     }
@@ -178,7 +208,14 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
         control.Connect(config.controller_host, config.controller_port,
                         config.connect_timeout_wall);
     if (result.controller_connected) {
-      control.Send(EncodeHelloFrame(agent.Hello()));
+      NodeHello hello = agent.Hello();
+      // Stamp the node's trace clock so the controller's HelloAck can
+      // close the offset estimate; 0 (= not tracing) suppresses the sync.
+      if (telemetry && telemetry->tracer() != nullptr) {
+        hello.trace_clock_us =
+            static_cast<uint64_t>(telemetry->tracer()->NowUs());
+      }
+      control.Send(EncodeHelloFrame(hello));
     } else {
       std::fprintf(stderr,
                    "ctrlshed node %u: controller %s:%d unreachable; running "
@@ -193,6 +230,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   // --- Period loop: sample, report ---------------------------------------
   // Runs on this (main) thread: sleep to each period boundary, snapshot
   // every shard at one clock read, tick the agent, ship the report.
+  TraceBuffer* period_buf =
+      telemetry ? telemetry->RegisterThread("node.period") : nullptr;
   std::vector<RtSample> samples;
   samples.reserve(static_cast<size_t>(workers));
   for (int64_t k = 1;; ++k) {
@@ -200,6 +239,7 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     if (boundary > base.duration) break;
     SleepUntilWall(clock.WallDeadline(boundary), config.stop);
     if (StopRequested(config.stop)) break;
+    ScopedSpan span(period_buf, "cluster.report");
     const SimTime now = clock.Now();
     samples.clear();
     for (auto& engine : engines) {
@@ -209,6 +249,16 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     {
       std::lock_guard<std::mutex> lock(plant_mu);
       report = agent.Tick(samples);
+    }
+    // Tag the span with the last controller period seen — the correlation
+    // id trace-merge intersects across processes. 0 means "no actuation
+    // yet", which must not fake an overlap with the controller's seq 0.
+    if (report.ctrl_seq > 0) {
+      span.SetArg("period", static_cast<int64_t>(report.ctrl_seq));
+    }
+    if (config.piggyback_metrics && telemetry) {
+      report.has_metrics = true;
+      report.metrics = FlattenSnapshot(telemetry->metrics()->Snapshot());
     }
     if (control.connected()) {
       if (control.Send(EncodeStatsReportFrame(report))) ++result.reports_sent;
@@ -238,6 +288,7 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     result.shed_lineages +=
         stats->shed_lineages.load(std::memory_order_relaxed);
     result.departed += stats->departed.load(std::memory_order_relaxed);
+    result.pump_intervals.Merge(engine->pump_intervals());
   }
 
   if (telemetry) {

@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "metrics/histogram.h"
 #include "rt/rt_engine.h"
 #include "runner/experiment.h"
 
@@ -40,6 +41,12 @@ struct ClusterNodeConfig {
   double pacing_wall_seconds = 500e-6;
   size_t batch = 1;
 
+  /// Attach a compact metrics snapshot (counters/gauges/histogram
+  /// quantiles) to every stats report so the controller can federate this
+  /// node's registry under node="<id>" labels. Observability only: the
+  /// controller never feeds piggybacked metrics into the control law.
+  bool piggyback_metrics = true;
+
   /// Optional early-stop flag (e.g. a SIGINT handler's).
   const std::atomic<bool>* stop = nullptr;
 
@@ -73,6 +80,10 @@ struct ClusterNodeResult {
   uint64_t actuations_applied = 0;
   /// Malformed control frames (wrong type or failed decode).
   uint64_t control_rejected = 0;
+
+  /// Wall seconds between worker pumps, merged over all shards — the
+  /// fleet-telemetry bench gates piggybacking overhead on its mean.
+  LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
 
   double wall_seconds = 0.0;
   int ingress_port = -1;

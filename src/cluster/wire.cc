@@ -20,6 +20,81 @@ bool AllFinite(std::initializer_list<double> vs) {
   return true;
 }
 
+void PutName(const std::string& name, std::string* out) {
+  PutU32(static_cast<uint32_t>(name.size()), out);
+  out->append(name);
+}
+
+bool ReadName(WireReader* r, std::string* name) {
+  uint32_t len = 0;
+  if (!r->ReadU32(&len)) return false;
+  if (len == 0 || len > kMaxFleetNameBytes) return false;
+  return r->ReadBytes(len, name);
+}
+
+// Piggybacked metrics snapshot section of a stats report: three counted
+// runs of (name, value) entries. Caps and finiteness are enforced here on
+// decode and re-checked whole via ValidMetricsWireSnapshot.
+void PutMetricsSnapshot(const MetricsWireSnapshot& m, std::string* out) {
+  PutU32(static_cast<uint32_t>(m.counters.size()), out);
+  for (const auto& [name, value] : m.counters) {
+    PutName(name, out);
+    PutU64(value, out);
+  }
+  PutU32(static_cast<uint32_t>(m.gauges.size()), out);
+  for (const auto& [name, value] : m.gauges) {
+    PutName(name, out);
+    PutF64(value, out);
+  }
+  PutU32(static_cast<uint32_t>(m.histograms.size()), out);
+  for (const auto& h : m.histograms) {
+    PutName(h.name, out);
+    PutU64(h.stats.count, out);
+    PutF64(h.stats.sum, out);
+    PutF64(h.stats.min, out);
+    PutF64(h.stats.max, out);
+    PutF64(h.stats.p50, out);
+    PutF64(h.stats.p95, out);
+    PutF64(h.stats.p99, out);
+  }
+}
+
+bool ReadMetricsSnapshot(WireReader* r, MetricsWireSnapshot* m) {
+  uint32_t n = 0;
+  if (!r->ReadU32(&n) || n > kMaxFleetEntries) return false;
+  m->counters.clear();
+  m->counters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!ReadName(r, &name) || !r->ReadU64(&value)) return false;
+    m->counters.emplace_back(std::move(name), value);
+  }
+  if (!r->ReadU32(&n) || n > kMaxFleetEntries) return false;
+  m->gauges.clear();
+  m->gauges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    double value = 0.0;
+    if (!ReadName(r, &name) || !r->ReadF64(&value)) return false;
+    m->gauges.emplace_back(std::move(name), value);
+  }
+  if (!r->ReadU32(&n) || n > kMaxFleetEntries) return false;
+  m->histograms.clear();
+  m->histograms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricsWireSnapshot::Hist h;
+    if (!ReadName(r, &h.name) || !r->ReadU64(&h.stats.count) ||
+        !r->ReadF64(&h.stats.sum) || !r->ReadF64(&h.stats.min) ||
+        !r->ReadF64(&h.stats.max) || !r->ReadF64(&h.stats.p50) ||
+        !r->ReadF64(&h.stats.p95) || !r->ReadF64(&h.stats.p99)) {
+      return false;
+    }
+    m->histograms.push_back(std::move(h));
+  }
+  return ValidMetricsWireSnapshot(*m);
+}
+
 }  // namespace
 
 std::string EncodeHelloFrame(const NodeHello& h) {
@@ -29,6 +104,7 @@ std::string EncodeHelloFrame(const NodeHello& h) {
   PutF64(h.headroom, &p);
   PutF64(h.nominal_cost, &p);
   PutF64(h.period, &p);
+  PutU64(h.trace_clock_us, &p);
   return Framed(FrameType::kHello, p);
 }
 
@@ -36,7 +112,8 @@ bool DecodeHello(const std::string& payload, NodeHello* out) {
   WireReader r(payload);
   if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->workers) ||
       !r.ReadF64(&out->headroom) || !r.ReadF64(&out->nominal_cost) ||
-      !r.ReadF64(&out->period) || !r.AtEnd()) {
+      !r.ReadF64(&out->period) || !r.ReadU64(&out->trace_clock_us) ||
+      !r.AtEnd()) {
     return false;
   }
   // A hello that fails these invariants would seed an invalid plant.
@@ -45,10 +122,25 @@ bool DecodeHello(const std::string& payload, NodeHello* out) {
          out->headroom > 0.0 && out->nominal_cost > 0.0 && out->period > 0.0;
 }
 
+std::string EncodeHelloAckFrame(const HelloAck& a) {
+  std::string p;
+  PutU32(a.node_id, &p);
+  PutU64(a.echo_t0_us, &p);
+  PutU64(a.ctrl_clock_us, &p);
+  return Framed(FrameType::kHelloAck, p);
+}
+
+bool DecodeHelloAck(const std::string& payload, HelloAck* out) {
+  WireReader r(payload);
+  return r.ReadU32(&out->node_id) && r.ReadU64(&out->echo_t0_us) &&
+         r.ReadU64(&out->ctrl_clock_us) && r.AtEnd();
+}
+
 std::string EncodeStatsReportFrame(const NodeStatsReport& r) {
   std::string p;
   PutU32(r.node_id, &p);
   PutU32(r.seq, &p);
+  PutU32(r.ctrl_seq, &p);
   PutF64(r.deltas.now, &p);
   PutU64(r.deltas.offered, &p);
   PutU64(r.deltas.admitted, &p);
@@ -62,12 +154,15 @@ std::string EncodeStatsReportFrame(const NodeStatsReport& r) {
   PutU64(r.entry_shed_total, &p);
   PutU64(r.ring_dropped_total, &p);
   PutU64(r.departed_total, &p);
+  PutU32(r.has_metrics ? 1 : 0, &p);
+  if (r.has_metrics) PutMetricsSnapshot(r.metrics, &p);
   return Framed(FrameType::kStatsReport, p);
 }
 
 bool DecodeStatsReport(const std::string& payload, NodeStatsReport* out) {
   WireReader r(payload);
   if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->seq) ||
+      !r.ReadU32(&out->ctrl_seq) ||
       !r.ReadF64(&out->deltas.now) || !r.ReadU64(&out->deltas.offered) ||
       !r.ReadU64(&out->deltas.admitted) ||
       !r.ReadF64(&out->deltas.drained_base_load) ||
@@ -76,9 +171,17 @@ bool DecodeStatsReport(const std::string& payload, NodeStatsReport* out) {
       !r.ReadU64(&out->deltas.delay_count) || !r.ReadF64(&out->alpha) ||
       !r.ReadU64(&out->offered_total) || !r.ReadU64(&out->entry_shed_total) ||
       !r.ReadU64(&out->ring_dropped_total) ||
-      !r.ReadU64(&out->departed_total) || !r.AtEnd()) {
+      !r.ReadU64(&out->departed_total)) {
     return false;
   }
+  uint32_t has_metrics = 0;
+  if (!r.ReadU32(&has_metrics) || has_metrics > 1) return false;
+  out->has_metrics = has_metrics == 1;
+  out->metrics = MetricsWireSnapshot();
+  if (out->has_metrics && !ReadMetricsSnapshot(&r, &out->metrics)) {
+    return false;
+  }
+  if (!r.AtEnd()) return false;
   return AllFinite({out->deltas.now, out->deltas.drained_base_load,
                     out->deltas.busy_seconds, out->deltas.queue,
                     out->deltas.delay_sum, out->alpha}) &&

@@ -21,7 +21,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool KnownType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kTupleBatch) &&
-         t <= static_cast<uint8_t>(FrameType::kAck);
+         t <= static_cast<uint8_t>(FrameType::kHelloAck);
 }
 
 }  // namespace
@@ -71,6 +71,16 @@ bool WireReader::ReadF64(double* v) {
   uint64_t bits = 0;
   if (!ReadU64(&bits)) return false;
   std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::ReadBytes(size_t n, std::string* v) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  v->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
   return true;
 }
 

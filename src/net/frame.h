@@ -19,6 +19,7 @@ enum class FrameType : uint8_t {
   kStatsReport = 3,  ///< node -> controller: one period's counter deltas
   kActuation = 4,    ///< controller -> node: the v(k) command
   kAck = 5,          ///< node -> controller: realized actuation
+  kHelloAck = 6,     ///< controller -> node: hello reply w/ clock exchange
 };
 
 /// Frame header: magic (4B LE) + type (1B) + payload length (4B LE).
@@ -54,6 +55,8 @@ class WireReader {
   bool ReadU32(uint32_t* v);
   bool ReadU64(uint64_t* v);
   bool ReadF64(double* v);
+  /// Reads `n` raw bytes into *v (used for length-prefixed strings).
+  bool ReadBytes(size_t n, std::string* v);
 
   /// True when every byte was consumed — decoders reject trailing garbage.
   bool AtEnd() const { return ok_ && pos_ == size_; }

@@ -1,0 +1,74 @@
+#include "telemetry/fleet_metrics.h"
+
+#include <cmath>
+
+namespace ctrlshed {
+
+namespace {
+
+bool NameOk(const std::string& name) {
+  return !name.empty() && name.size() <= kMaxFleetNameBytes;
+}
+
+}  // namespace
+
+MetricsWireSnapshot FlattenSnapshot(const MetricsSnapshot& snapshot) {
+  MetricsWireSnapshot out;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (out.counters.size() >= kMaxFleetEntries) break;
+    if (!NameOk(name)) continue;
+    out.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (out.gauges.size() >= kMaxFleetEntries) break;
+    if (!NameOk(name) || !std::isfinite(value)) continue;
+    out.gauges.emplace_back(name, value);
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    if (out.histograms.size() >= kMaxFleetEntries) break;
+    if (!NameOk(name)) continue;
+    out.histograms.push_back({name, stats});
+  }
+  return out;
+}
+
+bool ValidMetricsWireSnapshot(const MetricsWireSnapshot& snapshot) {
+  if (snapshot.counters.size() > kMaxFleetEntries ||
+      snapshot.gauges.size() > kMaxFleetEntries ||
+      snapshot.histograms.size() > kMaxFleetEntries) {
+    return false;
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    (void)value;
+    if (!NameOk(name)) return false;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!NameOk(name) || !std::isfinite(value)) return false;
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (!NameOk(h.name)) return false;
+    const auto& s = h.stats;
+    if (!std::isfinite(s.sum) || !std::isfinite(s.min) ||
+        !std::isfinite(s.max) || !std::isfinite(s.p50) ||
+        !std::isfinite(s.p95) || !std::isfinite(s.p99)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FoldMetricsSnapshot(uint32_t node_id, const MetricsWireSnapshot& snapshot,
+                         MetricsRegistry* registry) {
+  const std::string prefix = "node" + std::to_string(node_id) + ".";
+  for (const auto& [name, value] : snapshot.counters) {
+    registry->GetCounter(prefix + name)->Store(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    registry->GetGauge(prefix + name)->Set(value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    registry->SetExternalHistogramStats(prefix + h.name, h.stats);
+  }
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,66 @@
+#ifndef CTRLSHED_TELEMETRY_FLEET_METRICS_H_
+#define CTRLSHED_TELEMETRY_FLEET_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+
+namespace ctrlshed {
+
+/// Metrics federation: every node piggybacks a compact snapshot of its
+/// registry on each kStatsReport, and the controller folds the entries
+/// into its own registry under a "node<id>." name prefix. The Prometheus
+/// exporter then peels that prefix into a `node="<id>"` label, so one
+/// scrape of the controller exposes the whole fleet.
+///
+/// This header is the registry half (flatten + fold); the wire codec for
+/// the snapshot section lives with the rest of the cluster protocol in
+/// cluster/wire.{h,cc} to keep cs_telemetry free of net dependencies.
+
+/// Bounds on one piggybacked snapshot: a hostile or runaway report must
+/// never balloon the controller's registry or the frame size. Flatten
+/// truncates to these caps; decoders reject anything beyond them.
+inline constexpr uint32_t kMaxFleetEntries = 256;     // per section
+inline constexpr uint32_t kMaxFleetNameBytes = 160;   // per metric name
+
+/// A registry snapshot flattened into wire-friendly ordered vectors.
+/// Histograms carry the pre-reduced stats the Prometheus summary needs
+/// (the raw buckets stay on the node).
+struct MetricsWireSnapshot {
+  struct Hist {
+    std::string name;
+    MetricsSnapshot::HistogramStats stats;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Hist> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Flattens a registry snapshot for the wire. Entries beyond
+/// kMaxFleetEntries per section and names longer than kMaxFleetNameBytes
+/// are dropped (registry names are short dotted literals, so the caps are
+/// safety rails, not working limits).
+MetricsWireSnapshot FlattenSnapshot(const MetricsSnapshot& snapshot);
+
+/// Validates decoded wire content: section sizes and name lengths within
+/// the caps above, every double finite. Decoders reject the whole report
+/// on failure (same all-or-nothing policy as the tuple codec).
+bool ValidMetricsWireSnapshot(const MetricsWireSnapshot& snapshot);
+
+/// Folds a node's snapshot into `registry` under the "node<id>." prefix:
+/// counters are Store()d (node values are cumulative — the node is the
+/// single writer of its mirror), gauges Set(), histogram stats installed
+/// as external pre-aggregated summaries.
+void FoldMetricsSnapshot(uint32_t node_id, const MetricsWireSnapshot& snapshot,
+                         MetricsRegistry* registry);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_FLEET_METRICS_H_

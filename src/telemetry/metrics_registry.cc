@@ -41,11 +41,20 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+void MetricsRegistry::SetExternalHistogramStats(
+    const std::string& name, const MetricsSnapshot::HistogramStats& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  external_histograms_[name] = s;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, s] : external_histograms_) {
+    snap.histograms[name] = s;
+  }
   for (const auto& [name, h] : histograms_) {
     const LatencyHistogram hist = h->Snapshot();
     MetricsSnapshot::HistogramStats s;
@@ -98,6 +107,24 @@ void MetricsRegistry::WriteJsonLine(double t_seconds, std::ostream& out) const {
     WriteDouble(out, snap.Quantile(0.95));
     out << ",\"p99\":";
     WriteDouble(out, snap.Quantile(0.99));
+    out << "}";
+  }
+  for (const auto& [name, s] : external_histograms_) {
+    if (histograms_.count(name) > 0) continue;  // local recording wins
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << s.count << ",\"mean\":";
+    WriteDouble(out, s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0);
+    out << ",\"min\":";
+    WriteDouble(out, s.min);
+    out << ",\"max\":";
+    WriteDouble(out, s.max);
+    out << ",\"p50\":";
+    WriteDouble(out, s.p50);
+    out << ",\"p95\":";
+    WriteDouble(out, s.p95);
+    out << ",\"p99\":";
+    WriteDouble(out, s.p99);
     out << "}";
   }
   out << "}}\n";

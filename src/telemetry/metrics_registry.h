@@ -18,6 +18,10 @@ namespace ctrlshed {
 class Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Absolute set — for mirroring a cumulative total maintained elsewhere
+  /// (a federated node counter, the tracer's drop count). Single-writer
+  /// per counter by convention; Add and Store must not be mixed.
+  void Store(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -92,6 +96,14 @@ class MetricsRegistry {
                                 double max_value = 1e3,
                                 double growth = 1.08);
 
+  /// Stores pre-aggregated histogram stats under `name` — for federated
+  /// histograms whose quantiles were computed on another process and
+  /// arrive already reduced (they cannot be Record()ed point by point).
+  /// Merged into Snapshot()/WriteJsonLine next to locally recorded
+  /// histograms; a locally recorded histogram with the same name wins.
+  void SetExternalHistogramStats(const std::string& name,
+                                 const MetricsSnapshot::HistogramStats& s);
+
   /// Copies every metric's current value (any thread).
   MetricsSnapshot Snapshot() const;
 
@@ -106,6 +118,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  std::map<std::string, MetricsSnapshot::HistogramStats>
+      external_histograms_;
 };
 
 }  // namespace ctrlshed

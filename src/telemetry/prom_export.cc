@@ -46,9 +46,41 @@ struct Mapped {
   std::string labels;
 };
 
+Mapped MapName(const std::string& name);
+
+/// "node<id>.<rest>" (a metric federated from cluster node <id>) peels the
+/// node prefix, maps the remainder recursively, and merges `node="<id>"`
+/// in front of whatever labels the inner mapping produced — so
+/// "node0.rt.shard1.queue" becomes rt_shard_queue{node="0",shard="1"}.
+bool MapNodeName(const std::string& name, Mapped* out) {
+  const std::string node_prefix = "node";
+  if (name.rfind(node_prefix, 0) != 0) return false;
+  size_t digits = 0;
+  while (node_prefix.size() + digits < name.size() &&
+         std::isdigit(static_cast<unsigned char>(
+             name[node_prefix.size() + digits]))) {
+    ++digits;
+  }
+  const size_t dot = node_prefix.size() + digits;
+  if (digits == 0 || dot >= name.size() || name[dot] != '.') return false;
+  const std::string id = name.substr(node_prefix.size(), digits);
+  Mapped inner = MapName(name.substr(dot + 1));
+  const std::string label = "node=\"" + EscapeLabelValue(id) + "\"";
+  if (inner.labels.empty()) {
+    inner.labels = "{" + label + "}";
+  } else {
+    inner.labels = "{" + label + "," + inner.labels.substr(1);
+  }
+  *out = std::move(inner);
+  return true;
+}
+
 /// "rt.shard<i>.<leaf>" and "engine.op.<name>.<leaf>" fold into labeled
-/// families; everything else sanitizes whole.
+/// families, "node<id>.<rest>" folds recursively into a node label;
+/// everything else sanitizes whole.
 Mapped MapName(const std::string& name) {
+  Mapped node_mapped;
+  if (MapNodeName(name, &node_mapped)) return node_mapped;
   const std::string shard_prefix = "rt.shard";
   if (name.rfind(shard_prefix, 0) == 0) {
     size_t i = shard_prefix.size();
@@ -132,7 +164,7 @@ void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
       if (m.labels.empty()) {
         labels = std::string("{quantile=\"") + q.q + "\"}";
       } else {
-        // `m.labels` is always of the form {key="value"}; splice the
+        // `m.labels` is always a brace-wrapped label set; splice the
         // quantile in before the closing brace.
         labels = m.labels.substr(0, m.labels.size() - 1) + ",quantile=\"" +
                  q.q + "\"}";

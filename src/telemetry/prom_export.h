@@ -20,6 +20,10 @@ namespace ctrlshed {
 ///    family per shard;
 ///  - per-operator instruments "engine.op.<name>.<leaf>" become
 ///    `engine_op_<leaf>{op="<name>"}`;
+///  - federated node metrics "node<id>.<rest>" map <rest> recursively and
+///    prepend `node="<id>"` to the inner labels, so the controller's one
+///    scrape exposes the whole fleet ("node2.rt.shard0.queue" ->
+///    `rt_shard_queue{node="2",shard="0"}`);
 ///  - histograms render as summaries: `<name>{quantile="0.5|0.95|0.99"}`
 ///    plus `<name>_sum` and `<name>_count`.
 void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out);

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -22,6 +23,75 @@ namespace ctrlshed {
 namespace {
 
 constexpr size_t kMaxRequestBytes = 8192;
+
+/// Token comparison without a data-dependent early exit: the XOR
+/// accumulator touches every byte of the presented token regardless of
+/// where the first mismatch sits, so response timing does not narrow the
+/// search. Only the (public) token length leaks via the length check.
+bool ConstantTimeEquals(const std::string& presented,
+                        const std::string& expected) {
+  unsigned char acc = presented.size() == expected.size() ? 0 : 1;
+  const size_t n = expected.empty() ? 1 : expected.size();
+  for (size_t i = 0; i < presented.size(); ++i) {
+    acc |= static_cast<unsigned char>(presented[i]) ^
+           static_cast<unsigned char>(expected[i % n]);
+  }
+  return acc == 0;
+}
+
+/// Extracts the value of an `Authorization: Bearer <token>` header from
+/// the raw request head (request line + headers, CRLF-separated). Header
+/// names are case-insensitive per RFC 9110.
+std::string BearerToken(const std::string& head) {
+  static constexpr char kKey[] = "authorization:";
+  constexpr size_t kKeyLen = sizeof(kKey) - 1;
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    if (eol - pos > kKeyLen) {
+      bool match = true;
+      for (size_t i = 0; i < kKeyLen; ++i) {
+        if (std::tolower(static_cast<unsigned char>(head[pos + i])) !=
+            kKey[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string v = head.substr(pos + kKeyLen, eol - pos - kKeyLen);
+        const size_t b = v.find_first_not_of(" \t");
+        if (b == std::string::npos) return "";
+        v.erase(0, b);
+        const std::string scheme = "Bearer ";
+        if (v.rfind(scheme, 0) == 0) return v.substr(scheme.size());
+        return "";
+      }
+    }
+    if (eol == head.size()) break;
+    pos = eol + 2;
+  }
+  return "";
+}
+
+/// Extracts `token=<value>` from the request path's query string (the
+/// header-less channel EventSource and the dashboard need).
+std::string QueryToken(const std::string& path) {
+  const size_t q = path.find('?');
+  if (q == std::string::npos) return "";
+  size_t pos = q + 1;
+  while (pos <= path.size()) {
+    size_t amp = path.find('&', pos);
+    if (amp == std::string::npos) amp = path.size();
+    static constexpr char kKey[] = "token=";
+    constexpr size_t kKeyLen = sizeof(kKey) - 1;
+    if (amp - pos > kKeyLen && path.compare(pos, kKeyLen, kKey) == 0) {
+      return path.substr(pos + kKeyLen, amp - pos - kKeyLen);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
 
 double NowWall() {
   return std::chrono::duration<double>(
@@ -68,10 +138,20 @@ constexpr const char kDashboardHtml[] = R"html(<!doctype html>
 <div class="chart"><div class="legend">delay: <span style="color:#6cf">y_hat</span> vs <span style="color:#fc6">yd (setpoint)</span></div><canvas id="c_y" width="900" height="160"></canvas></div>
 <div class="chart"><div class="legend">rates: <span style="color:#6cf">u = v - fout</span>, <span style="color:#fc6">v</span></div><canvas id="c_u" width="900" height="160"></canvas></div>
 <div class="chart"><div class="legend">shedding: <span style="color:#6cf">alpha</span>, <span style="color:#fc6">loss</span></div><canvas id="c_a" width="900" height="160"></canvas></div>
+<div class="chart" id="fleet" style="display:none"><div class="legend">cluster fleet (from /fleet)</div><table id="fleet_t" style="border-collapse:collapse"></table></div>
+<style>
+  #fleet_t td, #fleet_t th { border: 1px solid #333; padding: 2px 8px; text-align: right; }
+  #fleet_t th { color: #999; font-weight: normal; }
+  .fresh { color: #7a7; } .stale { color: #d66; }
+</style>
 <script>
 'use strict';
 const WINDOW = 600;
 const rows = [];
+// On an authenticated bind the token rides the query string — EventSource
+// and plain dashboard links cannot set an Authorization header.
+const TOKEN = new URLSearchParams(location.search).get('token');
+const QS = TOKEN ? ('?token=' + encodeURIComponent(TOKEN)) : '';
 function draw(id, series) {
   const cv = document.getElementById(id), g = cv.getContext('2d');
   g.clearRect(0, 0, cv.width, cv.height);
@@ -109,7 +189,7 @@ function redraw() {
   draw('c_a', [{color: '#6cf', data: col(r => r.alpha)},
                {color: '#fc6', data: col(r => r.loss)}]);
 }
-const es = new EventSource('/timeline');
+const es = new EventSource('/timeline' + QS);
 es.onopen = () => { document.getElementById('stat').textContent = 'live'; };
 es.onerror = () => { document.getElementById('stat').textContent = 'disconnected'; };
 es.onmessage = (ev) => {
@@ -121,6 +201,30 @@ es.onmessage = (ev) => {
       ' q=' + last.q.toFixed(0) + ' alpha=' + last.alpha.toFixed(3);
   redraw();
 };
+async function pollFleet() {
+  let j = null;
+  try {
+    const r = await fetch('/fleet' + QS);
+    if (!r.ok) return;
+    j = await r.json();
+  } catch (e) { return; }
+  const panel = document.getElementById('fleet');
+  if (!j || !j.nodes || !j.nodes.length) { panel.style.display = 'none'; return; }
+  panel.style.display = 'block';
+  let html = '<tr><th>node</th><th>workers</th><th>fresh</th><th>q</th>' +
+             '<th>alpha</th><th>loss</th><th>report age (s)</th></tr>';
+  for (const n of j.nodes) {
+    html += '<tr><td>' + n.id + '</td><td>' + n.workers + '</td>' +
+        '<td class="' + (n.fresh ? 'fresh">yes' : 'stale">no') + '</td>' +
+        '<td>' + (n.queue == null ? '-' : n.queue.toFixed(0)) + '</td>' +
+        '<td>' + n.alpha.toFixed(3) + '</td>' +
+        '<td>' + (n.loss * 100).toFixed(1) + '%</td>' +
+        '<td>' + (n.last_report_age_s < 0 ? 'never' : n.last_report_age_s.toFixed(2)) + '</td></tr>';
+  }
+  document.getElementById('fleet_t').innerHTML = html;
+}
+setInterval(pollFleet, 2000);
+pollFleet();
 </script>
 </body>
 </html>
@@ -154,11 +258,21 @@ void TelemetryServer::Start() {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  in_addr bound{};
+  CS_CHECK_MSG(
+      inet_pton(AF_INET, options_.bind_address.c_str(), &bound) == 1,
+      "telemetry server: bind address is not a valid IPv4 address");
+  // Refuse to expose the server beyond loopback without authentication —
+  // an open /metrics + dashboard on a fleet port is an information leak.
+  const bool loopback = (ntohl(bound.s_addr) >> 24) == 127;
+  CS_CHECK_MSG(loopback || !options_.auth_token.empty(),
+               "telemetry server: non-loopback bind requires an auth token "
+               "(set --telemetry-token)");
+  addr.sin_addr = bound;
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   CS_CHECK_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                     sizeof(addr)) == 0,
-               "telemetry server: cannot bind 127.0.0.1 port");
+               "telemetry server: cannot bind telemetry address/port");
   CS_CHECK_MSG(listen(listen_fd_, 16) == 0, "telemetry server: listen failed");
 
   socklen_t len = sizeof(addr);
@@ -204,6 +318,11 @@ void TelemetryServer::Stop() {
 void TelemetryServer::SetStatusCallback(std::function<std::string()> cb) {
   std::lock_guard<std::mutex> lock(mu_);
   status_cb_ = std::move(cb);
+}
+
+void TelemetryServer::SetFleetCallback(std::function<std::string()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fleet_cb_ = std::move(cb);
 }
 
 void TelemetryServer::PublishTimelineRow(const std::string& row_json) {
@@ -279,6 +398,11 @@ void TelemetryServer::HandleRequest(Client* c, const std::string& method,
   } else if (route == "/status") {
     c->out += HttpResponse("200 OK", "application/json", StatusJson());
     c->close_after_flush = true;
+  } else if (route == "/fleet") {
+    const std::function<std::string()>& cb = fleet_cb_;
+    c->out += HttpResponse("200 OK", "application/json",
+                           cb ? cb() : std::string("{\"nodes\":[]}"));
+    c->close_after_flush = true;
   } else if (route == "/timeline") {
     c->out +=
         "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
@@ -293,7 +417,7 @@ void TelemetryServer::HandleRequest(Client* c, const std::string& method,
   } else {
     c->out += HttpResponse("404 Not Found", "text/plain",
                            "unknown path; try /, /metrics, /status, "
-                           "/timeline\n");
+                           "/fleet, /timeline\n");
     c->close_after_flush = true;
   }
 }
@@ -325,6 +449,7 @@ void TelemetryServer::HandleReadable(Client* c) {
   }
   const size_t end = c->in.find("\r\n\r\n");
   if (end == std::string::npos) return;
+  const std::string head = c->in.substr(0, end);
   const size_t line_end = c->in.find("\r\n");
   std::istringstream req_line(c->in.substr(0, line_end));
   std::string method, path;
@@ -334,6 +459,20 @@ void TelemetryServer::HandleReadable(Client* c) {
     c->out += HttpResponse("400 Bad Request", "text/plain", "bad request\n");
     c->close_after_flush = true;
     return;
+  }
+  if (!options_.auth_token.empty()) {
+    // Evaluate both channels unconditionally so the comparison count does
+    // not depend on which (if either) carried the right token.
+    const bool header_ok =
+        ConstantTimeEquals(BearerToken(head), options_.auth_token);
+    const bool query_ok =
+        ConstantTimeEquals(QueryToken(path), options_.auth_token);
+    if (!header_ok && !query_ok) {
+      c->out += HttpResponse("401 Unauthorized", "text/plain",
+                             "missing or invalid bearer token\n");
+      c->close_after_flush = true;
+      return;
+    }
   }
   HandleRequest(c, method, path);
 }

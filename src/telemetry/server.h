@@ -16,9 +16,19 @@
 namespace ctrlshed {
 
 struct TelemetryServerOptions {
-  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port — read it
-  /// back from port() after Start().
+  /// TCP port to bind on `bind_address`. 0 picks an ephemeral port — read
+  /// it back from port() after Start().
   int port = 0;
+  /// IPv4 address to bind. The default keeps the historical loopback-only
+  /// posture; a non-loopback bind (e.g. "0.0.0.0" for a real fleet) is
+  /// refused at Start() unless `auth_token` is set.
+  std::string bind_address = "127.0.0.1";
+  /// When non-empty, every request must present this bearer token —
+  /// `Authorization: Bearer <token>` or, for EventSource/dashboard use
+  /// where headers are unavailable, a `?token=<token>` query parameter.
+  /// Compared in constant time; failures get 401. Empty (the default)
+  /// keeps loopback behavior unchanged.
+  std::string auth_token;
   /// Per-client pending-write cap. A client that cannot drain its socket
   /// fast enough loses whole timeline rows (counted, never blocking the
   /// publisher) once its buffer is full — the tracer-ring discipline
@@ -39,13 +49,16 @@ struct TelemetryServerOptions {
 };
 
 /// Dependency-free HTTP/1.1 observability server: one poll()-based thread,
-/// nonblocking sockets, loopback only. Endpoints:
+/// nonblocking sockets, loopback by default (non-loopback binds require a
+/// bearer token — see TelemetryServerOptions). Endpoints:
 ///
 ///   GET /          embedded HTML dashboard charting the SSE feed live
 ///   GET /metrics   Prometheus text exposition of the MetricsRegistry
 ///   GET /timeline  SSE stream of per-period timeline rows (history replay
 ///                  on connect, then live)
 ///   GET /status    one JSON snapshot: uptime, SSE stats, app section
+///   GET /fleet     cluster membership JSON from the fleet callback
+///                  ({"nodes":[]} when no callback is installed)
 ///
 /// The publisher side (PublishTimelineRow) never blocks on a client: rows
 /// that do not fit a client's bounded buffer are dropped for that client
@@ -62,8 +75,9 @@ class TelemetryServer {
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
 
-  /// Binds 127.0.0.1:<port>, starts the serving thread. Aborts if the
-  /// port cannot be bound.
+  /// Binds <bind_address>:<port>, starts the serving thread. Aborts if
+  /// the port cannot be bound, the address does not parse, or a
+  /// non-loopback bind is requested without an auth token.
   void Start();
 
   /// Flushes connected clients (bounded by drain_timeout_wall), closes
@@ -82,6 +96,11 @@ class TelemetryServer {
   /// (object) describing run config / shard summaries / trace counts.
   /// Called from the server thread; must be thread-safe and non-blocking.
   void SetStatusCallback(std::function<std::string()> cb);
+
+  /// Supplies the GET /fleet body: a complete JSON object describing
+  /// cluster membership (per-node q/alpha/loss/freshness). Same contract
+  /// as the status callback: server thread, thread-safe, non-blocking.
+  void SetFleetCallback(std::function<std::string()> cb);
 
   uint64_t rows_published() const {
     return rows_published_.load(std::memory_order_relaxed);
@@ -115,10 +134,11 @@ class TelemetryServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_requested_{false};
 
-  mutable std::mutex mu_;  ///< Guards clients_, history_, status_cb_.
+  mutable std::mutex mu_;  ///< Guards clients_, history_, the callbacks.
   std::vector<std::unique_ptr<Client>> clients_;
   std::deque<std::string> history_;
   std::function<std::string()> status_cb_;
+  std::function<std::string()> fleet_cb_;
 
   std::atomic<uint64_t> rows_published_{0};
   std::atomic<uint64_t> rows_dropped_{0};

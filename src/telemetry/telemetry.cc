@@ -30,8 +30,13 @@ Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
   const bool have_dir = !options_.dir.empty();
   if (have_dir && options_.trace) {
     tracer_ = std::make_unique<Tracer>(options_.trace_buffer_capacity);
+    trace_events_counter_ = metrics_.GetCounter("telemetry.trace.events");
+    trace_dropped_counter_ =
+        metrics_.GetCounter("telemetry.trace.dropped_events");
   }
   if (have_dir) {
+    export_failures_counter_ =
+        metrics_.GetCounter("telemetry.export.write_failures");
     metrics_out_.open(metrics_path());
     CS_CHECK_MSG(metrics_out_.good(), "cannot open metrics.jsonl");
     file_sink_ = std::make_unique<FileTimelineSink>(options_.dir);
@@ -40,6 +45,8 @@ Telemetry::Telemetry(TelemetryOptions options) : options_(std::move(options)) {
   if (options_.server_port >= 0) {
     TelemetryServerOptions server_opts;
     server_opts.port = options_.server_port;
+    server_opts.bind_address = options_.server_bind_address;
+    server_opts.auth_token = options_.server_auth_token;
     server_opts.client_buffer_bytes = options_.server_client_buffer_bytes;
     server_opts.history_rows = options_.server_history_rows;
     server_opts.sndbuf_bytes = options_.server_sndbuf_bytes;
@@ -111,13 +118,25 @@ uint64_t Telemetry::sse_clients_accepted() const {
 }
 
 void Telemetry::FlushOnce() {
-  if (tracer_) tracer_->Drain();
+  if (tracer_) {
+    tracer_->Drain();
+    // Mirror the tracer's own loss accounting into the registry (Store,
+    // not Add: the tracer keeps the cumulative truth).
+    trace_events_counter_->Store(tracer_->collected_events());
+    trace_dropped_counter_->Store(tracer_->dropped_events());
+  }
   if (!metrics_out_.is_open()) return;
   const double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_wall_)
                              .count();
   metrics_.WriteJsonLine(elapsed, metrics_out_);
   metrics_out_.flush();
+  if (!metrics_out_.good()) {
+    // A full disk or yanked mount must not silently freeze metrics.jsonl:
+    // count the failure (visible on /metrics) and keep trying.
+    export_failures_counter_->Add();
+    metrics_out_.clear();
+  }
 }
 
 void Telemetry::ExportLoop() {

@@ -33,9 +33,14 @@ struct TelemetryOptions {
   /// Per-thread trace ring capacity, in events.
   size_t trace_buffer_capacity = 1 << 14;
 
-  /// Port for the live HTTP/SSE server on 127.0.0.1: negative disables it,
-  /// 0 picks an ephemeral port (observe via on_server_start / server()).
+  /// Port for the live HTTP/SSE server: negative disables it, 0 picks an
+  /// ephemeral port (observe via on_server_start / server()).
   int server_port = -1;
+  /// IPv4 address the server binds. Non-loopback requires
+  /// `server_auth_token` (enforced at startup).
+  std::string server_bind_address = "127.0.0.1";
+  /// Bearer token gating every server request when non-empty.
+  std::string server_auth_token;
   /// Per-SSE-client pending-write cap; rows beyond it are dropped for
   /// that client and counted.
   size_t server_client_buffer_bytes = 256 * 1024;
@@ -132,6 +137,12 @@ class Telemetry {
   std::function<std::string()> app_status_;
 
   std::ofstream metrics_out_;
+  // Self-observability: the telemetry system's own loss counters, mirrored
+  // into the registry each flush so /metrics reports observability gaps
+  // (dropped spans, failed exports) instead of only the end-of-run summary.
+  Counter* trace_events_counter_ = nullptr;
+  Counter* trace_dropped_counter_ = nullptr;
+  Counter* export_failures_counter_ = nullptr;
   std::chrono::steady_clock::time_point start_wall_;
   std::atomic<bool> stop_{false};
   std::thread exporter_;

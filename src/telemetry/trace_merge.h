@@ -1,0 +1,53 @@
+#ifndef CTRLSHED_TELEMETRY_TRACE_MERGE_H_
+#define CTRLSHED_TELEMETRY_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctrlshed {
+
+/// Joins N per-process Chrome trace-event JSON files (each written by
+/// Tracer::WriteChromeTrace) into one timeline Perfetto/chrome://tracing
+/// opens directly:
+///  - input i becomes pid i+1 with a process_name metadata record, so
+///    every process gets its own track group;
+///  - a `clock_sync` instant event (emitted by a cluster node after the
+///    HELLO/HelloAck round trip, args {"offset_us":N}) shifts that whole
+///    file onto the controller's trace timebase — offset_us is defined as
+///    controller_clock - node_clock at the same wall instant;
+///  - `period` span arguments are collected per file so callers can assert
+///    the cross-process correlation actually happened: a period id that
+///    appears in every input proves one controller decision was traced
+///    end to end (node report -> controller tick -> node apply).
+
+struct TraceMergeResult {
+  size_t files = 0;
+  size_t events = 0;  ///< Total non-metadata events written.
+  std::vector<std::string> labels;        ///< Per input, the track name.
+  std::vector<int64_t> offsets_us;        ///< Applied clock shift per input.
+  std::vector<size_t> events_per_file;
+  /// Period ids present in EVERY input (empty when any input lacks period
+  /// spans — e.g. merging unrelated traces).
+  std::vector<int64_t> common_periods;
+  std::string error;  ///< Set when a Merge* call returns false.
+};
+
+/// Core, string-in/stream-out (testable without touching disk). Each input
+/// is (label, trace JSON). Returns false on malformed JSON; `out` is only
+/// written on success.
+bool MergeTraceJson(
+    const std::vector<std::pair<std::string, std::string>>& inputs,
+    std::ostream& out, TraceMergeResult* result);
+
+/// File wrapper: reads every path, labels each track from the path (the
+/// parent directory name for the conventional <dir>/trace.json layout),
+/// and writes the merged array to `out_path`.
+bool MergeTraceFiles(const std::vector<std::string>& paths,
+                     const std::string& out_path, TraceMergeResult* result);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_TRACE_MERGE_H_

@@ -44,6 +44,11 @@ void TraceBuffer::Instant(const char* name) {
   Emit({name, NowUs(), -1});
 }
 
+void TraceBuffer::Instant(const char* name, const char* arg_name,
+                          int64_t arg) {
+  Emit({name, NowUs(), -1, arg_name, arg});
+}
+
 int64_t TraceBuffer::NowUs() const { return tracer_->NowUs(); }
 
 size_t TraceBuffer::Drain() {
@@ -118,13 +123,19 @@ void Tracer::WriteChromeTrace(std::ostream& out) {
         out << "{\"name\":";
         WriteJsonString(out, ev.name);
         out << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tb->tid()
-            << ",\"ts\":" << ev.ts_us << "}";
+            << ",\"ts\":" << ev.ts_us;
       } else {
         out << "{\"name\":";
         WriteJsonString(out, ev.name);
         out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << tb->tid()
-            << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us << "}";
+            << ",\"ts\":" << ev.ts_us << ",\"dur\":" << ev.dur_us;
       }
+      if (ev.arg_name != nullptr) {
+        out << ",\"args\":{";
+        WriteJsonString(out, ev.arg_name);
+        out << ":" << ev.arg << "}";
+      }
+      out << "}";
     }
     if (tb->dropped() > 0) {
       out << ",\n{\"name\":\"dropped_events\",\"ph\":\"C\",\"pid\":1,"

@@ -22,6 +22,11 @@ struct TraceEvent {
   const char* name = nullptr;
   int64_t ts_us = 0;   ///< Start time, microseconds since the tracer epoch.
   int64_t dur_us = 0;  ///< Span duration; < 0 marks an instant event.
+  /// Optional single integer argument (rendered as `"args":{arg_name:arg}`)
+  /// — enough to stamp a correlation id such as the controller period seq
+  /// onto a span without heap traffic. Same lifetime contract as `name`.
+  const char* arg_name = nullptr;
+  int64_t arg = 0;
 };
 
 class Tracer;
@@ -45,6 +50,7 @@ class TraceBuffer {
     if (!ring_.TryPush(ev)) dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   void Instant(const char* name);
+  void Instant(const char* name, const char* arg_name, int64_t arg);
 
   /// Microseconds since the owning tracer's epoch (any thread).
   int64_t NowUs() const;
@@ -75,8 +81,23 @@ class ScopedSpan {
   ScopedSpan(TraceBuffer* buf, const char* name) : buf_(buf), name_(name) {
     if (buf_ != nullptr) start_us_ = buf_->NowUs();
   }
+  ScopedSpan(TraceBuffer* buf, const char* name, const char* arg_name,
+             int64_t arg)
+      : buf_(buf), name_(name), arg_name_(arg_name), arg_(arg) {
+    if (buf_ != nullptr) start_us_ = buf_->NowUs();
+  }
   ~ScopedSpan() {
-    if (buf_ != nullptr) buf_->Emit({name_, start_us_, buf_->NowUs() - start_us_});
+    if (buf_ != nullptr) {
+      buf_->Emit(
+          {name_, start_us_, buf_->NowUs() - start_us_, arg_name_, arg_});
+    }
+  }
+
+  /// Re-stamps the argument before the span closes (e.g. when the period
+  /// seq is only known once the guarded work has run).
+  void SetArg(const char* arg_name, int64_t arg) {
+    arg_name_ = arg_name;
+    arg_ = arg;
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -85,6 +106,8 @@ class ScopedSpan {
  private:
   TraceBuffer* buf_;
   const char* name_;
+  const char* arg_name_ = nullptr;
+  int64_t arg_ = 0;
   int64_t start_us_ = 0;
 };
 

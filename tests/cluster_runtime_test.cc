@@ -286,5 +286,76 @@ TEST(ClusterRuntimeTest, ControllerStatusExposesClusterBlock) {
   EXPECT_GT(ctl_result.reports, 0u);
 }
 
+TEST(ClusterRuntimeTest, ControllerFederatesNodeMetricsAndServesFleet) {
+  const double duration = 8.0;
+  std::promise<int> ctl_port_promise;
+  std::promise<int> http_port_promise;
+  ClusterControllerResult ctl_result;
+  std::thread ctl_thread([&] {
+    ClusterControllerConfig config;
+    config.base = ControlBase(duration);
+    config.base.telemetry.dir = ::testing::TempDir() + "cluster_fed_ctl";
+    config.base.telemetry.trace = false;
+    config.base.telemetry.server_port = 0;
+    config.base.telemetry.on_server_start = [&http_port_promise](int port) {
+      http_port_promise.set_value(port);
+    };
+    config.time_compression = kCompression;
+    config.on_ready = [&ctl_port_promise](int port) {
+      ctl_port_promise.set_value(port);
+    };
+    ctl_result = RunClusterController(config);
+  });
+  const int ctl_port = ctl_port_promise.get_future().get();
+  const int http_port = http_port_promise.get_future().get();
+
+  // The node runs with its own telemetry registry (no server) so each
+  // kStatsReport carries a piggybacked snapshot of its real rt metrics.
+  std::promise<int> node_port_promise;
+  ClusterNodeResult node_result;
+  std::thread node_thread([&] {
+    ClusterNodeConfig config;
+    config.base = ControlBase(duration);
+    config.base.telemetry.dir = ::testing::TempDir() + "cluster_fed_node";
+    config.base.telemetry.trace = false;
+    config.node_id = 5;
+    config.workers = 1;
+    config.controller_port = ctl_port;
+    config.time_compression = kCompression;
+    config.on_ready = [&node_port_promise](int port) {
+      node_port_promise.set_value(port);
+    };
+    node_result = RunClusterNode(config);
+  });
+  node_port_promise.get_future().get();
+
+  // One controller scrape exposes the node's series under node="5", and
+  // /fleet reports the node fresh. Poll: the first report may not have
+  // landed yet.
+  std::string metrics;
+  std::string fleet;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    metrics = HttpGet(http_port, "/metrics");
+    fleet = HttpGet(http_port, "/fleet");
+    if (metrics.find("node=\"5\"") != std::string::npos &&
+        fleet.find("\"fresh\":true") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(metrics.find("node=\"5\""), std::string::npos) << metrics;
+  EXPECT_NE(fleet.find("\"id\":5"), std::string::npos) << fleet;
+  EXPECT_NE(fleet.find("\"fresh\":true"), std::string::npos) << fleet;
+  EXPECT_NE(fleet.find("\"alpha\""), std::string::npos) << fleet;
+
+  node_thread.join();
+  ctl_thread.join();
+  EXPECT_GT(ctl_result.reports, 0u);
+  EXPECT_GT(node_result.reports_sent, 0u);
+  EXPECT_EQ(node_result.control_rejected, 0u);  // HelloAck is not a reject
+}
+
 }  // namespace
 }  // namespace ctrlshed

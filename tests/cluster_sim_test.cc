@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "control/ctrl_controller.h"
@@ -25,6 +27,8 @@
 #include "runner/networks.h"
 #include "shedding/entry_shedder.h"
 #include "sim/simulation.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/prom_export.h"
 #include "workload/arrival_source.h"
 
 namespace ctrlshed {
@@ -315,6 +319,49 @@ TEST(ClusterSimTest, KilledNodeDegradesGracefully) {
   // The dead node's producers hit a closed socket: offered stops growing,
   // so its total is roughly half of the survivor's.
   EXPECT_LT(r.nodes[1].offered, r.nodes[0].offered * 3 / 4);
+}
+
+TEST(ClusterSimTest, PiggybackedMetricsFoldWithoutPerturbingThePlant) {
+  ClusterSimConfig config;
+  config.base = BaseConfig();
+  config.base.duration = 30.0;
+  config.base.web.mean_rate = 780.0;
+  config.nodes = 2;
+  config.workers_per_node = 1;
+
+  MetricsRegistry fleet;
+  ClusterSimConfig with = config;
+  with.fleet_metrics = &fleet;  // piggyback_metrics defaults to true
+  const ClusterSimResult a = RunClusterSim(with);
+
+  ClusterSimConfig without = config;
+  without.piggyback_metrics = false;
+  const ClusterSimResult b = RunClusterSim(without);
+
+  // Federation is observability-only: the control rows must be
+  // EXPECT_EQ-identical with and without snapshot piggybacking.
+  ExpectRowsIdentical(a.recorder, b.recorder);
+
+  // Both nodes' snapshots landed in the controller registry under their
+  // node-id prefix. The folded counter is the last report's cumulative
+  // total, so it is positive but never exceeds the node's final count.
+  const MetricsSnapshot snap = fleet.Snapshot();
+  for (uint32_t id = 0; id < 2; ++id) {
+    const std::string prefix = "node" + std::to_string(id) + ".";
+    ASSERT_TRUE(snap.counters.count(prefix + "rt.offered")) << prefix;
+    const uint64_t folded = snap.counters.at(prefix + "rt.offered");
+    EXPECT_GT(folded, 0u);
+    EXPECT_LE(folded, a.nodes[id].offered);
+    EXPECT_TRUE(snap.gauges.count(prefix + "rt.alpha")) << prefix;
+  }
+
+  // The Prometheus rendering federates both nodes into one family with
+  // node="<id>" labels — a single scrape sees the whole fleet.
+  std::ostringstream prom;
+  WritePrometheusText(snap, prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("rt_offered_total{node=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("rt_offered_total{node=\"1\"}"), std::string::npos);
 }
 
 TEST(ClusterSimTest, MessageLossIsCountedAndSurvived) {

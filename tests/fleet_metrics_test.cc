@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/wire.h"
+#include "net/frame.h"
+#include "telemetry/fleet_metrics.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/prom_export.h"
+#include "telemetry/trace_merge.h"
+
+namespace ctrlshed {
+namespace {
+
+std::string PayloadOf(const std::string& frame, FrameType expect_type) {
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  Frame f;
+  EXPECT_EQ(FrameDecoder::Status::kFrame, decoder.Next(&f));
+  EXPECT_EQ(expect_type, f.type);
+  return f.payload;
+}
+
+// ---------------------------------------------------------------------------
+// Flatten / fold.
+
+TEST(FleetMetrics, FlattenCarriesEverySection) {
+  MetricsRegistry reg;
+  reg.GetCounter("rt.offered")->Add(7);
+  reg.GetGauge("rt.queue")->Set(3.5);
+  HistogramMetric* h = reg.GetHistogram("rt.pump_interval_s");
+  h->Record(0.001);
+  h->Record(0.002);
+
+  const MetricsWireSnapshot snap = FlattenSnapshot(reg.Snapshot());
+  ASSERT_EQ(1u, snap.counters.size());
+  EXPECT_EQ("rt.offered", snap.counters[0].first);
+  EXPECT_EQ(7u, snap.counters[0].second);
+  ASSERT_EQ(1u, snap.gauges.size());
+  EXPECT_DOUBLE_EQ(3.5, snap.gauges[0].second);
+  ASSERT_EQ(1u, snap.histograms.size());
+  EXPECT_EQ(2u, snap.histograms[0].stats.count);
+  EXPECT_TRUE(ValidMetricsWireSnapshot(snap));
+}
+
+TEST(FleetMetrics, FlattenDropsOverCapAndNonFiniteEntries) {
+  MetricsSnapshot snap;
+  for (uint32_t i = 0; i < kMaxFleetEntries + 10; ++i) {
+    snap.counters["c." + std::to_string(i)] = i;
+  }
+  snap.gauges["bad"] = std::numeric_limits<double>::quiet_NaN();
+  snap.gauges[std::string(kMaxFleetNameBytes + 1, 'x')] = 1.0;
+  snap.gauges["good"] = 2.0;
+
+  const MetricsWireSnapshot wire = FlattenSnapshot(snap);
+  EXPECT_EQ(kMaxFleetEntries, wire.counters.size());
+  ASSERT_EQ(1u, wire.gauges.size());
+  EXPECT_EQ("good", wire.gauges[0].first);
+  EXPECT_TRUE(ValidMetricsWireSnapshot(wire));
+}
+
+TEST(FleetMetrics, FoldPrefixesWithNodeId) {
+  MetricsWireSnapshot snap;
+  snap.counters.push_back({"rt.offered", 41});
+  snap.gauges.push_back({"rt.queue", 9.0});
+  MetricsSnapshot::HistogramStats hs;
+  hs.count = 3;
+  hs.sum = 0.3;
+  hs.p50 = 0.1;
+  snap.histograms.push_back({"rt.pump_interval_s", hs});
+
+  MetricsRegistry reg;
+  FoldMetricsSnapshot(5, snap, &reg);
+  // Counters are Store()d absolutes: a re-fold with a newer value must
+  // replace, not accumulate.
+  snap.counters[0].second = 42;
+  FoldMetricsSnapshot(5, snap, &reg);
+
+  const MetricsSnapshot out = reg.Snapshot();
+  EXPECT_EQ(42u, out.counters.at("node5.rt.offered"));
+  EXPECT_DOUBLE_EQ(9.0, out.gauges.at("node5.rt.queue"));
+  EXPECT_EQ(3u, out.histograms.at("node5.rt.pump_interval_s").count);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus rendering of federated families.
+
+TEST(FleetMetrics, PromFoldsNodeLabel) {
+  MetricsSnapshot snap;
+  snap.counters["node0.rt.offered"] = 10;
+  snap.counters["node1.rt.offered"] = 20;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("rt_offered_total{node=\"0\"} 10\n"), std::string::npos);
+  EXPECT_NE(text.find("rt_offered_total{node=\"1\"} 20\n"), std::string::npos);
+}
+
+TEST(FleetMetrics, PromMergesNodeAndShardLabels) {
+  MetricsSnapshot snap;
+  snap.gauges["node0.rt.shard0.queue"] = 1.0;
+  snap.gauges["node0.rt.shard1.queue"] = 2.0;
+  snap.gauges["node3.rt.shard0.queue"] = 3.0;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  // ONE family, three samples with node x shard label sets.
+  size_t type_lines = 0;
+  for (size_t pos = text.find("# TYPE rt_shard_queue gauge\n");
+       pos != std::string::npos;
+       pos = text.find("# TYPE rt_shard_queue gauge\n", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(1u, type_lines);
+  EXPECT_NE(text.find("rt_shard_queue{node=\"0\",shard=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_shard_queue{node=\"0\",shard=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_shard_queue{node=\"3\",shard=\"0\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(FleetMetrics, PromEscapesLabelValuesUnderNodePrefix) {
+  MetricsSnapshot snap;
+  snap.counters["node3.engine.op.fil\"ter.processed"] = 4;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  EXPECT_NE(out.str().find(
+                "engine_op_processed_total{node=\"3\",op=\"fil\\\"ter\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(FleetMetrics, PromBareNodePrefixIsNotALabel) {
+  // "node" without digits or without a dot must sanitize whole, not grow a
+  // bogus empty label.
+  MetricsSnapshot snap;
+  snap.counters["nodeless.count"] = 1;
+  snap.counters["node7" ] = 2;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("nodeless_count_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("node7_total 2\n"), std::string::npos);
+}
+
+TEST(FleetMetrics, PromMergesQuantilesIntoNodeLabelSet) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramStats h;
+  h.count = 4;
+  h.sum = 2.0;
+  h.p50 = 0.5;
+  h.p95 = 0.75;
+  h.p99 = 1.25;
+  snap.histograms["node2.rt.pump_interval_s"] = h;
+  std::ostringstream out;
+  WritePrometheusText(snap, out);
+  const std::string text = out.str();
+  EXPECT_NE(
+      text.find("rt_pump_interval_s{node=\"2\",quantile=\"0.5\"} 0.5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("rt_pump_interval_s_sum{node=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_pump_interval_s_count{node=\"2\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(FleetMetrics, ExternalHistogramLosesToLocalRecording) {
+  MetricsRegistry reg;
+  MetricsSnapshot::HistogramStats ext;
+  ext.count = 100;
+  ext.sum = 50.0;
+  reg.SetExternalHistogramStats("rt.pump_interval_s", ext);
+  reg.GetHistogram("rt.pump_interval_s")->Record(1.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  // The locally recorded histogram shadows the external stats.
+  EXPECT_EQ(1u, snap.histograms.at("rt.pump_interval_s").count);
+
+  std::ostringstream out;
+  reg.WriteJsonLine(0.0, out);
+  // One histogram entry, not two.
+  const std::string line = out.str();
+  size_t n = 0;
+  for (size_t pos = line.find("\"rt.pump_interval_s\"");
+       pos != std::string::npos;
+       pos = line.find("\"rt.pump_interval_s\"", pos + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(1u, n);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: piggyback round trip + hardening.
+
+NodeStatsReport SampleReport() {
+  NodeStatsReport r;
+  r.node_id = 3;
+  r.seq = 9;
+  r.ctrl_seq = 8;
+  r.deltas.offered = 100;
+  r.deltas.admitted = 90;
+  r.deltas.queue = 4.5;
+  r.alpha = 0.25;
+  r.offered_total = 1000;
+  r.entry_shed_total = 100;
+  r.ring_dropped_total = 5;
+  r.departed_total = 800;
+  r.has_metrics = true;
+  r.metrics.counters.push_back({"rt.offered", 1000});
+  r.metrics.gauges.push_back({"rt.queue", 17.5});
+  MetricsSnapshot::HistogramStats hs;
+  hs.count = 12;
+  hs.sum = 0.6;
+  hs.min = 0.01;
+  hs.max = 0.2;
+  hs.p50 = 0.04;
+  hs.p95 = 0.1;
+  hs.p99 = 0.15;
+  r.metrics.histograms.push_back({"rt.pump_interval_s", hs});
+  return r;
+}
+
+TEST(FleetWire, StatsReportPiggybackRoundTrips) {
+  const NodeStatsReport r = SampleReport();
+  const std::string payload =
+      PayloadOf(EncodeStatsReportFrame(r), FrameType::kStatsReport);
+  NodeStatsReport out;
+  ASSERT_TRUE(DecodeStatsReport(payload, &out));
+  EXPECT_EQ(r.node_id, out.node_id);
+  EXPECT_EQ(r.ctrl_seq, out.ctrl_seq);
+  ASSERT_TRUE(out.has_metrics);
+  ASSERT_EQ(1u, out.metrics.counters.size());
+  EXPECT_EQ("rt.offered", out.metrics.counters[0].first);
+  EXPECT_EQ(1000u, out.metrics.counters[0].second);
+  ASSERT_EQ(1u, out.metrics.gauges.size());
+  EXPECT_DOUBLE_EQ(17.5, out.metrics.gauges[0].second);
+  ASSERT_EQ(1u, out.metrics.histograms.size());
+  EXPECT_EQ(12u, out.metrics.histograms[0].stats.count);
+  EXPECT_DOUBLE_EQ(0.1, out.metrics.histograms[0].stats.p95);
+}
+
+TEST(FleetWire, StatsReportWithoutMetricsRoundTrips) {
+  NodeStatsReport r = SampleReport();
+  r.has_metrics = false;
+  r.metrics = MetricsWireSnapshot{};
+  const std::string payload =
+      PayloadOf(EncodeStatsReportFrame(r), FrameType::kStatsReport);
+  NodeStatsReport out;
+  ASSERT_TRUE(DecodeStatsReport(payload, &out));
+  EXPECT_FALSE(out.has_metrics);
+  EXPECT_TRUE(out.metrics.empty());
+}
+
+TEST(FleetWire, DecodeRejectsTruncationAndTrailingGarbage) {
+  const std::string payload =
+      PayloadOf(EncodeStatsReportFrame(SampleReport()), FrameType::kStatsReport);
+  NodeStatsReport out;
+  ASSERT_TRUE(DecodeStatsReport(payload, &out));
+  for (size_t cut = 1; cut < payload.size(); cut += 7) {
+    EXPECT_FALSE(
+        DecodeStatsReport(payload.substr(0, payload.size() - cut), &out));
+  }
+  EXPECT_FALSE(DecodeStatsReport(payload + "x", &out));
+}
+
+TEST(FleetWire, DecodeRejectsOversizedSectionCount) {
+  // A report whose counter count claims more entries than the cap must be
+  // rejected before any giant allocation happens.
+  NodeStatsReport r = SampleReport();
+  r.metrics = MetricsWireSnapshot{};
+  std::string payload =
+      PayloadOf(EncodeStatsReportFrame(r), FrameType::kStatsReport);
+  // Overwrite the counters-section count (first u32 after has_metrics=1).
+  std::string hacked = payload.substr(0, payload.size() - 12);
+  PutU32(kMaxFleetEntries + 1, &hacked);
+  PutU32(0, &hacked);  // gauges
+  PutU32(0, &hacked);  // histograms
+  NodeStatsReport out;
+  EXPECT_FALSE(DecodeStatsReport(hacked, &out));
+}
+
+TEST(FleetWire, DecodeRejectsNonFiniteGauge) {
+  NodeStatsReport r = SampleReport();
+  r.metrics.gauges[0].second = std::numeric_limits<double>::infinity();
+  const std::string payload =
+      PayloadOf(EncodeStatsReportFrame(r), FrameType::kStatsReport);
+  NodeStatsReport out;
+  EXPECT_FALSE(DecodeStatsReport(payload, &out));
+}
+
+TEST(FleetWire, HelloCarriesTraceClock) {
+  NodeHello h;
+  h.node_id = 2;
+  h.workers = 4;
+  h.headroom = 0.97;
+  h.nominal_cost = 0.005;
+  h.period = 1.0;
+  h.trace_clock_us = 123456789ull;
+  const std::string payload = PayloadOf(EncodeHelloFrame(h), FrameType::kHello);
+  NodeHello out;
+  ASSERT_TRUE(DecodeHello(payload, &out));
+  EXPECT_EQ(123456789ull, out.trace_clock_us);
+}
+
+TEST(FleetWire, HelloAckRoundTrips) {
+  HelloAck a;
+  a.node_id = 7;
+  a.echo_t0_us = 1000;
+  a.ctrl_clock_us = 2500;
+  const std::string payload =
+      PayloadOf(EncodeHelloAckFrame(a), FrameType::kHelloAck);
+  HelloAck out;
+  ASSERT_TRUE(DecodeHelloAck(payload, &out));
+  EXPECT_EQ(7u, out.node_id);
+  EXPECT_EQ(1000u, out.echo_t0_us);
+  EXPECT_EQ(2500u, out.ctrl_clock_us);
+  EXPECT_FALSE(DecodeHelloAck(payload.substr(0, payload.size() - 1), &out));
+  EXPECT_FALSE(DecodeHelloAck(payload + "z", &out));
+}
+
+// ---------------------------------------------------------------------------
+// Trace merge.
+
+TEST(TraceMerge, MergesTracksAppliesOffsetsAndIntersectsPeriods) {
+  // Controller track: periods 5 and 6; no clock_sync (offset 0).
+  const std::string ctl = R"([
+    {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},
+    {"name":"cluster.tick","ph":"X","pid":1,"tid":1,"ts":100,"dur":10,
+     "args":{"period":5}},
+    {"name":"cluster.tick","ph":"X","pid":1,"tid":1,"ts":200,"dur":10,
+     "args":{"period":6}}])";
+  // Node track: clock_sync says this file is 50us behind the controller;
+  // saw periods 5 and 7.
+  const std::string node = R"([
+    {"name":"clock_sync","ph":"i","pid":1,"tid":2,"ts":1,"s":"t",
+     "args":{"offset_us":50}},
+    {"name":"cluster.apply","ph":"X","pid":1,"tid":2,"ts":60,"dur":5,
+     "args":{"period":5}},
+    {"name":"cluster.apply","ph":"X","pid":1,"tid":2,"ts":160,"dur":5,
+     "args":{"period":7}}])";
+
+  std::ostringstream out;
+  TraceMergeResult res;
+  ASSERT_TRUE(MergeTraceJson({{"ctl", ctl}, {"node0", node}}, out, &res))
+      << res.error;
+  EXPECT_EQ(2u, res.files);
+  ASSERT_EQ(2u, res.offsets_us.size());
+  EXPECT_EQ(0, res.offsets_us[0]);
+  EXPECT_EQ(50, res.offsets_us[1]);
+  ASSERT_EQ(1u, res.common_periods.size());
+  EXPECT_EQ(5, res.common_periods[0]);
+
+  const std::string merged = out.str();
+  // Per-file pids: input 0 -> pid 1, input 1 -> pid 2, with process names.
+  EXPECT_NE(merged.find("\"args\":{\"name\":\"ctl\"}"), std::string::npos);
+  EXPECT_NE(merged.find("\"args\":{\"name\":\"node0\"}"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":2"), std::string::npos);
+  // Node timestamps shifted onto the controller timebase: 60 -> 110.
+  EXPECT_NE(merged.find("\"ts\":110"), std::string::npos);
+  // Controller timestamps untouched.
+  EXPECT_NE(merged.find("\"ts\":100"), std::string::npos);
+}
+
+TEST(TraceMerge, MergedOutputReparses) {
+  const std::string a =
+      R"([{"name":"s","ph":"X","pid":1,"tid":1,"ts":1,"dur":2}])";
+  const std::string b =
+      R"([{"name":"t","ph":"i","pid":1,"tid":1,"ts":3,"s":"t"}])";
+  std::ostringstream out;
+  TraceMergeResult res;
+  ASSERT_TRUE(MergeTraceJson({{"a", a}, {"b", b}}, out, &res));
+  // The merged array must itself be valid input for another merge.
+  std::ostringstream out2;
+  TraceMergeResult res2;
+  EXPECT_TRUE(MergeTraceJson({{"m", out.str()}}, out2, &res2)) << res2.error;
+  EXPECT_EQ(res.events, res2.events);
+}
+
+TEST(TraceMerge, RejectsMalformedJson) {
+  std::ostringstream out;
+  TraceMergeResult res;
+  EXPECT_FALSE(MergeTraceJson({{"bad", "{not json"}}, out, &res));
+  EXPECT_FALSE(res.error.empty());
+  EXPECT_FALSE(MergeTraceJson({{"obj", "{\"a\":1}"}}, out, &res));
+}
+
+TEST(TraceMerge, NoCommonPeriodWhenAnyFileLacksPeriods) {
+  const std::string with =
+      R"([{"name":"s","ph":"X","pid":1,"tid":1,"ts":1,"dur":2,
+           "args":{"period":4}}])";
+  const std::string without =
+      R"([{"name":"t","ph":"X","pid":1,"tid":1,"ts":1,"dur":2}])";
+  std::ostringstream out;
+  TraceMergeResult res;
+  ASSERT_TRUE(MergeTraceJson({{"a", with}, {"b", without}}, out, &res));
+  EXPECT_TRUE(res.common_periods.empty());
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -340,6 +340,72 @@ TEST(TelemetryServer, SlowClientDropsRowsWithoutBlockingPublisher) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------------
+// Hardened deployment: auth token, non-loopback refusal, /fleet.
+
+TEST(TelemetryServer, TokenGatesEveryRoute) {
+  MetricsRegistry registry;
+  TelemetryServerOptions options;
+  options.auth_token = "s3cret";
+  TelemetryServer server(&registry, options);
+  server.Start();
+  const int port = server.port();
+
+  // No credentials -> 401 (and no registry content leaks).
+  const std::string denied = Get(port, "/metrics");
+  EXPECT_NE(denied.find("401"), std::string::npos);
+  EXPECT_EQ(denied.find("# TYPE"), std::string::npos);
+
+  // Wrong token -> 401.
+  const std::string wrong =
+      Fetch(port,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n"
+            "Authorization: Bearer nope\r\n\r\n");
+  EXPECT_NE(wrong.find("401"), std::string::npos);
+
+  // Bearer header -> 200.
+  const std::string bearer =
+      Fetch(port,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n"
+            "Authorization: Bearer s3cret\r\n\r\n");
+  EXPECT_NE(bearer.find("200"), std::string::npos);
+
+  // Query token (what EventSource/the dashboard must use) -> 200.
+  const std::string query = Get(port, "/status?token=s3cret");
+  EXPECT_NE(query.find("200"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(TelemetryServerDeathTest, NonLoopbackBindWithoutTokenRefused) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  TelemetryServerOptions options;
+  options.bind_address = "0.0.0.0";
+  EXPECT_DEATH(
+      {
+        TelemetryServer server(&registry, options);
+        server.Start();
+      },
+      "auth token");
+}
+
+TEST(TelemetryServer, FleetRouteServesCallbackOrEmptyDefault) {
+  MetricsRegistry registry;
+  TelemetryServer server(&registry, {});
+  server.Start();
+  const std::string empty = Get(server.port(), "/fleet");
+  EXPECT_NE(empty.find("200"), std::string::npos);
+  EXPECT_NE(empty.find("application/json"), std::string::npos);
+  EXPECT_NE(empty.find("{\"nodes\":[]}"), std::string::npos);
+
+  server.SetFleetCallback(
+      [] { return std::string("{\"nodes\":[{\"id\":0}]}"); });
+  const std::string live = Get(server.port(), "/fleet");
+  EXPECT_NE(live.find("{\"nodes\":[{\"id\":0}]}"), std::string::npos);
+  server.Stop();
+}
+
 TEST(TelemetryServer, StopIsIdempotentAndRestartUnsupportedPathsSafe) {
   MetricsRegistry registry;
   TelemetryServer server(&registry, {});

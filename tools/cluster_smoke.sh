@@ -7,9 +7,18 @@
 # setpoint. The script additionally requires a clean shutdown with
 # nonzero departed tuples on BOTH nodes and zero protocol rejects.
 #
+# Fleet-observability assertions ride along: every process writes
+# telemetry, a mid-run scrape of the controller's /metrics must expose
+# node-labeled series for BOTH nodes in one page, /fleet must report both
+# nodes fresh, and after shutdown `ctrlshed trace-merge` over the three
+# per-process trace files must find a controller period id present in
+# every track.
+#
 # Usage: tools/cluster_smoke.sh [path/to/ctrlshed]
 # Env:   DURATION (trace seconds, default 60 — shorter windows weight
-#        burst lulls enough to brush the gate), COMPRESS (default 10).
+#        burst lulls enough to brush the gate), COMPRESS (default 10),
+#        ARTIFACT_DIR (if set, keeps the merged trace + the mid-run
+#        controller metrics snapshot there for CI upload).
 set -euo pipefail
 
 BIN=${1:-build/tools/ctrlshed}
@@ -44,15 +53,18 @@ field() { # <logfile> <label> -> first numeric value of that summary line
 }
 
 "$BIN" cluster port=0 duration="$DURATION" compress="$COMPRESS" \
-  min_nodes=2 gate=1 >"$OUT/ctl.log" 2>&1 &
+  min_nodes=2 gate=1 telemetry_dir="$OUT/tele_ctl" telemetry_port=0 \
+  >"$OUT/ctl.log" 2>&1 &
 CTL_PID=$!
 PIDS+=("$CTL_PID")
 CTL_PORT=$(wait_port "$OUT/ctl.log" 'control channel on 127\.0\.0\.1:([0-9]+)')
+HTTP_PORT=$(wait_port "$OUT/ctl.log" 'telemetry server +http:\/\/127\.0\.0\.1:([0-9]+)\/')
 
 NODE_PIDS=()
 for id in 0 1; do
   "$BIN" node id="$id" workers=1 port=0 controller_port="$CTL_PORT" \
-    duration="$DURATION" compress="$COMPRESS" >"$OUT/n$id.log" 2>&1 &
+    duration="$DURATION" compress="$COMPRESS" \
+    telemetry_dir="$OUT/tele_n$id" >"$OUT/n$id.log" 2>&1 &
   NODE_PIDS+=("$!")
   PIDS+=("$!")
 done
@@ -72,6 +84,34 @@ for id in 0 1; do
 done
 
 FAIL=0
+
+# Mid-run federation scrape: one controller /metrics page must carry
+# node="0" AND node="1" labeled series (each node's piggybacked snapshot
+# folded into the controller registry), and /fleet must list both nodes
+# fresh. Poll — the first snapshots land with the first stats reports.
+FED_OK=0
+for i in $(seq 1 100); do
+  curl -sf "http://127.0.0.1:$HTTP_PORT/metrics" >"$OUT/metrics.prom" || true
+  curl -sf "http://127.0.0.1:$HTTP_PORT/fleet" >"$OUT/fleet.json" || true
+  if grep -q 'node="0"' "$OUT/metrics.prom" 2>/dev/null &&
+     grep -q 'node="1"' "$OUT/metrics.prom" 2>/dev/null &&
+     grep -q '"id":0' "$OUT/fleet.json" 2>/dev/null &&
+     grep -q '"id":1' "$OUT/fleet.json" 2>/dev/null &&
+     ! grep -q '"fresh":false' "$OUT/fleet.json" 2>/dev/null; then
+    FED_OK=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ $FED_OK -ne 1 ]]; then
+  echo "cluster_smoke: federation scrape never showed both nodes" >&2
+  echo "--- /metrics ---" >&2; cat "$OUT/metrics.prom" >&2 || true
+  echo "--- /fleet ---" >&2; cat "$OUT/fleet.json" >&2 || true
+  FAIL=1
+else
+  echo "federation: both nodes visible in one /metrics scrape and /fleet"
+fi
+
 for p in "${FEED_PIDS[@]}"; do wait "$p" || { echo "feeder exited nonzero" >&2; FAIL=1; }; done
 for p in "${NODE_PIDS[@]}"; do wait "$p" || { echo "node exited nonzero" >&2; FAIL=1; }; done
 CTL_STATUS=0
@@ -103,6 +143,27 @@ done
 if ! grep -qE 'messages .* 0 rejected, 0 corrupt streams' "$OUT/ctl.log"; then
   echo "cluster_smoke: controller saw protocol rejects" >&2
   FAIL=1
+fi
+
+# Cross-process trace correlation: merge the three per-process traces into
+# one Perfetto timeline and require at least one controller period id to
+# appear on spans in every track (require_period_overlap=1 exits nonzero
+# otherwise).
+if "$BIN" trace-merge "$OUT/tele_ctl/trace.json" "$OUT/tele_n0/trace.json" \
+    "$OUT/tele_n1/trace.json" out="$OUT/merged_trace.json" \
+    require_period_overlap=1 >"$OUT/merge.log" 2>&1; then
+  cat "$OUT/merge.log"
+else
+  echo "cluster_smoke: trace-merge failed or found no common period id" >&2
+  cat "$OUT/merge.log" >&2 || true
+  FAIL=1
+fi
+
+if [[ -n ${ARTIFACT_DIR:-} ]]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp -f "$OUT/merged_trace.json" "$ARTIFACT_DIR/" 2>/dev/null || true
+  cp -f "$OUT/metrics.prom" "$ARTIFACT_DIR/controller_metrics.prom" 2>/dev/null || true
+  cp -f "$OUT/fleet.json" "$ARTIFACT_DIR/" 2>/dev/null || true
 fi
 
 if [[ $FAIL -ne 0 ]]; then

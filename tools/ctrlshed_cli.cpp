@@ -29,6 +29,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cluster/controller_runner.h"
 #include "cluster/feeder.h"
@@ -37,6 +38,7 @@
 #include "net/socket_util.h"
 #include "rt/rt_runtime.h"
 #include "runner/experiment.h"
+#include "telemetry/trace_merge.h"
 #include "workload/trace_io.h"
 #include "workload/traces.h"
 
@@ -221,6 +223,29 @@ void PrintTelemetryPaths(const std::string& dir) {
               dir.c_str());
 }
 
+/// Shared telemetry flags: dir, port, and the hardened-server pair —
+/// telemetry_bind picks the listen address (default loopback) and
+/// telemetry_token arms bearer-token auth. The server itself refuses a
+/// non-loopback bind without a token, so the unsafe combination cannot be
+/// reached from here.
+void SetupTelemetry(Args& args, ExperimentConfig* cfg) {
+  cfg->telemetry.dir = GetString(args, "telemetry_dir", "");
+  cfg->telemetry.server_port = GetPort(args);
+  cfg->telemetry.server_bind_address =
+      GetString(args, "telemetry_bind", "127.0.0.1");
+  cfg->telemetry.server_auth_token = GetString(args, "telemetry_token", "");
+  if (cfg->telemetry.server_port >= 0) {
+    const std::string bind = cfg->telemetry.server_bind_address;
+    const bool authed = !cfg->telemetry.server_auth_token.empty();
+    cfg->telemetry.on_server_start = [bind, authed](int port) {
+      std::printf("telemetry server   http://%s:%d/ "
+                  "(/metrics /status /timeline /fleet)%s\n",
+                  bind.c_str(), port, authed ? " [token required]" : "");
+      std::fflush(stdout);
+    };
+  }
+}
+
 int CmdRun(Args args) {
   ExperimentConfig cfg;
   cfg.method = ParseMethod(GetString(args, "method", "ctrl"));
@@ -240,15 +265,7 @@ int CmdRun(Args args) {
   cfg.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
   const double poles = GetDouble(args, "poles", 0.7);
   cfg.gains = DesignPolePlacement(poles, poles);
-  cfg.telemetry.dir = GetString(args, "telemetry_dir", "");
-  cfg.telemetry.server_port = GetPort(args);
-  if (cfg.telemetry.server_port >= 0) {
-    cfg.telemetry.on_server_start = [](int port) {
-      std::printf("telemetry server   http://127.0.0.1:%d/ "
-                  "(/metrics /status /timeline)\n", port);
-      std::fflush(stdout);
-    };
-  }
+  SetupTelemetry(args, &cfg);
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
@@ -289,15 +306,7 @@ int CmdRt(Args args) {
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
   cfg.workers = GetWorkers(args);
-  cfg.base.telemetry.dir = GetString(args, "telemetry_dir", "");
-  cfg.base.telemetry.server_port = GetPort(args);
-  if (cfg.base.telemetry.server_port >= 0) {
-    cfg.base.telemetry.on_server_start = [](int port) {
-      std::printf("telemetry server   http://127.0.0.1:%d/ "
-                  "(/metrics /status /timeline)\n", port);
-      std::fflush(stdout);
-    };
-  }
+  SetupTelemetry(args, &cfg.base);
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
@@ -395,18 +404,6 @@ long GetInt(Args& args, const std::string& key, long fallback, long lo,
   }
   args.erase(it);
   return v;
-}
-
-void SetupTelemetry(Args& args, ExperimentConfig* cfg) {
-  cfg->telemetry.dir = GetString(args, "telemetry_dir", "");
-  cfg->telemetry.server_port = GetPort(args);
-  if (cfg->telemetry.server_port >= 0) {
-    cfg->telemetry.on_server_start = [](int port) {
-      std::printf("telemetry server   http://127.0.0.1:%d/ "
-                  "(/metrics /status /timeline)\n", port);
-      std::fflush(stdout);
-    };
-  }
 }
 
 int CmdNode(Args args) {
@@ -583,6 +580,75 @@ int CmdFeed(Args args) {
   return 0;
 }
 
+/// `ctrlshed trace-merge [out=FILE] [require_period_overlap=0|1] IN...`
+/// Hand-parsed: bare tokens are input trace.json paths, so the shared
+/// key=value parser (which rejects them) does not apply.
+int CmdTraceMerge(int argc, char** argv) {
+  std::string out_path = "trace_merged.json";
+  bool require_overlap = false;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      tok = tok.substr(2);
+      for (char& c : tok) {
+        if (c == '-') c = '_';
+      }
+      if (tok.find('=') == std::string::npos) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option --%s needs a value\n", tok.c_str());
+          return 2;
+        }
+        tok += '=';
+        tok += argv[++i];
+      }
+    }
+    const size_t eq = tok.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "out") {
+        out_path = val;
+        continue;
+      }
+      if (key == "require_period_overlap") {
+        require_overlap = std::atof(val.c_str()) != 0.0;
+        continue;
+      }
+      std::fprintf(stderr, "unknown trace-merge option '%s'\n", key.c_str());
+      return 2;
+    }
+    inputs.push_back(tok);
+  }
+  if (inputs.size() < 2) {
+    std::fprintf(stderr,
+                 "trace-merge needs at least two input trace.json files\n");
+    return 2;
+  }
+  TraceMergeResult res;
+  if (!MergeTraceFiles(inputs, out_path, &res)) {
+    std::fprintf(stderr, "trace-merge: %s\n", res.error.c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < res.files; ++i) {
+    std::printf("  track %-16s %zu events, clock offset %+lld us\n",
+                res.labels[i].c_str(), res.events_per_file[i],
+                static_cast<long long>(res.offsets_us[i]));
+  }
+  std::printf("merged %zu events from %zu files into %s\n", res.events,
+              res.files, out_path.c_str());
+  if (res.common_periods.empty()) {
+    std::printf("no controller period id appears in every track\n");
+    if (require_overlap) return 1;
+  } else {
+    std::printf("%zu controller period(s) traced across every track "
+                "(e.g. period %lld)\n",
+                res.common_periods.size(),
+                static_cast<long long>(res.common_periods.front()));
+  }
+  return 0;
+}
+
 int CmdDesign(Args args) {
   const double p = GetDouble(args, "poles", 0.7);
   const double a = GetDouble(args, "a", -0.8);
@@ -625,14 +691,27 @@ void PrintHelp() {
       "  q, y_hat, e, u, v, alpha, loss, lateness) into DIR.\n"
       "  telemetry_port=N (or --telemetry-port N) serves live telemetry on\n"
       "  http://127.0.0.1:N — GET / (dashboard), /metrics (Prometheus),\n"
-      "  /timeline (SSE rows identical to timeline.jsonl), /status (JSON).\n"
+      "  /timeline (SSE rows identical to timeline.jsonl), /status (JSON),\n"
+      "  /fleet (cluster membership JSON on a controller).\n"
       "  N=0 picks an ephemeral port (printed at startup). Works with or\n"
       "  without telemetry_dir. SIGINT/SIGTERM on `ctrlshed rt` stops the\n"
       "  run early and still flushes complete trace/timeline files.\n"
+      "  telemetry_bind=ADDR serves on a non-loopback address; it then\n"
+      "  REQUIRES telemetry_token=SECRET (requests authenticate with\n"
+      "  `Authorization: Bearer SECRET` or `?token=SECRET`; anything else\n"
+      "  gets 401). Loopback binds stay open by default.\n"
       "  trace_out=FILE writes the per-period table (CSV if FILE ends in\n"
       "  .csv).\n"
       "  ctrlshed trace  [kind=web|pareto|mmpp|cost] [duration=400]\n"
       "                  [beta=1.0] [seed=42]            (trace to stdout)\n"
+      "  ctrlshed trace-merge [out=trace_merged.json]\n"
+      "                  [require_period_overlap=0|1] TRACE.json...\n"
+      "                  (joins per-process trace.json files into one\n"
+      "                  Perfetto timeline: per-process tracks, clock\n"
+      "                  offsets from the cluster HELLO handshake applied,\n"
+      "                  controller period ids intersected across tracks;\n"
+      "                  require_period_overlap=1 exits nonzero unless one\n"
+      "                  period id was traced in every input)\n"
       "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
       "\n"
       "  ctrlshed cluster [port=0] [duration=60] [T=1] [yd=2] [H=0.97]\n"
@@ -680,6 +759,7 @@ int main(int argc, char** argv) {
   if (cmd == "cluster") return CmdCluster(ParseArgs(argc, argv, 2));
   if (cmd == "feed") return CmdFeed(ParseArgs(argc, argv, 2));
   if (cmd == "trace") return CmdTrace(ParseArgs(argc, argv, 2));
+  if (cmd == "trace-merge") return CmdTraceMerge(argc, argv);
   if (cmd == "design") return CmdDesign(ParseArgs(argc, argv, 2));
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   PrintHelp();
