@@ -1,30 +1,116 @@
 // Reproduces Fig. 14: the variable per-tuple cost trace — a long-tailed
 // noisy base (~4 ms) with a small peak at ~50 s, a sudden-jump peak at
 // 125 s, and a high terrace from 250 s to 350 s reached by a gradual ramp.
+//
+// Since the actuation-plane refactor the trace is honored by both
+// runtimes, so the bench also runs one CTRL cell per runtime (sim rt=0,
+// real-threads rt=1) with the trace and the in-network queue shedder
+// active, and reports the tracking summary side by side.
+//
+// `--quick` shrinks the run to a CI smoke: no per-second table, short
+// duration, high time compression. Exits non-zero if either runtime's
+// mean delay estimate leaves the sanity band around the setpoint.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/series.h"
 #include "common/table_printer.h"
+#include "rt/rt_runtime.h"
 #include "workload/traces.h"
 
 using namespace ctrlshed;
 
-int main() {
+namespace {
+
+struct Cell {
+  const char* runtime;
+  double mean_yhat = 0.0;
+  double loss = 0.0;
+  uint64_t entry_shed = 0;
+  uint64_t queue_shed = 0;
+};
+
+double MeanYhat(const Recorder& recorder) {
+  double sum = 0.0;
+  int n = 0;
+  for (const PeriodRecord& row : recorder.rows()) {
+    if (row.m.k <= 5) continue;  // skip the cold-start transient
+    sum += row.m.y_hat;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
   bench::Banner("Fig. 14", "variable unit processing costs (ms)");
 
-  RateTrace cost = MakeCostTrace(400.0, CostTraceParams{}, 43);
-  TablePrinter table(std::cout, {"t", "cost_ms"});
-  table.PrintHeader();
-  for (size_t k = 0; k < cost.values().size(); ++k) {
-    table.PrintRow({static_cast<double>(k), cost.values()[k]});
+  const double duration = quick ? 30.0 : 400.0;
+  RateTrace cost = MakeCostTrace(duration, CostTraceParams{}, 43);
+  if (!quick) {
+    TablePrinter table(std::cout, {"t", "cost_ms"});
+    table.PrintHeader();
+    for (size_t k = 0; k < cost.values().size(); ++k) {
+      table.PrintRow({static_cast<double>(k), cost.values()[k]});
+    }
   }
 
   SummaryStats s = ComputeStats(cost.values());
   std::printf("\nmean = %.2f ms, min = %.2f, max = %.2f "
               "(paper Fig. 14 spans ~3-25 ms)\n",
               s.mean, s.min, s.max);
-  return 0;
+
+  // One CTRL cell per runtime, cost trace + queue shedder active.
+  ExperimentConfig base;
+  base.method = Method::kCtrl;
+  base.workload = WorkloadKind::kConstant;
+  base.constant_rate = 300.0;
+  base.duration = duration;
+  base.target_delay = 2.0;
+  base.vary_cost = true;
+  base.use_queue_shedder = true;
+  base.seed = 11;
+
+  Cell cells[2];
+
+  const ExperimentResult sim = RunExperiment(base);
+  cells[0] = {"sim", MeanYhat(sim.recorder), sim.summary.loss_ratio,
+              sim.summary.entry_shed, sim.summary.queue_shed};
+
+  RtRunConfig rt_cfg;
+  rt_cfg.base = base;
+  rt_cfg.time_compression = quick ? 40.0 : 10.0;
+  const RtRunResult rt = RunRtExperiment(rt_cfg);
+  cells[1] = {"rt", MeanYhat(rt.recorder), rt.summary.loss_ratio,
+              rt.summary.entry_shed, rt.summary.queue_shed};
+
+  std::printf("\nCTRL under the cost trace (yd = %.1f s, rate = %.0f t/s, "
+              "queue shedder on)\n", base.target_delay, base.constant_rate);
+  std::printf("%-6s %12s %8s %12s %12s\n", "rt", "mean_y_hat", "loss",
+              "entry_shed", "queue_shed");
+  bool ok = true;
+  for (const Cell& c : cells) {
+    std::printf("%-6s %12.3f %8.3f %12llu %12llu\n", c.runtime, c.mean_yhat,
+                c.loss, static_cast<unsigned long long>(c.entry_shed),
+                static_cast<unsigned long long>(c.queue_shed));
+    // Sanity band, not the tight rt_soak gate: both runtimes must keep the
+    // estimated delay near the setpoint despite the cost events.
+    if (c.mean_yhat < 0.5 * base.target_delay ||
+        c.mean_yhat > 1.5 * base.target_delay) {
+      std::printf("FAIL: %s mean y_hat %.3f outside [%.2f, %.2f]\n",
+                  c.runtime, c.mean_yhat, 0.5 * base.target_delay,
+                  1.5 * base.target_delay);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }

@@ -86,7 +86,7 @@ void PrintShardBreakdown(const RtRunResult& r) {
   std::printf("\nper-shard breakdown (%d workers):\n", r.workers);
   for (size_t i = 0; i < r.shards.size(); ++i) {
     const RtShardSummary& s = r.shards[i];
-    const uint64_t dropped = s.entry_shed + s.ring_dropped + s.shed_lineages;
+    const uint64_t dropped = s.entry_shed + s.ring_dropped + s.queue_shed;
     const double loss =
         s.offered > 0
             ? static_cast<double>(dropped) / static_cast<double>(s.offered)
@@ -97,7 +97,7 @@ void PrintShardBreakdown(const RtRunResult& r) {
                 i, static_cast<unsigned long long>(s.offered),
                 static_cast<unsigned long long>(s.entry_shed),
                 static_cast<unsigned long long>(s.ring_dropped),
-                static_cast<unsigned long long>(s.shed_lineages), loss,
+                static_cast<unsigned long long>(s.queue_shed), loss,
                 static_cast<unsigned long long>(s.departed),
                 s.pump_intervals.Quantile(0.50) * 1e3,
                 s.pump_intervals.Quantile(0.99) * 1e3);

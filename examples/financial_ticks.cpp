@@ -30,9 +30,9 @@ int main() {
 
   Simulation sim;
 
-  // trades -> f_trades -\
-  //                       band-join (2 s window) -> enrich -> alert sink
-  // quotes -> f_quotes -/
+  // trades -> f_trades --+
+  //                      +-- band-join (2 s window) -> enrich -> alert sink
+  // quotes -> f_quotes --+
   QueryNetwork net;
   auto* f_trades = net.Add(std::make_unique<FilterOp>(
       "odd_lot_filter", Millis(0.8), /*threshold=*/0.9));

@@ -32,6 +32,8 @@ void ClusterControlLoop::OnAck(const ActuationAck& a) {
     pending_.acked[i] = true;
     pending_.applied[i] = a.applied;
     pending_.alpha[i] = a.alpha;
+    pending_.site[i] = a.site;
+    pending_.queue_shed[i] = a.queue_shed;
     ++pending_.acks;
     break;
   }
@@ -77,6 +79,8 @@ std::vector<NodeCommand> ClusterControlLoop::Tick(SimTime now) {
     cmd.act.seq = pending_.seq;
     cmd.act.v = v_i;
     cmd.act.target_delay = yd_;
+    cmd.act.queue_shed = options_.queue_shed;
+    cmd.act.cost_aware = options_.cost_aware;
     commands.push_back(cmd);
 
     pending_.node_ids.push_back(ids[i]);
@@ -87,6 +91,10 @@ std::vector<NodeCommand> ClusterControlLoop::Tick(SimTime now) {
     // Until the ack lands, fall back to the node's last reported alpha.
     const ClusterMonitor::NodeState* n = monitor_.Find(ids[i]);
     pending_.alpha.push_back(n != nullptr ? n->alpha : 0.0);
+    // Unacked nodes default to entry-site, zero in-network victims —
+    // missing data must not fabricate in-network actuation.
+    pending_.site.push_back(static_cast<uint32_t>(ActuationSite::kEntry));
+    pending_.queue_shed.push_back(0.0);
   }
   return commands;
 }
@@ -96,6 +104,8 @@ void ClusterControlLoop::Finalize() {
   pending_.open = false;
   double applied = 0.0;
   double alpha = 0.0;
+  double queue_shed = 0.0;
+  bool in_network = false;
   for (size_t i = 0; i < pending_.node_ids.size(); ++i) {
     // A node whose ack was lost or delayed is assumed to have applied its
     // full slice: missing data must not masquerade as actuator
@@ -103,9 +113,25 @@ void ClusterControlLoop::Finalize() {
     // every dropped message.
     applied += pending_.acked[i] ? pending_.applied[i] : pending_.v_i[i];
     alpha += pending_.shares[i] * pending_.alpha[i];
+    queue_shed += pending_.queue_shed[i];
+    in_network |=
+        pending_.site[i] != static_cast<uint32_t>(ActuationSite::kEntry);
   }
   controller_.NotifyActuation(applied);
   pending_.record.alpha = alpha;
+  // Cluster-level site: entry unless some node actuated in-network this
+  // period; split when entry drops ran alongside.
+  pending_.record.site =
+      !in_network ? ActuationSite::kEntry
+                  : (alpha > 0.0 ? ActuationSite::kSplit
+                                 : ActuationSite::kInNetwork);
+  pending_.record.queue_shed = queue_shed;
+  if (metrics_sink_ != nullptr) {
+    metrics_sink_
+        ->GetCounter(std::string("actuation.site.") +
+                     std::string(ActuationSiteName(pending_.record.site)))
+        ->Add();
+  }
   recorder_.Record(pending_.record);
   if (on_record_) on_record_(recorder_.rows().back());
 }

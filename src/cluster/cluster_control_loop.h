@@ -20,6 +20,11 @@ struct ClusterControlLoopOptions {
   /// The paper's CTRL controller drives the aggregate plant; its headroom
   /// field is overwritten from cluster membership at every change.
   CtrlOptions ctrl;
+  /// Stamp queue_shed / cost_aware plan flags on every actuation command:
+  /// the nodes then build in-network-enabled ActuationPlans (see
+  /// control/actuation_plan.h) instead of entry-only ones.
+  bool queue_shed = false;
+  bool cost_aware = false;
 };
 
 /// One fanned-out command: deliver `act` to node `node_id`.
@@ -98,6 +103,8 @@ class ClusterControlLoop {
     std::vector<bool> acked;
     std::vector<double> applied;
     std::vector<double> alpha;  // per-node alpha (reported until acked)
+    std::vector<uint32_t> site;       // per-node ActuationSite (from acks)
+    std::vector<double> queue_shed;   // per-node planned in-network victims
     size_t acks = 0;
   };
 

@@ -16,6 +16,7 @@
 #include "shedding/entry_shedder.h"
 #include "sim/simulation.h"
 #include "workload/arrival_source.h"
+#include "workload/traces.h"
 
 namespace ctrlshed {
 
@@ -29,6 +30,9 @@ struct SimShard {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<EntryShedder> shedder;
   std::unique_ptr<ArrivalSource> source;
+  /// Victim RNG for in-network budgets, same seed stream as the rt
+  /// workers' (seed + 6 + 7919g); null when the queue shedder is off.
+  std::unique_ptr<Rng> shed_rng;
 
   // Ingress-side counters (what RtSharedStats holds in the socket runner).
   uint64_t offered = 0;
@@ -61,22 +65,35 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
                "rate predictors are not supported in the cluster loop");
   CS_CHECK_MSG(base.setpoint_schedule.empty(),
                "setpoint schedules are not supported in the cluster loop");
-  CS_CHECK_MSG(!base.use_queue_shedder && !base.vary_cost &&
-                   base.estimation_noise == 0.0,
-               "cluster sim supports entry shedding at constant cost");
+  CS_CHECK_MSG(base.estimation_noise == 0.0,
+               "injected estimation noise is a single-process sim knob");
 
   const int total_shards = config.nodes * config.workers_per_node;
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
   Simulation sim;
   QosAccumulator qos(base.target_delay);
-  uint64_t total_shed_lineages = 0;  // folded at the end from engines
+  uint64_t total_queue_shed = 0;  // folded at the end from engines
 
   // --- Plants: N nodes x W shards, each shard a full engine --------------
   // Seeds and trace slices follow the rt runtime's convention with the
   // shard index taken cluster-wide, so nodes=1 reproduces the
   // single-process sharded runtime's streams exactly.
   const RateTrace full_trace = BuildArrivalTrace(base);
+
+  // Fig. 14 time-varying cost: ONE shared trace (seed + 1, the sim and rt
+  // runtimes' stream) sampled by every engine — the cluster twin of a
+  // workload-wide cost drift.
+  RateTrace cost_trace;
+  CostMultiplierFn cost_multiplier;
+  if (base.vary_cost) {
+    cost_trace = MakeCostTrace(base.duration, base.cost_params, base.seed + 1);
+    const double cost_base = base.cost_params.base_ms;
+    cost_multiplier = [&cost_trace, cost_base](SimTime t) {
+      return cost_trace.At(t) / cost_base;
+    };
+  }
+
   std::vector<std::unique_ptr<SimNode>> nodes;
   nodes.reserve(static_cast<size_t>(config.nodes));
   for (int n = 0; n < config.nodes; ++n) {
@@ -90,9 +107,14 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
       BuildIdentificationNetwork(shard.net.get(), nominal_cost);
       shard.engine =
           std::make_unique<Engine>(shard.net.get(), base.headroom_true);
+      if (cost_multiplier) shard.engine->SetCostMultiplier(cost_multiplier);
       sim.AttachProcess(shard.engine.get());
       shard.shedder = std::make_unique<EntryShedder>(
           base.seed + 2 + 7919 * static_cast<uint64_t>(g));
+      if (base.use_queue_shedder) {
+        shard.shed_rng = std::make_unique<Rng>(
+            base.seed + 6 + 7919 * static_cast<uint64_t>(g));
+      }
       node->shedder_ptrs.push_back(shard.shedder.get());
       shard.source = std::make_unique<ArrivalSource>(
           g,
@@ -117,6 +139,23 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
     agent_opts.monitor.adapt_headroom = base.adapt_headroom;
     node->agent = std::make_unique<NodeAgent>(nominal_cost, node->shedder_ptrs,
                                               agent_opts);
+    if (base.use_queue_shedder) {
+      // The sim's budget "handshake" is a direct call: the plant is
+      // single-threaded, so the shard drains its in-network budget at the
+      // moment the plan lands (the rt runner posts through RtSharedStats
+      // instead and the worker pump drains it asynchronously).
+      SimNode* node_raw = node.get();
+      const Engine::QueueVictimPolicy policy =
+          base.cost_aware_shedding ? Engine::QueueVictimPolicy::kMostCostly
+                                   : Engine::QueueVictimPolicy::kRandom;
+      node->agent->SetBudgetPoster(
+          [node_raw, policy](size_t i, const ActuationPlan& plan, uint32_t) {
+            if (plan.queue_budget_load <= 0.0) return;
+            SimShard& shard = node_raw->shards[i];
+            shard.engine->ShedFromQueues(plan.queue_budget_load,
+                                         *shard.shed_rng, policy);
+          });
+    }
     nodes.push_back(std::move(node));
   }
 
@@ -132,6 +171,8 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
   loop_opts.ctrl.headroom = base.headroom_est;  // re-targeted on membership
   loop_opts.ctrl.feedback = base.ctrl_feedback;
   loop_opts.ctrl.anti_windup = base.anti_windup;
+  loop_opts.queue_shed = base.use_queue_shedder;
+  loop_opts.cost_aware = base.cost_aware_shedding;
   ClusterControlLoop ctl(loop_opts);
   if (config.fleet_metrics != nullptr) {
     ctl.SetMetricsSink(config.fleet_metrics);
@@ -206,7 +247,8 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
         const EngineCounters& c = shard.engine->counters();
         s.admitted = c.admitted;
         s.departed = c.departed;
-        s.shed_lineages = c.shed_lineages;
+        s.queue_shed = c.shed_lineages;
+        s.queue_shed_load = c.shed_base_load;
         s.busy_seconds = c.busy_seconds;
         s.drained_base_load = c.drained_base_load;
         s.queued_tuples = shard.engine->QueuedTuples();
@@ -284,11 +326,12 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
     for (const SimShard& shard : node->shards) {
       nr.offered += shard.offered;
       nr.entry_shed += shard.entry_shed;
+      nr.queue_shed += shard.engine->counters().shed_lineages;
       nr.departed += shard.engine->counters().departed;
-      total_shed_lineages += shard.engine->counters().shed_lineages;
     }
     offered += nr.offered;
     entry_shed += nr.entry_shed;
+    total_queue_shed += nr.queue_shed;
     result.nodes.push_back(nr);
   }
 
@@ -297,7 +340,10 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
   s.delayed_tuples = qos.delayed_tuples();
   s.max_overshoot = qos.max_overshoot();
   s.offered = offered;
-  s.shed = entry_shed + total_shed_lineages;
+  s.entry_shed = entry_shed;
+  s.ring_dropped = 0;  // the sim has no ingress rings
+  s.queue_shed = total_queue_shed;
+  s.shed = entry_shed + total_queue_shed;
   s.loss_ratio = offered == 0 ? 0.0
                               : static_cast<double>(s.shed) /
                                     static_cast<double>(offered);

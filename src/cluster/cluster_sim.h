@@ -27,8 +27,11 @@ namespace ctrlshed {
 /// single-process sharded loop.
 struct ClusterSimConfig {
   /// Workload, duration, period, setpoint, headrooms, gains, seed. The
-  /// cluster path supports method=kCtrl, last-value prediction, no
-  /// setpoint schedule, no queue shedder, no cost trace.
+  /// cluster path supports method=kCtrl with last-value prediction and no
+  /// setpoint schedule; the Fig. 14 cost trace (`vary_cost`) and the
+  /// in-network queue shedder (`use_queue_shedder` /
+  /// `cost_aware_shedding`, budgets planned per-node by the NodeAgent)
+  /// ride along. Injected estimation noise stays sim-loop-only.
   ExperimentConfig base;
 
   int nodes = 1;
@@ -61,11 +64,14 @@ struct ClusterSimConfig {
   uint32_t kill_node_id = 0;
 };
 
+/// Shed counters follow the repo-wide scheme (docs/architecture.md "Shed
+/// accounting"); the sim has no ingress rings, so ring_dropped is absent.
 struct ClusterSimNodeResult {
   uint32_t node_id = 0;
   bool killed = false;
   uint64_t offered = 0;
   uint64_t entry_shed = 0;
+  uint64_t queue_shed = 0;
   uint64_t departed = 0;
   double final_alpha = 0.0;
 };

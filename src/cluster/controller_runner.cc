@@ -67,6 +67,8 @@ ClusterControllerResult RunClusterController(
   lopts.ctrl.headroom = base.headroom_est;  // re-targeted from membership
   lopts.ctrl.feedback = base.ctrl_feedback;
   lopts.ctrl.anti_windup = base.anti_windup;
+  lopts.queue_shed = base.use_queue_shedder;
+  lopts.cost_aware = base.cost_aware_shedding;
   ClusterControlLoop ctl(lopts);
   if (telemetry) {
     // Record callbacks fire from the serve thread (ack-completed periods)

@@ -17,7 +17,9 @@ namespace ctrlshed {
 struct ClusterControllerConfig {
   /// Period, setpoint, gains, feedback signal, anti-windup, cost
   /// smoothing, headrooms/capacity (for the model constant c), duration,
-  /// telemetry. Workload fields are unused — the plant is remote.
+  /// telemetry. `use_queue_shedder`/`cost_aware_shedding` stamp the plan
+  /// flags on every actuation command (the nodes do the in-network work).
+  /// Workload fields are unused — the plant is remote.
   ExperimentConfig base;
 
   /// Control-channel listen port; 0 picks an ephemeral one (see on_ready).

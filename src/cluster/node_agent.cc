@@ -43,6 +43,7 @@ NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
     r.offered_total += s.offered;
     r.entry_shed_total += s.entry_shed;
     r.ring_dropped_total += s.ring_dropped;
+    r.queue_shed_total += s.queue_shed;
     r.departed_total += s.departed;
   }
   return r;
@@ -64,12 +65,18 @@ ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
     return ack;
   }
 
-  // Identical arithmetic to RtLoop::ControlTick's shard fan-out.
+  // Identical arithmetic to RtLoop::ControlTick's shard fan-out: per-shard
+  // ActuationPlans built from the same measurement slices. With queue_shed
+  // off the plans are entry-only and ApplyPlan degrades to Configure, bit
+  // for bit the pre-plan agent.
+  const ActuationPlanner planner(ActuationPlannerOptions{
+      nominal_entry_cost_, /*allow_in_network=*/a.queue_shed, a.cost_aware});
   const std::vector<double>& shard_fin = monitor_.shard_fin();
   const std::vector<double>& shard_queues = monitor_.shard_queues();
   const std::vector<double> shares = ProportionalShares(shard_fin);
   double applied = 0.0;
   double alpha = 0.0;
+  double queue_target = 0.0;
   for (size_t i = 0; i < shedders_.size(); ++i) {
     const double share = shares[i];
     PeriodMeasurement mi = m_;
@@ -77,12 +84,21 @@ ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
     mi.fin_forecast = m_.fin_forecast * share;
     mi.admitted = m_.admitted * share;
     mi.queue = shard_queues[i];
-    applied += shedders_[i]->Configure(a.v * share, mi);
+    const ActuationPlan plan = planner.BuildPlan(a.v * share, mi);
+    if (a.queue_shed && budget_poster_) budget_poster_(i, plan, a.seq);
+    applied += shedders_[i]->ApplyPlan(plan, mi);
     alpha += share * shedders_[i]->drop_probability();
+    queue_target += plan.queue_target;
   }
   alpha_ = alpha;
   ack.applied = applied;
   ack.alpha = alpha;
+  ack.queue_shed = queue_target;
+  const ActuationSite site =
+      queue_target > 0.0
+          ? (alpha > 0.0 ? ActuationSite::kSplit : ActuationSite::kInNetwork)
+          : ActuationSite::kEntry;
+  ack.site = static_cast<uint32_t>(site);
   return ack;
 }
 

@@ -2,9 +2,11 @@
 #define CTRLSHED_CLUSTER_NODE_AGENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/wire.h"
+#include "control/actuation_plan.h"
 #include "rt/rt_monitor.h"
 #include "shedding/shedder.h"
 
@@ -42,7 +44,22 @@ class NodeAgent {
 
   /// Applies a received command to the entry shedders. Safe to call
   /// before the first Tick (nothing to fan out yet: acks applied = 0).
+  /// When the command carries queue_shed, each shard's in-network budget
+  /// is handed to the budget poster (below) before the entry shedder sees
+  /// the plan, and the ack reports the chosen site + planned victims.
   ActuationAck Apply(const ClusterActuation& a);
+
+  /// Shard-budget delivery seam for in-network shedding. The runner owns
+  /// how a budget reaches shard `i`'s engine: the socket runner posts it
+  /// through the RtSharedStats plan handshake (the worker pump drains it),
+  /// the single-threaded cluster sim executes ShedFromQueues directly.
+  /// Called from Apply, once per shard, only for queue_shed commands.
+  using BudgetPoster =
+      std::function<void(size_t shard, const ActuationPlan& plan,
+                         uint32_t ctrl_seq)>;
+  void SetBudgetPoster(BudgetPoster poster) {
+    budget_poster_ = std::move(poster);
+  }
 
   const RtMonitor& monitor() const { return monitor_; }
   const PeriodMeasurement& last_measurement() const { return m_; }
@@ -62,6 +79,7 @@ class NodeAgent {
   double nominal_entry_cost_;
   std::vector<Shedder*> shedders_;
   RtMonitor monitor_;
+  BudgetPoster budget_poster_;
 
   double target_delay_;
   uint32_t seq_ = 0;

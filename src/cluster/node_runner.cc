@@ -21,6 +21,7 @@
 #include "telemetry/fleet_metrics.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracer.h"
+#include "workload/traces.h"
 
 namespace ctrlshed {
 
@@ -79,6 +80,18 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   // The plant: same construction as the sharded rt runtime, with the shard
   // index node-local (each node is its own plant; the cluster-wide view
   // lives in the controller's aggregation).
+  // Fig. 14 time-varying cost, sampled on each worker's clock; the trace
+  // lookup is read-only and the trace outlives the engines.
+  RateTrace cost_trace;
+  CostMultiplierFn cost_multiplier;
+  if (base.vary_cost) {
+    cost_trace = MakeCostTrace(base.duration, base.cost_params, base.seed + 1);
+    const double cost_base = base.cost_params.base_ms;
+    cost_multiplier = [&cost_trace, cost_base](SimTime t) {
+      return cost_trace.At(t) / cost_base;
+    };
+  }
+
   std::vector<std::unique_ptr<QueryNetwork>> nets;
   std::vector<std::unique_ptr<RtEngine>> engines;
   std::vector<std::unique_ptr<EntryShedder>> shedders;
@@ -92,6 +105,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     eopts.cost_mode = config.cost_mode;
     eopts.pacing_wall_seconds = config.pacing_wall_seconds;
     eopts.batch = config.batch;
+    eopts.cost_multiplier = cost_multiplier;
+    eopts.queue_shed_seed = base.seed + 6 + 7919 * static_cast<uint64_t>(i);
     eopts.telemetry = telemetry.get();
     eopts.shard_index = i;
     eopts.per_shard_pump_metric = workers > 1;
@@ -115,6 +130,22 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   // ingress admission (serve thread), the period tick (report thread), and
   // remote actuation (control reader thread).
   std::mutex plant_mu;
+
+  // In-network budgets cross into the worker threads through the
+  // RtSharedStats plan handshake: budget + policy stored relaxed, then the
+  // bumped sequence released; the worker pump acquires the sequence and
+  // drains the budget between engine advances. `plan_seq` is guarded by
+  // plant_mu (the poster only runs inside agent.Apply).
+  uint64_t plan_seq = 0;
+  agent.SetBudgetPoster(
+      [&engines, &plan_seq](size_t i, const ActuationPlan& plan, uint32_t) {
+        RtSharedStats* stats = engines[i]->stats();
+        stats->plan_queue_budget.store(plan.queue_budget_load,
+                                       std::memory_order_relaxed);
+        stats->plan_cost_aware.store(plan.cost_aware ? 1 : 0,
+                                     std::memory_order_relaxed);
+        stats->plan_seq.store(++plan_seq, std::memory_order_release);
+      });
 
   ClusterNodeResult result;
 
@@ -285,8 +316,7 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     result.offered += stats->offered.load(std::memory_order_relaxed);
     result.entry_shed += stats->entry_shed.load(std::memory_order_relaxed);
     result.ring_dropped += stats->ring_dropped.load(std::memory_order_relaxed);
-    result.shed_lineages +=
-        stats->shed_lineages.load(std::memory_order_relaxed);
+    result.queue_shed += stats->queue_shed.load(std::memory_order_relaxed);
     result.departed += stats->departed.load(std::memory_order_relaxed);
     result.pump_intervals.Merge(engine->pump_intervals());
   }

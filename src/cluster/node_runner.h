@@ -18,7 +18,10 @@ namespace ctrlshed {
 struct ClusterNodeConfig {
   /// Period, setpoint, headrooms, capacity, cost smoothing, seed,
   /// telemetry. The workload fields are unused — arrivals come from the
-  /// network, not a local replay.
+  /// network, not a local replay. `vary_cost` is honored locally (the
+  /// Fig. 14 cost trace is a plant property, sampled on each worker's
+  /// clock); in-network shedding needs no local flag — the controller's
+  /// actuation commands carry the queue_shed/cost_aware plan flags.
   ExperimentConfig base;
 
   uint32_t node_id = 0;
@@ -57,11 +60,14 @@ struct ClusterNodeConfig {
 };
 
 struct ClusterNodeResult {
-  // Plant accounting (summed over shards).
+  // Plant accounting (summed over shards). Shed counters follow the
+  // repo-wide scheme (docs/architecture.md "Shed accounting"): entry_shed
+  // (gate drops) + ring_dropped (ingress overflow) + queue_shed
+  // (in-network queue drops) are disjoint slices of the loss.
   uint64_t offered = 0;
   uint64_t entry_shed = 0;
   uint64_t ring_dropped = 0;
-  uint64_t shed_lineages = 0;
+  uint64_t queue_shed = 0;
   uint64_t departed = 0;
   double final_alpha = 0.0;
 

@@ -153,6 +153,7 @@ std::string EncodeStatsReportFrame(const NodeStatsReport& r) {
   PutU64(r.offered_total, &p);
   PutU64(r.entry_shed_total, &p);
   PutU64(r.ring_dropped_total, &p);
+  PutU64(r.queue_shed_total, &p);
   PutU64(r.departed_total, &p);
   PutU32(r.has_metrics ? 1 : 0, &p);
   if (r.has_metrics) PutMetricsSnapshot(r.metrics, &p);
@@ -171,6 +172,7 @@ bool DecodeStatsReport(const std::string& payload, NodeStatsReport* out) {
       !r.ReadU64(&out->deltas.delay_count) || !r.ReadF64(&out->alpha) ||
       !r.ReadU64(&out->offered_total) || !r.ReadU64(&out->entry_shed_total) ||
       !r.ReadU64(&out->ring_dropped_total) ||
+      !r.ReadU64(&out->queue_shed_total) ||
       !r.ReadU64(&out->departed_total)) {
     return false;
   }
@@ -193,15 +195,23 @@ std::string EncodeActuationFrame(const ClusterActuation& a) {
   PutU32(a.seq, &p);
   PutF64(a.v, &p);
   PutF64(a.target_delay, &p);
+  uint32_t flags = 0;
+  if (a.queue_shed) flags |= 1u;
+  if (a.cost_aware) flags |= 2u;
+  PutU32(flags, &p);
   return Framed(FrameType::kActuation, p);
 }
 
 bool DecodeActuation(const std::string& payload, ClusterActuation* out) {
   WireReader r(payload);
+  uint32_t flags = 0;
   if (!r.ReadU32(&out->seq) || !r.ReadF64(&out->v) ||
-      !r.ReadF64(&out->target_delay) || !r.AtEnd()) {
+      !r.ReadF64(&out->target_delay) || !r.ReadU32(&flags) || !r.AtEnd()) {
     return false;
   }
+  if (flags > 3) return false;  // unknown plan flag: reject, don't guess
+  out->queue_shed = (flags & 1u) != 0;
+  out->cost_aware = (flags & 2u) != 0;
   return AllFinite({out->v, out->target_delay}) && out->target_delay > 0.0;
 }
 
@@ -211,16 +221,21 @@ std::string EncodeAckFrame(const ActuationAck& a) {
   PutU32(a.seq, &p);
   PutF64(a.applied, &p);
   PutF64(a.alpha, &p);
+  PutU32(a.site, &p);
+  PutF64(a.queue_shed, &p);
   return Framed(FrameType::kAck, p);
 }
 
 bool DecodeAck(const std::string& payload, ActuationAck* out) {
   WireReader r(payload);
   if (!r.ReadU32(&out->node_id) || !r.ReadU32(&out->seq) ||
-      !r.ReadF64(&out->applied) || !r.ReadF64(&out->alpha) || !r.AtEnd()) {
+      !r.ReadF64(&out->applied) || !r.ReadF64(&out->alpha) ||
+      !r.ReadU32(&out->site) || !r.ReadF64(&out->queue_shed) || !r.AtEnd()) {
     return false;
   }
-  return AllFinite({out->applied, out->alpha});
+  return out->site <= 2 && AllFinite({out->applied, out->alpha,
+                                      out->queue_shed}) &&
+         out->queue_shed >= 0.0;
 }
 
 }  // namespace ctrlshed

@@ -54,10 +54,13 @@ struct NodeStatsReport {
   PeriodDeltas deltas;         ///< This period's counter deltas + queue.
   double alpha = 0.0;          ///< Blended entry-drop probability in force.
   // Cumulative context for the controller's status/summary display only —
-  // never fed into the aggregate plant math.
+  // never fed into the aggregate plant math. Shed counters follow the
+  // repo-wide scheme (docs/architecture.md "Shed accounting"): entry gate
+  // drops, ingress-ring overflow, and in-network queue drops are disjoint.
   uint64_t offered_total = 0;
   uint64_t entry_shed_total = 0;
   uint64_t ring_dropped_total = 0;
+  uint64_t queue_shed_total = 0;
   uint64_t departed_total = 0;
   /// Federated metrics piggyback (see telemetry/fleet_metrics.h). Strictly
   /// observability: the controller folds it into its registry and NEVER
@@ -68,10 +71,15 @@ struct NodeStatsReport {
 };
 
 /// controller -> node, once per control period: this node's slice of v(k).
+/// The two plan flags travel on every command (encoded as one flags word)
+/// so the node builds the SAME ActuationPlan the controller's policy asks
+/// for without any out-of-band configuration channel.
 struct ClusterActuation {
   uint32_t seq = 0;            ///< Controller period index.
   double v = 0.0;              ///< Admitted-rate command for this node.
   double target_delay = 0.0;   ///< Current setpoint yd.
+  bool queue_shed = false;     ///< Build in-network-enabled plans.
+  bool cost_aware = false;     ///< Victim policy for the in-network half.
 };
 
 /// node -> controller, in response to an actuation.
@@ -80,6 +88,15 @@ struct ActuationAck {
   uint32_t seq = 0;            ///< Echoes ClusterActuation::seq.
   double applied = 0.0;        ///< Rate the shedders could actually target.
   double alpha = 0.0;          ///< Share-blended drop probability after apply.
+  /// ActuationSite the node's plans chose this period (0 entry,
+  /// 1 in_network, 2 split — numeric to keep the wire layer free of
+  /// control-layer includes; decode rejects anything else).
+  uint32_t site = 0;
+  /// Planned in-network victim tuples across the node's shards (the plans'
+  /// summed queue_target). Planned, not realized: the workers drain the
+  /// budget asynchronously; realized drops flow back cumulatively in
+  /// NodeStatsReport::queue_shed_total.
+  double queue_shed = 0.0;
 };
 
 // Encoders return complete frames (header included), ready to send.

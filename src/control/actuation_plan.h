@@ -1,0 +1,128 @@
+#ifndef CTRLSHED_CONTROL_ACTUATION_PLAN_H_
+#define CTRLSHED_CONTROL_ACTUATION_PLAN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "control/controller.h"
+
+namespace ctrlshed {
+
+class Engine;
+
+/// Where this period's shedding happens. The controller picks the site per
+/// period from the plan arithmetic: entry-only when the backlog cannot absorb
+/// any of the excess, in-network when the queued backlog covers all of it,
+/// split when both halves carry load.
+enum class ActuationSite : uint8_t {
+  kEntry = 0,      ///< All shedding at the entry gate (coin flip on arrival).
+  kInNetwork = 1,  ///< All shedding from operator queues.
+  kSplit = 2,      ///< Queue backlog absorbs part, entry gate the rest.
+};
+
+std::string_view ActuationSiteName(ActuationSite site);
+
+/// One operator queue's backlog, as reported upstream into the plan builder
+/// (the punctuation-style inter-operator feedback signal). Engine-independent
+/// so the control layer never touches operator internals directly.
+struct QueueFeedbackEntry {
+  int op_index = 0;            ///< Operator index in the query network.
+  double backlog_tuples = 0;   ///< Tuples queued at this operator.
+  double queued_load = 0.0;    ///< Base-load seconds those tuples still cost.
+  double drain_cost = 0.0;     ///< Remaining per-tuple cost (seconds).
+};
+
+/// Per-period upstream feedback: each operator reports its backlog and drain
+/// cost so the planner can decompose the in-network budget over the cheapest
+/// victims. Empty feedback is always valid (the scalar budget still applies).
+struct QueueFeedback {
+  std::vector<QueueFeedbackEntry> queues;
+  double total_backlog_tuples = 0.0;
+  double total_queued_load = 0.0;
+};
+
+/// Advisory per-queue victim budget (base-load seconds) decomposed from the
+/// scalar in-network budget using the feedback report. Executors may consume
+/// the scalar budget instead; the decomposition records *where* the planner
+/// expects the load to come from.
+struct QueueBudget {
+  int op_index = 0;
+  double budget_load = 0.0;
+};
+
+/// One period's actuation decision, produced by the controller layer and
+/// consumed by every runtime's actuator (sim FeedbackLoop shedders, rt worker
+/// pumps via the RtSharedStats handshake, cluster NodeAgents via kActuation
+/// frames). All tuple quantities are entry-tuple equivalents; *_load fields
+/// are base-load seconds.
+///
+/// The plan stores the intermediate terms of the shed computation (to_shed,
+/// incoming, queue_target) in the exact floating-point expression order the
+/// legacy QueueShedder::Configure used, so an executor that re-derives the
+/// entry remainder from the *actual* queue removal reproduces the pre-plan
+/// arithmetic bit for bit.
+struct ActuationPlan {
+  int k = 0;              ///< Period index the plan applies to.
+  double v = 0.0;         ///< Controller's desired admitted rate v(k).
+  ActuationSite site = ActuationSite::kEntry;
+
+  /// True when the planner ran the in-network (queue-shedder) arithmetic,
+  /// even if the chosen site is kEntry. Actuators switch semantics on this
+  /// flag, not on `site`: the two arithmetics clamp anti-windup differently
+  /// (the in-network plan can target v < fin, the entry-only one cannot).
+  bool in_network_enabled = false;
+
+  // Entry half (analytic, assuming the in-network budget is achieved).
+  double entry_alpha = 0.0;      ///< Planned entry drop probability.
+  double planned_applied = 0.0;  ///< Achievable admitted rate (anti-windup).
+
+  // In-network half.
+  double to_shed = 0.0;       ///< Excess tuples this period, (fin_f - v)*T.
+  double incoming = 0.0;      ///< Expected arrivals this period, fin_f*T.
+  double queue_target = 0.0;  ///< Tuples to remove from operator queues.
+  double queue_budget_load = 0.0;  ///< queue_target in base-load seconds.
+  bool cost_aware = false;    ///< Victim policy: kMostCostly vs kRandom.
+  std::vector<QueueBudget> budgets;  ///< Advisory per-queue decomposition.
+};
+
+struct ActuationPlannerOptions {
+  /// Mean per-tuple base load at entry (seconds); converts tuple counts to
+  /// base-load budgets. Must match the executing engine's NominalEntryCost().
+  double nominal_entry_cost = 1.0;
+  /// When false the planner never emits an in-network budget and every plan
+  /// is site=kEntry with the classic Eq. 13 entry alpha.
+  bool allow_in_network = false;
+  /// Victim policy for the in-network half.
+  bool cost_aware = false;
+};
+
+/// Builds per-period ActuationPlans from the controller's desired rate and
+/// the monitor's measurement. Pure function of its inputs — safe to share or
+/// rebuild per call; holds no cross-period state.
+class ActuationPlanner {
+ public:
+  ActuationPlanner() = default;
+  explicit ActuationPlanner(const ActuationPlannerOptions& options)
+      : options_(options) {}
+
+  const ActuationPlannerOptions& options() const { return options_; }
+
+  /// Computes the coming period's plan. `fb` decomposes the in-network
+  /// budget over reported queues; pass an empty feedback when per-queue
+  /// backlogs are not visible (rt controller thread, cluster controller).
+  ActuationPlan BuildPlan(double v, const PeriodMeasurement& m,
+                          const QueueFeedback& fb = QueueFeedback{}) const;
+
+ private:
+  ActuationPlannerOptions options_;
+};
+
+/// Fills `fb` from the engine's operator queues (backlog and remaining
+/// drain cost per operator). Read-only; call only from the thread that owns
+/// the engine.
+void CollectQueueFeedback(const Engine& engine, QueueFeedback* fb);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_CONTROL_ACTUATION_PLAN_H_

@@ -25,6 +25,9 @@ FeedbackLoop::FeedbackLoop(Simulation* sim, Engine* engine,
                  return mo;
                }()),
       qos_(options.target_delay),
+      planner_(ActuationPlannerOptions{
+          engine != nullptr ? engine->NominalEntryCost() : 1.0,
+          options.allow_in_network_shed, options.cost_aware_shed}),
       target_delay_(options.target_delay) {
   CS_CHECK(sim_ != nullptr);
   CS_CHECK(engine_ != nullptr);
@@ -85,14 +88,30 @@ void FeedbackLoop::ControlTick(SimTime now) {
   if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
   double v = 0.0;
   double alpha = 0.0;
+  ActuationSite site = ActuationSite::kEntry;
   if (controller_ != nullptr) {
     v = controller_->DesiredRate(m);
-    const double applied = shedder_->Configure(v, m);
+    if (options_.allow_in_network_shed) {
+      CollectQueueFeedback(*engine_, &feedback_);
+    }
+    const ActuationPlan plan = planner_.BuildPlan(v, m, feedback_);
+    const double applied = shedder_->ApplyPlan(plan, m);
     controller_->NotifyActuation(applied);
     alpha = shedder_->drop_probability();
+    site = plan.site;
   }
   PeriodRecord rec{m, v, alpha, /*lateness=*/0.0, /*shard_q=*/{}};
-  if (options_.telemetry != nullptr) options_.telemetry->PublishTimelineRow(rec);
+  rec.site = site;
+  const uint64_t queue_shed_total = engine_->counters().shed_lineages;
+  rec.queue_shed = queue_shed_total - prev_queue_shed_;
+  prev_queue_shed_ = queue_shed_total;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics()
+        ->GetCounter(std::string("actuation.site.") +
+                     std::string(ActuationSiteName(site)))
+        ->Add();
+    options_.telemetry->PublishTimelineRow(rec);
+  }
   recorder_.Record(std::move(rec));
 }
 
@@ -109,7 +128,9 @@ QosSummary FeedbackLoop::Summary() const {
   s.max_overshoot = qos_.max_overshoot();
   s.loss_ratio = LossRatio();
   s.offered = offered_;
-  s.shed = entry_shed_ + engine_->counters().shed_lineages;
+  s.entry_shed = entry_shed_;
+  s.queue_shed = engine_->counters().shed_lineages;
+  s.shed = s.entry_shed + s.ring_dropped + s.queue_shed;
   s.departures = qos_.departures();
   s.mean_delay = qos_.mean_delay();
   s.p50_delay = qos_.delay_histogram().Quantile(0.50);

@@ -31,6 +31,13 @@ struct FeedbackLoopOptions {
   /// When > 0, keep per-stream offered/admitted/delay statistics for this
   /// many sources (see PerSourceStats). 0 disables the accounting.
   int track_sources = 0;
+  /// Build in-network-enabled ActuationPlans: each period the loop collects
+  /// per-queue backlog feedback from the engine and lets the planner split
+  /// the shed between operator queues and the entry gate. Off = classic
+  /// entry-only plans (bit-identical to the pre-plan loop).
+  bool allow_in_network_shed = false;
+  /// Victim policy for the in-network half (see QueueShedder).
+  bool cost_aware_shed = false;
   /// When set, every finished control period is published to the
   /// telemetry timeline sinks (streaming files + SSE) as it happens,
   /// instead of only being exported after the run. Not owned.
@@ -109,6 +116,9 @@ class FeedbackLoop {
 
   DepartureCallback observer_;
   RatePredictor* predictor_ = nullptr;
+  ActuationPlanner planner_;
+  QueueFeedback feedback_;  ///< Scratch, refilled each period.
+  uint64_t prev_queue_shed_ = 0;  ///< Engine shed_lineages at last tick.
   double target_delay_;
   uint64_t offered_ = 0;
   uint64_t entry_shed_ = 0;

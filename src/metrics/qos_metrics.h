@@ -55,7 +55,17 @@ struct QosSummary {
   double max_overshoot = 0.0;          ///< Seconds.
   double loss_ratio = 0.0;             ///< Shed tuples / offered tuples.
   uint64_t offered = 0;
-  uint64_t shed = 0;                   ///< Entry drops + in-network shedding.
+  // Shed accounting, one scheme across sim/rt/cluster (see
+  // docs/architecture.md "Shed accounting"):
+  //   entry_shed   — coin-flip drops at the entry gate (alpha).
+  //   ring_dropped — ingress-ring overflow before the gate (rt only).
+  //   queue_shed   — lineages removed from operator queues in-network
+  //                  (the engine's shed_lineages counter).
+  // `shed` is always their sum.
+  uint64_t shed = 0;                   ///< entry_shed+ring_dropped+queue_shed.
+  uint64_t entry_shed = 0;
+  uint64_t ring_dropped = 0;
+  uint64_t queue_shed = 0;
   uint64_t departures = 0;
   double mean_delay = 0.0;             ///< Seconds.
   double p50_delay = 0.0;              ///< Median delay, seconds.

@@ -22,7 +22,7 @@ void Recorder::Write(std::ostream& out) const {
 
 void Recorder::WriteCsvHeader(std::ostream& out) {
   out << "k,t,period,yd,fin,fin_forecast,admitted,fout,q,c,y_hat,y_meas,"
-         "e,u,v,alpha,loss,lateness\n";
+         "e,u,v,alpha,loss,lateness,site,queue_shed\n";
 }
 
 void Recorder::WriteCsvRow(const PeriodRecord& r, std::ostream& out) {
@@ -54,7 +54,9 @@ void Recorder::WriteCsvRow(const PeriodRecord& r, std::ostream& out) {
   field(r.v, ',');
   field(r.alpha, ',');
   field(loss, ',');
-  field(r.lateness, '\n');
+  field(r.lateness, ',');
+  out << ActuationSiteName(r.site) << ',';
+  field(r.queue_shed, '\n');
 }
 
 void Recorder::WriteCsv(std::ostream& out) const {

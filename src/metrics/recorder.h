@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "control/actuation_plan.h"
 #include "control/controller.h"
 
 namespace ctrlshed {
@@ -24,6 +25,12 @@ struct PeriodRecord {
   /// Empty for unsharded runs — the sim loop and the N = 1 rt loop — so
   /// their exports stay byte-identical.
   std::vector<double> shard_q;
+  /// Where this period's ActuationPlan placed the shed (entry gate,
+  /// in-network queues, or split across both).
+  ActuationSite site = ActuationSite::kEntry;
+  /// Tuples removed from operator queues during the period (in-network
+  /// shedding executed; 0 for entry-only runs).
+  double queue_shed = 0.0;
 };
 
 /// Collects the per-period trace of an experiment; feeds the transient

@@ -15,7 +15,8 @@ RtEngine::RtEngine(QueryNetwork* network, const RtClock* clock,
     : clock_(clock),
       options_(options),
       engine_(network, options.headroom),
-      nominal_entry_cost_(engine_.NominalEntryCost()) {
+      nominal_entry_cost_(engine_.NominalEntryCost()),
+      shed_rng_(options.queue_shed_seed) {
   CS_CHECK(clock_ != nullptr);
   CS_CHECK_MSG(num_sources >= 1, "need at least one source");
   CS_CHECK_MSG(options_.pacing_wall_seconds > 0.0,
@@ -23,6 +24,9 @@ RtEngine::RtEngine(QueryNetwork* network, const RtClock* clock,
   CS_CHECK_MSG(options_.batch >= 1 && options_.batch <= 4096,
                "batch must be in [1, 4096]");
   engine_.scheduler().set_quantum(options_.batch);
+  if (options_.cost_multiplier) {
+    engine_.SetCostMultiplier(options_.cost_multiplier);
+  }
   rings_.reserve(static_cast<size_t>(num_sources));
   for (int i = 0; i < num_sources; ++i) {
     rings_.push_back(std::make_unique<SpscRing<Tuple>>(options_.ring_capacity));
@@ -131,6 +135,29 @@ void RtEngine::Pump(SimTime now) {
     engine_.InjectBatch(inject_order_.data(), inject_order_.size());
   }
   engine_.AdvanceTo(now);
+  ConsumeShedBudget();
+}
+
+void RtEngine::ConsumeShedBudget() {
+  // Worker half of the actuation-plan handshake (see RtSharedStats): on a
+  // new plan the posted budget REPLACES whatever was left — an unspent
+  // budget expires at the period boundary rather than accumulating. The
+  // budget drains across this period's pumps as backlog becomes available.
+  const uint64_t seq = stats_.plan_seq.load(std::memory_order_acquire);
+  if (seq != plan_seq_seen_) {
+    plan_seq_seen_ = seq;
+    shed_budget_remaining_ =
+        stats_.plan_queue_budget.load(std::memory_order_relaxed);
+    shed_cost_aware_ =
+        stats_.plan_cost_aware.load(std::memory_order_relaxed) != 0;
+  }
+  if (shed_budget_remaining_ <= 0.0 || engine_.QueuedTuples() == 0) return;
+  const auto policy = shed_cost_aware_ ? Engine::QueueVictimPolicy::kMostCostly
+                                       : Engine::QueueVictimPolicy::kRandom;
+  const double removed =
+      engine_.ShedFromQueues(shed_budget_remaining_, shed_rng_, policy);
+  shed_budget_remaining_ -= removed;
+  if (shed_budget_remaining_ < 1e-12) shed_budget_remaining_ = 0.0;
 }
 
 void RtEngine::MergeRunsByArrival() {
@@ -159,7 +186,8 @@ void RtEngine::Publish() {
   const EngineCounters& c = engine_.counters();
   stats_.admitted.store(c.admitted, std::memory_order_relaxed);
   stats_.departed.store(c.departed, std::memory_order_relaxed);
-  stats_.shed_lineages.store(c.shed_lineages, std::memory_order_relaxed);
+  stats_.queue_shed.store(c.shed_lineages, std::memory_order_relaxed);
+  stats_.queue_shed_load.store(c.shed_base_load, std::memory_order_relaxed);
   stats_.busy_seconds.store(c.busy_seconds, std::memory_order_relaxed);
   stats_.drained_base_load.store(c.drained_base_load,
                                  std::memory_order_relaxed);

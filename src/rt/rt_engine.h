@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "engine/engine.h"
 #include "engine/query_network.h"
 #include "engine/tuple.h"
@@ -59,6 +60,17 @@ struct RtEngineOptions {
   /// "rt.pump_interval_s". The sharded runtime enables this so the
   /// Prometheus exporter can serve one labeled summary family.
   bool per_shard_pump_metric = false;
+  /// Time-varying per-tuple cost multiplier, sampled on the WORKER's clock
+  /// as the engine executes (Fig. 14 circumstances ported to rt). Installed
+  /// on the inner engine before the worker starts; null = constant cost.
+  /// The callable must be safe to invoke from the worker thread for the
+  /// engine's lifetime (a read-only trace lookup qualifies).
+  CostMultiplierFn cost_multiplier;
+  /// Seed of the worker-owned victim RNG for in-network shedding. The
+  /// worker consumes the controller's posted queue budget (see
+  /// RtSharedStats plan handshake) inside its pump, so victim selection
+  /// must not share the controller thread's RNG.
+  uint64_t queue_shed_seed = 0;
 };
 
 /// The real-time plant: one worker thread that owns a sim Engine
@@ -139,6 +151,9 @@ class RtEngine {
   void WorkerLoop();
   /// Republishes the engine-side counters into the shared atomics.
   void Publish();
+  /// Executes the pending in-network shed budget against the engine's
+  /// operator queues (worker thread only; see RtSharedStats handshake).
+  void ConsumeShedBudget();
   /// Merges the per-ring arrival-sorted runs recorded in `run_bounds_`
   /// into `inject_order_` (stable across rings: ties go to the lower ring
   /// index, reproducing what stable_sort over the concatenation gives).
@@ -173,6 +188,15 @@ class RtEngine {
   // Worker-local departure-delay accumulation, published each pump.
   double delay_sum_local_ = 0.0;
   uint64_t delay_count_local_ = 0;
+
+  // Worker-owned in-network shedding state: the remaining budget of the
+  // current plan (base-load seconds), refreshed whenever plan_seq changes
+  // (an unspent budget expires at the period boundary), and the victim RNG
+  // (worker-thread-only — the plan crosses threads, the queues never do).
+  Rng shed_rng_;
+  uint64_t plan_seq_seen_ = 0;
+  double shed_budget_remaining_ = 0.0;
+  bool shed_cost_aware_ = false;
 
   // Worker-local telemetry (trace buffer registered at thread start;
   // histogram read by other threads only after the join in Stop()).

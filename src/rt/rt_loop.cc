@@ -47,6 +47,9 @@ RtLoop::RtLoop(std::vector<RtShard> shards, const RtClock* clock,
       monitor_(shards_[0].engine->NominalEntryCost(),
                static_cast<int>(shards_.size()), ToMonitorOptions(options)),
       qos_(options.target_delay),
+      planner_(ActuationPlannerOptions{shards_[0].engine->NominalEntryCost(),
+                                       options.queue_shed,
+                                       options.cost_aware_shed}),
       samples_(shards_.size()),
       shedder_mutexes_(new std::mutex[shards_.size()]),
       target_delay_(options.target_delay) {
@@ -216,18 +219,22 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
   if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
   double v = 0.0;
   double alpha = 0.0;
+  ActuationSite site = ActuationSite::kEntry;
   if (controller_ != nullptr) {
     ScopedSpan actuate_span(trace_buf_, "actuate");
     v = controller_->DesiredRate(m);
     // Fan the one admitted rate back out per shard, proportionally to
     // each shard's offered rate over the last period (even split when
-    // nothing arrived anywhere). Each shedder sees its shard's slice of
-    // the measurement; at N = 1 share == 1.0 exactly and this reduces to
-    // the historical single-shedder actuation bit for bit.
+    // nothing arrived anywhere). Each shard gets its own ActuationPlan
+    // over its slice of the measurement; at N = 1 share == 1.0 exactly
+    // and (entry-only) this reduces to the historical single-shedder
+    // actuation bit for bit.
     const std::vector<double>& shard_fin = monitor_.shard_fin();
     const std::vector<double>& shard_queues = monitor_.shard_queues();
     const std::vector<double> shares = ProportionalShares(shard_fin);
     double applied = 0.0;
+    double queue_target_total = 0.0;
+    ++plan_seq_;
     for (size_t i = 0; i < shards_.size(); ++i) {
       const double share = shares[i];
       PeriodMeasurement mi = m;
@@ -235,10 +242,26 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
       mi.fin_forecast = m.fin_forecast * share;
       mi.admitted = m.admitted * share;
       mi.queue = shard_queues[i];
+      // Per-queue feedback stays worker-side in rt; the shard's virtual
+      // queue (via outstanding_base_load) is the backlog signal that
+      // crossed the stats surface, and it is what clamps queue_target.
+      const ActuationPlan plan = planner_.BuildPlan(v * share, mi);
+      if (options_.queue_shed) {
+        // Post the in-network budget to the worker: payload first
+        // (relaxed), then the release-store of the sequence the worker
+        // acquires. The worker owns the queues; we never touch them.
+        RtSharedStats* stats = shards_[i].engine->stats();
+        stats->plan_queue_budget.store(plan.queue_budget_load,
+                                       std::memory_order_relaxed);
+        stats->plan_cost_aware.store(plan.cost_aware ? 1 : 0,
+                                     std::memory_order_relaxed);
+        stats->plan_seq.store(plan_seq_, std::memory_order_release);
+      }
+      queue_target_total += plan.queue_target;
       double alpha_i = 0.0;
       {
         std::lock_guard<std::mutex> lock(shedder_mutexes_[i]);
-        applied += shards_[i].shedder->Configure(v * share, mi);
+        applied += shards_[i].shedder->ApplyPlan(plan, mi);
         alpha_i = shards_[i].shedder->drop_probability();
       }
       alpha += share * alpha_i;
@@ -248,6 +271,9 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
       }
     }
     controller_->NotifyActuation(applied);
+    if (queue_target_total > 0.0) {
+      site = alpha > 0.0 ? ActuationSite::kSplit : ActuationSite::kInNetwork;
+    }
   }
   actuation_lateness_.Record(lateness_wall);
   if (lateness_metric_ != nullptr) lateness_metric_->Record(lateness_wall);
@@ -259,7 +285,17 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
   PeriodRecord rec{m, v, alpha, lateness_wall,
                    shards_.size() > 1 ? monitor_.shard_queues()
                                       : std::vector<double>{}};
+  rec.site = site;
+  // Executed in-network drops this period (lags the posted budget by up to
+  // one pump — the workers drain it asynchronously).
+  const uint64_t queue_shed_total = SumStat(&RtSharedStats::queue_shed);
+  rec.queue_shed = static_cast<double>(queue_shed_total - prev_queue_shed_);
+  prev_queue_shed_ = queue_shed_total;
   if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics()
+        ->GetCounter(std::string("actuation.site.") +
+                     std::string(ActuationSiteName(site)))
+        ->Add();
     options_.telemetry->PublishTimelineRow(rec);
   }
   recorder_.Record(std::move(rec));
@@ -288,7 +324,7 @@ double RtLoop::LossRatio() const {
   const uint64_t off = offered();
   if (off == 0) return 0.0;
   const uint64_t shed = entry_shed() + ring_dropped() +
-                        SumStat(&RtSharedStats::shed_lineages);
+                        SumStat(&RtSharedStats::queue_shed);
   return static_cast<double>(shed) / static_cast<double>(off);
 }
 
@@ -299,8 +335,10 @@ QosSummary RtLoop::Summary() const {
   s.max_overshoot = qos_.max_overshoot();
   s.loss_ratio = LossRatio();
   s.offered = offered();
-  s.shed = entry_shed() + ring_dropped() +
-           SumStat(&RtSharedStats::shed_lineages);
+  s.entry_shed = entry_shed();
+  s.ring_dropped = ring_dropped();
+  s.queue_shed = SumStat(&RtSharedStats::queue_shed);
+  s.shed = s.entry_shed + s.ring_dropped + s.queue_shed;
   s.departures = qos_.departures();
   s.mean_delay = qos_.mean_delay();
   s.p50_delay = qos_.delay_histogram().Quantile(0.50);

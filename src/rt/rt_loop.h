@@ -36,6 +36,14 @@ struct RtLoopOptions {
   double headroom = 0.97;      ///< PER-WORKER H estimate (see RtMonitor).
   double cost_ewma = 1.0;      ///< Cost-estimate smoothing (see RtMonitor).
   bool adapt_headroom = false; ///< Online H estimation (see RtMonitor).
+  /// Build in-network-enabled ActuationPlans: each period the controller
+  /// thread posts a per-shard queue-shed budget through the RtSharedStats
+  /// handshake (the worker consumes it inside its pump) and the entry
+  /// shedders apply the plan's analytic entry remainder. Off = classic
+  /// entry-only actuation, bit-identical to the pre-plan loop.
+  bool queue_shed = false;
+  /// Victim policy for the in-network half (kMostCostly vs kRandom).
+  bool cost_aware_shed = false;
   /// Optional telemetry session (non-owning; must outlive the loop).
   Telemetry* telemetry = nullptr;
 };
@@ -165,6 +173,13 @@ class RtLoop {
   Recorder recorder_;
   DepartureCallback observer_;
   RatePredictor* predictor_ = nullptr;
+
+  // Actuation plane (controller thread only): the per-shard plan builder,
+  // the handshake sequence posted to the workers, and the last aggregate
+  // queue-shed total (for per-period timeline deltas).
+  ActuationPlanner planner_;
+  uint64_t plan_seq_ = 0;
+  uint64_t prev_queue_shed_ = 0;
 
   // Controller-thread scratch, sized once (no per-tick allocation).
   std::vector<RtSample> samples_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "runner/networks.h"
 #include "shedding/aurora_shedder.h"
 #include "shedding/entry_shedder.h"
+#include "workload/traces.h"
 
 namespace ctrlshed {
 
@@ -48,18 +50,41 @@ bool StopRequested(const std::atomic<bool>* stop) {
 }
 }  // namespace
 
+std::string RtConfigError(const RtRunConfig& config) {
+  const ExperimentConfig& base = config.base;
+  if (base.capacity_rate <= 0.0) {
+    return "capacity must be positive";
+  }
+  if (base.estimation_noise != 0.0) {
+    return "the rt runtime does not inject estimation noise (noise is a "
+           "sim-only knob; real measurement noise comes free) — drop "
+           "noise or use `ctrlshed run`";
+  }
+  if (base.use_queue_shedder && base.method == Method::kAurora) {
+    return "the in-network queue shedder drives entry gates from "
+           "ActuationPlans, which the Aurora quota shedder does not "
+           "consume — use method=ctrl, baseline, or pi with queue_shed=1";
+  }
+  if (config.workers < 1 || config.workers > 64) {
+    return "workers must be in [1, 64]";
+  }
+  if (config.time_compression <= 0.0) {
+    return "time compression must be positive";
+  }
+  if (config.ring_capacity == 0) {
+    return "ring capacity must be positive";
+  }
+  if (config.batch < 1 || config.batch > 4096) {
+    return "batch must be in [1, 4096]";
+  }
+  return "";
+}
+
 RtRunResult RunRtExperiment(const RtRunConfig& config) {
   const ExperimentConfig& base = config.base;
-  CS_CHECK_MSG(base.capacity_rate > 0.0, "capacity must be positive");
-  CS_CHECK_MSG(!base.use_queue_shedder,
-               "rt runtime does not support the in-network queue shedder");
-  CS_CHECK_MSG(!base.vary_cost,
-               "rt runtime does not support the cost-trace multiplier yet");
-  CS_CHECK_MSG(base.estimation_noise == 0.0,
-               "rt runtime does not inject estimation noise");
+  CS_CHECK_MSG(RtConfigError(config).empty(),
+               "unsupported rt config (validate with RtConfigError first)");
   const int workers = config.workers;
-  CS_CHECK_MSG(workers >= 1 && workers <= 64,
-               "workers must be in [1, 64]");
 
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
@@ -89,6 +114,22 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
 
   RtClock clock(config.time_compression);
 
+  // Fig. 14 time-varying cost, ported to rt: one shared trace (same seed
+  // stream as the sim wiring), sampled by each worker on its own clock as
+  // the engine executes. RateTrace::At is read-only after construction, so
+  // sharing one instance across worker threads is safe. Declared before
+  // the engines so it outlives them.
+  RateTrace cost_trace;
+  CostMultiplierFn cost_multiplier;
+  if (base.vary_cost) {
+    cost_trace = MakeCostTrace(base.duration, base.cost_params,
+                               base.seed + 1);
+    const double cost_base = base.cost_params.base_ms;
+    cost_multiplier = [&cost_trace, cost_base](SimTime t) {
+      return cost_trace.At(t) / cost_base;
+    };
+  }
+
   // The partitioned plant: one network/engine pair per shard, each with
   // one local source (global source i is shard i's local source 0).
   std::vector<std::unique_ptr<QueryNetwork>> nets;
@@ -107,6 +148,10 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     eopts.telemetry = telemetry.get();
     eopts.shard_index = i;
     eopts.per_shard_pump_metric = workers > 1;
+    eopts.cost_multiplier = cost_multiplier;
+    // A distinct seed stream from the entry shedders' (seed+2+7919i): the
+    // worker's victim RNG must never share state across threads.
+    eopts.queue_shed_seed = base.seed + 6 + 7919 * static_cast<uint64_t>(i);
     engines.push_back(std::make_unique<RtEngine>(
         nets.back().get(), &clock, /*num_sources=*/1, eopts));
   }
@@ -163,6 +208,8 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   lopts.headroom = base.headroom_est;
   lopts.cost_ewma = base.cost_ewma;
   lopts.adapt_headroom = base.adapt_headroom;
+  lopts.queue_shed = base.use_queue_shedder;
+  lopts.cost_aware_shed = base.cost_aware_shedding;
   lopts.telemetry = telemetry.get();
   RtLoop loop(std::move(shards), &clock, controller.get(), lopts);
   if (base.departure_observer) {
@@ -238,8 +285,9 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     shard.offered = stats->offered.load(std::memory_order_relaxed);
     shard.entry_shed = stats->entry_shed.load(std::memory_order_relaxed);
     shard.ring_dropped = stats->ring_dropped.load(std::memory_order_relaxed);
-    shard.shed_lineages =
-        stats->shed_lineages.load(std::memory_order_relaxed);
+    shard.queue_shed = stats->queue_shed.load(std::memory_order_relaxed);
+    shard.queue_shed_load =
+        stats->queue_shed_load.load(std::memory_order_relaxed);
     shard.departed = stats->departed.load(std::memory_order_relaxed);
     shard.pump_intervals = engine->pump_intervals();
     result.shards.push_back(std::move(shard));

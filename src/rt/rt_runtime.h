@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "metrics/histogram.h"
@@ -17,11 +18,13 @@ namespace ctrlshed {
 /// One real-time closed-loop run. `base` carries everything the sim
 /// harness already knows how to describe — method, workload, duration,
 /// control period, setpoint (schedule), headrooms, capacity, gains,
-/// predictor, spacing, seed. Simulation-only knobs are rejected: the rt
-/// runtime has no injected estimation noise (real noise comes free), no
-/// time-varying cost multiplier yet, and no in-network queue shedder (the
-/// engine's queues belong to the worker thread; the entry shedders are the
-/// actuators).
+/// predictor, spacing, seed, the Fig. 14 time-varying cost trace
+/// (`vary_cost`, sampled on each worker's clock), and the in-network queue
+/// shedder (`use_queue_shedder` / `cost_aware_shedding`, executed by the
+/// worker pumps from controller-posted budgets — see the RtSharedStats
+/// actuation-plan handshake). The one remaining simulation-only knob is
+/// injected estimation noise (real noise comes free in rt); see
+/// RtConfigError.
 struct RtRunConfig {
   ExperimentConfig base;
 
@@ -53,12 +56,16 @@ struct RtRunConfig {
   const std::atomic<bool>* stop = nullptr;
 };
 
-/// Per-shard slice of a sharded run's accounting.
+/// Per-shard slice of a sharded run's accounting. Shed counters follow the
+/// repo-wide scheme (docs/architecture.md "Shed accounting"): entry_shed
+/// (gate drops) + ring_dropped (ingress overflow) + queue_shed (in-network
+/// drops from operator queues) sum to the shard's total loss.
 struct RtShardSummary {
   uint64_t offered = 0;
   uint64_t entry_shed = 0;
   uint64_t ring_dropped = 0;
-  uint64_t shed_lineages = 0;
+  uint64_t queue_shed = 0;
+  double queue_shed_load = 0.0;  ///< queue_shed in base-load seconds.
   uint64_t departed = 0;
   LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
 };
@@ -99,6 +106,13 @@ struct RtRunResult {
 
   bool interrupted = false;  ///< True when config.stop ended the run early.
 };
+
+/// Validates `config` against what the rt runtime supports. Returns an
+/// empty string when runnable, else an actionable message naming the
+/// offending knob. CLIs should call this and exit(2) on a non-empty result;
+/// RunRtExperiment CS_CHECKs it (passing an unvalidated config is a
+/// programming error).
+std::string RtConfigError(const RtRunConfig& config);
 
 /// Builds the standard plant (identification network + RtEngine + replay
 /// source + chosen controller/shedder), races it against the wall clock

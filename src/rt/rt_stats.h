@@ -22,7 +22,11 @@ struct RtSample {
   // Engine side (cumulative mirrors of EngineCounters + queue state).
   uint64_t admitted = 0;
   uint64_t departed = 0;
-  uint64_t shed_lineages = 0;
+  /// In-network drops: lineages removed from operator queues (mirror of the
+  /// engine's shed_lineages counter). One scheme repo-wide: entry_shed /
+  /// ring_dropped / queue_shed — see docs/architecture.md "Shed accounting".
+  uint64_t queue_shed = 0;
+  double queue_shed_load = 0.0;  ///< Same, in base-load seconds.
   double busy_seconds = 0.0;
   double drained_base_load = 0.0;
   uint64_t queued_tuples = 0;
@@ -58,13 +62,27 @@ struct RtSharedStats {
   // Engine side: single writer (the worker), store relaxed.
   std::atomic<uint64_t> admitted{0};
   std::atomic<uint64_t> departed{0};
-  std::atomic<uint64_t> shed_lineages{0};
+  std::atomic<uint64_t> queue_shed{0};
+  std::atomic<double> queue_shed_load{0.0};
   std::atomic<double> busy_seconds{0.0};
   std::atomic<double> drained_base_load{0.0};
   std::atomic<uint64_t> queued_tuples{0};
   std::atomic<double> outstanding_base_load{0.0};
   std::atomic<double> delay_sum{0.0};
   std::atomic<uint64_t> delay_count{0};
+
+  // --- Actuation-plan handshake (controller -> worker) ------------------
+  //
+  // The in-network shed budget crosses the period boundary here instead of
+  // through any cross-thread queue access: the controller thread stores the
+  // payload fields with relaxed order, then release-stores plan_seq; the
+  // worker acquire-loads plan_seq inside its pump and, on a new sequence,
+  // reads the payload and replaces its remaining budget (an unspent budget
+  // expires at the next period boundary — it does not accumulate). The
+  // worker alone touches operator queues.
+  std::atomic<uint64_t> plan_seq{0};
+  std::atomic<double> plan_queue_budget{0.0};  ///< Base-load seconds to shed.
+  std::atomic<uint32_t> plan_cost_aware{0};    ///< Victim policy (bool).
 
   /// Takes a snapshot of all counters at `now`.
   ///
@@ -94,7 +112,8 @@ struct RtSharedStats {
     s.ring_dropped = ring_dropped.load(std::memory_order_relaxed);
     s.admitted = admitted.load(std::memory_order_relaxed);
     s.departed = departed.load(std::memory_order_relaxed);
-    s.shed_lineages = shed_lineages.load(std::memory_order_relaxed);
+    s.queue_shed = queue_shed.load(std::memory_order_relaxed);
+    s.queue_shed_load = queue_shed_load.load(std::memory_order_relaxed);
     s.busy_seconds = busy_seconds.load(std::memory_order_relaxed);
     s.drained_base_load = drained_base_load.load(std::memory_order_relaxed);
     s.queued_tuples = queued_tuples.load(std::memory_order_relaxed);

@@ -138,6 +138,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   loop_opts.estimation_noise = config.estimation_noise;
   loop_opts.noise_seed = config.seed + 4;
   loop_opts.adapt_headroom = config.adapt_headroom;
+  loop_opts.allow_in_network_shed =
+      config.use_queue_shedder && config.method != Method::kAurora;
+  loop_opts.cost_aware_shed = config.cost_aware_shedding;
   loop_opts.telemetry = telemetry.get();
   FeedbackLoop loop(&sim, &engine, controller.get(), shedder.get(), loop_opts);
   if (config.departure_observer) {

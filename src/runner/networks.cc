@@ -18,6 +18,16 @@ struct ChainSpec {
   double sel;
 };
 
+// Operator name "<kind><index>". Built with append() rather than
+// operator+: GCC 12's -O2 inliner raises a spurious -Wrestrict on the
+// rvalue string operator+ overloads, and the warnings CI job compiles
+// with -Werror.
+std::string OpName(char kind, int index) {
+  std::string name(1, kind);
+  name.append(std::to_string(index));
+  return name;
+}
+
 }  // namespace
 
 void BuildIdentificationNetwork(QueryNetwork* net, double target_entry_cost) {
@@ -46,7 +56,7 @@ void BuildIdentificationNetwork(QueryNetwork* net, double target_entry_cost) {
   ops.reserve(specs.size());
   int idx = 1;
   for (const ChainSpec& s : specs) {
-    const std::string name = std::string(1, s.kind) + std::to_string(idx++);
+    const std::string name = OpName(s.kind, idx++);
     OperatorBase* op = nullptr;
     switch (s.kind) {
       case 'm':
@@ -129,8 +139,7 @@ void BuildUniformChain(QueryNetwork* net, int num_ops, double target_entry_cost)
   const double cost_each = target_entry_cost / num_ops;
   OperatorBase* prev = nullptr;
   for (int i = 0; i < num_ops; ++i) {
-    auto* op = net->Add(
-        std::make_unique<MapOp>("m" + std::to_string(i + 1), cost_each));
+    auto* op = net->Add(std::make_unique<MapOp>(OpName('m', i + 1), cost_each));
     if (prev != nullptr) prev->ConnectTo(op);
     prev = op;
   }

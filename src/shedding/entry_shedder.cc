@@ -17,6 +17,13 @@ double EntryShedder::Configure(double v, const PeriodMeasurement& m) {
   return (1.0 - alpha_) * m.fin_forecast;
 }
 
+double EntryShedder::ApplyPlan(const ActuationPlan& plan,
+                               const PeriodMeasurement& m) {
+  if (!plan.in_network_enabled) return Configure(plan.v, m);
+  alpha_ = plan.entry_alpha;
+  return plan.planned_applied;
+}
+
 bool EntryShedder::Admit(const Tuple& /*t*/) { return !rng_.Bernoulli(alpha_); }
 
 }  // namespace ctrlshed

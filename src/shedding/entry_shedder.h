@@ -19,6 +19,15 @@ class EntryShedder : public Shedder {
   explicit EntryShedder(uint64_t seed);
 
   double Configure(double v, const PeriodMeasurement& m) override;
+
+  /// Entry-only plans forward to Configure (bit-identical to the classic
+  /// loop). In-network-enabled plans apply the planner's analytic entry
+  /// alpha and anti-windup value — the queue budget executes elsewhere (an
+  /// rt worker pump or a remote node), so this gate only carries the entry
+  /// remainder.
+  double ApplyPlan(const ActuationPlan& plan,
+                   const PeriodMeasurement& m) override;
+
   bool Admit(const Tuple& t) override;
   double drop_probability() const override { return alpha_; }
   std::string_view name() const override { return "entry"; }

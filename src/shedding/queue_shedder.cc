@@ -7,45 +7,54 @@
 namespace ctrlshed {
 
 QueueShedder::QueueShedder(Engine* engine, uint64_t seed, bool cost_aware)
-    : engine_(engine), rng_(seed), cost_aware_(cost_aware) {
+    : engine_(engine),
+      rng_(seed),
+      planner_(ActuationPlannerOptions{
+          engine != nullptr ? engine->NominalEntryCost() : 1.0,
+          /*allow_in_network=*/true, cost_aware}) {
   CS_CHECK(engine_ != nullptr);
 }
 
 double QueueShedder::Configure(double v, const PeriodMeasurement& m) {
+  QueueFeedback fb;
+  CollectQueueFeedback(*engine_, &fb);
+  return ApplyPlan(planner_.BuildPlan(v, m, fb), m);
+}
+
+double QueueShedder::ApplyPlan(const ActuationPlan& plan,
+                               const PeriodMeasurement& m) {
+  if (!plan.in_network_enabled) return Configure(plan.v, m);
   const double T = m.period;
   // Load to shed over the coming period, in entry-tuple equivalents
   // (multiplying by c gives the paper's Ls; c cancels from the balance).
   // A negative desired rate v means "remove queued work beyond blocking
   // all arrivals" — the capability that distinguishes this actuator.
-  const double to_shed = (m.fin_forecast - v) * T;
-  if (to_shed <= 0.0) {
+  if (plan.to_shed <= 0.0) {
     alpha_ = 0.0;
-    return v;
+    return plan.v;
   }
 
   // The part that blocking the whole inflow cannot cover is taken from
-  // random locations inside the network, right now.
-  const double incoming = m.fin_forecast * T;
-  const double queue_target = std::min(std::max(0.0, to_shed - incoming),
-                                       m.queue);
+  // locations inside the network, right now.
   double queue_removed = 0.0;
-  if (queue_target > 0.0) {
-    const auto policy = cost_aware_
+  if (plan.queue_target > 0.0) {
+    const auto policy = plan.cost_aware
                             ? Engine::QueueVictimPolicy::kMostCostly
                             : Engine::QueueVictimPolicy::kRandom;
     queue_removed =
-        engine_->ShedFromQueues(queue_target * engine_->NominalEntryCost(),
-                                rng_, policy) /
+        engine_->ShedFromQueues(plan.queue_budget_load, rng_, policy) /
         engine_->NominalEntryCost();
   }
 
   // The rest becomes an entry drop probability for the coming period.
-  const double remainder = to_shed - queue_removed;
-  alpha_ = (incoming > 0.0) ? std::clamp(remainder / incoming, 0.0, 1.0) : 0.0;
+  const double remainder = plan.to_shed - queue_removed;
+  alpha_ = (plan.incoming > 0.0)
+               ? std::clamp(remainder / plan.incoming, 0.0, 1.0)
+               : 0.0;
 
-  const double unachieved =
-      std::max(0.0, remainder - incoming) + (queue_target - queue_removed);
-  return v + unachieved / T;
+  const double unachieved = std::max(0.0, remainder - plan.incoming) +
+                            (plan.queue_target - queue_removed);
+  return plan.v + unachieved / T;
 }
 
 bool QueueShedder::Admit(const Tuple& /*t*/) { return !rng_.Bernoulli(alpha_); }

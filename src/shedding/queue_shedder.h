@@ -27,7 +27,18 @@ class QueueShedder : public Shedder {
   /// most-load-per-tuple choice, minimizing tuples lost per load shed.
   QueueShedder(Engine* engine, uint64_t seed, bool cost_aware = false);
 
+  /// Builds an in-network plan from the engine's queue feedback and applies
+  /// it — one code path with ApplyPlan, bit-identical to the historical
+  /// inline arithmetic.
   double Configure(double v, const PeriodMeasurement& m) override;
+
+  /// Executes the plan's in-network budget against the engine's queues
+  /// right now, then derives the entry alpha and anti-windup value from the
+  /// load ACTUALLY removed (unlike detached executors, which must assume
+  /// the budget is achieved).
+  double ApplyPlan(const ActuationPlan& plan,
+                   const PeriodMeasurement& m) override;
+
   bool Admit(const Tuple& t) override;
   double drop_probability() const override { return alpha_; }
   std::string_view name() const override { return "queue"; }
@@ -35,7 +46,7 @@ class QueueShedder : public Shedder {
  private:
   Engine* engine_;
   Rng rng_;
-  bool cost_aware_;
+  ActuationPlanner planner_;
   double alpha_ = 0.0;
 };
 

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "control/actuation_plan.h"
 #include "control/controller.h"
 #include "engine/tuple.h"
 
@@ -21,6 +22,16 @@ class Shedder {
   /// actually target after clamping, which the controller's anti-windup
   /// hook consumes.
   virtual double Configure(double v, const PeriodMeasurement& m) = 0;
+
+  /// Applies one period's ActuationPlan — the actuator seam every runtime
+  /// drives. The default forwards to Configure(plan.v, m), which keeps
+  /// plan-unaware shedders (Aurora quota, semantic, ...) byte-identical to
+  /// the pre-plan loop; shedders that split load across sites override it.
+  /// Returns the achievable admitted rate, like Configure.
+  virtual double ApplyPlan(const ActuationPlan& plan,
+                           const PeriodMeasurement& m) {
+    return Configure(plan.v, m);
+  }
 
   /// Decides the fate of one arriving tuple: true = admit into the engine.
   virtual bool Admit(const Tuple& t) = 0;

@@ -75,9 +75,9 @@ bool MapNodeName(const std::string& name, Mapped* out) {
   return true;
 }
 
-/// "rt.shard<i>.<leaf>" and "engine.op.<name>.<leaf>" fold into labeled
-/// families, "node<id>.<rest>" folds recursively into a node label;
-/// everything else sanitizes whole.
+/// "rt.shard<i>.<leaf>", "engine.op.<name>.<leaf>" and
+/// "actuation.site.<site>" fold into labeled families, "node<id>.<rest>"
+/// folds recursively into a node label; everything else sanitizes whole.
 Mapped MapName(const std::string& name) {
   Mapped node_mapped;
   if (MapNodeName(name, &node_mapped)) return node_mapped;
@@ -95,6 +95,12 @@ Mapped MapName(const std::string& name) {
       return {"rt_shard_" + PrometheusName(leaf),
               "{shard=\"" + EscapeLabelValue(shard) + "\"}"};
     }
+  }
+  const std::string site_prefix = "actuation.site.";
+  if (name.rfind(site_prefix, 0) == 0 && name.size() > site_prefix.size()) {
+    const std::string site = name.substr(site_prefix.size());
+    return {"actuation_site_periods",
+            "{site=\"" + EscapeLabelValue(site) + "\"}"};
   }
   const std::string op_prefix = "engine.op.";
   if (name.rfind(op_prefix, 0) == 0) {

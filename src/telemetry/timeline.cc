@@ -61,6 +61,8 @@ std::string TimelineRowJson(const PeriodRecord& r) {
   WriteDouble(out, loss);
   out << ",\"lateness\":";
   WriteDouble(out, r.lateness);
+  out << ",\"site\":\"" << ActuationSiteName(r.site) << "\",\"queue_shed\":";
+  WriteDouble(out, r.queue_shed);
   // Sharded runs decompose the aggregate queue; unsharded rows carry no
   // shard data and keep the historical schema.
   if (!r.shard_q.empty()) {

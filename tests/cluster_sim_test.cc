@@ -128,7 +128,8 @@ Recorder RunSingleProcessReference(const ExperimentConfig& base, int workers) {
       const EngineCounters& c = shard.engine->counters();
       s.admitted = c.admitted;
       s.departed = c.departed;
-      s.shed_lineages = c.shed_lineages;
+      s.queue_shed = c.shed_lineages;
+      s.queue_shed_load = c.shed_base_load;
       s.busy_seconds = c.busy_seconds;
       s.drained_base_load = c.drained_base_load;
       s.queued_tuples = shard.engine->QueuedTuples();
@@ -362,6 +363,44 @@ TEST(ClusterSimTest, PiggybackedMetricsFoldWithoutPerturbingThePlant) {
   const std::string text = prom.str();
   EXPECT_NE(text.find("rt_offered_total{node=\"0\"}"), std::string::npos);
   EXPECT_NE(text.find("rt_offered_total{node=\"1\"}"), std::string::npos);
+}
+
+TEST(ClusterSimTest, CostTraceAndQueueShedderActuateInNetwork) {
+  ClusterSimConfig config;
+  config.base = BaseConfig();
+  config.base.duration = 30.0;
+  config.base.web.mean_rate = 780.0;
+  config.base.vary_cost = true;
+  config.base.use_queue_shedder = true;
+  // Pull the Fig. 14 cost jump inside the short test window so the
+  // controller is forced to a negative v (queue drain) while queues are
+  // full — the only way budgets reach the nodes' in-network shedders.
+  config.base.cost_params.jump_at = 12.0;
+  config.nodes = 2;
+  config.workers_per_node = 1;
+
+  const ClusterSimResult r = RunClusterSim(config);
+
+  // Realized in-network drops landed on the nodes and fold into the
+  // one-scheme shed accounting.
+  uint64_t node_queue_shed = 0;
+  for (const ClusterSimNodeResult& n : r.nodes) node_queue_shed += n.queue_shed;
+  EXPECT_GT(node_queue_shed, 0u);
+  EXPECT_EQ(r.summary.queue_shed, node_queue_shed);
+  EXPECT_EQ(r.summary.shed, r.summary.entry_shed + r.summary.ring_dropped +
+                                r.summary.queue_shed);
+
+  // The controller's timeline knows where the shedding happened: at least
+  // one period actuated in-network (or split), and the acks' victim
+  // tallies flowed into the rows' queue_shed column.
+  bool saw_in_network = false;
+  double acked_victims = 0.0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.site != ActuationSite::kEntry) saw_in_network = true;
+    acked_victims += row.queue_shed;
+  }
+  EXPECT_TRUE(saw_in_network);
+  EXPECT_GT(acked_victims, 0.0);
 }
 
 TEST(ClusterSimTest, MessageLossIsCountedAndSurvived) {

@@ -329,6 +329,79 @@ TEST(EngineShedPolicyTest, MostCostlyPicksQueueWithHighestRemainingCost) {
   EXPECT_EQ(recorder.drops[1], "a");
 }
 
+TEST_F(UniformChainEngine, ShedFromEmptyNetworkReturnsZero) {
+  Engine engine(&net_, 1.0);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(engine.ShedFromQueues(1.0, rng), 0.0);
+  EXPECT_DOUBLE_EQ(engine.ShedFromQueues(
+                       1.0, rng, Engine::QueueVictimPolicy::kMostCostly),
+                   0.0);
+  EXPECT_EQ(engine.counters().shed_lineages, 0u);
+  EXPECT_DOUBLE_EQ(engine.counters().shed_base_load, 0.0);
+}
+
+TEST_F(UniformChainEngine, ShedAfterFullDrainReturnsZero) {
+  // Once every queue has drained there is nothing left to victimize, no
+  // matter the budget: the shedder must not touch departed work.
+  Engine engine(&net_, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  engine.AdvanceTo(100.0);
+  ASSERT_EQ(engine.QueuedTuples(), 0u);
+  EXPECT_DOUBLE_EQ(engine.ShedFromQueues(1.0, rng), 0.0);
+  EXPECT_EQ(engine.counters().shed_lineages, 0u);
+  EXPECT_EQ(engine.counters().departed, 10u);
+}
+
+TEST(EngineShedPolicyTest, MostCostlyTieBreaksToLowestOperatorIndex) {
+  // Two disjoint single-op chains with identical remaining cost: the
+  // first-max scan must deterministically victimize the lower operator
+  // index while its queue is non-empty, tie or not.
+  QueryNetwork net;
+  auto* a = net.Add(std::make_unique<MapOp>("a", 0.005));
+  auto* b = net.Add(std::make_unique<MapOp>("b", 0.005));
+  net.AddEntry(0, a);
+  net.AddEntry(1, b);
+  net.Finalize();
+  Engine engine(&net, 1.0);
+  DropRecorder recorder;
+  engine.SetObserver(&recorder);
+  for (int i = 0; i < 3; ++i) {
+    engine.Inject(SourceTuple(0.5, 0.0, /*source=*/0), 0.0);
+    engine.Inject(SourceTuple(0.5, 0.0, /*source=*/1), 0.0);
+  }
+
+  Rng rng(2);
+  // Budget covers exactly two victims: both must come from `a`.
+  const double removed = engine.ShedFromQueues(
+      0.008, rng, Engine::QueueVictimPolicy::kMostCostly);
+  EXPECT_NEAR(removed, 2 * 0.005, 1e-12);
+  ASSERT_EQ(recorder.drops.size(), 2u);
+  EXPECT_EQ(recorder.drops[0], "a");
+  EXPECT_EQ(recorder.drops[1], "a");
+
+  // Drain `a` completely: the tie is gone and `b` becomes the only victim.
+  const double rest = engine.ShedFromQueues(
+      1.0, rng, Engine::QueueVictimPolicy::kMostCostly);
+  EXPECT_NEAR(rest, 0.005 + 3 * 0.005, 1e-12);
+  EXPECT_EQ(engine.QueuedTuples(), 0u);
+  EXPECT_EQ(recorder.drops.back(), "b");
+}
+
+TEST_F(UniformChainEngine, BudgetExhaustionMidQueueOverdeliversOneVictim) {
+  // The loop sheds whole tuples until the budget is met, so the realized
+  // removal may overshoot by at most one victim's remaining cost — the
+  // executor reports the overshoot back through its return value.
+  Engine engine(&net_, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) engine.Inject(SourceTuple(0.5, 0.0), 0.0);
+  const double removed = engine.ShedFromQueues(0.014, rng);
+  EXPECT_GE(removed, 0.014);
+  EXPECT_LE(removed, 0.014 + 0.010 + 1e-12);
+  EXPECT_EQ(engine.counters().shed_lineages, 2u);  // ceil(0.014 / 0.010)
+  EXPECT_EQ(engine.QueuedTuples(), 8u);
+}
+
 TEST(EngineInjectBatchTest, MatchesSequentialReplayBitForBit) {
   // InjectBatch is the rt pump's arrival-ordered replay loop as one call;
   // it must reproduce the sequential AdvanceTo+Inject loop exactly,

@@ -147,7 +147,7 @@ TEST(RecorderCsvTest, HeaderAndDerivedSignals) {
   ASSERT_TRUE(std::getline(lines, row));
   EXPECT_EQ(header,
             "k,t,period,yd,fin,fin_forecast,admitted,fout,q,c,y_hat,y_meas,"
-            "e,u,v,alpha,loss,lateness");
+            "e,u,v,alpha,loss,lateness,site,queue_shed");
 
   const std::vector<std::string> cols = SplitCsvLine(header);
   const std::vector<std::string> vals = SplitCsvLine(row);

@@ -301,6 +301,7 @@ TEST(ClusterWireTest, StatsReportRoundTrip) {
   in.offered_total = 99999;
   in.entry_shed_total = 11111;
   in.ring_dropped_total = 7;
+  in.queue_shed_total = 55;
   in.departed_total = 88881;
   const std::string wire = EncodeStatsReportFrame(in);
 
@@ -320,6 +321,7 @@ TEST(ClusterWireTest, StatsReportRoundTrip) {
   EXPECT_EQ(out.offered_total, in.offered_total);
   EXPECT_EQ(out.entry_shed_total, in.entry_shed_total);
   EXPECT_EQ(out.ring_dropped_total, in.ring_dropped_total);
+  EXPECT_EQ(out.queue_shed_total, in.queue_shed_total);
   EXPECT_EQ(out.departed_total, in.departed_total);
 }
 
@@ -328,24 +330,72 @@ TEST(ClusterWireTest, ActuationAndAckRoundTrip) {
   a.seq = 9;
   a.v = 123.456789;
   a.target_delay = 2.0;
+  a.queue_shed = true;
+  a.cost_aware = true;
   ClusterActuation a2;
   ASSERT_TRUE(
       DecodeActuation(EncodeActuationFrame(a).substr(kFrameHeaderBytes), &a2));
   EXPECT_EQ(a2.seq, a.seq);
   EXPECT_EQ(a2.v, a.v);
   EXPECT_EQ(a2.target_delay, a.target_delay);
+  EXPECT_TRUE(a2.queue_shed);
+  EXPECT_TRUE(a2.cost_aware);
+
+  a.queue_shed = false;
+  a.cost_aware = false;
+  ASSERT_TRUE(
+      DecodeActuation(EncodeActuationFrame(a).substr(kFrameHeaderBytes), &a2));
+  EXPECT_FALSE(a2.queue_shed);
+  EXPECT_FALSE(a2.cost_aware);
 
   ActuationAck k;
   k.node_id = 2;
   k.seq = 9;
   k.applied = 120.0;
   k.alpha = 0.25;
+  k.site = 2;  // split
+  k.queue_shed = 17.5;
   ActuationAck k2;
   ASSERT_TRUE(DecodeAck(EncodeAckFrame(k).substr(kFrameHeaderBytes), &k2));
   EXPECT_EQ(k2.node_id, k.node_id);
   EXPECT_EQ(k2.seq, k.seq);
   EXPECT_EQ(k2.applied, k.applied);
   EXPECT_EQ(k2.alpha, k.alpha);
+  EXPECT_EQ(k2.site, k.site);
+  EXPECT_EQ(k2.queue_shed, k.queue_shed);
+}
+
+TEST(ClusterWireTest, RejectsUnknownPlanFlags) {
+  ClusterActuation a;
+  a.target_delay = 2.0;
+  std::string payload = EncodeActuationFrame(a).substr(kFrameHeaderBytes);
+  // flags live after seq (u32) + v (f64) + target_delay (f64).
+  payload[4 + 8 + 8] = 4;  // an unknown flag bit
+  ClusterActuation out;
+  EXPECT_FALSE(DecodeActuation(payload, &out));
+}
+
+TEST(ClusterWireTest, RejectsInvalidAckSiteAndQueueShed) {
+  ActuationAck k;
+  k.applied = 100.0;
+  k.alpha = 0.5;
+  std::string payload = EncodeAckFrame(k).substr(kFrameHeaderBytes);
+  // site lives after node_id (u32) + seq (u32) + applied (f64) + alpha (f64).
+  payload[4 + 4 + 8 + 8] = 3;  // not a valid ActuationSite
+  ActuationAck out;
+  EXPECT_FALSE(DecodeAck(payload, &out));
+
+  ActuationAck negative;
+  negative.applied = 100.0;
+  negative.queue_shed = -1.0;  // victims cannot be negative
+  EXPECT_FALSE(DecodeAck(
+      EncodeAckFrame(negative).substr(kFrameHeaderBytes), &out));
+
+  ActuationAck poisoned;
+  poisoned.applied = 100.0;
+  poisoned.queue_shed = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(DecodeAck(
+      EncodeAckFrame(poisoned).substr(kFrameHeaderBytes), &out));
 }
 
 TEST(ClusterWireTest, RejectsNonFiniteControlFloats) {

@@ -96,6 +96,43 @@ TEST(RtRuntimeTest, OverloadControllerTracksSetpoint) {
   EXPECT_GT(r.summary.shed, 0u);
 }
 
+TEST(RtRuntimeTest, CostTraceAndQueueShedderTrackSetpoint) {
+  // Rt parity for the two formerly sim-only actuation knobs: the Fig. 14
+  // cost trace (sampled on the worker's clock) and the in-network queue
+  // shedder (plan budgets executed inside the worker pump). The controlled
+  // delay must still track the setpoint within the sanity band.
+  RtRunConfig cfg = BaseConfig();
+  cfg.base.method = Method::kCtrl;
+  cfg.base.constant_rate = 380.0;
+  cfg.base.duration = 15.0;
+  cfg.base.target_delay = 2.0;
+  cfg.base.vary_cost = true;
+  cfg.base.use_queue_shedder = true;
+
+  RtRunResult r = RunRtExperiment(cfg);
+
+  ASSERT_GE(r.recorder.rows().size(), 10u);
+  double sum = 0.0;
+  int n = 0;
+  for (const PeriodRecord& row : r.recorder.rows()) {
+    if (row.m.k <= 5) continue;
+    sum += row.m.y_hat;
+    ++n;
+  }
+  ASSERT_GT(n, 4);
+  const double mean_yhat = sum / n;
+  EXPECT_GT(mean_yhat, 0.5 * cfg.base.target_delay);
+  EXPECT_LT(mean_yhat, 1.5 * cfg.base.target_delay);
+  // The run actually shed: with a cost trace on top of 2x overload the
+  // loop cannot be idle.
+  EXPECT_GT(r.summary.shed, 0u);
+  // queue_shed is accounted separately from entry_shed and ring drops and
+  // the summary total is their sum (the unified accounting scheme).
+  EXPECT_EQ(r.summary.shed,
+            r.summary.entry_shed + r.summary.ring_dropped +
+                r.summary.queue_shed);
+}
+
 TEST(RtRuntimeTest, RingOverflowIsCountedAsLoss) {
   RtRunConfig cfg = BaseConfig();
   cfg.base.method = Method::kNone;  // no shedding: overflow is the relief
@@ -219,10 +256,39 @@ TEST(RtRuntimeTest, TelemetryDirProducesTraceAndTimeline) {
 }
 
 TEST(RtRuntimeDeathTest, RejectsSimOnlyKnobs) {
+  // The queue shedder and the cost trace now have rt parity; injected
+  // estimation noise is the one remaining sim-only knob.
   RtRunConfig cfg = BaseConfig();
   cfg.base.duration = 1.0;
-  cfg.base.use_queue_shedder = true;
-  EXPECT_DEATH(RunRtExperiment(cfg), "queue shedder");
+  cfg.base.estimation_noise = 0.05;
+  EXPECT_DEATH(RunRtExperiment(cfg), "unsupported rt config");
+}
+
+TEST(RtConfigErrorTest, NamesTheOffendingKnob) {
+  RtRunConfig ok = BaseConfig();
+  EXPECT_EQ(RtConfigError(ok), "");
+
+  RtRunConfig noise = BaseConfig();
+  noise.base.estimation_noise = 0.05;
+  EXPECT_NE(RtConfigError(noise).find("noise"), std::string::npos);
+
+  RtRunConfig aurora = BaseConfig();
+  aurora.base.method = Method::kAurora;
+  aurora.base.use_queue_shedder = true;
+  EXPECT_NE(RtConfigError(aurora).find("queue"), std::string::npos);
+
+  RtRunConfig queue_ok = BaseConfig();
+  queue_ok.base.use_queue_shedder = true;
+  queue_ok.base.vary_cost = true;
+  EXPECT_EQ(RtConfigError(queue_ok), "");
+
+  RtRunConfig bad_workers = BaseConfig();
+  bad_workers.workers = 0;
+  EXPECT_NE(RtConfigError(bad_workers).find("workers"), std::string::npos);
+
+  RtRunConfig bad_batch = BaseConfig();
+  bad_batch.batch = 0;
+  EXPECT_NE(RtConfigError(bad_batch).find("batch"), std::string::npos);
 }
 
 }  // namespace

@@ -258,6 +258,7 @@ int CmdRun(Args args) {
   cfg.capacity_rate = GetDouble(args, "capacity", 190.0);
   cfg.vary_cost = GetDouble(args, "vary_cost", 0.0) != 0.0;
   cfg.use_queue_shedder = GetDouble(args, "queue_shed", 0.0) != 0.0;
+  cfg.cost_aware_shedding = GetDouble(args, "cost_aware", 0.0) != 0.0;
   cfg.estimation_noise = GetDouble(args, "noise", 0.0);
   cfg.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
   cfg.constant_rate = GetDouble(args, "rate", 150.0);
@@ -285,6 +286,10 @@ int CmdRt(Args args) {
   cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
   cfg.base.headroom_est = GetDouble(args, "H", 0.97);
   cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.vary_cost = GetDouble(args, "vary_cost", 0.0) != 0.0;
+  cfg.base.use_queue_shedder = GetDouble(args, "queue_shed", 0.0) != 0.0;
+  cfg.base.cost_aware_shedding = GetDouble(args, "cost_aware", 0.0) != 0.0;
+  cfg.base.estimation_noise = GetDouble(args, "noise", 0.0);
   cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
   cfg.base.constant_rate = GetDouble(args, "rate", 150.0);
   cfg.base.pareto.beta = GetDouble(args, "beta", 1.0);
@@ -310,6 +315,14 @@ int CmdRt(Args args) {
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
+  // Clean CLI error — an actionable message and exit 2 — instead of the
+  // runtime's CS_CHECK abort for configs the rt path cannot run.
+  const std::string config_error = RtConfigError(cfg);
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "ctrlshed rt: %s\n", config_error.c_str());
+    return 2;
+  }
+
   InstallShutdownHandler();
   cfg.stop = &g_stop;
 
@@ -330,7 +343,7 @@ int CmdRt(Args args) {
                 i, static_cast<unsigned long long>(s.offered),
                 static_cast<unsigned long long>(s.entry_shed),
                 static_cast<unsigned long long>(s.ring_dropped),
-                static_cast<unsigned long long>(s.shed_lineages),
+                static_cast<unsigned long long>(s.queue_shed),
                 static_cast<unsigned long long>(s.departed));
   }
   std::printf("ring drops         %llu\n",
@@ -420,6 +433,7 @@ int CmdNode(Args args) {
   cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
   cfg.base.headroom_est = GetDouble(args, "H", 0.97);
   cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.vary_cost = GetDouble(args, "vary_cost", 0.0) != 0.0;
   cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
   cfg.base.seed = static_cast<uint64_t>(GetDouble(args, "seed", 42.0));
   cfg.time_compression = GetDouble(args, "compress", 20.0);
@@ -474,6 +488,8 @@ int CmdCluster(Args args) {
   cfg.base.headroom_true = GetDouble(args, "H_true", 0.97);
   cfg.base.headroom_est = GetDouble(args, "H", 0.97);
   cfg.base.capacity_rate = GetDouble(args, "capacity", 190.0);
+  cfg.base.use_queue_shedder = GetDouble(args, "queue_shed", 0.0) != 0.0;
+  cfg.base.cost_aware_shedding = GetDouble(args, "cost_aware", 0.0) != 0.0;
   cfg.base.adapt_headroom = GetDouble(args, "adapt_H", 0.0) != 0.0;
   const double poles = GetDouble(args, "poles", 0.7);
   cfg.base.gains = DesignPolePlacement(poles, poles);
@@ -668,12 +684,13 @@ void PrintHelp() {
       "                  [workload=web|pareto|mmpp|step|sine|ramp|constant]\n"
       "                  [duration=400] [T=1] [yd=2] [H=0.97] [H_true=0.97]\n"
       "                  [capacity=190] [rate=150] [beta=1.0] [poles=0.7]\n"
-      "                  [vary_cost=0|1] [queue_shed=0|1] [noise=0]\n"
-      "                  [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
+      "                  [vary_cost=0|1] [queue_shed=0|1] [cost_aware=0|1]\n"
+      "                  [noise=0] [adapt_H=0|1] [seed=42] [trace_out=FILE]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "  ctrlshed rt     [method=...] [workload=...] [duration=60] [T=1]\n"
       "                  [yd=2] [H=0.97] [H_true=0.97] [capacity=190]\n"
-      "                  [rate=150] [beta=1.0] [poles=0.7] [adapt_H=0|1]\n"
+      "                  [rate=150] [beta=1.0] [poles=0.7] [vary_cost=0|1]\n"
+      "                  [queue_shed=0|1] [cost_aware=0|1] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
       "                  [workers=1] [batch=1] [seed=42] [trace_out=FILE]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
@@ -683,12 +700,17 @@ void PrintHelp() {
       "                  shards under one aggregate feedback loop;\n"
       "                  batch=B in [1,4096] sets the datapath batch —\n"
       "                  SPSC pop run length and invocation quantum —\n"
-      "                  with batch=1 the bit-identical per-tuple path)\n"
+      "                  with batch=1 the bit-identical per-tuple path;\n"
+      "                  vary_cost/queue_shed/cost_aware mirror the sim\n"
+      "                  knobs: the Fig. 14 cost trace sampled on each\n"
+      "                  worker's clock, and in-network shedding from\n"
+      "                  controller-planned per-period queue budgets)\n"
       "\n"
       "  telemetry_dir=DIR (or --telemetry-dir DIR) writes trace.json\n"
       "  (Chrome trace-event JSON; open in Perfetto), metrics.jsonl\n"
       "  (periodic metric snapshots), and timeline.csv/.jsonl (per-period\n"
-      "  q, y_hat, e, u, v, alpha, loss, lateness) into DIR.\n"
+      "  q, y_hat, e, u, v, alpha, loss, lateness, actuation site,\n"
+      "  queue_shed) into DIR.\n"
       "  telemetry_port=N (or --telemetry-port N) serves live telemetry on\n"
       "  http://127.0.0.1:N — GET / (dashboard), /metrics (Prometheus),\n"
       "  /timeline (SSE rows identical to timeline.jsonl), /status (JSON),\n"
@@ -715,19 +737,22 @@ void PrintHelp() {
       "  ctrlshed design [poles=0.7] [a=-0.8]    (print controller gains)\n"
       "\n"
       "  ctrlshed cluster [port=0] [duration=60] [T=1] [yd=2] [H=0.97]\n"
-      "                  [capacity=190] [poles=0.7] [stale_periods=3]\n"
+      "                  [capacity=190] [poles=0.7] [queue_shed=0|1]\n"
+      "                  [cost_aware=0|1] [stale_periods=3]\n"
       "                  [min_nodes=0] [compress=20] [gate=0|1]\n"
       "                  [trace_out=FILE] [telemetry_dir=DIR]\n"
       "                  [telemetry_port=N]\n"
       "                  (cluster controller: nodes connect to `port`,\n"
       "                  their stats aggregate into one plant, v(k) fans\n"
-      "                  back out; gate=1 exits nonzero unless the\n"
-      "                  converged delay tracks the setpoint within 20%%)\n"
+      "                  back out — with queue_shed=1 the commands carry\n"
+      "                  in-network plan flags the nodes act on; gate=1\n"
+      "                  exits nonzero unless the converged delay tracks\n"
+      "                  the setpoint within 20%%)\n"
       "  ctrlshed node   [id=0] [workers=1] [port=0]\n"
       "                  [controller_host=127.0.0.1] [controller_port=P]\n"
       "                  [duration=60] [T=1] [yd=2] [H=0.97] [H_true=0.97]\n"
-      "                  [capacity=190] [compress=20] [ring=4096]\n"
-      "                  [batch=1] [busy_spin=0|1] [seed=42]\n"
+      "                  [capacity=190] [vary_cost=0|1] [compress=20]\n"
+      "                  [ring=4096] [batch=1] [busy_spin=0|1] [seed=42]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "                  (cluster member: serves tuple ingress on `port`,\n"
       "                  reports per-period stats upstream, applies the\n"
