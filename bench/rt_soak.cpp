@@ -235,6 +235,7 @@ int main(int argc, char** argv) {
               r.summary.mean_delay);
   std::printf("ring drops          %llu\n",
               static_cast<unsigned long long>(r.ring_dropped));
+  std::printf("loop health         %s\n", r.health.Summary().c_str());
   std::printf("wall time           %.2f s (%.0fx real time)\n",
               r.wall_seconds, duration / r.wall_seconds);
   PrintShardBreakdown(r);

@@ -1,5 +1,6 @@
 #include "cluster/cluster_control_loop.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/macros.h"
@@ -12,6 +13,11 @@ ClusterControlLoop::ClusterControlLoop(ClusterControlLoopOptions options)
       controller_(options.ctrl),
       yd_(options.target_delay) {
   CS_CHECK_MSG(yd_ > 0.0, "target delay must be positive");
+  monitor_.SetTransitionCallback([this](const char* what, uint32_t node_id) {
+    char detail[32];
+    std::snprintf(detail, sizeof(detail), "node %u", node_id);
+    flight_.RecordEvent(what, detail);
+  });
 }
 
 void ClusterControlLoop::OnHello(const NodeHello& h, SimTime recv_now) {
@@ -47,7 +53,13 @@ std::vector<NodeCommand> ClusterControlLoop::Tick(SimTime now) {
   Finalize();  // a period still waiting on late/lost acks
 
   PeriodMeasurement m;
-  if (!monitor_.Sample(now, yd_, &m)) {
+  const bool have_plant = monitor_.Sample(now, yd_, &m);
+  // Staleness is (re)judged at every boundary, including idle ones — an
+  // all-stale cluster must be able to go critical while no periods close.
+  health_.SetStaleNodes(static_cast<uint64_t>(monitor_.stale_count()),
+                        static_cast<uint64_t>(monitor_.stale_count() +
+                                              monitor_.active_count()));
+  if (!have_plant) {
     ++idle_ticks_;
     return {};
   }
@@ -126,6 +138,28 @@ void ClusterControlLoop::Finalize() {
                   : (alpha > 0.0 ? ActuationSite::kSplit
                                  : ActuationSite::kInNetwork);
   pending_.record.queue_shed = queue_shed;
+  pending_.record.h_hat = monitor_.h_hat();
+  if (pending_.record.site != last_site_) {
+    const std::string detail =
+        std::string(ActuationSiteName(last_site_)) + " -> " +
+        std::string(ActuationSiteName(pending_.record.site));
+    flight_.RecordEvent("site_switch", detail.c_str(), pending_.record.m.t);
+    last_site_ = pending_.record.site;
+  }
+  flight_.RecordPeriod(pending_.record);
+  health_.ObservePeriod(pending_.record);
+  // Configured headroom for the drift warning: the active fleet's mean
+  // per-worker H (the aggregate H_hat is per-worker by construction).
+  double active_workers = 0.0;
+  double weighted_h = 0.0;
+  for (const ClusterMonitor::NodeState& n : monitor_.nodes()) {
+    if (!n.active) continue;
+    active_workers += static_cast<double>(n.workers);
+    weighted_h += static_cast<double>(n.workers) * n.headroom;
+  }
+  health_.SetHeadroom(active_workers > 0.0 ? weighted_h / active_workers
+                                           : std::numeric_limits<double>::quiet_NaN(),
+                      monitor_.h_hat());
   if (metrics_sink_ != nullptr) {
     metrics_sink_
         ->GetCounter(std::string("actuation.site.") +

@@ -9,6 +9,8 @@
 #include "cluster/wire.h"
 #include "control/ctrl_controller.h"
 #include "metrics/recorder.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -84,6 +86,16 @@ class ClusterControlLoop {
   const ClusterMonitor& monitor() const { return monitor_; }
   const Recorder& recorder() const { return recorder_; }
   const CtrlController& controller() const { return controller_; }
+
+  /// Current control-loop health verdict (see telemetry/health.h). The
+  /// HealthMonitor is internally locked, but callers that want a verdict
+  /// consistent with the maps should hold the same mutex that serializes
+  /// On*/Tick (the socket runner prebuilds the JSON under it).
+  HealthReport Health() const { return health_.Report(); }
+
+  /// The loop's flight recorder — the runner annotates transport-level
+  /// events (decode rejects, connection drops) into the same ring.
+  FlightRecorder* flight() { return &flight_; }
   double target_delay() const { return yd_; }
   int ticks() const { return ticks_; }
   /// Ticks skipped because no node was active.
@@ -114,9 +126,12 @@ class ClusterControlLoop {
   ClusterMonitor monitor_;
   CtrlController controller_;
   Recorder recorder_;
+  FlightRecorder flight_{"cluster"};
+  HealthMonitor health_;
   RecordCallback on_record_;
 
   MetricsRegistry* metrics_sink_ = nullptr;
+  ActuationSite last_site_ = ActuationSite::kEntry;
   double yd_;
   uint32_t seq_ = 0;
   int ticks_ = 0;

@@ -48,6 +48,7 @@ void ClusterMonitor::OnHello(const NodeHello& h, SimTime recv_now) {
     nodes_.emplace_back();
     n = &nodes_.back();
     n->id = h.node_id;
+    if (on_transition_) on_transition_("node_join", h.node_id);
   }
   n->workers = h.workers;
   n->headroom = h.headroom;
@@ -84,6 +85,9 @@ void ClusterMonitor::OnReport(const NodeStatsReport& r, SimTime recv_now) {
   n->last_seen = recv_now;
   n->last_seq = r.seq;
   n->alpha = r.alpha;
+  // Each report carries one period's realized deltas — exactly the
+  // drained/busy ratio the per-node H_hat estimate needs (report-only).
+  n->h_hat_tracker.Update(r.deltas.drained_base_load, r.deltas.busy_seconds);
   n->offered_total = r.offered_total;
   n->entry_shed_total = r.entry_shed_total;
   n->ring_dropped_total = r.ring_dropped_total;
@@ -103,8 +107,13 @@ bool ClusterMonitor::Sample(SimTime now, double target_delay,
       // Going stale: its buffered deltas describe a plant we no longer
       // trust; drop them so a later readmission starts clean.
       n.pending = PeriodDeltas{};
+      if (on_transition_) on_transition_("node_stale", n.id);
+    }
+    if (!n.active && fresh && n.ever_active && on_transition_) {
+      on_transition_("node_readmit", n.id);
     }
     n.active = fresh;
+    if (fresh) n.ever_active = true;
     if (fresh) active_ids_.push_back(n.id);
   }
   if (active_ids_.empty()) {
@@ -149,8 +158,18 @@ bool ClusterMonitor::Sample(SimTime now, double target_delay,
     n.pending = PeriodDeltas{};
   }
 
+  h_hat_tracker_.Update(d.drained_base_load, d.busy_seconds);
+
   *m = math_.SampleDeltas(d, target_delay, elapsed);
   return true;
+}
+
+int ClusterMonitor::stale_count() const {
+  int stale = 0;
+  for (const NodeState& n : nodes_) {
+    if (n.ever_active && !n.active) ++stale;
+  }
+  return stale;
 }
 
 }  // namespace ctrlshed

@@ -2,10 +2,12 @@
 #define CTRLSHED_CLUSTER_CLUSTER_MONITOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/wire.h"
 #include "control/period_math.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -44,10 +46,15 @@ class ClusterMonitor {
     double headroom = 0.0;       ///< Per-worker H.
     bool active = false;
     bool ever_reported = false;
+    bool ever_active = false;    ///< Distinguishes join from readmit.
     SimTime last_seen = 0.0;     ///< Receive-side clock of the last report.
     uint32_t last_seq = 0;
     PeriodDeltas pending;        ///< Deltas accumulated since last Sample.
     double alpha = 0.0;          ///< Last reported drop probability.
+    /// Measured per-worker headroom of this node (base load drained per
+    /// busy second across its report deltas). Report-only; NaN until the
+    /// node's first busy report.
+    HeadroomTracker h_hat_tracker;
     uint64_t offered_total = 0;
     uint64_t entry_shed_total = 0;
     uint64_t ring_dropped_total = 0;
@@ -55,6 +62,15 @@ class ClusterMonitor {
   };
 
   ClusterMonitor(double nominal_entry_cost, ClusterMonitorOptions options);
+
+  /// Membership-transition hook: called with "node_join" (first hello),
+  /// "node_stale" (aged out of the active set at a Sample boundary), or
+  /// "node_readmit" (re-entered it), plus the node id. Feeds the owning
+  /// loop's flight recorder; called on the thread driving OnHello/Sample.
+  void SetTransitionCallback(
+      std::function<void(const char* what, uint32_t node_id)> cb) {
+    on_transition_ = std::move(cb);
+  }
 
   /// Registers or refreshes a node (re-hello after reconnect is fine).
   void OnHello(const NodeHello& h, SimTime recv_now);
@@ -83,6 +99,13 @@ class ClusterMonitor {
 
   int known_count() const { return static_cast<int>(nodes_.size()); }
   int active_count() const { return static_cast<int>(active_ids_.size()); }
+  /// Nodes that once fed the aggregate but have aged out of the active
+  /// set (as of the last Sample) — the health monitor's stale_node input.
+  int stale_count() const;
+  /// Aggregate measured per-worker headroom: Σ drained / Σ busy over the
+  /// active nodes' folded deltas, EWMA-smoothed. NaN before the first
+  /// busy Sample.
+  double h_hat() const { return h_hat_tracker_.value(); }
   const std::vector<NodeState>& nodes() const { return nodes_; }
   const NodeState* Find(uint32_t id) const;
 
@@ -101,6 +124,8 @@ class ClusterMonitor {
   SimTime prev_now_ = 0.0;
   double effective_headroom_ = 0.0;
   bool headroom_changed_ = false;
+  HeadroomTracker h_hat_tracker_;
+  std::function<void(const char* what, uint32_t node_id)> on_transition_;
 
   std::vector<uint32_t> active_ids_;
   std::vector<double> node_fin_;

@@ -15,6 +15,7 @@
 #include "net/frame_server.h"
 #include "net/socket_util.h"
 #include "rt/rt_clock.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracer.h"
 
@@ -53,6 +54,9 @@ ClusterControllerResult RunClusterController(
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
   std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
+  if (telemetry && !telemetry->dir().empty()) {
+    SetFlightDumpPath(telemetry->dir() + "/ctrlshed.flightdump.json");
+  }
 
   RtClock clock(config.time_compression);
 
@@ -97,9 +101,11 @@ ClusterControllerResult RunClusterController(
   std::mutex status_mu;
   std::string status_json;
   std::string fleet_json = "{\"nodes\":[]}";
+  std::string health_json = "{}";
+  int health_status = 200;
   // Requires loop_mu held (reads ctl); safe before the threads start too.
   const auto refresh_status = [&ctl, &clock, &base, &status_mu, &status_json,
-                               &fleet_json] {
+                               &fleet_json, &health_json, &health_status] {
     const SimTime now = clock.Now();
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -132,15 +138,26 @@ ClusterControllerResult RunClusterController(
                               ? static_cast<double>(lost) /
                                     static_cast<double>(n.offered_total)
                               : 0.0;
+      // Measured per-worker headroom next to the configured one — null
+      // until the node's first report with busy time (see ISSUE H_hat).
+      const double h_hat = n.h_hat_tracker.value();
+      char h_hat_buf[32];
+      if (h_hat == h_hat) {
+        std::snprintf(h_hat_buf, sizeof(h_hat_buf), "%.3f", h_hat);
+      } else {
+        std::snprintf(h_hat_buf, sizeof(h_hat_buf), "null");
+      }
       std::snprintf(
           buf, sizeof(buf),
           "%s{\"id\":%u,\"workers\":%u,\"fresh\":%s,"
           "\"last_report_age_s\":%.3f,\"queue\":%.3f,\"alpha\":%.4f,"
-          "\"offered\":%llu,\"shed\":%llu,\"loss\":%.4f,\"last_seq\":%u}",
+          "\"offered\":%llu,\"shed\":%llu,\"loss\":%.4f,\"last_seq\":%u,"
+          "\"headroom\":%.3f,\"h_hat\":%s}",
           first ? "" : ",", n.id, n.workers, n.active ? "true" : "false",
           n.ever_reported ? now - n.last_seen : -1.0, queue, n.alpha,
           static_cast<unsigned long long>(n.offered_total),
-          static_cast<unsigned long long>(lost), loss, n.last_seq);
+          static_cast<unsigned long long>(lost), loss, n.last_seq,
+          n.headroom, h_hat_buf);
       fleet += buf;
       first = false;
     }
@@ -148,9 +165,16 @@ ClusterControllerResult RunClusterController(
     std::snprintf(buf, sizeof(buf), "],\"period\":%g,\"target_delay\":%g}",
                   base.period, ctl.target_delay());
     fleet += buf;
+    // The /health pair is prebuilt under loop_mu for the same reason the
+    // status/fleet snapshots are: the server must never reach into ctl.
+    const HealthReport health = ctl.Health();
+    std::string hjson = health.ToJson();
+    const int hstatus = health.HttpStatus();
     std::lock_guard<std::mutex> lock(status_mu);
     status_json = std::move(json);
     fleet_json = std::move(fleet);
+    health_json = std::move(hjson);
+    health_status = hstatus;
   };
 
   ClusterControllerResult result;
@@ -217,6 +241,11 @@ ClusterControllerResult RunClusterController(
         break;
     }
     ++result.rejected;
+    char detail[48];
+    std::snprintf(detail, sizeof(detail), "conn %llu frame type %u",
+                  static_cast<unsigned long long>(conn_id),
+                  static_cast<unsigned>(f.type));
+    ctl.flight()->RecordEvent("decode_reject", detail, clock.Now());
   });
   server.OnDisconnect([&](uint64_t conn_id) {
     std::lock_guard<std::mutex> lock(loop_mu);
@@ -247,6 +276,11 @@ ClusterControllerResult RunClusterController(
         std::lock_guard<std::mutex> lock(status_mu);
         return fleet_json;
       });
+      telemetry->server()->SetHealthCallback(
+          [&status_mu, &health_json, &health_status] {
+            std::lock_guard<std::mutex> lock(status_mu);
+            return std::make_pair(health_status, health_json);
+          });
     }
   }
 
@@ -322,6 +356,7 @@ ClusterControllerResult RunClusterController(
     for (const auto& n : ctl.monitor().nodes()) {
       result.total_workers += static_cast<int>(n.workers);
     }
+    result.health = ctl.Health();
   }
   const auto wall_end = std::chrono::steady_clock::now();
   result.wall_seconds =

@@ -8,6 +8,7 @@
 
 #include "metrics/recorder.h"
 #include "runner/experiment.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -60,6 +61,7 @@ struct ClusterControllerResult {
   int port = -1;
   int telemetry_port = -1;
   bool interrupted = false;
+  HealthReport health;  ///< Controller health verdict at shutdown.
 };
 
 /// Runs the cluster controller for base.duration trace seconds. Blocks

@@ -1,5 +1,6 @@
 #include "cluster/node_agent.h"
 
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
@@ -33,6 +34,16 @@ NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
   m_ = monitor_.Sample(shards, target_delay_);
   has_measurement_ = true;
 
+  // Node-local observability: the same per-period ring + health the
+  // single-process loops keep. v is the last commanded rate (the node
+  // does not run the control law itself).
+  PeriodRecord rec{m_, last_v_, alpha_, /*lateness=*/0.0, /*shard_q=*/{}};
+  rec.site = last_site_;
+  rec.h_hat = monitor_.h_hat();
+  flight_.RecordPeriod(rec);
+  health_.ObservePeriod(rec);
+  health_.SetHeadroom(options_.monitor.headroom, monitor_.h_hat());
+
   NodeStatsReport r;
   r.node_id = options_.node_id;
   r.seq = ++seq_;
@@ -52,6 +63,7 @@ NodeStatsReport NodeAgent::Tick(const std::vector<RtSample>& shards) {
 ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
   target_delay_ = a.target_delay;
   ctrl_seq_ = a.seq;
+  last_v_ = a.v;
 
   ActuationAck ack;
   ack.node_id = options_.node_id;
@@ -99,6 +111,12 @@ ActuationAck NodeAgent::Apply(const ClusterActuation& a) {
           ? (alpha > 0.0 ? ActuationSite::kSplit : ActuationSite::kInNetwork)
           : ActuationSite::kEntry;
   ack.site = static_cast<uint32_t>(site);
+  if (site != last_site_) {
+    const std::string detail = std::string(ActuationSiteName(last_site_)) +
+                               " -> " + std::string(ActuationSiteName(site));
+    flight_.RecordEvent("site_switch", detail.c_str(), m_.t);
+    last_site_ = site;
+  }
   return ack;
 }
 

@@ -9,6 +9,8 @@
 #include "control/actuation_plan.h"
 #include "rt/rt_monitor.h"
 #include "shedding/shedder.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -63,6 +65,15 @@ class NodeAgent {
 
   const RtMonitor& monitor() const { return monitor_; }
   const PeriodMeasurement& last_measurement() const { return m_; }
+
+  /// Current node-local health verdict (see telemetry/health.h).
+  /// Thread-safe against the Tick/Apply thread.
+  HealthReport Health() const { return health_.Report(); }
+
+  /// The agent's flight recorder — the runner annotates transport-level
+  /// events (decode rejects, controller drops) into the same ring.
+  FlightRecorder* flight() { return &flight_; }
+
   double last_alpha() const { return alpha_; }
   double target_delay() const { return target_delay_; }
   /// Controller seq of the last actuation applied (0 before the first);
@@ -87,6 +98,10 @@ class NodeAgent {
   bool has_measurement_ = false;
   PeriodMeasurement m_;
   double alpha_ = 0.0;
+  double last_v_ = 0.0;  ///< Last commanded admitted rate (for the ring).
+  ActuationSite last_site_ = ActuationSite::kEntry;
+  FlightRecorder flight_{"node"};
+  HealthMonitor health_;
 };
 
 }  // namespace ctrlshed

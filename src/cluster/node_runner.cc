@@ -19,6 +19,7 @@
 #include "runner/networks.h"
 #include "shedding/entry_shedder.h"
 #include "telemetry/fleet_metrics.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracer.h"
 #include "workload/traces.h"
@@ -58,6 +59,9 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   const double nominal_cost = base.headroom_true / base.capacity_rate;
 
   std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
+  if (telemetry && !telemetry->dir().empty()) {
+    SetFlightDumpPath(telemetry->dir() + "/ctrlshed.flightdump.json");
+  }
   if (telemetry) {
     const uint32_t node_id = config.node_id;
     const int n_workers = workers;
@@ -147,6 +151,17 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
         stats->plan_seq.store(++plan_seq, std::memory_order_release);
       });
 
+  if (telemetry && telemetry->server() != nullptr) {
+    // HealthMonitor is internally locked, so the server thread may read a
+    // verdict without plant_mu. Lifetime: the explicit telemetry->Stop()
+    // below shuts the server down before `agent` leaves scope (failures
+    // abort, never unwind).
+    telemetry->server()->SetHealthCallback([&agent] {
+      const HealthReport r = agent.Health();
+      return std::make_pair(r.HttpStatus(), r.ToJson());
+    });
+  }
+
   ClusterNodeResult result;
 
   // --- Tuple ingress ------------------------------------------------------
@@ -161,6 +176,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
         !DecodeTupleBatch(f.payload, &batch)) {
       ++result.ingress_rejected;
       if (rejected_metric != nullptr) rejected_metric->Add(1);
+      agent.flight()->RecordEvent("decode_reject", "ingress tuple batch",
+                                  clock.Now());
       return;
     }
     const int shard = static_cast<int>(batch.source) % workers;
@@ -199,6 +216,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
       HelloAck ha;
       if (!DecodeHelloAck(f.payload, &ha)) {
         ++result.control_rejected;
+        agent.flight()->RecordEvent("decode_reject", "control hello ack",
+                                    clock.Now());
         return;
       }
       // NTP-style midpoint: the controller's clock read sits halfway
@@ -216,6 +235,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     ClusterActuation act;
     if (f.type != FrameType::kActuation || !DecodeActuation(f.payload, &act)) {
       ++result.control_rejected;
+      agent.flight()->RecordEvent("decode_reject", "control actuation",
+                                  clock.Now());
       return;
     }
     ActuationAck ack;
@@ -311,6 +332,7 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   result.ingress_frames = ingress.frames_received();
   result.corrupt_streams = ingress.corrupt_streams();
   result.final_alpha = agent.last_alpha();
+  result.health = agent.Health();
   for (auto& engine : engines) {
     const RtSharedStats* stats = engine->stats();
     result.offered += stats->offered.load(std::memory_order_relaxed);

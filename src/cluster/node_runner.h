@@ -9,6 +9,7 @@
 #include "metrics/histogram.h"
 #include "rt/rt_engine.h"
 #include "runner/experiment.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -95,6 +96,7 @@ struct ClusterNodeResult {
   int ingress_port = -1;
   int telemetry_port = -1;
   bool interrupted = false;
+  HealthReport health;  ///< Node-local health verdict at shutdown.
 };
 
 /// Runs one cluster node for base.duration trace seconds: W sharded

@@ -1,0 +1,44 @@
+#include "common/build_info.h"
+
+#include "common/build_info.gen.h"
+
+namespace ctrlshed {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{CTRLSHED_BUILD_GIT, CTRLSHED_BUILD_COMPILER,
+                              CTRLSHED_BUILD_TYPE, CTRLSHED_BUILD_SANITIZER};
+  return info;
+}
+
+std::string BuildInfoLine() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string line = "ctrlshed ";
+  line += b.git_describe;
+  line += " (";
+  line += b.build_type;
+  line += ", ";
+  line += b.compiler;
+  if (b.sanitizer[0] != '\0') {
+    line += ", ";
+    line += b.sanitizer;
+    line += " sanitizer";
+  }
+  line += ")";
+  return line;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& b = GetBuildInfo();
+  std::string json = "{\"git\":\"";
+  json += b.git_describe;
+  json += "\",\"compiler\":\"";
+  json += b.compiler;
+  json += "\",\"build_type\":\"";
+  json += b.build_type;
+  json += "\",\"sanitizer\":\"";
+  json += b.sanitizer;
+  json += "\"}";
+  return json;
+}
+
+}  // namespace ctrlshed

@@ -1,0 +1,31 @@
+#ifndef CTRLSHED_COMMON_BUILD_INFO_H_
+#define CTRLSHED_COMMON_BUILD_INFO_H_
+
+#include <string>
+
+namespace ctrlshed {
+
+/// Identification of the running build, captured at CMake configure time.
+/// All fields are static string literals — valid for the process lifetime
+/// and safe to hand to async-signal contexts (the flight recorder stamps
+/// them into crash dumps).
+struct BuildInfo {
+  const char* git_describe;  ///< `git describe --always --dirty --tags`.
+  const char* compiler;      ///< Compiler id and version.
+  const char* build_type;    ///< CMAKE_BUILD_TYPE.
+  const char* sanitizer;     ///< CTRLSHED_SANITIZE mode, "" when off.
+};
+
+/// The build this binary was produced by.
+const BuildInfo& GetBuildInfo();
+
+/// One-line human form: `ctrlshed <git> (<type>, <compiler>[, <san>])`.
+std::string BuildInfoLine();
+
+/// JSON object form for /status and flight-recorder dumps:
+/// {"git":"…","compiler":"…","build_type":"…","sanitizer":"…"}.
+std::string BuildInfoJson();
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_COMMON_BUILD_INFO_H_

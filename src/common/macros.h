@@ -1,16 +1,36 @@
 #ifndef CTRLSHED_COMMON_MACROS_H_
 #define CTRLSHED_COMMON_MACROS_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ctrlshed::internal {
+
+/// Observer invoked on a CS_CHECK failure, after the diagnostic prints
+/// and before abort(). The flight recorder (src/telemetry) registers one
+/// to dump its ring; cs_common itself depends on nothing. The hook runs
+/// on the failing thread mid-crash, so implementations must be reentrant
+/// and allocation-free.
+using FatalHook = void (*)(const char* expr, const char* file, int line,
+                           const char* msg);
+
+inline std::atomic<FatalHook> g_fatal_hook{nullptr};
+
+/// Registers (or clears, with nullptr) the process-wide fatal hook.
+/// Returns the previous hook.
+inline FatalHook SetFatalHook(FatalHook hook) {
+  return g_fatal_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 /// Prints a check-failure diagnostic and aborts the process.
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "CS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
                msg[0] ? " — " : "", msg);
+  if (FatalHook hook = g_fatal_hook.load(std::memory_order_acquire)) {
+    hook(expr, file, line, msg);
+  }
   std::abort();
 }
 

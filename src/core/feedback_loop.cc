@@ -102,15 +102,32 @@ void FeedbackLoop::ControlTick(SimTime now) {
   }
   PeriodRecord rec{m, v, alpha, /*lateness=*/0.0, /*shard_q=*/{}};
   rec.site = site;
-  const uint64_t queue_shed_total = engine_->counters().shed_lineages;
-  rec.queue_shed = queue_shed_total - prev_queue_shed_;
-  prev_queue_shed_ = queue_shed_total;
+  const EngineCounters& counters = engine_->counters();
+  rec.queue_shed = counters.shed_lineages - prev_queue_shed_;
+  prev_queue_shed_ = counters.shed_lineages;
+  rec.h_hat = headroom_tracker_.Update(
+      counters.drained_base_load - prev_drained_base_load_,
+      counters.busy_seconds - prev_busy_seconds_);
+  prev_drained_base_load_ = counters.drained_base_load;
+  prev_busy_seconds_ = counters.busy_seconds;
+  if (site != last_site_) {
+    const std::string detail = std::string(ActuationSiteName(last_site_)) +
+                               " -> " + std::string(ActuationSiteName(site));
+    flight_.RecordEvent("site_switch", detail.c_str(), now);
+    last_site_ = site;
+  }
+  flight_.RecordPeriod(rec);
+  health_.ObservePeriod(rec);
+  health_.SetHeadroom(options_.headroom, rec.h_hat);
   if (options_.telemetry != nullptr) {
     options_.telemetry->metrics()
         ->GetCounter(std::string("actuation.site.") +
                      std::string(ActuationSiteName(site)))
         ->Add();
     options_.telemetry->PublishTimelineRow(rec);
+    health_.SetSelfLoss(/*trace_events=*/0, /*trace_dropped=*/0,
+                        options_.telemetry->sse_rows_published(),
+                        options_.telemetry->sse_rows_dropped());
   }
   recorder_.Record(std::move(rec));
 }

@@ -14,6 +14,8 @@
 #include "metrics/recorder.h"
 #include "shedding/shedder.h"
 #include "sim/simulation.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -88,6 +90,10 @@ class FeedbackLoop {
   const Recorder& recorder() const { return recorder_; }
   const Monitor& monitor() const { return monitor_; }
 
+  /// Current control-loop health verdict (see telemetry/health.h).
+  /// Thread-safe — the telemetry server's /health handler calls it.
+  HealthReport Health() const { return health_.Report(); }
+
   /// Per-stream statistics, or nullptr when `track_sources` was 0.
   const PerSourceStats* per_source() const { return per_source_.get(); }
 
@@ -118,7 +124,13 @@ class FeedbackLoop {
   RatePredictor* predictor_ = nullptr;
   ActuationPlanner planner_;
   QueueFeedback feedback_;  ///< Scratch, refilled each period.
+  FlightRecorder flight_{"sim"};  ///< Post-mortem ring (last periods/events).
+  HealthMonitor health_;
+  HeadroomTracker headroom_tracker_;
   uint64_t prev_queue_shed_ = 0;  ///< Engine shed_lineages at last tick.
+  double prev_busy_seconds_ = 0.0;
+  double prev_drained_base_load_ = 0.0;
+  ActuationSite last_site_ = ActuationSite::kEntry;
   double target_delay_;
   uint64_t offered_ = 0;
   uint64_t entry_shed_ = 0;

@@ -1,6 +1,7 @@
 #ifndef CTRLSHED_METRICS_RECORDER_H_
 #define CTRLSHED_METRICS_RECORDER_H_
 
+#include <limits>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -31,6 +32,12 @@ struct PeriodRecord {
   /// Tuples removed from operator queues during the period (in-network
   /// shedding executed; 0 for entry-only runs).
   double queue_shed = 0.0;
+  /// Measured headroom H_hat: realized base-load drained per busy second,
+  /// EWMA-smoothed (see docs/observability.md "Post-mortem & health").
+  /// Report-only — the control law never consumes it. NaN when the loop
+  /// does not estimate it, which keeps historical exports byte-identical
+  /// (the timeline emits it only when finite).
+  double h_hat = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Collects the per-period trace of an experiment; feeds the transient

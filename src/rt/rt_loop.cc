@@ -170,11 +170,14 @@ void RtLoop::ControllerLoop() {
     queue_gauge_ = reg->GetGauge("rt.queue");
     y_hat_gauge_ = reg->GetGauge("rt.y_hat");
     alpha_gauge_ = reg->GetGauge("rt.alpha");
+    h_hat_gauge_ = reg->GetGauge("rt.h_hat");
+    health_gauges_.Init(reg);
     if (shards_.size() > 1) {
       for (size_t i = 0; i < shards_.size(); ++i) {
         const std::string prefix = "rt.shard" + std::to_string(i);
         shard_queue_gauges_.push_back(reg->GetGauge(prefix + ".queue"));
         shard_alpha_gauges_.push_back(reg->GetGauge(prefix + ".alpha"));
+        shard_h_hat_gauges_.push_back(reg->GetGauge(prefix + ".h_hat"));
       }
     }
   }
@@ -268,6 +271,8 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
       if (i < shard_alpha_gauges_.size()) {
         shard_queue_gauges_[i]->Set(shard_queues[i]);
         shard_alpha_gauges_[i]->Set(alpha_i);
+        const double h_hat_i = monitor_.shard_h_hat()[i];
+        if (h_hat_i == h_hat_i) shard_h_hat_gauges_[i]->Set(h_hat_i);
       }
     }
     controller_->NotifyActuation(applied);
@@ -277,26 +282,42 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
   }
   actuation_lateness_.Record(lateness_wall);
   if (lateness_metric_ != nullptr) lateness_metric_->Record(lateness_wall);
+  const double h_hat = monitor_.h_hat();
   if (queue_gauge_ != nullptr) {
     queue_gauge_->Set(m.queue);
     y_hat_gauge_->Set(m.y_hat);
     alpha_gauge_->Set(alpha);
+    if (h_hat == h_hat) h_hat_gauge_->Set(h_hat);
   }
   PeriodRecord rec{m, v, alpha, lateness_wall,
                    shards_.size() > 1 ? monitor_.shard_queues()
                                       : std::vector<double>{}};
   rec.site = site;
+  rec.h_hat = h_hat;
   // Executed in-network drops this period (lags the posted budget by up to
   // one pump — the workers drain it asynchronously).
   const uint64_t queue_shed_total = SumStat(&RtSharedStats::queue_shed);
   rec.queue_shed = static_cast<double>(queue_shed_total - prev_queue_shed_);
   prev_queue_shed_ = queue_shed_total;
+  if (site != last_site_) {
+    const std::string detail = std::string(ActuationSiteName(last_site_)) +
+                               " -> " + std::string(ActuationSiteName(site));
+    flight_.RecordEvent("site_switch", detail.c_str(), now);
+    last_site_ = site;
+  }
+  flight_.RecordPeriod(rec);
+  health_.ObservePeriod(rec);
+  health_.SetHeadroom(options_.headroom, h_hat);
   if (options_.telemetry != nullptr) {
     options_.telemetry->metrics()
         ->GetCounter(std::string("actuation.site.") +
                      std::string(ActuationSiteName(site)))
         ->Add();
     options_.telemetry->PublishTimelineRow(rec);
+    health_.SetSelfLoss(/*trace_events=*/0, /*trace_dropped=*/0,
+                        options_.telemetry->sse_rows_published(),
+                        options_.telemetry->sse_rows_dropped());
+    health_gauges_.Publish(health_.Report());
   }
   recorder_.Record(std::move(rec));
 }

@@ -16,6 +16,8 @@
 #include "rt/rt_engine.h"
 #include "rt/rt_monitor.h"
 #include "shedding/shedder.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -136,6 +138,11 @@ class RtLoop {
   const RtMonitor& monitor() const { return monitor_; }
   const QosAccumulator& qos() const { return qos_; }
 
+  /// Current control-loop health verdict (see telemetry/health.h).
+  /// Thread-safe — the telemetry server's /health handler calls it while
+  /// the controller thread keeps feeding periods.
+  HealthReport Health() const { return health_.Report(); }
+
   /// Wall-clock lateness of each control tick past its period deadline
   /// (actuation jitter). Only valid after Stop().
   const LatencyHistogram& actuation_lateness() const {
@@ -171,6 +178,9 @@ class RtLoop {
   RtMonitor monitor_;
   QosAccumulator qos_;
   Recorder recorder_;
+  FlightRecorder flight_{"rt"};  ///< Post-mortem ring (last periods/events).
+  HealthMonitor health_;
+  HealthGauges health_gauges_;
   DepartureCallback observer_;
   RatePredictor* predictor_ = nullptr;
 
@@ -192,10 +202,13 @@ class RtLoop {
   Gauge* queue_gauge_ = nullptr;
   Gauge* y_hat_gauge_ = nullptr;
   Gauge* alpha_gauge_ = nullptr;
+  Gauge* h_hat_gauge_ = nullptr;
   // Per-shard decomposition gauges, registered only when num_shards > 1
   // (the unsharded telemetry surface is unchanged).
   std::vector<Gauge*> shard_queue_gauges_;
   std::vector<Gauge*> shard_alpha_gauges_;
+  std::vector<Gauge*> shard_h_hat_gauges_;
+  ActuationSite last_site_ = ActuationSite::kEntry;
 
   /// One mutex per shard guarding Admit (source threads) vs Configure
   /// (controller thread) on that shard's shedder.

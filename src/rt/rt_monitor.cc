@@ -34,8 +34,13 @@ RtMonitor::RtMonitor(double nominal_entry_cost, int num_shards,
       options_(options),
       math_(nominal_entry_cost, ToMathOptions(options, num_shards)),
       prev_shard_offered_(static_cast<size_t>(num_shards), 0),
+      prev_shard_busy_(static_cast<size_t>(num_shards), 0.0),
+      prev_shard_drained_(static_cast<size_t>(num_shards), 0.0),
       shard_fin_(static_cast<size_t>(num_shards), 0.0),
-      shard_queues_(static_cast<size_t>(num_shards), 0.0) {
+      shard_queues_(static_cast<size_t>(num_shards), 0.0),
+      shard_h_hat_trackers_(static_cast<size_t>(num_shards)),
+      shard_h_hat_(static_cast<size_t>(num_shards),
+                   std::numeric_limits<double>::quiet_NaN()) {
   CS_CHECK_MSG(options_.headroom > 0.0 && options_.headroom <= 1.0,
                "per-worker headroom must be in (0,1]");
 }
@@ -54,6 +59,8 @@ PeriodMeasurement RtMonitor::Sample(const std::vector<RtSample>& shards,
   pc.now = now;
   double delay_sum = 0.0;
   uint64_t delay_count = 0;
+  double delta_busy = 0.0;
+  double delta_drained = 0.0;
   for (size_t i = 0; i < shards.size(); ++i) {
     const RtSample& s = shards[i];
     CS_CHECK_MSG(s.now == now, "shard snapshots must share one sample time");
@@ -76,7 +83,19 @@ PeriodMeasurement RtMonitor::Sample(const std::vector<RtSample>& shards,
     shard_fin_[i] =
         static_cast<double>(s.offered - prev_shard_offered_[i]) / elapsed;
     prev_shard_offered_[i] = s.offered;
+
+    // Measured per-worker headroom: base load this shard drained per busy
+    // second over the period (report-only — the control law keeps the
+    // configured H).
+    shard_h_hat_[i] = shard_h_hat_trackers_[i].Update(
+        s.drained_base_load - prev_shard_drained_[i],
+        s.busy_seconds - prev_shard_busy_[i]);
+    delta_drained += s.drained_base_load - prev_shard_drained_[i];
+    delta_busy += s.busy_seconds - prev_shard_busy_[i];
+    prev_shard_busy_[i] = s.busy_seconds;
+    prev_shard_drained_[i] = s.drained_base_load;
   }
+  h_hat_tracker_.Update(delta_drained, delta_busy);
   pc.delay_sum = delay_sum - prev_delay_sum_;
   pc.delay_count = delay_count - prev_delay_count_;
   prev_delay_sum_ = delay_sum;

@@ -7,6 +7,7 @@
 #include "control/controller.h"
 #include "control/period_math.h"
 #include "rt/rt_stats.h"
+#include "telemetry/health.h"
 
 namespace ctrlshed {
 
@@ -90,6 +91,15 @@ class RtMonitor {
   /// Virtual queue length of each shard at the last sample.
   const std::vector<double>& shard_queues() const { return shard_queues_; }
 
+  /// Measured per-worker headroom H_hat of each shard — base load drained
+  /// per busy second, EWMA-smoothed (see HeadroomTracker). Report-only;
+  /// NaN until a shard's first busy period.
+  const std::vector<double>& shard_h_hat() const { return shard_h_hat_; }
+
+  /// Aggregate measured per-worker headroom: Σ drained / Σ busy across
+  /// shards, which recovers the per-worker H (not N*H) at any load level.
+  double h_hat() const { return h_hat_tracker_.value(); }
+
  private:
   double nominal_entry_cost_;
   int num_shards_;
@@ -98,11 +108,16 @@ class RtMonitor {
 
   SimTime prev_now_ = 0.0;
   std::vector<uint64_t> prev_shard_offered_;
+  std::vector<double> prev_shard_busy_;
+  std::vector<double> prev_shard_drained_;
   double prev_delay_sum_ = 0.0;
   uint64_t prev_delay_count_ = 0;
 
   std::vector<double> shard_fin_;
   std::vector<double> shard_queues_;
+  std::vector<HeadroomTracker> shard_h_hat_trackers_;
+  std::vector<double> shard_h_hat_;
+  HeadroomTracker h_hat_tracker_;
 };
 
 }  // namespace ctrlshed

@@ -93,6 +93,10 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   std::unique_ptr<Telemetry> telemetry = Telemetry::Open(base.telemetry);
   TraceBuffer* main_buf =
       telemetry ? telemetry->RegisterThread("main") : nullptr;
+  if (telemetry && !telemetry->dir().empty()) {
+    // Post-mortem dumps land next to the run's other telemetry files.
+    SetFlightDumpPath(telemetry->dir() + "/ctrlshed.flightdump.json");
+  }
   if (telemetry) {
     // Everything the status lambda captures is immutable for the run, so
     // the server thread can render it without synchronization.
@@ -212,6 +216,14 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   lopts.cost_aware_shed = base.cost_aware_shedding;
   lopts.telemetry = telemetry.get();
   RtLoop loop(std::move(shards), &clock, controller.get(), lopts);
+  if (telemetry && telemetry->server() != nullptr) {
+    // Lifetime: the explicit telemetry->Stop() below shuts the server
+    // down before `loop` leaves scope (failures abort, never unwind).
+    telemetry->server()->SetHealthCallback([&loop] {
+      const HealthReport r = loop.Health();
+      return std::make_pair(r.HttpStatus(), r.ToJson());
+    });
+  }
   if (base.departure_observer) {
     loop.SetDepartureObserver(base.departure_observer);
   }
@@ -279,8 +291,8 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   result.workers = workers;
-  for (const auto& engine : engines) {
-    const RtSharedStats* stats = engine->stats();
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const RtSharedStats* stats = engines[i]->stats();
     RtShardSummary shard;
     shard.offered = stats->offered.load(std::memory_order_relaxed);
     shard.entry_shed = stats->entry_shed.load(std::memory_order_relaxed);
@@ -289,11 +301,13 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     shard.queue_shed_load =
         stats->queue_shed_load.load(std::memory_order_relaxed);
     shard.departed = stats->departed.load(std::memory_order_relaxed);
-    shard.pump_intervals = engine->pump_intervals();
+    shard.h_hat = loop.monitor().shard_h_hat()[i];
+    shard.pump_intervals = engines[i]->pump_intervals();
     result.shards.push_back(std::move(shard));
-    result.pump_intervals.Merge(engine->pump_intervals());
+    result.pump_intervals.Merge(engines[i]->pump_intervals());
   }
   result.actuation_lateness = loop.actuation_lateness();
+  result.health = loop.Health();
 
   result.interrupted = StopRequested(config.stop);
 

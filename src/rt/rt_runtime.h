@@ -11,6 +11,7 @@
 #include "metrics/recorder.h"
 #include "rt/rt_engine.h"
 #include "runner/experiment.h"
+#include "telemetry/health.h"
 #include "workload/rate_trace.h"
 
 namespace ctrlshed {
@@ -67,6 +68,9 @@ struct RtShardSummary {
   uint64_t queue_shed = 0;
   double queue_shed_load = 0.0;  ///< queue_shed in base-load seconds.
   uint64_t departed = 0;
+  /// Measured per-worker headroom H_hat at the end of the run (see
+  /// RtMonitor::shard_h_hat); NaN when the shard never got busy.
+  double h_hat = std::numeric_limits<double>::quiet_NaN();
   LatencyHistogram pump_intervals{1e-6, 1e3, 1.08};
 };
 
@@ -103,6 +107,9 @@ struct RtRunResult {
   uint64_t sse_clients = 0;         ///< HTTP connections accepted.
   uint64_t sse_rows_published = 0;  ///< Timeline rows offered to the feed.
   uint64_t sse_rows_dropped = 0;    ///< Rows lost to slow SSE clients.
+
+  /// Health verdict at the end of the run (see telemetry/health.h).
+  HealthReport health;
 
   bool interrupted = false;  ///< True when config.stop ended the run early.
 };

@@ -51,6 +51,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::unique_ptr<Telemetry> telemetry = Telemetry::Open(config.telemetry);
   TraceBuffer* trace_buf =
       telemetry ? telemetry->RegisterThread("sim.main") : nullptr;
+  if (telemetry && !telemetry->dir().empty()) {
+    // Post-mortem dumps land next to the run's other telemetry files.
+    SetFlightDumpPath(telemetry->dir() + "/ctrlshed.flightdump.json");
+  }
   std::optional<ScopedSpan> phase;
   phase.emplace(trace_buf, "build_plant");
 
@@ -143,6 +147,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   loop_opts.cost_aware_shed = config.cost_aware_shedding;
   loop_opts.telemetry = telemetry.get();
   FeedbackLoop loop(&sim, &engine, controller.get(), shedder.get(), loop_opts);
+  if (telemetry && telemetry->server() != nullptr) {
+    // Lifetime: the explicit telemetry->Stop() below shuts the server
+    // down before `loop` leaves scope (failures abort, never unwind).
+    telemetry->server()->SetHealthCallback([&loop] {
+      const HealthReport r = loop.Health();
+      return std::make_pair(r.HttpStatus(), r.ToJson());
+    });
+  }
   if (config.departure_observer) {
     loop.SetDepartureObserver(config.departure_observer);
   }
@@ -172,6 +184,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.recorder = loop.recorder();
   result.arrival_trace = source.trace();
   result.nominal_cost = nominal_cost;
+  result.health = loop.Health();
   phase.reset();
 
   if (telemetry) {

@@ -11,6 +11,7 @@
 #include "engine/engine.h"
 #include "metrics/qos_metrics.h"
 #include "metrics/recorder.h"
+#include "telemetry/health.h"
 #include "telemetry/telemetry.h"
 #include "workload/arrival_source.h"
 #include "workload/traces.h"
@@ -103,6 +104,7 @@ struct ExperimentResult {
   Recorder recorder;        ///< Per-period closed-loop trace.
   RateTrace arrival_trace;  ///< The offered-rate trace that was used.
   double nominal_cost = 0.0;  ///< Model constant c of the built network.
+  HealthReport health;      ///< Health verdict at the end of the run.
 };
 
 /// Builds the standard plant (identification network + engine + workload +

@@ -1,0 +1,112 @@
+#ifndef CTRLSHED_TELEMETRY_FLIGHT_RECORDER_H_
+#define CTRLSHED_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "metrics/recorder.h"
+
+namespace ctrlshed {
+
+/// Trivially-copyable snapshot of one control period, sized for a
+/// preallocated ring the crash path can walk without allocating.
+struct FlightPeriod {
+  uint64_t k = 0;
+  double t = 0.0;
+  double yd = 0.0;
+  double fin = 0.0;
+  double admitted = 0.0;
+  double fout = 0.0;
+  double queue = 0.0;
+  double cost = 0.0;
+  double y_hat = 0.0;
+  double v = 0.0;
+  double alpha = 0.0;
+  double lateness = 0.0;
+  double queue_shed = 0.0;
+  double h_hat = 0.0;      ///< Measured headroom; NaN when not estimated.
+  uint8_t site = 0;        ///< ActuationSite as an integer.
+};
+
+/// One annotated event: config changes, actuation-site switches, node
+/// join/stale/readmit, decode rejects. Fixed-size strings so the crash
+/// dump never touches the heap.
+struct FlightEvent {
+  double t = -1.0;     ///< Caller's clock (trace s); -1 when unknown.
+  char what[32] = {};  ///< Category, e.g. "site_switch", "node_stale".
+  char detail[96] = {};
+};
+
+/// A fixed-capacity ring of the last control periods plus recent
+/// annotated events, kept by every control loop (sim FeedbackLoop,
+/// RtLoop, NodeAgent, ClusterControlLoop). Construction registers the
+/// recorder in a process-global slot table; a flight dump — triggered by
+/// a CS_CHECK failure (fatal hook), SIGSEGV/SIGABRT, SIGUSR1, or
+/// `POST /debug/dump` — walks every registered recorder and writes their
+/// rings as JSON with plain write() calls, no allocation.
+///
+/// Threading: RecordPeriod has a single writer (the owning control
+/// thread). RecordEvent may be called from any thread (slots are claimed
+/// with fetch_add). The dump path is a concurrent reader with no lock:
+/// an entry being overwritten at crash time can be torn — acceptable for
+/// a best-effort post-mortem, and only ever the oldest entry in the ring.
+class FlightRecorder {
+ public:
+  static constexpr size_t kPeriodCapacity = 256;
+  static constexpr size_t kEventCapacity = 128;
+
+  explicit FlightRecorder(const char* name);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one finished period (owning control thread only).
+  void RecordPeriod(const PeriodRecord& row);
+
+  /// Appends one annotated event (any thread). Strings are truncated to
+  /// the FlightEvent field sizes.
+  void RecordEvent(const char* what, const char* detail, double t = -1.0);
+
+  const char* name() const { return name_; }
+  uint64_t periods_recorded() const {
+    return period_cursor_.load(std::memory_order_acquire);
+  }
+  uint64_t events_recorded() const {
+    return event_cursor_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend bool WriteFlightDump(const char* reason, const char* detail);
+
+  char name_[32] = {};
+  FlightPeriod periods_[kPeriodCapacity];
+  FlightEvent events_[kEventCapacity];
+  std::atomic<uint64_t> period_cursor_{0};
+  std::atomic<uint64_t> event_cursor_{0};
+};
+
+/// Sets where flight dumps are written (default
+/// "ctrlshed.flightdump.json" in the working directory). The path is
+/// copied into static storage so signal handlers can reach it; paths
+/// longer than 511 bytes are rejected (returns false).
+bool SetFlightDumpPath(const std::string& path);
+std::string FlightDumpPath();
+
+/// Installs the CS_CHECK fatal hook plus SIGSEGV/SIGABRT/SIGUSR1
+/// handlers that write a flight dump (SIGUSR1 dumps and continues; the
+/// fatal signals dump, restore the default disposition, and re-raise).
+/// Idempotent. The CS_CHECK hook alone is also installed by the first
+/// FlightRecorder constructed, so aborts dump even without this call.
+void InstallFlightDumpHandlers();
+
+/// Writes a dump of every registered recorder to FlightDumpPath() now.
+/// `reason` is one of "cs_check", "signal", "sigusr1", "request";
+/// `detail` is free-form. Async-signal-safe. Returns true on success.
+bool WriteFlightDump(const char* reason, const char* detail);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_TELEMETRY_FLIGHT_RECORDER_H_

@@ -1,0 +1,283 @@
+#include "telemetry/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ctrlshed {
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendDoubleOrNull(std::string& out, double v) {
+  if (v == v) {
+    AppendDouble(out, v);
+  } else {
+    out += "null";
+  }
+}
+
+void AppendStringList(std::string& out, const std::vector<std::string>& xs) {
+  out += '[';
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += xs[i];  // Reason slugs are fixed identifiers; nothing to escape.
+    out += '"';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+const char* HealthVerdictName(HealthVerdict v) {
+  switch (v) {
+    case HealthVerdict::kOk:
+      return "ok";
+    case HealthVerdict::kDegraded:
+      return "degraded";
+    case HealthVerdict::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"verdict\":\"";
+  out += HealthVerdictName(verdict);
+  out += "\",\"reasons\":";
+  AppendStringList(out, reasons);
+  out += ",\"warnings\":";
+  AppendStringList(out, warnings);
+  out += ",\"periods\":";
+  out += std::to_string(periods);
+  out += ",\"metrics\":{\"tracking_rms\":";
+  AppendDouble(out, tracking_rms);
+  out += ",\"alpha_sat_frac\":";
+  AppendDouble(out, alpha_sat_frac);
+  out += ",\"oscillation\":";
+  AppendDouble(out, oscillation);
+  out += ",\"stale_nodes\":";
+  out += std::to_string(stale_nodes);
+  out += ",\"known_nodes\":";
+  out += std::to_string(known_nodes);
+  out += ",\"trace_loss\":";
+  AppendDouble(out, trace_loss);
+  out += ",\"sse_loss\":";
+  AppendDouble(out, sse_loss);
+  out += ",\"h_hat\":";
+  AppendDoubleOrNull(out, h_hat);
+  out += ",\"h_configured\":";
+  AppendDoubleOrNull(out, h_configured);
+  out += "}}";
+  return out;
+}
+
+int HealthReport::HttpStatus() const {
+  return verdict == HealthVerdict::kCritical ? 503 : 200;
+}
+
+std::string HealthReport::Summary() const {
+  std::string out = HealthVerdictName(verdict);
+  if (!reasons.empty()) {
+    out += " [";
+    for (size_t i = 0; i < reasons.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += reasons[i];
+    }
+    out += ']';
+  }
+  out += " (tracking_rms ";
+  AppendDouble(out, tracking_rms);
+  out += ", alpha_sat ";
+  AppendDouble(out, alpha_sat_frac);
+  out += ", oscillation ";
+  AppendDouble(out, oscillation);
+  if (h_hat == h_hat) {
+    out += ", h_hat ";
+    AppendDouble(out, h_hat);
+    if (h_configured == h_configured) {
+      out += " vs H ";
+      AppendDouble(out, h_configured);
+    }
+  }
+  if (known_nodes > 0) {
+    out += ", stale ";
+    out += std::to_string(stale_nodes);
+    out += '/';
+    out += std::to_string(known_nodes);
+  }
+  out += ')';
+  return out;
+}
+
+HealthMonitor::HealthMonitor(HealthOptions opts) : opts_(opts) {
+  if (opts_.window < 2) opts_.window = 2;
+  alpha_.assign(opts_.window, 0.0);
+  err_rel_.assign(opts_.window, std::numeric_limits<double>::quiet_NaN());
+  u_.assign(opts_.window, 0.0);
+  fin_.assign(opts_.window, 0.0);
+}
+
+void HealthMonitor::ObservePeriod(const PeriodRecord& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t i = periods_ % opts_.window;
+  alpha_[i] = row.alpha;
+  // Tracking error only means something while the actuator is engaged:
+  // an unloaded loop correctly sits far below the setpoint (a shedder
+  // cannot create delay), so those periods carry no error signal.
+  const bool shedding = row.alpha > 0.05 || row.queue_shed > 0.0;
+  err_rel_[i] = shedding && row.m.target_delay > 0.0
+                    ? std::abs(row.m.target_delay - row.m.y_hat) /
+                          row.m.target_delay
+                    : std::numeric_limits<double>::quiet_NaN();
+  u_[i] = row.v - row.m.fout;
+  fin_[i] = row.m.fin;
+  if (row.h_hat == row.h_hat) h_hat_ = row.h_hat;
+  ++periods_;
+}
+
+void HealthMonitor::SetStaleNodes(uint64_t stale, uint64_t known) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stale_nodes_ = stale;
+  known_nodes_ = known;
+}
+
+void HealthMonitor::SetSelfLoss(uint64_t trace_events, uint64_t trace_dropped,
+                                uint64_t sse_published,
+                                uint64_t sse_dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t trace_total = trace_events + trace_dropped;
+  trace_loss_ = trace_total > 0 ? static_cast<double>(trace_dropped) /
+                                      static_cast<double>(trace_total)
+                                : 0.0;
+  const uint64_t sse_total = sse_published + sse_dropped;
+  sse_loss_ = sse_total > 0 ? static_cast<double>(sse_dropped) /
+                                  static_cast<double>(sse_total)
+                            : 0.0;
+}
+
+void HealthMonitor::SetHeadroom(double configured, double measured) {
+  std::lock_guard<std::mutex> lock(mu_);
+  h_configured_ = configured;
+  if (measured == measured) h_hat_ = measured;
+}
+
+HealthReport HealthMonitor::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthReport r;
+  r.periods = periods_;
+  r.stale_nodes = stale_nodes_;
+  r.known_nodes = known_nodes_;
+  r.trace_loss = trace_loss_;
+  r.sse_loss = sse_loss_;
+  r.h_hat = h_hat_;
+  r.h_configured = h_configured_;
+
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(periods_, opts_.window));
+  size_t saturated = 0;
+  double err_sq_sum = 0.0;
+  size_t err_n = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha_[i] >= opts_.alpha_saturation_level) ++saturated;
+    if (err_rel_[i] == err_rel_[i]) {
+      err_sq_sum += err_rel_[i] * err_rel_[i];
+      ++err_n;
+    }
+  }
+  r.alpha_sat_frac = n > 0 ? static_cast<double>(saturated) / n : 0.0;
+  r.tracking_rms = err_n > 0 ? std::sqrt(err_sq_sum / err_n) : 0.0;
+
+  // Oscillation: sign flips of u between consecutive periods, counted
+  // only when both sides clear the noise floor — a converged loop
+  // hovers at u ~= 0 and flips constantly in the noise, which is health,
+  // not oscillation.
+  size_t flips = 0;
+  size_t pairs = 0;
+  if (n >= 2) {
+    // Walk the window in arrival order: oldest entry first.
+    const uint64_t start = periods_ - n;
+    for (size_t j = 1; j < n; ++j) {
+      const size_t prev = (start + j - 1) % opts_.window;
+      const size_t cur = (start + j) % opts_.window;
+      const double floor_prev =
+          opts_.u_noise_floor_frac * std::max(fin_[prev], 1.0);
+      const double floor_cur =
+          opts_.u_noise_floor_frac * std::max(fin_[cur], 1.0);
+      ++pairs;
+      if (std::abs(u_[prev]) >= floor_prev &&
+          std::abs(u_[cur]) >= floor_cur &&
+          ((u_[prev] > 0.0) != (u_[cur] > 0.0))) {
+        ++flips;
+      }
+    }
+  }
+  r.oscillation = pairs > 0 ? static_cast<double>(flips) / pairs : 0.0;
+
+  // Reasons (degrade) and warnings (inform). Below min_periods only
+  // stale_node counts — everything else is warmup noise.
+  const bool warmed = periods_ >= opts_.min_periods;
+  if (stale_nodes_ > 0) r.reasons.emplace_back("stale_node");
+  if (warmed) {
+    if (r.alpha_sat_frac >= opts_.alpha_saturated_frac) {
+      r.reasons.emplace_back("alpha_saturated");
+    }
+    if (err_n >= opts_.min_periods / 2 &&
+        r.tracking_rms >= opts_.tracking_rms_degraded) {
+      r.reasons.emplace_back("tracking_error");
+    }
+    if (r.oscillation >= opts_.oscillation_degraded) {
+      r.reasons.emplace_back("oscillating");
+    }
+    if (trace_loss_ >= opts_.self_loss_degraded ||
+        sse_loss_ >= opts_.self_loss_degraded) {
+      r.reasons.emplace_back("telemetry_loss");
+    }
+  }
+  if (h_hat_ == h_hat_ && h_configured_ == h_configured_ &&
+      h_configured_ > 0.0 &&
+      std::abs(h_hat_ - h_configured_) / h_configured_ >
+          opts_.headroom_drift_warn) {
+    r.warnings.emplace_back("headroom_drift");
+  }
+
+  if (!r.reasons.empty()) r.verdict = HealthVerdict::kDegraded;
+  const bool saturated_and_lost =
+      r.alpha_sat_frac >= opts_.alpha_saturated_frac && warmed &&
+      err_n >= opts_.min_periods / 2 &&
+      r.tracking_rms >= opts_.tracking_rms_critical;
+  const bool all_nodes_stale =
+      known_nodes_ > 0 && stale_nodes_ == known_nodes_;
+  if (saturated_and_lost || all_nodes_stale) {
+    r.verdict = HealthVerdict::kCritical;
+  }
+  return r;
+}
+
+void HealthGauges::Init(MetricsRegistry* registry) {
+  verdict_ = registry->GetGauge("ctrlshed.health.verdict");
+  tracking_rms_ = registry->GetGauge("ctrlshed.health.tracking_rms");
+  alpha_sat_frac_ = registry->GetGauge("ctrlshed.health.alpha_sat_frac");
+  oscillation_ = registry->GetGauge("ctrlshed.health.oscillation");
+  stale_nodes_ = registry->GetGauge("ctrlshed.health.stale_nodes");
+  h_hat_ = registry->GetGauge("ctrlshed.health.h_hat");
+}
+
+void HealthGauges::Publish(const HealthReport& r) {
+  if (verdict_ == nullptr) return;
+  verdict_->Set(static_cast<double>(r.verdict));
+  tracking_rms_->Set(r.tracking_rms);
+  alpha_sat_frac_->Set(r.alpha_sat_frac);
+  oscillation_->Set(r.oscillation);
+  stale_nodes_->Set(static_cast<double>(r.stale_nodes));
+  if (r.h_hat == r.h_hat) h_hat_->Set(r.h_hat);
+}
+
+}  // namespace ctrlshed

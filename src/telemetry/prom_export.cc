@@ -116,6 +116,55 @@ Mapped MapName(const std::string& name) {
   return {PrometheusName(name), ""};
 }
 
+/// HELP text per family. Curated strings for the principal families; a
+/// deterministic generic fallback guarantees every family — including
+/// dynamically named ones (per-operator, federated) — carries a # HELP
+/// line, which the exposition-format test asserts.
+std::string HelpText(const std::string& family) {
+  static const std::map<std::string, std::string> kHelp = {
+      {"rt_queue", "Virtual queue length q(k), entry-tuple equivalents."},
+      {"rt_y_hat", "Eq. 11 delay estimate at the last control period, seconds."},
+      {"rt_alpha", "Entry drop probability currently in force."},
+      {"rt_h_hat",
+       "Aggregate measured headroom H_hat (drained base load per busy second)."},
+      {"rt_pumps_total", "Engine pump iterations completed."},
+      {"rt_pump_interval_s", "Wall-clock spacing of engine pump starts, seconds."},
+      {"rt_actuation_lateness_s",
+       "Wall-clock overshoot of each control tick past its period deadline, seconds."},
+      {"rt_shard_queue", "Per-shard virtual queue length at the last sample."},
+      {"rt_shard_alpha", "Per-shard entry drop probability in force."},
+      {"rt_shard_h_hat", "Per-shard measured headroom H_hat (drained base load per busy second)."},
+      {"rt_shard_pump_interval_s", "Per-shard pump interval summary, seconds."},
+      {"sim_queue", "Virtual queue length q(k) in the simulation loop."},
+      {"sim_y_hat", "Eq. 11 delay estimate in the simulation loop, seconds."},
+      {"sim_alpha", "Entry drop probability in the simulation loop."},
+      {"engine_op_processed_total", "Operator invocations completed."},
+      {"engine_op_dropped_total", "Queued tuples shed from the operator's input."},
+      {"actuation_site_periods_total",
+       "Control periods whose actuation plan placed the shed at this site."},
+      {"telemetry_sse_rows_published_total", "Timeline rows fanned out to SSE subscribers."},
+      {"telemetry_sse_rows_dropped_total", "Timeline rows dropped to slow SSE clients."},
+      {"telemetry_trace_events_total", "Trace events accepted into tracer rings."},
+      {"telemetry_trace_dropped_events_total", "Trace events dropped by full tracer rings."},
+      {"telemetry_export_write_failures_total", "Metrics-exporter write errors."},
+      {"net_ingress_rejected_total",
+       "Malformed-but-well-framed tuple payloads rejected at TCP ingress."},
+      {"ctrlshed_health_verdict",
+       "Control-loop health verdict: 0 ok, 1 degraded, 2 critical."},
+      {"ctrlshed_health_tracking_rms",
+       "Tracking-error RMS |yd-y_hat|/yd over the health window, shedding periods only."},
+      {"ctrlshed_health_alpha_sat_frac",
+       "Fraction of the health window with alpha at or above the saturation level."},
+      {"ctrlshed_health_oscillation",
+       "Fraction of consecutive periods whose u command flipped sign above the noise floor."},
+      {"ctrlshed_health_stale_nodes", "Cluster nodes currently aged out of the control fold."},
+      {"ctrlshed_health_h_hat", "Measured headroom H_hat at the last control period."},
+  };
+  const auto it = kHelp.find(family);
+  if (it != kHelp.end()) return it->second;
+  return "ControlShed metric " + family + ".";
+}
+
 /// Families must appear once with one # TYPE line and all their samples
 /// grouped, so collect into an ordered family map before writing.
 using FamilyMap = std::map<std::string, std::pair<const char*, std::vector<Sample>>>;
@@ -183,6 +232,7 @@ void WritePrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
   }
 
   for (const auto& [family, entry] : fams) {
+    out << "# HELP " << family << ' ' << HelpText(family) << '\n';
     out << "# TYPE " << family << ' ' << entry.first << '\n';
     for (const Sample& s : entry.second) {
       out << family << s.suffix << s.labels << ' ' << s.value << '\n';

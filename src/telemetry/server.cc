@@ -13,9 +13,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "common/build_info.h"
 #include "common/macros.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/prom_export.h"
 
 namespace ctrlshed {
@@ -134,7 +137,7 @@ constexpr const char kDashboardHtml[] = R"html(<!doctype html>
 </style>
 </head>
 <body>
-<h1>ctrlshed control loop <span id="stat">connecting&hellip;</span></h1>
+<h1>ctrlshed control loop <span id="stat">connecting&hellip;</span> &middot; health <span id="health">?</span></h1>
 <div class="chart"><div class="legend">delay: <span style="color:#6cf">y_hat</span> vs <span style="color:#fc6">yd (setpoint)</span></div><canvas id="c_y" width="900" height="160"></canvas></div>
 <div class="chart"><div class="legend">rates: <span style="color:#6cf">u = v - fout</span>, <span style="color:#fc6">v</span></div><canvas id="c_u" width="900" height="160"></canvas></div>
 <div class="chart"><div class="legend">shedding: <span style="color:#6cf">alpha</span>, <span style="color:#fc6">loss</span></div><canvas id="c_a" width="900" height="160"></canvas></div>
@@ -225,6 +228,22 @@ async function pollFleet() {
 }
 setInterval(pollFleet, 2000);
 pollFleet();
+async function pollHealth() {
+  let j = null;
+  try {
+    const r = await fetch('/health' + QS);
+    j = await r.json();
+  } catch (e) { return; }
+  if (!j || !j.verdict) return;
+  const el = document.getElementById('health');
+  let text = j.verdict;
+  if (j.reasons && j.reasons.length) text += ' [' + j.reasons.join(' ') + ']';
+  if (j.warnings && j.warnings.length) text += ' (' + j.warnings.join(' ') + ')';
+  el.textContent = text;
+  el.className = j.verdict === 'ok' ? 'fresh' : 'stale';
+}
+setInterval(pollHealth, 2000);
+pollHealth();
 </script>
 </body>
 </html>
@@ -325,6 +344,12 @@ void TelemetryServer::SetFleetCallback(std::function<std::string()> cb) {
   fleet_cb_ = std::move(cb);
 }
 
+void TelemetryServer::SetHealthCallback(
+    std::function<std::pair<int, std::string>()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_cb_ = std::move(cb);
+}
+
 void TelemetryServer::PublishTimelineRow(const std::string& row_json) {
   const std::string frame = "data: " + row_json + "\n\n";
   {
@@ -365,7 +390,8 @@ std::string TelemetryServer::StatusJson() const {
   std::ostringstream out;
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.3f", NowWall() - start_wall_);
-  out << "{\"uptime_s\":" << buf << ",\"port\":" << port_ << ",\"sse\":{"
+  out << "{\"uptime_s\":" << buf << ",\"port\":" << port_
+      << ",\"build\":" << BuildInfoJson() << ",\"sse\":{"
       << "\"clients\":" << total_clients << ",\"streams\":" << streams
       << ",\"clients_accepted\":" << clients_accepted()
       << ",\"rows_published\":" << rows_published()
@@ -376,13 +402,34 @@ std::string TelemetryServer::StatusJson() const {
 
 void TelemetryServer::HandleRequest(Client* c, const std::string& method,
                                     const std::string& path) {
-  if (method != "GET") {
-    c->out += HttpResponse("405 Method Not Allowed", "text/plain",
-                           "only GET is supported\n");
+  const std::string route = path.substr(0, path.find('?'));
+  if (method == "POST" && route == "/debug/dump") {
+    // On-demand post-mortem: write the flight dump where a crash would,
+    // then return the same JSON. The file read happens on the server
+    // thread — acceptable for a one-shot debugging endpoint.
+    std::string body;
+    if (WriteFlightDump("request", "POST /debug/dump")) {
+      std::ifstream in(FlightDumpPath(), std::ios::binary);
+      std::ostringstream tmp;
+      tmp << in.rdbuf();
+      body = tmp.str();
+    }
+    if (body.empty()) {
+      c->out += HttpResponse("503 Service Unavailable", "text/plain",
+                             "flight dump failed\n");
+    } else {
+      c->out += HttpResponse("200 OK", "application/json", body);
+    }
     c->close_after_flush = true;
     return;
   }
-  const std::string route = path.substr(0, path.find('?'));
+  if (method != "GET") {
+    c->out += HttpResponse("405 Method Not Allowed", "text/plain",
+                           "only GET is supported (POST only on "
+                           "/debug/dump)\n");
+    c->close_after_flush = true;
+    return;
+  }
   if (route == "/") {
     c->out += HttpResponse("200 OK", "text/html; charset=utf-8",
                            kDashboardHtml);
@@ -403,6 +450,19 @@ void TelemetryServer::HandleRequest(Client* c, const std::string& method,
     c->out += HttpResponse("200 OK", "application/json",
                            cb ? cb() : std::string("{\"nodes\":[]}"));
     c->close_after_flush = true;
+  } else if (route == "/health") {
+    const std::function<std::pair<int, std::string>()>& cb = health_cb_;
+    if (cb) {
+      const std::pair<int, std::string> r = cb();
+      c->out += HttpResponse(
+          r.first == 503 ? "503 Service Unavailable" : "200 OK",
+          "application/json", r.second);
+    } else {
+      c->out += HttpResponse(
+          "200 OK", "application/json",
+          "{\"verdict\":\"unknown\",\"reasons\":[],\"warnings\":[]}");
+    }
+    c->close_after_flush = true;
   } else if (route == "/timeline") {
     c->out +=
         "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
@@ -417,7 +477,7 @@ void TelemetryServer::HandleRequest(Client* c, const std::string& method,
   } else {
     c->out += HttpResponse("404 Not Found", "text/plain",
                            "unknown path; try /, /metrics, /status, "
-                           "/fleet, /timeline\n");
+                           "/fleet, /health, /timeline\n");
     c->close_after_flush = true;
   }
 }

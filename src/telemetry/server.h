@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "telemetry/metrics_registry.h"
@@ -56,13 +57,18 @@ struct TelemetryServerOptions {
 ///   GET /metrics   Prometheus text exposition of the MetricsRegistry
 ///   GET /timeline  SSE stream of per-period timeline rows (history replay
 ///                  on connect, then live)
-///   GET /status    one JSON snapshot: uptime, SSE stats, app section
+///   GET /status    one JSON snapshot: uptime, SSE stats, build block,
+///                  app section
 ///   GET /fleet     cluster membership JSON from the fleet callback
 ///                  ({"nodes":[]} when no callback is installed)
+///   GET /health    control-loop health verdict from the health callback
+///                  (ok/degraded answer 200, critical 503)
+///   POST /debug/dump  writes a flight-recorder dump (see
+///                  telemetry/flight_recorder.h) and returns its JSON
 ///
 /// The publisher side (PublishTimelineRow) never blocks on a client: rows
 /// that do not fit a client's bounded buffer are dropped for that client
-/// and counted. All other methods return 405, unknown paths 404.
+/// and counted. Other methods return 405, unknown paths 404.
 class TelemetryServer {
  public:
   /// `registry` backs GET /metrics; may be null (renders empty). The
@@ -102,6 +108,12 @@ class TelemetryServer {
   /// as the status callback: server thread, thread-safe, non-blocking.
   void SetFleetCallback(std::function<std::string()> cb);
 
+  /// Supplies the GET /health response: HTTP status code plus a complete
+  /// JSON body (HealthReport::HttpStatus()/ToJson()). Same contract as
+  /// the status callback. Without a callback /health answers 200 with
+  /// {"verdict":"unknown",…}.
+  void SetHealthCallback(std::function<std::pair<int, std::string>()> cb);
+
   uint64_t rows_published() const {
     return rows_published_.load(std::memory_order_relaxed);
   }
@@ -139,6 +151,7 @@ class TelemetryServer {
   std::deque<std::string> history_;
   std::function<std::string()> status_cb_;
   std::function<std::string()> fleet_cb_;
+  std::function<std::pair<int, std::string>()> health_cb_;
 
   std::atomic<uint64_t> rows_published_{0};
   std::atomic<uint64_t> rows_dropped_{0};

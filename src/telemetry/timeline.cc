@@ -63,6 +63,13 @@ std::string TimelineRowJson(const PeriodRecord& r) {
   WriteDouble(out, r.lateness);
   out << ",\"site\":\"" << ActuationSiteName(r.site) << "\",\"queue_shed\":";
   WriteDouble(out, r.queue_shed);
+  // Measured headroom is report-only and absent (NaN) in loops that do
+  // not estimate it; emitting it conditionally keeps those rows — and
+  // every historical export — byte-identical.
+  if (r.h_hat == r.h_hat) {
+    out << ",\"h_hat\":";
+    WriteDouble(out, r.h_hat);
+  }
   // Sharded runs decompose the aggregate queue; unsharded rows carry no
   // shard data and keep the historical schema.
   if (!r.shard_q.empty()) {

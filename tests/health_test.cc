@@ -1,0 +1,189 @@
+#include "telemetry/health.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ctrlshed {
+namespace {
+
+PeriodRecord MakeRow(int k, double alpha, double y_hat = 2.0,
+                     double yd = 2.0) {
+  PeriodRecord row;
+  row.m.k = k;
+  row.m.t = static_cast<double>(k);
+  row.m.target_delay = yd;
+  row.m.fin = 300.0;
+  row.m.fout = 100.0;
+  row.m.y_hat = y_hat;
+  row.v = 100.0;  // u = v - fout = 0: no oscillation signal
+  row.alpha = alpha;
+  return row;
+}
+
+TEST(HeadroomTrackerTest, NanUntilFirstInformativePeriod) {
+  HeadroomTracker t;
+  EXPECT_TRUE(std::isnan(t.value()));
+  // Zero busy time carries no information.
+  t.Update(5.0, 0.0);
+  EXPECT_TRUE(std::isnan(t.value()));
+  // First sample seeds the EWMA directly.
+  EXPECT_DOUBLE_EQ(t.Update(1.94, 2.0), 0.97);
+  EXPECT_DOUBLE_EQ(t.value(), 0.97);
+}
+
+TEST(HeadroomTrackerTest, EwmaBlendsTowardNewSamples) {
+  HeadroomTracker t(0.5);
+  t.Update(1.0, 1.0);  // seeds at 1.0
+  t.Update(0.5, 1.0);  // 0.5 * 0.5 + 0.5 * 1.0 = 0.75
+  EXPECT_DOUBLE_EQ(t.value(), 0.75);
+  // Negative drained deltas (counter glitch) are ignored.
+  t.Update(-1.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.value(), 0.75);
+}
+
+TEST(HealthMonitorTest, StartsOkAndStaysOkAtModerateShedding) {
+  HealthMonitor mon;
+  EXPECT_EQ(mon.Report().verdict, HealthVerdict::kOk);
+  // 2x overload: alpha ~= 0.5, on-setpoint tracking. Must stay ok.
+  for (int k = 1; k <= 40; ++k) mon.ObservePeriod(MakeRow(k, 0.5));
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kOk);
+  EXPECT_TRUE(r.reasons.empty());
+  EXPECT_EQ(r.periods, 40u);
+}
+
+TEST(HealthMonitorTest, SustainedAlphaSaturationDegradesThenRecovers) {
+  HealthMonitor mon;
+  // 3x overload: alpha ~= 0.667, well past the 0.6 saturation level.
+  for (int k = 1; k <= 40; ++k) mon.ObservePeriod(MakeRow(k, 0.667));
+  HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kDegraded);
+  ASSERT_EQ(r.reasons.size(), 1u);
+  EXPECT_EQ(r.reasons[0], "alpha_saturated");
+  EXPECT_GE(r.alpha_sat_frac, 0.5);
+  EXPECT_NE(r.ToJson().find("\"verdict\":\"degraded\""), std::string::npos);
+  EXPECT_EQ(r.HttpStatus(), 200);  // degraded is in the body, not the code
+
+  // Load returns to 2x: the saturated periods age out of the window.
+  for (int k = 41; k <= 80; ++k) mon.ObservePeriod(MakeRow(k, 0.4));
+  r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kOk);
+  EXPECT_TRUE(r.reasons.empty());
+}
+
+TEST(HealthMonitorTest, WarmupSuppressesEverythingButStaleNodes) {
+  HealthMonitor mon;
+  // 4 saturated periods — below min_periods, so no verdict change...
+  for (int k = 1; k <= 4; ++k) mon.ObservePeriod(MakeRow(k, 0.9, 8.0));
+  EXPECT_EQ(mon.Report().verdict, HealthVerdict::kOk);
+  // ...but a stale node degrades even during warmup.
+  mon.SetStaleNodes(1, 2);
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kDegraded);
+  ASSERT_EQ(r.reasons.size(), 1u);
+  EXPECT_EQ(r.reasons[0], "stale_node");
+}
+
+TEST(HealthMonitorTest, AllNodesStaleIsCritical) {
+  HealthMonitor mon;
+  mon.SetStaleNodes(3, 3);
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kCritical);
+  EXPECT_EQ(r.HttpStatus(), 503);
+}
+
+TEST(HealthMonitorTest, TrackingErrorWhileSheddingDegrades) {
+  HealthMonitor mon;
+  // Shedding hard at triple the setpoint: |yd - y|/yd = 2.0 — critical
+  // territory once combined with saturation.
+  for (int k = 1; k <= 40; ++k) mon.ObservePeriod(MakeRow(k, 0.7, 6.0));
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kCritical);
+  EXPECT_GE(r.tracking_rms, 1.0);
+}
+
+TEST(HealthMonitorTest, TrackingErrorIgnoredWhenNotShedding) {
+  HealthMonitor mon;
+  // Underloaded loop far below the setpoint with the gate open: a shedder
+  // cannot create delay, so this is healthy, not a tracking failure.
+  for (int k = 1; k <= 40; ++k) mon.ObservePeriod(MakeRow(k, 0.0, 0.1));
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kOk);
+  EXPECT_DOUBLE_EQ(r.tracking_rms, 0.0);
+}
+
+TEST(HealthMonitorTest, USignFlipsAboveNoiseFloorFlagOscillation) {
+  HealthMonitor mon;
+  for (int k = 1; k <= 40; ++k) {
+    PeriodRecord row = MakeRow(k, 0.3);
+    // u alternates +/-60 against fin = 300 (floor = 15): every pair flips.
+    row.v = row.m.fout + (k % 2 == 0 ? 60.0 : -60.0);
+    mon.ObservePeriod(row);
+  }
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kDegraded);
+  EXPECT_GE(r.oscillation, 0.6);
+  ASSERT_EQ(r.reasons.size(), 1u);
+  EXPECT_EQ(r.reasons[0], "oscillating");
+}
+
+TEST(HealthMonitorTest, SmallUFlipsAreSteadyStateNoise) {
+  HealthMonitor mon;
+  for (int k = 1; k <= 40; ++k) {
+    PeriodRecord row = MakeRow(k, 0.3);
+    // Flips of +/-5 sit under the 0.05 * 300 = 15 noise floor.
+    row.v = row.m.fout + (k % 2 == 0 ? 5.0 : -5.0);
+    mon.ObservePeriod(row);
+  }
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kOk);
+  EXPECT_DOUBLE_EQ(r.oscillation, 0.0);
+}
+
+TEST(HealthMonitorTest, TelemetrySelfLossDegrades) {
+  HealthMonitor mon;
+  for (int k = 1; k <= 20; ++k) mon.ObservePeriod(MakeRow(k, 0.1));
+  mon.SetSelfLoss(/*trace_events=*/900, /*trace_dropped=*/100,
+                  /*sse_published=*/100, /*sse_dropped=*/0);
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kDegraded);
+  ASSERT_EQ(r.reasons.size(), 1u);
+  EXPECT_EQ(r.reasons[0], "telemetry_loss");
+  EXPECT_DOUBLE_EQ(r.trace_loss, 0.1);
+}
+
+TEST(HealthMonitorTest, HeadroomDriftWarnsWithoutDegrading) {
+  HealthMonitor mon;
+  for (int k = 1; k <= 20; ++k) mon.ObservePeriod(MakeRow(k, 0.1));
+  mon.SetHeadroom(/*configured=*/0.97, /*measured=*/0.5);
+  const HealthReport r = mon.Report();
+  EXPECT_EQ(r.verdict, HealthVerdict::kOk);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_EQ(r.warnings[0], "headroom_drift");
+  EXPECT_NE(r.ToJson().find("\"warnings\":[\"headroom_drift\"]"),
+            std::string::npos);
+}
+
+TEST(HealthMonitorTest, JsonCarriesNullForUnknownHeadroom) {
+  HealthMonitor mon;
+  const std::string json = mon.Report().ToJson();
+  EXPECT_NE(json.find("\"h_hat\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"h_configured\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"ok\""), std::string::npos);
+}
+
+TEST(HealthMonitorTest, SummaryLineNamesVerdictAndReasons) {
+  HealthMonitor mon;
+  for (int k = 1; k <= 40; ++k) mon.ObservePeriod(MakeRow(k, 0.7));
+  mon.SetStaleNodes(1, 4);
+  const std::string line = mon.Report().Summary();
+  EXPECT_NE(line.find("degraded"), std::string::npos);
+  EXPECT_NE(line.find("stale_node"), std::string::npos);
+  EXPECT_NE(line.find("alpha_saturated"), std::string::npos);
+  EXPECT_NE(line.find("stale 1/4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -1,0 +1,135 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/prom_export.h"
+
+namespace ctrlshed {
+namespace {
+
+/// Splits the exposition text into lines.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Family of a `# HELP <family> ...` / `# TYPE <family> ...` line.
+std::string CommentFamily(const std::string& line) {
+  const size_t start = line.find(' ', 2) + 1;
+  const size_t end = line.find(' ', start);
+  return line.substr(start, end - start);
+}
+
+/// A representative snapshot covering every sample shape the exporter
+/// emits: plain and labeled counters/gauges (shard, operator, actuation
+/// site, federated node), histograms-as-summaries, the health gauge
+/// family, and a dynamically named metric with no curated HELP entry.
+MetricsSnapshot RepresentativeSnapshot() {
+  MetricsSnapshot snap;
+  snap.counters["rt.offered"] = 42;
+  snap.counters["engine.op.filter_a.processed"] = 10;
+  snap.counters["actuation.site.entry"] = 7;
+  snap.counters["node3.rt.offered"] = 5;
+  snap.counters["some.unlisted.metric"] = 1;
+  snap.gauges["rt.queue"] = 3.5;
+  snap.gauges["rt.h_hat"] = 0.95;
+  snap.gauges["rt.shard0.h_hat"] = 0.96;
+  snap.gauges["ctrlshed.health.verdict"] = 0.0;
+  snap.gauges["ctrlshed.health.tracking_rms"] = 0.1;
+  snap.gauges["ctrlshed.health.alpha_sat_frac"] = 0.2;
+  snap.gauges["ctrlshed.health.oscillation"] = 0.0;
+  snap.gauges["ctrlshed.health.stale_nodes"] = 0.0;
+  snap.gauges["ctrlshed.health.h_hat"] = 0.95;
+  MetricsSnapshot::HistogramStats h;
+  h.count = 4;
+  h.sum = 2.0;
+  h.p50 = 0.5;
+  h.p95 = 0.75;
+  h.p99 = 1.25;
+  snap.histograms["rt.pump_interval_s"] = h;
+  return snap;
+}
+
+TEST(PromHelpTest, EveryFamilyHasHelpThenTypeThenSamples) {
+  std::ostringstream out;
+  WritePrometheusText(RepresentativeSnapshot(), out);
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_FALSE(lines.empty());
+
+  // Exposition-format contract: every family opens with exactly one
+  // # HELP line immediately followed by its # TYPE line, and every
+  // sample line belongs to the most recently opened family.
+  std::string open_family;
+  size_t families = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string family = CommentFamily(line);
+      ASSERT_LT(i + 1, lines.size()) << "# HELP with no # TYPE: " << line;
+      EXPECT_EQ(lines[i + 1].rfind("# TYPE " + family + " ", 0), 0u)
+          << "# HELP for " << family << " not followed by its # TYPE";
+      // Non-empty help text after the family name.
+      EXPECT_GT(line.size(), std::string("# HELP ").size() + family.size() + 1)
+          << "empty HELP text for " << family;
+      open_family = family;
+      ++families;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_EQ(CommentFamily(line), open_family)
+          << "# TYPE without a preceding # HELP: " << line;
+      continue;
+    }
+    // Sample line: name must extend the open family (exact, _sum/_count
+    // suffix, or a brace-delimited label set).
+    ASSERT_FALSE(open_family.empty()) << "sample before any family: " << line;
+    EXPECT_EQ(line.rfind(open_family, 0), 0u)
+        << "sample " << line << " outside family " << open_family;
+  }
+  EXPECT_GE(families, 10u);
+}
+
+TEST(PromHelpTest, CuratedFamiliesCarrySpecificHelp) {
+  std::ostringstream out;
+  WritePrometheusText(RepresentativeSnapshot(), out);
+  const std::string text = out.str();
+  // Curated entries must not fall through to the generic fallback.
+  EXPECT_NE(text.find("# HELP rt_h_hat Aggregate measured headroom"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP rt_shard_h_hat Per-shard measured headroom"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP ctrlshed_health_verdict Control-loop health verdict"),
+      std::string::npos);
+  EXPECT_EQ(text.find("ControlShed metric rt_h_hat"), std::string::npos);
+}
+
+TEST(PromHelpTest, UnlistedFamilyGetsFallbackHelp) {
+  std::ostringstream out;
+  WritePrometheusText(RepresentativeSnapshot(), out);
+  EXPECT_NE(out.str().find(
+                "# HELP some_unlisted_metric_total ControlShed metric "
+                "some_unlisted_metric_total."),
+            std::string::npos);
+}
+
+TEST(PromHelpTest, FederatedNodeMetricsShareTheBaseFamilyHelp) {
+  std::ostringstream out;
+  WritePrometheusText(RepresentativeSnapshot(), out);
+  const std::string text = out.str();
+  // node3.rt.offered folds into rt_offered_total{node="3"} under ONE
+  // HELP/TYPE pair with the local sample.
+  const size_t help = text.find("# HELP rt_offered_total ");
+  ASSERT_NE(help, std::string::npos);
+  EXPECT_EQ(text.find("# HELP rt_offered_total ", help + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_offered_total{node=\"3\"} 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctrlshed

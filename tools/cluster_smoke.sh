@@ -10,9 +10,15 @@
 # Fleet-observability assertions ride along: every process writes
 # telemetry, a mid-run scrape of the controller's /metrics must expose
 # node-labeled series for BOTH nodes in one page, /fleet must report both
-# nodes fresh, and after shutdown `ctrlshed trace-merge` over the three
-# per-process trace files must find a controller period id present in
-# every track.
+# nodes fresh, the controller's /health must answer 200 with an "ok"
+# verdict mid-run, and after shutdown `ctrlshed trace-merge` over the
+# three per-process trace files must find a controller period id present
+# in every track.
+#
+# A second, feederless health-flip phase then verifies the stale-node
+# diagnostic end to end: with both nodes up /health is "ok"; SIGKILLing
+# one node must flip it to "degraded" with a stale_node reason (not
+# critical — one node survives).
 #
 # Usage: tools/cluster_smoke.sh [path/to/ctrlshed]
 # Env:   DURATION (trace seconds, default 60 — shorter windows weight
@@ -112,6 +118,29 @@ else
   echo "federation: both nodes visible in one /metrics scrape and /fleet"
 fi
 
+# Mid-run health: the controller's /health must answer 200 with an "ok"
+# verdict while both nodes report. Poll — shedding at 2x overload is a
+# healthy regime (alpha ~0.5 sits below the saturation level), and the
+# warmup window reports ok while the estimators fill.
+HEALTH_OK=0
+for i in $(seq 1 100); do
+  code=$(curl -s -o "$OUT/health.json" -w '%{http_code}' \
+    "http://127.0.0.1:$HTTP_PORT/health" || true)
+  if [[ ${code:-} == 200 ]] &&
+     grep -q '"verdict":"ok"' "$OUT/health.json" 2>/dev/null; then
+    HEALTH_OK=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ $HEALTH_OK -ne 1 ]]; then
+  echo "cluster_smoke: controller /health never reported ok mid-run" >&2
+  cat "$OUT/health.json" >&2 || true
+  FAIL=1
+else
+  echo "health: controller /health ok mid-run"
+fi
+
 for p in "${FEED_PIDS[@]}"; do wait "$p" || { echo "feeder exited nonzero" >&2; FAIL=1; }; done
 for p in "${NODE_PIDS[@]}"; do wait "$p" || { echo "node exited nonzero" >&2; FAIL=1; }; done
 CTL_STATUS=0
@@ -159,11 +188,79 @@ else
   FAIL=1
 fi
 
+# --- Health-flip phase ----------------------------------------------------
+# A fresh, feederless two-node cluster (no tracking gate — there is no
+# load to track). Once both nodes report, /health must say "ok"; after
+# SIGKILLing node 1 the monitor must age it out within stale_periods
+# control ticks and flip the verdict to "degraded" with a stale_node
+# reason. The surviving node keeps the fleet from going critical.
+"$BIN" cluster port=0 duration=600 compress="$COMPRESS" min_nodes=2 \
+  telemetry_dir="$OUT/tele_ctl2" telemetry_port=0 >"$OUT/ctl2.log" 2>&1 &
+CTL2_PID=$!
+PIDS+=("$CTL2_PID")
+CTL2_PORT=$(wait_port "$OUT/ctl2.log" 'control channel on 127\.0\.0\.1:([0-9]+)')
+HTTP2_PORT=$(wait_port "$OUT/ctl2.log" 'telemetry server +http:\/\/127\.0\.0\.1:([0-9]+)\/')
+
+N2_PIDS=()
+for id in 0 1; do
+  "$BIN" node id="$id" workers=1 port=0 controller_port="$CTL2_PORT" \
+    duration=600 compress="$COMPRESS" \
+    telemetry_dir="$OUT/tele_kn$id" >"$OUT/kn$id.log" 2>&1 &
+  N2_PIDS+=("$!")
+  PIDS+=("$!")
+done
+
+health2() { # <out-file> <pattern...> -> 0 once /health matches every pattern
+  local out=$1 i p ok
+  shift
+  for i in $(seq 1 150); do
+    curl -sf "http://127.0.0.1:$HTTP2_PORT/health" >"$out" 2>/dev/null || true
+    ok=1
+    for p in "$@"; do
+      grep -q "$p" "$out" 2>/dev/null || { ok=0; break; }
+    done
+    if [[ $ok -eq 1 ]]; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+# A node that never completed its hello can't go stale — require both
+# nodes known (and none stale) before pulling one out.
+if health2 "$OUT/health_before_kill.json" \
+    '"verdict":"ok"' '"known_nodes":2' '"stale_nodes":0'; then
+  echo "health-flip: ok with both nodes up"
+else
+  echo "cluster_smoke: kill-cluster /health never reported ok with 2 nodes" >&2
+  cat "$OUT/health_before_kill.json" >&2 || true
+  cat "$OUT/ctl2.log" >&2 || true
+  FAIL=1
+fi
+
+kill -9 "${N2_PIDS[1]}" 2>/dev/null || true
+if health2 "$OUT/health_after_kill.json" \
+    '"verdict":"degraded"' '"stale_node"'; then
+  echo "health-flip: killed node flipped /health to degraded (stale_node)"
+else
+  echo "cluster_smoke: /health never went degraded/stale_node after kill" >&2
+  cat "$OUT/health_after_kill.json" >&2 || true
+  cat "$OUT/ctl2.log" >&2 || true
+  FAIL=1
+fi
+
+# Tear the kill-cluster down; node 1 died by SIGKILL, so nonzero exits
+# are expected here and not part of the verdict.
+kill "$CTL2_PID" "${N2_PIDS[0]}" 2>/dev/null || true
+for p in "$CTL2_PID" "${N2_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+PIDS=()
+
 if [[ -n ${ARTIFACT_DIR:-} ]]; then
   mkdir -p "$ARTIFACT_DIR"
   cp -f "$OUT/merged_trace.json" "$ARTIFACT_DIR/" 2>/dev/null || true
   cp -f "$OUT/metrics.prom" "$ARTIFACT_DIR/controller_metrics.prom" 2>/dev/null || true
   cp -f "$OUT/fleet.json" "$ARTIFACT_DIR/" 2>/dev/null || true
+  cp -f "$OUT/health.json" "$ARTIFACT_DIR/" 2>/dev/null || true
+  cp -f "$OUT/health_after_kill.json" "$ARTIFACT_DIR/" 2>/dev/null || true
 fi
 
 if [[ $FAIL -ne 0 ]]; then

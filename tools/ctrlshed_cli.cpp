@@ -34,10 +34,12 @@
 #include "cluster/controller_runner.h"
 #include "cluster/feeder.h"
 #include "cluster/node_runner.h"
+#include "common/build_info.h"
 #include "control/pole_placement.h"
 #include "net/socket_util.h"
 #include "rt/rt_runtime.h"
 #include "runner/experiment.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/trace_merge.h"
 #include "workload/trace_io.h"
 #include "workload/traces.h"
@@ -270,8 +272,10 @@ int CmdRun(Args args) {
   const std::string trace_out = GetString(args, "trace_out", "");
   RejectLeftovers(args);
 
+  InstallFlightDumpHandlers();
   ExperimentResult r = RunExperiment(cfg);
   PrintSummary(r.summary);
+  std::printf("loop health        %s\n", r.health.Summary().c_str());
   PrintTelemetryPaths(cfg.telemetry.dir);
   return WriteRecorder(r.recorder, trace_out);
 }
@@ -324,6 +328,7 @@ int CmdRt(Args args) {
   }
 
   InstallShutdownHandler();
+  InstallFlightDumpHandlers();
   cfg.stop = &g_stop;
 
   std::printf("replaying %.0f trace seconds at %gx compression (~%.1f wall s)"
@@ -348,6 +353,7 @@ int CmdRt(Args args) {
   }
   std::printf("ring drops         %llu\n",
               static_cast<unsigned long long>(r.ring_dropped));
+  std::printf("loop health        %s\n", r.health.Summary().c_str());
   std::printf("wall time          %.2f s\n", r.wall_seconds);
   std::printf("pump interval      p50/p95/p99 %.3f / %.3f / %.3f ms\n",
               r.pump_intervals.Quantile(0.50) * 1e3,
@@ -446,6 +452,7 @@ int CmdNode(Args args) {
   RejectLeftovers(args);
 
   InstallShutdownHandler();
+  InstallFlightDumpHandlers();
   cfg.stop = &g_stop;
   cfg.on_ready = [&cfg](int port) {
     std::printf("node %u: ingress listening on 127.0.0.1:%d (%d workers)\n",
@@ -475,6 +482,7 @@ int CmdNode(Args args) {
               static_cast<unsigned long long>(r.reports_sent),
               static_cast<unsigned long long>(r.actuations_applied),
               static_cast<unsigned long long>(r.control_rejected));
+  std::printf("loop health        %s\n", r.health.Summary().c_str());
   std::printf("wall time          %.2f s\n", r.wall_seconds);
   return 0;
 }
@@ -503,6 +511,7 @@ int CmdCluster(Args args) {
   RejectLeftovers(args);
 
   InstallShutdownHandler();
+  InstallFlightDumpHandlers();
   cfg.stop = &g_stop;
   cfg.on_ready = [](int port) {
     std::printf("cluster controller: control channel on 127.0.0.1:%d\n", port);
@@ -522,6 +531,7 @@ int CmdCluster(Args args) {
               static_cast<unsigned long long>(r.acks),
               static_cast<unsigned long long>(r.rejected),
               static_cast<unsigned long long>(r.corrupt_streams));
+  std::printf("loop health        %s\n", r.health.Summary().c_str());
   std::printf("wall time          %.2f s\n", r.wall_seconds);
   const int wret = WriteRecorder(r.recorder, trace_out);
   if (!gate) return wret;
@@ -714,7 +724,12 @@ void PrintHelp() {
       "  telemetry_port=N (or --telemetry-port N) serves live telemetry on\n"
       "  http://127.0.0.1:N — GET / (dashboard), /metrics (Prometheus),\n"
       "  /timeline (SSE rows identical to timeline.jsonl), /status (JSON),\n"
-      "  /fleet (cluster membership JSON on a controller).\n"
+      "  /health (control-loop verdict JSON; 503 when critical),\n"
+      "  /fleet (cluster membership JSON on a controller), and\n"
+      "  POST /debug/dump (write a flight-recorder dump on demand).\n"
+      "  SIGUSR1 also dumps; CS_CHECK failures and fatal signals dump\n"
+      "  automatically to <telemetry_dir>/ctrlshed.flightdump.json (or the\n"
+      "  working directory without telemetry_dir).\n"
       "  N=0 picks an ephemeral port (printed at startup). Works with or\n"
       "  without telemetry_dir. SIGINT/SIGTERM on `ctrlshed rt` stops the\n"
       "  run early and still flushes complete trace/timeline files.\n"
@@ -763,6 +778,7 @@ void PrintHelp() {
       "                  [duration=60] [compress=20] [seed=42]\n"
       "                  (replays the workload trace into a node's tuple\n"
       "                  ingress; scale multiplies the offered rate)\n"
+      "  ctrlshed version                        (print the build id)\n"
       "  ctrlshed help\n");
 }
 
@@ -778,6 +794,10 @@ int main(int argc, char** argv) {
     return argc < 2 ? 2 : 0;
   }
   const std::string cmd = argv[1];
+  if (cmd == "version" || cmd == "--version" || cmd == "-V") {
+    std::printf("%s\n", BuildInfoLine().c_str());
+    return 0;
+  }
   if (cmd == "run") return CmdRun(ParseArgs(argc, argv, 2));
   if (cmd == "rt") return CmdRt(ParseArgs(argc, argv, 2));
   if (cmd == "node") return CmdNode(ParseArgs(argc, argv, 2));
