@@ -17,6 +17,11 @@
 // operator invocations and filter decisions. Measuring both in one
 // process removes cross-run variance from the gates.
 //
+// A third section microbenchmarks the whole-chunk kernels in isolation —
+// filter (mask + compaction), map (passthrough lane copy), agg
+// (sequential-order fold), shed (coin-flip mask + count) — over a hot
+// 4096-tuple lane, and reports which SIMD mode the dispatch resolved to.
+//
 //   engine_throughput [--quick] [--check-allocs] [reps=N] [window=SECONDS]
 //
 //   --quick         short windows / fewer reps (the CI smoke setting)
@@ -27,9 +32,11 @@
 // Emits BENCH_engine.json. Exit 0 iff every gate holds:
 //   sim batch=1  >= 0.97 x seed reference (the per-tuple path may not
 //                  regress past noise), and
-//   sim batch=64 >= 1.5  x seed reference (batching must pay; full runs
-//                  only — --quick's short windows are too noisy for a
-//                  speedup gate, so it reports the ratio without gating),
+//   sim batch=64 >= 2.0 x seed reference on SIMD builds / >= 1.5 x on
+//                  scalar-only builds (the vectorized columnar path must
+//                  pay; --quick gates the scalar floor of 1.5 x — the
+//                  columnar margin is wide enough that even short windows
+//                  on a shared runner clear it),
 //   and zero steady-state allocations when --check-allocs ran.
 
 #include <algorithm>
@@ -51,6 +58,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "engine/simd_kernels.h"
 #include "rt/rt_clock.h"
 #include "rt/rt_engine.h"
 #include "runner/networks.h"
@@ -526,8 +534,90 @@ double MeasureRt(size_t batch, const std::vector<double>& values,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Per-kernel microbench: each cell drives one whole-chunk kernel over a hot
+// 4096-tuple lane set and reports raw tuples/second. The cells isolate the
+// kernels the columnar executor composes — regressions here localize a
+// datapath slowdown to one kernel before anyone reads a profile.
+
+struct KernelCells {
+  double filter = 0.0;  // dispatch filter_mask + survivor compaction
+  double map = 0.0;     // passthrough lane copy (value/aux/arrival/lineage)
+  double agg = 0.0;     // sequential-order fold (AggRun)
+  double shed = 0.0;    // dispatch shed_mask + admitted count
+};
+
+template <typename Fn>
+double MeasureKernelCell(double window, size_t tuples_per_pass, Fn&& pass) {
+  // Warm the lanes and let the branch predictor settle.
+  for (int i = 0; i < 16; ++i) pass();
+  uint64_t total = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while (elapsed < window) {
+    for (int i = 0; i < 64; ++i) pass();
+    total += 64 * tuples_per_pass;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return static_cast<double>(total) / elapsed;
+}
+
+KernelCells MeasureKernels(const std::vector<double>& values, double window) {
+  const size_t n = values.size();
+  const kernels::KernelTable& table = kernels::Kernels();
+
+  std::vector<uint8_t> mask(n);
+  std::vector<double> dst(n);
+  std::vector<uint64_t> lineage_src(n), lineage_dst(n);
+  for (size_t i = 0; i < n; ++i) lineage_src[i] = i;
+  std::vector<double> uniforms(n);
+  Rng rng(7);
+  for (double& u : uniforms) u = rng.Uniform();
+
+  // Sinks defeat dead-code elimination across passes.
+  volatile size_t survivors_sink = 0;
+  volatile double agg_sink = 0.0;
+
+  KernelCells cells;
+  const uint64_t salt = kernels::FilterSalt(1);
+  const uint64_t bound = kernels::FilterPassBound(0.6);
+  cells.filter = MeasureKernelCell(window, n, [&] {
+    table.filter_mask(values.data(), n, salt, bound, mask.data());
+    survivors_sink =
+        kernels::CompactLane(values.data(), mask.data(), n, dst.data());
+  });
+  cells.map = MeasureKernelCell(window, n, [&] {
+    // What the columnar passthrough moves per tuple: three double lanes
+    // plus the lineage lane.
+    std::memcpy(dst.data(), values.data(), n * sizeof(double));
+    std::memcpy(uniforms.data(), dst.data(), n * sizeof(double));
+    std::memcpy(dst.data(), uniforms.data(), n * sizeof(double));
+    std::memcpy(lineage_dst.data(), lineage_src.data(),
+                n * sizeof(uint64_t));
+    survivors_sink = lineage_dst[n - 1] != 0 ? n : 0;
+  });
+  // Restore the uniform lane the map cell scribbled over.
+  rng = Rng(7);
+  for (double& u : uniforms) u = rng.Uniform();
+  cells.agg = MeasureKernelCell(window, n, [&] {
+    double acc = 0.0, mx = -1e300;
+    kernels::AggRun(values.data(), n, &acc, &mx);
+    agg_sink = acc + mx;
+  });
+  cells.shed = MeasureKernelCell(window, n, [&] {
+    table.shed_mask(uniforms.data(), n, 0.3, mask.data());
+    survivors_sink = kernels::CountMask(mask.data(), n);
+  });
+  (void)survivors_sink;
+  (void)agg_sink;
+  return cells;
+}
+
 void WriteJson(double seed_ref, const double (&sim)[kNumBatches],
-               const double (&rt)[kNumBatches], double ratio1, double ratio64,
+               const double (&rt)[kNumBatches], const KernelCells& cells,
+               double ratio1, double ratio64, double gate64,
                bool allocs_checked, uint64_t sim_allocs, uint64_t rt_allocs,
                bool quick, bool pass) {
   FILE* f = std::fopen("BENCH_engine.json", "w");
@@ -537,6 +627,7 @@ void WriteJson(double seed_ref, const double (&sim)[kNumBatches],
   }
   std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
   std::fprintf(f, "  \"metric\": \"tuples_per_second\",\n");
+  std::fprintf(f, "  \"simd_mode\": \"%s\",\n", kernels::ActiveSimdModeName());
   std::fprintf(f, "  \"seed_reference\": %.9g,\n", seed_ref);
   std::fprintf(f, "  \"sim\": {");
   for (size_t i = 0; i < kNumBatches; ++i) {
@@ -549,6 +640,10 @@ void WriteJson(double seed_ref, const double (&sim)[kNumBatches],
                  rt[i]);
   }
   std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"kernels\": {\"filter\": %.9g, \"map\": %.9g, "
+               "\"agg\": %.9g, \"shed\": %.9g},\n",
+               cells.filter, cells.map, cells.agg, cells.shed);
   std::fprintf(f, "  \"ratio_vs_seed\": {\"batch1\": %.4f, \"batch64\": %.4f},\n",
                ratio1, ratio64);
   std::fprintf(f, "  \"allocs_checked\": %s,\n",
@@ -560,9 +655,8 @@ void WriteJson(double seed_ref, const double (&sim)[kNumBatches],
                  static_cast<unsigned long long>(rt_allocs));
   }
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"gate\": \"batch1 >= 0.97x seed%s%s\",\n",
-               quick ? "" : ", batch64 >= 1.5x seed",
-               allocs_checked ? ", zero steady-state allocs" : "");
+  std::fprintf(f, "  \"gate\": \"batch1 >= 0.97x seed, batch64 >= %.1fx seed%s\",\n",
+               gate64, allocs_checked ? ", zero steady-state allocs" : "");
   std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
   std::fclose(f);
 }
@@ -580,9 +674,10 @@ int main(int argc, char** argv) {
   const double window = Arg(argc, argv, "window", quick ? 0.15 : 0.6);
 
   std::printf("identification chain (14 ops, c = H/190, H = %.2f), "
-              "%d tuples/round, best of %d reps x %.2fs windows%s\n\n",
+              "%d tuples/round, best of %d reps x %.2fs windows%s\n",
               kHeadroom, kPerRound, reps, window,
               check_allocs ? ", counting steady-state allocations" : "");
+  std::printf("simd dispatch: %s\n\n", kernels::ActiveSimdModeName());
 
   const std::vector<double> values = MakeValues();
 
@@ -610,15 +705,27 @@ int main(int argc, char** argv) {
                 rt[i], rt[i] / seed_ref);
   }
 
+  const KernelCells cells = MeasureKernels(values, quick ? 0.05 : 0.2);
+  std::printf("\nper-kernel cells (%s, 4096-tuple lanes):\n",
+              kernels::ActiveSimdModeName());
+  std::printf("kernel filter        %12.0f tuples/s\n", cells.filter);
+  std::printf("kernel map           %12.0f tuples/s\n", cells.map);
+  std::printf("kernel agg           %12.0f tuples/s\n", cells.agg);
+  std::printf("kernel shed          %12.0f tuples/s\n", cells.shed);
+
   const double ratio1 = sim[0] / seed_ref;
   const double ratio64 = sim[2] / seed_ref;
-  // --quick (the CI smoke) enforces only the batch=1 regression gate: its
-  // short windows on a shared runner are too noisy for the speedup gate,
-  // which the full run holds with margin on an idle machine.
-  bool pass = ratio1 >= 0.97 && (quick || ratio64 >= 1.5);
+  // The batch=64 speedup gate: 2.0x where the vector kernels are live, the
+  // 1.5x scalar floor otherwise. --quick (the CI smoke) always gates the
+  // scalar floor — the columnar margin is wide enough that short windows on
+  // a shared runner still clear 1.5x, while 2.0x is reserved for full runs
+  // on an idle machine.
+  const bool simd_live = kernels::ActiveSimdMode() != kernels::SimdMode::kScalar;
+  const double gate64 = (quick || !simd_live) ? 1.5 : 2.0;
+  bool pass = ratio1 >= 0.97 && ratio64 >= gate64;
   std::printf("\nbatch=1 ratio %.3f (gate >= 0.97), batch=64 ratio %.3f "
-              "(%s >= 1.5)\n",
-              ratio1, ratio64, quick ? "full-run gate" : "gate");
+              "(gate >= %.1f)\n",
+              ratio1, ratio64, gate64);
   if (check_allocs) {
     std::printf("steady-state heap allocations: sim %llu, rt pump %llu "
                 "(gate: 0)\n",
@@ -627,8 +734,8 @@ int main(int argc, char** argv) {
     pass = pass && sim_allocs == 0 && rt_allocs == 0;
   }
 
-  WriteJson(seed_ref, sim, rt, ratio1, ratio64, check_allocs, sim_allocs,
-            rt_allocs, quick, pass);
+  WriteJson(seed_ref, sim, rt, cells, ratio1, ratio64, gate64, check_allocs,
+            sim_allocs, rt_allocs, quick, pass);
   std::printf("%s (BENCH_engine.json written)\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -10,11 +10,15 @@
 // pass compress=1 for a true real-time hour-of-the-day soak.
 //
 //   rt_soak [duration=60] [compress=15] [yd=2] [overload=2] [seed=42]
-//           [workers=1] [batch=1] [telemetry_dir=DIR] [telemetry_port=N]
+//           [workers=1] [batch=1] [batch_adaptive=0|1] [pin=0|1]
+//           [telemetry_dir=DIR] [telemetry_port=N]
 //
 // batch=B sets the datapath batch size (SPSC pop run length and engine
 // invocation quantum; see RtEngineOptions::batch). 1 is the bit-identical
-// per-tuple path.
+// per-tuple path. batch_adaptive=1 lets the controller adapt each worker's
+// quantum per period (grow past B under backlog, shrink back with latency
+// headroom). pin=1 pins worker i to CPU i % ncpu (see rt/cpu_affinity.h);
+// best-effort, a no-op where affinity is unsupported.
 //
 // telemetry_port=N serves the live control-loop feed over HTTP while the
 // soak runs (N=0 picks an ephemeral port, printed at startup): /metrics,
@@ -141,6 +145,8 @@ int main(int argc, char** argv) {
   cfg.time_compression = compress;
   cfg.workers = workers;
   cfg.batch = static_cast<size_t>(batch_raw);
+  cfg.batch_adaptive = Arg(argc, argv, "batch_adaptive", 0.0) != 0.0;
+  if (Arg(argc, argv, "pin", 0.0) != 0.0) cfg.pin_cpus = "auto";
   cfg.base.telemetry.dir = StrArg(argc, argv, "telemetry_dir", "");
   const double port_raw = Arg(argc, argv, "telemetry_port", -1.0);
   if (port_raw < -1.0 || port_raw > 65535.0 ||
@@ -163,9 +169,10 @@ int main(int argc, char** argv) {
               cfg.base.web.mean_rate, workers, cfg.base.capacity_rate,
               cfg.base.web.mean_rate / agg_capacity);
   std::printf("replaying %.0f trace seconds at %gx compression "
-              "(~%.1f wall s), T = %.1f s, yd = %.1f s, batch = %zu\n\n",
+              "(~%.1f wall s), T = %.1f s, yd = %.1f s, batch = %zu%s%s\n\n",
               duration, compress, duration / compress, cfg.base.period, yd,
-              cfg.batch);
+              cfg.batch, cfg.batch_adaptive ? " (adaptive)" : "",
+              cfg.pin_cpus.empty() ? "" : ", workers pinned");
 
   // The single-worker yardstick: with workers > 1, first replay the same
   // trace against one worker so the sharded run has something to beat.

@@ -15,6 +15,7 @@
 #include "net/frame_client.h"
 #include "net/frame_server.h"
 #include "net/socket_util.h"
+#include "rt/cpu_affinity.h"
 #include "rt/rt_clock.h"
 #include "runner/networks.h"
 #include "shedding/entry_shedder.h"
@@ -100,6 +101,8 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
   std::vector<std::unique_ptr<RtEngine>> engines;
   std::vector<std::unique_ptr<EntryShedder>> shedders;
   std::vector<Shedder*> shedder_ptrs;
+  std::string pin_error;
+  const PinPlan pin_plan = ParsePinCpus(config.pin_cpus, &pin_error);
   for (int i = 0; i < workers; ++i) {
     nets.push_back(std::make_unique<QueryNetwork>());
     BuildIdentificationNetwork(nets.back().get(), nominal_cost);
@@ -114,6 +117,7 @@ ClusterNodeResult RunClusterNode(const ClusterNodeConfig& config) {
     eopts.telemetry = telemetry.get();
     eopts.shard_index = i;
     eopts.per_shard_pump_metric = workers > 1;
+    eopts.pin_cpu = pin_plan.CpuForShard(i);
     engines.push_back(std::make_unique<RtEngine>(
         nets.back().get(), &clock, /*num_sources=*/1, eopts));
     shedders.push_back(std::make_unique<EntryShedder>(

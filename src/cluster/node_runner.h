@@ -45,6 +45,11 @@ struct ClusterNodeConfig {
   double pacing_wall_seconds = 500e-6;
   size_t batch = 1;
 
+  /// Worker core pinning, same syntax as the rt runtime's pin_cpus (see
+  /// rt/cpu_affinity.h): "" / "0" off, "auto" round-robin, or a comma
+  /// list. Best-effort; validated by the CLI before the run.
+  std::string pin_cpus;
+
   /// Attach a compact metrics snapshot (counters/gauges/histogram
   /// quantiles) to every stats report so the controller can federate this
   /// node's registry under node="<id>" labels. Observability only: the

@@ -90,6 +90,10 @@ void Engine::ReleaseLineage(const Tuple& t, SimTime depart_time,
 
 void Engine::ExecuteBatch(OperatorBase* op, size_t quantum, SimTime limit) {
   CS_CHECK(!op->queue().empty());
+  if (CanRunColumnar(*op, quantum)) {
+    ExecuteBatchColumnar(op, quantum, limit);
+    return;
+  }
   if (observer_ != nullptr) observer_->OnInvocationStart(*op);
 
   // Everything per-operator is hoisted out of the invocation loop; the

@@ -136,6 +136,20 @@ class Engine : public Process {
   /// must outlive the engine's use of it.
   void SetObserver(EngineObserver* observer) { observer_ = observer; }
 
+  /// Enables/disables the columnar fast path (default on). The columnar
+  /// executor is engaged per batch when the scheduler quantum is at least
+  /// kColumnarMinQuantum and the operator is vectorizable; it replicates
+  /// the row path's floating-point operation order exactly, so results
+  /// (clocks, counters, departures) are bit-identical either way — the
+  /// differential tests assert this by toggling the switch.
+  void SetColumnarEnabled(bool enabled) { columnar_enabled_ = enabled; }
+  bool columnar_enabled() const { return columnar_enabled_; }
+
+  /// Quantum below which the columnar path stays off: mask/compaction
+  /// setup only pays for itself on runs of a few tuples or more, and the
+  /// seed's quantum-1 configuration must keep its row-path performance.
+  static constexpr size_t kColumnarMinQuantum = 4;
+
   /// Admits one source tuple into the network at time `now` (>= the
   /// engine's current clock position is not required; arrival timestamps
   /// come from the simulation). `t.source` selects the entry operators.
@@ -206,6 +220,14 @@ class Engine : public Process {
   /// including floating-point operation order.
   void ExecuteBatch(OperatorBase* op, size_t quantum, SimTime limit);
 
+  /// True when `op` can run on the columnar executor at this quantum.
+  bool CanRunColumnar(const OperatorBase& op, size_t quantum) const;
+
+  /// Whole-run columnar twin of ExecuteBatch (engine/columnar.cc):
+  /// vectorized predicate masks and lane compaction around a scalar
+  /// bookkeeping loop that preserves the row path's FP operation order.
+  void ExecuteBatchColumnar(OperatorBase* op, size_t quantum, SimTime limit);
+
   /// Decrements the lineage refcount; fires the departure callback when the
   /// lineage is gone (unless it was shed).
   void ReleaseLineage(const Tuple& t, SimTime depart_time, DepartureKind kind,
@@ -227,6 +249,21 @@ class Engine : public Process {
   TupleChunkPool chunk_pool_;
 
   EngineCounters counters_;
+
+  // --- Columnar executor state (engine/columnar.cc) ----------------------
+  bool columnar_enabled_ = true;
+  /// Per-run predicate mask and survivor-compaction staging, sized to one
+  /// chunk (a run never spans chunks). Engine-owned so the hot path never
+  /// touches the stack red zone or the allocator.
+  struct ColumnarScratch {
+    alignas(64) uint8_t mask[TupleChunk::kTuples];
+    alignas(64) double value[TupleChunk::kTuples];
+    alignas(64) double aux[TupleChunk::kTuples];
+    alignas(64) SimTime arrival_time[TupleChunk::kTuples];
+    alignas(64) LineageId lineage[TupleChunk::kTuples];
+    alignas(64) int32_t source[TupleChunk::kTuples];
+  };
+  ColumnarScratch scratch_;
 };
 
 }  // namespace ctrlshed

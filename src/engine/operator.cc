@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "engine/simd_kernels.h"
 
 namespace ctrlshed {
 
@@ -24,30 +25,15 @@ FilterOp::FilterOp(std::string name, double cost_seconds, double threshold)
                "filter threshold must be in [0,1]");
 }
 
-namespace {
-
-// SplitMix64 finalizer: turns (payload bits, operator id) into a uniform
-// variate in [0,1) that is independent across operators. Using a hash of
-// the payload rather than the raw value keeps the pass decisions of
-// successive filters uncorrelated, so a chain's selectivity is the product
-// of the individual selectivities — the property the static load estimates
-// (and the paper's identification setup) rely on.
-double HashToUnit(double value, int op_id) {
-  uint64_t x;
-  static_assert(sizeof(x) == sizeof(value));
-  __builtin_memcpy(&x, &value, sizeof(x));
-  x ^= 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(op_id + 1);
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x = x ^ (x >> 31);
-  return static_cast<double>(x >> 11) * 0x1.0p-53;
-}
-
-}  // namespace
-
+// The pass decision is a SplitMix64 hash of (payload bits, operator id),
+// uniform in [0,1) and independent across operators. Using a hash of the
+// payload rather than the raw value keeps the pass decisions of successive
+// filters uncorrelated, so a chain's selectivity is the product of the
+// individual selectivities — the property the static load estimates (and
+// the paper's identification setup) rely on. The hash lives in
+// engine/simd_kernels.h so the columnar filter kernels share it.
 void FilterOp::Process(const Tuple& in, SimTime /*now*/, const EmitFn& emit) {
-  if (HashToUnit(in.value, id()) < threshold_) emit(in);
+  if (kernels::HashToUnit(in.value, id()) < threshold_) emit(in);
 }
 
 MapOp::MapOp(std::string name, double cost_seconds, MapFn fn)
@@ -74,6 +60,20 @@ WindowAggregateOp::WindowAggregateOp(std::string name, double cost_seconds,
   CS_CHECK_MSG(window_size_ > 0, "window size must be positive");
 }
 
+double WindowAggregateOp::WindowValue(const WindowState& s) const {
+  switch (kind_) {
+    case Kind::kMean:
+      return s.acc / window_size_;
+    case Kind::kSum:
+      return s.acc;
+    case Kind::kMax:
+      return s.max;
+    case Kind::kCount:
+      return static_cast<double>(window_size_);
+  }
+  return 0.0;
+}
+
 void WindowAggregateOp::Process(const Tuple& in, SimTime /*now*/,
                                 const EmitFn& emit) {
   if (count_ == 0) {
@@ -87,20 +87,7 @@ void WindowAggregateOp::Process(const Tuple& in, SimTime /*now*/,
 
   Tuple out = in;  // inherits arrival time of the window-closing tuple
   out.lineage = kPendingLineage;
-  switch (kind_) {
-    case Kind::kMean:
-      out.value = acc_ / window_size_;
-      break;
-    case Kind::kSum:
-      out.value = acc_;
-      break;
-    case Kind::kMax:
-      out.value = max_;
-      break;
-    case Kind::kCount:
-      out.value = static_cast<double>(window_size_);
-      break;
-  }
+  out.value = WindowValue({count_, acc_, max_});
   count_ = 0;
   emit(out);
 }

@@ -49,6 +49,17 @@ struct Downstream {
   int port = 0;
 };
 
+/// How the engine's columnar executor may run an operator over a whole
+/// lane run instead of per-tuple Process calls. Operators that keep
+/// per-tuple state the executor cannot replicate (joins, time windows,
+/// user map functions) report kNone and stay on the row path.
+enum class ColumnarKind : uint8_t {
+  kNone,         ///< Row path only.
+  kFilter,       ///< Hash-predicate pass/drop (vectorized mask).
+  kPassthrough,  ///< Emits the input unchanged, exactly once.
+  kWindowAgg,    ///< Tumbling count window (lane-run partial sums).
+};
+
 /// Base class for all query operators.
 ///
 /// Each operator owns one FIFO input queue (tuples carry their input port,
@@ -71,6 +82,10 @@ class OperatorBase {
   /// estimation (the Borealis-style cost x selectivity products of
   /// Section 4.2 of the Aurora load-shedding paper).
   virtual double Selectivity() const { return 1.0; }
+
+  /// Columnar-executor classification; see ColumnarKind. Must describe the
+  /// CURRENT configuration (a MapOp with a user function is kNone).
+  virtual ColumnarKind columnar_kind() const { return ColumnarKind::kNone; }
 
   const std::string& name() const { return name_; }
   double cost() const { return cost_; }
@@ -108,6 +123,7 @@ class FilterOp : public OperatorBase {
 
   void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
   double Selectivity() const override { return threshold_; }
+  ColumnarKind columnar_kind() const override { return ColumnarKind::kFilter; }
 
   double threshold() const { return threshold_; }
 
@@ -124,6 +140,9 @@ class MapOp : public OperatorBase {
   MapOp(std::string name, double cost_seconds, MapFn fn = nullptr);
 
   void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  ColumnarKind columnar_kind() const override {
+    return fn_ ? ColumnarKind::kNone : ColumnarKind::kPassthrough;
+  }
 
  private:
   MapFn fn_;
@@ -137,6 +156,9 @@ class UnionOp : public OperatorBase {
   UnionOp(std::string name, double cost_seconds);
 
   void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  ColumnarKind columnar_kind() const override {
+    return ColumnarKind::kPassthrough;
+  }
 };
 
 /// Tumbling count-based window aggregate: absorbs `window_size` input
@@ -151,8 +173,30 @@ class WindowAggregateOp : public OperatorBase {
 
   void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
   double Selectivity() const override { return 1.0 / window_size_; }
+  ColumnarKind columnar_kind() const override {
+    return ColumnarKind::kWindowAgg;
+  }
 
   int window_size() const { return window_size_; }
+  Kind kind() const { return kind_; }
+
+  /// Open-window accumulator state, exposed so the engine's columnar
+  /// executor can fold whole lane runs (kernels::AggRun) and hand the
+  /// state back — the row and columnar paths interleave freely.
+  struct WindowState {
+    int count = 0;
+    double acc = 0.0;
+    double max = 0.0;
+  };
+  WindowState window_state() const { return {count_, acc_, max_}; }
+  void set_window_state(const WindowState& s) {
+    count_ = s.count;
+    acc_ = s.acc;
+    max_ = s.max;
+  }
+
+  /// The value a closing window emits, given the accumulated state.
+  double WindowValue(const WindowState& s) const;
 
  private:
   int window_size_;
@@ -199,6 +243,11 @@ class SplitOp : public OperatorBase {
   SplitOp(std::string name, double cost_seconds);
 
   void Process(const Tuple& in, SimTime now, const EmitFn& emit) override;
+  // Routing fan-out happens in the engine; a single-downstream split is a
+  // passthrough there (the columnar gate skips multi-downstream ops).
+  ColumnarKind columnar_kind() const override {
+    return ColumnarKind::kPassthrough;
+  }
 };
 
 /// Sliding-window band join over two input ports. Tuples from port 0 probe

@@ -1,0 +1,75 @@
+#include "engine/simd_kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ctrlshed {
+namespace kernels {
+
+namespace scalar {
+
+void FilterMask(const double* value, size_t n, uint64_t salt,
+                uint64_t pass_bound, uint8_t* pass) {
+  for (size_t i = 0; i < n; ++i) {
+    pass[i] = (HashPayload(value[i], salt) >> 11) < pass_bound ? 1 : 0;
+  }
+}
+
+void ShedMask(const double* u, size_t n, double drop_p, uint8_t* admit) {
+  for (size_t i = 0; i < n; ++i) {
+    admit[i] = u[i] < drop_p ? 0 : 1;
+  }
+}
+
+}  // namespace scalar
+
+namespace {
+
+SimdMode ResolveMode() {
+#if CTRLSHED_HAVE_AVX2
+#if defined(CTRLSHED_SIMD_FORCE_AVX2)
+  return SimdMode::kAvx2;
+#else
+  // auto build: env override first, then cpuid.
+  if (const char* env = std::getenv("CTRLSHED_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return SimdMode::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return SimdMode::kAvx2;
+  }
+  return __builtin_cpu_supports("avx2") ? SimdMode::kAvx2 : SimdMode::kScalar;
+#endif
+#else
+  return SimdMode::kScalar;
+#endif
+}
+
+KernelTable ResolveTable() {
+  const SimdMode mode = ResolveMode();
+#if CTRLSHED_HAVE_AVX2
+  if (mode == SimdMode::kAvx2) {
+    return KernelTable{&avx2::FilterMask, &avx2::ShedMask, mode};
+  }
+#endif
+  return KernelTable{&scalar::FilterMask, &scalar::ShedMask, mode};
+}
+
+}  // namespace
+
+SimdMode ActiveSimdMode() { return Kernels().mode; }
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable& Kernels() {
+  static const KernelTable table = ResolveTable();
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ctrlshed

@@ -1,0 +1,153 @@
+#ifndef CTRLSHED_ENGINE_SIMD_KERNELS_H_
+#define CTRLSHED_ENGINE_SIMD_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ctrlshed {
+namespace kernels {
+
+/// Which kernel implementation the process resolved to. Build-time
+/// selection (CTRLSHED_SIMD=auto|avx2|scalar) decides what is compiled in;
+/// `auto` builds additionally consult cpuid once at startup and honor a
+/// CTRLSHED_SIMD environment override (value `scalar` or `avx2`) so a
+/// single binary can be A/B-tested.
+enum class SimdMode { kScalar, kAvx2 };
+
+/// The mode every whole-chunk kernel call dispatches to (resolved once).
+SimdMode ActiveSimdMode();
+const char* SimdModeName(SimdMode mode);
+inline const char* ActiveSimdModeName() { return SimdModeName(ActiveSimdMode()); }
+
+// ---------------------------------------------------------------------------
+// Filter predicate, integer domain.
+//
+// The row path decides `HashToUnit(value, id) < threshold` where HashToUnit
+// is double(h >> 11) * 2^-53 of a SplitMix64 finalizer h. Because
+// k = h >> 11 is an integer below 2^53 (exactly representable) and
+// threshold * 2^53 is an exact double product (power-of-two scale),
+//     double(k) * 2^-53 < threshold  <=>  k < ceil(threshold * 2^53).
+// The kernels therefore compare pure 64-bit integers — bit-identical to the
+// row path for every payload, including NaN and infinity bit patterns, and
+// trivially identical between the scalar and AVX2 implementations.
+// ---------------------------------------------------------------------------
+
+/// Per-operator hash salt (must match the row path's op-id mixing).
+inline uint64_t FilterSalt(int op_id) {
+  return 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(op_id + 1);
+}
+
+/// SplitMix64 finalizer over the payload bits; shared by the row path's
+/// HashToUnit and the columnar filter kernels.
+inline uint64_t HashPayload(double value, uint64_t salt) {
+  uint64_t x;
+  static_assert(sizeof(x) == sizeof(value));
+  __builtin_memcpy(&x, &value, sizeof(x));
+  x ^= salt;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return x;
+}
+
+/// The row path's uniform [0,1) variate.
+inline double HashToUnit(double value, int op_id) {
+  return static_cast<double>(HashPayload(value, FilterSalt(op_id)) >> 11) *
+         0x1.0p-53;
+}
+
+/// Integer pass bound: pass <=> (HashPayload >> 11) < FilterPassBound.
+/// Clamped so threshold <= 0 passes nothing and threshold >= 1 everything.
+inline uint64_t FilterPassBound(double threshold) {
+  const double scaled = std::ceil(threshold * 0x1.0p53);
+  if (scaled <= 0.0) return 0;
+  if (scaled >= 0x1.0p53) return uint64_t{1} << 53;
+  return static_cast<uint64_t>(scaled);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchable whole-chunk kernels. Masks are byte-per-tuple (0 or 1) so
+// compaction can consume them branch-free.
+// ---------------------------------------------------------------------------
+
+/// pass[i] = (HashPayload(value[i], salt) >> 11) < pass_bound.
+using FilterMaskFn = void (*)(const double* value, size_t n, uint64_t salt,
+                              uint64_t pass_bound, uint8_t* pass);
+
+/// admit[i] = u[i] < drop_p ? 0 : 1 — the vector form of one Bernoulli
+/// coin flip per tuple (u drawn sequentially from the shedder's RNG).
+using ShedMaskFn = void (*)(const double* u, size_t n, double drop_p,
+                            uint8_t* admit);
+
+struct KernelTable {
+  FilterMaskFn filter_mask;
+  ShedMaskFn shed_mask;
+  SimdMode mode;
+};
+
+/// The active table (resolved once per process, same policy as
+/// ActiveSimdMode).
+const KernelTable& Kernels();
+
+namespace scalar {
+void FilterMask(const double* value, size_t n, uint64_t salt,
+                uint64_t pass_bound, uint8_t* pass);
+void ShedMask(const double* u, size_t n, double drop_p, uint8_t* admit);
+}  // namespace scalar
+
+#if CTRLSHED_HAVE_AVX2
+namespace avx2 {
+void FilterMask(const double* value, size_t n, uint64_t salt,
+                uint64_t pass_bound, uint8_t* pass);
+void ShedMask(const double* u, size_t n, double drop_p, uint8_t* admit);
+}  // namespace avx2
+#endif
+
+// ---------------------------------------------------------------------------
+// Lane helpers used around the dispatched kernels. These are simple enough
+// that the compiler vectorizes them; they need no runtime dispatch.
+// ---------------------------------------------------------------------------
+
+/// Branch-free mask compaction: copies src[i] where mask[i] != 0 to a dense
+/// prefix of dst. Returns the survivor count. dst may not alias src.
+template <typename T>
+inline size_t CompactLane(const T* src, const uint8_t* mask, size_t n,
+                          T* dst) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dst[k] = src[i];
+    k += mask[i] != 0;
+  }
+  return k;
+}
+
+/// Number of set bytes in a mask.
+inline size_t CountMask(const uint8_t* mask, size_t n) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) k += mask[i] != 0;
+  return k;
+}
+
+/// Sequential-order partial aggregation over one value run: extends
+/// (acc, max) exactly as the row path's per-tuple loop does (acc += v;
+/// max = max(max, v)). Deliberately NOT reassociated into SIMD partial
+/// sums: a different summation order would change aggregate values in the
+/// low bits and break the columnar path's bit-identity guarantee. The win
+/// here is the contiguous lane walk, not vector arithmetic.
+inline void AggRun(const double* v, size_t n, double* acc, double* mx) {
+  double a = *acc;
+  double m = *mx;
+  for (size_t i = 0; i < n; ++i) {
+    a += v[i];
+    m = std::max(m, v[i]);
+  }
+  *acc = a;
+  *mx = m;
+}
+
+}  // namespace kernels
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_ENGINE_SIMD_KERNELS_H_

@@ -1,0 +1,91 @@
+// AVX2 implementations of the whole-chunk kernels. This TU is compiled
+// with -mavx2 (see src/CMakeLists.txt) and only when CTRLSHED_SIMD is auto
+// or avx2 on an x86-64 host; nothing outside the dispatch table in
+// simd_kernels.cc may call into it directly.
+
+#include "engine/simd_kernels.h"
+
+#if CTRLSHED_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace ctrlshed {
+namespace kernels {
+namespace avx2 {
+
+namespace {
+
+// 64-bit low-half product — AVX2 has no vpmullq, so build it from 32-bit
+// multiplies: lo*lo + ((lo*hi + hi*lo) << 32).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i bswap = _mm256_shuffle_epi32(b, 0xB1);   // b hi/lo swapped
+  const __m256i prodlh = _mm256_mullo_epi32(a, bswap);   // cross products
+  const __m256i prodlh2 = _mm256_hadd_epi32(prodlh, _mm256_setzero_si256());
+  const __m256i prodlh3 = _mm256_shuffle_epi32(prodlh2, 0x73);  // << 32
+  const __m256i prodll = _mm256_mul_epu32(a, b);         // lo*lo, 64-bit
+  return _mm256_add_epi64(prodll, prodlh3);
+}
+
+inline __m256i Set1U64(uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+}  // namespace
+
+void FilterMask(const double* value, size_t n, uint64_t salt,
+                uint64_t pass_bound, uint8_t* pass) {
+  const __m256i vsalt = Set1U64(salt);
+  const __m256i golden = Set1U64(0x9e3779b97f4a7c15ULL);
+  const __m256i mix1 = Set1U64(0xbf58476d1ce4e5b9ULL);
+  const __m256i mix2 = Set1U64(0x94d049bb133111ebULL);
+  const __m256i bound = Set1U64(pass_bound);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // SplitMix64 finalizer on the raw payload bits, 4 lanes at a time —
+    // exactly HashPayload() in simd_kernels.h.
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(value + i));
+    x = _mm256_xor_si256(x, vsalt);
+    x = _mm256_add_epi64(x, golden);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+    x = Mul64(x, mix1);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+    x = Mul64(x, mix2);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    x = _mm256_srli_epi64(x, 11);  // k in [0, 2^53)
+    // k and bound both fit far below 2^63, so the signed compare is exact.
+    const __m256i lt = _mm256_cmpgt_epi64(bound, x);
+    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+    pass[i + 0] = static_cast<uint8_t>(m & 1);
+    pass[i + 1] = static_cast<uint8_t>((m >> 1) & 1);
+    pass[i + 2] = static_cast<uint8_t>((m >> 2) & 1);
+    pass[i + 3] = static_cast<uint8_t>((m >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    pass[i] = (HashPayload(value[i], salt) >> 11) < pass_bound ? 1 : 0;
+  }
+}
+
+void ShedMask(const double* u, size_t n, double drop_p, uint8_t* admit) {
+  const __m256d p = _mm256_set1_pd(drop_p);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Ordered < matches the scalar `u < p` (u is a Uniform() draw, never
+    // NaN, but ordered semantics keep the paths identical regardless).
+    const __m256d lt = _mm256_cmp_pd(_mm256_loadu_pd(u + i), p, _CMP_LT_OQ);
+    const int m = _mm256_movemask_pd(lt);
+    admit[i + 0] = static_cast<uint8_t>(~m & 1);
+    admit[i + 1] = static_cast<uint8_t>((~m >> 1) & 1);
+    admit[i + 2] = static_cast<uint8_t>((~m >> 2) & 1);
+    admit[i + 3] = static_cast<uint8_t>((~m >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    admit[i] = u[i] < drop_p ? 0 : 1;
+  }
+}
+
+}  // namespace avx2
+}  // namespace kernels
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_HAVE_AVX2

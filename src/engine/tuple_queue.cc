@@ -1,5 +1,7 @@
 #include "engine/tuple_queue.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace ctrlshed {
@@ -30,26 +32,15 @@ void TupleQueue::BindPool(TupleChunkPool* pool) {
   pool_ = pool;
 }
 
-Tuple& TupleQueue::front() {
+Tuple TupleQueue::front() const {
   CS_CHECK(size_ > 0);
-  return ring_[chunk_head_ & (ring_.size() - 1)]->slots[slot_head_];
+  return ring_[chunk_head_ & (ring_.size() - 1)]->Get(slot_head_);
 }
 
-const Tuple& TupleQueue::front() const {
-  CS_CHECK(size_ > 0);
-  return ring_[chunk_head_ & (ring_.size() - 1)]->slots[slot_head_];
-}
-
-Tuple& TupleQueue::back() {
+Tuple TupleQueue::back() const {
   CS_CHECK(size_ > 0);
   const size_t pos = slot_head_ + size_ - 1;
-  return ChunkAt(pos / TupleChunk::kTuples)->slots[pos % TupleChunk::kTuples];
-}
-
-const Tuple& TupleQueue::back() const {
-  CS_CHECK(size_ > 0);
-  const size_t pos = slot_head_ + size_ - 1;
-  return ChunkAt(pos / TupleChunk::kTuples)->slots[pos % TupleChunk::kTuples];
+  return ChunkAt(pos / TupleChunk::kTuples)->Get(pos % TupleChunk::kTuples);
 }
 
 void TupleQueue::push_back(const Tuple& t) {
@@ -60,7 +51,7 @@ void TupleQueue::push_back(const Tuple& t) {
     ring_[(chunk_head_ + num_chunks_) & (ring_.size() - 1)] = AcquireChunk();
     ++num_chunks_;
   }
-  ChunkAt(off)->slots[pos % TupleChunk::kTuples] = t;
+  ChunkAt(off)->Set(pos % TupleChunk::kTuples, t);
   ++size_;
 }
 
@@ -78,6 +69,59 @@ void TupleQueue::pop_front() {
     // queues never creep toward a chunk boundary.
     slot_head_ = 0;
   }
+}
+
+TupleLaneView TupleQueue::FrontRun() const {
+  CS_CHECK(size_ > 0);
+  const TupleChunk* chunk = ring_[chunk_head_ & (ring_.size() - 1)];
+  TupleLaneView view;
+  view.value = chunk->value + slot_head_;
+  view.aux = chunk->aux + slot_head_;
+  view.arrival_time = chunk->arrival_time + slot_head_;
+  view.lineage = chunk->lineage + slot_head_;
+  view.source = chunk->source + slot_head_;
+  view.port = chunk->port + slot_head_;
+  view.len = std::min(size_, TupleChunk::kTuples - slot_head_);
+  return view;
+}
+
+void TupleQueue::PopFrontN(size_t n) {
+  CS_CHECK(n <= size_);
+  while (n > 0) {
+    const size_t run = std::min(n, TupleChunk::kTuples - slot_head_);
+    slot_head_ += run;
+    size_ -= run;
+    n -= run;
+    if (slot_head_ == TupleChunk::kTuples) {
+      ReleaseChunk(ring_[chunk_head_ & (ring_.size() - 1)]);
+      ++chunk_head_;
+      --num_chunks_;
+      slot_head_ = 0;
+    } else if (size_ == 0) {
+      slot_head_ = 0;  // Same rewind as pop_front.
+    }
+  }
+}
+
+TupleLaneFill TupleQueue::BackFill() {
+  const size_t pos = slot_head_ + size_;
+  const size_t off = pos / TupleChunk::kTuples;
+  if (off == num_chunks_) {
+    if (num_chunks_ == ring_.size()) GrowRing();
+    ring_[(chunk_head_ + num_chunks_) & (ring_.size() - 1)] = AcquireChunk();
+    ++num_chunks_;
+  }
+  TupleChunk* chunk = ChunkAt(off);
+  const size_t slot = pos % TupleChunk::kTuples;
+  TupleLaneFill fill;
+  fill.value = chunk->value + slot;
+  fill.aux = chunk->aux + slot;
+  fill.arrival_time = chunk->arrival_time + slot;
+  fill.lineage = chunk->lineage + slot;
+  fill.source = chunk->source + slot;
+  fill.port = chunk->port + slot;
+  fill.capacity = TupleChunk::kTuples - slot;
+  return fill;
 }
 
 void TupleQueue::pop_back() {

@@ -10,11 +10,100 @@
 namespace ctrlshed {
 
 /// Fixed-size block of queued tuples — the allocation unit the chunk pool
-/// recycles. 128 tuples ≈ 5 KiB keeps a chunk well inside L1 while making
-/// the pointer-chase cost of crossing chunks negligible (one per 128 ops).
+/// recycles. 128 tuples keeps a chunk well inside L1 while making the
+/// pointer-chase cost of crossing chunks negligible (one per 128 ops).
+///
+/// Layout is STRUCT-OF-ARRAYS: each Tuple field lives in its own 64-byte
+/// aligned lane so whole-chunk kernels (filter masks, map transforms,
+/// aggregation partial sums, shed coin flips) can load 4-8 tuples per SIMD
+/// instruction instead of striding over 48-byte rows.
+///
+/// AoS <-> SoA transpose contract:
+///  - `Set(i, t)` scatters one row Tuple into slot i of every lane and
+///    `Get(i)` gathers it back; `Get(i)` after `Set(i, t)` returns a Tuple
+///    bit-identical to `t` (every field, including NaN payloads, is copied
+///    through same-width lanes — doubles stay doubles, never round-trip
+///    through another type).
+///  - A logical queue position maps to the SAME slot index in every lane;
+///    kernels may therefore combine lanes element-wise (e.g. mask from
+///    `value[i]`, compact `lineage[i]`) without any permutation step.
+///  - Lanes are padded/aligned independently; the chunk is NOT layout
+///    compatible with `Tuple[kTuples]` and must only be accessed through
+///    Get/Set or the lane pointers.
 struct TupleChunk {
   static constexpr size_t kTuples = 128;
-  Tuple slots[kTuples];
+
+  alignas(64) double value[kTuples];
+  alignas(64) double aux[kTuples];
+  alignas(64) SimTime arrival_time[kTuples];
+  alignas(64) LineageId lineage[kTuples];
+  alignas(64) int32_t source[kTuples];
+  alignas(64) int32_t port[kTuples];
+
+  Tuple Get(size_t i) const {
+    Tuple t;
+    t.lineage = lineage[i];
+    t.source = source[i];
+    t.arrival_time = arrival_time[i];
+    t.value = value[i];
+    t.aux = aux[i];
+    t.port = port[i];
+    return t;
+  }
+
+  void Set(size_t i, const Tuple& t) {
+    lineage[i] = t.lineage;
+    source[i] = static_cast<int32_t>(t.source);
+    arrival_time[i] = t.arrival_time;
+    value[i] = t.value;
+    aux[i] = t.aux;
+    port[i] = static_cast<int32_t>(t.port);
+  }
+};
+
+// Row-layout hygiene: the transpose above assumes these widths. A Tuple is
+// three doubles + one 64-bit id + two 32-bit ints, padded to 48 bytes.
+static_assert(sizeof(Tuple) == 48, "Tuple layout changed; audit TupleChunk");
+static_assert(alignof(Tuple) == 8, "Tuple alignment changed");
+static_assert(sizeof(LineageId) == 8 && sizeof(SimTime) == 8,
+              "SoA lanes assume 64-bit lineage/time");
+// Every lane starts on a cache line / full-width vector boundary.
+static_assert(offsetof(TupleChunk, value) % 64 == 0, "value lane unaligned");
+static_assert(offsetof(TupleChunk, aux) % 64 == 0, "aux lane unaligned");
+static_assert(offsetof(TupleChunk, arrival_time) % 64 == 0,
+              "arrival_time lane unaligned");
+static_assert(offsetof(TupleChunk, lineage) % 64 == 0, "lineage lane unaligned");
+static_assert(offsetof(TupleChunk, source) % 64 == 0, "source lane unaligned");
+static_assert(offsetof(TupleChunk, port) % 64 == 0, "port lane unaligned");
+static_assert(TupleChunk::kTuples % 8 == 0,
+              "kernels assume whole 512-bit groups per chunk");
+
+/// Read-only view of one contiguous run of queued tuples inside a single
+/// chunk: lane pointers all offset to the run's first tuple. Valid until
+/// the next queue mutation.
+struct TupleLaneView {
+  const double* value = nullptr;
+  const double* aux = nullptr;
+  const SimTime* arrival_time = nullptr;
+  const LineageId* lineage = nullptr;
+  const int32_t* source = nullptr;
+  const int32_t* port = nullptr;
+  size_t len = 0;  ///< Tuples in this run (<= TupleChunk::kTuples).
+};
+
+/// Mutable view of the contiguous FREE slots at the tail of a queue, for
+/// writing compacted kernel output directly into the downstream queue.
+/// Obtain with BackFill(), write up to `capacity` tuples lane-wise, then
+/// CommitBack(n) — equivalent to n push_back calls. Valid until the next
+/// queue mutation other than the matching CommitBack.
+struct TupleLaneFill {
+  double* value = nullptr;
+  double* aux = nullptr;
+  SimTime* arrival_time = nullptr;
+  LineageId* lineage = nullptr;
+  int32_t* source = nullptr;
+  int32_t* port = nullptr;
+  size_t capacity = 0;  ///< Free slots before the tail chunk boundary.
 };
 
 /// Free-list recycler for TupleChunks, owned by one Engine and shared by
@@ -54,8 +143,9 @@ class TupleChunkPool {
 /// FIFO tuple queue over pooled chunks — the replacement for the
 /// std::deque<Tuple> operator queues, which allocate and free nodes under
 /// load. Supports exactly the operations the engine needs: push_back,
-/// pop_front (service), pop_back (newest-first in-network shedding), and
-/// front/back/size inspection.
+/// pop_front (service), pop_back (newest-first in-network shedding),
+/// front/back/size inspection, and the columnar run views (FrontRun /
+/// PopFrontN / BackFill / CommitBack) the vectorized datapath batches over.
 ///
 /// Layout: a power-of-two ring of chunk pointers; logical position p lives
 /// in chunk (slot_head_ + p) / kTuples at slot (slot_head_ + p) % kTuples,
@@ -81,14 +171,28 @@ class TupleQueue {
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
 
-  Tuple& front();
-  const Tuple& front() const;
-  Tuple& back();
-  const Tuple& back() const;
+  // Front/back are gathered from the SoA lanes and returned by value; the
+  // chunk rows they came from have no AoS representation to reference.
+  Tuple front() const;
+  Tuple back() const;
 
   void push_back(const Tuple& t);
   void pop_front();
   void pop_back();
+
+  /// Lane view of the longest contiguous run starting at the queue front
+  /// (the front chunk's remaining tuples). Requires a non-empty queue.
+  TupleLaneView FrontRun() const;
+
+  /// Pops the front `n` tuples; identical end state to n pop_front calls
+  /// (including chunk recycling and the empty-queue slot rewind).
+  void PopFrontN(size_t n);
+
+  /// Mutable lane view of the free tail of the queue, acquiring a fresh
+  /// tail chunk when the current one is full. Follow with CommitBack(n),
+  /// n <= capacity; the pair is equivalent to n push_back calls.
+  TupleLaneFill BackFill();
+  void CommitBack(size_t n) { size_ += n; }
 
   /// Releases every chunk (to the pool when bound, else to the heap).
   void clear();

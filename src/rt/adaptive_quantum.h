@@ -1,0 +1,62 @@
+#ifndef CTRLSHED_RT_ADAPTIVE_QUANTUM_H_
+#define CTRLSHED_RT_ADAPTIVE_QUANTUM_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace ctrlshed {
+
+/// Per-period signals the adaptive-quantum policy reads, all already
+/// computed by the monitor at the tick boundary — the policy adds no new
+/// measurement machinery.
+struct QuantumSignals {
+  double y_hat = 0.0;         ///< Estimated worst-case delay (trace s).
+  double target_delay = 0.0;  ///< Delay setpoint yd (trace s).
+  uint64_t queued = 0;        ///< Queued tuples in this shard's engine.
+};
+
+/// Bounds of the adaptive quantum walk. `floor_q` is normally the
+/// configured datapath batch: the quantum never adapts below what the
+/// operator asked for, only above it when backlog justifies coarser
+/// interleaving.
+struct QuantumLimits {
+  size_t floor_q = 1;
+  size_t ceil_q = 4096;
+};
+
+/// One step of the adaptive scheduler-quantum policy (pure function; the
+/// controller thread evaluates it once per shard per period and posts the
+/// result through the RtSharedStats::plan_quantum handshake).
+///
+/// Rationale: a large quantum amortizes per-visit scheduling and observer
+/// overhead (throughput), a small one keeps operator interleaving fine
+/// (latency). So:
+///
+///  - GROW (x2) when the plant is behind the setpoint (y_hat > yd) and
+///    there is enough backlog to actually fill the bigger train
+///    (queued > 2 * current) — growing on an empty queue would only
+///    coarsen interleaving for nothing.
+///  - SHRINK (/2) when there is comfortable latency headroom
+///    (y_hat < yd / 2): the plant is keeping up, so buy back fine
+///    interleaving.
+///  - HOLD inside the band [yd/2, yd] — the hysteresis that keeps the
+///    quantum from oscillating every period around the setpoint.
+///
+/// Multiplicative steps bound convergence to O(log(ceil/floor)) periods in
+/// either direction; the clamp keeps the result in [floor_q, ceil_q].
+inline size_t NextQuantum(size_t current, const QuantumSignals& s,
+                          const QuantumLimits& lim) {
+  size_t next = current;
+  if (s.y_hat > s.target_delay &&
+      s.queued > 2 * static_cast<uint64_t>(current)) {
+    next = current * 2;
+  } else if (s.y_hat < 0.5 * s.target_delay) {
+    next = current / 2;
+  }
+  return std::clamp(next, lim.floor_q, lim.ceil_q);
+}
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_ADAPTIVE_QUANTUM_H_

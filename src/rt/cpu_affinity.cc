@@ -1,0 +1,75 @@
+#include "rt/cpu_affinity.h"
+
+#include <cstdlib>
+#include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ctrlshed {
+
+int NumCpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int PinPlan::CpuForShard(int shard_index) const {
+  if (!enabled) return -1;
+  if (cpus.empty()) return shard_index % NumCpus();
+  return cpus[static_cast<size_t>(shard_index) % cpus.size()];
+}
+
+PinPlan ParsePinCpus(const std::string& value, std::string* error) {
+  PinPlan plan;
+  error->clear();
+  if (value.empty() || value == "0" || value == "off") return plan;
+  if (value == "auto" || value == "1") {
+    plan.enabled = true;
+    return plan;
+  }
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    char* end = nullptr;
+    const long cpu = std::strtol(item.c_str(), &end, 10);
+    if (item.empty() || end == item.c_str() || *end != '\0' || cpu < 0) {
+      *error = "pin_cpus expects 'auto', '0', or a comma list of CPU ids, "
+               "got '" +
+               value + "'";
+      return PinPlan{};
+    }
+    plan.cpus.push_back(static_cast<int>(cpu));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  plan.enabled = true;
+  return plan;
+}
+
+}  // namespace ctrlshed

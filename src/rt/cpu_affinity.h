@@ -1,0 +1,40 @@
+#ifndef CTRLSHED_RT_CPU_AFFINITY_H_
+#define CTRLSHED_RT_CPU_AFFINITY_H_
+
+#include <string>
+#include <vector>
+
+namespace ctrlshed {
+
+/// Number of CPUs the process may run on (>= 1). Falls back to 1 when the
+/// platform gives no answer.
+int NumCpus();
+
+/// Pins the CALLING thread to the single CPU `cpu`. Returns true on
+/// success; false (and leaves affinity untouched) when `cpu` is out of
+/// range or the platform does not support affinity — pinning is a
+/// performance hint, never a correctness requirement, so callers treat a
+/// false as "run unpinned".
+bool PinCurrentThreadToCpu(int cpu);
+
+/// Parsed form of a `pin_cpus=` knob.
+struct PinPlan {
+  bool enabled = false;
+  /// Explicit CPU list; empty with enabled=true means "auto": shard i
+  /// takes CPU i % NumCpus().
+  std::vector<int> cpus;
+
+  /// CPU for shard `shard_index` under this plan, or -1 when disabled.
+  int CpuForShard(int shard_index) const;
+};
+
+/// Parses a pin_cpus knob value: "" / "0" / "off" disable, "auto" (and
+/// "1", the rt_soak-style boolean) enable round-robin over NumCpus(), and
+/// a comma list like "0,2,4" pins shard i to list[i % len]. On a malformed
+/// value (non-numeric entry, negative CPU) returns a plan with
+/// enabled=false and fills `*error`; `*error` stays empty on success.
+PinPlan ParsePinCpus(const std::string& value, std::string* error);
+
+}  // namespace ctrlshed
+
+#endif  // CTRLSHED_RT_CPU_AFFINITY_H_

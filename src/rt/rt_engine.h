@@ -66,6 +66,10 @@ struct RtEngineOptions {
   /// The callable must be safe to invoke from the worker thread for the
   /// engine's lifetime (a read-only trace lookup qualifies).
   CostMultiplierFn cost_multiplier;
+  /// CPU to pin the worker thread to at start (-1 = unpinned). Pinning is
+  /// a best-effort performance hint: a failed pin (non-Linux platform, CPU
+  /// out of range) is ignored and the worker runs unpinned.
+  int pin_cpu = -1;
   /// Seed of the worker-owned victim RNG for in-network shedding. The
   /// worker consumes the controller's posted queue budget (see
   /// RtSharedStats plan handshake) inside its pump, so victim selection
@@ -197,6 +201,11 @@ class RtEngine {
   uint64_t plan_seq_seen_ = 0;
   double shed_budget_remaining_ = 0.0;
   bool shed_cost_aware_ = false;
+
+  /// Scheduler quantum currently applied to the inner engine (worker
+  /// thread only); starts at the configured batch and follows the
+  /// controller's plan_quantum overrides (see RtSharedStats).
+  size_t applied_quantum_ = 1;
 
   // Worker-local telemetry (trace buffer registered at thread start;
   // histogram read by other threads only after the join in Stop()).

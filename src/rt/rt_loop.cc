@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "rt/adaptive_quantum.h"
 #include "rt/rt_source.h"
 
 namespace ctrlshed {
@@ -55,6 +56,12 @@ RtLoop::RtLoop(std::vector<RtShard> shards, const RtClock* clock,
       target_delay_(options.target_delay) {
   CS_CHECK(clock_ != nullptr);
   CS_CHECK_MSG(options_.period > 0.0, "period must be positive");
+  if (options_.adaptive_quantum) {
+    shard_quanta_.reserve(shards_.size());
+    for (const RtShard& s : shards_) {
+      shard_quanta_.push_back(s.engine->options().batch);
+    }
+  }
 }
 
 RtLoop::RtLoop(RtEngine* engine, const RtClock* clock,
@@ -124,32 +131,37 @@ void RtLoop::OnArrivalBatch(const Tuple* tuples, size_t n) {
   // Stage the admitted survivors (source remapped) and push them with one
   // ring publish; chunked so callers may exceed kRtArrivalBatchMax.
   Tuple admitted[kRtArrivalBatchMax];
+  uint8_t admit_mask[kRtArrivalBatchMax];
   for (size_t base = 0; base < n;) {
     const size_t chunk_end =
         n - base < kRtArrivalBatchMax ? n : base + kRtArrivalBatchMax;
+    const size_t chunk_n = chunk_end - base;
+    for (size_t i = base; i < chunk_end; ++i) {
+      CS_CHECK_MSG(tuples[i].source == tuples[0].source,
+                   "a batch must come from a single source");
+    }
     size_t m = 0;
     uint64_t shed = 0;
     if (shard.shedder != nullptr && controller_ != nullptr) {
-      std::lock_guard<std::mutex> lock(shedder_mutexes_[shard_idx]);
-      for (size_t i = base; i < chunk_end; ++i) {
-        CS_CHECK_MSG(tuples[i].source == tuples[0].source,
-                     "a batch must come from a single source");
-        if (shard.shedder->Admit(tuples[i])) {
-          admitted[m] = tuples[i];
-          admitted[m].source = local_source;
-          ++m;
-        } else {
-          ++shed;
-        }
+      {
+        // One batched decision under the mutex (coin-flip shedders draw
+        // their RNG stream and compare branch-free); the survivor
+        // compaction below runs outside the critical section.
+        std::lock_guard<std::mutex> lock(shedder_mutexes_[shard_idx]);
+        shard.shedder->AdmitBatch(tuples + base, chunk_n, admit_mask);
       }
-    } else {
-      for (size_t i = base; i < chunk_end; ++i) {
-        CS_CHECK_MSG(tuples[i].source == tuples[0].source,
-                     "a batch must come from a single source");
-        admitted[m] = tuples[i];
+      for (size_t i = 0; i < chunk_n; ++i) {
+        admitted[m] = tuples[base + i];
         admitted[m].source = local_source;
-        ++m;
+        m += admit_mask[i] != 0;
       }
+      shed = chunk_n - m;
+    } else {
+      for (size_t i = 0; i < chunk_n; ++i) {
+        admitted[i] = tuples[base + i];
+        admitted[i].source = local_source;
+      }
+      m = chunk_n;
     }
     if (shed > 0) stats->entry_shed.fetch_add(shed, std::memory_order_relaxed);
     shard.engine->OfferBatch(admitted, m);  // a full ring counts its drops
@@ -220,6 +232,24 @@ void RtLoop::ControlTick(SimTime now, double lateness_wall) {
                         target_delay_.load(std::memory_order_relaxed));
   }
   if (predictor_ != nullptr) m.fin_forecast = predictor_->Observe(m.fin);
+  if (options_.adaptive_quantum) {
+    // Adaptive scheduler quantum: one policy step per shard from this
+    // period's delay estimate and that shard's backlog, posted through the
+    // lone plan_quantum atomic (the worker picks it up at its next pump).
+    // The configured batch is the floor — adaptation only coarsens
+    // interleaving beyond it under backlog, never below it.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const QuantumSignals sig{m.y_hat, m.target_delay,
+                               samples_[i].queued_tuples};
+      const QuantumLimits lim{shards_[i].engine->options().batch, 4096};
+      const size_t next = NextQuantum(shard_quanta_[i], sig, lim);
+      if (next != shard_quanta_[i]) {
+        shard_quanta_[i] = next;
+        shards_[i].engine->stats()->plan_quantum.store(
+            static_cast<uint64_t>(next), std::memory_order_relaxed);
+      }
+    }
+  }
   double v = 0.0;
   double alpha = 0.0;
   ActuationSite site = ActuationSite::kEntry;

@@ -12,6 +12,7 @@
 
 #include "common/macros.h"
 #include "control/aurora_controller.h"
+#include "rt/cpu_affinity.h"
 #include "control/baseline_controller.h"
 #include "control/ctrl_controller.h"
 #include "control/pi_controller.h"
@@ -77,6 +78,9 @@ std::string RtConfigError(const RtRunConfig& config) {
   if (config.batch < 1 || config.batch > 4096) {
     return "batch must be in [1, 4096]";
   }
+  std::string pin_error;
+  ParsePinCpus(config.pin_cpus, &pin_error);
+  if (!pin_error.empty()) return pin_error;
   return "";
 }
 
@@ -140,6 +144,8 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   std::vector<std::unique_ptr<RtEngine>> engines;
   nets.reserve(static_cast<size_t>(workers));
   engines.reserve(static_cast<size_t>(workers));
+  std::string pin_error;
+  const PinPlan pin_plan = ParsePinCpus(config.pin_cpus, &pin_error);
   for (int i = 0; i < workers; ++i) {
     nets.push_back(std::make_unique<QueryNetwork>());
     BuildIdentificationNetwork(nets.back().get(), nominal_cost);
@@ -153,6 +159,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
     eopts.shard_index = i;
     eopts.per_shard_pump_metric = workers > 1;
     eopts.cost_multiplier = cost_multiplier;
+    eopts.pin_cpu = pin_plan.CpuForShard(i);
     // A distinct seed stream from the entry shedders' (seed+2+7919i): the
     // worker's victim RNG must never share state across threads.
     eopts.queue_shed_seed = base.seed + 6 + 7919 * static_cast<uint64_t>(i);
@@ -214,6 +221,7 @@ RtRunResult RunRtExperiment(const RtRunConfig& config) {
   lopts.adapt_headroom = base.adapt_headroom;
   lopts.queue_shed = base.use_queue_shedder;
   lopts.cost_aware_shed = base.cost_aware_shedding;
+  lopts.adaptive_quantum = config.batch_adaptive;
   lopts.telemetry = telemetry.get();
   RtLoop loop(std::move(shards), &clock, controller.get(), lopts);
   if (telemetry && telemetry->server() != nullptr) {

@@ -41,6 +41,17 @@ struct RtRunConfig {
   /// per-tuple path with bit-identical control arithmetic.
   size_t batch = 1;
 
+  /// Adapt each worker's scheduler quantum per control period (see
+  /// rt/adaptive_quantum.h): grow past `batch` under backlog, shrink back
+  /// with latency headroom. Off = fixed quantum `batch` for the whole run.
+  bool batch_adaptive = false;
+
+  /// Worker core pinning (see rt/cpu_affinity.h): "" or "0" = unpinned
+  /// (default), "auto" = shard i pins to CPU i % NumCpus(), a comma list
+  /// like "0,2,4" = shard i pins to list[i % len]. Validated by
+  /// RtConfigError; pinning itself is best-effort.
+  std::string pin_cpus;
+
   /// Worker shards the plant is partitioned across (see RtLoop). The
   /// offered-rate trace is split evenly: N replay sources, each driving
   /// its own shard with the base trace scaled by 1/N (independent arrival

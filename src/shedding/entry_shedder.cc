@@ -26,4 +26,9 @@ double EntryShedder::ApplyPlan(const ActuationPlan& plan,
 
 bool EntryShedder::Admit(const Tuple& /*t*/) { return !rng_.Bernoulli(alpha_); }
 
+void EntryShedder::AdmitBatch(const Tuple* /*tuples*/, size_t n,
+                              uint8_t* admit) {
+  BatchCoinFlipAdmit(rng_, alpha_, n, admit);
+}
+
 }  // namespace ctrlshed

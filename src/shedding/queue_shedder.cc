@@ -59,4 +59,9 @@ double QueueShedder::ApplyPlan(const ActuationPlan& plan,
 
 bool QueueShedder::Admit(const Tuple& /*t*/) { return !rng_.Bernoulli(alpha_); }
 
+void QueueShedder::AdmitBatch(const Tuple* /*tuples*/, size_t n,
+                              uint8_t* admit) {
+  BatchCoinFlipAdmit(rng_, alpha_, n, admit);
+}
+
 }  // namespace ctrlshed

@@ -40,6 +40,7 @@ class QueueShedder : public Shedder {
                    const PeriodMeasurement& m) override;
 
   bool Admit(const Tuple& t) override;
+  void AdmitBatch(const Tuple* tuples, size_t n, uint8_t* admit) override;
   double drop_probability() const override { return alpha_; }
   std::string_view name() const override { return "queue"; }
 

@@ -1,10 +1,13 @@
 #ifndef CTRLSHED_SHEDDING_SHEDDER_H_
 #define CTRLSHED_SHEDDING_SHEDDER_H_
 
+#include <cstdint>
 #include <string_view>
 
+#include "common/rng.h"
 #include "control/actuation_plan.h"
 #include "control/controller.h"
+#include "engine/simd_kernels.h"
 #include "engine/tuple.h"
 
 namespace ctrlshed {
@@ -36,11 +39,47 @@ class Shedder {
   /// Decides the fate of one arriving tuple: true = admit into the engine.
   virtual bool Admit(const Tuple& t) = 0;
 
+  /// Batched admission: admit[i] = 1 iff tuples[i] is admitted. The
+  /// default loops Admit, so every shedder is batch-callable; coin-flip
+  /// shedders override it with a branch-free draw-then-compare kernel
+  /// whose decisions are bit-identical to n sequential Admit calls (the
+  /// chi-square and stream-identity tests gate this).
+  virtual void AdmitBatch(const Tuple* tuples, size_t n, uint8_t* admit) {
+    for (size_t i = 0; i < n; ++i) admit[i] = Admit(tuples[i]) ? 1 : 0;
+  }
+
   /// Current entry drop probability (diagnostics).
   virtual double drop_probability() const = 0;
 
   virtual std::string_view name() const = 0;
 };
+
+/// Branch-free batched coin flip shared by the probabilistic shedders:
+/// decisions (and the RNG stream consumed) are exactly those of n
+/// sequential `!rng.Bernoulli(drop_p)` calls — Bernoulli draws nothing at
+/// the clamps, otherwise one Uniform per tuple, which lands in a lane
+/// buffer and is compared against drop_p by the vectorized shed-mask
+/// kernel.
+inline void BatchCoinFlipAdmit(Rng& rng, double drop_p, size_t n,
+                               uint8_t* admit) {
+  if (drop_p <= 0.0) {
+    for (size_t i = 0; i < n; ++i) admit[i] = 1;
+    return;
+  }
+  if (drop_p >= 1.0) {
+    for (size_t i = 0; i < n; ++i) admit[i] = 0;
+    return;
+  }
+  constexpr size_t kBlock = 128;
+  alignas(64) double u[kBlock];
+  size_t done = 0;
+  while (done < n) {
+    const size_t k = n - done < kBlock ? n - done : kBlock;
+    for (size_t i = 0; i < k; ++i) u[i] = rng.Uniform();
+    kernels::Kernels().shed_mask(u, k, drop_p, admit + done);
+    done += k;
+  }
+}
 
 }  // namespace ctrlshed
 

@@ -1,0 +1,110 @@
+#include "rt/adaptive_quantum.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/cpu_affinity.h"
+
+namespace ctrlshed {
+namespace {
+
+constexpr QuantumLimits kLim{4, 4096};
+
+TEST(AdaptiveQuantumTest, GrowsUnderBacklogBeyondSetpoint) {
+  // Behind the setpoint with a deep queue: double.
+  EXPECT_EQ(NextQuantum(64, {3.0, 2.0, 1000}, kLim), 128u);
+  // Repeated pressure walks multiplicatively to the ceiling, never past.
+  size_t q = 4;
+  for (int i = 0; i < 20; ++i) q = NextQuantum(q, {5.0, 2.0, 100000}, kLim);
+  EXPECT_EQ(q, 4096u);
+}
+
+TEST(AdaptiveQuantumTest, DoesNotGrowOnShallowQueue) {
+  // Delay above setpoint but barely any backlog: a bigger train could not
+  // even fill, so hold.
+  EXPECT_EQ(NextQuantum(64, {3.0, 2.0, 100}, kLim), 64u);
+  // Boundary: queued must exceed 2x the current quantum.
+  EXPECT_EQ(NextQuantum(64, {3.0, 2.0, 128}, kLim), 64u);
+  EXPECT_EQ(NextQuantum(64, {3.0, 2.0, 129}, kLim), 128u);
+}
+
+TEST(AdaptiveQuantumTest, ShrinksWithLatencyHeadroom) {
+  EXPECT_EQ(NextQuantum(128, {0.5, 2.0, 1000}, kLim), 64u);
+  // Never below the configured-batch floor.
+  EXPECT_EQ(NextQuantum(4, {0.0, 2.0, 0}, kLim), 4u);
+  size_t q = 4096;
+  for (int i = 0; i < 20; ++i) q = NextQuantum(q, {0.0, 2.0, 0}, kLim);
+  EXPECT_EQ(q, 4u);
+}
+
+TEST(AdaptiveQuantumTest, HoldsInsideHysteresisBand) {
+  // y_hat in [yd/2, yd]: no change in either direction.
+  EXPECT_EQ(NextQuantum(64, {1.0, 2.0, 100000}, kLim), 64u);
+  EXPECT_EQ(NextQuantum(64, {1.9, 2.0, 100000}, kLim), 64u);
+  EXPECT_EQ(NextQuantum(64, {2.0, 2.0, 100000}, kLim), 64u);
+}
+
+TEST(AdaptiveQuantumTest, ClampsOutOfRangeCurrent) {
+  // A current value outside the limits (e.g. after a floor change at
+  // runtime) is pulled back into range even on a hold.
+  EXPECT_EQ(NextQuantum(2, {1.0, 2.0, 0}, kLim), 4u);
+  EXPECT_EQ(NextQuantum(8192, {1.0, 2.0, 0}, kLim), 4096u);
+}
+
+TEST(CpuAffinityTest, ParsePinCpusDisabledForms) {
+  std::string err;
+  for (const char* v : {"", "0", "off"}) {
+    const PinPlan plan = ParsePinCpus(v, &err);
+    EXPECT_FALSE(plan.enabled) << v;
+    EXPECT_TRUE(err.empty()) << v;
+    EXPECT_EQ(plan.CpuForShard(0), -1) << v;
+  }
+}
+
+TEST(CpuAffinityTest, ParsePinCpusAutoRoundRobins) {
+  std::string err;
+  for (const char* v : {"auto", "1"}) {
+    const PinPlan plan = ParsePinCpus(v, &err);
+    ASSERT_TRUE(plan.enabled) << v;
+    EXPECT_TRUE(err.empty()) << v;
+    EXPECT_TRUE(plan.cpus.empty()) << v;
+    const int n = NumCpus();
+    EXPECT_EQ(plan.CpuForShard(0), 0);
+    EXPECT_EQ(plan.CpuForShard(n), 0);
+    EXPECT_EQ(plan.CpuForShard(n + 1), 1 % n);
+  }
+}
+
+TEST(CpuAffinityTest, ParsePinCpusExplicitList) {
+  std::string err;
+  const PinPlan plan = ParsePinCpus("0,2,4", &err);
+  ASSERT_TRUE(plan.enabled);
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(plan.cpus.size(), 3u);
+  EXPECT_EQ(plan.CpuForShard(0), 0);
+  EXPECT_EQ(plan.CpuForShard(1), 2);
+  EXPECT_EQ(plan.CpuForShard(2), 4);
+  EXPECT_EQ(plan.CpuForShard(3), 0);  // wraps
+}
+
+TEST(CpuAffinityTest, ParsePinCpusRejectsMalformed) {
+  for (const char* v : {"a", "1,x", "-1", "1,,2", "1,"}) {
+    std::string err;
+    const PinPlan plan = ParsePinCpus(v, &err);
+    EXPECT_FALSE(plan.enabled) << v;
+    EXPECT_FALSE(err.empty()) << v;
+  }
+}
+
+TEST(CpuAffinityTest, NumCpusIsPositive) { EXPECT_GE(NumCpus(), 1); }
+
+TEST(CpuAffinityTest, PinToCurrentCpuSucceedsOnLinux) {
+#ifdef __linux__
+  EXPECT_TRUE(PinCurrentThreadToCpu(0));
+#endif
+  // Out-of-range pins report failure instead of aborting.
+  EXPECT_FALSE(PinCurrentThreadToCpu(-1));
+  EXPECT_FALSE(PinCurrentThreadToCpu(1 << 20));
+}
+
+}  // namespace
+}  // namespace ctrlshed

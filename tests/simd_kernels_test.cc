@@ -1,0 +1,229 @@
+#include "engine/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "shedding/entry_shedder.h"
+#include "shedding/shedder.h"
+
+namespace ctrlshed {
+namespace {
+
+using kernels::FilterPassBound;
+using kernels::FilterSalt;
+using kernels::HashPayload;
+using kernels::HashToUnit;
+
+/// Randomized payloads with the adversarial corners mixed in: NaN,
+/// infinities, signed zeros, denormals — the filter hashes raw bits, so
+/// every one of these must behave identically across implementations.
+std::vector<double> AdversarialPayloads(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                             -std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             0.0,
+                             -0.0,
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             -std::numeric_limits<double>::lowest()};
+  for (size_t i = 0; i < n; ++i) {
+    const double r = rng.Uniform();
+    if (r < 0.15) {
+      v[i] = specials[i % (sizeof(specials) / sizeof(specials[0]))];
+    } else if (r < 0.5) {
+      v[i] = rng.Uniform(-1e6, 1e6);
+    } else {
+      v[i] = rng.Uniform();
+    }
+  }
+  return v;
+}
+
+TEST(SimdKernelsTest, IntegerPassBoundMatchesFloatComparison) {
+  // The columnar filter's claim: (h >> 11) < FilterPassBound(th) decides
+  // exactly what HashToUnit(v) < th decides, for every payload and
+  // threshold (including the clamp corners).
+  const std::vector<double> payloads = AdversarialPayloads(4096, 11);
+  const double thresholds[] = {-0.5, 0.0,  1e-17, 0.25, 0.5,
+                               0.75, 0.99, 1.0,   1.5};
+  for (const double th : thresholds) {
+    const uint64_t bound = FilterPassBound(th);
+    for (int op_id = 0; op_id < 3; ++op_id) {
+      const uint64_t salt = FilterSalt(op_id);
+      for (const double v : payloads) {
+        const bool float_pass = HashToUnit(v, op_id) < th;
+        const bool int_pass = (HashPayload(v, salt) >> 11) < bound;
+        ASSERT_EQ(float_pass, int_pass)
+            << "threshold " << th << " payload " << v;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ScalarFilterMaskMatchesRowPredicate) {
+  const std::vector<double> payloads = AdversarialPayloads(1024, 23);
+  const uint64_t salt = FilterSalt(1);
+  for (const double th : {0.0, 0.3, 0.7, 1.0}) {
+    const uint64_t bound = FilterPassBound(th);
+    std::vector<uint8_t> mask(payloads.size(), 0xee);
+    kernels::scalar::FilterMask(payloads.data(), payloads.size(), salt, bound,
+                                mask.data());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      const uint8_t want = HashToUnit(payloads[i], 1) < th ? 1 : 0;
+      ASSERT_EQ(mask[i], want) << "i=" << i << " th=" << th;
+    }
+  }
+}
+
+#if CTRLSHED_HAVE_AVX2
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+TEST(SimdKernelsTest, Avx2FilterMaskMatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  const std::vector<double> payloads = AdversarialPayloads(4096 + 3, 31);
+  const uint64_t salt = FilterSalt(2);
+  // Odd lengths exercise the scalar tail of the vector loop.
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                         size_t{128}, payloads.size()}) {
+    for (const double th : {0.0, 1e-12, 0.25, 0.5, 0.999, 1.0}) {
+      const uint64_t bound = FilterPassBound(th);
+      std::vector<uint8_t> scalar_mask(n, 0xaa), avx2_mask(n, 0x55);
+      kernels::scalar::FilterMask(payloads.data(), n, salt, bound,
+                                  scalar_mask.data());
+      kernels::avx2::FilterMask(payloads.data(), n, salt, bound,
+                                avx2_mask.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(scalar_mask[i], avx2_mask[i])
+            << "n=" << n << " th=" << th << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Avx2ShedMaskMatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(47);
+  std::vector<double> u(517);
+  for (double& x : u) x = rng.Uniform();
+  // Exact-boundary draws too: u == drop_p must fall on the same side.
+  u[5] = 0.5;
+  u[6] = std::nextafter(0.5, 0.0);
+  u[7] = std::nextafter(0.5, 1.0);
+  for (const double p : {1e-9, 0.25, 0.5, 0.99}) {
+    for (const size_t n : {size_t{1}, size_t{5}, size_t{64}, u.size()}) {
+      std::vector<uint8_t> scalar_mask(n, 0xaa), avx2_mask(n, 0x55);
+      kernels::scalar::ShedMask(u.data(), n, p, scalar_mask.data());
+      kernels::avx2::ShedMask(u.data(), n, p, avx2_mask.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(scalar_mask[i], avx2_mask[i])
+            << "p=" << p << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+#endif  // CTRLSHED_HAVE_AVX2
+
+TEST(BatchShedderTest, BatchAdmitIsStreamIdenticalToPerTupleCoinFlips) {
+  // The batched shedder must consume the RNG stream exactly like the
+  // per-tuple path: same seed => same admit/drop sequence, for every
+  // alpha, across the clamp corners (which draw nothing) and batch sizes
+  // spanning several 128-draw blocks.
+  for (const double alpha : {0.0, 1e-12, 0.3, 0.5, 1.0 - 1e-12, 1.0}) {
+    for (const size_t n : {size_t{1}, size_t{64}, size_t{128}, size_t{129},
+                           size_t{1000}}) {
+      Rng batch_rng(99);
+      Rng seq_rng(99);
+      std::vector<uint8_t> admit(n, 0xcc);
+      BatchCoinFlipAdmit(batch_rng, alpha, n, admit.data());
+      for (size_t i = 0; i < n; ++i) {
+        const bool want = !seq_rng.Bernoulli(alpha);
+        ASSERT_EQ(admit[i] != 0, want)
+            << "alpha=" << alpha << " n=" << n << " i=" << i;
+      }
+      // Both paths must leave the RNG in the same state (so alternating
+      // batched and per-tuple admission cannot diverge mid-run).
+      ASSERT_DOUBLE_EQ(batch_rng.Uniform(), seq_rng.Uniform());
+    }
+  }
+}
+
+TEST(BatchShedderTest, EntrySheddersBatchMatchesAdmitLoop) {
+  EntryShedder a(7);
+  EntryShedder b(7);
+  PeriodMeasurement m;
+  m.fin_forecast = 100.0;
+  a.Configure(60.0, m);  // alpha = 0.4
+  b.Configure(60.0, m);
+  const size_t kN = 777;
+  std::vector<uint8_t> admit(kN, 0xcc);
+  Tuple t;
+  a.AdmitBatch(&t, kN, admit.data());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(admit[i] != 0, b.Admit(t)) << "i=" << i;
+  }
+}
+
+TEST(BatchShedderTest, BatchAdmitRateIsChiSquareConsistent) {
+  // Goodness of fit of the batched coin flip against Bernoulli(1 - p):
+  // one chi-square statistic per drop probability over a large draw count,
+  // gated at the 99.9% quantile of chi^2 with 1 dof (10.83). Determinstic
+  // seed, so this cannot flake — it guards against systematic bias (e.g.
+  // an off-by-one in the block loop double-consuming draws).
+  const size_t kN = 200000;
+  std::vector<uint8_t> admit(kN);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    Rng rng(1234);
+    BatchCoinFlipAdmit(rng, p, kN, admit.data());
+    const double admitted = static_cast<double>(
+        kernels::CountMask(admit.data(), kN));
+    const double dropped = static_cast<double>(kN) - admitted;
+    const double e_admit = (1.0 - p) * static_cast<double>(kN);
+    const double e_drop = p * static_cast<double>(kN);
+    const double chi2 = (admitted - e_admit) * (admitted - e_admit) / e_admit +
+                        (dropped - e_drop) * (dropped - e_drop) / e_drop;
+    EXPECT_LT(chi2, 10.83) << "p=" << p << " admitted=" << admitted;
+  }
+}
+
+TEST(SimdKernelsTest, CompactLaneKeepsMaskedPrefix) {
+  const size_t kN = 300;
+  std::vector<double> src(kN);
+  std::vector<uint8_t> mask(kN);
+  Rng rng(3);
+  for (size_t i = 0; i < kN; ++i) {
+    src[i] = static_cast<double>(i);
+    mask[i] = rng.Uniform() < 0.4 ? 1 : 0;
+  }
+  std::vector<double> dst(kN, -1.0);
+  const size_t k = kernels::CompactLane(src.data(), mask.data(), kN,
+                                        dst.data());
+  ASSERT_EQ(k, kernels::CountMask(mask.data(), kN));
+  size_t j = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    if (mask[i]) {
+      ASSERT_EQ(dst[j], src[i]);
+      ++j;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DispatchReportsAConsistentMode) {
+  const kernels::KernelTable& table = kernels::Kernels();
+  EXPECT_EQ(table.mode, kernels::ActiveSimdMode());
+  EXPECT_NE(table.filter_mask, nullptr);
+  EXPECT_NE(table.shed_mask, nullptr);
+#if !CTRLSHED_HAVE_AVX2
+  // A scalar-only build can never resolve to AVX2.
+  EXPECT_EQ(table.mode, kernels::SimdMode::kScalar);
+#endif
+}
+
+}  // namespace
+}  // namespace ctrlshed

@@ -140,6 +140,101 @@ TEST(TupleQueueTest, TwoQueuesShareOnePool) {
   b.clear();
 }
 
+TEST(TupleQueueTest, FrontRunExposesContiguousPrefixLanes) {
+  TupleQueue q;
+  const uint64_t kN = TupleChunk::kTuples + 40;
+  for (uint64_t i = 0; i < kN; ++i) q.push_back(MakeTuple(i));
+
+  // First run: the whole front chunk.
+  TupleLaneView run = q.FrontRun();
+  ASSERT_EQ(run.len, TupleChunk::kTuples);
+  for (size_t i = 0; i < run.len; ++i) {
+    EXPECT_EQ(run.lineage[i], i);
+    EXPECT_DOUBLE_EQ(run.value[i], static_cast<double>(i) * 0.5);
+    EXPECT_DOUBLE_EQ(run.arrival_time[i], static_cast<double>(i) * 1e-3);
+  }
+
+  // A partially consumed chunk yields the remaining suffix only.
+  q.PopFrontN(100);
+  run = q.FrontRun();
+  ASSERT_EQ(run.len, TupleChunk::kTuples - 100);
+  EXPECT_EQ(run.lineage[0], 100u);
+
+  // Crossing into the second chunk exposes its prefix.
+  q.PopFrontN(run.len);
+  run = q.FrontRun();
+  ASSERT_EQ(run.len, 40u);
+  EXPECT_EQ(run.lineage[0], TupleChunk::kTuples);
+}
+
+TEST(TupleQueueTest, PopFrontNMatchesRepeatedPopFront) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    TupleQueue a, b;
+    const uint64_t kN = 1 + static_cast<uint64_t>(rng.Uniform() * 400.0);
+    for (uint64_t i = 0; i < kN; ++i) {
+      a.push_back(MakeTuple(i));
+      b.push_back(MakeTuple(i));
+    }
+    uint64_t left = kN;
+    while (left > 0) {
+      const size_t n = 1 + static_cast<size_t>(rng.Uniform() * 200.0) % left;
+      a.PopFrontN(n);
+      for (size_t i = 0; i < n; ++i) b.pop_front();
+      left -= n;
+      ASSERT_EQ(a.size(), b.size());
+      if (left > 0) {
+        ASSERT_EQ(a.front().lineage, b.front().lineage);
+        ASSERT_EQ(a.back().lineage, b.back().lineage);
+      }
+    }
+    ASSERT_TRUE(a.empty());
+    // Post-drain reuse must behave like a fresh queue (slot rewind).
+    a.push_back(MakeTuple(77));
+    ASSERT_EQ(a.FrontRun().len, 1u);
+    ASSERT_EQ(a.FrontRun().lineage[0], 77u);
+  }
+}
+
+TEST(TupleQueueTest, BackFillCommitEquivalentToPushBack) {
+  TupleQueue q, ref;
+  uint64_t seq = 0;
+  // Interleave lane-wise bulk appends with scalar pushes across several
+  // chunk boundaries; the queue must be indistinguishable from push_back.
+  Rng rng(13);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Uniform() < 0.5) {
+      TupleLaneFill fill = q.BackFill();
+      ASSERT_GT(fill.capacity, 0u);
+      const size_t n =
+          1 + static_cast<size_t>(rng.Uniform() * 300.0) % fill.capacity;
+      for (size_t i = 0; i < n; ++i) {
+        const Tuple t = MakeTuple(seq);
+        fill.value[i] = t.value;
+        fill.aux[i] = t.aux;
+        fill.arrival_time[i] = t.arrival_time;
+        fill.lineage[i] = t.lineage;
+        fill.source[i] = t.source;
+        fill.port[i] = t.port;
+        ref.push_back(t);
+        ++seq;
+      }
+      q.CommitBack(n);
+    } else {
+      q.push_back(MakeTuple(seq));
+      ref.push_back(MakeTuple(seq));
+      ++seq;
+    }
+  }
+  ASSERT_EQ(q.size(), ref.size());
+  while (!ref.empty()) {
+    ASSERT_EQ(q.front().lineage, ref.front().lineage);
+    ASSERT_DOUBLE_EQ(q.front().value, ref.front().value);
+    q.pop_front();
+    ref.pop_front();
+  }
+}
+
 TEST(TupleQueueDeathTest, BindPoolOnNonEmptyQueueAborts) {
   TupleChunkPool pool;
   TupleQueue q;

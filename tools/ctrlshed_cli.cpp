@@ -37,6 +37,7 @@
 #include "common/build_info.h"
 #include "control/pole_placement.h"
 #include "net/socket_util.h"
+#include "rt/cpu_affinity.h"
 #include "rt/rt_runtime.h"
 #include "runner/experiment.h"
 #include "telemetry/flight_recorder.h"
@@ -311,6 +312,8 @@ int CmdRt(Args args) {
     return 2;
   }
   cfg.batch = static_cast<size_t>(batch);
+  cfg.batch_adaptive = GetDouble(args, "batch_adaptive", 0.0) != 0.0;
+  cfg.pin_cpus = GetString(args, "pin_cpus", "");
   cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
@@ -445,6 +448,15 @@ int CmdNode(Args args) {
   cfg.time_compression = GetDouble(args, "compress", 20.0);
   cfg.ring_capacity = static_cast<size_t>(GetDouble(args, "ring", 4096.0));
   cfg.batch = static_cast<size_t>(GetInt(args, "batch", 1, 1, 4096));
+  cfg.pin_cpus = GetString(args, "pin_cpus", "");
+  {
+    std::string pin_error;
+    ParsePinCpus(cfg.pin_cpus, &pin_error);
+    if (!pin_error.empty()) {
+      std::fprintf(stderr, "ctrlshed node: %s\n", pin_error.c_str());
+      return 2;
+    }
+  }
   cfg.cost_mode = GetDouble(args, "busy_spin", 0.0) != 0.0
                       ? RtCostMode::kBusySpin
                       : RtCostMode::kSleep;
@@ -702,7 +714,8 @@ void PrintHelp() {
       "                  [rate=150] [beta=1.0] [poles=0.7] [vary_cost=0|1]\n"
       "                  [queue_shed=0|1] [cost_aware=0|1] [adapt_H=0|1]\n"
       "                  [compress=20] [ring=4096] [busy_spin=0|1]\n"
-      "                  [workers=1] [batch=1] [seed=42] [trace_out=FILE]\n"
+      "                  [workers=1] [batch=1] [batch_adaptive=0|1]\n"
+      "                  [pin_cpus=auto|LIST] [seed=42] [trace_out=FILE]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "                  (wall-clock threaded runtime; compress = trace\n"
       "                  seconds replayed per wall second; workers=N in\n"
@@ -711,6 +724,11 @@ void PrintHelp() {
       "                  batch=B in [1,4096] sets the datapath batch —\n"
       "                  SPSC pop run length and invocation quantum —\n"
       "                  with batch=1 the bit-identical per-tuple path;\n"
+      "                  batch_adaptive=1 lets the controller grow each\n"
+      "                  worker's quantum past B under backlog and shrink\n"
+      "                  it back with latency headroom; pin_cpus=auto pins\n"
+      "                  shard i to CPU i%%ncpu, pin_cpus=0,2,... pins to\n"
+      "                  an explicit list;\n"
       "                  vary_cost/queue_shed/cost_aware mirror the sim\n"
       "                  knobs: the Fig. 14 cost trace sampled on each\n"
       "                  worker's clock, and in-network shedding from\n"
@@ -767,7 +785,8 @@ void PrintHelp() {
       "                  [controller_host=127.0.0.1] [controller_port=P]\n"
       "                  [duration=60] [T=1] [yd=2] [H=0.97] [H_true=0.97]\n"
       "                  [capacity=190] [vary_cost=0|1] [compress=20]\n"
-      "                  [ring=4096] [batch=1] [busy_spin=0|1] [seed=42]\n"
+      "                  [ring=4096] [batch=1] [pin_cpus=auto|LIST]\n"
+      "                  [busy_spin=0|1] [seed=42]\n"
       "                  [telemetry_dir=DIR] [telemetry_port=N]\n"
       "                  (cluster member: serves tuple ingress on `port`,\n"
       "                  reports per-period stats upstream, applies the\n"
